@@ -1,0 +1,237 @@
+//! The **max-subpattern hit-set** algorithm of Han, Dong & Yin (ICDE 1999)
+//! for segment-wise partial periodic mining — the classic two-scan method,
+//! as opposed to the level-wise Apriori of [`crate::partial_periodic`].
+//!
+//! Scan 1 finds the frequent 1-cells `F1` and forms the *candidate max
+//! pattern* `C_max` (all frequent cells). Scan 2 computes, per segment, its
+//! **hit**: the maximal subpattern of `C_max` the segment matches, and
+//! counts distinct hits (the original stores them in a max-subpattern
+//! tree; a hash table of hits with counts is an equivalent representation
+//! of the same information — each tree node is a stored hit, and the
+//! support derivation below performs the tree's ancestor-count summation).
+//! Every subpattern's frequency is then derived **without further scans**:
+//! `Sup(P) = Σ count(H) over hits H ⊇ P`.
+//!
+//! Output is identical to [`crate::partial_periodic::mine_segments`]
+//! (asserted in tests); the win is touching the data exactly twice.
+
+use std::collections::HashMap;
+
+use rpm_timeseries::TransactionDb;
+
+use crate::partial_periodic::{Cell, SegmentParams, SegmentPattern};
+
+/// Mines all partial periodic patterns with the hit-set strategy.
+/// Returns the patterns (sorted like `mine_segments`) and the number of
+/// complete segments.
+pub fn mine_hitset(db: &TransactionDb, params: &SegmentParams) -> (Vec<SegmentPattern>, usize) {
+    let Some((start, end)) = db.time_span() else {
+        return (Vec::new(), 0);
+    };
+    let p = params.period;
+    let n_segments = ((end - start + 1) / p) as usize;
+    if n_segments == 0 {
+        return (Vec::new(), 0);
+    }
+    let min_sup = params.min_sup.resolve(n_segments);
+
+    // Scan 1: frequent 1-cells (F1) → C_max.
+    let mut cell_hits: HashMap<Cell, usize> = HashMap::new();
+    for t in db.transactions() {
+        let rel = t.timestamp() - start;
+        if (rel / p) as usize >= n_segments {
+            break;
+        }
+        let offset = rel % p;
+        for &item in t.items() {
+            *cell_hits.entry(Cell { offset, item }).or_insert(0) += 1;
+        }
+    }
+    let mut f1: Vec<Cell> = cell_hits
+        .into_iter()
+        .filter(|&(_, hits)| hits >= min_sup)
+        .map(|(c, _)| c)
+        .collect();
+    f1.sort_unstable();
+    if f1.is_empty() {
+        return (Vec::new(), n_segments);
+    }
+
+    // Scan 2: per-segment maximal hit = the segment's cells ∩ C_max.
+    // Segments are contiguous in the (time-ordered) transaction list, so
+    // hits are assembled in one pass.
+    let mut hit_counts: HashMap<Vec<Cell>, usize> = HashMap::new();
+    let mut current_segment = 0usize;
+    let mut current_hit: Vec<Cell> = Vec::new();
+    let flush = |hit: &mut Vec<Cell>, counts: &mut HashMap<Vec<Cell>, usize>| {
+        if !hit.is_empty() {
+            hit.sort_unstable();
+            hit.dedup();
+            *counts.entry(std::mem::take(hit)).or_insert(0) += 1;
+        } else {
+            hit.clear();
+        }
+    };
+    for t in db.transactions() {
+        let rel = t.timestamp() - start;
+        let seg = (rel / p) as usize;
+        if seg >= n_segments {
+            break;
+        }
+        if seg != current_segment {
+            flush(&mut current_hit, &mut hit_counts);
+            current_segment = seg;
+        }
+        let offset = rel % p;
+        for &item in t.items() {
+            let cell = Cell { offset, item };
+            if f1.binary_search(&cell).is_ok() {
+                current_hit.push(cell);
+            }
+        }
+    }
+    flush(&mut current_hit, &mut hit_counts);
+
+    // Support oracle over the stored hits (the tree's ancestor summation).
+    let hits: Vec<(Vec<Cell>, usize)> = hit_counts.into_iter().collect();
+    let support = |pattern: &[Cell]| -> usize {
+        hits.iter()
+            .filter(|(h, _)| {
+                // pattern ⊆ h (both sorted).
+                let mut j = 0;
+                pattern.iter().all(|c| {
+                    while j < h.len() && h[j] < *c {
+                        j += 1;
+                    }
+                    let ok = j < h.len() && h[j] == *c;
+                    if ok {
+                        j += 1;
+                    }
+                    ok
+                })
+            })
+            .map(|&(_, n)| n)
+            .sum()
+    };
+
+    // Derive all frequent subpatterns level-wise from the oracle — no
+    // further data scans.
+    let mut out: Vec<SegmentPattern> = Vec::new();
+    let mut level: Vec<Vec<Cell>> = Vec::new();
+    for &c in &f1 {
+        let hits = support(&[c]);
+        if hits >= min_sup {
+            out.push(SegmentPattern { cells: vec![c], hits });
+            level.push(vec![c]);
+        }
+    }
+    while level.len() > 1 {
+        let mut next: Vec<Vec<Cell>> = Vec::new();
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let k = level[i].len();
+                if level[i][..k - 1] != level[j][..k - 1] {
+                    break;
+                }
+                let mut cells = level[i].clone();
+                cells.push(level[j][k - 1]);
+                let hits = support(&cells);
+                if hits >= min_sup {
+                    out.push(SegmentPattern { cells: cells.clone(), hits });
+                    next.push(cells);
+                }
+            }
+        }
+        level = next;
+    }
+
+    out.sort_by(|a, b| a.cells.len().cmp(&b.cells.len()).then_with(|| a.cells.cmp(&b.cells)));
+    (out, n_segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial_periodic::mine_segments;
+    use rpm_core::Threshold;
+    use rpm_timeseries::DbBuilder;
+
+    fn alternating_db() -> TransactionDb {
+        let mut b = DbBuilder::new();
+        for ts in 0..40 {
+            b.add_labeled(ts, if ts % 2 == 0 { &["x"] } else { &["y"] });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_apriori_on_alternating_series() {
+        let db = alternating_db();
+        for frac in [1.0, 0.75, 0.5] {
+            let params = SegmentParams::new(2, Threshold::Fraction(frac));
+            assert_eq!(
+                mine_hitset(&db, &params),
+                mine_segments(&db, &params),
+                "divergence at minSup={frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_apriori_on_random_databases() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for case in 0..6 {
+            let mut b = DbBuilder::new();
+            for ts in 0..120i64 {
+                let labels: Vec<String> = (0..4)
+                    .filter(|_| rng.random::<f64>() < 0.4)
+                    .map(|i| format!("e{i}"))
+                    .collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                if !refs.is_empty() {
+                    b.add_labeled(ts, &refs);
+                }
+            }
+            let db = b.build();
+            for period in [3i64, 5, 8] {
+                let params = SegmentParams::new(period, Threshold::Fraction(0.4));
+                assert_eq!(
+                    mine_hitset(&db, &params),
+                    mine_segments(&db, &params),
+                    "case {case} period {period}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_hits_stay_few_on_regular_data() {
+        // On the perfectly alternating series every segment produces the
+        // SAME maximal hit — the compression the hit-set method banks on.
+        let db = alternating_db();
+        let params = SegmentParams::new(2, Threshold::Fraction(0.9));
+        let (pats, segments) = mine_hitset(&db, &params);
+        assert_eq!(segments, 20);
+        // x@0, y@1, and the pair.
+        assert_eq!(pats.len(), 3);
+        assert!(pats.iter().all(|p| p.hits == 20));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = DbBuilder::new().build();
+        let params = SegmentParams::new(5, Threshold::Count(1));
+        assert_eq!(mine_hitset(&db, &params), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn nothing_frequent_returns_segment_count() {
+        let db = alternating_db();
+        let params = SegmentParams::new(2, Threshold::Count(100));
+        let (pats, segments) = mine_hitset(&db, &params);
+        assert!(pats.is_empty());
+        assert_eq!(segments, 20);
+    }
+}

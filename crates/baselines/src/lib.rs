@@ -1,0 +1,45 @@
+//! Baseline periodic-pattern miners the EDBT 2015 paper compares against
+//! (its §2 and §5.4 / Table 8), implemented from scratch on the shared
+//! transactional-database substrate:
+//!
+//! * [`ppattern`] — Ma & Hellerstein's p-patterns (ICDE 2001), in both the
+//!   periodic-first and association-first variants;
+//! * [`periodic_frequent`] — Tanbeer et al.'s periodic-frequent patterns
+//!   (PAKDD 2009) with the DASFAA 2014 `++`-style early-abort refinement;
+//! * [`partial_periodic`] — Han-style segment-wise partial periodic
+//!   patterns over a symbolic sequence (KDD 1998), the model whose loss of
+//!   temporal information motivates the paper;
+//! * [`cyclic`] — Özden et al.'s cyclic itemsets (ICDE 1998), the
+//!   every-cycle model the paper calls "quite restrictive".
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod async_periodic;
+pub mod cyclic;
+pub mod hitset;
+pub mod infominer;
+pub mod mis;
+pub mod motif;
+pub mod period_detect;
+pub mod partial_periodic;
+pub mod periodic_frequent;
+pub mod ppattern;
+
+pub use async_periodic::{
+    analyze_pattern, longest_valid_subsequence, mine_async, valid_segments, AsyncParams,
+    AsyncPattern, Segment,
+};
+pub use cyclic::{mine_cyclic, CyclicParams, CyclicPattern};
+pub use hitset::mine_hitset;
+pub use infominer::{mine_infominer, InfoParams, InfoPattern};
+pub use mis::{mine_mis, MisParams, MisPattern};
+pub use motif::{matrix_profile, top_motifs, Motif, ProfileEntry};
+pub use period_detect::{
+    autocorrelation_periods, chi_squared_periods, consensus_periods, DetectedPeriod,
+};
+pub use partial_periodic::{mine_segments, Cell, SegmentParams, SegmentPattern};
+pub use periodic_frequent::{PfGrowth, PfParams, PfPattern, PfStats, PfVariant};
+pub use ppattern::{
+    mine_association_first, mine_periodic_first, PPattern, PPatternParams, PPatternStats,
+};

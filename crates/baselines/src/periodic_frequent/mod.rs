@@ -1,0 +1,8 @@
+//! Periodic-frequent pattern mining (Tanbeer et al. PAKDD 2009, Kiran &
+//! Kitsuregawa DASFAA 2014) — the *regular* pattern baseline of Table 8.
+
+pub mod model;
+pub mod pfgrowth;
+
+pub use model::{periodicity, periodicity_within, PfParams, PfPattern};
+pub use pfgrowth::{PfGrowth, PfStats, PfVariant};

@@ -1,0 +1,143 @@
+//! The periodic-frequent pattern model (Tanbeer et al., PAKDD 2009): a
+//! frequent pattern is periodic-frequent when **every** inter-arrival time —
+//! including the lead-in from the database's first timestamp and the
+//! lead-out to its last — is at most the user-defined period. These are the
+//! *regular* patterns the EDBT paper generalises (its §2), compared against
+//! in Table 8.
+
+use rpm_core::Threshold;
+use rpm_timeseries::{ItemId, Timestamp};
+
+/// Parameters of periodic-frequent mining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PfParams {
+    /// Maximum permitted periodicity (`maxPer`).
+    pub max_per: Timestamp,
+    /// Minimum support (absolute or fraction of `|TDB|`).
+    pub min_sup: Threshold,
+}
+
+impl PfParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    /// Panics unless `max_per > 0`.
+    pub fn new(max_per: Timestamp, min_sup: Threshold) -> Self {
+        assert!(max_per > 0, "maxPer must be positive");
+        Self { max_per, min_sup }
+    }
+}
+
+/// A discovered periodic-frequent pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PfPattern {
+    /// Items, sorted by id.
+    pub items: Vec<ItemId>,
+    /// `Sup(X)`.
+    pub support: usize,
+    /// `Per(X)` — the largest inter-arrival time (with boundaries).
+    pub periodicity: Timestamp,
+}
+
+impl PfPattern {
+    /// Number of items in the pattern.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pattern is empty (never produced by the miner).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Computes `Per(X)` over a sorted timestamp list: the maximum of
+/// `ts₁ − start`, all consecutive gaps, and `end − ts_k`, where `start`/`end`
+/// delimit the database (Tanbeer's boundary convention). Returns `None` for
+/// an empty list (periodicity undefined).
+pub fn periodicity(ts: &[Timestamp], start: Timestamp, end: Timestamp) -> Option<Timestamp> {
+    let (&first, &last) = (ts.first()?, ts.last()?);
+    let mut max = (first - start).max(end - last);
+    for w in ts.windows(2) {
+        max = max.max(w[1] - w[0]);
+    }
+    Some(max)
+}
+
+/// Early-abort variant used by the PF-growth++-style miner: stops scanning
+/// as soon as the running maximum exceeds `max_per` (Kiran & Kitsuregawa's
+/// observation that a failed candidate usually fails early). Returns
+/// `Some(Per(X))` when the pattern is periodic (computed in the same pass —
+/// no second scan on success) and the number of gaps examined.
+pub fn periodicity_within(
+    ts: &[Timestamp],
+    start: Timestamp,
+    end: Timestamp,
+    max_per: Timestamp,
+) -> (Option<Timestamp>, usize) {
+    let Some((&first, &last)) = ts.first().zip(ts.last()) else {
+        return (None, 0);
+    };
+    let mut examined = 2;
+    let mut max = (first - start).max(end - last);
+    if max > max_per {
+        return (None, examined);
+    }
+    for w in ts.windows(2) {
+        examined += 1;
+        let gap = w[1] - w[0];
+        if gap > max_per {
+            return (None, examined);
+        }
+        max = max.max(gap);
+    }
+    (Some(max), examined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodicity_includes_boundaries() {
+        // TS^{ab} within a db spanning [1,14]: max gap 4, boundaries 0.
+        assert_eq!(periodicity(&[1, 3, 4, 7, 11, 12, 14], 1, 14), Some(4));
+        // Lead-in dominates: pattern first appears at ts 9.
+        assert_eq!(periodicity(&[9, 10], 1, 14), Some(8));
+        // Lead-out dominates.
+        assert_eq!(periodicity(&[1, 2], 1, 14), Some(12));
+        assert_eq!(periodicity(&[], 1, 14), None);
+        assert_eq!(periodicity(&[5], 1, 14), Some(9));
+    }
+
+    #[test]
+    fn early_abort_agrees_with_full_computation() {
+        let cases: &[&[Timestamp]] = &[
+            &[1, 3, 4, 7, 11, 12, 14],
+            &[2, 4, 5, 7, 9, 10, 12],
+            &[9, 10],
+            &[5],
+        ];
+        for ts in cases {
+            for max_per in 1..=10 {
+                let full = periodicity(ts, 1, 14).filter(|&p| p <= max_per);
+                let (fast, _) = periodicity_within(ts, 1, 14, max_per);
+                assert_eq!(full, fast, "disagreement on {ts:?} at maxPer={max_per}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_abort_examines_fewer_gaps_on_failure() {
+        // First gap already exceeds maxPer=1: examined must stay small.
+        let ts: &[Timestamp] = &[1, 10, 11, 12, 13, 14];
+        let (per, examined) = periodicity_within(ts, 1, 14, 1);
+        assert!(per.is_none());
+        assert!(examined <= 3);
+    }
+
+    #[test]
+    fn empty_ts_is_not_periodic() {
+        assert_eq!(periodicity_within(&[], 1, 14, 5), (None, 0));
+    }
+}

@@ -1,0 +1,324 @@
+//! PF-growth (Tanbeer et al., PAKDD 2009) with the PF-growth++-style
+//! early-abort refinement (Kiran & Kitsuregawa, DASFAA 2014) as a selectable
+//! variant. The EDBT paper uses PF-growth++ to produce the
+//! periodic-frequent column of its Table 8.
+//!
+//! Because both `Sup` and `Per` are anti-monotone, the pattern-growth here
+//! is a straight FP-growth over the shared [`TsTree`] (tail-node ts-lists,
+//! push-up), with the periodic-frequent predicate replacing frequency-only
+//! checks — no recurrence machinery needed.
+
+use rpm_core::tree::TsTree;
+use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
+
+use super::model::{periodicity, periodicity_within, PfParams, PfPattern};
+
+/// Algorithm variant: the DASFAA'14 `++` refinements change the work done,
+/// never the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfVariant {
+    /// Plain PF-growth: full periodicity computation per candidate.
+    Basic,
+    /// PF-growth++-style: abort the periodicity scan at the first violating
+    /// gap.
+    PlusPlus,
+}
+
+/// Work counters for a PF mining run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfStats {
+    /// Items surviving the PF-list scan.
+    pub candidate_items: usize,
+    /// Candidates whose merged ts-list was examined.
+    pub candidates_checked: usize,
+    /// Inter-arrival gaps examined across all periodicity tests — the
+    /// quantity the `++` variant reduces.
+    pub gaps_examined: usize,
+    /// Patterns emitted.
+    pub patterns_found: usize,
+}
+
+/// The periodic-frequent miner.
+#[derive(Debug, Clone)]
+pub struct PfGrowth {
+    params: PfParams,
+    variant: PfVariant,
+}
+
+impl PfGrowth {
+    /// Creates a miner with the `++` variant (the paper's comparator).
+    pub fn new(params: PfParams) -> Self {
+        Self { params, variant: PfVariant::PlusPlus }
+    }
+
+    /// Selects the algorithm variant.
+    pub fn with_variant(mut self, variant: PfVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Mines all periodic-frequent patterns of `db`.
+    pub fn mine(&self, db: &TransactionDb) -> (Vec<PfPattern>, PfStats) {
+        let mut stats = PfStats::default();
+        let Some((start, end)) = db.time_span() else {
+            return (Vec::new(), stats);
+        };
+        let min_sup = self.params.min_sup.resolve(db.len());
+        let max_per = self.params.max_per;
+
+        // PF-list: one scan for per-item support + periodicity.
+        let item_ts = db.item_timestamp_lists();
+        let mut candidates: Vec<(ItemId, usize)> = Vec::new();
+        for (idx, ts) in item_ts.iter().enumerate() {
+            if ts.is_empty() {
+                continue;
+            }
+            if ts.len() >= min_sup
+                && periodicity(ts, start, end).is_some_and(|p| p <= max_per)
+            {
+                candidates.push((ItemId(idx as u32), ts.len()));
+            }
+        }
+        // Support-descending order with id tie-break, as in the RP-list.
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        stats.candidate_items = candidates.len();
+        if candidates.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let mut rank = vec![None::<u32>; db.item_count()];
+        for (r, &(item, _)) in candidates.iter().enumerate() {
+            rank[item.index()] = Some(r as u32);
+        }
+
+        // PF-tree: second scan.
+        let mut tree = TsTree::new(candidates.len());
+        let mut ranks: Vec<u32> = Vec::new();
+        for t in db.transactions() {
+            ranks.clear();
+            ranks.extend(t.items().iter().filter_map(|&i| rank[i.index()]));
+            ranks.sort_unstable();
+            if !ranks.is_empty() {
+                tree.insert(&ranks, t.timestamp());
+            }
+        }
+
+        let mut out = Vec::new();
+        let mut suffix: Vec<ItemId> = Vec::new();
+        let ctx = Ctx {
+            start,
+            end,
+            min_sup,
+            max_per,
+            variant: self.variant,
+            items: candidates.iter().map(|&(i, _)| i).collect(),
+        };
+        grow(&mut tree, &ctx, &mut suffix, &mut out, &mut stats);
+        out.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items)));
+        stats.patterns_found = out.len();
+        (out, stats)
+    }
+}
+
+struct Ctx {
+    start: Timestamp,
+    end: Timestamp,
+    min_sup: usize,
+    max_per: Timestamp,
+    variant: PfVariant,
+    items: Vec<ItemId>,
+}
+
+impl Ctx {
+    /// Tests the periodic-frequent predicate, recording scan effort.
+    fn qualifies(&self, ts: &[Timestamp], stats: &mut PfStats) -> Option<Timestamp> {
+        if ts.len() < self.min_sup {
+            return None;
+        }
+        match self.variant {
+            PfVariant::Basic => {
+                stats.gaps_examined += ts.len() + 1;
+                periodicity(ts, self.start, self.end).filter(|&p| p <= self.max_per)
+            }
+            PfVariant::PlusPlus => {
+                let (per, examined) = periodicity_within(ts, self.start, self.end, self.max_per);
+                stats.gaps_examined += examined;
+                per
+            }
+        }
+    }
+}
+
+fn grow(
+    tree: &mut TsTree,
+    ctx: &Ctx,
+    suffix: &mut Vec<ItemId>,
+    out: &mut Vec<PfPattern>,
+    stats: &mut PfStats,
+) {
+    for r in (0..tree.rank_count() as u32).rev() {
+        if tree.links(r).is_empty() {
+            tree.push_up_and_remove(r);
+            continue;
+        }
+        let ts = tree.merged_ts(r);
+        stats.candidates_checked += 1;
+        if let Some(per) = ctx.qualifies(&ts, stats) {
+            suffix.push(ctx.items[r as usize]);
+            let mut items = suffix.clone();
+            items.sort_unstable();
+            out.push(PfPattern { items, support: ts.len(), periodicity: per });
+            // Conditional tree: keep prefix items that still qualify.
+            let paths = tree.prefix_paths(r);
+            if let Some(mut cond) = conditional_tree(&paths, ctx, stats) {
+                grow(&mut cond, ctx, suffix, out, stats);
+            }
+            suffix.pop();
+        }
+        tree.push_up_and_remove(r);
+    }
+}
+
+fn conditional_tree(
+    paths: &[(Vec<u32>, Vec<Timestamp>)],
+    ctx: &Ctx,
+    stats: &mut PfStats,
+) -> Option<TsTree> {
+    if paths.is_empty() {
+        return None;
+    }
+    // Scratch sized by the deepest rank actually present (see rpm-core's
+    // growth module for the rationale).
+    let n_ranks = paths
+        .iter()
+        .filter_map(|(path, _)| path.last())
+        .max()
+        .map_or(0, |&r| r as usize + 1);
+    if n_ranks == 0 {
+        return None;
+    }
+    let mut per_rank_ts: Vec<Vec<Timestamp>> = vec![Vec::new(); n_ranks];
+    for (path, ts) in paths {
+        for &r in path {
+            per_rank_ts[r as usize].extend_from_slice(ts);
+        }
+    }
+    let mut keep = vec![false; n_ranks];
+    let mut any = false;
+    for (r, ts) in per_rank_ts.iter_mut().enumerate() {
+        if ts.is_empty() {
+            continue;
+        }
+        ts.sort_unstable();
+        if ctx.qualifies(ts, stats).is_some() {
+            keep[r] = true;
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut cond = TsTree::new(n_ranks);
+    let mut filtered: Vec<u32> = Vec::new();
+    for (path, ts) in paths {
+        filtered.clear();
+        filtered.extend(path.iter().copied().filter(|&r| keep[r as usize]));
+        if !filtered.is_empty() {
+            cond.insert_with_ts_list(&filtered, ts);
+        }
+    }
+    (!cond.is_empty()).then_some(cond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_core::Threshold;
+    use rpm_timeseries::running_example_db;
+
+    fn mine(max_per: Timestamp, min_sup: usize, variant: PfVariant) -> Vec<String> {
+        let db = running_example_db();
+        let (pats, _) = PfGrowth::new(PfParams::new(max_per, Threshold::Count(min_sup)))
+            .with_variant(variant)
+            .mine(&db);
+        pats.iter().map(|p| db.items().pattern_string(&p.items)).collect()
+    }
+
+    #[test]
+    fn running_example_at_maxper_4() {
+        // Per values (db span [1,14]): a:4 b:4 c:2 d:4 e:4 f:4 g:5,
+        // ab:4 cd:4 ef:4; longer combinations exceed 4.
+        let got = mine(4, 6, PfVariant::PlusPlus);
+        assert_eq!(
+            got,
+            vec!["{a}", "{b}", "{c}", "{d}", "{e}", "{f}", "{a,b}", "{c,d}", "{e,f}"]
+        );
+    }
+
+    #[test]
+    fn variants_agree_everywhere() {
+        for max_per in 1..=7 {
+            for min_sup in 1..=8 {
+                assert_eq!(
+                    mine(max_per, min_sup, PfVariant::Basic),
+                    mine(max_per, min_sup, PfVariant::PlusPlus),
+                    "divergence at maxPer={max_per} minSup={min_sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plusplus_examines_no_more_gaps() {
+        let db = running_example_db();
+        let params = PfParams::new(2, Threshold::Count(3));
+        let (_, basic) =
+            PfGrowth::new(params.clone()).with_variant(PfVariant::Basic).mine(&db);
+        let (_, pp) = PfGrowth::new(params).with_variant(PfVariant::PlusPlus).mine(&db);
+        assert!(pp.gaps_examined <= basic.gaps_examined);
+    }
+
+    #[test]
+    fn reported_measures_are_correct() {
+        let db = running_example_db();
+        let (pats, _) =
+            PfGrowth::new(PfParams::new(4, Threshold::Count(6))).mine(&db);
+        for p in &pats {
+            let ts = db.timestamps_of(&p.items);
+            assert_eq!(ts.len(), p.support);
+            assert_eq!(periodicity(&ts, 1, 14), Some(p.periodicity));
+            assert!(p.periodicity <= 4);
+            assert!(p.support >= 6);
+        }
+    }
+
+    #[test]
+    fn strict_periodicity_prunes_everything() {
+        assert!(mine(1, 1, PfVariant::PlusPlus).is_empty());
+    }
+
+    #[test]
+    fn pf_patterns_are_recurring_patterns_with_min_rec_one() {
+        // The EDBT paper positions recurring patterns as a generalisation:
+        // any periodic-frequent pattern (complete cyclic behaviour) is a
+        // recurring pattern at minRec=1 with minPS=minSup and per=maxPer.
+        let db = running_example_db();
+        let (pf, _) = PfGrowth::new(PfParams::new(4, Threshold::Count(6))).mine(&db);
+        let rp = rpm_core::RpGrowth::new(rpm_core::RpParams::new(4, 6, 1)).mine(&db);
+        for p in &pf {
+            assert!(
+                rp.patterns.iter().any(|r| r.items == p.items),
+                "{} missing from recurring set",
+                db.items().pattern_string(&p.items)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::builder().build();
+        let (pats, stats) =
+            PfGrowth::new(PfParams::new(4, Threshold::Count(1))).mine(&db);
+        assert!(pats.is_empty());
+        assert_eq!(stats.candidates_checked, 0);
+    }
+}

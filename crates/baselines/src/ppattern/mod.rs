@@ -1,0 +1,10 @@
+//! p-pattern mining (Ma & Hellerstein, ICDE 2001) — the partial-periodic
+//! baseline the EDBT paper compares against in Table 8.
+
+pub mod association_first;
+pub mod model;
+pub mod periodic_first;
+
+pub use association_first::mine_association_first;
+pub use model::{instances, periodic_support, PPattern, PPatternParams};
+pub use periodic_first::{mine_periodic_first, PPatternStats};

@@ -1,0 +1,71 @@
+//! Baseline-miner benchmarks: the two p-pattern strategies (periodic-first
+//! wins, as Ma & Hellerstein and the paper both note), the two PF-growth
+//! variants (the `++` early-abort wins), and the segment-wise miner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpm_baselines::{
+    mine_association_first, mine_periodic_first, mine_segments, PPatternParams, PfGrowth,
+    PfParams, PfVariant, SegmentParams,
+};
+use rpm_bench::datasets::{load, Dataset};
+use rpm_core::Threshold;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+
+fn ppattern_strategies(c: &mut Criterion) {
+    let (db, _) = load(Dataset::Shop14, SCALE, SEED);
+    let params = PPatternParams::new(1440, Threshold::pct(1.0), 1);
+    let mut group = c.benchmark_group("ppattern/Shop-14");
+    group.sample_size(10);
+    group.bench_function("periodic_first", |b| {
+        b.iter(|| black_box(mine_periodic_first(&db, &params, Some(100_000))).0.len());
+    });
+    group.bench_function("association_first", |b| {
+        b.iter(|| black_box(mine_association_first(&db, &params, Some(100_000))).0.len());
+    });
+    group.finish();
+}
+
+fn pfgrowth_variants(c: &mut Criterion) {
+    let (db, _) = load(Dataset::Twitter, SCALE, SEED);
+    let params = PfParams::new(1440, Threshold::pct(0.5));
+    let mut group = c.benchmark_group("pfgrowth/Twitter");
+    group.sample_size(10);
+    group.bench_function("basic", |b| {
+        b.iter(|| {
+            black_box(PfGrowth::new(params.clone()).with_variant(PfVariant::Basic).mine(&db))
+                .0
+                .len()
+        });
+    });
+    group.bench_function("plusplus", |b| {
+        b.iter(|| {
+            black_box(PfGrowth::new(params.clone()).with_variant(PfVariant::PlusPlus).mine(&db))
+                .0
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn segment_miner(c: &mut Criterion) {
+    // Offset-based models need a coarse granularity and a focused alphabet
+    // (see model_zoo): hourly bins over a 20-category watchlist, 24-hour
+    // period. Minute-offset segment mining on the full catalogue explodes.
+    let (db, _) = load(Dataset::Shop14, SCALE, SEED);
+    let watchlist: Vec<rpm_timeseries::ItemId> =
+        (0..20).filter_map(|i| db.items().id(&format!("cat-{i}"))).collect();
+    let hourly = rpm_timeseries::rebin(&rpm_timeseries::project_items(&db, &watchlist), 60);
+    let params = SegmentParams::new(24, Threshold::Fraction(0.3));
+    let mut group = c.benchmark_group("segments/Shop-14");
+    group.sample_size(10);
+    group.bench_function("period_1day_hourly_watchlist", |b| {
+        b.iter(|| black_box(mine_segments(&hourly, &params)).0.len());
+    });
+    group.finish();
+}
+
+criterion_group!(baselines, ppattern_strategies, pfgrowth_variants, segment_miner);
+criterion_main!(baselines);

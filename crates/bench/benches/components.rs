@@ -1,0 +1,88 @@
+//! Component microbenchmarks: the RP-list scan (Algorithm 1), RP-tree
+//! construction (Algorithms 2–3), `getRecurrence` (Algorithm 5) and the
+//! interval splitter — the building blocks whose costs compose into the
+//! end-to-end numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpm_bench::datasets::{load, Dataset};
+use rpm_core::tree::TsTree;
+use rpm_core::{
+    get_recurrence, mine_resolved, periodic_intervals, recurrence_spectrum, ResolvedParams,
+    RpList,
+};
+use std::hint::black_box;
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+
+fn rplist_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/rplist");
+    group.sample_size(20);
+    for dataset in Dataset::ALL {
+        let (db, _) = load(dataset, SCALE, SEED);
+        let params = ResolvedParams::new(720, (db.len() / 200).max(1), 1);
+        group.bench_with_input(BenchmarkId::from_parameter(dataset.name()), &db, |b, db| {
+            b.iter(|| black_box(RpList::build(db, params)).len());
+        });
+    }
+    group.finish();
+}
+
+fn tree_construction(c: &mut Criterion) {
+    let (db, _) = load(Dataset::Twitter, SCALE, SEED);
+    let params = ResolvedParams::new(720, (db.len() / 200).max(1), 1);
+    let list = RpList::build(&db, params);
+    let mut group = c.benchmark_group("components/tree");
+    group.sample_size(20);
+    group.bench_function("build_Twitter", |b| {
+        b.iter(|| {
+            let mut tree = TsTree::new(list.len());
+            for t in db.transactions() {
+                let ranks = list.project(t.items());
+                if !ranks.is_empty() {
+                    tree.insert(&ranks, t.timestamp());
+                }
+            }
+            black_box(tree.node_count())
+        });
+    });
+    group.finish();
+}
+
+fn recurrence_scan(c: &mut Criterion) {
+    // Synthetic timestamp lists with different run structures.
+    let dense: Vec<i64> = (0..100_000).collect();
+    let bursty: Vec<i64> = (0..100_000)
+        .map(|i| i + (i / 1000) * 5000) // a 5000-gap every 1000 stamps
+        .collect();
+    let params = ResolvedParams::new(10, 100, 2);
+    let mut group = c.benchmark_group("components/get_recurrence");
+    group.bench_function("dense_100k", |b| {
+        b.iter(|| black_box(get_recurrence(&dense, params)).map(|v| v.len()));
+    });
+    group.bench_function("bursty_100k", |b| {
+        b.iter(|| black_box(get_recurrence(&bursty, params)).map(|v| v.len()));
+    });
+    group.bench_function("intervals_bursty_100k", |b| {
+        b.iter(|| black_box(periodic_intervals(&bursty, 10)).len());
+    });
+    group.bench_function("spectrum_bursty_100k", |b| {
+        // The whole per↦Rec step function in one union-find sweep.
+        b.iter(|| black_box(recurrence_spectrum(&bursty, 100)).len());
+    });
+    group.finish();
+}
+
+fn end_to_end_pipeline(c: &mut Criterion) {
+    let (db, _) = load(Dataset::Shop14, SCALE, SEED);
+    let params = ResolvedParams::new(720, (db.len() / 100).max(1), 1);
+    let mut group = c.benchmark_group("components/pipeline");
+    group.sample_size(10);
+    group.bench_function("mine_resolved_Shop-14", |b| {
+        b.iter(|| black_box(mine_resolved(&db, params)).patterns.len());
+    });
+    group.finish();
+}
+
+criterion_group!(components, rplist_scan, tree_construction, recurrence_scan, end_to_end_pipeline);
+criterion_main!(components);

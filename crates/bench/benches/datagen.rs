@@ -1,0 +1,30 @@
+//! Generator throughput benchmarks: how quickly the three simulated
+//! databases can be (re)built, which bounds the cost of parameter sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpm_datagen::{
+    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig,
+    TwitterConfig,
+};
+use std::hint::black_box;
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("quest_5k", |b| {
+        let cfg = QuestConfig { transactions: 5000, ..QuestConfig::default() };
+        b.iter(|| black_box(generate_quest(&cfg)).len());
+    });
+    group.bench_function("clickstream_2days", |b| {
+        let cfg = ShopConfig { scale: 0.05, ..ShopConfig::default() };
+        b.iter(|| black_box(generate_clickstream(&cfg)).db.len());
+    });
+    group.bench_function("twitter_6days", |b| {
+        let cfg = TwitterConfig { scale: 0.05, ..TwitterConfig::default() };
+        b.iter(|| black_box(generate_twitter(&cfg)).db.len());
+    });
+    group.finish();
+}
+
+criterion_group!(datagen, generators);
+criterion_main!(datagen);

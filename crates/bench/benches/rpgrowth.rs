@@ -1,0 +1,51 @@
+//! End-to-end RP-growth benchmarks: one group per dataset, sweeping the
+//! Table 4 parameter grid at a compressed scale. Regenerates the
+//! *performance* claims behind Tables 5/7 and Figures 7/9 in microbenchmark
+//! form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpm_bench::datasets::{load, Dataset, PER_GRID};
+use rpm_core::{RpGrowth, RpParams, Threshold};
+use std::hint::black_box;
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+
+fn bench_dataset(c: &mut Criterion, dataset: Dataset) {
+    let (db, _) = load(dataset, SCALE, SEED);
+    let mut group = c.benchmark_group(format!("rpgrowth/{}", dataset.name()));
+    group.sample_size(10);
+    let mid_pct = dataset.min_ps_grid()[1];
+    for &per in &PER_GRID {
+        group.bench_with_input(BenchmarkId::new("per", per), &per, |b, &per| {
+            let params = RpParams::with_threshold(per, Threshold::pct(mid_pct), 1);
+            b.iter(|| black_box(RpGrowth::new(params.clone()).mine(&db)).patterns.len());
+        });
+    }
+    for min_rec in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("minRec", min_rec), &min_rec, |b, &mr| {
+            let params = RpParams::with_threshold(720, Threshold::pct(mid_pct), mr);
+            b.iter(|| black_box(RpGrowth::new(params.clone()).mine(&db)).patterns.len());
+        });
+    }
+    for &pct in &dataset.min_ps_grid() {
+        group.bench_with_input(
+            BenchmarkId::new("minPS_pct", format!("{pct}")),
+            &pct,
+            |b, &pct| {
+                let params = RpParams::with_threshold(720, Threshold::pct(pct), 1);
+                b.iter(|| black_box(RpGrowth::new(params.clone()).mine(&db)).patterns.len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for dataset in Dataset::ALL {
+        bench_dataset(c, dataset);
+    }
+}
+
+criterion_group!(rpgrowth, benches);
+criterion_main!(rpgrowth);

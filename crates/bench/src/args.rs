@@ -1,0 +1,131 @@
+//! Minimal command-line parsing shared by all experiment binaries — only
+//! the flags the reproduction needs, no external dependency.
+
+/// Common flags: `--scale <f>` (default 0.25), `--seed <n>`, `--full`
+/// (shorthand for `--scale 1.0`), plus free-form `--key value` extras that
+/// individual binaries may read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Calendar/transaction-count compression in `(0, 1]`.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Remaining `--key value` pairs.
+    pub extra: Vec<(String, String)>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { scale: 0.25, seed: 1, extra: Vec::new() }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses an argument iterator (excluding the program name).
+    ///
+    /// Unknown `--key value` pairs are kept in `extra`; bare flags become
+    /// `(key, "true")` pairs. Returns an error string for malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {arg:?}"))?
+                .to_string();
+            match key.as_str() {
+                "full" => out.scale = 1.0,
+                "scale" => {
+                    let v = iter.next().ok_or("--scale needs a value")?;
+                    out.scale =
+                        v.parse().map_err(|e| format!("bad --scale {v:?}: {e}"))?;
+                    if !(out.scale > 0.0 && out.scale <= 1.0) {
+                        return Err(format!("--scale must be in (0,1], got {}", out.scale));
+                    }
+                }
+                "seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+                }
+                _ => {
+                    let value = match iter.peek() {
+                        Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                        _ => "true".to_string(),
+                    };
+                    out.extra.push((key, value));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("argument error: {e}");
+                eprintln!("usage: --scale <0..1] | --full, --seed <n>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Looks up an extra flag's value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.extra.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Parses an extra flag as `f64`, with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Parses an extra flag as `usize`, with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, 0.25);
+        assert_eq!(a.seed, 1);
+    }
+
+    #[test]
+    fn scale_seed_and_full() {
+        let a = parse(&["--scale", "0.5", "--seed", "9"]).unwrap();
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 9);
+        let a = parse(&["--full"]).unwrap();
+        assert_eq!(a.scale, 1.0);
+    }
+
+    #[test]
+    fn extras_and_bare_flags() {
+        let a = parse(&["--mode", "structures", "--verbose"]).unwrap();
+        assert_eq!(a.get("mode"), Some("structures"));
+        assert_eq!(a.get("verbose"), Some("true"));
+        assert_eq!(a.get_f64("missing", 2.5), 2.5);
+        assert_eq!(a.get_usize("mode", 7), 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["scale"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+}

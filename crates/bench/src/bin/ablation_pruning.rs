@@ -1,0 +1,94 @@
+//! Ablation **A1/A2** (DESIGN.md): what the paper's `Erec` pruning bound and
+//! the RP-tree buy.
+//!
+//! * `--mode pruning` (default): Apriori-RP with the `Erec` bound vs the
+//!   same search with only the weaker `Sup ≥ minPS·minRec` bound — candidate
+//!   counts and runtime.
+//! * `--mode structures`: RP-growth (tree) vs Apriori-RP (level-wise) at
+//!   identical output.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin ablation_pruning -- [--scale 0.1] [--mode pruning|structures]
+//! ```
+
+use std::time::Instant;
+
+use rpm_bench::datasets::{banner, load, Dataset};
+use rpm_bench::tables::secs;
+use rpm_bench::{HarnessArgs, Table};
+use rpm_core::{apriori_rp, apriori_support_only, mine_resolved, RpParams, Threshold};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mode = args.get("mode").unwrap_or("pruning").to_string();
+    println!("# Ablation ({mode}) at scale={}\n", args.scale);
+
+    for dataset in [Dataset::Shop14, Dataset::Twitter] {
+        let (db, _) = load(dataset, args.scale, args.seed);
+        banner(dataset, &db, args.scale);
+        let pct = match dataset {
+            Dataset::Twitter => 2.0,
+            _ => 0.3,
+        };
+        let params = RpParams::with_threshold(1440, Threshold::pct(pct), 2).resolve(db.len());
+        println!(
+            "parameters: per=1440 minPS={}({}%) minRec=2\n",
+            params.min_ps, pct
+        );
+
+        match mode.as_str() {
+            "structures" => {
+                let t0 = Instant::now();
+                let growth = mine_resolved(&db, params);
+                let growth_time = t0.elapsed();
+                let t1 = Instant::now();
+                let (apriori, ap_stats) = apriori_rp(&db, params);
+                let ap_time = t1.elapsed();
+                assert_eq!(
+                    growth.patterns, apriori,
+                    "tree and level-wise miners must agree"
+                );
+                let mut table =
+                    Table::new(["algorithm", "patterns", "candidates", "runtime(s)"]);
+                table.row([
+                    "RP-growth (tree)".to_string(),
+                    growth.patterns.len().to_string(),
+                    growth.stats.candidates_checked.to_string(),
+                    secs(growth_time),
+                ]);
+                table.row([
+                    "Apriori-RP (level-wise)".to_string(),
+                    apriori.len().to_string(),
+                    ap_stats.total_candidates().to_string(),
+                    secs(ap_time),
+                ]);
+                table.print();
+            }
+            _ => {
+                let t0 = Instant::now();
+                let (with_erec, erec_stats) = apriori_rp(&db, params);
+                let erec_time = t0.elapsed();
+                let t1 = Instant::now();
+                let (without, weak_stats) = apriori_support_only(&db, params);
+                let weak_time = t1.elapsed();
+                assert_eq!(with_erec, without, "both searches are complete");
+                let mut table =
+                    Table::new(["pruning bound", "patterns", "candidates", "runtime(s)"]);
+                table.row([
+                    "Erec (paper §4.1)".to_string(),
+                    with_erec.len().to_string(),
+                    erec_stats.total_candidates().to_string(),
+                    secs(erec_time),
+                ]);
+                table.row([
+                    "Sup ≥ minPS·minRec only".to_string(),
+                    without.len().to_string(),
+                    weak_stats.total_candidates().to_string(),
+                    secs(weak_time),
+                ]);
+                table.print();
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,68 @@
+//! Reproduces **Figure 7 (a–c)**: number of recurring patterns discovered
+//! in the Twitter data as `minPS` sweeps 2%..10%, one series per `per`
+//! value, one panel per `minRec` ∈ {1,2,3}. Output is a plot-ready series
+//! table.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin fig7 -- [--scale 0.25|--full] [--seed N]
+//! ```
+
+use rpm_bench::datasets::{banner, load, Dataset, PER_GRID};
+use rpm_bench::grid::run_sweep;
+use rpm_bench::{HarnessArgs, LineChart, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("# Figure 7 — recurring patterns in Twitter vs minPS (scale={})\n", args.scale);
+    let (db, _) = load(Dataset::Twitter, args.scale, args.seed);
+    banner(Dataset::Twitter, &db, args.scale);
+    for min_rec in [1usize, 2, 3] {
+        println!("### panel ({}) minRec={min_rec}", (b'a' + min_rec as u8 - 1) as char);
+        let cells = run_sweep(&db, 2, 10, min_rec);
+        let mut table = Table::new([
+            "minPS(%)".to_string(),
+            format!("per={}", PER_GRID[0]),
+            format!("per={}", PER_GRID[1]),
+            format!("per={}", PER_GRID[2]),
+        ]);
+        for pct in 2..=10 {
+            let mut row = vec![pct.to_string()];
+            for &per in &PER_GRID {
+                let c = cells
+                    .iter()
+                    .find(|c| c.per == per && c.min_ps_pct == pct as f64)
+                    .expect("sweep cell");
+                row.push(c.patterns.to_string());
+            }
+            table.row(row);
+        }
+        table.print();
+        println!();
+
+        // Figure output: one SVG panel per minRec, matching the paper's
+        // layout (one series per per value, log-y like its wide ranges).
+        let mut chart = LineChart::new(
+            &format!("Figure 7 ({}) minRec={min_rec} — recurring patterns vs minPS",
+                (b'a' + min_rec as u8 - 1) as char),
+            "minPS (%)",
+            "recurring patterns",
+        )
+        .log_y();
+        for &per in &PER_GRID {
+            let points: Vec<(f64, f64)> = cells
+                .iter()
+                .filter(|c| c.per == per)
+                .map(|c| (c.min_ps_pct, c.patterns as f64))
+                .collect();
+            chart = chart.series(&format!("per={per}"), points);
+        }
+        let out = std::path::Path::new("results");
+        if out.is_dir() {
+            let path = out.join(format!("fig7_{}.svg", (b'a' + min_rec as u8 - 1) as char));
+            if chart.save(&path).is_ok() {
+                println!("wrote {}", path.display());
+                println!();
+            }
+        }
+    }
+}

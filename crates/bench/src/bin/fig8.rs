@@ -1,0 +1,83 @@
+//! Reproduces **Figure 8 (a, b)**: daily frequencies of the hashtags in the
+//! patterns `{yyc, uttarakhand}` and `{nuclear, hibaku}`, showing the burst
+//! structure the recurring patterns latch onto. Output is a plot-ready
+//! day-by-day series.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin fig8 -- [--scale 0.25|--full] [--seed N]
+//! ```
+
+use rpm_bench::datasets::{banner, load, Dataset};
+use rpm_bench::{HarnessArgs, LineChart, Table};
+use rpm_datagen::calendar::{date_label, MINUTES_PER_DAY};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("# Figure 8 — daily hashtag frequencies (scale={})\n", args.scale);
+    let (db, _) = load(Dataset::Twitter, args.scale, args.seed);
+    banner(Dataset::Twitter, &db, args.scale);
+
+    let panels: [(&str, [&str; 2]); 2] =
+        [("a", ["#yyc", "#uttarakhand"]), ("b", ["#nuclear", "#hibaku"])];
+    for (panel, tags) in panels {
+        println!("### panel ({panel}) {} vs {}", tags[0], tags[1]);
+        let mut table = Table::new(["date", tags[0], tags[1]]);
+        let series: Vec<Vec<i64>> = tags
+            .iter()
+            .map(|t| {
+                let id = db.items().id(t).expect("tag interned");
+                db.timestamps_of(&[id])
+            })
+            .collect();
+        let (start, end) = db.time_span().expect("non-empty stream");
+        // A simulated day is `scale` × 1440 minutes wide.
+        let day_width = ((MINUTES_PER_DAY as f64) * args.scale).max(1.0) as i64;
+        let mut day_start = start;
+        let mut daily: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        while day_start <= end {
+            let day_end = day_start + day_width - 1;
+            let counts: Vec<usize> = series
+                .iter()
+                .map(|ts| {
+                    let lo = ts.partition_point(|&t| t < day_start);
+                    let hi = ts.partition_point(|&t| t <= day_end);
+                    hi - lo
+                })
+                .collect();
+            let real = (day_start as f64 / args.scale) as i64;
+            table.row([
+                date_label(real, 5, 1),
+                counts[0].to_string(),
+                counts[1].to_string(),
+            ]);
+            daily[0].push(counts[0]);
+            daily[1].push(counts[1]);
+            day_start += day_width;
+        }
+        table.print();
+        println!();
+
+        // Figure output: day index on x, daily frequency on y.
+        let mut chart = LineChart::new(
+            &format!("Figure 8 ({panel}) daily frequency"),
+            "day (since 01-05-2013)",
+            "frequency",
+        );
+        for (k, tag) in tags.iter().enumerate() {
+            let points: Vec<(f64, f64)> = daily[k]
+                .iter()
+                .enumerate()
+                .map(|(d, &n)| (d as f64, n as f64))
+                .collect();
+            chart = chart.series(tag, points);
+        }
+        let out = std::path::Path::new("results");
+        if out.is_dir() {
+            let path = out.join(format!("fig8_{panel}.svg"));
+            if chart.save(&path).is_ok() {
+                println!("wrote {}", path.display());
+                println!();
+            }
+        }
+    }
+}

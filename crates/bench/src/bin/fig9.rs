@@ -1,0 +1,64 @@
+//! Reproduces **Figure 9 (a–c)**: RP-growth runtime on the Twitter data as
+//! `minPS` sweeps 2%..10%, one series per `per`, one panel per `minRec`.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin fig9 -- [--scale 0.25|--full] [--seed N]
+//! ```
+
+use rpm_bench::datasets::{banner, load, Dataset, PER_GRID};
+use rpm_bench::grid::run_sweep;
+use rpm_bench::tables::secs;
+use rpm_bench::{HarnessArgs, LineChart, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("# Figure 9 — RP-growth runtime (s) on Twitter vs minPS (scale={})\n", args.scale);
+    let (db, _) = load(Dataset::Twitter, args.scale, args.seed);
+    banner(Dataset::Twitter, &db, args.scale);
+    for min_rec in [1usize, 2, 3] {
+        println!("### panel ({}) minRec={min_rec}", (b'a' + min_rec as u8 - 1) as char);
+        let cells = run_sweep(&db, 2, 10, min_rec);
+        let mut table = Table::new([
+            "minPS(%)".to_string(),
+            format!("per={}", PER_GRID[0]),
+            format!("per={}", PER_GRID[1]),
+            format!("per={}", PER_GRID[2]),
+        ]);
+        for pct in 2..=10 {
+            let mut row = vec![pct.to_string()];
+            for &per in &PER_GRID {
+                let c = cells
+                    .iter()
+                    .find(|c| c.per == per && c.min_ps_pct == pct as f64)
+                    .expect("sweep cell");
+                row.push(secs(c.runtime));
+            }
+            table.row(row);
+        }
+        table.print();
+        println!();
+
+        let mut chart = LineChart::new(
+            &format!("Figure 9 ({}) minRec={min_rec} — RP-growth runtime vs minPS",
+                (b'a' + min_rec as u8 - 1) as char),
+            "minPS (%)",
+            "runtime (s)",
+        );
+        for &per in &PER_GRID {
+            let points: Vec<(f64, f64)> = cells
+                .iter()
+                .filter(|c| c.per == per)
+                .map(|c| (c.min_ps_pct, c.runtime.as_secs_f64()))
+                .collect();
+            chart = chart.series(&format!("per={per}"), points);
+        }
+        let out = std::path::Path::new("results");
+        if out.is_dir() {
+            let path = out.join(format!("fig9_{}.svg", (b'a' + min_rec as u8 - 1) as char));
+            if chart.save(&path).is_ok() {
+                println!("wrote {}", path.display());
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Explains the paper's third observation on Figure 7: "for minRec > 1,
+//! increase in per can either increase or decrease the number of recurring
+//! patterns. The reason for decrease is due to the merging of interesting
+//! periodic-intervals discovered at low per values."
+//!
+//! For a set of probe patterns in the Twitter simulation, this traces the
+//! maximal-run structure of each pattern's timestamp list across a sweep of
+//! `per` values: runs (total maximal runs), interesting intervals (`Rec`),
+//! and whether the pattern passes `minRec = 2` — making the merge-driven
+//! non-monotonicity directly visible.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin merge_analysis -- [--scale 0.25] [--seed N]
+//! ```
+
+use rpm_bench::datasets::{banner, load, Dataset};
+use rpm_bench::{HarnessArgs, Table};
+use rpm_core::{interesting_intervals, periodic_intervals, Threshold};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("# Interval merging vs per (Twitter sim, scale={})\n", args.scale);
+    let (db, planted) = load(Dataset::Twitter, args.scale, args.seed);
+    banner(Dataset::Twitter, &db, args.scale);
+    let min_ps = Threshold::pct(2.0).resolve(db.len());
+    println!("minPS = {min_ps} (2%), probing minRec = 2\n");
+
+    let pers: [i64; 6] = [90, 180, 360, 720, 1440, 2880];
+    for p in &planted {
+        let labels: Vec<&str> = p.labels.iter().map(String::as_str).collect();
+        let Some(ids) = db.pattern_ids(&labels) else { continue };
+        let ts = db.timestamps_of(&ids);
+        println!("### {} {{{}}} — {} occurrences", p.name, p.labels.join(","), ts.len());
+        let mut table =
+            Table::new(["per", "maximal runs", "interesting (Rec)", "recurring @ minRec=2"]);
+        let mut prev_rec: Option<usize> = None;
+        for &per in &pers {
+            let runs = periodic_intervals(&ts, per).len();
+            let rec = interesting_intervals(&ts, per, min_ps).len();
+            let note = match prev_rec {
+                Some(prev) if rec < prev => "merged ↓",
+                Some(prev) if rec > prev => "split joined ↑",
+                _ => "",
+            };
+            table.row([
+                per.to_string(),
+                runs.to_string(),
+                rec.to_string(),
+                format!("{}{}{note}", rec >= 2, if note.is_empty() { "" } else { "  " }),
+            ]);
+            prev_rec = Some(rec);
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "maximal runs always fall as per grows (adjacent runs join); Rec first rises\n\
+         (joined runs reach minPS) then falls (interesting intervals merge into one) —\n\
+         exactly the mechanism the paper describes for Figure 7's minRec>1 panels."
+    );
+}

@@ -1,0 +1,152 @@
+//! The related-work landscape (paper §2) on one dataset: every periodic-
+//! pattern model in the workspace run side by side, showing what each one
+//! can and cannot see. Not a paper artifact — a reproduction aid that makes
+//! §2's qualitative comparisons concrete.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin model_zoo -- [--scale 0.1] [--seed N]
+//! ```
+
+use std::time::Instant;
+
+use rpm_baselines::{
+    mine_async, mine_cyclic, mine_hitset, mine_infominer, mine_periodic_first, mine_segments,
+    AsyncParams, CyclicParams, InfoParams, PPatternParams, PfGrowth, PfParams, SegmentParams,
+};
+use rpm_bench::datasets::{banner, load, Dataset};
+use rpm_bench::tables::secs;
+use rpm_bench::{HarnessArgs, Table};
+use rpm_core::{RpGrowth, RpParams, Threshold};
+use rpm_timeseries::{project_items, rebin, ItemId};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("# Model zoo — every periodic model on the Shop-14 sim (scale={})\n", args.scale);
+    let (db, planted) = load(Dataset::Shop14, args.scale, args.seed);
+    banner(Dataset::Shop14, &db, args.scale);
+
+    // The planted seasonal campaign, as a visibility probe.
+    let campaign: Vec<_> = {
+        let labels: Vec<&str> = planted[0].labels.iter().map(String::as_str).collect();
+        let mut ids = db.pattern_ids(&labels).expect("planted");
+        ids.sort_unstable();
+        ids
+    };
+
+    let mut table = Table::new(["model", "patterns", "runtime(s)", "sees the seasonal campaign?"]);
+
+    // 1. Recurring patterns (this paper).
+    let t0 = Instant::now();
+    let rp = RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(0.3), 2)).mine(&db);
+    let sees = rp.patterns.iter().any(|p| p.items == campaign);
+    table.row([
+        "recurring (RP-growth, minRec=2)".into(),
+        rp.patterns.len().to_string(),
+        secs(t0.elapsed()),
+        format!("{sees} — with both windows"),
+    ]);
+
+    // 2. Periodic-frequent (Tanbeer'09 / Kiran'14).
+    let t0 = Instant::now();
+    let (pf, _) = PfGrowth::new(PfParams::new(1440, Threshold::pct(0.3))).mine(&db);
+    let sees = pf.iter().any(|p| p.items == campaign);
+    table.row([
+        "periodic-frequent (PF-growth++)".into(),
+        pf.len().to_string(),
+        secs(t0.elapsed()),
+        format!("{sees} — demands whole-series periodicity"),
+    ]);
+
+    // 3. p-patterns (Ma & Hellerstein'01).
+    let t0 = Instant::now();
+    let (pp, _) = mine_periodic_first(
+        &db,
+        &PPatternParams::new(360, Threshold::pct(0.3), 1),
+        Some(200_000),
+    );
+    let sees = pp.iter().any(|p| p.items == campaign);
+    table.row([
+        "p-patterns (periodic-first)".into(),
+        pp.len().to_string(),
+        secs(t0.elapsed()),
+        format!("{sees} — but no interval information"),
+    ]);
+
+    // 4. Segment-wise partial periodic (Han'98). Offset-based models need a
+    // coarse granularity (1440 minute-offsets explode combinatorially) and a
+    // focused alphabet (dense hourly bins make every cell frequent in every
+    // segment, which blows up the closure). They run on the hourly re-binned
+    // view of a 20-category watchlist including the campaign pair — their
+    // intended habitat (small alphabets, short periods).
+    let watchlist: Vec<ItemId> = campaign
+        .iter()
+        .copied()
+        .chain((30..48).filter_map(|i| db.items().id(&format!("cat-{i}"))))
+        .collect();
+    let hourly = rebin(&project_items(&db, &watchlist), 60);
+    let t0 = Instant::now();
+    let (segs, _) = mine_segments(&hourly, &SegmentParams::new(24, Threshold::Fraction(0.3)));
+    let sees = segs.iter().any(|p| {
+        let items: Vec<_> = p.cells.iter().map(|c| c.item).collect();
+        campaign.iter().all(|i| items.contains(i))
+    });
+    table.row([
+        "segment-wise (Apriori, hourly)".into(),
+        segs.len().to_string(),
+        secs(t0.elapsed()),
+        format!("{sees} — needs exact in-day offsets"),
+    ]);
+
+    // 5. Same model, hit-set algorithm.
+    let t0 = Instant::now();
+    let (hits, _) = mine_hitset(&hourly, &SegmentParams::new(24, Threshold::Fraction(0.3)));
+    table.row([
+        "segment-wise (hit-set, hourly)".into(),
+        hits.len().to_string(),
+        secs(t0.elapsed()),
+        "same output, two scans".into(),
+    ]);
+
+    // 6. Cyclic itemsets (Özden'98), daily units, weekly cycles.
+    let t0 = Instant::now();
+    let (cyc, _) = mine_cyclic(
+        &db,
+        &CyclicParams::new(1440, Threshold::Fraction(0.05), vec![1]),
+    );
+    let sees = cyc.iter().any(|p| p.items == campaign);
+    table.row([
+        "cyclic itemsets (every day)".into(),
+        cyc.len().to_string(),
+        secs(t0.elapsed()),
+        format!("{sees} — one quiet day kills it"),
+    ]);
+
+    // 7. Asynchronous periodic (Yang'03) on the campaign's own item pair.
+    let t0 = Instant::now();
+    let asyncs = mine_async(
+        &db,
+        &AsyncParams::new(vec![60, 360], 3, 1440, (db.len() / 100).max(4)),
+    );
+    table.row([
+        "asynchronous periodic (1-patterns)".into(),
+        asyncs.len().to_string(),
+        secs(t0.elapsed()),
+        "exact-progression chains only".into(),
+    ]);
+
+    // 8. InfoMiner-style surprising patterns, daily period.
+    let t0 = Instant::now();
+    let (info, _) = mine_infominer(&hourly, &InfoParams::new(24, 80.0, 0.1));
+    table.row([
+        "InfoMiner (information gain, hourly)".into(),
+        info.len().to_string(),
+        secs(t0.elapsed()),
+        "rare-item aware, offset-bound".into(),
+    ]);
+
+    table.print();
+    println!(
+        "\nOnly the recurring-pattern model reports WHEN the association holds\n\
+         (its interesting periodic-intervals) while tolerating absence elsewhere."
+    );
+}

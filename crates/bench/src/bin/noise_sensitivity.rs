@@ -1,0 +1,121 @@
+//! Extension experiment (paper §6 future work): sensitivity of the strict
+//! model to dropped events and phase shifts, and how much the fault-budget
+//! relaxation recovers.
+//!
+//! A controlled two-season pattern (`{sensor-a, sensor-b}` firing every
+//! minute in two disjoint windows) is corrupted with increasing event-drop
+//! rates; we report the recurrence the strict and relaxed models assign to
+//! it. The strict model collapses once drops split its runs below `minPS`;
+//! a small fault budget restores the two planted seasons.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin noise_sensitivity -- [--seed N]
+//! ```
+
+use rpm_bench::{HarnessArgs, Table};
+use rpm_core::{
+    get_recurrence, get_relaxed_recurrence, NoiseParams, ResolvedParams,
+};
+use rpm_datagen::{inject_noise, NoiseConfig};
+use rpm_timeseries::TransactionDb;
+
+fn planted_db() -> TransactionDb {
+    let mut b = TransactionDb::builder();
+    for ts in 0..20_000i64 {
+        let in_season = !(8_000..12_000).contains(&ts);
+        if in_season {
+            b.add_labeled(ts, &["sensor-a", "sensor-b", "background"]);
+        } else if ts % 7 == 0 {
+            b.add_labeled(ts, &["background"]);
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("# Noise sensitivity — strict vs fault-tolerant recurrence\n");
+    let base = ResolvedParams::new(2, 400, 2); // runs of ≥400 within gaps ≤2
+    println!("parameters: per=2 minPS=400 minRec=2; planted seasons: [0,8000) and [12000,20000)\n");
+    let db = planted_db();
+    let pattern = db.pattern_ids(&["sensor-a", "sensor-b"]).expect("planted items");
+
+    let mut table = Table::new([
+        "drop_prob",
+        "strict Rec",
+        "relaxed k=2 Rec",
+        "relaxed k=8 Rec",
+        "relaxed k=32 Rec",
+    ]);
+    for drop_pct in [0u32, 1, 2, 5, 10, 20] {
+        let drop_prob = drop_pct as f64 / 100.0;
+        let noisy = if drop_prob == 0.0 {
+            db.clone()
+        } else {
+            inject_noise(&db, &NoiseConfig::drops(drop_prob, args.seed))
+        };
+        let ids = noisy.pattern_ids(&["sensor-a", "sensor-b"]).unwrap_or_else(|| pattern.clone());
+        let ts = noisy.timestamps_of(&ids);
+        let strict = get_recurrence(&ts, base).map_or(0, |v| v.len());
+        let rec_at = |budget: usize| {
+            get_relaxed_recurrence(&ts, &NoiseParams::new(base, budget, 40))
+                .map_or(0, |v| v.len())
+        };
+        table.row([
+            format!("{drop_prob:.2}"),
+            strict.to_string(),
+            rec_at(2).to_string(),
+            rec_at(8).to_string(),
+            rec_at(32).to_string(),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\nreading the table: the planted truth is Rec = 2. Values above 2 mean the\n\
+         runs FRAGMENTED (drops cut them into several still-interesting pieces);\n\
+         0 means the pattern was LOST. Each fault budget k has a noise level up to\n\
+         which it reports exactly the 2 planted seasons.\n"
+    );
+
+    println!("# Phase shifts — jittered timestamps\n");
+    // A jitter of j widens true inter-arrival times by up to 2j, so the
+    // classic mitigation is per-slack; fault budgets address *isolated*
+    // shifts, not a uniformly jittered stream.
+    let mut jt = Table::new([
+        "jitter".to_string(),
+        "strict Rec".to_string(),
+        "relaxed k=8 Rec".to_string(),
+        "strict Rec @ per+2j".to_string(),
+    ]);
+    for jitter in [0i64, 1, 2, 4, 8] {
+        let noisy = if jitter == 0 {
+            db.clone()
+        } else {
+            inject_noise(&db, &NoiseConfig::jitters(jitter, args.seed))
+        };
+        let ids = match noisy.pattern_ids(&["sensor-a", "sensor-b"]) {
+            Some(ids) => ids,
+            None => continue,
+        };
+        let ts = noisy.timestamps_of(&ids);
+        let strict = get_recurrence(&ts, base).map_or(0, |v| v.len());
+        let relaxed = get_relaxed_recurrence(&ts, &NoiseParams::new(base, 8, 40))
+            .map_or(0, |v| v.len());
+        let slacked = ResolvedParams::new(base.per + 2 * jitter, base.min_ps, base.min_rec);
+        let with_slack = get_recurrence(&ts, slacked).map_or(0, |v| v.len());
+        jt.row([
+            jitter.to_string(),
+            strict.to_string(),
+            relaxed.to_string(),
+            with_slack.to_string(),
+        ]);
+    }
+    jt.print();
+    println!(
+        "\nreading the table: a uniformly jittered stream defeats both the strict model\n\
+         and small fault budgets, but widening per by the jitter amplitude (the paper's\n\
+         own knob) restores the 2 planted seasons — while isolated phase shifts are\n\
+         exactly what the fault budget absorbs (see rpm-core relaxed module tests)."
+    );
+}

@@ -1,0 +1,20 @@
+//! Assembles `results/` into a single self-contained `results/index.html`.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin report [-- --dir results]
+//! ```
+
+use rpm_bench::report::write_report;
+use rpm_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let dir = std::path::PathBuf::from(args.get("dir").unwrap_or("results"));
+    match write_report(&dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot build report from {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation **A3** (DESIGN.md): RP-growth runtime versus database size —
+//! the Twitter simulator at growing fractions of its 123-day calendar.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin scalability -- [--seed N] [--steps 5] [--max-scale 0.5]
+//! ```
+
+use std::time::Instant;
+
+use rpm_bench::datasets::{load, Dataset};
+use rpm_bench::tables::secs;
+use rpm_bench::{HarnessArgs, Table};
+use rpm_core::{RpGrowth, RpParams, Threshold};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let steps = args.get_usize("steps", 5);
+    let max_scale = args.get_f64("max-scale", 0.5).clamp(0.01, 1.0);
+    println!("# Scalability — RP-growth vs |TDB| (Twitter sim, per=360, minPS=2%, minRec=1)\n");
+    let mut table = Table::new(["scale", "|TDB|", "patterns", "runtime(s)"]);
+    for step in 1..=steps {
+        let scale = max_scale * step as f64 / steps as f64;
+        let (db, _) = load(Dataset::Twitter, scale, args.seed);
+        let params = RpParams::with_threshold(360, Threshold::pct(2.0), 1);
+        let t0 = Instant::now();
+        let result = RpGrowth::new(params).mine(&db);
+        table.row([
+            format!("{scale:.2}"),
+            db.len().to_string(),
+            result.patterns.len().to_string(),
+            secs(t0.elapsed()),
+        ]);
+    }
+    table.print();
+}

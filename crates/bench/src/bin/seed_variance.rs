@@ -1,0 +1,55 @@
+//! Seed-sensitivity check: the paper reports single numbers per cell; our
+//! datasets are simulated, so the reproduction should demonstrate that its
+//! *shape* conclusions do not hinge on one RNG draw. Re-runs a slice of the
+//! Table 5 grid across several seeds and reports mean ± sd pattern counts.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin seed_variance -- [--scale 0.1] [--seeds 5]
+//! ```
+
+use rpm_bench::datasets::{load, Dataset, PER_GRID};
+use rpm_bench::grid::run_cell;
+use rpm_bench::{HarnessArgs, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n_seeds = args.get_usize("seeds", 5).max(2);
+    println!(
+        "# Seed variance — Table 5 cells across {n_seeds} seeds (scale={})\n",
+        args.scale
+    );
+    for dataset in Dataset::ALL {
+        println!("## {}", dataset.name());
+        let mut table = Table::new(["per", "minPS", "minRec", "mean", "sd", "cv%"]);
+        let pct = dataset.min_ps_grid()[0];
+        for &per in &PER_GRID {
+            for min_rec in [1usize, 2] {
+                let counts: Vec<f64> = (0..n_seeds as u64)
+                    .map(|seed| {
+                        let (db, _) = load(dataset, args.scale, seed + 1);
+                        run_cell(&db, per, pct, min_rec).patterns as f64
+                    })
+                    .collect();
+                let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+                let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>()
+                    / (counts.len() - 1) as f64;
+                let sd = var.sqrt();
+                let cv = if mean > 0.0 { 100.0 * sd / mean } else { 0.0 };
+                table.row([
+                    per.to_string(),
+                    format!("{pct}%"),
+                    min_rec.to_string(),
+                    format!("{mean:.1}"),
+                    format!("{sd:.1}"),
+                    format!("{cv:.1}"),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "a small coefficient of variation (cv%) means the Table 5 shapes are\n\
+         properties of the generative process, not of a lucky seed."
+    );
+}

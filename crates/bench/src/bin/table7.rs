@@ -1,0 +1,50 @@
+//! Reproduces **Table 7**: runtime of RP-growth at different `per`, `minPS`
+//! and `minRec` threshold values, on all three datasets. The runtime covers
+//! the full pipeline (RP-list scan, tree construction, mining), mirroring
+//! the paper's measurement which includes database transformation.
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin table7 -- [--scale 0.25|--full] [--seed N]
+//! ```
+
+use rpm_bench::datasets::{banner, load, Dataset, MIN_REC_GRID, PER_GRID};
+use rpm_bench::grid::run_grid;
+use rpm_bench::tables::secs;
+use rpm_bench::{HarnessArgs, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("# Table 7 — RP-growth runtime in seconds (scale={})\n", args.scale);
+    for dataset in Dataset::ALL {
+        let (db, _) = load(dataset, args.scale, args.seed);
+        banner(dataset, &db, args.scale);
+        let cells = run_grid(&db, dataset);
+        let mut table = Table::new([
+            "minPS".to_string(),
+            format!("mR=1 per={}", PER_GRID[0]),
+            format!("per={}", PER_GRID[1]),
+            format!("per={}", PER_GRID[2]),
+            format!("mR=2 per={}", PER_GRID[0]),
+            format!("per={}", PER_GRID[1]),
+            format!("per={}", PER_GRID[2]),
+            format!("mR=3 per={}", PER_GRID[0]),
+            format!("per={}", PER_GRID[1]),
+            format!("per={}", PER_GRID[2]),
+        ]);
+        for &pct in &dataset.min_ps_grid() {
+            let mut row = vec![format!("{pct}%")];
+            for &min_rec in &MIN_REC_GRID {
+                for &per in &PER_GRID {
+                    let cell = cells
+                        .iter()
+                        .find(|c| c.min_rec == min_rec && c.per == per && c.min_ps_pct == pct)
+                        .expect("grid cell exists");
+                    row.push(secs(cell.runtime));
+                }
+            }
+            table.row(row);
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! The three evaluation datasets (§5.1) behind one loader.
+
+use rpm_datagen::{
+    generate_clickstream, generate_quest, generate_twitter, PlantedPattern, QuestConfig,
+    ShopConfig, TwitterConfig,
+};
+use rpm_timeseries::{DbStats, TransactionDb};
+
+/// One of the paper's evaluation databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Quest-generated `T10I4D100K` (timestamps = transaction indices).
+    T10i4d100k,
+    /// Shop-14-like clickstream (minute timestamps, 42 days).
+    Shop14,
+    /// Twitter-like hashtag stream (minute timestamps, 123 days).
+    Twitter,
+}
+
+impl Dataset {
+    /// All three, in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::T10i4d100k, Dataset::Shop14, Dataset::Twitter];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::T10i4d100k => "T10I4D100k",
+            Dataset::Shop14 => "Shop-14",
+            Dataset::Twitter => "Twitter",
+        }
+    }
+
+    /// The `minPS` percentage grid the paper uses for this dataset (Table 4).
+    pub fn min_ps_grid(self) -> [f64; 3] {
+        match self {
+            Dataset::T10i4d100k | Dataset::Shop14 => [0.1, 0.2, 0.3],
+            Dataset::Twitter => [2.0, 5.0, 10.0],
+        }
+    }
+}
+
+/// The `per` grid shared by all datasets (Table 4): 6 h, 12 h, 24 h in
+/// minutes (or the same numbers as transaction-index distances for T10).
+pub const PER_GRID: [i64; 3] = [360, 720, 1440];
+
+/// The `minRec` grid (Table 4).
+pub const MIN_REC_GRID: [usize; 3] = [1, 2, 3];
+
+/// Generates `dataset` at the given scale/seed, returning the database and
+/// any planted ground truth (empty for T10I4D100K).
+pub fn load(dataset: Dataset, scale: f64, seed: u64) -> (TransactionDb, Vec<PlantedPattern>) {
+    match dataset {
+        Dataset::T10i4d100k => {
+            let cfg = QuestConfig { seed, ..QuestConfig::default() }.scaled(scale);
+            (generate_quest(&cfg), Vec::new())
+        }
+        Dataset::Shop14 => {
+            let s = generate_clickstream(&ShopConfig { scale, seed, ..ShopConfig::default() });
+            (s.db, s.planted)
+        }
+        Dataset::Twitter => {
+            let s = generate_twitter(&TwitterConfig { scale, seed, ..TwitterConfig::default() });
+            (s.db, s.planted)
+        }
+    }
+}
+
+/// Prints the standard dataset banner (name, scale, cardinalities) every
+/// experiment binary emits before its table.
+pub fn banner(dataset: Dataset, db: &TransactionDb, scale: f64) {
+    println!("## {} (scale={scale})", dataset.name());
+    println!("{}", DbStats::compute(db));
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_load_at_tiny_scale() {
+        for d in Dataset::ALL {
+            let (db, planted) = load(d, 0.02, 3);
+            assert!(!db.is_empty(), "{} empty", d.name());
+            match d {
+                Dataset::T10i4d100k => assert!(planted.is_empty()),
+                Dataset::Shop14 => assert_eq!(planted.len(), 2),
+                Dataset::Twitter => assert_eq!(planted.len(), 4),
+            }
+        }
+    }
+
+    #[test]
+    fn grids_match_table_4() {
+        assert_eq!(PER_GRID, [360, 720, 1440]);
+        assert_eq!(Dataset::Twitter.min_ps_grid(), [2.0, 5.0, 10.0]);
+        assert_eq!(Dataset::Shop14.min_ps_grid(), [0.1, 0.2, 0.3]);
+        assert_eq!(MIN_REC_GRID, [1, 2, 3]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared parameter-grid driver for Tables 5/7 and Figures 7/9.
+
+use std::time::{Duration, Instant};
+
+use rpm_core::{RpGrowth, RpParams, Threshold};
+use rpm_timeseries::TransactionDb;
+
+use crate::datasets::{Dataset, MIN_REC_GRID, PER_GRID};
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// `per` threshold.
+    pub per: i64,
+    /// `minPS` as a percentage of `|TDB|`.
+    pub min_ps_pct: f64,
+    /// `minRec` threshold.
+    pub min_rec: usize,
+    /// Number of recurring patterns mined.
+    pub patterns: usize,
+    /// Wall-clock mining time (includes RP-list + tree + growth).
+    pub runtime: Duration,
+}
+
+/// Runs RP-growth over the paper's Table 4 grid for one dataset.
+pub fn run_grid(db: &TransactionDb, dataset: Dataset) -> Vec<GridCell> {
+    let mut out = Vec::new();
+    for &min_rec in &MIN_REC_GRID {
+        for &per in &PER_GRID {
+            for &pct in &dataset.min_ps_grid() {
+                out.push(run_cell(db, per, pct, min_rec));
+            }
+        }
+    }
+    out
+}
+
+/// Runs one cell.
+pub fn run_cell(db: &TransactionDb, per: i64, min_ps_pct: f64, min_rec: usize) -> GridCell {
+    let params = RpParams::with_threshold(per, Threshold::pct(min_ps_pct), min_rec);
+    let start = Instant::now();
+    let result = RpGrowth::new(params).mine(db);
+    GridCell {
+        per,
+        min_ps_pct,
+        min_rec,
+        patterns: result.patterns.len(),
+        runtime: start.elapsed(),
+    }
+}
+
+/// Runs the Figure 7/9 sweep: `minPS` from `lo` to `hi` percent in unit
+/// steps, for each `per` in the standard grid, at a fixed `minRec`.
+pub fn run_sweep(db: &TransactionDb, lo: usize, hi: usize, min_rec: usize) -> Vec<GridCell> {
+    let mut out = Vec::new();
+    for &per in &PER_GRID {
+        for pct in lo..=hi {
+            out.push(run_cell(db, per, pct as f64, min_rec));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::load;
+
+    #[test]
+    fn grid_has_27_cells_and_monotone_counts() {
+        let (db, _) = load(Dataset::Shop14, 0.05, 2);
+        let cells = run_grid(&db, Dataset::Shop14);
+        assert_eq!(cells.len(), 27);
+        // Fixed per & minRec: counts must not increase with minPS
+        // (the paper's first observation on Figure 7).
+        for &min_rec in &MIN_REC_GRID {
+            for &per in &PER_GRID {
+                let series: Vec<usize> = cells
+                    .iter()
+                    .filter(|c| c.min_rec == min_rec && c.per == per)
+                    .map(|c| c.patterns)
+                    .collect();
+                assert!(series.windows(2).all(|w| w[0] >= w[1]), "minPS ↑ ⇒ patterns ↓");
+            }
+        }
+        // Fixed per & minPS: counts must not increase with minRec
+        // (second observation).
+        for &per in &PER_GRID {
+            for &pct in &Dataset::Shop14.min_ps_grid() {
+                let series: Vec<usize> = cells
+                    .iter()
+                    .filter(|c| c.per == per && c.min_ps_pct == pct)
+                    .map(|c| c.patterns)
+                    .collect();
+                assert!(series.windows(2).all(|w| w[0] >= w[1]), "minRec ↑ ⇒ patterns ↓");
+            }
+        }
+    }
+
+    #[test]
+    fn per_increase_grows_counts_at_min_rec_one() {
+        // Third observation: at minRec = 1, larger per admits more patterns.
+        let (db, _) = load(Dataset::Shop14, 0.05, 2);
+        for &pct in &Dataset::Shop14.min_ps_grid() {
+            let series: Vec<usize> = PER_GRID
+                .iter()
+                .map(|&per| run_cell(&db, per, pct, 1).patterns)
+                .collect();
+            assert!(
+                series.windows(2).all(|w| w[0] <= w[1]),
+                "per ↑ ⇒ patterns ↑ at minRec=1, got {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_covers_requested_range() {
+        let (db, _) = load(Dataset::Twitter, 0.02, 2);
+        let cells = run_sweep(&db, 2, 4, 1);
+        assert_eq!(cells.len(), 3 * 3);
+        assert!(cells.iter().all(|c| (2.0..=4.0).contains(&c.min_ps_pct)));
+    }
+}

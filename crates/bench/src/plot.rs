@@ -1,0 +1,323 @@
+//! Minimal SVG line charts, so the harness can emit Figures 7/8/9 as
+//! actual figures alongside their tables. Hand-rolled (no dependencies):
+//! linear axes with "nice" ticks, optional log-y, polyline series with a
+//! fixed palette, and a legend.
+
+use std::fmt::Write as _;
+
+/// Chart dimensions and margins (pixels).
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// Series palette (colour-blind-safe hues).
+const PALETTE: [&str; 6] = ["#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"];
+
+/// One line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    log_y: bool,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Switches the y axis to log₁₀ (zero/negative values are dropped) —
+    /// the scale the paper's Figure 7 effectively needs.
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series.
+    pub fn series(mut self, name: &str, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((name.to_string(), points));
+        self
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        let transform = |y: f64| if self.log_y { y.max(f64::MIN_POSITIVE).log10() } else { y };
+        // Gather data bounds.
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for (_, s) in &self.series {
+            for &(x, y) in s {
+                if self.log_y && y <= 0.0 {
+                    continue;
+                }
+                pts.push((x, transform(y)));
+            }
+        }
+        let (x_min, x_max) = bounds(pts.iter().map(|p| p.0));
+        let (y_min, y_max) = bounds(pts.iter().map(|p| p.1));
+        let (x_min, x_max) = pad_degenerate(x_min, x_max);
+        let (y_min, y_max) = pad_degenerate(y_min, y_max);
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+             viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">"
+        );
+        let _ = writeln!(svg, "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>");
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">{}</text>",
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes box.
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w}\" height=\"{plot_h}\" \
+             fill=\"none\" stroke=\"#444\"/>"
+        );
+
+        // Ticks.
+        for t in nice_ticks(x_min, x_max, 7) {
+            let x = sx(t);
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\" stroke=\"#ccc\"/>\
+                 <text x=\"{x}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+                MARGIN_T,
+                MARGIN_T + plot_h,
+                MARGIN_T + plot_h + 18.0,
+                fmt_num(t)
+            );
+        }
+        for t in nice_ticks(y_min, y_max, 6) {
+            let y = sy(t);
+            let label = if self.log_y { fmt_num(10f64.powf(t)) } else { fmt_num(t) };
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{MARGIN_L}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ccc\"/>\
+                 <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{label}</text>",
+                MARGIN_L + plot_w,
+                MARGIN_L - 6.0,
+                y + 4.0
+            );
+        }
+
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 16 {})\">{}</text>",
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&format!("{}{}", self.y_label, if self.log_y { " (log)" } else { "" }))
+        );
+
+        // Series.
+        for (k, (name, points)) in self.series.iter().enumerate() {
+            let colour = PALETTE[k % PALETTE.len()];
+            let path: Vec<String> = points
+                .iter()
+                .filter(|&&(_, y)| !self.log_y || y > 0.0)
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(transform(y))))
+                .collect();
+            if path.len() >= 2 {
+                let _ = writeln!(
+                    svg,
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{colour}\" stroke-width=\"2\"/>",
+                    path.join(" ")
+                );
+            }
+            for p in &path {
+                let mut it = p.split(',');
+                let (x, y) = (it.next().unwrap(), it.next().unwrap());
+                let _ = writeln!(svg, "<circle cx=\"{x}\" cy=\"{y}\" r=\"3\" fill=\"{colour}\"/>");
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + 18.0 * k as f64;
+            let lx = MARGIN_L + plot_w - 150.0;
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{lx}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\" stroke=\"{colour}\" \
+                 stroke-width=\"2\"/><text x=\"{}\" y=\"{}\">{}</text>",
+                lx + 22.0,
+                lx + 28.0,
+                ly + 4.0,
+                escape(name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Renders and writes to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render_svg())
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo.is_finite() {
+        (lo, hi)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+fn pad_degenerate(lo: f64, hi: f64) -> (f64, f64) {
+    if hi > lo {
+        (lo, hi)
+    } else {
+        (lo - 0.5, hi + 0.5)
+    }
+}
+
+/// "Nice" tick positions covering `[lo, hi]` with roughly `n` steps.
+pub fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    debug_assert!(hi > lo && n >= 2);
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm <= 1.0 {
+            1.0
+        } else if norm <= 2.0 {
+            2.0
+        } else if norm <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let mut t = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    while t <= hi + step * 1e-9 {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1_000_000.0 {
+        format!("{:.1}M", v / 1_000_000.0)
+    } else if a >= 10_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if a >= 100.0 || (v.fract() == 0.0 && a >= 1.0) {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LineChart {
+        LineChart::new("Figure 7 (a)", "minPS (%)", "recurring patterns")
+            .series("per=360", vec![(2.0, 21867.0), (5.0, 804.0), (10.0, 99.0)])
+            .series("per=1440", vec![(2.0, 23667.0), (5.0, 917.0), (10.0, 124.0)])
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = sample_chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("per=360"));
+        assert!(svg.contains("Figure 7 (a)"));
+        assert!(svg.contains("minPS (%)"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points_and_labels_decades() {
+        let svg = LineChart::new("t", "x", "y")
+            .log_y()
+            .series("s", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 1000.0)])
+            .render_svg();
+        // The zero point is dropped: polyline has exactly two points.
+        let poly = svg.lines().find(|l| l.contains("<polyline")).unwrap();
+        assert_eq!(poly.matches(',').count(), 2);
+        assert!(svg.contains("(log)"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover_range() {
+        let ticks = nice_ticks(0.0, 10.0, 5);
+        assert_eq!(ticks, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let ticks = nice_ticks(2.0, 10.0, 7);
+        assert!(ticks.first().copied().unwrap() >= 2.0);
+        assert!(ticks.last().copied().unwrap() <= 10.0);
+        let ticks = nice_ticks(0.0, 0.07, 5);
+        assert!(ticks.len() >= 3);
+        assert!(ticks.iter().all(|t| (t * 100.0).round() / 100.0 - t < 1e-12));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(5.0), "5");
+        assert_eq!(fmt_num(1.25), "1.2"); // round-half-even
+        assert_eq!(fmt_num(42_319.0), "42k");
+        assert_eq!(fmt_num(2_000_000.0), "2.0M");
+        assert_eq!(fmt_num(0.004), "0.004");
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("rpm_plot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chart.svg");
+        sample_chart().save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("</svg>"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn escape_handles_markup() {
+        assert_eq!(escape("a<b&c>"), "a&lt;b&amp;c&gt;");
+    }
+}

@@ -1,0 +1,167 @@
+//! Assembles `results/` into a single self-contained HTML report — one
+//! artifact to open after `scripts/reproduce_all.sh`, with every table as
+//! preformatted text and every SVG figure embedded inline.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Known artifacts in presentation order: `(file stem, section title)`.
+/// Files not listed here are appended alphabetically under "Other outputs".
+const ORDER: &[(&str, &str)] = &[
+    ("table5", "Table 5 — number of recurring patterns"),
+    ("fig7", "Figure 7 — Twitter pattern counts vs minPS"),
+    ("table6", "Table 6 — planted events recovered"),
+    ("fig8", "Figure 8 — daily hashtag frequencies"),
+    ("table7", "Table 7 — RP-growth runtime"),
+    ("fig9", "Figure 9 — Twitter runtime vs minPS"),
+    ("table8", "Table 8 — PF vs recurring vs p-patterns"),
+    ("ablation_pruning", "A1/A2 — Erec pruning ablation"),
+    ("memory_footprint", "A4 — RP-tree memory footprint"),
+    ("scalability", "A3 — runtime vs |TDB|"),
+    ("noise_sensitivity", "X1 — noise & phase shifts"),
+    ("incremental", "X2 — incremental vs batch"),
+    ("incremental_mining", "X2 — incremental vs batch"),
+    ("merge_analysis", "X3 — interval merging vs per"),
+    ("model_zoo", "X4 — the related-work model zoo"),
+    ("seed_variance", "X5 — seed sensitivity"),
+];
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders the report HTML from the contents of `results_dir`.
+pub fn build_report(results_dir: &Path) -> std::io::Result<String> {
+    let mut txt_sections: Vec<(String, String)> = Vec::new(); // (stem, content)
+    let mut svgs: Vec<(String, String)> = Vec::new(); // (stem, svg)
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(results_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").to_string();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("txt") => txt_sections.push((stem, std::fs::read_to_string(&path)?)),
+            Some("svg") => svgs.push((stem, std::fs::read_to_string(&path)?)),
+            _ => {}
+        }
+    }
+
+    let mut html = String::from(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>Recurring patterns — reproduction report</title>\
+         <style>body{font-family:sans-serif;max-width:1000px;margin:2em auto;padding:0 1em}\
+         pre{background:#f6f6f6;padding:1em;overflow-x:auto;font-size:13px}\
+         h2{border-bottom:1px solid #ddd;padding-bottom:.3em}</style></head><body>\n",
+    );
+    let _ = writeln!(
+        html,
+        "<h1>Recurring patterns in time series — reproduction report</h1>\
+         <p>Generated from <code>results/</code>. Paper: Kiran et al., EDBT 2015. \
+         See EXPERIMENTS.md for the paper-vs-measured analysis.</p>"
+    );
+
+    let title_of = |stem: &str| {
+        ORDER
+            .iter()
+            .find(|(s, _)| *s == stem)
+            .map(|(_, t)| (*t).to_string())
+            .unwrap_or_else(|| format!("Other output — {stem}"))
+    };
+    let rank_of = |stem: &str| {
+        ORDER.iter().position(|(s, _)| *s == stem).unwrap_or(ORDER.len())
+    };
+    txt_sections.sort_by_key(|(stem, _)| (rank_of(stem), stem.clone()));
+
+    for (stem, content) in &txt_sections {
+        let _ = writeln!(html, "<h2>{}</h2>", escape(&title_of(stem)));
+        let _ = writeln!(html, "<pre>{}</pre>", escape(content));
+        // Attach figures whose stem starts with this section's stem.
+        for (fig_stem, svg) in &svgs {
+            if fig_stem.starts_with(stem.as_str()) {
+                let _ = writeln!(html, "<div>{svg}</div>");
+            }
+        }
+    }
+    // Orphan figures (no matching .txt).
+    let orphans: Vec<&(String, String)> = svgs
+        .iter()
+        .filter(|(fig, _)| !txt_sections.iter().any(|(s, _)| fig.starts_with(s.as_str())))
+        .collect();
+    if !orphans.is_empty() {
+        let _ = writeln!(html, "<h2>Figures</h2>");
+        for (_, svg) in orphans {
+            let _ = writeln!(html, "<div>{svg}</div>");
+        }
+    }
+    html.push_str("</body></html>\n");
+    Ok(html)
+}
+
+/// Builds and writes `results_dir/index.html`, returning its path.
+pub fn write_report(results_dir: &Path) -> std::io::Result<PathBuf> {
+    let html = build_report(results_dir)?;
+    let path = results_dir.join("index.html");
+    std::fs::write(&path, html)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rpm_report_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("table5.txt"), "# Table 5\ncounts & <angles>").unwrap();
+        std::fs::write(dir.join("fig7.txt"), "# Figure 7\nsweep").unwrap();
+        std::fs::write(dir.join("fig7_a.svg"), "<svg><text>panel a</text></svg>").unwrap();
+        std::fs::write(dir.join("custom.txt"), "extra experiment").unwrap();
+        std::fs::write(dir.join("ignore.log"), "not included").unwrap();
+        dir
+    }
+
+    #[test]
+    fn report_orders_escapes_and_embeds() {
+        let dir = fixture_dir();
+        let html = build_report(&dir).unwrap();
+        // Known sections get their titles, in canonical order.
+        let t5 = html.find("Table 5 — number of recurring patterns").unwrap();
+        let f7 = html.find("Figure 7 — Twitter pattern counts").unwrap();
+        assert!(t5 < f7);
+        // Unknown stems fall to the back with a generic title.
+        let custom = html.find("Other output — custom").unwrap();
+        assert!(custom > f7);
+        // Text is escaped, SVG embedded raw (it must render).
+        assert!(html.contains("counts &amp; &lt;angles&gt;"));
+        assert!(html.contains("<svg><text>panel a</text></svg>"));
+        // Figure sits inside its section (after fig7's pre, before custom).
+        let svg_pos = html.find("<svg>").unwrap();
+        assert!(svg_pos > f7 && svg_pos < custom);
+        // Non-txt/svg files are ignored.
+        assert!(!html.contains("not included"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_report_creates_index_html() {
+        let dir = fixture_dir();
+        let path = write_report(&dir).unwrap();
+        assert!(path.ends_with("index.html"));
+        let html = std::fs::read_to_string(&path).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_yields_a_skeleton() {
+        let dir = std::env::temp_dir().join(format!("rpm_report_empty_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let html = build_report(&dir).unwrap();
+        assert!(html.contains("reproduction report"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

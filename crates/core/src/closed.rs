@@ -1,0 +1,120 @@
+//! Closed and maximal condensations of a recurring-pattern result set.
+//!
+//! Recurring-pattern output is redundant in the usual itemset-mining way:
+//! `{b}` adds nothing over `{a,b}` when both have support 7 and the same
+//! intervals. The standard condensations apply:
+//!
+//! * a pattern is **closed** when no strict superset in the result has the
+//!   same support;
+//! * a pattern is **maximal** when no strict superset is in the result at
+//!   all.
+//!
+//! Both operate on an already-mined result set, so they compose with every
+//! miner in the workspace (strict, relaxed, incremental).
+
+use crate::pattern::RecurringPattern;
+
+/// `a ⊂ b` over sorted item lists (strict subset).
+fn is_strict_subset(a: &RecurringPattern, b: &RecurringPattern) -> bool {
+    if a.items.len() >= b.items.len() {
+        return false;
+    }
+    let mut j = 0;
+    for item in &a.items {
+        while j < b.items.len() && b.items[j] < *item {
+            j += 1;
+        }
+        if j >= b.items.len() || b.items[j] != *item {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Filters `patterns` down to the closed ones.
+pub fn closed_patterns(patterns: &[RecurringPattern]) -> Vec<RecurringPattern> {
+    patterns
+        .iter()
+        .filter(|p| {
+            !patterns
+                .iter()
+                .any(|q| q.support == p.support && is_strict_subset(p, q))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Filters `patterns` down to the maximal ones.
+pub fn maximal_patterns(patterns: &[RecurringPattern]) -> Vec<RecurringPattern> {
+    patterns
+        .iter()
+        .filter(|p| !patterns.iter().any(|q| is_strict_subset(p, q)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::RpGrowth;
+    use crate::params::RpParams;
+    use rpm_timeseries::running_example_db;
+
+    fn table_2() -> (rpm_timeseries::TransactionDb, Vec<RecurringPattern>) {
+        let db = running_example_db();
+        let patterns = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns;
+        (db, patterns)
+    }
+
+    fn names(
+        db: &rpm_timeseries::TransactionDb,
+        patterns: &[RecurringPattern],
+    ) -> Vec<String> {
+        patterns.iter().map(|p| db.items().pattern_string(&p.items)).collect()
+    }
+
+    #[test]
+    fn closed_set_of_table_2() {
+        // b⊂ab (both sup 7), d⊂cd, e⊂ef, f⊂ef (all sup 6) are absorbed;
+        // a (sup 8) stays because ab has lower support.
+        let (db, patterns) = table_2();
+        let closed = closed_patterns(&patterns);
+        assert_eq!(names(&db, &closed), vec!["{a}", "{a,b}", "{c,d}", "{e,f}"]);
+    }
+
+    #[test]
+    fn maximal_set_of_table_2() {
+        let (db, patterns) = table_2();
+        let maximal = maximal_patterns(&patterns);
+        assert_eq!(names(&db, &maximal), vec!["{a,b}", "{c,d}", "{e,f}"]);
+    }
+
+    #[test]
+    fn maximal_is_subset_of_closed() {
+        let (_, patterns) = table_2();
+        let closed = closed_patterns(&patterns);
+        for m in maximal_patterns(&patterns) {
+            assert!(closed.contains(&m));
+        }
+    }
+
+    #[test]
+    fn subset_predicate() {
+        use rpm_timeseries::ItemId;
+        let mk = |ids: &[u32], sup: usize| {
+            RecurringPattern::new(ids.iter().map(|&i| ItemId(i)).collect(), sup, vec![])
+        };
+        assert!(is_strict_subset(&mk(&[1], 0), &mk(&[1, 2], 0)));
+        assert!(is_strict_subset(&mk(&[1, 3], 0), &mk(&[1, 2, 3], 0)));
+        assert!(!is_strict_subset(&mk(&[1, 4], 0), &mk(&[1, 2, 3], 0)));
+        assert!(!is_strict_subset(&mk(&[1, 2], 0), &mk(&[1, 2], 0)), "not strict");
+        assert!(!is_strict_subset(&mk(&[1, 2], 0), &mk(&[2], 0)));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(closed_patterns(&[]).is_empty());
+        assert!(maximal_patterns(&[]).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Export of mined patterns and rules to machine-readable formats.
+//!
+//! Two formats, both dependency-free:
+//!
+//! * **JSON lines** — one object per pattern/rule, for notebooks and
+//!   downstream pipelines;
+//! * **TSV** — one row per pattern with intervals flattened, for
+//!   spreadsheets and `join`-style shell work.
+//!
+//! Labels are resolved through the item table so exports are
+//! self-describing; JSON strings are escaped per RFC 8259.
+
+use std::io::Write;
+
+use rpm_timeseries::ItemTable;
+
+use crate::pattern::RecurringPattern;
+use crate::rules::RecurringRule;
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn labels_json(items: &ItemTable, ids: &[rpm_timeseries::ItemId]) -> String {
+    let parts: Vec<String> = ids
+        .iter()
+        .map(|&i| format!("\"{}\"", json_escape(items.try_label(i).unwrap_or("?"))))
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Writes `patterns` as JSON lines:
+/// `{"items":["a","b"],"support":7,"recurrence":2,"intervals":[{"start":1,"end":4,"ps":3},…]}`.
+pub fn write_patterns_json<W: Write>(
+    w: &mut W,
+    items: &ItemTable,
+    patterns: &[RecurringPattern],
+) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(w);
+    for p in patterns {
+        let intervals: Vec<String> = p
+            .intervals
+            .iter()
+            .map(|iv| {
+                format!(
+                    "{{\"start\":{},\"end\":{},\"ps\":{}}}",
+                    iv.start, iv.end, iv.periodic_support
+                )
+            })
+            .collect();
+        writeln!(
+            out,
+            "{{\"items\":{},\"support\":{},\"recurrence\":{},\"intervals\":[{}]}}",
+            labels_json(items, &p.items),
+            p.support,
+            p.recurrence(),
+            intervals.join(",")
+        )?;
+    }
+    out.flush()
+}
+
+/// Writes `patterns` as TSV with header
+/// `items<TAB>support<TAB>recurrence<TAB>intervals`; items are
+/// space-separated, intervals `start..end:ps` separated by `;`.
+pub fn write_patterns_tsv<W: Write>(
+    w: &mut W,
+    items: &ItemTable,
+    patterns: &[RecurringPattern],
+) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(w);
+    writeln!(out, "items\tsupport\trecurrence\tintervals")?;
+    for p in patterns {
+        let names: Vec<&str> =
+            p.items.iter().map(|&i| items.try_label(i).unwrap_or("?")).collect();
+        let intervals: Vec<String> = p
+            .intervals
+            .iter()
+            .map(|iv| format!("{}..{}:{}", iv.start, iv.end, iv.periodic_support))
+            .collect();
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            names.join(" "),
+            p.support,
+            p.recurrence(),
+            intervals.join(";")
+        )?;
+    }
+    out.flush()
+}
+
+/// Writes `rules` as JSON lines with antecedent/consequent label arrays,
+/// support, confidence and validity intervals.
+pub fn write_rules_json<W: Write>(
+    w: &mut W,
+    items: &ItemTable,
+    rules: &[RecurringRule],
+) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(w);
+    for r in rules {
+        let intervals: Vec<String> = r
+            .intervals
+            .iter()
+            .map(|iv| {
+                format!(
+                    "{{\"start\":{},\"end\":{},\"ps\":{}}}",
+                    iv.start, iv.end, iv.periodic_support
+                )
+            })
+            .collect();
+        writeln!(
+            out,
+            "{{\"antecedent\":{},\"consequent\":{},\"support\":{},\"confidence\":{},\"intervals\":[{}]}}",
+            labels_json(items, &r.antecedent),
+            labels_json(items, &r.consequent),
+            r.support,
+            r.confidence,
+            intervals.join(",")
+        )?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::RpGrowth;
+    use crate::params::RpParams;
+    use crate::rules::generate_rules;
+    use rpm_timeseries::running_example_db;
+
+    fn mined() -> (rpm_timeseries::TransactionDb, Vec<RecurringPattern>) {
+        let db = running_example_db();
+        let patterns = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns;
+        (db, patterns)
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_pattern() {
+        let (db, patterns) = mined();
+        let mut buf = Vec::new();
+        write_patterns_json(&mut buf, db.items(), &patterns).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        // The ab line carries Table 2's numbers.
+        let ab = lines.iter().find(|l| l.contains("\"a\",\"b\"")).unwrap();
+        assert!(ab.contains("\"support\":7"));
+        assert!(ab.contains("\"recurrence\":2"));
+        assert!(ab.contains("{\"start\":1,\"end\":4,\"ps\":3}"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let (db, patterns) = mined();
+        let mut buf = Vec::new();
+        write_patterns_tsv(&mut buf, db.items(), &patterns).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 9);
+        assert_eq!(lines[0], "items\tsupport\trecurrence\tintervals");
+        let ab = lines.iter().find(|l| l.starts_with("a b\t")).unwrap();
+        assert!(ab.contains("1..4:3;11..14:3"));
+    }
+
+    #[test]
+    fn rules_json_roundtrips_confidence() {
+        let (db, patterns) = mined();
+        let (rules, _) = generate_rules(&db, &patterns, 1.0);
+        let mut buf = Vec::new();
+        write_rules_json(&mut buf, db.items(), &rules).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), rules.len());
+        assert!(text.contains("\"confidence\":1"));
+        assert!(text.contains("\"antecedent\":[\"b\"]"));
+    }
+
+    #[test]
+    fn empty_sets_produce_empty_output() {
+        let (db, _) = mined();
+        let mut buf = Vec::new();
+        write_patterns_json(&mut buf, db.items(), &[]).unwrap();
+        assert!(buf.is_empty());
+        write_patterns_tsv(&mut buf, db.items(), &[]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1); // header only
+    }
+}

@@ -1,0 +1,353 @@
+//! RP-growth (paper §4.2, Algorithm 4): pattern-growth mining of the RP-tree
+//! with `Erec`-based conditional-tree pruning and ts-list push-up.
+
+use rpm_timeseries::{ItemId, TransactionDb};
+
+use crate::measures::{get_recurrence, IntervalScan};
+use crate::params::{ResolvedParams, RpParams};
+use crate::pattern::{canonical_order, RecurringPattern};
+use crate::rplist::RpList;
+use crate::tree::TsTree;
+
+/// Counters describing the work a mining run performed — used by the
+/// pruning-ablation experiment (DESIGN.md, A1/A2) and surfaced to users who
+/// want to reason about cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MiningStats {
+    /// Candidate items after the RP-list scan.
+    pub candidate_items: usize,
+    /// Distinct items seen in the database.
+    pub scanned_items: usize,
+    /// Suffix patterns whose merged ts-list was examined (Algorithm 4
+    /// line 2) — the size of the explored search space.
+    pub candidates_checked: usize,
+    /// Patterns that passed `Erec ≥ minRec` and were recurrence-tested.
+    pub recurrence_tests: usize,
+    /// Patterns emitted.
+    pub patterns_found: usize,
+    /// Conditional trees constructed.
+    pub conditional_trees: usize,
+    /// Item nodes allocated across all trees.
+    pub tree_nodes: usize,
+    /// Deepest suffix length reached.
+    pub max_depth: usize,
+}
+
+/// Result of a mining run: the patterns plus work counters.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// Discovered recurring patterns in canonical order (by length, then by
+    /// item ids).
+    pub patterns: Vec<RecurringPattern>,
+    /// Work counters.
+    pub stats: MiningStats,
+}
+
+impl MiningResult {
+    /// Derives the output of mining at a **higher** `minRec` from this
+    /// result, without re-mining.
+    ///
+    /// Sound because the recurring predicate is evaluated per pattern
+    /// (`Rec(X) ≥ minRec`, Definition 9) and `per`/`minPS` — which shape
+    /// the intervals — are unchanged: the `minRec = k` output is exactly
+    /// the `minRec = 1` output filtered to `Rec ≥ k`. Parameter sweeps
+    /// over `minRec` (Tables 5/7's columns) therefore need one mining run
+    /// per `(per, minPS)` pair. Equivalence is property-tested in
+    /// `tests/prop_invariants.rs`.
+    pub fn filter_min_rec(&self, min_rec: usize) -> Vec<RecurringPattern> {
+        self.patterns.iter().filter(|p| p.recurrence() >= min_rec).cloned().collect()
+    }
+}
+
+/// The RP-growth miner.
+///
+/// ```
+/// use rpm_core::{RpGrowth, RpParams};
+/// use rpm_timeseries::running_example_db;
+///
+/// let db = running_example_db();
+/// let result = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db);
+/// assert_eq!(result.patterns.len(), 8); // Table 2 of the paper
+/// ```
+#[derive(Debug, Clone)]
+pub struct RpGrowth {
+    params: RpParams,
+}
+
+impl RpGrowth {
+    /// Creates a miner with the given constraints.
+    pub fn new(params: RpParams) -> Self {
+        Self { params }
+    }
+
+    /// The miner's parameters.
+    pub fn params(&self) -> &RpParams {
+        &self.params
+    }
+
+    /// Mines all recurring patterns of `db`.
+    pub fn mine(&self, db: &TransactionDb) -> MiningResult {
+        let params = self.params.resolve(db.len());
+        mine_resolved(db, params)
+    }
+}
+
+/// Mines `db` with already-resolved parameters. This is the full pipeline:
+/// RP-list scan (Algorithm 1), RP-tree construction (Algorithms 2–3) and
+/// recursive growth (Algorithm 4).
+pub fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let list = RpList::build(db, params);
+    mine_with_list(db, &list, params)
+}
+
+/// Mines `db` using a pre-built RP-list — lets callers that maintain the
+/// list incrementally (see [`crate::incremental`]) skip the first database
+/// scan. The list must have been built for the same `db` and `params`.
+pub fn mine_with_list(db: &TransactionDb, list: &RpList, params: ResolvedParams) -> MiningResult {
+    let mut stats = MiningStats {
+        candidate_items: list.len(),
+        scanned_items: list.scanned_items(),
+        ..MiningStats::default()
+    };
+    if list.is_empty() {
+        return MiningResult { patterns: Vec::new(), stats };
+    }
+
+    // Second scan: insert candidate projections (Algorithm 2).
+    let mut tree = TsTree::new(list.len());
+    for t in db.transactions() {
+        let ranks = list.project(t.items());
+        if !ranks.is_empty() {
+            tree.insert(&ranks, t.timestamp());
+        }
+    }
+    stats.tree_nodes += tree.node_count();
+
+    let mut patterns = Vec::new();
+    let mut suffix: Vec<ItemId> = Vec::new();
+    grow(&mut tree, list, params, &mut suffix, &mut patterns, &mut stats);
+    canonical_order(&mut patterns);
+    stats.patterns_found = patterns.len();
+    MiningResult { patterns, stats }
+}
+
+/// Algorithm 4 (`RP-growth`): processes the tree's ranks bottom-up. For each
+/// rank, the merged ts-list yields `Erec` (line 2); surviving suffixes are
+/// recurrence-tested (line 4 / Algorithm 5) and expanded through a
+/// conditional tree (lines 4–7); finally the rank's ts-lists are pushed to
+/// the parents and the rank removed (line 9).
+pub(crate) fn grow(
+    tree: &mut TsTree,
+    list: &RpList,
+    params: ResolvedParams,
+    suffix: &mut Vec<ItemId>,
+    out: &mut Vec<RecurringPattern>,
+    stats: &mut MiningStats,
+) {
+    stats.max_depth = stats.max_depth.max(suffix.len() + 1);
+    for rank in (0..tree.rank_count() as u32).rev() {
+        if tree.links(rank).is_empty() {
+            tree.push_up_and_remove(rank);
+            continue;
+        }
+        let ts = tree.merged_ts(rank);
+        stats.candidates_checked += 1;
+        let summary = IntervalScan::new(params.per, params.min_ps).feed_all(&ts).finish();
+        if summary.erec >= params.min_rec {
+            stats.recurrence_tests += 1;
+            suffix.push(list.item_at(rank));
+            if let Some(intervals) = get_recurrence(&ts, params) {
+                out.push(RecurringPattern::new(suffix.clone(), summary.support, intervals));
+            }
+            // Conditional pattern base → conditional tree, keeping only the
+            // prefix items whose Erec (within this projection) can still
+            // reach minRec (Properties 1–2).
+            let paths = tree.prefix_paths(rank);
+            if let Some(mut cond) = conditional_tree(&paths, params) {
+                stats.conditional_trees += 1;
+                stats.tree_nodes += cond.node_count();
+                grow(&mut cond, list, params, suffix, out, stats);
+            }
+            suffix.pop();
+        }
+        tree.push_up_and_remove(rank);
+    }
+}
+
+/// Builds the conditional tree for a conditional pattern base: computes each
+/// prefix item's projected ts-list, prunes items with `Erec < minRec`, and
+/// re-inserts the filtered paths. Returns `None` when nothing survives.
+fn conditional_tree(paths: &[(Vec<u32>, Vec<i64>)], params: ResolvedParams) -> Option<TsTree> {
+    if paths.is_empty() {
+        return None;
+    }
+    // Size the scratch space by the deepest rank actually present, not the
+    // global candidate count — conditional trees near the leaves only see a
+    // handful of ranks, and this function runs once per conditional tree.
+    let n_ranks = paths
+        .iter()
+        .filter_map(|(path, _)| path.last())
+        .max()
+        .map_or(0, |&r| r as usize + 1);
+    if n_ranks == 0 {
+        return None;
+    }
+    // Projected ts-list per rank (concatenate, then sort once).
+    let mut per_rank_ts: Vec<Vec<i64>> = vec![Vec::new(); n_ranks];
+    for (path, ts) in paths {
+        for &r in path {
+            per_rank_ts[r as usize].extend_from_slice(ts);
+        }
+    }
+    let mut keep = vec![false; n_ranks];
+    let mut any = false;
+    for (r, ts) in per_rank_ts.iter_mut().enumerate() {
+        if ts.is_empty() {
+            continue;
+        }
+        ts.sort_unstable();
+        let summary = IntervalScan::new(params.per, params.min_ps).feed_all(ts).finish();
+        if summary.erec >= params.min_rec {
+            keep[r] = true;
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut cond = TsTree::new(n_ranks);
+    let mut filtered: Vec<u32> = Vec::new();
+    for (path, ts) in paths {
+        filtered.clear();
+        filtered.extend(path.iter().copied().filter(|&r| keep[r as usize]));
+        if !filtered.is_empty() {
+            cond.insert_with_ts_list(&filtered, ts);
+        }
+    }
+    if cond.is_empty() {
+        None
+    } else {
+        Some(cond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RpParams;
+    use rpm_timeseries::running_example_db;
+
+    /// Renders mined patterns as `label-string → (sup, rec, intervals)` for
+    /// comparison against Table 2.
+    fn mined(per: i64, min_ps: usize, min_rec: usize) -> Vec<String> {
+        let db = running_example_db();
+        let res = RpGrowth::new(RpParams::new(per, min_ps, min_rec)).mine(&db);
+        res.patterns.iter().map(|p| p.display(db.items()).to_string()).collect()
+    }
+
+    #[test]
+    fn running_example_reproduces_table_2() {
+        let got = mined(2, 3, 2);
+        let expected = vec![
+            "{a} [support=8, recurrence=2, {[1,4]:4}, {[11,14]:3}]",
+            "{b} [support=7, recurrence=2, {[1,4]:3}, {[11,14]:3}]",
+            "{d} [support=6, recurrence=2, {[2,5]:3}, {[9,12]:3}]",
+            "{e} [support=6, recurrence=2, {[3,6]:3}, {[10,12]:3}]",
+            "{f} [support=6, recurrence=2, {[3,6]:3}, {[10,12]:3}]",
+            "{a,b} [support=7, recurrence=2, {[1,4]:3}, {[11,14]:3}]",
+            "{c,d} [support=6, recurrence=2, {[2,5]:3}, {[9,12]:3}]",
+            "{e,f} [support=6, recurrence=2, {[3,6]:3}, {[10,12]:3}]",
+        ];
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn c_is_candidate_but_not_recurring_example_10() {
+        // 'c' must be recurrence-tested (Erec(c)=2 ≥ minRec) yet rejected,
+        // while its superset 'cd' is emitted — the anti-monotonicity failure
+        // the model is built around.
+        let db = running_example_db();
+        let res = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db);
+        let c = db.items().id("c").unwrap();
+        let has_c_alone = res.patterns.iter().any(|p| p.items == vec![c]);
+        assert!(!has_c_alone);
+        let cd = db.pattern_ids(&["c", "d"]).unwrap();
+        assert!(res.patterns.iter().any(|p| p.items == cd));
+    }
+
+    #[test]
+    fn stats_reflect_pruning() {
+        let db = running_example_db();
+        let res = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db);
+        let s = res.stats;
+        assert_eq!(s.candidate_items, 6);
+        assert_eq!(s.scanned_items, 7);
+        assert_eq!(s.patterns_found, 8);
+        assert!(s.candidates_checked >= 8);
+        assert!(s.recurrence_tests <= s.candidates_checked);
+        assert!(s.max_depth >= 2);
+        assert!(s.conditional_trees >= 3); // at least for f, d, b
+    }
+
+    #[test]
+    fn min_rec_one_recovers_all_periodic_interval_patterns() {
+        // With minRec=1 every candidate with one interesting interval
+        // qualifies; 'c' and 'g' now appear.
+        let db = running_example_db();
+        let res = RpGrowth::new(RpParams::new(2, 3, 1)).mine(&db);
+        let c = db.items().id("c").unwrap();
+        let g = db.items().id("g").unwrap();
+        assert!(res.patterns.iter().any(|p| p.items == vec![c]));
+        assert!(res.patterns.iter().any(|p| p.items == vec![g]));
+        assert!(res.patterns.len() > 8);
+    }
+
+    #[test]
+    fn stricter_parameters_yield_fewer_patterns() {
+        let loose = mined(2, 3, 1).len();
+        let base = mined(2, 3, 2).len();
+        let strict_ps = mined(2, 4, 2).len();
+        let strict_rec = mined(2, 3, 3).len();
+        assert!(loose >= base);
+        assert!(base >= strict_ps);
+        assert!(base >= strict_rec);
+    }
+
+    #[test]
+    fn empty_db_mines_nothing() {
+        let db = rpm_timeseries::TransactionDb::builder().build();
+        let res = RpGrowth::new(RpParams::new(2, 1, 1)).mine(&db);
+        assert!(res.patterns.is_empty());
+        assert_eq!(res.stats.candidates_checked, 0);
+    }
+
+    #[test]
+    fn single_transaction_db() {
+        let mut b = rpm_timeseries::TransactionDb::builder();
+        b.add_labeled(5, &["x", "y"]);
+        let db = b.build();
+        let res = RpGrowth::new(RpParams::new(1, 1, 1)).mine(&db);
+        // x, y and xy all have one singleton interval [5,5]:1.
+        assert_eq!(res.patterns.len(), 3);
+        for p in &res.patterns {
+            assert_eq!(p.recurrence(), 1);
+            assert_eq!(p.intervals[0].start, 5);
+            assert_eq!(p.intervals[0].periodic_support, 1);
+        }
+    }
+
+    #[test]
+    fn patterns_are_verifiable_against_raw_db() {
+        // Every emitted pattern's support/intervals must match a from-scratch
+        // recomputation on the database.
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let res = mine_resolved(&db, params);
+        for p in &res.patterns {
+            let ts = db.timestamps_of(&p.items);
+            assert_eq!(ts.len(), p.support);
+            let intervals = get_recurrence(&ts, params).expect("pattern must be recurring");
+            assert_eq!(intervals, p.intervals);
+        }
+    }
+}

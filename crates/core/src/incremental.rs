@@ -1,0 +1,279 @@
+//! Incremental mining over an append-only stream — the "incremental, online
+//! … mining of partial periodic patterns" direction of Aref et al. (IEEE
+//! TKDE 2004, the paper's reference [12]) transplanted to the recurring-
+//! pattern model.
+//!
+//! [`IncrementalMiner`] ingests transactions in timestamp order and
+//! maintains, per item, the same `(idl, ps, erec)` state machine that
+//! Algorithm 1 keeps during its batch scan ([`IntervalScan`]). A call to
+//! [`IncrementalMiner::mine`] therefore skips RP-growth's first database
+//! pass entirely: the RP-list is materialised from the live scanners and
+//! only the tree construction and growth run over the stored transactions.
+
+use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
+
+use crate::growth::{mine_with_list, MiningResult};
+use crate::measures::IntervalScan;
+use crate::params::ResolvedParams;
+use crate::rplist::RpList;
+
+/// An append-only recurring-pattern miner.
+///
+/// Parameters are fixed at construction with an **absolute** `minPS`: a
+/// fractional threshold would change meaning as the stream grows, silently
+/// reinterpreting past state.
+///
+/// ```
+/// use rpm_core::{IncrementalMiner, ResolvedParams};
+///
+/// let mut miner = IncrementalMiner::new(ResolvedParams::new(2, 2, 1));
+/// miner.append(1, &["a", "b"]).unwrap();
+/// miner.append(2, &["a"]).unwrap();
+/// miner.append(3, &["a", "b"]).unwrap();
+/// let result = miner.mine();
+/// assert!(!result.patterns.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalMiner {
+    params: ResolvedParams,
+    db: TransactionDb,
+    scans: Vec<IntervalScan>,
+    /// Last timestamp fed per item — guards against double-feeding when an
+    /// item arrives again in a same-timestamp merge (the batch scan sees
+    /// each (item, transaction) incidence once).
+    last_fed: Vec<Option<Timestamp>>,
+}
+
+impl IncrementalMiner {
+    /// Creates an empty miner.
+    pub fn new(params: ResolvedParams) -> Self {
+        Self::with_items(rpm_timeseries::ItemTable::new(), params)
+    }
+
+    /// Creates an empty miner with a pre-seeded vocabulary, so that
+    /// [`IncrementalMiner::append_ids`] can be fed ids interned elsewhere
+    /// (e.g. when replaying an existing [`TransactionDb`]).
+    pub fn with_items(items: rpm_timeseries::ItemTable, params: ResolvedParams) -> Self {
+        let mut db = TransactionDb::builder().build();
+        *db.items_mut() = items;
+        Self { params, db, scans: Vec::new(), last_fed: Vec::new() }
+    }
+
+    /// The parameters the miner was created with.
+    pub fn params(&self) -> ResolvedParams {
+        self.params
+    }
+
+    /// Number of transactions ingested.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Whether nothing has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Read access to the accumulated database.
+    pub fn db(&self) -> &TransactionDb {
+        &self.db
+    }
+
+    /// Ingests one transaction. `ts` must be `>=` the last appended
+    /// timestamp (equal timestamps merge); item state is updated in O(|t|).
+    pub fn append(&mut self, ts: Timestamp, labels: &[&str]) -> rpm_timeseries::Result<()> {
+        let ids: Vec<ItemId> =
+            labels.iter().map(|l| self.db.items_mut().intern(l)).collect();
+        self.append_ids(ts, ids)
+    }
+
+    /// Ingests one transaction of pre-interned ids.
+    pub fn append_ids(&mut self, ts: Timestamp, mut ids: Vec<ItemId>) -> rpm_timeseries::Result<()> {
+        ids.sort_unstable();
+        ids.dedup();
+        // Validate order first so scanner state is never updated for a
+        // rejected transaction.
+        self.db.append(ts, ids.clone())?;
+        for id in ids {
+            let idx = id.index();
+            if idx >= self.scans.len() {
+                self.scans.resize_with(idx + 1, || {
+                    IntervalScan::new(self.params.per, self.params.min_ps)
+                });
+                self.last_fed.resize(idx + 1, None);
+            }
+            if self.last_fed[idx] != Some(ts) {
+                self.scans[idx].feed(ts);
+                self.last_fed[idx] = Some(ts);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mines the recurring patterns of everything ingested so far. The
+    /// RP-list comes from the live per-item scanners (no first scan); tree
+    /// construction and growth run as in the batch miner, so the output is
+    /// identical to `mine_resolved(self.db(), self.params())`.
+    pub fn mine(&self) -> MiningResult {
+        let summaries = self.scans.iter().enumerate().map(|(i, scan)| {
+            (ItemId(i as u32), scan.clone().finish())
+        });
+        let list =
+            RpList::from_summaries(summaries, self.db.item_count(), self.params.min_rec);
+        mine_with_list(&self.db, &list, self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::mine_resolved;
+    use rpm_timeseries::running_example_db;
+
+    #[test]
+    fn matches_batch_miner_on_running_example() {
+        let oracle_db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let mut miner = IncrementalMiner::new(params);
+        for t in oracle_db.transactions() {
+            let labels: Vec<&str> =
+                t.items().iter().map(|&i| oracle_db.items().label(i)).collect();
+            miner.append(t.timestamp(), &labels).unwrap();
+        }
+        assert_eq!(miner.len(), 12);
+        let incremental = miner.mine();
+        let batch = mine_resolved(miner.db(), params);
+        assert_eq!(incremental.patterns, batch.patterns);
+        assert_eq!(incremental.patterns.len(), 8); // Table 2
+    }
+
+    #[test]
+    fn mining_midstream_then_continuing() {
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        miner.append(1, &["x", "y"]).unwrap();
+        miner.append(2, &["x", "y"]).unwrap();
+        let early = miner.mine();
+        assert!(early.patterns.iter().any(|p| p.items.len() == 2));
+        // Continue the stream; state must keep accumulating correctly.
+        miner.append(10, &["x"]).unwrap();
+        miner.append(11, &["x"]).unwrap();
+        let late = miner.mine();
+        assert_eq!(late.patterns, mine_resolved(miner.db(), params).patterns);
+        let x = miner.db().items().id("x").unwrap();
+        let x_pat = late.patterns.iter().find(|p| p.items == vec![x]).unwrap();
+        assert_eq!(x_pat.recurrence(), 2, "two separate runs of x");
+    }
+
+    #[test]
+    fn rejects_time_regressions_without_corrupting_state() {
+        let params = ResolvedParams::new(1, 1, 1);
+        let mut miner = IncrementalMiner::new(params);
+        miner.append(5, &["a"]).unwrap();
+        assert!(miner.append(3, &["a", "b"]).is_err());
+        // 'b' must not have been fed (the transaction was rejected)…
+        miner.append(6, &["a"]).unwrap();
+        let result = miner.mine();
+        let batch = mine_resolved(miner.db(), params);
+        assert_eq!(result.patterns, batch.patterns);
+        assert_eq!(miner.len(), 2);
+    }
+
+    #[test]
+    fn merges_equal_timestamps() {
+        let params = ResolvedParams::new(1, 1, 1);
+        let mut miner = IncrementalMiner::new(params);
+        miner.append(1, &["a"]).unwrap();
+        miner.append(1, &["b"]).unwrap();
+        assert_eq!(miner.len(), 1);
+        let result = miner.mine();
+        // {a,b} co-occur at ts 1.
+        assert!(result.patterns.iter().any(|p| p.items.len() == 2));
+    }
+
+    #[test]
+    fn duplicate_items_within_one_append_feed_once() {
+        // A duplicated label must not double-feed the scanner: ps would
+        // inflate and diverge from the batch miner.
+        let params = ResolvedParams::new(1, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        miner.append(1, &["a", "a"]).unwrap();
+        miner.append(2, &["a"]).unwrap();
+        let inc = miner.mine();
+        let batch = mine_resolved(miner.db(), params);
+        assert_eq!(inc.patterns, batch.patterns);
+    }
+
+    #[test]
+    fn same_item_in_same_timestamp_merge_feeds_once() {
+        // Two appends at one timestamp mentioning the same item must count
+        // as a single incidence, like the merged transaction does.
+        let params = ResolvedParams::new(1, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        miner.append(1, &["a"]).unwrap();
+        miner.append(1, &["a", "b"]).unwrap();
+        miner.append(2, &["a"]).unwrap();
+        let inc = miner.mine();
+        let batch = mine_resolved(miner.db(), params);
+        assert_eq!(inc.patterns, batch.patterns);
+        let a = miner.db().items().id("a").unwrap();
+        let a_pat = inc.patterns.iter().find(|p| p.items == vec![a]).unwrap();
+        assert_eq!(a_pat.support, 2);
+    }
+
+    #[test]
+    fn append_ids_requires_a_seeded_vocabulary() {
+        let params = ResolvedParams::new(1, 1, 1);
+        let mut blank = IncrementalMiner::new(params);
+        assert!(blank.append_ids(1, vec![rpm_timeseries::ItemId(0)]).is_err());
+
+        let source = running_example_db();
+        let mut seeded = IncrementalMiner::with_items(source.items().clone(), params);
+        for t in source.transactions() {
+            seeded.append_ids(t.timestamp(), t.items().to_vec()).unwrap();
+        }
+        assert_eq!(seeded.len(), source.len());
+        assert_eq!(
+            seeded.mine().patterns,
+            mine_resolved(&source, params).patterns
+        );
+    }
+
+    #[test]
+    fn empty_miner_mines_nothing() {
+        let miner = IncrementalMiner::new(ResolvedParams::new(1, 1, 1));
+        assert!(miner.is_empty());
+        assert!(miner.mine().patterns.is_empty());
+    }
+
+    #[test]
+    fn randomized_equivalence_with_batch() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let params = ResolvedParams::new(
+                rng.random_range(1..4),
+                rng.random_range(1..4),
+                rng.random_range(1..3),
+            );
+            let mut miner = IncrementalMiner::new(params);
+            let mut ts = 0;
+            for _ in 0..60 {
+                ts += rng.random_range(0..3);
+                let labels: Vec<String> = (0..5)
+                    .filter(|_| rng.random::<f64>() < 0.4)
+                    .map(|i| format!("i{i}"))
+                    .collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                if !refs.is_empty() {
+                    miner.append(ts, &refs).unwrap();
+                }
+            }
+            let inc = miner.mine();
+            let batch = mine_resolved(miner.db(), params);
+            assert_eq!(inc.patterns, batch.patterns, "params {params:?}");
+            assert_eq!(inc.stats.candidate_items, batch.stats.candidate_items);
+        }
+    }
+}

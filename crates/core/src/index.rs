@@ -1,0 +1,174 @@
+//! Time-indexed access to a mined pattern set.
+//!
+//! Applications that *act* on recurring patterns (the recommender of the
+//! paper's §6, a monitoring dashboard, an inventory planner) keep asking
+//! one query: *which patterns are in season at time `t`?* This module
+//! answers it in `O(log n + answers)` via the classic
+//! sorted-by-start / running-max-end interval stabbing structure.
+
+use rpm_timeseries::Timestamp;
+
+use crate::pattern::RecurringPattern;
+
+/// An immutable stabbing index over the interesting periodic-intervals of a
+/// pattern set.
+///
+/// ```
+/// use rpm_core::{PatternIndex, RpGrowth, RpParams};
+/// use rpm_timeseries::running_example_db;
+///
+/// let db = running_example_db();
+/// let patterns = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns;
+/// let index = PatternIndex::build(&patterns);
+/// // At ts=3, the first seasons of a, b, ab, d, cd, e, f, ef are active.
+/// assert_eq!(index.active_at(3).len(), 8);
+/// // At ts=8 (the lull between seasons) nothing is.
+/// assert!(index.active_at(8).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternIndex {
+    patterns: Vec<RecurringPattern>,
+    /// `(start, end, pattern_idx)` sorted by start.
+    entries: Vec<(Timestamp, Timestamp, u32)>,
+    /// `running_max_end[i]` = max end over `entries[..=i]`.
+    running_max_end: Vec<Timestamp>,
+}
+
+impl PatternIndex {
+    /// Builds the index (clones the patterns so the index is self-owned).
+    pub fn build(patterns: &[RecurringPattern]) -> Self {
+        let mut entries: Vec<(Timestamp, Timestamp, u32)> = Vec::new();
+        for (idx, p) in patterns.iter().enumerate() {
+            for iv in &p.intervals {
+                entries.push((iv.start, iv.end, idx as u32));
+            }
+        }
+        entries.sort_unstable();
+        let mut running_max_end = Vec::with_capacity(entries.len());
+        let mut max_end = Timestamp::MIN;
+        for &(_, end, _) in &entries {
+            max_end = max_end.max(end);
+            running_max_end.push(max_end);
+        }
+        Self { patterns: patterns.to_vec(), entries, running_max_end }
+    }
+
+    /// Number of indexed patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the index holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The indexed patterns, in their original order.
+    pub fn patterns(&self) -> &[RecurringPattern] {
+        &self.patterns
+    }
+
+    /// All patterns with an interesting interval containing `t`, in
+    /// original order, deduplicated.
+    pub fn active_at(&self, t: Timestamp) -> Vec<&RecurringPattern> {
+        self.collect(t, t)
+    }
+
+    /// All patterns whose intervals overlap `[from, to]` (inclusive).
+    pub fn active_during(&self, from: Timestamp, to: Timestamp) -> Vec<&RecurringPattern> {
+        assert!(from <= to, "empty query range");
+        self.collect(from, to)
+    }
+
+    /// Intervals overlapping `[from, to]`: `start ≤ to` and `end ≥ from`.
+    /// Entries are sorted by start, so candidates lie left of the partition
+    /// point for `start ≤ to`; scanning backwards, once the running maximum
+    /// of ends drops below `from`, no earlier entry can overlap either.
+    fn collect(&self, from: Timestamp, to: Timestamp) -> Vec<&RecurringPattern> {
+        let upper = self.entries.partition_point(|&(s, _, _)| s <= to);
+        let mut idxs: Vec<u32> = Vec::new();
+        for i in (0..upper).rev() {
+            if self.running_max_end[i] < from {
+                break;
+            }
+            let (_, e, idx) = self.entries[i];
+            if e >= from {
+                idxs.push(idx);
+            }
+        }
+        idxs.sort_unstable();
+        idxs.dedup();
+        idxs.into_iter().map(|i| &self.patterns[i as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::RpGrowth;
+    use crate::params::RpParams;
+    use rpm_timeseries::running_example_db;
+
+    fn index() -> (rpm_timeseries::TransactionDb, PatternIndex) {
+        let db = running_example_db();
+        let patterns = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns;
+        (db, PatternIndex::build(&patterns))
+    }
+
+    #[test]
+    fn stabbing_matches_linear_scan() {
+        let (_, index) = index();
+        for t in -2..18 {
+            let fast: Vec<_> = index.active_at(t).into_iter().cloned().collect();
+            let slow: Vec<_> = index
+                .patterns()
+                .iter()
+                .filter(|p| p.intervals.iter().any(|iv| iv.start <= t && t <= iv.end))
+                .cloned()
+                .collect();
+            assert_eq!(fast, slow, "mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn range_queries_match_linear_scan() {
+        let (_, index) = index();
+        for from in 0..15 {
+            for to in from..16 {
+                let fast: Vec<_> = index.active_during(from, to).into_iter().cloned().collect();
+                let slow: Vec<_> = index
+                    .patterns()
+                    .iter()
+                    .filter(|p| {
+                        p.intervals.iter().any(|iv| iv.start <= to && iv.end >= from)
+                    })
+                    .cloned()
+                    .collect();
+                assert_eq!(fast, slow, "mismatch at [{from},{to}]");
+            }
+        }
+    }
+
+    #[test]
+    fn lull_between_seasons_is_quiet() {
+        let (_, index) = index();
+        assert!(index.active_at(8).is_empty());
+        assert_eq!(index.active_at(3).len(), 8);
+        assert!(!index.active_during(7, 9).is_empty(), "d/cd/e/f/ef seasons touch 9");
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = PatternIndex::build(&[]);
+        assert!(index.is_empty());
+        assert!(index.active_at(0).is_empty());
+        assert!(index.active_during(0, 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query range")]
+    fn inverted_range_panics() {
+        let (_, index) = index();
+        let _ = index.active_during(5, 2);
+    }
+}

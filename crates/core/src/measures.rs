@@ -1,0 +1,301 @@
+//! The measures of the recurring-pattern model (paper Definitions 3–9) and
+//! the `Erec` pruning bound (§4.1), implemented as single streaming passes
+//! over sorted timestamp lists.
+
+use rpm_timeseries::Timestamp;
+
+use crate::params::ResolvedParams;
+use crate::pattern::PeriodicInterval;
+
+/// Splits `TS^X` into its **maximal periodic runs**: maximal subsequences of
+/// consecutive timestamps whose gaps are all `≤ per` (Definition 5). Every
+/// timestamp belongs to exactly one run; an isolated timestamp forms a
+/// singleton run `[ts, ts]` with periodic-support 1.
+///
+/// `ts` must be sorted ascending (checked in debug builds).
+pub fn periodic_intervals(ts: &[Timestamp], per: Timestamp) -> Vec<PeriodicInterval> {
+    debug_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps must be sorted");
+    let mut out = Vec::new();
+    let mut iter = ts.iter().copied();
+    let Some(first) = iter.next() else { return out };
+    let mut start = first;
+    let mut prev = first;
+    let mut ps = 1usize;
+    for cur in iter {
+        if cur - prev <= per {
+            ps += 1;
+        } else {
+            out.push(PeriodicInterval { start, end: prev, periodic_support: ps });
+            start = cur;
+            ps = 1;
+        }
+        prev = cur;
+    }
+    out.push(PeriodicInterval { start, end: prev, periodic_support: ps });
+    out
+}
+
+/// The **interesting** periodic-intervals of `TS^X`: maximal runs whose
+/// periodic-support reaches `min_ps` (Definition 7).
+pub fn interesting_intervals(
+    ts: &[Timestamp],
+    per: Timestamp,
+    min_ps: usize,
+) -> Vec<PeriodicInterval> {
+    let mut runs = periodic_intervals(ts, per);
+    runs.retain(|r| r.periodic_support >= min_ps);
+    runs
+}
+
+/// `Rec(X)`: the number of interesting periodic-intervals (Definition 8).
+pub fn recurrence(ts: &[Timestamp], per: Timestamp, min_ps: usize) -> usize {
+    IntervalScan::new(per, min_ps).feed_all(ts).finish().interesting
+}
+
+/// `Erec(X) = Σ_i ⌊ps_i / minPS⌋` — the estimated maximum recurrence any
+/// superset of `X` can attain (§4.1). `Erec(X) ≥ Rec(X)` (Property 1) and
+/// `X ⊆ Y ⇒ Erec(X) ≥ Erec(Y)` (Property 2), so `Erec(X) < minRec` prunes
+/// the entire superset lattice of `X`.
+pub fn erec(ts: &[Timestamp], per: Timestamp, min_ps: usize) -> usize {
+    IntervalScan::new(per, min_ps).feed_all(ts).finish().erec
+}
+
+/// Algorithm 5 (`getRecurrence`): scans `TS^X` once, collecting the
+/// interesting periodic-intervals, and reports whether `X` is recurring.
+/// Returns the intervals when `Rec(X) ≥ min_rec`, `None` otherwise.
+pub fn get_recurrence(ts: &[Timestamp], params: ResolvedParams) -> Option<Vec<PeriodicInterval>> {
+    debug_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps must be sorted");
+    let mut sub_db: Vec<PeriodicInterval> = Vec::new();
+    let mut iter = ts.iter().copied();
+    let first = iter.next()?;
+    // Line 3–4: first occurrence starts the first sub-database.
+    let mut current_ps = 1usize;
+    let mut start_ts = first;
+    let mut idl = first;
+    for ts_cur in iter {
+        if ts_cur - idl <= params.per {
+            // Line 7: still periodic within the current sub-database.
+            current_ps += 1;
+        } else {
+            // Lines 9–12: close the sub-database, keep it if interesting.
+            if current_ps >= params.min_ps {
+                sub_db.push(PeriodicInterval {
+                    start: start_ts,
+                    end: idl,
+                    periodic_support: current_ps,
+                });
+            }
+            current_ps = 1;
+            start_ts = ts_cur;
+        }
+        idl = ts_cur;
+    }
+    // Lines 17–20: flush the final sub-database.
+    if current_ps >= params.min_ps {
+        sub_db.push(PeriodicInterval { start: start_ts, end: idl, periodic_support: current_ps });
+    }
+    // Line 21.
+    (sub_db.len() >= params.min_rec).then_some(sub_db)
+}
+
+/// Aggregates produced by a single pass of [`IntervalScan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanSummary {
+    /// `Sup(X)` — number of timestamps fed.
+    pub support: usize,
+    /// Number of maximal periodic runs.
+    pub runs: usize,
+    /// Number of interesting runs (`Rec`).
+    pub interesting: usize,
+    /// `Erec` pruning bound.
+    pub erec: usize,
+}
+
+/// Streaming computation of support / runs / `Rec` / `Erec` over an ascending
+/// timestamp stream — the same state machine Algorithm 1 keeps per item
+/// (`idl`, `ps`, `erec`) while scanning the database.
+#[derive(Debug, Clone)]
+pub struct IntervalScan {
+    per: Timestamp,
+    min_ps: usize,
+    state: Option<ItemState>,
+    summary: ScanSummary,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ItemState {
+    idl: Timestamp,
+    ps: usize,
+}
+
+impl IntervalScan {
+    /// Creates a scanner for the given `per` and `minPS`.
+    pub fn new(per: Timestamp, min_ps: usize) -> Self {
+        Self { per, min_ps, state: None, summary: ScanSummary::default() }
+    }
+
+    /// Feeds the next (ascending) timestamp.
+    pub fn feed(&mut self, ts: Timestamp) {
+        self.summary.support += 1;
+        match self.state {
+            None => self.state = Some(ItemState { idl: ts, ps: 1 }),
+            Some(st) => {
+                debug_assert!(ts >= st.idl, "timestamps must arrive in ascending order");
+                let ps = if ts - st.idl <= self.per {
+                    st.ps + 1
+                } else {
+                    self.close_run(st.ps);
+                    1
+                };
+                self.state = Some(ItemState { idl: ts, ps });
+            }
+        }
+    }
+
+    fn close_run(&mut self, ps: usize) {
+        self.summary.runs += 1;
+        self.summary.erec += ps / self.min_ps;
+        if ps >= self.min_ps {
+            self.summary.interesting += 1;
+        }
+    }
+
+    /// Feeds an entire sorted slice.
+    pub fn feed_all(mut self, ts: &[Timestamp]) -> Self {
+        for &t in ts {
+            self.feed(t);
+        }
+        self
+    }
+
+    /// Closes the final run and returns the aggregates (Algorithm 1 line 15).
+    pub fn finish(mut self) -> ScanSummary {
+        if let Some(st) = self.state.take() {
+            self.close_run(st.ps);
+        }
+        self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TS_AB: &[Timestamp] = &[1, 3, 4, 7, 11, 12, 14];
+
+    #[test]
+    fn periodic_intervals_match_paper_example_5() {
+        // per=2 ⇒ TS^{ab} splits into {1,3,4}, {7}, {11,12,14}.
+        let runs = periodic_intervals(TS_AB, 2);
+        assert_eq!(
+            runs,
+            vec![
+                PeriodicInterval { start: 1, end: 4, periodic_support: 3 },
+                PeriodicInterval { start: 7, end: 7, periodic_support: 1 },
+                PeriodicInterval { start: 11, end: 14, periodic_support: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn interesting_intervals_match_paper_example_7() {
+        // minPS=3 keeps pi1 and pi3, drops pi2.
+        let runs = interesting_intervals(TS_AB, 2, 3);
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].start, runs[0].end), (1, 4));
+        assert_eq!((runs[1].start, runs[1].end), (11, 14));
+    }
+
+    #[test]
+    fn recurrence_matches_paper_example_8() {
+        assert_eq!(recurrence(TS_AB, 2, 3), 2);
+    }
+
+    #[test]
+    fn erec_matches_paper_example_11() {
+        // TS^g = {1,5,6,7,12,14}: runs {1},{5,6,7},{12,14} ⇒ ⌊1/3⌋+⌊3/3⌋+⌊2/3⌋ = 1.
+        let ts_g: &[Timestamp] = &[1, 5, 6, 7, 12, 14];
+        assert_eq!(erec(ts_g, 2, 3), 1);
+    }
+
+    #[test]
+    fn erec_upper_bounds_recurrence_property_1() {
+        for min_ps in 1..=4 {
+            for per in 1..=5 {
+                assert!(
+                    erec(TS_AB, per, min_ps) >= recurrence(TS_AB, per, min_ps),
+                    "violated at per={per} min_ps={min_ps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_recurrence_returns_intervals_when_recurring() {
+        let params = ResolvedParams::new(2, 3, 2);
+        let ipis = get_recurrence(TS_AB, params).expect("ab is recurring");
+        assert_eq!(ipis.len(), 2);
+        assert_eq!(ipis[0].periodic_support, 3);
+        assert_eq!((ipis[1].start, ipis[1].end), (11, 14));
+    }
+
+    #[test]
+    fn get_recurrence_rejects_non_recurring() {
+        // TS^c = {2,4,5,7,9,10,12} is one long run ⇒ Rec=1 < minRec=2 (Example 10).
+        let ts_c: &[Timestamp] = &[2, 4, 5, 7, 9, 10, 12];
+        let params = ResolvedParams::new(2, 3, 2);
+        assert!(get_recurrence(ts_c, params).is_none());
+        // …but with minRec=1 it qualifies with the single interval [2,12].
+        let params1 = ResolvedParams::new(2, 3, 1);
+        let ipis = get_recurrence(ts_c, params1).unwrap();
+        assert_eq!(ipis, vec![PeriodicInterval { start: 2, end: 12, periodic_support: 7 }]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let params = ResolvedParams::new(2, 1, 1);
+        assert!(get_recurrence(&[], params).is_none());
+        let single = get_recurrence(&[5], params).unwrap();
+        assert_eq!(single, vec![PeriodicInterval { start: 5, end: 5, periodic_support: 1 }]);
+        assert!(periodic_intervals(&[], 2).is_empty());
+        assert_eq!(erec(&[], 2, 1), 0);
+        assert_eq!(recurrence(&[], 2, 1), 0);
+    }
+
+    #[test]
+    fn min_ps_one_counts_every_run() {
+        let ts: &[Timestamp] = &[1, 2, 10, 20, 21, 22];
+        // per=1 ⇒ runs {1,2},{10},{20,21,22}; minPS=1 ⇒ all interesting.
+        assert_eq!(recurrence(ts, 1, 1), 3);
+        assert_eq!(erec(ts, 1, 1), 6); // Σ⌊ps/1⌋ = total support
+    }
+
+    #[test]
+    fn scan_summary_combines_all_measures() {
+        let s = IntervalScan::new(2, 3).feed_all(TS_AB).finish();
+        assert_eq!(
+            s,
+            ScanSummary { support: 7, runs: 3, interesting: 2, erec: 2 }
+        );
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_incremental_feed() {
+        let mut scan = IntervalScan::new(2, 2);
+        for &t in TS_AB {
+            scan.feed(t);
+        }
+        let s = scan.finish();
+        assert_eq!(s.interesting, recurrence(TS_AB, 2, 2));
+        assert_eq!(s.erec, erec(TS_AB, 2, 2));
+    }
+
+    #[test]
+    fn duplicate_timestamps_stay_in_one_run() {
+        // Duplicate stamps (gap 0 ≤ per) must never split a run.
+        let ts: &[Timestamp] = &[1, 1, 2];
+        let runs = periodic_intervals(ts, 1);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].periodic_support, 3);
+    }
+}

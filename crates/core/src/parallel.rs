@@ -1,0 +1,201 @@
+//! Parallel RP-growth: the same search, partitioned by suffix item.
+//!
+//! After the RP-list scan, the pattern space splits into disjoint regions —
+//! all patterns whose **lowest-ranked** (least frequent) item is `r` — and
+//! each region is mined from an independent projected database: the
+//! transactions containing `r`, restricted to items ranked above `r`. The
+//! regions share nothing, so they run on scoped threads with no locking;
+//! the sequential tree machinery ([`crate::tree::TsTree`] + the Algorithm 4
+//! recursion) is reused verbatim inside each region.
+//!
+//! The output is exactly [`crate::growth::mine_resolved`]'s (asserted by the
+//! cross-algorithm test suites); only the execution strategy differs. The
+//! paper evaluates a single-threaded implementation, so this module is an
+//! engineering extension, benchmarked in `rpm-bench`'s `extensions` bench.
+
+use rpm_timeseries::{Timestamp, TransactionDb};
+
+use crate::growth::{grow, MiningResult, MiningStats};
+use crate::measures::IntervalScan;
+use crate::params::ResolvedParams;
+use crate::pattern::{canonical_order, RecurringPattern};
+use crate::rplist::RpList;
+use crate::tree::TsTree;
+
+/// Mines `db` using up to `threads` worker threads (clamped to at least 1).
+/// Output is identical to the sequential miner's.
+pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize) -> MiningResult {
+    let threads = threads.max(1);
+    let list = RpList::build(db, params);
+    let mut stats = MiningStats {
+        candidate_items: list.len(),
+        scanned_items: list.scanned_items(),
+        ..MiningStats::default()
+    };
+    if list.is_empty() {
+        return MiningResult { patterns: Vec::new(), stats };
+    }
+
+    // One pass: per-rank projected databases. The projection for rank r is
+    // every transaction containing item_at(r), cut down to ranks < r (the
+    // items that can extend a suffix anchored at r), tagged with its
+    // timestamp. Rank r's own ts-list doubles as the singleton's TS.
+    let n = list.len();
+    let mut projections: Vec<Vec<(Vec<u32>, Timestamp)>> = vec![Vec::new(); n];
+    let mut singleton_ts: Vec<Vec<Timestamp>> = vec![Vec::new(); n];
+    let mut ranks: Vec<u32> = Vec::new();
+    for t in db.transactions() {
+        ranks.clear();
+        ranks.extend(t.items().iter().filter_map(|&i| list.rank(i)));
+        ranks.sort_unstable();
+        for (k, &r) in ranks.iter().enumerate() {
+            singleton_ts[r as usize].push(t.timestamp());
+            if k > 0 {
+                projections[r as usize].push((ranks[..k].to_vec(), t.timestamp()));
+            }
+        }
+    }
+
+    // Region task: emit the singleton if recurring, then grow its subtree.
+    let mine_region = |r: usize,
+                       proj: &[(Vec<u32>, Timestamp)],
+                       ts: &[Timestamp]|
+     -> (Vec<RecurringPattern>, MiningStats) {
+        let mut out = Vec::new();
+        let mut local = MiningStats::default();
+        local.candidates_checked += 1;
+        let summary = IntervalScan::new(params.per, params.min_ps).feed_all(ts).finish();
+        if summary.erec < params.min_rec {
+            return (out, local);
+        }
+        local.recurrence_tests += 1;
+        let mut suffix = vec![list.item_at(r as u32)];
+        if let Some(intervals) = crate::measures::get_recurrence(ts, params) {
+            out.push(RecurringPattern::new(suffix.clone(), summary.support, intervals));
+        }
+        if !proj.is_empty() {
+            let mut tree = TsTree::new(n);
+            for (prefix, ts) in proj {
+                tree.insert(prefix, *ts);
+            }
+            local.tree_nodes += tree.node_count();
+            grow(&mut tree, &list, params, &mut suffix, &mut out, &mut local);
+        }
+        (out, local)
+    };
+
+    // Static round-robin partition of ranks across workers: low ranks
+    // (frequent items, big subtrees) spread evenly.
+    let results: Vec<(Vec<RecurringPattern>, MiningStats)> = std::thread::scope(|scope| {
+        let mine_region = &mine_region;
+        let projections = &projections;
+        let singleton_ts = &singleton_ts;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut local = MiningStats::default();
+                    let mut r = w;
+                    while r < n {
+                        let (mut patterns, s) =
+                            mine_region(r, &projections[r], &singleton_ts[r]);
+                        out.append(&mut patterns);
+                        merge_stats(&mut local, &s);
+                        r += threads;
+                    }
+                    (out, local)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut patterns = Vec::new();
+    for (mut out, local) in results {
+        patterns.append(&mut out);
+        merge_stats(&mut stats, &local);
+    }
+    canonical_order(&mut patterns);
+    stats.patterns_found = patterns.len();
+    MiningResult { patterns, stats }
+}
+
+fn merge_stats(into: &mut MiningStats, from: &MiningStats) {
+    into.candidates_checked += from.candidates_checked;
+    into.recurrence_tests += from.recurrence_tests;
+    into.conditional_trees += from.conditional_trees;
+    into.tree_nodes += from.tree_nodes;
+    into.max_depth = into.max_depth.max(from.max_depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::mine_resolved;
+    use rpm_timeseries::running_example_db;
+
+    #[test]
+    fn matches_sequential_on_running_example() {
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        for threads in [1, 2, 4, 8] {
+            let par = mine_parallel(&db, params, threads);
+            let seq = mine_resolved(&db, params);
+            assert_eq!(par.patterns, seq.patterns, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_databases() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..8 {
+            let mut b = TransactionDb::builder();
+            for ts in 0..150i64 {
+                let labels: Vec<String> = (0..8)
+                    .filter(|_| rng.random::<f64>() < 0.3)
+                    .map(|i| format!("i{i}"))
+                    .collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                if !refs.is_empty() {
+                    b.add_labeled(ts, &refs);
+                }
+            }
+            let db = b.build();
+            let params = ResolvedParams::new(
+                rng.random_range(1..5),
+                rng.random_range(2..5),
+                rng.random_range(1..3),
+            );
+            let par = mine_parallel(&db, params, 4);
+            let seq = mine_resolved(&db, params);
+            assert_eq!(par.patterns, seq.patterns, "case {case} params {params:?}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let par = mine_parallel(&db, params, 0);
+        assert_eq!(par.patterns.len(), 8);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::builder().build();
+        let par = mine_parallel(&db, ResolvedParams::new(1, 1, 1), 4);
+        assert!(par.patterns.is_empty());
+    }
+
+    #[test]
+    fn stats_aggregate_across_workers() {
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let par = mine_parallel(&db, params, 3);
+        assert_eq!(par.stats.patterns_found, 8);
+        assert_eq!(par.stats.candidate_items, 6);
+        assert!(par.stats.candidates_checked >= 6);
+    }
+}

@@ -1,0 +1,186 @@
+//! User-defined constraints of the recurring-pattern model: `per`, `minPS`
+//! and `minRec` (paper Definition 10).
+
+use std::fmt;
+
+use rpm_timeseries::Timestamp;
+
+/// A count threshold that may be given absolutely or as a fraction of
+/// `|TDB|` (the paper expresses `minPS` both ways, §3 and Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// An absolute transaction count.
+    Count(usize),
+    /// A fraction of the database size in `(0, 1]`; resolved with
+    /// `max(1, ceil(f · |TDB|))`.
+    Fraction(f64),
+}
+
+impl Threshold {
+    /// Resolves the threshold against a database of `db_len` transactions.
+    ///
+    /// # Panics
+    /// Panics if a [`Threshold::Fraction`] is not in `(0, 1]`.
+    pub fn resolve(self, db_len: usize) -> usize {
+        match self {
+            Threshold::Count(c) => c,
+            Threshold::Fraction(f) => {
+                assert!(
+                    f > 0.0 && f <= 1.0,
+                    "fractional threshold must be in (0,1], got {f}"
+                );
+                ((f * db_len as f64).ceil() as usize).max(1)
+            }
+        }
+    }
+
+    /// Convenience constructor for percentages (`pct(0.1)` = 0.1%).
+    pub fn pct(percent: f64) -> Self {
+        Threshold::Fraction(percent / 100.0)
+    }
+}
+
+impl fmt::Display for Threshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Threshold::Count(c) => write!(f, "{c}"),
+            Threshold::Fraction(x) => write!(f, "{}%", x * 100.0),
+        }
+    }
+}
+
+/// The three user-defined constraints of the model (Definition 10):
+/// `per` (maximum periodic inter-arrival time), `minPS` (minimum
+/// periodic-support of an interesting interval) and `minRec` (minimum number
+/// of interesting periodic-intervals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpParams {
+    per: Timestamp,
+    min_ps: Threshold,
+    min_rec: usize,
+}
+
+impl RpParams {
+    /// Creates parameters with absolute `minPS`.
+    ///
+    /// # Panics
+    /// Panics unless `per > 0`, `min_ps >= 1` and `min_rec >= 1`.
+    pub fn new(per: Timestamp, min_ps: usize, min_rec: usize) -> Self {
+        Self::with_threshold(per, Threshold::Count(min_ps), min_rec)
+    }
+
+    /// Creates parameters with an arbitrary `minPS` threshold.
+    pub fn with_threshold(per: Timestamp, min_ps: Threshold, min_rec: usize) -> Self {
+        assert!(per > 0, "per must be positive, got {per}");
+        if let Threshold::Count(c) = min_ps {
+            assert!(c >= 1, "minPS must be at least 1");
+        }
+        assert!(min_rec >= 1, "minRec must be at least 1");
+        Self { per, min_ps, min_rec }
+    }
+
+    /// The period threshold `per`.
+    pub fn per(&self) -> Timestamp {
+        self.per
+    }
+
+    /// The unresolved `minPS` threshold.
+    pub fn min_ps(&self) -> Threshold {
+        self.min_ps
+    }
+
+    /// The minimum recurrence `minRec`.
+    pub fn min_rec(&self) -> usize {
+        self.min_rec
+    }
+
+    /// Resolves fractional thresholds against a concrete database size.
+    pub fn resolve(&self, db_len: usize) -> ResolvedParams {
+        ResolvedParams {
+            per: self.per,
+            min_ps: self.min_ps.resolve(db_len),
+            min_rec: self.min_rec,
+        }
+    }
+}
+
+impl fmt::Display for RpParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "per={} minPS={} minRec={}", self.per, self.min_ps, self.min_rec)
+    }
+}
+
+/// [`RpParams`] with `minPS` resolved to an absolute count — what the miners
+/// consume internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedParams {
+    /// Maximum inter-arrival time considered periodic.
+    pub per: Timestamp,
+    /// Minimum periodic-support of an interesting interval (absolute).
+    pub min_ps: usize,
+    /// Minimum number of interesting periodic-intervals.
+    pub min_rec: usize,
+}
+
+impl ResolvedParams {
+    /// Shorthand constructor used heavily in tests.
+    pub fn new(per: Timestamp, min_ps: usize, min_rec: usize) -> Self {
+        assert!(per > 0 && min_ps >= 1 && min_rec >= 1, "invalid parameters");
+        Self { per, min_ps, min_rec }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_thresholds_pass_through() {
+        assert_eq!(Threshold::Count(7).resolve(100), 7);
+    }
+
+    #[test]
+    fn fractions_resolve_with_ceiling_and_floor_of_one() {
+        assert_eq!(Threshold::Fraction(0.001).resolve(59_240), 60); // 0.1% of Shop-14
+        assert_eq!(Threshold::pct(2.0).resolve(177_120), 3543); // 2% of Twitter, ceil
+        assert_eq!(Threshold::Fraction(0.5).resolve(1), 1);
+        assert_eq!(Threshold::Fraction(0.0001).resolve(10), 1); // floor of one
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,1]")]
+    fn fraction_out_of_range_panics() {
+        let _ = Threshold::Fraction(1.5).resolve(10);
+    }
+
+    #[test]
+    fn params_resolve_running_example() {
+        let p = RpParams::new(2, 3, 2);
+        let r = p.resolve(12);
+        assert_eq!(r, ResolvedParams { per: 2, min_ps: 3, min_rec: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "per must be positive")]
+    fn zero_per_rejected() {
+        let _ = RpParams::new(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "minRec")]
+    fn zero_min_rec_rejected() {
+        let _ = RpParams::new(1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "minPS")]
+    fn zero_min_ps_rejected() {
+        let _ = RpParams::new(1, 0, 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = RpParams::with_threshold(1440, Threshold::pct(2.0), 3);
+        assert_eq!(p.to_string(), "per=1440 minPS=2% minRec=3");
+    }
+}

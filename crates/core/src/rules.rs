@@ -1,0 +1,186 @@
+//! Temporal association rules from recurring patterns — the paper's second
+//! future-work item ("extending our model to improve the performance of an
+//! association rule-based recommender system", §6).
+//!
+//! A rule `A ⇒ C` derived from a recurring pattern `Z = A ∪ C` states:
+//! *during Z's interesting periodic-intervals*, seeing `A` predicts `C`.
+//! Confidence is the classic `Sup(Z) / Sup(A)`; each rule carries Z's
+//! intervals so a recommender can scope itself to the seasons where the
+//! association actually holds.
+
+use std::collections::HashMap;
+
+use rpm_timeseries::{ItemId, ItemTable, TransactionDb};
+
+use crate::pattern::{PeriodicInterval, RecurringPattern};
+
+/// A temporal association rule derived from a recurring pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecurringRule {
+    /// Antecedent item set (sorted).
+    pub antecedent: Vec<ItemId>,
+    /// Consequent item set (sorted, disjoint from the antecedent).
+    pub consequent: Vec<ItemId>,
+    /// Support of the full pattern `A ∪ C`.
+    pub support: usize,
+    /// `Sup(A ∪ C) / Sup(A)`.
+    pub confidence: f64,
+    /// The interesting periodic-intervals the rule is valid in.
+    pub intervals: Vec<PeriodicInterval>,
+}
+
+impl RecurringRule {
+    /// Renders the rule as `{a} => {b} (conf 0.88, sup 7, 2 seasons)`.
+    pub fn display(&self, items: &ItemTable) -> String {
+        format!(
+            "{} => {} (conf {:.2}, sup {}, {} season{})",
+            items.pattern_string(&self.antecedent),
+            items.pattern_string(&self.consequent),
+            self.confidence,
+            self.support,
+            self.intervals.len(),
+            if self.intervals.len() == 1 { "" } else { "s" }
+        )
+    }
+}
+
+/// Generates all rules with confidence `≥ min_confidence` from the mined
+/// `patterns`, recomputing antecedent supports from `db` (memoised).
+/// Patterns longer than 16 items are skipped — a guard against the 2^|Z|
+/// antecedent enumeration, reported via the second tuple element.
+pub fn generate_rules(
+    db: &TransactionDb,
+    patterns: &[RecurringPattern],
+    min_confidence: f64,
+) -> (Vec<RecurringRule>, usize) {
+    assert!((0.0..=1.0).contains(&min_confidence), "confidence must be in [0,1]");
+    let mut support_cache: HashMap<Vec<ItemId>, usize> = HashMap::new();
+    let mut skipped = 0usize;
+    let mut rules = Vec::new();
+    for z in patterns.iter().filter(|p| p.len() >= 2) {
+        if z.len() > 16 {
+            skipped += 1;
+            continue;
+        }
+        let n = z.items.len();
+        // Every non-empty proper subset as antecedent, via bitmask.
+        for mask in 1..((1u32 << n) - 1) {
+            let mut antecedent = Vec::with_capacity(mask.count_ones() as usize);
+            let mut consequent = Vec::with_capacity(n - mask.count_ones() as usize);
+            for (bit, &item) in z.items.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    antecedent.push(item);
+                } else {
+                    consequent.push(item);
+                }
+            }
+            let sup_a = *support_cache
+                .entry(antecedent.clone())
+                .or_insert_with(|| db.support(&antecedent));
+            if sup_a == 0 {
+                continue;
+            }
+            let confidence = z.support as f64 / sup_a as f64;
+            if confidence >= min_confidence {
+                rules.push(RecurringRule {
+                    antecedent,
+                    consequent,
+                    support: z.support,
+                    confidence,
+                    intervals: z.intervals.clone(),
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then_with(|| b.support.cmp(&a.support))
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    (rules, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::RpGrowth;
+    use crate::params::RpParams;
+    use rpm_timeseries::running_example_db;
+
+    fn rules(min_conf: f64) -> (rpm_timeseries::TransactionDb, Vec<RecurringRule>) {
+        let db = running_example_db();
+        let patterns = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns;
+        let (rules, skipped) = generate_rules(&db, &patterns, min_conf);
+        assert_eq!(skipped, 0);
+        (db, rules)
+    }
+
+    #[test]
+    fn confidences_match_hand_computation() {
+        let (db, rules) = rules(0.0);
+        // From {a,b}: a⇒b has conf 7/8, b⇒a has conf 7/7.
+        let find = |ante: &str, cons: &str| {
+            rules
+                .iter()
+                .find(|r| {
+                    db.items().pattern_string(&r.antecedent) == ante
+                        && db.items().pattern_string(&r.consequent) == cons
+                })
+                .unwrap_or_else(|| panic!("missing rule {ante}=>{cons}"))
+        };
+        let ab = find("{a}", "{b}");
+        assert!((ab.confidence - 7.0 / 8.0).abs() < 1e-12);
+        let ba = find("{b}", "{a}");
+        assert!((ba.confidence - 1.0).abs() < 1e-12);
+        // cd both ways: Sup(c)=7, Sup(d)=6, Sup(cd)=6.
+        let cd = find("{c}", "{d}");
+        assert!((cd.confidence - 6.0 / 7.0).abs() < 1e-12);
+        let dc = find("{d}", "{c}");
+        assert!((dc.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_inherit_pattern_intervals() {
+        let (_, rules) = rules(0.9);
+        for r in &rules {
+            assert_eq!(r.intervals.len(), 2, "Table 2 patterns all have 2 seasons");
+        }
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let (_, all) = rules(0.0);
+        let (_, strict) = rules(1.0);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 1.0));
+        // Running example: b⇒a, d⇒c, e⇒f, f⇒e are exact.
+        assert_eq!(strict.len(), 4);
+    }
+
+    #[test]
+    fn output_is_sorted_by_confidence() {
+        let (_, rules) = rules(0.0);
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (db, rules) = rules(1.0);
+        let text = rules[0].display(db.items());
+        assert!(text.contains("=>"));
+        assert!(text.contains("conf 1.00"));
+        assert!(text.contains("2 seasons"));
+    }
+
+    #[test]
+    fn singleton_patterns_yield_no_rules() {
+        let db = running_example_db();
+        let single = RpGrowth::new(RpParams::new(2, 4, 1)).mine(&db);
+        let only_singletons: Vec<_> =
+            single.patterns.iter().filter(|p| p.len() == 1).cloned().collect();
+        let (rules, _) = generate_rules(&db, &only_singletons, 0.0);
+        assert!(rules.is_empty());
+    }
+}

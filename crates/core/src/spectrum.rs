@@ -1,0 +1,211 @@
+//! The **recurrence spectrum**: `Rec(X)` as an exact step function of the
+//! `per` threshold.
+//!
+//! Choosing `per` is the model's hardest knob (the paper sweeps three
+//! values and devotes its Figure 7 discussion to the consequences). But for
+//! a fixed pattern, `Rec` only changes at the *distinct inter-arrival
+//! times* of its timestamp list: raising `per` past a gap value merges the
+//! two runs it separated. Processing gaps in ascending order with a
+//! union-find over runs yields the whole spectrum in `O(n α(n))` after one
+//! sort — instead of re-splitting the list once per candidate `per`.
+//!
+//! Used by parameter-exploration tooling (`merge_analysis` reports the
+//! same mechanism pointwise); exposed publicly because "how does Rec react
+//! to per?" is the first question every user of the model asks.
+
+use rpm_timeseries::Timestamp;
+
+/// One step of the spectrum: for `per ∈ [this.per, next.per)`, the pattern
+/// has `runs` maximal runs of which `interesting` reach `minPS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpectrumStep {
+    /// Left edge of the step (inclusive): the gap value just merged.
+    pub per: Timestamp,
+    /// Number of maximal periodic runs at this `per`.
+    pub runs: usize,
+    /// Number of interesting runs (`Rec`) at this `per`.
+    pub interesting: usize,
+}
+
+/// Computes the full spectrum of `ts` for a given `minPS`.
+///
+/// The first step has `per = 0` (every timestamp its own run — duplicate
+/// timestamps, gap 0, are merged immediately into it); subsequent steps
+/// appear only where the spectrum changes. The last step is the regime
+/// `per ≥ max gap`: one run containing everything.
+pub fn recurrence_spectrum(ts: &[Timestamp], min_ps: usize) -> Vec<SpectrumStep> {
+    debug_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps must be sorted");
+    assert!(min_ps >= 1, "minPS must be at least 1");
+    let n = ts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Gap list with the index of the left timestamp, sorted by gap value.
+    let mut gaps: Vec<(Timestamp, usize)> =
+        ts.windows(2).enumerate().map(|(i, w)| (w[1] - w[0], i)).collect();
+    gaps.sort_unstable();
+
+    // Union-find over run representatives with run sizes.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut size: Vec<u32> = vec![1; n];
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    let mut runs = n;
+    let mut interesting = if min_ps == 1 { n } else { 0 };
+    let mut out: Vec<SpectrumStep> = Vec::new();
+    let mut k = 0;
+    // Merge zero-gaps (duplicate timestamps) into the per=0 baseline.
+    let flush_value = |out: &mut Vec<SpectrumStep>, per, runs, interesting| {
+        if out.last().map(|s: &SpectrumStep| (s.runs, s.interesting)) != Some((runs, interesting))
+            || out.is_empty()
+        {
+            out.push(SpectrumStep { per, runs, interesting });
+        }
+    };
+    while k < gaps.len() {
+        let gap = gaps[k].0;
+        while k < gaps.len() && gaps[k].0 == gap {
+            let i = gaps[k].1;
+            let a = find(&mut parent, i as u32);
+            let b = find(&mut parent, (i + 1) as u32);
+            debug_assert_ne!(a, b, "adjacent runs merge exactly once");
+            let (sa, sb) = (size[a as usize], size[b as usize]);
+            let merged = sa + sb;
+            // Union by size.
+            let (root, child) = if sa >= sb { (a, b) } else { (b, a) };
+            parent[child as usize] = root;
+            size[root as usize] = merged;
+            runs -= 1;
+            let was = usize::from(sa as usize >= min_ps) + usize::from(sb as usize >= min_ps);
+            let now = usize::from(merged as usize >= min_ps);
+            // `was` runs are currently counted in `interesting`, so the
+            // subtraction cannot underflow.
+            interesting = interesting - was + now;
+            k += 1;
+        }
+        if gap == 0 {
+            // Duplicates belong to the per=0 baseline; fall through so the
+            // first emitted step already reflects them.
+            continue;
+        }
+        flush_value(&mut out, gap, runs, interesting);
+    }
+    // Baseline step (after zero-gap folding) goes first.
+    let base_runs = {
+        // Recompute what per=0 looked like: n minus zero-gap merges.
+        let zero_merges = gaps.iter().take_while(|&&(g, _)| g == 0).count();
+        n - zero_merges
+    };
+    let base_interesting = if min_ps == 1 {
+        base_runs
+    } else {
+        // Runs of duplicates can reach minPS only via zero gaps; recompute
+        // cheaply from the original list.
+        crate::measures::recurrence(ts, 0, min_ps)
+    };
+    let mut spectrum = vec![SpectrumStep { per: 0, runs: base_runs, interesting: base_interesting }];
+    for s in out {
+        if spectrum.last().map(|l| (l.runs, l.interesting)) != Some((s.runs, s.interesting)) {
+            spectrum.push(s);
+        }
+    }
+    spectrum
+}
+
+/// Looks up `Rec` at an arbitrary `per` from a precomputed spectrum.
+pub fn rec_at(spectrum: &[SpectrumStep], per: Timestamp) -> usize {
+    match spectrum.iter().rev().find(|s| s.per <= per) {
+        Some(s) => s.interesting,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::recurrence;
+
+    #[test]
+    fn matches_pointwise_recomputation() {
+        let ts: Vec<Timestamp> = vec![1, 3, 4, 7, 11, 12, 14];
+        for min_ps in 1..=4 {
+            let spectrum = recurrence_spectrum(&ts, min_ps);
+            for per in 0..=20 {
+                assert_eq!(
+                    rec_at(&spectrum, per),
+                    recurrence(&ts, per, min_ps),
+                    "minPS={min_ps} per={per}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn running_example_ab_spectrum() {
+        // TS^{ab}: gaps {2,1,3,4,1,2}. minPS=3: per=0,1 → 0 interesting;
+        // per=2 → 2 (the Table 2 intervals); per=3 → …; per=4 → 1 run of 7.
+        let ts: Vec<Timestamp> = vec![1, 3, 4, 7, 11, 12, 14];
+        let s = recurrence_spectrum(&ts, 3);
+        assert_eq!(rec_at(&s, 1), 0);
+        assert_eq!(rec_at(&s, 2), 2);
+        assert_eq!(rec_at(&s, 4), 1);
+        assert_eq!(rec_at(&s, 100), 1);
+        // Steps only at change points, ascending.
+        assert!(s.windows(2).all(|w| w[0].per < w[1].per));
+    }
+
+    #[test]
+    fn spectrum_runs_decrease_monotonically() {
+        let ts: Vec<Timestamp> = vec![0, 5, 6, 20, 21, 22, 50];
+        let s = recurrence_spectrum(&ts, 2);
+        assert!(s.windows(2).all(|w| w[0].runs > w[1].runs));
+        assert_eq!(s.first().unwrap().runs, 7);
+        assert_eq!(s.last().unwrap().runs, 1);
+    }
+
+    #[test]
+    fn duplicates_fold_into_baseline() {
+        let ts: Vec<Timestamp> = vec![1, 1, 2, 10];
+        let s = recurrence_spectrum(&ts, 2);
+        // per=0: runs {1,1},{2},{10} — the duplicate already merged.
+        assert_eq!(s[0], SpectrumStep { per: 0, runs: 3, interesting: 1 });
+        assert_eq!(rec_at(&s, 1), 1); // {1,1,2} + {10}
+        assert_eq!(rec_at(&s, 8), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(recurrence_spectrum(&[], 1).is_empty());
+        let s = recurrence_spectrum(&[5], 1);
+        assert_eq!(s, vec![SpectrumStep { per: 0, runs: 1, interesting: 1 }]);
+        assert_eq!(rec_at(&s, 99), 1);
+    }
+
+    #[test]
+    fn random_lists_match_pointwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..30 {
+            let mut ts: Vec<Timestamp> =
+                (0..rng.random_range(1..40)).map(|_| rng.random_range(0..200)).collect();
+            ts.sort_unstable();
+            ts.dedup();
+            let min_ps = rng.random_range(1..5);
+            let spectrum = recurrence_spectrum(&ts, min_ps);
+            for per in 1..210 {
+                assert_eq!(
+                    rec_at(&spectrum, per),
+                    recurrence(&ts, per, min_ps),
+                    "ts={ts:?} minPS={min_ps} per={per}"
+                );
+            }
+        }
+    }
+}

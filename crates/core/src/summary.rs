@@ -1,0 +1,168 @@
+//! Aggregate statistics over a mined pattern set — what the paper's tables
+//! report about result sets (counts, maximum length), plus interval-level
+//! aggregates the examples and harness print.
+
+use std::fmt;
+
+use rpm_timeseries::Timestamp;
+
+use crate::pattern::RecurringPattern;
+
+/// Summary of a recurring-pattern result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternSetSummary {
+    /// Number of patterns.
+    pub patterns: usize,
+    /// Histogram of pattern lengths; index 0 unused (no empty patterns).
+    pub by_length: Vec<usize>,
+    /// Maximum pattern length (Table 8's column II).
+    pub max_length: usize,
+    /// Histogram of recurrence counts; index 0 unused.
+    pub by_recurrence: Vec<usize>,
+    /// Maximum recurrence.
+    pub max_recurrence: usize,
+    /// Mean duration (`end − start`) over all interesting intervals.
+    pub mean_interval_duration: f64,
+    /// Length of the union of all interesting intervals across patterns —
+    /// how much of the timeline carries *some* recurring structure.
+    pub covered_time: Timestamp,
+}
+
+/// Computes the summary. Empty input yields an all-zero summary.
+pub fn summarize(patterns: &[RecurringPattern]) -> PatternSetSummary {
+    let mut by_length = Vec::new();
+    let mut by_recurrence = Vec::new();
+    let mut duration_sum = 0i64;
+    let mut interval_count = 0usize;
+    let mut spans: Vec<(Timestamp, Timestamp)> = Vec::new();
+    for p in patterns {
+        let len = p.len();
+        if by_length.len() <= len {
+            by_length.resize(len + 1, 0);
+        }
+        by_length[len] += 1;
+        let rec = p.recurrence();
+        if by_recurrence.len() <= rec {
+            by_recurrence.resize(rec + 1, 0);
+        }
+        by_recurrence[rec] += 1;
+        for iv in &p.intervals {
+            duration_sum += iv.duration();
+            interval_count += 1;
+            spans.push((iv.start, iv.end));
+        }
+    }
+    // Union length of all interval spans.
+    spans.sort_unstable();
+    let mut covered: Timestamp = 0;
+    let mut open: Option<(Timestamp, Timestamp)> = None;
+    for (s, e) in spans {
+        match open {
+            Some((os, oe)) if s <= oe => open = Some((os, oe.max(e))),
+            Some((os, oe)) => {
+                covered += oe - os + 1;
+                let _ = os;
+                open = Some((s, e));
+            }
+            None => open = Some((s, e)),
+        }
+    }
+    if let Some((os, oe)) = open {
+        covered += oe - os + 1;
+    }
+    PatternSetSummary {
+        patterns: patterns.len(),
+        max_length: by_length.len().saturating_sub(1),
+        by_length,
+        max_recurrence: by_recurrence.len().saturating_sub(1),
+        by_recurrence,
+        mean_interval_duration: if interval_count == 0 {
+            0.0
+        } else {
+            duration_sum as f64 / interval_count as f64
+        },
+        covered_time: covered,
+    }
+}
+
+impl fmt::Display for PatternSetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} patterns (max len {}, max rec {}), mean interval {:.1}, covered time {}",
+            self.patterns,
+            self.max_length,
+            self.max_recurrence,
+            self.mean_interval_duration,
+            self.covered_time
+        )?;
+        write!(f, "; by length:")?;
+        for (len, n) in self.by_length.iter().enumerate().skip(1) {
+            if *n > 0 {
+                write!(f, " {len}:{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::RpGrowth;
+    use crate::params::RpParams;
+    use rpm_timeseries::running_example_db;
+
+    #[test]
+    fn table_2_summary() {
+        let db = running_example_db();
+        let patterns = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns;
+        let s = summarize(&patterns);
+        assert_eq!(s.patterns, 8);
+        assert_eq!(s.by_length[1], 5);
+        assert_eq!(s.by_length[2], 3);
+        assert_eq!(s.max_length, 2);
+        assert_eq!(s.by_recurrence[2], 8, "every Table 2 pattern has Rec=2");
+        assert_eq!(s.max_recurrence, 2);
+        // Intervals: [1,4],[11,14],[2,5],[9,12],[3,6],[10,12] … durations 3
+        // or 2; union covers [1,6] ∪ [9,14] = 12 stamps.
+        assert_eq!(s.covered_time, 12);
+        assert!(s.mean_interval_duration > 2.0 && s.mean_interval_duration < 3.2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = summarize(&[]);
+        assert_eq!(s.patterns, 0);
+        assert_eq!(s.max_length, 0);
+        assert_eq!(s.covered_time, 0);
+        assert_eq!(s.mean_interval_duration, 0.0);
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        use crate::pattern::PeriodicInterval;
+        use rpm_timeseries::ItemId;
+        let mk = |ivs: &[(i64, i64)]| {
+            RecurringPattern::new(
+                vec![ItemId(0)],
+                1,
+                ivs.iter()
+                    .map(|&(s, e)| PeriodicInterval { start: s, end: e, periodic_support: 1 })
+                    .collect(),
+            )
+        };
+        let s = summarize(&[mk(&[(0, 10)]), mk(&[(5, 20)]), mk(&[(30, 30)])]);
+        assert_eq!(s.covered_time, 21 + 1); // [0,20] ∪ [30,30]
+    }
+
+    #[test]
+    fn display_mentions_histogram() {
+        let db = running_example_db();
+        let patterns = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns;
+        let text = summarize(&patterns).to_string();
+        assert!(text.contains("8 patterns"));
+        assert!(text.contains("1:5"));
+        assert!(text.contains("2:3"));
+    }
+}

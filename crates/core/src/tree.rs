@@ -1,0 +1,361 @@
+//! The RP-tree (paper §4.2.1–4.2.2, Algorithms 2–3): a prefix tree over
+//! candidate-item projections whose **tail nodes** carry the timestamps of
+//! the transactions ending there. No node stores a support count — unlike an
+//! FP-tree — because both the frequency *and* the periodic behaviour of a
+//! pattern are recoverable from ts-lists alone (Lemma 1).
+//!
+//! Nodes live in a flat arena (`Vec<Node>`) addressed by `u32` indices;
+//! parent / child / node-link "pointers" are indices, which keeps ownership
+//! trivial and traversal cache friendly.
+
+use rpm_timeseries::Timestamp;
+
+/// Index of a node within the arena. The root is always `ROOT`.
+pub type NodeIdx = u32;
+
+/// Arena index of the root node.
+pub const ROOT: NodeIdx = 0;
+
+/// A node of the prefix tree. `ts` is empty for *ordinary* nodes and
+/// non-empty for *tail* nodes (the last item of at least one inserted
+/// transaction) — and, during mining, for nodes that received pushed-up
+/// ts-lists (Lemma 3).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Rank of the node's item in the tree's item order (`u32::MAX` at root).
+    pub rank: u32,
+    /// Parent node index (`ROOT`'s parent is itself).
+    pub parent: NodeIdx,
+    /// Child node indices.
+    pub children: Vec<NodeIdx>,
+    /// Accumulated timestamps. Sorted within each appended segment but not
+    /// globally; consumers sort merged copies before scanning.
+    pub ts: Vec<Timestamp>,
+}
+
+/// A prefix tree over item *ranks* with tail-node ts-lists and per-rank node
+/// links. Used both for the global RP-tree and for every prefix/conditional
+/// tree built during mining, as well as by the PF-tree baseline.
+#[derive(Debug, Clone)]
+pub struct TsTree {
+    nodes: Vec<Node>,
+    /// `links[r]` = indices of all nodes whose item has rank `r`.
+    links: Vec<Vec<NodeIdx>>,
+}
+
+impl TsTree {
+    /// Creates a tree able to hold items with ranks `0..n_ranks`.
+    pub fn new(n_ranks: usize) -> Self {
+        let root = Node { rank: u32::MAX, parent: ROOT, children: Vec::new(), ts: Vec::new() };
+        Self { nodes: vec![root], links: vec![Vec::new(); n_ranks] }
+    }
+
+    /// Number of ranks the tree was created for.
+    pub fn rank_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total number of nodes, excluding the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether the tree holds no item nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Immutable access to a node.
+    #[inline]
+    pub fn node(&self, idx: NodeIdx) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    /// The node-link list for `rank`.
+    #[inline]
+    pub fn links(&self, rank: u32) -> &[NodeIdx] {
+        &self.links[rank as usize]
+    }
+
+    /// Inserts a transaction projection (Algorithm 3, `insert_tree`):
+    /// `ranks` must be sorted ascending (the candidate order established by
+    /// the RP-list); `ts` is appended to the ts-list of the path's last node,
+    /// making it a tail node.
+    ///
+    /// # Panics
+    /// Panics (debug) if `ranks` is unsorted or empty slices are passed.
+    pub fn insert(&mut self, ranks: &[u32], ts: Timestamp) {
+        self.insert_with_ts_list(ranks, &[ts]);
+    }
+
+    /// Like [`TsTree::insert`] but appends a whole ts-list at the tail —
+    /// used when inserting conditional-pattern-base paths, whose tails carry
+    /// the full ts-list of the originating node.
+    pub fn insert_with_ts_list(&mut self, ranks: &[u32], ts: &[Timestamp]) {
+        debug_assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks must be strictly ascending");
+        if ranks.is_empty() {
+            return;
+        }
+        let mut cur = ROOT;
+        for &r in ranks {
+            cur = self.child_or_insert(cur, r);
+        }
+        self.nodes[cur as usize].ts.extend_from_slice(ts);
+    }
+
+    fn child_or_insert(&mut self, parent: NodeIdx, rank: u32) -> NodeIdx {
+        if let Some(&c) = self.nodes[parent as usize]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c as usize].rank == rank)
+        {
+            return c;
+        }
+        let idx = self.nodes.len() as NodeIdx;
+        self.nodes.push(Node { rank, parent, children: Vec::new(), ts: Vec::new() });
+        self.nodes[parent as usize].children.push(idx);
+        self.links[rank as usize].push(idx);
+        idx
+    }
+
+    /// Collects and sorts the timestamps of every node of `rank` — the
+    /// pattern's `TS` list under the current projection (Algorithm 4 line 2:
+    /// "collect all of the aᵢ's ts-lists into a temporary array").
+    ///
+    /// Timestamps across nodes are disjoint (each transaction is mapped to
+    /// exactly one path, Property 3), so the merged list has no duplicates.
+    pub fn merged_ts(&self, rank: u32) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        for &n in self.links(rank) {
+            out.extend_from_slice(&self.nodes[n as usize].ts);
+        }
+        out.sort_unstable();
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "duplicate transaction timestamps");
+        out
+    }
+
+    /// Enumerates the conditional-pattern-base of `rank`: for every node of
+    /// `rank` with a non-empty ts-list, the prefix path (ranks from just
+    /// below the root down to the node's parent, ascending) paired with the
+    /// node's sorted ts-list.
+    pub fn prefix_paths(&self, rank: u32) -> Vec<(Vec<u32>, Vec<Timestamp>)> {
+        let mut out = Vec::new();
+        for &n in self.links(rank) {
+            let node = &self.nodes[n as usize];
+            if node.ts.is_empty() {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = node.parent;
+            while cur != ROOT {
+                path.push(self.nodes[cur as usize].rank);
+                cur = self.nodes[cur as usize].parent;
+            }
+            path.reverse();
+            let mut ts = node.ts.clone();
+            ts.sort_unstable();
+            out.push((path, ts));
+        }
+        out
+    }
+
+    /// Removes every node of `rank` after pushing its ts-list up to its
+    /// parent (Algorithm 4 line 9, justified by Lemma 3). Assumes `rank` is
+    /// the bottom-most live rank, i.e. its nodes have no children.
+    pub fn push_up_and_remove(&mut self, rank: u32) {
+        let node_idxs = std::mem::take(&mut self.links[rank as usize]);
+        for n in node_idxs {
+            debug_assert!(
+                self.nodes[n as usize].children.is_empty(),
+                "push_up_and_remove requires the bottom-most rank"
+            );
+            let ts = std::mem::take(&mut self.nodes[n as usize].ts);
+            let parent = self.nodes[n as usize].parent;
+            self.nodes[parent as usize].ts.extend_from_slice(&ts);
+            self.nodes[parent as usize].children.retain(|&c| c != n);
+        }
+    }
+
+    /// Timestamps accumulated at the root by push-ups (only used in tests to
+    /// check conservation of transactions).
+    pub fn root_ts_len(&self) -> usize {
+        self.nodes[ROOT as usize].ts.len()
+    }
+
+    /// Total timestamps stored across all nodes. For a freshly built tree
+    /// this equals the number of inserted transactions — the paper's
+    /// §4.2.1 memory argument: only tail nodes store occurrence
+    /// information, versus one entry *per node on the path* in a naive
+    /// design (`Σ |CI(t)|`, Lemma 2's bound).
+    pub fn ts_entries(&self) -> usize {
+        self.nodes.iter().map(|n| n.ts.len()).sum()
+    }
+
+    /// Estimated heap footprint in bytes: node structs plus the allocated
+    /// capacity of children and ts vectors. An estimate (allocator slack is
+    /// not modelled), good enough for the A4 memory experiment.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<Node>();
+        for n in &self.nodes {
+            bytes += n.children.capacity() * std::mem::size_of::<NodeIdx>();
+            bytes += n.ts.capacity() * std::mem::size_of::<Timestamp>();
+        }
+        for links in &self.links {
+            bytes += links.capacity() * std::mem::size_of::<NodeIdx>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the RP-tree of the running example (Figure 5(b)).
+    /// Ranks: a=0 b=1 c=2 d=3 e=4 f=5 (from the RP-list of Figure 4(f)).
+    fn running_example_tree() -> TsTree {
+        let mut t = TsTree::new(6);
+        // Candidate projections of Table 1's transactions in ts order.
+        let rows: [(&[u32], Timestamp); 12] = [
+            (&[0, 1], 1),          // a,b,(g)
+            (&[0, 2, 3], 2),       // a,c,d
+            (&[0, 1, 4, 5], 3),    // a,b,e,f
+            (&[0, 1, 2, 3], 4),    // a,b,c,d
+            (&[2, 3, 4, 5], 5),    // c,d,e,f,(g)
+            (&[4, 5], 6),          // e,f,(g)
+            (&[0, 1, 2], 7),       // a,b,c,(g)
+            (&[2, 3], 9),          // c,d
+            (&[2, 3, 4, 5], 10),   // c,d,e,f
+            (&[0, 1, 4, 5], 11),   // a,b,e,f
+            (&[0, 1, 2, 3, 4, 5], 12), // all,(g)
+            (&[0, 1], 14),         // a,b,(g)
+        ];
+        for (ranks, ts) in rows {
+            t.insert(ranks, ts);
+        }
+        t
+    }
+
+    #[test]
+    fn figure_5b_structure() {
+        let t = running_example_tree();
+        // Figure 5(b) has 16 item nodes.
+        assert_eq!(t.node_count(), 16);
+        // Tail 'b:1,14' under a: node of rank 1 with ts [1,14].
+        let b_nodes = t.links(1);
+        assert_eq!(b_nodes.len(), 1, "all b's share the a-prefix");
+        assert_eq!(t.node(b_nodes[0]).ts, vec![1, 14]);
+        // Four e-f chains: under a-b, under c-d, under a-b-c-d, under root.
+        assert_eq!(t.links(4).len(), 4);
+        assert_eq!(t.links(5).len(), 4);
+    }
+
+    #[test]
+    fn merged_ts_recovers_pattern_timestamps_bottom_up() {
+        // merged_ts(r) equals TS^X only once r is the bottom-most live rank
+        // (deeper tails push their ts-lists up first) — the invariant
+        // Algorithm 4 maintains by processing ranks bottom-up.
+        let mut t = running_example_tree();
+        // Rank 5 = f is bottom-most from the start: TS^f = {3,5,6,10,11,12}.
+        assert_eq!(t.merged_ts(5), vec![3, 5, 6, 10, 11, 12]);
+        // Before push-up, d's nodes only hold the transactions that *end*
+        // at d (Table 1's ts 2, 4 and 9).
+        assert_eq!(t.merged_ts(3), vec![2, 4, 9]);
+        t.push_up_and_remove(5);
+        t.push_up_and_remove(4);
+        // Now d is bottom-most: TS^d = {2,4,5,9,10,12}.
+        assert_eq!(t.merged_ts(3), vec![2, 4, 5, 9, 10, 12]);
+    }
+
+    #[test]
+    fn prefix_paths_of_f_match_figure_6a() {
+        let t = running_example_tree();
+        let mut paths = t.prefix_paths(5);
+        paths.sort();
+        // PT_f: a,b,e → {3,11}; c,d,e → {5,10}; e → {6}; a,b,c,d,e → {12}.
+        assert_eq!(
+            paths,
+            vec![
+                (vec![0, 1, 2, 3, 4], vec![12]),
+                (vec![0, 1, 4], vec![3, 11]),
+                (vec![2, 3, 4], vec![5, 10]),
+                (vec![4], vec![6]),
+            ]
+        );
+    }
+
+    #[test]
+    fn push_up_moves_ts_to_parents_figure_6c() {
+        let mut t = running_example_tree();
+        t.push_up_and_remove(5);
+        // After pruning f, the e-nodes carry f's ts-lists (Figure 6(c)):
+        // e under a,b: [3,11]; e under c,d: [5,10]; e directly under root: [6];
+        // e under a,b,c,d: [12].
+        let e_ts: Vec<Vec<Timestamp>> = t
+            .links(4)
+            .iter()
+            .map(|&n| {
+                let mut v = t.node(n).ts.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut flat: Vec<Timestamp> = e_ts.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![3, 5, 6, 10, 11, 12]);
+        assert!(t.links(5).is_empty());
+        assert_eq!(t.merged_ts(5), Vec::<Timestamp>::new());
+    }
+
+    #[test]
+    fn insert_shares_prefixes() {
+        let mut t = TsTree::new(3);
+        t.insert(&[0, 1], 1);
+        t.insert(&[0, 1, 2], 2);
+        t.insert(&[0, 2], 3);
+        // Nodes: 0, 1 (under 0), 2 (under 1), 2 (under 0) = 4.
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.links(0).len(), 1);
+        assert_eq!(t.links(2).len(), 2);
+    }
+
+    #[test]
+    fn insert_with_ts_list_appends_at_tail() {
+        let mut t = TsTree::new(2);
+        t.insert_with_ts_list(&[0, 1], &[5, 9]);
+        t.insert_with_ts_list(&[0, 1], &[2]);
+        let tail = t.links(1)[0];
+        assert_eq!(t.node(tail).ts, vec![5, 9, 2]);
+        assert_eq!(t.merged_ts(1), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut t = TsTree::new(2);
+        t.insert_with_ts_list(&[], &[1]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ts_entries_equal_transactions_and_memory_is_positive() {
+        let t = running_example_tree();
+        assert_eq!(t.ts_entries(), 12, "one entry per inserted transaction");
+        // Naive per-node storage would hold Σ|CI(t)| = 42 entries.
+        let naive: usize = 42;
+        assert!(t.ts_entries() < naive);
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn total_ts_is_conserved_under_push_up() {
+        let mut t = running_example_tree();
+        let total: usize = (0..6).map(|r| t.merged_ts(r).len()).sum();
+        for rank in (0..6).rev() {
+            t.push_up_and_remove(rank);
+        }
+        // Every inserted timestamp ends up at the root exactly once per
+        // transaction (12 transactions).
+        assert_eq!(t.root_ts_len(), 12);
+        assert!(total >= 12);
+    }
+}

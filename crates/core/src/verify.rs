@@ -1,0 +1,124 @@
+//! Post-hoc verification of mined patterns against the raw database.
+//!
+//! The miners are heavily optimised (tree projections, ts-list push-up);
+//! this module recomputes every measure from first principles so that tests,
+//! examples and the experiment harness can assert end-to-end soundness.
+
+use rpm_timeseries::TransactionDb;
+
+use crate::measures::get_recurrence;
+use crate::params::ResolvedParams;
+use crate::pattern::RecurringPattern;
+
+/// The ways a reported pattern can disagree with the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Reported support differs from the recomputed `|TS^X|`.
+    SupportMismatch {
+        /// Support claimed by the miner.
+        reported: usize,
+        /// Support recomputed from the database.
+        actual: usize,
+    },
+    /// The pattern does not satisfy `Rec(X) ≥ minRec` on recomputation.
+    NotRecurring,
+    /// The reported interesting periodic-intervals differ from recomputation.
+    IntervalMismatch,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::SupportMismatch { reported, actual } => {
+                write!(f, "support mismatch: reported {reported}, actual {actual}")
+            }
+            VerifyError::NotRecurring => write!(f, "pattern is not recurring in the database"),
+            VerifyError::IntervalMismatch => write!(f, "interesting periodic-intervals differ"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Recomputes `TS^X`, support and the interesting periodic-intervals of
+/// `pattern` directly from `db` and compares them with the reported values.
+pub fn verify_pattern(
+    db: &TransactionDb,
+    pattern: &RecurringPattern,
+    params: ResolvedParams,
+) -> Result<(), VerifyError> {
+    let ts = db.timestamps_of(&pattern.items);
+    if ts.len() != pattern.support {
+        return Err(VerifyError::SupportMismatch { reported: pattern.support, actual: ts.len() });
+    }
+    match get_recurrence(&ts, params) {
+        None => Err(VerifyError::NotRecurring),
+        Some(intervals) if intervals == pattern.intervals => Ok(()),
+        Some(_) => Err(VerifyError::IntervalMismatch),
+    }
+}
+
+/// Verifies a whole result set, returning the index and error of the first
+/// offending pattern.
+pub fn verify_all(
+    db: &TransactionDb,
+    patterns: &[RecurringPattern],
+    params: ResolvedParams,
+) -> Result<(), (usize, VerifyError)> {
+    for (i, p) in patterns.iter().enumerate() {
+        verify_pattern(db, p, params).map_err(|e| (i, e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::mine_resolved;
+    use crate::pattern::PeriodicInterval;
+    use rpm_timeseries::running_example_db;
+
+    #[test]
+    fn mined_patterns_verify() {
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let res = mine_resolved(&db, params);
+        assert_eq!(verify_all(&db, &res.patterns, params), Ok(()));
+    }
+
+    #[test]
+    fn tampered_support_is_caught() {
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let mut res = mine_resolved(&db, params);
+        res.patterns[0].support += 1;
+        let err = verify_pattern(&db, &res.patterns[0], params).unwrap_err();
+        assert!(matches!(err, VerifyError::SupportMismatch { .. }));
+    }
+
+    #[test]
+    fn tampered_intervals_are_caught() {
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let mut res = mine_resolved(&db, params);
+        res.patterns[0].intervals[0] =
+            PeriodicInterval { start: 0, end: 1, periodic_support: 3 };
+        let err = verify_pattern(&db, &res.patterns[0], params).unwrap_err();
+        assert_eq!(err, VerifyError::IntervalMismatch);
+    }
+
+    #[test]
+    fn non_recurring_fabrication_is_caught() {
+        let db = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let g = db.items().id("g").unwrap();
+        let fake = RecurringPattern::new(
+            vec![g],
+            6,
+            vec![PeriodicInterval { start: 1, end: 14, periodic_support: 6 }],
+        );
+        let err = verify_pattern(&db, &fake, params).unwrap_err();
+        assert_eq!(err, VerifyError::NotRecurring);
+        assert!(err.to_string().contains("not recurring"));
+    }
+}

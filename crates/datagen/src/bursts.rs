@@ -1,0 +1,246 @@
+//! Synthetic burst events: the non-stationary backbone of the simulated
+//! streams.
+//!
+//! Real hashtags and shop categories are not stationary — they trend inside
+//! windows and go quiet at night. Those two properties are what the paper's
+//! evaluation exercises: window-bounded activity creates *recurring*
+//! patterns (and defeats *periodic-frequent* ones), while overnight
+//! silences make the `per` threshold bite (a 7-hour silence splits runs at
+//! `per = 360` but not at `per = 720/1440` — the mechanism behind Figure
+//! 7's per-sensitivity).
+//!
+//! A [`BurstEvent`] is a set of member items that co-occur with probability
+//! `emit_prob` per minute inside each of its windows, optionally sleeping
+//! during a fixed minute-of-day range.
+
+use rand::Rng;
+use rpm_timeseries::Timestamp;
+
+use crate::calendar::minute_of_day;
+
+/// A nightly silence window in minutes-of-day; may wrap midnight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sleep {
+    /// First silent minute of the day.
+    pub from: Timestamp,
+    /// Last silent minute of the day (wraps past midnight when `to < from`).
+    pub to: Timestamp,
+}
+
+impl Sleep {
+    /// Whether the (real-clock) timestamp falls into the silence.
+    pub fn covers(&self, real_ts: Timestamp) -> bool {
+        let m = minute_of_day(real_ts);
+        if self.from <= self.to {
+            m >= self.from && m <= self.to
+        } else {
+            m >= self.from || m <= self.to
+        }
+    }
+
+    /// Length of the silent stretch in minutes.
+    pub fn duration(&self) -> Timestamp {
+        if self.from <= self.to {
+            self.to - self.from + 1
+        } else {
+            (1440 - self.from) + self.to + 1
+        }
+    }
+}
+
+/// One synthetic trending event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstEvent {
+    /// Member item indices (into the generator's vocabulary).
+    pub members: Vec<usize>,
+    /// Active windows in stream timestamps, non-overlapping and sorted.
+    pub windows: Vec<(Timestamp, Timestamp)>,
+    /// Per-minute co-emission probability inside a window (while awake).
+    pub emit_prob: f64,
+    /// Optional nightly silence.
+    pub sleep: Option<Sleep>,
+}
+
+/// Tuning knobs for [`generate_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstConfig {
+    /// Number of events to create.
+    pub events: usize,
+    /// Member items are drawn from `item_range` (head items are typically
+    /// excluded — they form the stationary background).
+    pub item_range: std::ops::Range<usize>,
+    /// Window length as a fraction of the stream, sampled uniformly.
+    pub window_frac: (f64, f64),
+    /// Emission probability, sampled log-uniformly.
+    pub emit_prob: (f64, f64),
+    /// Probability of a second and (conditionally) third window —
+    /// events with several windows create `minRec ≥ 2` patterns.
+    pub extra_window_prob: f64,
+    /// Probability weights for member-set sizes 1..=4.
+    pub size_weights: [f64; 4],
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self {
+            events: 200,
+            item_range: 0..100,
+            window_frac: (0.03, 0.25),
+            emit_prob: (0.08, 0.7),
+            extra_window_prob: 0.35,
+            size_weights: [0.45, 0.35, 0.15, 0.05],
+        }
+    }
+}
+
+/// The nightly-silence mixture: none (event runs around the clock), a short
+/// night (splits runs only at `per = 360`), a long night (splits at 360 and
+/// 720), and a "one burst per day" pattern (splits below 1440).
+const SLEEPS: [(Option<Sleep>, f64); 4] = [
+    (None, 0.35),
+    (Some(Sleep { from: 30, to: 450 }), 0.35),    // ~7 h
+    (Some(Sleep { from: 1320, to: 540 }), 0.15),  // ~11 h, wraps midnight
+    (Some(Sleep { from: 1140, to: 540 }), 0.15),  // ~16 h
+];
+
+/// Generates `cfg.events` deterministic burst events over a stream of
+/// `total` minutes.
+pub fn generate_events<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &BurstConfig,
+    total: Timestamp,
+) -> Vec<BurstEvent> {
+    assert!(total > 0, "stream must be non-empty");
+    assert!(!cfg.item_range.is_empty(), "item range must be non-empty");
+    let mut out = Vec::with_capacity(cfg.events);
+    let size_total: f64 = cfg.size_weights.iter().sum();
+    for _ in 0..cfg.events {
+        // Member set size from the weight table.
+        let mut pick = rng.random::<f64>() * size_total;
+        let mut size = 1;
+        for (s, w) in cfg.size_weights.iter().enumerate() {
+            if pick < *w {
+                size = s + 1;
+                break;
+            }
+            pick -= w;
+        }
+        // Members: squared-uniform rank skews toward the front of the range.
+        let span = cfg.item_range.len();
+        let mut members = Vec::with_capacity(size);
+        let mut guard = 0;
+        while members.len() < size && guard < 64 {
+            guard += 1;
+            let r: f64 = rng.random();
+            let idx = cfg.item_range.start + ((r * r) * span as f64) as usize;
+            let idx = idx.min(cfg.item_range.end - 1);
+            if !members.contains(&idx) {
+                members.push(idx);
+            }
+        }
+        members.sort_unstable();
+
+        // Windows.
+        let n_windows = 1
+            + usize::from(rng.random::<f64>() < cfg.extra_window_prob)
+            + usize::from(rng.random::<f64>() < cfg.extra_window_prob / 2.0);
+        let mut windows = Vec::with_capacity(n_windows);
+        for _ in 0..n_windows {
+            let frac =
+                cfg.window_frac.0 + rng.random::<f64>() * (cfg.window_frac.1 - cfg.window_frac.0);
+            let len = ((total as f64 * frac) as Timestamp).clamp(1, total);
+            let start = if total > len { rng.random_range(0..total - len) } else { 0 };
+            windows.push((start, start + len - 1));
+        }
+        windows.sort_unstable();
+        // Merge overlapping windows so recurrence counting stays honest.
+        let mut merged: Vec<(Timestamp, Timestamp)> = Vec::with_capacity(windows.len());
+        for w in windows {
+            match merged.last_mut() {
+                Some(last) if w.0 <= last.1 + 1 => last.1 = last.1.max(w.1),
+                _ => merged.push(w),
+            }
+        }
+
+        // Emission probability, log-uniform.
+        let (lo, hi) = cfg.emit_prob;
+        let p = lo * (hi / lo).powf(rng.random::<f64>());
+
+        // Sleep from the mixture.
+        let mut pick = rng.random::<f64>();
+        let mut sleep = None;
+        for (s, w) in SLEEPS {
+            if pick < w {
+                sleep = s;
+                break;
+            }
+            pick -= w;
+        }
+
+        out.push(BurstEvent { members, windows: merged, emit_prob: p, sleep });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sleep_covers_plain_and_wrapping_ranges() {
+        let night = Sleep { from: 30, to: 450 };
+        assert!(night.covers(100));
+        assert!(!night.covers(1000));
+        assert_eq!(night.duration(), 421);
+        let wrap = Sleep { from: 1320, to: 540 };
+        assert!(wrap.covers(1400));
+        assert!(wrap.covers(10));
+        assert!(!wrap.covers(700));
+        assert_eq!(wrap.duration(), 661);
+        // Across days: minute 1440+10 is minute-of-day 10.
+        assert!(wrap.covers(1450));
+    }
+
+    #[test]
+    fn events_respect_config_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = BurstConfig { events: 300, item_range: 20..120, ..Default::default() };
+        let events = generate_events(&mut rng, &cfg, 100_000);
+        assert_eq!(events.len(), 300);
+        for ev in &events {
+            assert!(!ev.members.is_empty() && ev.members.len() <= 4);
+            assert!(ev.members.iter().all(|&m| (20..120).contains(&m)));
+            assert!(ev.members.windows(2).all(|w| w[0] < w[1]));
+            assert!((0.08..=0.7).contains(&ev.emit_prob));
+            assert!(!ev.windows.is_empty());
+            for w in &ev.windows {
+                assert!(w.0 <= w.1 && w.1 < 100_000);
+            }
+            // Windows are disjoint after merging.
+            assert!(ev.windows.windows(2).all(|p| p[0].1 < p[1].0));
+        }
+    }
+
+    #[test]
+    fn mixture_produces_both_multi_window_and_sleeping_events() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = BurstConfig { events: 400, item_range: 0..50, ..Default::default() };
+        let events = generate_events(&mut rng, &cfg, 50_000);
+        assert!(events.iter().any(|e| e.windows.len() >= 2));
+        assert!(events.iter().any(|e| e.sleep.is_some()));
+        assert!(events.iter().any(|e| e.sleep.is_none()));
+        assert!(events.iter().any(|e| e.members.len() >= 2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BurstConfig::default();
+        let a = generate_events(&mut StdRng::seed_from_u64(7), &cfg, 10_000);
+        let b = generate_events(&mut StdRng::seed_from_u64(7), &cfg, 10_000);
+        assert_eq!(a, b);
+        let c = generate_events(&mut StdRng::seed_from_u64(8), &cfg, 10_000);
+        assert_ne!(a, c);
+    }
+}

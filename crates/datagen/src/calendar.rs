@@ -1,0 +1,108 @@
+//! Calendar helpers for the minute-granular simulators: both of the paper's
+//! real datasets (Shop-14 clickstream, Twitter hashtags) are minute-binned
+//! streams whose intensity follows human daily rhythms.
+
+use rpm_timeseries::Timestamp;
+
+/// Minutes per day.
+pub const MINUTES_PER_DAY: Timestamp = 1440;
+
+/// Day index (0-based) of a minute timestamp.
+pub fn day_of(ts: Timestamp) -> i64 {
+    ts.div_euclid(MINUTES_PER_DAY)
+}
+
+/// Minute within the day, `0..1440`.
+pub fn minute_of_day(ts: Timestamp) -> i64 {
+    ts.rem_euclid(MINUTES_PER_DAY)
+}
+
+/// Builds a `"dd-mm"` date label for a minute timestamp, counting from the
+/// given month/day anchor in a non-leap year — the format of the paper's
+/// Figure 8 ("Date is of form 'dd-mm'. Year of this date is 2013").
+pub fn date_label(ts: Timestamp, anchor_month: u32, anchor_day: u32) -> String {
+    const DAYS_IN_MONTH: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let mut month = anchor_month as i64 - 1; // 0-based
+    let mut day = anchor_day as i64 - 1; // 0-based
+    let mut remaining = day_of(ts);
+    day += remaining;
+    remaining = 0;
+    let _ = remaining;
+    loop {
+        let dim = DAYS_IN_MONTH[(month % 12) as usize];
+        if day < dim {
+            break;
+        }
+        day -= dim;
+        month += 1;
+    }
+    format!("{:02}-{:02}", day + 1, (month % 12) + 1)
+}
+
+/// A smooth diurnal activity curve in `[floor, 1]`: minimal around 04:00,
+/// maximal around 16:00 — the typical shape of web-browsing and social
+/// media traffic.
+pub fn diurnal_intensity(ts: Timestamp, floor: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&floor));
+    let m = minute_of_day(ts) as f64;
+    // Peak at 16:00 (minute 960), trough 12 h away at 04:00 (minute 240).
+    let phase = (m - 960.0) / 1440.0 * std::f64::consts::TAU;
+    let wave = 0.5 * (1.0 + phase.cos());
+    floor + (1.0 - floor) * wave
+}
+
+/// Weekly modulation: weekends (days 5 and 6 of each 7-day cycle) get a
+/// boost factor, weekdays 1.0.
+pub fn weekend_boost(ts: Timestamp, boost: f64) -> f64 {
+    if day_of(ts).rem_euclid(7) >= 5 {
+        boost
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_and_minute_decomposition() {
+        assert_eq!(day_of(0), 0);
+        assert_eq!(day_of(1439), 0);
+        assert_eq!(day_of(1440), 1);
+        assert_eq!(minute_of_day(1500), 60);
+        assert_eq!(day_of(-1), -1);
+    }
+
+    #[test]
+    fn date_labels_walk_the_calendar() {
+        // Anchored at 2013-05-01 like the paper's Twitter database.
+        assert_eq!(date_label(0, 5, 1), "01-05");
+        assert_eq!(date_label(30 * MINUTES_PER_DAY, 5, 1), "31-05");
+        assert_eq!(date_label(31 * MINUTES_PER_DAY, 5, 1), "01-06");
+        // Day 51 = June 21 (the yyc/uttarakhand flood onset in Table 6).
+        assert_eq!(date_label(51 * MINUTES_PER_DAY, 5, 1), "21-06");
+        // Day 122 = August 31, the collection's last day.
+        assert_eq!(date_label(122 * MINUTES_PER_DAY, 5, 1), "31-08");
+    }
+
+    #[test]
+    fn diurnal_peaks_in_the_evening() {
+        let night = diurnal_intensity(4 * 60, 0.05); // 04:00
+        let afternoon = diurnal_intensity(16 * 60, 0.05); // 16:00
+        assert!(afternoon > 0.9);
+        assert!(night < 0.2);
+        for m in 0..1440 {
+            let v = diurnal_intensity(m, 0.05);
+            assert!((0.05..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weekend_boost_applies_on_days_5_and_6() {
+        assert_eq!(weekend_boost(0, 1.5), 1.0); // day 0
+        assert_eq!(weekend_boost(5 * MINUTES_PER_DAY, 1.5), 1.5);
+        assert_eq!(weekend_boost(6 * MINUTES_PER_DAY + 100, 1.5), 1.5);
+        assert_eq!(weekend_boost(7 * MINUTES_PER_DAY, 1.5), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Simulator for the paper's Shop-14 database (§5.1): clickstream of an
+//! online store binned into minute-transactions — "59,240 transactions
+//! (i.e., 41 days of page visits) and 138 distinct items (or product
+//! categories)".
+//!
+//! Minutes with no visits produce **no** transaction (night-time troughs),
+//! which is how 42 calendar days yield roughly 59k transactions. Two kinds
+//! of structure are planted:
+//!
+//! * a **seasonal campaign** pair (`cat-sale`, `cat-checkout`) active in two
+//!   windows — a genuinely *recurring* pattern (`minRec = 2` finds it);
+//! * a **flash sale** pair (`cat-flash`, `cat-landing`) active once — found
+//!   only at `minRec = 1`, and involving otherwise-rare categories (the
+//!   paper's rare-item motivation).
+//!
+//! Background traffic is Zipf over the category catalogue with diurnal and
+//! weekend modulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpm_timeseries::{DbBuilder, ItemId, Timestamp};
+
+use crate::bursts::{generate_events, BurstConfig};
+use crate::calendar::{diurnal_intensity, weekend_boost, MINUTES_PER_DAY};
+use crate::planted::{PlantedPattern, SimulatedStream};
+use crate::zipf::Zipf;
+
+/// Full-scale stream length: 42 days of minutes (yielding ≈ the paper's
+/// 59,240 non-empty minutes after the night-time troughs).
+pub const FULL_MINUTES: Timestamp = 42 * MINUTES_PER_DAY;
+
+/// Configuration of the clickstream simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShopConfig {
+    /// Calendar compression in `(0, 1]`.
+    pub scale: f64,
+    /// Number of background product categories (138 in the paper, including
+    /// the four planted ones).
+    pub categories: usize,
+    /// Mean category visits per minute at peak intensity.
+    pub background_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ShopConfig {
+    fn default() -> Self {
+        Self { scale: 1.0, categories: 134, background_rate: 3.2, seed: 0x0005_1409_u64 }
+    }
+}
+
+const fn dm(day: Timestamp, minute: Timestamp) -> Timestamp {
+    day * MINUTES_PER_DAY + minute
+}
+
+/// Generates the simulated clickstream with its planted ground truth.
+pub fn generate_clickstream(config: &ShopConfig) -> SimulatedStream {
+    assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0,1]");
+    assert!(config.categories >= 1, "need at least one category");
+    let total = ((FULL_MINUTES as f64) * config.scale) as Timestamp;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.categories, 1.0);
+
+    let mut b = DbBuilder::with_capacity(total as usize);
+    for i in 0..config.categories {
+        b.items_mut().intern(&format!("cat-{i}"));
+    }
+    let sale = b.items_mut().intern("cat-sale");
+    let checkout = b.items_mut().intern("cat-checkout");
+    let flash = b.items_mut().intern("cat-flash");
+    let landing = b.items_mut().intern("cat-landing");
+
+    // Planted windows in full-clock minutes, scaled.
+    let sc = |t: Timestamp| (t as f64 * config.scale) as Timestamp;
+    let campaign: Vec<(Timestamp, Timestamp)> =
+        vec![(sc(dm(3, 540)), sc(dm(10, 1200))), (sc(dm(24, 540)), sc(dm(31, 1200)))];
+    let flash_window: Vec<(Timestamp, Timestamp)> = vec![(sc(dm(16, 600)), sc(dm(19, 600)))];
+    let campaign_prob = 0.35;
+    let flash_prob = 0.5;
+
+    // Per-minute accumulators, filled in three sweeps and flushed at the
+    // end; minutes left empty (night troughs) produce no transaction.
+    let mut minutes: Vec<Vec<ItemId>> = vec![Vec::new(); total as usize];
+
+    // Sweep 1: stationary background over the category catalogue.
+    for (ts, bucket) in minutes.iter_mut().enumerate() {
+        let real_ts = (ts as f64 / config.scale) as Timestamp;
+        // Deep night floor so some minutes stay empty, as in the real data.
+        let intensity = diurnal_intensity(real_ts, 0.02) * weekend_boost(real_ts, 1.4);
+        let expected = config.background_rate * intensity;
+        let mut remaining = expected.floor() as usize
+            + usize::from(rng.random::<f64>() < expected.fract());
+        while remaining > 0 {
+            bucket.push(ItemId(zipf.sample(&mut rng) as u32));
+            remaining -= 1;
+        }
+    }
+
+    // Sweep 2: synthetic merchandising bursts over the catalogue tail —
+    // promotions and fashions that run for days-to-weeks, sometimes twice,
+    // and browse mostly in the daytime.
+    let head = 10.min(config.categories.saturating_sub(1)).max(1);
+    if head < config.categories {
+        let burst_cfg = BurstConfig {
+            events: 45,
+            item_range: head..config.categories,
+            window_frac: (0.04, 0.22),
+            emit_prob: (0.05, 0.45),
+            extra_window_prob: 0.4,
+            size_weights: [0.55, 0.35, 0.10, 0.0],
+        };
+        let bursts = generate_events(&mut rng, &burst_cfg, total);
+        for ev in &bursts {
+            for &(s, e) in &ev.windows {
+                for ts in s..=e {
+                    let real_ts = (ts as f64 / config.scale) as Timestamp;
+                    if ev.sleep.is_some_and(|sl| sl.covers(real_ts)) {
+                        continue;
+                    }
+                    if rng.random::<f64>() < ev.emit_prob {
+                        minutes[ts as usize]
+                            .extend(ev.members.iter().map(|&m| ItemId(m as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Sweep 3: the planted campaign (two windows) and flash sale (one).
+    for (ts, bucket) in minutes.iter_mut().enumerate() {
+        let ts = ts as Timestamp;
+        let real_ts = (ts as f64 / config.scale) as Timestamp;
+        let intensity = diurnal_intensity(real_ts, 0.02) * weekend_boost(real_ts, 1.4);
+        if campaign.iter().any(|&(s, e)| ts >= s && ts <= e)
+            && rng.random::<f64>() < campaign_prob * intensity.max(0.3)
+        {
+            bucket.push(sale);
+            bucket.push(checkout);
+        }
+        if flash_window.iter().any(|&(s, e)| ts >= s && ts <= e)
+            && rng.random::<f64>() < flash_prob * intensity.max(0.3)
+        {
+            bucket.push(flash);
+            bucket.push(landing);
+        }
+    }
+
+    for (ts, bucket) in minutes.into_iter().enumerate() {
+        if !bucket.is_empty() {
+            b.add_ids(ts as Timestamp, bucket);
+        }
+    }
+
+    let planted = vec![
+        PlantedPattern {
+            name: "seasonal-campaign".into(),
+            labels: vec!["cat-sale".into(), "cat-checkout".into()],
+            windows: campaign,
+            emit_prob: campaign_prob,
+        },
+        PlantedPattern {
+            name: "flash-sale".into(),
+            labels: vec!["cat-flash".into(), "cat-landing".into()],
+            windows: flash_window,
+            emit_prob: flash_prob,
+        },
+    ];
+
+    SimulatedStream { db: b.build(), planted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_timeseries::DbStats;
+
+    fn small() -> ShopConfig {
+        ShopConfig { scale: 0.1, seed: 9, ..ShopConfig::default() }
+    }
+
+    #[test]
+    fn night_troughs_leave_minutes_empty() {
+        let s = generate_clickstream(&small());
+        let total = ((FULL_MINUTES as f64) * 0.1) as usize;
+        assert!(s.db.len() < total, "some minutes must be empty");
+        assert!(s.db.len() > total / 2, "most minutes must have visits");
+    }
+
+    #[test]
+    fn full_scale_cardinalities_are_paper_like() {
+        // 42 days at full scale; item count = 134 background + 4 planted = 138.
+        assert_eq!(FULL_MINUTES, 60_480);
+        let s = generate_clickstream(&small());
+        let stats = DbStats::compute(&s.db);
+        assert!(stats.items <= 138);
+        assert!(stats.items > 100);
+    }
+
+    #[test]
+    fn campaign_recurs_twice_flash_once() {
+        let s = generate_clickstream(&small());
+        assert_eq!(s.planted[0].windows.len(), 2);
+        assert_eq!(s.planted[1].windows.len(), 1);
+        // Co-occurrences concentrate inside the windows.
+        for p in &s.planted {
+            let ids: Vec<_> =
+                p.labels.iter().map(|l| s.db.items().id(l).unwrap()).collect();
+            let ts = s.db.timestamps_of(&ids);
+            assert!(!ts.is_empty(), "{} never occurs", p.name);
+            let inside = ts
+                .iter()
+                .filter(|&&t| p.windows.iter().any(|&(a, z)| t >= a && t <= z))
+                .count();
+            assert_eq!(inside, ts.len(), "{}: all co-occurrences are planted", p.name);
+        }
+    }
+
+    #[test]
+    fn planted_categories_are_rare_items() {
+        let s = generate_clickstream(&small());
+        let stats = DbStats::compute(&s.db);
+        let flash = s.db.items().id("cat-flash").unwrap();
+        let flash_sup = s.db.support(&[flash]);
+        let top_sup = stats.top_items[0].1;
+        assert!(
+            flash_sup * 4 < top_sup,
+            "flash ({flash_sup}) must be rare vs head category ({top_sup})"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_clickstream(&small());
+        let b = generate_clickstream(&small());
+        assert_eq!(a.db.len(), b.db.len());
+        for (x, y) in a.db.transactions().iter().zip(b.db.transactions()).take(200) {
+            assert_eq!(x.items(), y.items());
+        }
+    }
+
+    #[test]
+    fn weekend_minutes_are_busier_on_average() {
+        let s = generate_clickstream(&ShopConfig { scale: 0.25, seed: 4, ..Default::default() });
+        let (mut wk, mut wkn, mut nwk, mut nwkn) = (0usize, 0usize, 0usize, 0usize);
+        for t in s.db.transactions() {
+            let real = (t.timestamp() as f64 / 0.25) as Timestamp;
+            if crate::calendar::day_of(real).rem_euclid(7) >= 5 {
+                wk += t.len();
+                wkn += 1;
+            } else {
+                nwk += t.len();
+                nwkn += 1;
+            }
+        }
+        let weekend_avg = wk as f64 / wkn.max(1) as f64;
+        let weekday_avg = nwk as f64 / nwkn.max(1) as f64;
+        assert!(weekend_avg > weekday_avg, "{weekend_avg} vs {weekday_avg}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Exact-ground-truth construction: databases whose **complete** recurring
+//! pattern output is analytically known.
+//!
+//! Each spec entry plants a co-occurring item group firing in arithmetic
+//! progressions. The builder assigns every entry its own disjoint time band
+//! and fresh items, so groups never interact: the timestamp list of any
+//! non-empty subset of a group equals the group's own occurrence list, and
+//! no cross-group itemset ever co-occurs. The expected mining output for
+//! any `(per, minPS, minRec)` is therefore a closed-form function of the
+//! spec — which the integration suite compares against the real miners,
+//! pattern for pattern, interval for interval.
+
+use rpm_core::{
+    canonical_order, get_recurrence, PeriodicInterval, RecurringPattern, ResolvedParams,
+};
+use rpm_timeseries::{DbBuilder, Timestamp, TransactionDb};
+
+/// One planted co-occurrence group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactGroup {
+    /// Number of items in the group (labelled `g<k>-i<j>`).
+    pub items: usize,
+    /// Occurrence bursts: `(step, count)` — the group fires `count` times
+    /// at distance `step`, once per burst, bursts separated by a gap larger
+    /// than any sensible `per` (the builder inserts `10_000` stamps).
+    pub bursts: Vec<(Timestamp, usize)>,
+}
+
+/// The full spec: a list of groups.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExactSpec {
+    /// The groups to plant.
+    pub groups: Vec<ExactGroup>,
+}
+
+/// Gap inserted between bursts and between groups — larger than any `per`
+/// the expectation function accepts.
+pub const BURST_GAP: Timestamp = 10_000;
+
+impl ExactSpec {
+    /// Builds the database realising this spec.
+    pub fn build(&self) -> TransactionDb {
+        let mut b = DbBuilder::new();
+        let mut cursor: Timestamp = 0;
+        for (g, group) in self.groups.iter().enumerate() {
+            assert!(group.items >= 1, "group {g} needs at least one item");
+            let labels: Vec<String> =
+                (0..group.items).map(|j| format!("g{g}-i{j}")).collect();
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            for &(step, count) in &group.bursts {
+                assert!(step > 0 && count >= 1, "group {g}: invalid burst");
+                for k in 0..count {
+                    b.add_labeled(cursor + k as Timestamp * step, &refs);
+                }
+                cursor += (count as Timestamp - 1) * step + BURST_GAP;
+            }
+        }
+        b.build()
+    }
+
+    /// Computes the complete expected recurring-pattern output for `params`
+    /// (requires `params.per < BURST_GAP` so bursts never merge).
+    pub fn expected(&self, db: &TransactionDb, params: ResolvedParams) -> Vec<RecurringPattern> {
+        assert!(params.per < BURST_GAP, "per must stay below the burst gap");
+        let mut out = Vec::new();
+        let mut cursor: Timestamp = 0;
+        for (g, group) in self.groups.iter().enumerate() {
+            // The group's occurrence list and its interesting intervals.
+            let mut intervals: Vec<PeriodicInterval> = Vec::new();
+            let mut support = 0usize;
+            for &(step, count) in &group.bursts {
+                support += count;
+                if step <= params.per {
+                    // One maximal run per burst.
+                    if count >= params.min_ps {
+                        intervals.push(PeriodicInterval {
+                            start: cursor,
+                            end: cursor + (count as Timestamp - 1) * step,
+                            periodic_support: count,
+                        });
+                    }
+                } else {
+                    // Every occurrence is its own singleton run.
+                    if params.min_ps == 1 {
+                        for k in 0..count {
+                            let ts = cursor + k as Timestamp * step;
+                            intervals.push(PeriodicInterval {
+                                start: ts,
+                                end: ts,
+                                periodic_support: 1,
+                            });
+                        }
+                    }
+                }
+                cursor += (count as Timestamp - 1) * step + BURST_GAP;
+            }
+            if intervals.len() < params.min_rec {
+                continue;
+            }
+            // All non-empty subsets share the group's timestamps.
+            let ids: Vec<_> = (0..group.items)
+                .map(|j| db.items().id(&format!("g{g}-i{j}")).expect("planted item"))
+                .collect();
+            for mask in 1u32..(1 << group.items) {
+                let subset: Vec<_> = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| mask & (1 << j) != 0)
+                    .map(|(_, &id)| id)
+                    .collect();
+                out.push(RecurringPattern::new(subset, support, intervals.clone()));
+            }
+        }
+        canonical_order(&mut out);
+        out
+    }
+}
+
+/// Sanity helper used by tests: every expected pattern must verify against
+/// the built database under the same parameters.
+pub fn self_check(spec: &ExactSpec, params: ResolvedParams) -> bool {
+    let db = spec.build();
+    let expected = spec.expected(&db, params);
+    expected.iter().all(|p| {
+        let ts = db.timestamps_of(&p.items);
+        ts.len() == p.support
+            && get_recurrence(&ts, params).as_deref() == Some(p.intervals.as_slice())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_group_spec() -> ExactSpec {
+        ExactSpec {
+            groups: vec![
+                // Pair firing every 2 stamps: 5 times, then 4 times.
+                ExactGroup { items: 2, bursts: vec![(2, 5), (2, 4)] },
+                // Triple firing every 7 stamps, twice.
+                ExactGroup { items: 3, bursts: vec![(7, 6), (7, 6)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn builder_produces_disjoint_bands() {
+        let spec = two_group_spec();
+        let db = spec.build();
+        assert_eq!(db.item_count(), 5);
+        // Groups never co-occur.
+        let g0 = db.pattern_ids(&["g0-i0", "g1-i0"]).unwrap();
+        assert_eq!(db.support(&g0), 0);
+        // Items within a group always co-occur.
+        let pair = db.pattern_ids(&["g0-i0", "g0-i1"]).unwrap();
+        assert_eq!(db.support(&pair), 9);
+    }
+
+    #[test]
+    fn expectation_matches_definition() {
+        let spec = two_group_spec();
+        for (per, min_ps, min_rec) in [(2, 4, 2), (2, 5, 1), (7, 3, 2), (1, 1, 1), (6, 2, 2)] {
+            let params = ResolvedParams::new(per, min_ps, min_rec);
+            assert!(self_check(&spec, params), "self-check failed at {params:?}");
+        }
+    }
+
+    #[test]
+    fn expected_counts_are_closed_form() {
+        let spec = two_group_spec();
+        let db = spec.build();
+        // per=2, minPS=4, minRec=2: group 0 has runs of 5 and 4 (both ≥ 4)
+        // ⇒ Rec 2 ⇒ its 3 subsets qualify. Group 1's step 7 > per ⇒ out.
+        let expected = spec.expected(&db, ResolvedParams::new(2, 4, 2));
+        assert_eq!(expected.len(), 3);
+        // per=7: both groups qualify ⇒ 3 + 7 subsets.
+        let expected = spec.expected(&db, ResolvedParams::new(7, 4, 2));
+        assert_eq!(expected.len(), 10);
+        // minPS=5 at per=2: group 0's second run (4) is uninteresting ⇒
+        // Rec 1 ⇒ only minRec=1 keeps it.
+        assert_eq!(spec.expected(&db, ResolvedParams::new(2, 5, 2)).len(), 0);
+        assert_eq!(spec.expected(&db, ResolvedParams::new(2, 5, 1)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "per must stay below")]
+    fn oversized_per_is_rejected() {
+        let spec = two_group_spec();
+        let db = spec.build();
+        let _ = spec.expected(&db, ResolvedParams::new(BURST_GAP, 1, 1));
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic dataset generators reproducing the statistical shape of the
+//! EDBT 2015 paper's three evaluation databases (§5.1), with planted ground
+//! truth where the paper relied on real-world events:
+//!
+//! * [`quest`] — IBM Quest-style generator for `T10I4D100K`;
+//! * [`clickstream`] — Shop-14-like minute-binned store clickstream;
+//! * [`twitter`] — hashtag stream with the Table 6 events planted;
+//! * [`planted`] — ground-truth specs and recovery metrics;
+//! * [`zipf`], [`calendar`] — sampling and time-of-day substrates.
+//!
+//! All generators are deterministic per seed, and accept a `scale` knob so
+//! tests and quick experiment runs use compressed calendars while `--scale
+//! 1.0` reproduces the paper's cardinalities.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bursts;
+pub mod calendar;
+pub mod clickstream;
+pub mod exact;
+pub mod noise;
+pub mod planted;
+pub mod quest;
+pub mod twitter;
+pub mod zipf;
+
+pub use clickstream::{generate_clickstream, ShopConfig};
+pub use exact::{ExactGroup, ExactSpec};
+pub use noise::{inject_noise, NoiseConfig};
+pub use planted::{
+    evaluate_recovery, PatternRecovery, PlantedPattern, RecoveryReport, SimulatedStream,
+};
+pub use quest::{generate_quest, QuestConfig};
+pub use twitter::{generate_twitter, TwitterConfig};
+pub use zipf::Zipf;

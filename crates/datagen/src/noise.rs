@@ -1,0 +1,138 @@
+//! Noise injection for robustness experiments — drops event incidences and
+//! jitters timestamps, the two corruption modes the paper's future-work
+//! section names (noisy data, phase shifts).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpm_timeseries::{DbBuilder, Timestamp, TransactionDb};
+
+/// Noise model applied by [`inject_noise`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability that each (item, transaction) incidence is dropped.
+    pub drop_prob: f64,
+    /// Maximum timestamp jitter; each transaction moves by a uniform offset
+    /// in `[-jitter, +jitter]` (0 disables).
+    pub jitter: Timestamp,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NoiseConfig {
+    /// Pure event-dropping noise.
+    pub fn drops(drop_prob: f64, seed: u64) -> Self {
+        Self { drop_prob, jitter: 0, seed }
+    }
+
+    /// Pure phase-shift noise.
+    pub fn jitters(jitter: Timestamp, seed: u64) -> Self {
+        Self { drop_prob: 0.0, jitter, seed }
+    }
+}
+
+/// Returns a corrupted copy of `db`. Transactions that lose all items
+/// disappear; jittered transactions that collide on a timestamp merge —
+/// both exactly as a real noisy recording would look after the §3
+/// conversion.
+///
+/// # Panics
+/// Panics unless `drop_prob ∈ [0, 1)` and `jitter >= 0`.
+pub fn inject_noise(db: &TransactionDb, config: &NoiseConfig) -> TransactionDb {
+    assert!((0.0..1.0).contains(&config.drop_prob), "drop_prob must be in [0,1)");
+    assert!(config.jitter >= 0, "jitter must be non-negative");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DbBuilder::with_capacity(db.len());
+    for t in db.transactions() {
+        let kept: Vec<&str> = t
+            .items()
+            .iter()
+            .filter(|_| config.drop_prob == 0.0 || rng.random::<f64>() >= config.drop_prob)
+            .map(|&i| db.items().label(i))
+            .collect();
+        if kept.is_empty() {
+            continue;
+        }
+        let ts = if config.jitter == 0 {
+            t.timestamp()
+        } else {
+            t.timestamp() + rng.random_range(-config.jitter..=config.jitter)
+        };
+        b.add_labeled(ts, &kept);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_timeseries::running_example_db;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let db = running_example_db();
+        let out = inject_noise(&db, &NoiseConfig::drops(0.0, 1));
+        assert_eq!(out.len(), db.len());
+        for (a, b) in db.transactions().iter().zip(out.transactions()) {
+            assert_eq!(a.timestamp(), b.timestamp());
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn drops_remove_roughly_the_requested_fraction() {
+        let mut b = DbBuilder::new();
+        for ts in 0..2000 {
+            b.add_labeled(ts, &["x", "y"]);
+        }
+        let db = b.build();
+        let noisy = inject_noise(&db, &NoiseConfig::drops(0.25, 7));
+        let total: usize = noisy.transactions().iter().map(|t| t.len()).sum();
+        let kept = total as f64 / 4000.0;
+        assert!((0.70..0.80).contains(&kept), "kept fraction {kept}");
+    }
+
+    #[test]
+    fn fully_emptied_transactions_disappear() {
+        let mut b = DbBuilder::new();
+        for ts in 0..500 {
+            b.add_labeled(ts, &["solo"]);
+        }
+        let db = b.build();
+        let noisy = inject_noise(&db, &NoiseConfig::drops(0.5, 3));
+        assert!(noisy.len() < 500);
+        assert!(noisy.len() > 100);
+    }
+
+    #[test]
+    fn jitter_moves_but_preserves_incidences() {
+        let db = running_example_db();
+        let noisy = inject_noise(&db, &NoiseConfig::jitters(2, 11));
+        let before: usize = db.transactions().iter().map(|t| t.len()).sum();
+        let after: usize = noisy.transactions().iter().map(|t| t.len()).sum();
+        // Collisions may merge duplicate items, never invent them.
+        assert!(after <= before);
+        assert!(after >= before / 2);
+        // Some timestamp must actually have moved.
+        let moved = db
+            .transactions()
+            .iter()
+            .map(|t| t.timestamp())
+            .ne(noisy.transactions().iter().map(|t| t.timestamp()));
+        assert!(moved);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let db = running_example_db();
+        let a = inject_noise(&db, &NoiseConfig::drops(0.3, 5));
+        let b = inject_noise(&db, &NoiseConfig::drops(0.3, 5));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn rejects_certain_drop() {
+        let db = running_example_db();
+        let _ = inject_noise(&db, &NoiseConfig::drops(1.0, 1));
+    }
+}

@@ -1,0 +1,329 @@
+//! Simulator for the paper's Twitter database (§5.1): 177,120
+//! minute-transactions spanning 1-May-2013 .. 31-Aug-2013 (123 days) over
+//! the top 1000 hashtags, with the real events of Table 6 planted as ground
+//! truth:
+//!
+//! | event | tags | paper windows |
+//! |---|---|---|
+//! | floods | `#yyc #uttarakhand` | 21-Jun 01:08 → 01-Jul 04:27 |
+//! | nuclear | `#nuclear #hibaku` | 06-May 22:33 → 24-May 22:13; 01-Jul 06:17 → 14-Jul 06:21 |
+//! | elections | `#pakvotes #nayapakistan` | 09-May 16:15 → 15-May 14:11 |
+//! | tornado | `#oklahoma #tornado #prayforoklahoma` | 21-May 11:52 → 24-May 21:38 |
+//!
+//! Background traffic is Zipf over `#tag0..#tagN` with diurnal intensity.
+//! Planted tags also get small background rates so that, as in the paper,
+//! `#yyc` is a moderately common city tag while `#uttarakhand` is rare
+//! outside its event (Figure 8a).
+//!
+//! `scale` compresses the whole calendar (windows keep their *fractional*
+//! position), so every planted event survives at any scale and the
+//! `minPS`-as-percentage semantics of Table 4 are preserved.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpm_timeseries::{DbBuilder, ItemId, Timestamp};
+
+use crate::bursts::{generate_events, BurstConfig};
+use crate::calendar::{diurnal_intensity, MINUTES_PER_DAY};
+use crate::planted::{PlantedPattern, SimulatedStream};
+use crate::zipf::Zipf;
+
+/// Full-scale stream length: 123 days of minutes.
+pub const FULL_MINUTES: Timestamp = 123 * MINUTES_PER_DAY;
+
+/// Configuration of the Twitter-like simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwitterConfig {
+    /// Calendar compression in `(0, 1]`; 1.0 reproduces the paper's
+    /// 177,120-transaction clock.
+    pub scale: f64,
+    /// Number of background hashtags (1000 in the paper).
+    pub hashtags: usize,
+    /// Mean background hashtags per minute at peak intensity.
+    pub background_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        Self { scale: 1.0, hashtags: 1000, background_rate: 3.0, seed: 0x0771_77E2_u64 }
+    }
+}
+
+/// One planted event prototype in full-clock minutes.
+struct EventSpec {
+    name: &'static str,
+    labels: &'static [&'static str],
+    windows: &'static [(Timestamp, Timestamp)],
+    emit_prob: f64,
+    /// Background (out-of-window) per-minute probability per label, giving
+    /// common tags like `#yyc` their baseline traffic.
+    background: &'static [f64],
+}
+
+const fn dm(day: Timestamp, minute: Timestamp) -> Timestamp {
+    day * MINUTES_PER_DAY + minute
+}
+
+/// Table 6's events (1-May-2013 = day 0).
+const EVENTS: &[EventSpec] = &[
+    EventSpec {
+        name: "floods",
+        labels: &["#yyc", "#uttarakhand"],
+        // 21-Jun 01:08 → 01-Jul 04:27.
+        windows: &[(dm(51, 68), dm(61, 267))],
+        emit_prob: 0.30,
+        background: &[0.30, 0.002],
+    },
+    EventSpec {
+        name: "nuclear",
+        labels: &["#nuclear", "#hibaku"],
+        // 06-May 22:33 → 24-May 22:13 and 01-Jul 06:17 → 14-Jul 06:21.
+        windows: &[(dm(5, 1353), dm(23, 1333)), (dm(61, 377), dm(74, 381))],
+        emit_prob: 0.30,
+        background: &[0.15, 0.003],
+    },
+    EventSpec {
+        name: "elections",
+        labels: &["#pakvotes", "#nayapakistan"],
+        // 09-May 16:15 → 15-May 14:11.
+        windows: &[(dm(8, 975), dm(14, 851))],
+        emit_prob: 0.55,
+        background: &[0.004, 0.002],
+    },
+    EventSpec {
+        name: "tornado",
+        labels: &["#oklahoma", "#tornado", "#prayforoklahoma"],
+        // 21-May 11:52 → 24-May 21:38.
+        windows: &[(dm(20, 712), dm(23, 1298))],
+        emit_prob: 0.80,
+        background: &[0.06, 0.01, 0.0005],
+    },
+];
+
+/// Generates the simulated hashtag stream with its planted ground truth.
+pub fn generate_twitter(config: &TwitterConfig) -> SimulatedStream {
+    assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0,1]");
+    assert!(config.hashtags >= 1, "need at least one hashtag");
+    let total = ((FULL_MINUTES as f64) * config.scale) as Timestamp;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.hashtags, 1.05);
+
+    let mut b = DbBuilder::with_capacity(total as usize);
+    // Stable vocabulary: background tags first, event tags after.
+    for i in 0..config.hashtags {
+        b.items_mut().intern(&format!("#tag{i}"));
+    }
+    let mut event_ids: Vec<Vec<ItemId>> = Vec::new();
+    for ev in EVENTS {
+        event_ids.push(ev.labels.iter().map(|l| b.items_mut().intern(l)).collect());
+    }
+    let scaled: Vec<Vec<(Timestamp, Timestamp)>> = EVENTS
+        .iter()
+        .map(|ev| {
+            ev.windows
+                .iter()
+                .map(|&(s, e)| {
+                    (
+                        (s as f64 * config.scale) as Timestamp,
+                        (e as f64 * config.scale) as Timestamp,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-minute item accumulators; built in three sweeps (background,
+    // synthetic bursts, planted Table-6 events) and flushed at the end.
+    let mut minutes: Vec<Vec<ItemId>> = vec![Vec::new(); total as usize];
+
+    // Sweep 1: stationary background — evergreen head tags plus a thin
+    // Zipf tail, diurnally modulated. When the clock is compressed, a
+    // simulated minute represents 1/scale real minutes; probabilities are
+    // evaluated at the equivalent real minute.
+    for (ts, bucket) in minutes.iter_mut().enumerate() {
+        let real_ts = (ts as f64 / config.scale) as Timestamp;
+        let intensity = diurnal_intensity(real_ts, 0.25);
+        let expected = config.background_rate * intensity;
+        let mut remaining = expected.floor() as usize
+            + usize::from(rng.random::<f64>() < expected.fract());
+        while remaining > 0 {
+            bucket.push(ItemId(zipf.sample(&mut rng) as u32));
+            remaining -= 1;
+        }
+    }
+
+    // Sweep 2: synthetic trending bursts over the Zipf tail. These are what
+    // make the stream non-stationary: window-bounded co-occurrences that
+    // recur, go quiet at night, and defeat whole-series periodicity.
+    let head = 30.min(config.hashtags.saturating_sub(1)).max(1);
+    if head < config.hashtags {
+        let burst_cfg = BurstConfig {
+            events: 280,
+            item_range: head..config.hashtags,
+            window_frac: (0.03, 0.25),
+            emit_prob: (0.08, 0.7),
+            extra_window_prob: 0.35,
+            size_weights: [0.45, 0.35, 0.15, 0.05],
+        };
+        let bursts = generate_events(&mut rng, &burst_cfg, total);
+        for ev in &bursts {
+            for &(s, e) in &ev.windows {
+                for ts in s..=e {
+                    let real_ts = (ts as f64 / config.scale) as Timestamp;
+                    if ev.sleep.is_some_and(|sl| sl.covers(real_ts)) {
+                        continue;
+                    }
+                    if rng.random::<f64>() < ev.emit_prob {
+                        minutes[ts as usize]
+                            .extend(ev.members.iter().map(|&m| ItemId(m as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Sweep 3: the planted Table-6 events — in-window co-emission plus
+    // their out-of-window background presence (making #yyc a common city
+    // tag and #uttarakhand rare, as in Figure 8a).
+    for (k, ev) in EVENTS.iter().enumerate() {
+        for (ts, bucket) in minutes.iter_mut().enumerate() {
+            let ts = ts as Timestamp;
+            let real_ts = (ts as f64 / config.scale) as Timestamp;
+            let intensity = diurnal_intensity(real_ts, 0.25);
+            let in_window = scaled[k].iter().any(|&(s, e)| ts >= s && ts <= e);
+            if in_window {
+                if rng.random::<f64>() < ev.emit_prob {
+                    bucket.extend(event_ids[k].iter().copied());
+                }
+            } else {
+                for (j, &bg) in ev.background.iter().enumerate() {
+                    if rng.random::<f64>() < bg * intensity {
+                        bucket.push(event_ids[k][j]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Flush: the paper's database has a transaction for every minute.
+    for (ts, mut bucket) in minutes.into_iter().enumerate() {
+        if bucket.is_empty() {
+            bucket.push(ItemId(zipf.sample(&mut rng) as u32));
+        }
+        b.add_ids(ts as Timestamp, bucket);
+    }
+
+    let planted = EVENTS
+        .iter()
+        .zip(&scaled)
+        .map(|(ev, windows)| PlantedPattern {
+            name: ev.name.to_string(),
+            labels: ev.labels.iter().map(|s| s.to_string()).collect(),
+            windows: windows.clone(),
+            emit_prob: ev.emit_prob,
+        })
+        .collect();
+
+    SimulatedStream { db: b.build(), planted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_timeseries::DbStats;
+
+    fn small() -> TwitterConfig {
+        TwitterConfig { scale: 0.05, seed: 1, ..TwitterConfig::default() }
+    }
+
+    #[test]
+    fn every_minute_is_a_transaction() {
+        let s = generate_twitter(&small());
+        let total = ((FULL_MINUTES as f64) * 0.05) as usize;
+        assert_eq!(s.db.len(), total);
+        assert_eq!(s.db.time_span(), Some((0, total as Timestamp - 1)));
+    }
+
+    #[test]
+    fn full_scale_constant_matches_paper() {
+        assert_eq!(FULL_MINUTES, 177_120);
+    }
+
+    #[test]
+    fn planted_windows_lie_inside_the_stream() {
+        let s = generate_twitter(&small());
+        let (start, end) = s.db.time_span().unwrap();
+        assert_eq!(s.planted.len(), 4);
+        for p in &s.planted {
+            for &(ws, we) in &p.windows {
+                assert!(ws >= start && we <= end && ws < we, "{}: [{ws},{we}]", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_tags_are_dense_in_window_sparse_outside() {
+        let s = generate_twitter(&small());
+        let floods = &s.planted[0];
+        let ids = s.db.pattern_ids(&["#yyc", "#uttarakhand"]).unwrap();
+        let ts = s.db.timestamps_of(&ids);
+        let (ws, we) = floods.windows[0];
+        let inside = ts.iter().filter(|&&t| t >= ws && t <= we).count();
+        let outside = ts.len() - inside;
+        let window_len = (we - ws + 1) as f64;
+        assert!(
+            inside as f64 > window_len * 0.2,
+            "co-occurrences inside window too sparse: {inside} in {window_len}"
+        );
+        assert!(
+            (outside as f64) < ts.len() as f64 * 0.1,
+            "too many co-occurrences outside the window: {outside}/{}",
+            ts.len()
+        );
+    }
+
+    #[test]
+    fn rare_vs_common_tag_asymmetry_matches_figure_8a() {
+        let s = generate_twitter(&small());
+        let yyc = s.db.items().id("#yyc").unwrap();
+        let utt = s.db.items().id("#uttarakhand").unwrap();
+        let sup_yyc = s.db.support(&[yyc]);
+        let sup_utt = s.db.support(&[utt]);
+        assert!(
+            sup_yyc > 2 * sup_utt,
+            "#yyc ({sup_yyc}) must dominate #uttarakhand ({sup_utt})"
+        );
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a = generate_twitter(&small());
+        let b = generate_twitter(&small());
+        assert_eq!(a.db.len(), b.db.len());
+        assert_eq!(
+            a.db.transaction(100).items(),
+            b.db.transaction(100).items()
+        );
+        let c = generate_twitter(&TwitterConfig { seed: 2, ..small() });
+        let differs = (0..a.db.len().min(c.db.len()))
+            .any(|i| a.db.transaction(i).items() != c.db.transaction(i).items());
+        assert!(differs);
+    }
+
+    #[test]
+    fn vocabulary_size_is_respected() {
+        let s = generate_twitter(&small());
+        let stats = DbStats::compute(&s.db);
+        // ≤ 1000 background + 9 event tags.
+        assert!(stats.items <= 1009);
+        assert!(stats.items > 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn invalid_scale_panics() {
+        let _ = generate_twitter(&TwitterConfig { scale: 0.0, ..Default::default() });
+    }
+}

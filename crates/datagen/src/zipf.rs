@@ -1,0 +1,166 @@
+//! Zipf-distributed sampling over item ranks.
+//!
+//! Real retail/click/hashtag item popularities are heavy-tailed; the paper's
+//! rare-item discussion (§1 issue 5, §5.2) hinges on exactly this skew, so
+//! both simulators draw their background traffic from a Zipf law.
+
+use rand::Rng;
+
+/// A sampler over `0..n` with `P(k) ∝ 1 / (k + 1)^s`, implemented as a
+/// precomputed cumulative table + binary search (O(log n) per draw,
+/// deterministic given the RNG).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Draws from a Poisson distribution with mean `lambda` (Knuth's method —
+/// fine for the small means used by the Quest generator), clamped to
+/// `>= min`.
+pub fn poisson_at_least<R: Rng + ?Sized>(rng: &mut R, lambda: f64, min: usize) -> usize {
+    assert!(lambda > 0.0, "lambda must be positive");
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            break;
+        }
+        k += 1;
+        if k > 10_000 {
+            break; // numerically degenerate lambda; avoid spinning
+        }
+    }
+    k.max(min)
+}
+
+/// Draws from a normal distribution via Box–Muller, clamped to `[lo, hi]` —
+/// used for the Quest generator's per-itemset corruption levels.
+pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + sd * z).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_normalised_and_monotone() {
+        let z = Zipf::new(100, 1.0);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!((0..100).map(|k| z.pmf(k)).sum::<f64>() > 0.999);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed_towards_low_ranks() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 20_000 / 50 * 3, "head rank must be far above uniform");
+        // Empirical frequency of rank 0 within 20% of its pmf.
+        let emp = counts[0] as f64 / 20_000.0;
+        assert!((emp - z.pmf(0)).abs() / z.pmf(0) < 0.2);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| poisson_at_least(&mut rng, 10.0, 1)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(poisson_at_least(&mut rng, 0.5, 1) >= 1);
+        }
+    }
+
+    #[test]
+    fn clamped_normal_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        for _ in 0..5000 {
+            let v = clamped_normal(&mut rng, 0.5, 0.1, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / 5000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

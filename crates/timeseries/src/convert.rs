@@ -1,0 +1,137 @@
+//! Lossless conversion between event sequences and transactional databases
+//! (paper §3: "we do not miss any information pertaining to the temporal
+//! appearances of a pattern in the data").
+
+use crate::database::{DbBuilder, TransactionDb};
+use crate::event::EventSequence;
+use crate::timestamp::Timestamp;
+
+/// Groups the items appearing at each timestamp of `seq` into transactions
+/// (paper §3, Example 2). Events need not be pre-sorted; the result is
+/// temporally ordered. Timestamps with no events produce no transaction.
+pub fn events_to_db(seq: &EventSequence) -> TransactionDb {
+    let mut b = DbBuilder::with_capacity(seq.len());
+    for e in seq.events() {
+        let id = b.items_mut().intern(&e.label);
+        b.add_ids(e.ts, vec![id]);
+    }
+    b.build()
+}
+
+/// Expands a transactional database back into the (sorted) event sequence it
+/// encodes — the inverse of [`events_to_db`] up to event ordering within a
+/// timestamp.
+pub fn db_to_events(db: &TransactionDb) -> EventSequence {
+    let mut seq = EventSequence::with_capacity(db.transactions().iter().map(|t| t.len()).sum());
+    for t in db.transactions() {
+        for &item in t.items() {
+            seq.push(db.items().label(item), t.timestamp());
+        }
+    }
+    seq
+}
+
+/// Re-bins a database onto a coarser time granularity: every timestamp is
+/// mapped to `floor(ts / bucket) * bucket` and same-bucket transactions are
+/// merged. Used e.g. to turn second-level streams into the minute-level
+/// transactions of the paper's Shop-14 and Twitter databases.
+///
+/// # Panics
+/// Panics if `bucket <= 0`.
+pub fn rebin(db: &TransactionDb, bucket: Timestamp) -> TransactionDb {
+    assert!(bucket > 0, "bucket size must be positive");
+    let mut b = DbBuilder::with_capacity(db.len());
+    for t in db.transactions() {
+        let labels: Vec<&str> = t.items().iter().map(|&i| db.items().label(i)).collect();
+        let binned = t.timestamp().div_euclid(bucket) * bucket;
+        b.add_labeled(binned, &labels);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::running_example_db;
+
+    #[test]
+    fn figure_1_events_produce_table_1_db() {
+        // Item 'a' occurs at 1,2,3,4,7,11,12,14 etc. — feed the events of the
+        // running example and expect Table 1.
+        let mut seq = EventSequence::new();
+        let occurrences: [(&str, &[Timestamp]); 7] = [
+            ("a", &[1, 2, 3, 4, 7, 11, 12, 14]),
+            ("b", &[1, 3, 4, 7, 11, 12, 14]),
+            ("c", &[2, 4, 5, 7, 9, 10, 12]),
+            ("d", &[2, 4, 5, 9, 10, 12]),
+            ("e", &[3, 5, 6, 10, 11, 12]),
+            ("f", &[3, 5, 6, 10, 11, 12]),
+            ("g", &[1, 5, 6, 7, 12, 14]),
+        ];
+        for (label, stamps) in occurrences {
+            for &ts in stamps {
+                seq.push(label, ts);
+            }
+        }
+        let db = events_to_db(&seq);
+        let oracle = running_example_db();
+        assert_eq!(db.len(), oracle.len());
+        for (t, o) in db.transactions().iter().zip(oracle.transactions()) {
+            assert_eq!(t.timestamp(), o.timestamp());
+            let items: Vec<&str> = t.items().iter().map(|&i| db.items().label(i)).collect();
+            let oracle_items: Vec<&str> =
+                o.items().iter().map(|&i| oracle.items().label(i)).collect();
+            let mut items = items;
+            let mut oracle_items = oracle_items;
+            items.sort_unstable();
+            oracle_items.sort_unstable();
+            assert_eq!(items, oracle_items, "mismatch at ts {}", t.timestamp());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_point_sequences() {
+        let db = running_example_db();
+        let seq = db_to_events(&db);
+        let db2 = events_to_db(&seq);
+        for item in db.items().iter() {
+            let ts1 = db.timestamps_of(&[item.id]);
+            let id2 = db2.items().id(&item.label).unwrap();
+            let ts2 = db2.timestamps_of(&[id2]);
+            assert_eq!(ts1, ts2, "point sequence of {} changed", item.label);
+        }
+    }
+
+    #[test]
+    fn rebin_merges_buckets() {
+        let mut b = DbBuilder::new();
+        b.add_labeled(0, &["a"]);
+        b.add_labeled(59, &["b"]);
+        b.add_labeled(60, &["c"]);
+        b.add_labeled(125, &["d"]);
+        let db = b.build();
+        let hourly = rebin(&db, 60);
+        assert_eq!(hourly.len(), 3);
+        assert_eq!(hourly.transaction(0).timestamp(), 0);
+        assert_eq!(hourly.transaction(0).len(), 2); // a and b merged
+        assert_eq!(hourly.transaction(2).timestamp(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rebin_rejects_nonpositive_bucket() {
+        let db = running_example_db();
+        let _ = rebin(&db, 0);
+    }
+
+    #[test]
+    fn rebin_handles_negative_timestamps_with_floor_semantics() {
+        let mut b = DbBuilder::new();
+        b.add_labeled(-1, &["a"]);
+        b.add_labeled(1, &["b"]);
+        let db = b.build();
+        let binned = rebin(&db, 10);
+        assert_eq!(binned.transaction(0).timestamp(), -10);
+        assert_eq!(binned.transaction(1).timestamp(), 0);
+    }
+}

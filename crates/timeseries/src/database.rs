@@ -1,0 +1,361 @@
+//! The temporally ordered transactional database (`TDB`, paper §3).
+
+use crate::event::EventSequence;
+use crate::item::{ItemId, ItemTable};
+use crate::timestamp::Timestamp;
+use crate::transaction::Transaction;
+
+/// A transactional database with transactions ordered by timestamp.
+///
+/// Invariants (established by [`DbBuilder`]):
+/// * transactions are sorted by strictly increasing timestamp — a timestamp
+///   at which several events occur is represented by **one** transaction
+///   holding their union (paper Table 1);
+/// * timestamps at which no item occurs simply have no transaction (the
+///   paper's Table 1 omits ts 8 and 13);
+/// * each transaction's item set is sorted and duplicate free.
+///
+/// Because of these invariants, `TS^X` (the timestamp list of a pattern) read
+/// off this structure equals the point sequence of `X` in the original time
+/// series — no temporal information is lost (paper §3).
+#[derive(Debug, Clone, Default)]
+pub struct TransactionDb {
+    items: ItemTable,
+    transactions: Vec<Transaction>,
+}
+
+impl TransactionDb {
+    /// Starts building a database.
+    pub fn builder() -> DbBuilder {
+        DbBuilder::default()
+    }
+
+    /// Converts an event sequence into a transactional database by grouping
+    /// events that share a timestamp (paper §3, Example 2). Equivalent to
+    /// [`crate::convert::events_to_db`].
+    pub fn from_events(seq: &EventSequence) -> Self {
+        crate::convert::events_to_db(seq)
+    }
+
+    /// The item table mapping labels to dense ids.
+    pub fn items(&self) -> &ItemTable {
+        &self.items
+    }
+
+    /// Number of transactions (`|TDB|`).
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Number of distinct items.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The `idx`-th transaction in timestamp order.
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.len()`.
+    pub fn transaction(&self, idx: usize) -> &Transaction {
+        &self.transactions[idx]
+    }
+
+    /// All transactions in timestamp order.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// First and last timestamps, or `None` for an empty database.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        match (self.transactions.first(), self.transactions.last()) {
+            (Some(a), Some(b)) => Some((a.timestamp(), b.timestamp())),
+            _ => None,
+        }
+    }
+
+    /// `TS^X`: the ordered timestamps of the transactions containing every
+    /// item of `pattern` (paper §3). The empty pattern occurs everywhere.
+    pub fn timestamps_of(&self, pattern: &[ItemId]) -> Vec<Timestamp> {
+        self.transactions
+            .iter()
+            .filter(|t| t.contains_all(pattern))
+            .map(|t| t.timestamp())
+            .collect()
+    }
+
+    /// `Sup(X) = |TS^X|` (paper Definition 3).
+    pub fn support(&self, pattern: &[ItemId]) -> usize {
+        self.transactions.iter().filter(|t| t.contains_all(pattern)).count()
+    }
+
+    /// Timestamp lists for every item, indexed by `ItemId` — the workhorse
+    /// input for all single-scan miner front ends.
+    pub fn item_timestamp_lists(&self) -> Vec<Vec<Timestamp>> {
+        let mut lists: Vec<Vec<Timestamp>> = vec![Vec::new(); self.items.len()];
+        for t in &self.transactions {
+            for &item in t.items() {
+                lists[item.index()].push(t.timestamp());
+            }
+        }
+        lists
+    }
+
+    /// Convenience: looks up labels and returns the pattern's id slice, or
+    /// `None` if any label is unknown.
+    pub fn pattern_ids(&self, labels: &[&str]) -> Option<Vec<ItemId>> {
+        labels.iter().map(|l| self.items.id(l)).collect()
+    }
+
+    /// Mutable access to the item table, for streaming ingestion alongside
+    /// [`TransactionDb::append`].
+    pub fn items_mut(&mut self) -> &mut ItemTable {
+        &mut self.items
+    }
+
+    /// Appends a transaction at the end of the database, preserving the
+    /// temporal-order invariant: `ts` must be `>=` the current last
+    /// timestamp. Equal timestamps are merged into the existing transaction
+    /// (set union); empty item lists are ignored.
+    ///
+    /// This is the streaming-ingestion path used by incremental miners; for
+    /// unordered input use [`DbBuilder`], which sorts.
+    pub fn append(&mut self, ts: Timestamp, ids: Vec<ItemId>) -> crate::error::Result<()> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        if let Some(&max_id) = ids.iter().max() {
+            if max_id.index() >= self.items.len() {
+                return Err(crate::error::Error::UnknownItemId(max_id.0));
+            }
+        }
+        let count = self.transactions.len();
+        match self.transactions.last_mut() {
+            Some(last) if last.timestamp() == ts => {
+                last.absorb(&ids);
+                Ok(())
+            }
+            Some(last) if last.timestamp() > ts => Err(crate::error::Error::UnorderedEvents {
+                index: count,
+                previous: last.timestamp(),
+                found: ts,
+            }),
+            _ => {
+                self.transactions.push(Transaction::new(ts, ids));
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Incremental builder for [`TransactionDb`].
+///
+/// Accepts `(timestamp, items)` groups in any order; [`DbBuilder::build`]
+/// sorts by timestamp and merges groups sharing a timestamp.
+///
+/// ```
+/// use rpm_timeseries::TransactionDb;
+///
+/// let mut b = TransactionDb::builder();
+/// b.add_labeled(2, &["a", "c", "d"]);
+/// b.add_labeled(1, &["a", "b", "g"]);
+/// b.add_labeled(2, &["d"]); // merged into ts=2
+/// let db = b.build();
+/// assert_eq!(db.len(), 2);
+/// assert_eq!(db.transaction(0).timestamp(), 1);
+/// assert_eq!(db.transaction(1).len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct DbBuilder {
+    items: ItemTable,
+    raw: Vec<(Timestamp, Vec<ItemId>)>,
+}
+
+impl DbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly `n` transactions.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { items: ItemTable::new(), raw: Vec::with_capacity(n) }
+    }
+
+    /// Mutable access to the item table (e.g. to pre-intern a vocabulary so
+    /// ids match an external numbering).
+    pub fn items_mut(&mut self) -> &mut ItemTable {
+        &mut self.items
+    }
+
+    /// Read access to the item table.
+    pub fn items(&self) -> &ItemTable {
+        &self.items
+    }
+
+    /// Adds a group of item labels occurring at `ts`, interning new labels.
+    pub fn add_labeled(&mut self, ts: Timestamp, labels: &[&str]) {
+        let ids: Vec<ItemId> = labels.iter().map(|l| self.items.intern(l)).collect();
+        self.add_ids(ts, ids);
+    }
+
+    /// Adds a group of already-interned item ids occurring at `ts`.
+    pub fn add_ids(&mut self, ts: Timestamp, ids: Vec<ItemId>) {
+        if !ids.is_empty() {
+            self.raw.push((ts, ids));
+        }
+    }
+
+    /// Number of groups added so far (before merging).
+    pub fn pending(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Finalises the database: sorts by timestamp, merges same-timestamp
+    /// groups, sorts and deduplicates each transaction's item set.
+    pub fn build(mut self) -> TransactionDb {
+        self.raw.sort_by_key(|(ts, _)| *ts);
+        let mut transactions: Vec<Transaction> = Vec::with_capacity(self.raw.len());
+        for (ts, ids) in self.raw {
+            match transactions.last_mut() {
+                Some(last) if last.timestamp() == ts => last.absorb(&ids),
+                _ => transactions.push(Transaction::new(ts, ids)),
+            }
+        }
+        TransactionDb { items: self.items, transactions }
+    }
+}
+
+/// Builds the running-example database of the paper (Table 1). Exposed so
+/// every crate in the workspace can test against the same oracle.
+pub fn running_example_db() -> TransactionDb {
+    let rows: [(Timestamp, &[&str]); 12] = [
+        (1, &["a", "b", "g"]),
+        (2, &["a", "c", "d"]),
+        (3, &["a", "b", "e", "f"]),
+        (4, &["a", "b", "c", "d"]),
+        (5, &["c", "d", "e", "f", "g"]),
+        (6, &["e", "f", "g"]),
+        (7, &["a", "b", "c", "g"]),
+        (9, &["c", "d"]),
+        (10, &["c", "d", "e", "f"]),
+        (11, &["a", "b", "e", "f"]),
+        (12, &["a", "b", "c", "d", "e", "f", "g"]),
+        (14, &["a", "b", "g"]),
+    ];
+    let mut b = DbBuilder::new();
+    // Intern a..g in label order so ids are stable across tests.
+    for l in ["a", "b", "c", "d", "e", "f", "g"] {
+        b.items_mut().intern(l);
+    }
+    for (ts, labels) in rows {
+        b.add_labeled(ts, labels);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_matches_table_1() {
+        let db = running_example_db();
+        assert_eq!(db.len(), 12);
+        assert_eq!(db.item_count(), 7);
+        assert_eq!(db.time_span(), Some((1, 14)));
+        // Timestamps 8 and 13 have no transaction.
+        let stamps: Vec<Timestamp> =
+            db.transactions().iter().map(|t| t.timestamp()).collect();
+        assert_eq!(stamps, vec![1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 14]);
+    }
+
+    #[test]
+    fn ts_ab_matches_paper_example_2() {
+        let db = running_example_db();
+        let ab = db.pattern_ids(&["a", "b"]).unwrap();
+        assert_eq!(db.timestamps_of(&ab), vec![1, 3, 4, 7, 11, 12, 14]);
+    }
+
+    #[test]
+    fn support_matches_paper_example_3() {
+        let db = running_example_db();
+        let ab = db.pattern_ids(&["a", "b"]).unwrap();
+        assert_eq!(db.support(&ab), 7);
+        let a = db.pattern_ids(&["a"]).unwrap();
+        assert_eq!(db.support(&a), 8);
+    }
+
+    #[test]
+    fn builder_merges_duplicate_timestamps_out_of_order() {
+        let mut b = DbBuilder::new();
+        b.add_labeled(3, &["x"]);
+        b.add_labeled(1, &["y"]);
+        b.add_labeled(3, &["z", "x"]);
+        let db = b.build();
+        assert_eq!(db.len(), 2);
+        let t3 = db.transaction(1);
+        assert_eq!(t3.timestamp(), 3);
+        assert_eq!(t3.len(), 2);
+    }
+
+    #[test]
+    fn builder_skips_empty_groups() {
+        let mut b = DbBuilder::new();
+        b.add_labeled(1, &[]);
+        b.add_ids(2, vec![]);
+        assert_eq!(b.pending(), 0);
+        assert!(b.build().is_empty());
+    }
+
+    #[test]
+    fn item_timestamp_lists_match_point_sequences() {
+        let db = running_example_db();
+        let lists = db.item_timestamp_lists();
+        let g = db.items().id("g").unwrap();
+        assert_eq!(lists[g.index()], vec![1, 5, 6, 7, 12, 14]);
+        let a = db.items().id("a").unwrap();
+        assert_eq!(lists[a.index()], vec![1, 2, 3, 4, 7, 11, 12, 14]);
+    }
+
+    #[test]
+    fn empty_db_edge_cases() {
+        let db = DbBuilder::new().build();
+        assert!(db.is_empty());
+        assert_eq!(db.time_span(), None);
+        assert!(db.timestamps_of(&[]).is_empty());
+        assert_eq!(db.support(&[]), 0);
+    }
+
+    #[test]
+    fn pattern_ids_fails_on_unknown_label() {
+        let db = running_example_db();
+        assert!(db.pattern_ids(&["a", "nope"]).is_none());
+    }
+
+    #[test]
+    fn append_preserves_order_and_merges_equal_timestamps() {
+        let mut db = DbBuilder::new().build();
+        let x = db.items_mut().intern("x");
+        let y = db.items_mut().intern("y");
+        db.append(5, vec![x]).unwrap();
+        db.append(5, vec![y]).unwrap(); // merged
+        db.append(7, vec![x, y]).unwrap();
+        db.append(6, vec![x]).unwrap_err(); // regression in time
+        db.append(7, vec![]).unwrap(); // empty ignored
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.transaction(0).len(), 2);
+        assert_eq!(db.timestamps_of(&[x, y]), vec![5, 7]);
+    }
+
+    #[test]
+    fn append_rejects_foreign_item_ids() {
+        let mut db = DbBuilder::new().build();
+        let err = db.append(1, vec![ItemId(3)]).unwrap_err();
+        assert!(err.to_string().contains("item id 3"));
+    }
+}

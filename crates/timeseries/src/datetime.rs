@@ -1,0 +1,169 @@
+//! Minute-granular civil datetime parsing — so real logs with
+//! `YYYY-MM-DD HH:MM` stamps feed the miners without external crates.
+//!
+//! The paper's real datasets are minute streams anchored at calendar dates
+//! (Twitter: 00:00, 1-May-2013). This module converts between civil
+//! datetimes and absolute minute counts using the proleptic Gregorian
+//! calendar (days-from-civil per Howard Hinnant's algorithm), supporting
+//! dates well outside the Unix range.
+
+use crate::error::{Error, Result};
+use crate::timestamp::Timestamp;
+
+/// Days from 1970-01-01 to the given civil date (proleptic Gregorian).
+pub fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
+    debug_assert!((1..=12).contains(&month));
+    debug_assert!((1..=31).contains(&day));
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (month as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if month <= 2 { y + 1 } else { y }, month, day)
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap(year: i64) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i64, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Parses `"YYYY-MM-DD"` or `"YYYY-MM-DD HH:MM"` (also `T`-separated) into
+/// absolute minutes since 1970-01-01 00:00.
+pub fn parse_datetime_minutes(text: &str) -> Result<Timestamp> {
+    let bad = |msg: &str| Error::Parse { line: 0, message: format!("{msg}: {text:?}") };
+    let (date_part, time_part) = match text.split_once([' ', 'T']) {
+        Some((d, t)) => (d, Some(t)),
+        None => (text, None),
+    };
+    let mut it = date_part.split('-');
+    // A leading '-' means a negative year; handle via splitn bookkeeping.
+    let (year, month, day): (i64, u32, u32) = (|| {
+        let y: i64 = it.next()?.parse().ok()?;
+        let m: u32 = it.next()?.parse().ok()?;
+        let d: u32 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some((y, m, d))
+    })()
+    .ok_or_else(|| bad("expected YYYY-MM-DD"))?;
+    if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+        return Err(bad("date out of range"));
+    }
+    let (hour, minute): (i64, i64) = match time_part {
+        None => (0, 0),
+        Some(t) => {
+            let (h, m) = t.split_once(':').ok_or_else(|| bad("expected HH:MM"))?;
+            let h: i64 = h.parse().map_err(|_| bad("bad hour"))?;
+            let m: i64 = m.parse().map_err(|_| bad("bad minute"))?;
+            if !(0..24).contains(&h) || !(0..60).contains(&m) {
+                return Err(bad("time out of range"));
+            }
+            (h, m)
+        }
+    };
+    Ok(days_from_civil(year, month, day) * 1440 + hour * 60 + minute)
+}
+
+/// Formats absolute minutes back to `"YYYY-MM-DD HH:MM"`.
+pub fn format_datetime_minutes(minutes: Timestamp) -> String {
+    let days = minutes.div_euclid(1440);
+    let rem = minutes.rem_euclid(1440);
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02} {:02}:{:02}", rem / 60, rem % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        // The paper's anchor: 2013-05-01 is 15826 days after the epoch.
+        assert_eq!(days_from_civil(2013, 5, 1), 15_826);
+        assert_eq!(civil_from_days(15_826), (2013, 5, 1));
+    }
+
+    #[test]
+    fn roundtrip_across_eras_and_leap_years() {
+        for days in (-1_000_000..1_000_000).step_by(7919) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "at ({y},{m},{d})");
+        }
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2012));
+        assert!(!is_leap(2013));
+        assert_eq!(days_in_month(2012, 2), 29);
+        assert_eq!(days_in_month(2013, 2), 28);
+    }
+
+    #[test]
+    fn parse_and_format_roundtrip() {
+        for text in ["2013-05-01 00:00", "2013-06-21 01:08", "1999-12-31 23:59", "0001-01-01 00:00"] {
+            let minutes = parse_datetime_minutes(text).unwrap();
+            assert_eq!(format_datetime_minutes(minutes), text);
+        }
+        // Date-only parses to midnight; T separator accepted.
+        assert_eq!(
+            parse_datetime_minutes("2013-05-01").unwrap(),
+            parse_datetime_minutes("2013-05-01T00:00").unwrap()
+        );
+    }
+
+    #[test]
+    fn paper_event_offsets_check_out() {
+        // 21-Jun 01:08 is day 51 minute 68 after 1-May 00:00 (twitter.rs's
+        // EVENTS table).
+        let anchor = parse_datetime_minutes("2013-05-01 00:00").unwrap();
+        let flood = parse_datetime_minutes("2013-06-21 01:08").unwrap();
+        assert_eq!(flood - anchor, 51 * 1440 + 68);
+        let end = parse_datetime_minutes("2013-08-31 23:59").unwrap();
+        assert_eq!(end - anchor + 1, 123 * 1440, "123-day collection window");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in [
+            "2013/05/01",
+            "2013-13-01",
+            "2013-02-29",       // not a leap year
+            "2013-05-01 24:00",
+            "2013-05-01 12:60",
+            "2013-05",
+            "hello",
+            "2013-05-01-07",
+        ] {
+            assert!(parse_datetime_minutes(bad).is_err(), "{bad:?} accepted");
+        }
+        assert!(parse_datetime_minutes("2012-02-29").is_ok(), "leap day valid in 2012");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared across the workspace's data-handling layers.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building, converting, or (de)serialising databases.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An event sequence violated the ordering requirement of Definition 1
+    /// (`ts_h <= ts_j` for `h <= j`) where ordering was required.
+    UnorderedEvents {
+        /// Position of the offending event.
+        index: usize,
+        /// Timestamp of the previous event.
+        previous: i64,
+        /// Timestamp found at `index`.
+        found: i64,
+    },
+    /// A transaction referenced an item id that is not present in the
+    /// database's item table.
+    UnknownItemId(u32),
+    /// An item label was looked up but never interned.
+    UnknownItemLabel(String),
+    /// A parse error while reading a textual database representation.
+    Parse {
+        /// 1-based line number of the malformed input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnorderedEvents { index, previous, found } => write!(
+                f,
+                "event {index} has timestamp {found}, which precedes the previous \
+                 timestamp {previous}; event sequences must be temporally ordered"
+            ),
+            Error::UnknownItemId(id) => write!(f, "item id {id} is not in the item table"),
+            Error::UnknownItemLabel(label) => {
+                write!(f, "item label {label:?} is not in the item table")
+            }
+            Error::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::UnorderedEvents { index: 3, previous: 10, found: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains("event 3"));
+        assert!(msg.contains("10"));
+        assert!(msg.contains('5'));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        use std::error::Error as _;
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = Error::Parse { line: 7, message: "bad timestamp".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Event sequences and point sequences (paper Definitions 1 and 2).
+
+use crate::error::{Error, Result};
+use crate::timestamp::Timestamp;
+
+/// A single event: an item label occurring at a timestamp (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The item (event type) label.
+    pub label: String,
+    /// Occurrence timestamp.
+    pub ts: Timestamp,
+}
+
+/// An ordered collection of events (Definition 1).
+///
+/// Events may be pushed in any order; [`EventSequence::sort`] (called
+/// automatically by consumers that need order) restores the temporal order
+/// required by the paper. [`EventSequence::validate_order`] checks the
+/// `ts_h ≤ ts_j for h ≤ j` requirement without mutating.
+#[derive(Debug, Clone, Default)]
+pub struct EventSequence {
+    events: Vec<Event>,
+}
+
+impl EventSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sequence with room for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { events: Vec::with_capacity(n) }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, label: &str, ts: Timestamp) {
+        self.events.push(Event { label: label.to_owned(), ts });
+    }
+
+    /// Appends an already-constructed event.
+    pub fn push_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Number of events in the sequence (`N` in Definition 1).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the sequence contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in their current order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Sorts events by `(ts, label)`, establishing the temporal order of
+    /// Definition 1 deterministically.
+    pub fn sort(&mut self) {
+        self.events.sort_by(|a, b| a.ts.cmp(&b.ts).then_with(|| a.label.cmp(&b.label)));
+    }
+
+    /// Verifies that events are already temporally ordered.
+    pub fn validate_order(&self) -> Result<()> {
+        for (i, pair) in self.events.windows(2).enumerate() {
+            if pair[1].ts < pair[0].ts {
+                return Err(Error::UnorderedEvents {
+                    index: i + 1,
+                    previous: pair[0].ts,
+                    found: pair[1].ts,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the **point sequence** of `label` (Definition 2): the ordered
+    /// timestamps at which the item occurs. Duplicate `(label, ts)` events
+    /// contribute a single point, mirroring the set semantics of
+    /// transactions.
+    pub fn point_sequence(&self, label: &str) -> PointSequence {
+        let mut points: Vec<Timestamp> =
+            self.events.iter().filter(|e| e.label == label).map(|e| e.ts).collect();
+        points.sort_unstable();
+        points.dedup();
+        PointSequence { points }
+    }
+
+    /// Iterates over the distinct labels in the sequence, in first-seen order.
+    pub fn distinct_labels(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for e in &self.events {
+            if !seen.contains(&e.label.as_str()) {
+                seen.push(&e.label);
+            }
+        }
+        seen
+    }
+}
+
+impl FromIterator<(String, Timestamp)> for EventSequence {
+    fn from_iter<T: IntoIterator<Item = (String, Timestamp)>>(iter: T) -> Self {
+        let mut seq = EventSequence::new();
+        for (label, ts) in iter {
+            seq.push(&label, ts);
+        }
+        seq
+    }
+}
+
+/// An ordered collection of occurrence times for one item (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PointSequence {
+    points: Vec<Timestamp>,
+}
+
+impl PointSequence {
+    /// Wraps a (possibly unsorted, possibly duplicated) list of timestamps.
+    pub fn from_timestamps(mut points: Vec<Timestamp>) -> Self {
+        points.sort_unstable();
+        points.dedup();
+        Self { points }
+    }
+
+    /// The sorted, deduplicated occurrence times.
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.points
+    }
+
+    /// Number of occurrences.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the item never occurs.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Inter-arrival times between consecutive occurrences (paper
+    /// Definition 4's `IAT` set).
+    pub fn inter_arrival_times(&self) -> Vec<Timestamp> {
+        self.points.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Events of item `a` from the paper's running example (Figure 1).
+    fn running_example_a() -> EventSequence {
+        let mut seq = EventSequence::new();
+        for ts in [1, 2, 3, 4, 7, 11, 12, 14] {
+            seq.push("a", ts);
+        }
+        seq
+    }
+
+    #[test]
+    fn point_sequence_matches_paper_example_1() {
+        // S_a = {(a,1),…,(a,14)}  ⇒  point sequence {1,2,3,4,7,11,12,14}.
+        let seq = running_example_a();
+        let ps = seq.point_sequence("a");
+        assert_eq!(ps.timestamps(), &[1, 2, 3, 4, 7, 11, 12, 14]);
+        assert_eq!(ps.len(), 8);
+    }
+
+    #[test]
+    fn inter_arrival_times_match_paper_example_4() {
+        // IAT^{ab} = {2,1,3,4,1,2} for TS^{ab} = {1,3,4,7,11,12,14}.
+        let ps = PointSequence::from_timestamps(vec![1, 3, 4, 7, 11, 12, 14]);
+        assert_eq!(ps.inter_arrival_times(), vec![2, 1, 3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn validate_order_accepts_sorted_rejects_unsorted() {
+        let mut seq = EventSequence::new();
+        seq.push("a", 1);
+        seq.push("b", 1);
+        seq.push("a", 3);
+        assert!(seq.validate_order().is_ok());
+        seq.push("c", 2);
+        let err = seq.validate_order().unwrap_err();
+        match err {
+            Error::UnorderedEvents { index, previous, found } => {
+                assert_eq!((index, previous, found), (3, 3, 2));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_establishes_order_and_is_deterministic() {
+        let mut seq = EventSequence::new();
+        seq.push("b", 2);
+        seq.push("a", 2);
+        seq.push("z", 1);
+        seq.sort();
+        assert!(seq.validate_order().is_ok());
+        let labels: Vec<&str> = seq.events().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["z", "a", "b"]);
+    }
+
+    #[test]
+    fn point_sequence_dedups_duplicate_events() {
+        let mut seq = EventSequence::new();
+        seq.push("a", 5);
+        seq.push("a", 5);
+        seq.push("a", 2);
+        assert_eq!(seq.point_sequence("a").timestamps(), &[2, 5]);
+    }
+
+    #[test]
+    fn distinct_labels_first_seen_order() {
+        let mut seq = EventSequence::new();
+        seq.push("b", 1);
+        seq.push("a", 2);
+        seq.push("b", 3);
+        assert_eq!(seq.distinct_labels(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn from_iterator_collects_pairs() {
+        let seq: EventSequence =
+            vec![("a".to_string(), 1), ("b".to_string(), 2)].into_iter().collect();
+        assert_eq!(seq.len(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_behaves() {
+        let seq = EventSequence::new();
+        assert!(seq.is_empty());
+        assert!(seq.validate_order().is_ok());
+        assert!(seq.point_sequence("a").is_empty());
+        assert!(seq.point_sequence("a").inter_arrival_times().is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Descriptive statistics over a transactional database.
+//!
+//! The experiment harness prints these alongside every run so that
+//! reproduction reports (EXPERIMENTS.md) can compare simulated datasets with
+//! the cardinalities quoted in the paper (§5.1).
+
+use std::fmt;
+
+use crate::database::TransactionDb;
+use crate::timestamp::Timestamp;
+
+/// Summary statistics of a [`TransactionDb`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbStats {
+    /// `|TDB|` — number of transactions.
+    pub transactions: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Total number of (item, transaction) incidences.
+    pub incidences: usize,
+    /// Mean transaction length.
+    pub avg_transaction_len: f64,
+    /// Largest transaction length.
+    pub max_transaction_len: usize,
+    /// First timestamp, if any.
+    pub first_ts: Option<Timestamp>,
+    /// Last timestamp, if any.
+    pub last_ts: Option<Timestamp>,
+    /// Mean gap between consecutive transactions.
+    pub avg_gap: f64,
+    /// Largest gap between consecutive transactions.
+    pub max_gap: Timestamp,
+    /// Supports of the five most frequent items as `(label, support)`.
+    pub top_items: Vec<(String, usize)>,
+    /// Support of the rarest item, if any items exist.
+    pub min_item_support: Option<usize>,
+}
+
+/// Distribution helpers computed on demand (not part of the banner).
+impl DbStats {
+    /// Quantiles of the per-item support distribution at the requested
+    /// probabilities (nearest-rank). Returns `None` for an empty database
+    /// or empty `probs`.
+    pub fn support_quantiles(db: &TransactionDb, probs: &[f64]) -> Option<Vec<usize>> {
+        if db.item_count() == 0 || probs.is_empty() {
+            return None;
+        }
+        let mut supports: Vec<usize> = db
+            .item_timestamp_lists()
+            .iter()
+            .map(Vec::len)
+            .filter(|&s| s > 0)
+            .collect();
+        if supports.is_empty() {
+            return None;
+        }
+        supports.sort_unstable();
+        Some(
+            probs
+                .iter()
+                .map(|&p| {
+                    assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+                    let rank =
+                        ((p * supports.len() as f64).ceil() as usize).clamp(1, supports.len());
+                    supports[rank - 1]
+                })
+                .collect(),
+        )
+    }
+
+    /// Histogram of inter-transaction gaps in power-of-two buckets:
+    /// entry `k` counts gaps in `[2^k, 2^(k+1))` (entry 0 counts gap 1,
+    /// i.e. consecutive stamps). Useful when eyeballing a sensible `per`.
+    pub fn gap_histogram(db: &TransactionDb) -> Vec<usize> {
+        let mut hist: Vec<usize> = Vec::new();
+        for w in db.transactions().windows(2) {
+            let gap = (w[1].timestamp() - w[0].timestamp()).max(1) as u64;
+            let bucket = (64 - gap.leading_zeros() - 1) as usize;
+            if hist.len() <= bucket {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        hist
+    }
+}
+
+impl DbStats {
+    /// Computes statistics for `db`.
+    pub fn compute(db: &TransactionDb) -> Self {
+        let n = db.len();
+        let mut supports = vec![0usize; db.item_count()];
+        let mut incidences = 0usize;
+        let mut max_len = 0usize;
+        for t in db.transactions() {
+            incidences += t.len();
+            max_len = max_len.max(t.len());
+            for &i in t.items() {
+                supports[i.index()] += 1;
+            }
+        }
+        let mut gaps_total: i64 = 0;
+        let mut max_gap: Timestamp = 0;
+        for w in db.transactions().windows(2) {
+            let gap = w[1].timestamp() - w[0].timestamp();
+            gaps_total += gap;
+            max_gap = max_gap.max(gap);
+        }
+        let mut ranked: Vec<(String, usize)> = db
+            .items()
+            .iter()
+            .map(|item| (item.label, supports[item.id.index()]))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let min_item_support = ranked.iter().map(|&(_, s)| s).min();
+        ranked.truncate(5);
+        Self {
+            transactions: n,
+            items: db.item_count(),
+            incidences,
+            avg_transaction_len: if n == 0 { 0.0 } else { incidences as f64 / n as f64 },
+            max_transaction_len: max_len,
+            first_ts: db.time_span().map(|(a, _)| a),
+            last_ts: db.time_span().map(|(_, b)| b),
+            avg_gap: if n < 2 { 0.0 } else { gaps_total as f64 / (n - 1) as f64 },
+            max_gap,
+            top_items: ranked,
+            min_item_support,
+        }
+    }
+}
+
+impl fmt::Display for DbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "|TDB|={} items={} incidences={} avg_len={:.2} max_len={}",
+            self.transactions,
+            self.items,
+            self.incidences,
+            self.avg_transaction_len,
+            self.max_transaction_len
+        )?;
+        if let (Some(a), Some(b)) = (self.first_ts, self.last_ts) {
+            writeln!(
+                f,
+                "span=[{a},{b}] avg_gap={:.2} max_gap={}",
+                self.avg_gap, self.max_gap
+            )?;
+        }
+        write!(f, "top items: ")?;
+        for (k, (label, sup)) in self.top_items.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{label}:{sup}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::running_example_db;
+
+    #[test]
+    fn running_example_stats() {
+        let s = DbStats::compute(&running_example_db());
+        assert_eq!(s.transactions, 12);
+        assert_eq!(s.items, 7);
+        // Table 1 row lengths: 3+3+4+4+5+3+4+2+4+4+7+3 = 46.
+        assert_eq!(s.incidences, 46);
+        assert_eq!(s.max_transaction_len, 7);
+        assert_eq!(s.first_ts, Some(1));
+        assert_eq!(s.last_ts, Some(14));
+        assert_eq!(s.max_gap, 2); // 7→9 and 12→14
+        assert_eq!(s.top_items[0], ("a".to_string(), 8));
+        assert_eq!(s.min_item_support, Some(6));
+    }
+
+    #[test]
+    fn empty_db_stats_are_zeroed() {
+        let db = TransactionDb::builder().build();
+        let s = DbStats::compute(&db);
+        assert_eq!(s.transactions, 0);
+        assert_eq!(s.avg_transaction_len, 0.0);
+        assert_eq!(s.first_ts, None);
+        assert!(s.top_items.is_empty());
+        assert_eq!(s.min_item_support, None);
+    }
+
+    #[test]
+    fn display_mentions_cardinalities() {
+        let s = DbStats::compute(&running_example_db());
+        let text = s.to_string();
+        assert!(text.contains("|TDB|=12"));
+        assert!(text.contains("a:8"));
+    }
+
+    #[test]
+    fn support_quantiles_nearest_rank() {
+        let db = running_example_db();
+        // Supports sorted: 6,6,6,6,7,7,8.
+        let q = DbStats::support_quantiles(&db, &[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(q, vec![6, 6, 8]);
+        assert!(DbStats::support_quantiles(&db, &[]).is_none());
+        let empty = TransactionDb::builder().build();
+        assert!(DbStats::support_quantiles(&empty, &[0.5]).is_none());
+    }
+
+    #[test]
+    fn gap_histogram_buckets_powers_of_two() {
+        let db = running_example_db();
+        // Gaps: 1×9, 2×2 (7→9, 12→14).
+        let hist = DbStats::gap_histogram(&db);
+        assert_eq!(hist, vec![9, 2]);
+        let empty = TransactionDb::builder().build();
+        assert!(DbStats::gap_histogram(&empty).is_empty());
+    }
+
+    #[test]
+    fn ties_in_top_items_break_lexicographically() {
+        let s = DbStats::compute(&running_example_db());
+        // b and c both have support 7; b must precede c.
+        assert_eq!(s.top_items[1].0, "b");
+        assert_eq!(s.top_items[2].0, "c");
+    }
+}

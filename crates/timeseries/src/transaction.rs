@@ -1,0 +1,109 @@
+//! Transactions: `(ts, Y)` tuples with a sorted item set (paper §3).
+
+use crate::item::ItemId;
+use crate::timestamp::Timestamp;
+
+/// A transaction `tr = (ts, Y)`: a timestamp plus the set of items that
+/// occurred at that timestamp.
+///
+/// Items are stored sorted by id and deduplicated, giving set semantics and
+/// O(log n) membership tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    ts: Timestamp,
+    items: Vec<ItemId>,
+}
+
+impl Transaction {
+    /// Builds a transaction, sorting and deduplicating `items`.
+    pub fn new(ts: Timestamp, mut items: Vec<ItemId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self { ts, items }
+    }
+
+    /// The transaction's timestamp.
+    #[inline]
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The transaction's items, sorted by id.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of items in the transaction.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction holds no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `item` occurs in this transaction.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Whether the (sorted-or-not) pattern `pattern` is a subset of this
+    /// transaction (i.e. `X ⊆ Y`, making `ts` a `ts^X` in paper notation).
+    pub fn contains_all(&self, pattern: &[ItemId]) -> bool {
+        pattern.iter().all(|&i| self.contains(i))
+    }
+
+    /// Merges another item set occurring at the same timestamp into this
+    /// transaction (used when an event stream revisits a timestamp).
+    pub(crate) fn absorb(&mut self, items: &[ItemId]) {
+        self.items.extend_from_slice(items);
+        self.items.sort_unstable();
+        self.items.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let t = Transaction::new(5, ids(&[3, 1, 3, 2]));
+        assert_eq!(t.items(), &ids(&[1, 2, 3])[..]);
+        assert_eq!(t.timestamp(), 5);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn membership_tests() {
+        let t = Transaction::new(1, ids(&[0, 2, 4]));
+        assert!(t.contains(ItemId(2)));
+        assert!(!t.contains(ItemId(3)));
+        assert!(t.contains_all(&ids(&[0, 4])));
+        assert!(!t.contains_all(&ids(&[0, 3])));
+        assert!(t.contains_all(&[])); // the empty pattern occurs everywhere
+    }
+
+    #[test]
+    fn absorb_unions_item_sets() {
+        let mut t = Transaction::new(1, ids(&[1, 3]));
+        t.absorb(&ids(&[2, 3]));
+        assert_eq!(t.items(), &ids(&[1, 2, 3])[..]);
+    }
+
+    #[test]
+    fn empty_transaction() {
+        let t = Transaction::new(9, vec![]);
+        assert!(t.is_empty());
+        assert!(t.contains_all(&[]));
+    }
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation plus the
+# repository's own ablations, writing outputs to results/.
+#
+# Usage: scripts/reproduce_all.sh [SCALE] [SEED]
+#   SCALE  dataset compression in (0,1]; 0.25 (default) runs in minutes,
+#          1.0 reproduces paper-sized inputs.
+#   SEED   generator seed (default 1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.25}"
+SEED="${2:-1}"
+mkdir -p results
+
+echo "== building (release) =="
+cargo build --workspace --release --bins
+
+run() {
+    local bin="$1"
+    echo "== $bin (scale=$SCALE seed=$SEED) =="
+    cargo run -q -p rpm-bench --release --bin "$bin" -- \
+        --scale "$SCALE" --seed "$SEED" | tee "results/$bin.txt"
+}
+
+# Paper artifacts (DESIGN.md E1–E7).
+run table5
+run fig7
+run table6
+run fig8
+run table7
+run fig9
+run table8
+
+# Ablations and extensions (A1–A4, X1–X4).
+run ablation_pruning
+run memory_footprint
+run scalability
+run noise_sensitivity
+run incremental_mining
+run merge_analysis
+run model_zoo
+
+# Robustness: Table-5 cells across seeds (uses --seeds internally).
+echo "== seed_variance =="
+cargo run -q -p rpm-bench --release --bin seed_variance -- \
+    --scale "$SCALE" --seeds 5 | tee results/seed_variance.txt
+
+echo "== building HTML report =="
+cargo run -q -p rpm-bench --release --bin report
+
+echo "== done; outputs in results/ (open results/index.html) =="

@@ -1,0 +1,370 @@
+//! `rpm` — command-line recurring-pattern miner.
+//!
+//! ```text
+//! rpm stats    <db.tsv>
+//! rpm mine     <db.tsv> --per 360 --min-ps 2% --min-rec 2
+//!              [--relaxed <k>] [--fault-gap <g>] [--closed] [--maximal]
+//!              [--top <k>] [--rules <min-conf>] [--threads <n>]
+//! rpm pf       <db.tsv> --max-per 1440 --min-sup 0.1%
+//! rpm ppattern <db.tsv> --period 1440 --min-sup 0.1% [--window 1]
+//! rpm generate <quest|shop|twitter> --out <db.tsv> [--scale 0.25] [--seed 1]
+//! ```
+//!
+//! Databases are the timestamped text format of `rpm_timeseries::io`:
+//! one transaction per line, `ts<TAB>item item item`.
+
+use std::process::ExitCode;
+
+use recurring_patterns::baselines::{
+    autocorrelation_periods, chi_squared_periods, consensus_periods, mine_periodic_first,
+    PPatternParams, PfGrowth, PfParams,
+};
+use recurring_patterns::core::{
+    closed_patterns, generate_rules, maximal_patterns, mine_durations, mine_parallel,
+    mine_relaxed, recurrence_spectrum, top_k, write_patterns_json, write_patterns_tsv,
+    write_rules_json, DurationParams, NoiseParams, RankBy, RpGrowth, RpParams, Threshold,
+};
+use recurring_patterns::datagen::{
+    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig,
+    TwitterConfig,
+};
+use recurring_patterns::timeseries::{io, DbStats, TransactionDb};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `rpm help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        "stats" => stats(rest),
+        "mine" => mine(rest),
+        "spectrum" => spectrum(rest),
+        "detect" => detect(rest),
+        "convert" => convert(rest),
+        "pf" => pf(rest),
+        "ppattern" => ppattern(rest),
+        "generate" => generate(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+const USAGE: &str = "rpm — recurring pattern mining (EDBT 2015 reproduction)
+
+  rpm stats    <db.tsv>
+  rpm mine     <db.tsv> --per N --min-ps N|X% --min-rec N
+               [--min-dur D] [--relaxed K --fault-gap G] [--closed] [--maximal]
+               [--top K] [--rules CONF] [--threads N]
+  rpm spectrum <db.tsv> --items 'a b c' --min-ps N|X%
+  rpm detect   <db.tsv> --items 'a b c' --max-period N [--method chi|auto|consensus]
+  rpm pf       <db.tsv> --max-per N --min-sup N|X%
+  rpm ppattern <db.tsv> --period N --min-sup N|X% [--window N]
+  rpm generate quest|shop|twitter --out <db.tsv> [--scale F] [--seed N]
+  rpm convert  <in> <out>            (between .tsv text and .rpmb binary)
+
+Databases are text (`ts<TAB>item item…`) or, with a .rpmb extension, the
+compact binary format of rpm_timeseries::binio.";
+
+/// Tiny flag parser: positional args first, then `--key value` pairs.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "true".to_string(),
+                };
+                pairs.push((key.to_string(), value));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Self { positional, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{key} {v:?}: {e}")),
+        }
+    }
+}
+
+/// Parses `"25"` as an absolute count and `"0.1%"` as a fraction.
+fn parse_threshold(text: &str) -> Result<Threshold, String> {
+    if let Some(pct) = text.strip_suffix('%') {
+        let value: f64 =
+            pct.parse().map_err(|e| format!("bad percentage {text:?}: {e}"))?;
+        Ok(Threshold::pct(value))
+    } else {
+        let value: usize = text.parse().map_err(|e| format!("bad count {text:?}: {e}"))?;
+        Ok(Threshold::Count(value))
+    }
+}
+
+fn load_db(flags: &Flags) -> Result<TransactionDb, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "missing database path".to_string())?;
+    let result = if path.ends_with(".rpmb") {
+        recurring_patterns::timeseries::load_binary(path)
+    } else {
+        io::load_timestamped(path)
+    };
+    result.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let db = load_db(&flags)?;
+    println!("{}", DbStats::compute(&db));
+    Ok(())
+}
+
+fn mine(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let db = load_db(&flags)?;
+    let per: i64 = flags.require("per")?.parse().map_err(|e| format!("bad --per: {e}"))?;
+    let min_ps = parse_threshold(flags.require("min-ps")?)?;
+    let min_rec: usize = flags.parse_num("min-rec", 1)?;
+    let params = RpParams::with_threshold(per, min_ps, min_rec);
+    let resolved = params.resolve(db.len());
+
+    let mut patterns = if let Some(dur) = flags.get("min-dur") {
+        // Duration-based (LPP-style) variant: intervals must LAST minDur.
+        let min_dur: i64 = dur.parse().map_err(|e| format!("bad --min-dur: {e}"))?;
+        mine_durations(&db, &DurationParams::new(resolved.per, min_dur, resolved.min_rec)).0
+    } else if let Some(k) = flags.get("relaxed") {
+        let budget: usize = k.parse().map_err(|e| format!("bad --relaxed: {e}"))?;
+        let gap: i64 = flags.parse_num("fault-gap", resolved.per * 4)?;
+        mine_relaxed(&db, &NoiseParams::new(resolved, budget, gap)).0
+    } else if let Some(threads) = flags.get("threads") {
+        let n: usize = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
+        mine_parallel(&db, resolved, n).patterns
+    } else {
+        RpGrowth::new(params).mine(&db).patterns
+    };
+
+    if flags.flag("closed") {
+        patterns = closed_patterns(&patterns);
+    }
+    if flags.flag("maximal") {
+        patterns = maximal_patterns(&patterns);
+    }
+    if let Some(k) = flags.get("top") {
+        let k: usize = k.parse().map_err(|e| format!("bad --top: {e}"))?;
+        patterns = top_k(&patterns, k, RankBy::PeriodicCoverage);
+    }
+    eprintln!("{} patterns ({resolved:?})", patterns.len());
+    let format = flags.get("format").unwrap_or("text");
+    let mut stdout = std::io::stdout().lock();
+    match format {
+        "json" => write_patterns_json(&mut stdout, db.items(), &patterns)
+            .map_err(|e| format!("write failed: {e}"))?,
+        "tsv" => write_patterns_tsv(&mut stdout, db.items(), &patterns)
+            .map_err(|e| format!("write failed: {e}"))?,
+        "text" => {
+            use std::io::Write;
+            for p in &patterns {
+                writeln!(stdout, "{}", p.display(db.items()))
+                    .map_err(|e| format!("write failed: {e}"))?;
+            }
+        }
+        other => return Err(format!("unknown --format {other:?} (text|json|tsv)")),
+    }
+    if let Some(conf) = flags.get("rules") {
+        let conf: f64 = conf.parse().map_err(|e| format!("bad --rules: {e}"))?;
+        let (rules, skipped) = generate_rules(&db, &patterns, conf);
+        eprintln!("{} rules at confidence >= {conf} ({skipped} oversize patterns skipped)", rules.len());
+        match format {
+            "json" => write_rules_json(&mut stdout, db.items(), &rules)
+                .map_err(|e| format!("write failed: {e}"))?,
+            _ => {
+                use std::io::Write;
+                for r in &rules {
+                    writeln!(stdout, "{}", r.display(db.items()))
+                        .map_err(|e| format!("write failed: {e}"))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `rpm spectrum`: how a pattern's recurrence reacts to the per threshold.
+fn spectrum(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let db = load_db(&flags)?;
+    let labels: Vec<&str> = flags.require("items")?.split_whitespace().collect();
+    if labels.is_empty() {
+        return Err("--items needs at least one label".into());
+    }
+    let ids = db
+        .pattern_ids(&labels)
+        .ok_or_else(|| format!("unknown item among {labels:?}"))?;
+    let min_ps = parse_threshold(flags.require("min-ps")?)?.resolve(db.len());
+    let ts = db.timestamps_of(&ids);
+    if ts.is_empty() {
+        return Err("pattern never occurs".into());
+    }
+    eprintln!("{} occurrences, minPS={min_ps}", ts.len());
+    println!("per	runs	rec");
+    for step in recurrence_spectrum(&ts, min_ps) {
+        println!("{}	{}	{}", step.per, step.runs, step.interesting);
+    }
+    Ok(())
+}
+
+/// `rpm detect`: unknown-period detection for a pattern's point sequence.
+fn detect(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let db = load_db(&flags)?;
+    let labels: Vec<&str> = flags.require("items")?.split_whitespace().collect();
+    let ids = db
+        .pattern_ids(&labels)
+        .ok_or_else(|| format!("unknown item among {labels:?}"))?;
+    let max_period: i64 = flags.parse_num("max-period", 1440)?;
+    let ts = db.timestamps_of(&ids);
+    if ts.len() < 3 {
+        return Err("pattern occurs fewer than 3 times".into());
+    }
+    let method = flags.get("method").unwrap_or("consensus");
+    let detected = match method {
+        "chi" => chi_squared_periods(&ts, max_period, 3.84),
+        "auto" => autocorrelation_periods(&ts, max_period, 2.0),
+        "consensus" => consensus_periods(&ts, max_period),
+        other => return Err(format!("unknown --method {other:?} (chi|auto|consensus)")),
+    };
+    eprintln!("{} occurrences; {} candidate periods ({method})", ts.len(), detected.len());
+    println!("period\tscore\toccurrences");
+    for d in detected.iter().take(flags.parse_num("top", 20)?) {
+        println!("{}\t{:.2}\t{}", d.period, d.score, d.occurrences);
+    }
+    Ok(())
+}
+
+fn pf(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let db = load_db(&flags)?;
+    let max_per: i64 =
+        flags.require("max-per")?.parse().map_err(|e| format!("bad --max-per: {e}"))?;
+    let min_sup = parse_threshold(flags.require("min-sup")?)?;
+    let (patterns, stats) = PfGrowth::new(PfParams::new(max_per, min_sup)).mine(&db);
+    eprintln!("{} periodic-frequent patterns ({} candidates checked)", patterns.len(), stats.candidates_checked);
+    for p in &patterns {
+        println!(
+            "{} sup={} per={}",
+            db.items().pattern_string(&p.items),
+            p.support,
+            p.periodicity
+        );
+    }
+    Ok(())
+}
+
+fn ppattern(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let db = load_db(&flags)?;
+    let period: i64 =
+        flags.require("period")?.parse().map_err(|e| format!("bad --period: {e}"))?;
+    let min_sup = parse_threshold(flags.require("min-sup")?)?;
+    let window: i64 = flags.parse_num("window", 1)?;
+    let params = PPatternParams::new(period, min_sup, window);
+    let (patterns, stats) = mine_periodic_first(&db, &params, Some(1_000_000));
+    eprintln!(
+        "{} p-patterns{}",
+        patterns.len(),
+        if stats.truncated { " (capped at 1,000,000)" } else { "" }
+    );
+    for p in &patterns {
+        println!(
+            "{} sup={} psup={}",
+            db.items().pattern_string(&p.items),
+            p.support,
+            p.periodic_support
+        );
+    }
+    Ok(())
+}
+
+/// `rpm convert`: re-encode a database between text and binary formats.
+fn convert(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let db = load_db(&flags)?;
+    let out = flags
+        .positional
+        .get(1)
+        .ok_or_else(|| "missing output path".to_string())?;
+    let result = if out.ends_with(".rpmb") {
+        recurring_patterns::timeseries::save_binary(&db, out)
+    } else {
+        io::save_timestamped(&db, out)
+    };
+    result.map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {} transactions to {out}", db.len());
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let kind = flags
+        .positional
+        .first()
+        .ok_or_else(|| "missing generator name (quest|shop|twitter)".to_string())?;
+    let out = flags.require("out")?;
+    let scale: f64 = flags.parse_num("scale", 0.25)?;
+    let seed: u64 = flags.parse_num("seed", 1)?;
+    let db = match kind.as_str() {
+        "quest" => generate_quest(&QuestConfig { seed, ..QuestConfig::default() }.scaled(scale)),
+        "shop" => generate_clickstream(&ShopConfig { scale, seed, ..ShopConfig::default() }).db,
+        "twitter" => generate_twitter(&TwitterConfig { scale, seed, ..TwitterConfig::default() }).db,
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    let write_result = if out.ends_with(".rpmb") {
+        recurring_patterns::timeseries::save_binary(&db, out)
+    } else {
+        io::save_timestamped(&db, out)
+    };
+    write_result.map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {} transactions, {} items to {out}", db.len(), db.item_count());
+    Ok(())
+}

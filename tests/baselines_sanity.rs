@@ -1,0 +1,111 @@
+//! Cross-model relationships between the paper's model and its baselines —
+//! the structural claims behind §5.4 / Table 8, checked on simulated data.
+
+use recurring_patterns::baselines::{
+    mine_association_first, mine_periodic_first, PPatternParams, PfGrowth, PfParams,
+};
+use recurring_patterns::prelude::*;
+
+fn shop() -> TransactionDb {
+    generate_clickstream(&ShopConfig { scale: 0.08, seed: 21, ..Default::default() }).db
+}
+
+#[test]
+fn periodic_frequent_patterns_are_recurring_patterns() {
+    // A periodic-frequent pattern exhibits complete cyclic behaviour, so at
+    // minPS = minSup, per = maxPer, minRec = 1 it must also be recurring —
+    // the paper's "recurring patterns generalise periodic-frequent ones".
+    let db = shop();
+    let min_sup = (db.len() / 100).max(2);
+    let (pf, _) = PfGrowth::new(PfParams::new(1440, Threshold::Count(min_sup))).mine(&db);
+    assert!(!pf.is_empty(), "need PF patterns for the inclusion to be meaningful");
+    let rp = RpGrowth::new(RpParams::new(1440, min_sup, 1)).mine(&db);
+    for p in &pf {
+        assert!(
+            rp.patterns.iter().any(|r| r.items == p.items),
+            "PF pattern {} missing from recurring output",
+            db.items().pattern_string(&p.items)
+        );
+    }
+    // And strictly more recurring patterns exist (window-bounded ones).
+    assert!(rp.patterns.len() > pf.len());
+}
+
+#[test]
+fn recurring_patterns_are_p_patterns_at_matched_thresholds() {
+    // Every interesting interval contributes ≥ minPS−1 periodic gaps, so a
+    // recurring pattern with minRec intervals has pSup ≥ minRec·(minPS−1);
+    // with minSup set to that, Ma–Hellerstein's model must contain ours —
+    // over-generating heavily besides (the paper's criticism).
+    let db = shop();
+    let min_ps = (db.len() / 200).max(3);
+    let min_rec = 2;
+    let rp = RpGrowth::new(RpParams::new(720, min_ps, min_rec)).mine(&db);
+    assert!(!rp.patterns.is_empty());
+    let min_sup = min_rec * (min_ps - 1);
+    let (pp, _) = mine_periodic_first(
+        &db,
+        &PPatternParams::new(720, Threshold::Count(min_sup), 1),
+        None,
+    );
+    for r in &rp.patterns {
+        assert!(
+            pp.iter().any(|p| p.items == r.items),
+            "recurring pattern {} missing from p-pattern output",
+            db.items().pattern_string(&r.items)
+        );
+    }
+    assert!(
+        pp.len() > rp.patterns.len(),
+        "p-patterns should over-generate: {} vs {}",
+        pp.len(),
+        rp.patterns.len()
+    );
+}
+
+#[test]
+fn p_pattern_strategies_agree_on_simulated_data() {
+    let db = shop();
+    let params = PPatternParams::new(1440, Threshold::pct(1.0), 1);
+    let (a, _) = mine_periodic_first(&db, &params, None);
+    let (b, _) = mine_association_first(&db, &params, None);
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn table8_ordering_holds_on_both_simulated_datasets() {
+    // #PF < #recurring < #p-patterns at the Table 8 parameter mapping.
+    // minPS follows the paper's per-dataset grids: 0.1% (Shop-14), 2% (Twitter).
+    for (name, db, min_ps_pct) in [
+        ("shop", shop(), 0.1),
+        (
+            "twitter",
+            generate_twitter(&TwitterConfig { scale: 0.05, seed: 21, ..Default::default() }).db,
+            2.0,
+        ),
+    ] {
+        let (pf, _) = PfGrowth::new(PfParams::new(1440, Threshold::pct(0.2))).mine(&db);
+        let rp =
+            RpGrowth::new(RpParams::with_threshold(1440, Threshold::pct(min_ps_pct), 1)).mine(&db);
+        // minSup = minPS − 1 periodic appearances: every recurring pattern
+        // (one run of ≥ minPS stamps ⇒ ≥ minPS−1 periodic gaps) is then a
+        // p-pattern, so the count ordering is structural, not incidental.
+        let min_ps_abs = Threshold::pct(min_ps_pct).resolve(db.len());
+        let pp_min_sup = Threshold::Count(min_ps_abs.saturating_sub(1).max(1));
+        let (pp, _) =
+            mine_periodic_first(&db, &PPatternParams::new(1440, pp_min_sup, 1), Some(200_000));
+        assert!(
+            pf.len() < rp.patterns.len(),
+            "{name}: PF ({}) should be rarer than recurring ({})",
+            pf.len(),
+            rp.patterns.len()
+        );
+        assert!(
+            rp.patterns.len() < pp.len(),
+            "{name}: recurring ({}) should be rarer than p-patterns ({})",
+            rp.patterns.len(),
+            pp.len()
+        );
+    }
+}

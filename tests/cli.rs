@@ -1,0 +1,264 @@
+//! End-to-end tests of the `rpm` command-line binary: generate → stats →
+//! mine → rules, via real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rpm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rpm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_db(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rpm_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = rpm(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rpm mine"));
+    assert!(text.contains("rpm generate"));
+}
+
+#[test]
+fn unknown_command_fails_with_guidance() {
+    let out = rpm(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("rpm help"));
+}
+
+#[test]
+fn generate_stats_mine_pipeline() {
+    let db = temp_db("pipeline.tsv");
+    let db_str = db.to_str().unwrap();
+
+    let out = rpm(&["generate", "shop", "--out", db_str, "--scale", "0.03", "--seed", "4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(db.exists());
+
+    let out = rpm(&["stats", db_str]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("|TDB|="));
+
+    let out = rpm(&[
+        "mine", db_str, "--per", "360", "--min-ps", "0.3%", "--min-rec", "1", "--top", "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() <= 3);
+    assert!(lines.iter().all(|l| l.contains("support=")));
+}
+
+#[test]
+fn mine_parallel_and_sequential_agree_via_cli() {
+    let db = temp_db("parallel.tsv");
+    let db_str = db.to_str().unwrap();
+    assert!(rpm(&["generate", "twitter", "--out", db_str, "--scale", "0.02"]).status.success());
+    let seq = rpm(&["mine", db_str, "--per", "360", "--min-ps", "2%", "--min-rec", "1"]);
+    let par = rpm(&[
+        "mine", db_str, "--per", "360", "--min-ps", "2%", "--min-rec", "1", "--threads", "4",
+    ]);
+    assert!(seq.status.success() && par.status.success());
+    assert_eq!(seq.stdout, par.stdout);
+}
+
+#[test]
+fn pf_and_ppattern_commands_run() {
+    let db = temp_db("baselines.tsv");
+    let db_str = db.to_str().unwrap();
+    assert!(rpm(&["generate", "shop", "--out", db_str, "--scale", "0.03"]).status.success());
+    let out = rpm(&["pf", db_str, "--max-per", "1440", "--min-sup", "1%"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("per="));
+    let out = rpm(&["ppattern", db_str, "--period", "1440", "--min-sup", "2%"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("psup="));
+}
+
+#[test]
+fn missing_flags_are_reported() {
+    let db = temp_db("missing.tsv");
+    let db_str = db.to_str().unwrap();
+    assert!(rpm(&["generate", "shop", "--out", db_str, "--scale", "0.02"]).status.success());
+    let out = rpm(&["mine", db_str]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--per"));
+    let out = rpm(&["mine", db_str, "--per", "10", "--min-ps", "nonsense"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn binary_format_roundtrips_through_the_cli() {
+    let tsv = temp_db("bin_roundtrip.tsv");
+    let bin = temp_db("bin_roundtrip.rpmb");
+    assert!(rpm(&["generate", "shop", "--out", tsv.to_str().unwrap(), "--scale", "0.02"])
+        .status
+        .success());
+    assert!(rpm(&["generate", "shop", "--out", bin.to_str().unwrap(), "--scale", "0.02"])
+        .status
+        .success());
+    assert!(
+        std::fs::metadata(&bin).unwrap().len() < std::fs::metadata(&tsv).unwrap().len(),
+        "binary must be smaller"
+    );
+    // Identical stats and identical mining output from both encodings.
+    let s1 = rpm(&["stats", tsv.to_str().unwrap()]);
+    let s2 = rpm(&["stats", bin.to_str().unwrap()]);
+    assert_eq!(s1.stdout, s2.stdout);
+    let args = ["--per", "360", "--min-ps", "1%", "--min-rec", "1"];
+    let m1 = rpm(&[&["mine", tsv.to_str().unwrap()], &args[..]].concat());
+    let m2 = rpm(&[&["mine", bin.to_str().unwrap()], &args[..]].concat());
+    // The text reader re-interns labels in line order, so item ids — and
+    // with them both the output order and the label order inside each
+    // `{…}` — differ between encodings; the pattern *sets* must match.
+    let normalised = |o: &Output| {
+        let text = String::from_utf8_lossy(&o.stdout).into_owned();
+        let mut lines: Vec<String> = text
+            .lines()
+            .map(|l| {
+                let (items, rest) = l.split_once("} ").expect("pattern line");
+                let mut labels: Vec<&str> =
+                    items.trim_start_matches('{').split(',').collect();
+                labels.sort_unstable();
+                format!("{{{}}} {rest}", labels.join(","))
+            })
+            .collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(normalised(&m1), normalised(&m2));
+}
+
+#[test]
+fn spectrum_command_reports_steps() {
+    let db = temp_db("spectrum.tsv");
+    let db_str = db.to_str().unwrap();
+    assert!(rpm(&["generate", "shop", "--out", db_str, "--scale", "0.05"]).status.success());
+    let out = rpm(&["spectrum", db_str, "--items", "cat-sale cat-checkout", "--min-ps", "0.3%"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("per\truns\trec"));
+    // Runs column strictly decreases down the steps.
+    let runs: Vec<i64> = text
+        .lines()
+        .skip(1)
+        .map(|l| l.split('\t').nth(1).unwrap().parse().unwrap())
+        .collect();
+    assert!(runs.windows(2).all(|w| w[0] > w[1]));
+    // Unknown item is a clean error.
+    let bad = rpm(&["spectrum", db_str, "--items", "no-such-cat", "--min-ps", "1"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn convert_roundtrips_semantically() {
+    let tsv = temp_db("convert_src.tsv");
+    let bin = temp_db("convert_mid.rpmb");
+    let back = temp_db("convert_back.tsv");
+    assert!(rpm(&["generate", "shop", "--out", tsv.to_str().unwrap(), "--scale", "0.02"])
+        .status
+        .success());
+    assert!(rpm(&["convert", tsv.to_str().unwrap(), bin.to_str().unwrap()]).status.success());
+    assert!(rpm(&["convert", bin.to_str().unwrap(), back.to_str().unwrap()]).status.success());
+    // Per-line item order may differ (id order vs interning order); compare
+    // as (ts → item set) maps.
+    let norm = |p: &std::path::Path| {
+        let mut rows: Vec<(i64, Vec<String>)> = std::fs::read_to_string(p)
+            .unwrap()
+            .lines()
+            .map(|l| {
+                let (ts, items) = l.split_once('\t').unwrap();
+                let mut v: Vec<String> =
+                    items.split_whitespace().map(str::to_owned).collect();
+                v.sort();
+                (ts.parse().unwrap(), v)
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(norm(&tsv), norm(&back));
+    // Missing output path is a clean error.
+    let out = rpm(&["convert", tsv.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn detect_command_reports_candidate_periods() {
+    let db = temp_db("detect.tsv");
+    // A hand-made exactly-period-6 stream.
+    let mut text = String::new();
+    for k in 0..60i64 {
+        text.push_str(&format!("{}\tpulse echo\n", k * 6));
+    }
+    std::fs::write(&db, text).unwrap();
+    let db_str = db.to_str().unwrap();
+    for method in ["chi", "auto", "consensus"] {
+        let out = rpm(&[
+            "detect", db_str, "--items", "pulse echo", "--max-period", "20", "--method", method,
+        ]);
+        assert!(out.status.success(), "{method}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        let top: Vec<i64> = text
+            .lines()
+            .skip(1)
+            .take(3)
+            .map(|l| l.split('\t').next().unwrap().parse().unwrap())
+            .collect();
+        // The fundamental must rank highly; autocorrelation also surfaces
+        // harmonics, so accept any ordering of multiples of 6.
+        assert!(top.contains(&6), "{method} top periods: {top:?}");
+        assert!(
+            top.iter().all(|p| p % 6 == 0),
+            "{method} reported a non-harmonic: {top:?}"
+        );
+    }
+    let bad = rpm(&["detect", db_str, "--items", "pulse", "--method", "fourier"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn json_and_tsv_formats() {
+    let db = temp_db("formats.tsv");
+    let db_str = db.to_str().unwrap();
+    assert!(rpm(&["generate", "shop", "--out", db_str, "--scale", "0.03"]).status.success());
+    let base = ["mine", db_str, "--per", "360", "--min-ps", "1%", "--min-rec", "1"];
+    let json = rpm(&[&base[..], &["--format", "json"]].concat());
+    assert!(json.status.success());
+    let text = String::from_utf8_lossy(&json.stdout);
+    assert!(text.lines().all(|l| l.starts_with('{') && l.contains("\"support\":")));
+    let tsv = rpm(&[&base[..], &["--format", "tsv"]].concat());
+    let text = String::from_utf8_lossy(&tsv.stdout);
+    assert!(text.starts_with("items\tsupport"));
+    assert_eq!(
+        text.lines().count() - 1,
+        String::from_utf8_lossy(&json.stdout).lines().count(),
+        "same pattern count across formats"
+    );
+    let bad = rpm(&[&base[..], &["--format", "xml"]].concat());
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn relaxed_mining_via_cli() {
+    let db = temp_db("relaxed.tsv");
+    let db_str = db.to_str().unwrap();
+    assert!(rpm(&["generate", "shop", "--out", db_str, "--scale", "0.03"]).status.success());
+    let strict = rpm(&["mine", db_str, "--per", "60", "--min-ps", "30", "--min-rec", "1"]);
+    let relaxed = rpm(&[
+        "mine", db_str, "--per", "60", "--min-ps", "30", "--min-rec", "1", "--relaxed", "3",
+    ]);
+    assert!(strict.status.success() && relaxed.status.success());
+    let count = |o: &Output| String::from_utf8_lossy(&o.stdout).lines().count();
+    assert!(count(&relaxed) >= count(&strict), "fault budget can only add patterns");
+}

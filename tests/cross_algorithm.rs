@@ -1,0 +1,106 @@
+//! Cross-algorithm equivalence on randomized databases: RP-growth, the
+//! Erec-pruned level-wise search, the support-only level-wise search and
+//! exhaustive enumeration must produce identical outputs for identical
+//! parameters — the strongest available evidence that the tree machinery
+//! (ts-list push-up, conditional pruning) is sound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recurring_patterns::core::{apriori_rp, apriori_support_only, brute_force, mine_resolved};
+use recurring_patterns::prelude::*;
+
+/// Builds a random database over `n_items` items across `span` timestamps,
+/// where item `i` appears at a timestamp with its own probability — heavier
+/// items are denser, mimicking a popularity skew.
+fn random_db(seed: u64, n_items: usize, span: i64, density: f64) -> TransactionDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TransactionDb::builder();
+    let labels: Vec<String> = (0..n_items).map(|i| format!("x{i}")).collect();
+    for ts in 0..span {
+        let mut items: Vec<&str> = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let p = density / (i + 1) as f64;
+            if rng.random::<f64>() < p {
+                items.push(label);
+            }
+        }
+        if !items.is_empty() {
+            b.add_labeled(ts, &items);
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn growth_matches_brute_force_across_seeds_and_parameters() {
+    for seed in 0..8 {
+        let db = random_db(seed, 8, 120, 0.7);
+        for (per, min_ps, min_rec) in
+            [(1, 2, 1), (2, 3, 2), (3, 2, 2), (5, 4, 1), (2, 2, 3), (10, 3, 1)]
+        {
+            let params = ResolvedParams::new(per, min_ps, min_rec);
+            let growth = mine_resolved(&db, params).patterns;
+            let brute = brute_force(&db, params);
+            assert_eq!(
+                growth, brute,
+                "divergence at seed={seed} per={per} minPS={min_ps} minRec={min_rec}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_four_miners_agree_on_denser_databases() {
+    for seed in 100..104 {
+        let db = random_db(seed, 10, 200, 1.2);
+        let params = ResolvedParams::new(3, 3, 2);
+        let growth = mine_resolved(&db, params).patterns;
+        let (erec, erec_stats) = apriori_rp(&db, params);
+        let (weak, weak_stats) = apriori_support_only(&db, params);
+        let brute = brute_force(&db, params);
+        assert_eq!(growth, erec, "growth vs apriori at seed={seed}");
+        assert_eq!(growth, weak, "growth vs support-only at seed={seed}");
+        assert_eq!(growth, brute, "growth vs brute force at seed={seed}");
+        assert!(
+            erec_stats.total_candidates() <= weak_stats.total_candidates(),
+            "Erec pruning explored more candidates than the weak bound at seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn outputs_verify_against_raw_database() {
+    for seed in 200..204 {
+        let db = random_db(seed, 9, 150, 0.9);
+        let params = ResolvedParams::new(2, 2, 2);
+        let result = mine_resolved(&db, params);
+        verify_all(&db, &result.patterns, params)
+            .unwrap_or_else(|(i, e)| panic!("pattern {i} failed verification: {e}"));
+    }
+}
+
+#[test]
+fn sparse_and_degenerate_databases() {
+    // A database where every item occurs exactly once.
+    let mut b = TransactionDb::builder();
+    for ts in 0..5 {
+        b.add_labeled(ts * 100, &[&format!("only{ts}") as &str]);
+    }
+    let db = b.build();
+    let params = ResolvedParams::new(1, 1, 1);
+    let growth = mine_resolved(&db, params).patterns;
+    let brute = brute_force(&db, params);
+    assert_eq!(growth, brute);
+    assert_eq!(growth.len(), 5, "each singleton is its own trivial interval");
+
+    // One fully repeated transaction.
+    let mut b = TransactionDb::builder();
+    for ts in 0..10 {
+        b.add_labeled(ts, &["p", "q", "r"]);
+    }
+    let db = b.build();
+    let params = ResolvedParams::new(1, 10, 1);
+    let growth = mine_resolved(&db, params).patterns;
+    assert_eq!(growth.len(), 7, "all 2^3-1 subsets recur");
+    assert_eq!(growth, brute_force(&db, params));
+}

@@ -1,0 +1,59 @@
+//! Full-scale simulator fidelity — the DESIGN.md cardinality claims checked
+//! at `scale = 1.0`. Ignored by default (each generation takes tens of
+//! seconds); run with:
+//!
+//! ```text
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use recurring_patterns::prelude::*;
+
+#[test]
+#[ignore = "full-scale generation; run explicitly with -- --ignored"]
+fn twitter_full_scale_matches_paper_cardinalities() {
+    let s = generate_twitter(&TwitterConfig::default());
+    // Paper §5.1: 177,120 transactions, 1000 distinct hashtags (+ planted).
+    assert_eq!(s.db.len(), 177_120);
+    assert!(s.db.item_count() <= 1009);
+    assert!(s.db.item_count() >= 950);
+    // All four Table 6 events at their calendar positions.
+    assert_eq!(s.planted.len(), 4);
+    let floods = &s.planted[0];
+    assert_eq!(floods.windows[0].0, 51 * 1440 + 68); // 21-Jun 01:08
+    // Recovery at the paper's parameters.
+    let result =
+        RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(2.0), 1)).mine(&s.db);
+    let report = evaluate_recovery(&s.db, &s.planted, &result.patterns);
+    assert_eq!(report.pattern_recall(), 1.0);
+    assert_eq!(report.window_recall(), 1.0);
+}
+
+#[test]
+#[ignore = "full-scale generation; run explicitly with -- --ignored"]
+fn shop_full_scale_matches_paper_cardinalities() {
+    let s = generate_clickstream(&ShopConfig::default());
+    // Paper §5.1: 59,240 transactions, 138 items. Our 42-day calendar with
+    // night troughs should land within a few percent of the former and
+    // exactly on the latter.
+    let n = s.db.len() as f64;
+    assert!(
+        (55_000.0..61_000.0).contains(&n),
+        "|TDB| = {n} strays from the paper's 59,240"
+    );
+    assert_eq!(s.db.item_count(), 138);
+}
+
+#[test]
+#[ignore = "full-scale generation; run explicitly with -- --ignored"]
+fn quest_full_scale_matches_paper_cardinalities() {
+    let db = generate_quest(&QuestConfig::default());
+    // Paper §5.1: 100,000 transactions, 941 distinct items, avg size ~10.
+    assert_eq!(db.len(), 100_000);
+    assert!(db.item_count() >= 900 && db.item_count() <= 941);
+    let stats = recurring_patterns::timeseries::DbStats::compute(&db);
+    assert!(
+        (8.0..12.0).contains(&stats.avg_transaction_len),
+        "avg len {}",
+        stats.avg_transaction_len
+    );
+}

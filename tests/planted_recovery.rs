@@ -1,0 +1,76 @@
+//! Planted-ground-truth recovery on the simulated evaluation datasets —
+//! the quantitative form of the paper's Table 6 usefulness claim.
+
+use recurring_patterns::prelude::*;
+
+#[test]
+fn twitter_events_recovered_at_paper_parameters() {
+    let stream = generate_twitter(&TwitterConfig { scale: 0.08, seed: 5, ..Default::default() });
+    let db = &stream.db;
+    // Paper Table 6 parameters: per=360, minPS=2%, minRec=1.
+    let result = RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(2.0), 1)).mine(db);
+    let report = evaluate_recovery(db, &stream.planted, &result.patterns);
+    assert_eq!(report.pattern_recall(), 1.0, "{report:#?}");
+    assert_eq!(report.window_recall(), 1.0, "{report:#?}");
+    for r in &report.per_pattern {
+        assert!(r.mean_iou > 0.9, "{}: interval endpoints drifted (IoU {})", r.name, r.mean_iou);
+    }
+}
+
+#[test]
+fn nuclear_event_survives_min_rec_two_single_window_events_do_not() {
+    let stream = generate_twitter(&TwitterConfig { scale: 0.08, seed: 5, ..Default::default() });
+    let db = &stream.db;
+    let result = RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(2.0), 2)).mine(db);
+    let find = |labels: &[&str]| {
+        let mut ids = db.pattern_ids(labels).unwrap();
+        ids.sort_unstable();
+        result.patterns.iter().any(|p| p.items == ids)
+    };
+    assert!(find(&["#nuclear", "#hibaku"]), "two-window event survives minRec=2");
+    assert!(!find(&["#pakvotes", "#nayapakistan"]), "one-window event must drop at minRec=2");
+    assert!(!find(&["#yyc", "#uttarakhand"]), "one-window event must drop at minRec=2");
+}
+
+#[test]
+fn shop_campaign_recovered_and_flash_sale_requires_min_rec_one() {
+    let stream = generate_clickstream(&ShopConfig { scale: 0.15, seed: 11, ..Default::default() });
+    let db = &stream.db;
+    let at = |min_rec: usize| {
+        RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(0.3), min_rec)).mine(db)
+    };
+    let two = at(2);
+    let report = evaluate_recovery(db, &stream.planted[..1], &two.patterns);
+    assert!(report.per_pattern[0].fully_recovered(), "{report:#?}");
+
+    let flash = {
+        let mut v = db.pattern_ids(&["cat-flash", "cat-landing"]).unwrap();
+        v.sort_unstable();
+        v
+    };
+    assert!(!two.patterns.iter().any(|p| p.items == flash));
+    let one = at(1);
+    assert!(one.patterns.iter().any(|p| p.items == flash));
+}
+
+#[test]
+fn recovery_is_stable_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let stream = generate_twitter(&TwitterConfig { scale: 0.06, seed, ..Default::default() });
+        let result = RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(2.0), 1))
+            .mine(&stream.db);
+        let report = evaluate_recovery(&stream.db, &stream.planted, &result.patterns);
+        assert_eq!(report.pattern_recall(), 1.0, "seed {seed}: {report:#?}");
+    }
+}
+
+#[test]
+fn mined_output_verifies_on_simulated_data() {
+    let stream = generate_clickstream(&ShopConfig { scale: 0.08, seed: 2, ..Default::default() });
+    let params = RpParams::with_threshold(720, Threshold::pct(0.2), 1);
+    let resolved = params.resolve(stream.db.len());
+    let result = RpGrowth::new(params).mine(&stream.db);
+    assert!(!result.patterns.is_empty());
+    verify_all(&stream.db, &result.patterns, resolved)
+        .unwrap_or_else(|(i, e)| panic!("pattern {i} failed: {e}"));
+}

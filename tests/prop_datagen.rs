@@ -1,0 +1,92 @@
+//! Property-based tests of the dataset generators: structural invariants
+//! that every seed and scale must satisfy (the experiment harness depends
+//! on them silently).
+
+use proptest::prelude::*;
+use recurring_patterns::datagen::{
+    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig,
+    TwitterConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Twitter: every minute is a transaction, planted windows lie in
+    /// range, and all four Table-6 events ship at any scale and seed.
+    #[test]
+    fn twitter_structural_invariants(seed in 0u64..1000, pct in 2u32..8) {
+        let scale = pct as f64 / 100.0;
+        let s = generate_twitter(&TwitterConfig { scale, seed, ..Default::default() });
+        let expected = ((177_120.0 * scale) as usize).max(1);
+        prop_assert_eq!(s.db.len(), expected);
+        prop_assert_eq!(s.planted.len(), 4);
+        let (start, end) = s.db.time_span().unwrap();
+        for p in &s.planted {
+            for &(a, z) in &p.windows {
+                prop_assert!(a >= start && z <= end && a < z);
+            }
+            // Planted labels are interned and occur.
+            for l in &p.labels {
+                let id = s.db.items().id(l).expect("planted label interned");
+                prop_assert!(s.db.support(&[id]) > 0, "{} never occurs", l);
+            }
+        }
+        // Transactions are strictly ordered (TransactionDb invariant).
+        prop_assert!(s
+            .db
+            .transactions()
+            .windows(2)
+            .all(|w| w[0].timestamp() < w[1].timestamp()));
+    }
+
+    /// Clickstream: night troughs leave some minutes empty, the campaign
+    /// recurs twice, the flash sale once, at any seed.
+    #[test]
+    fn clickstream_structural_invariants(seed in 0u64..1000) {
+        let s = generate_clickstream(&ShopConfig { scale: 0.05, seed, ..Default::default() });
+        let total = (60_480.0 * 0.05) as usize;
+        prop_assert!(s.db.len() < total);
+        prop_assert!(s.db.len() > total / 3);
+        prop_assert_eq!(s.planted[0].windows.len(), 2);
+        prop_assert_eq!(s.planted[1].windows.len(), 1);
+        // Planted co-occurrences stay inside their windows.
+        for p in &s.planted {
+            let ids: Vec<_> =
+                p.labels.iter().map(|l| s.db.items().id(l).unwrap()).collect();
+            for t in s.db.timestamps_of(&ids) {
+                prop_assert!(
+                    p.windows.iter().any(|&(a, z)| t >= a && t <= z),
+                    "{} co-occurs outside its windows at {t}",
+                    p.name
+                );
+            }
+        }
+    }
+
+    /// Quest: transaction count equals the config, timestamps are the
+    /// 1-based index, and the item universe is respected.
+    #[test]
+    fn quest_structural_invariants(seed in 0u64..1000, n in 200usize..800) {
+        let db = generate_quest(&QuestConfig {
+            transactions: n,
+            seed,
+            ..QuestConfig::default()
+        });
+        prop_assert_eq!(db.len(), n);
+        prop_assert!(db.item_count() <= 941);
+        prop_assert_eq!(db.transaction(0).timestamp(), 1);
+        prop_assert_eq!(db.transaction(n - 1).timestamp(), n as i64);
+        prop_assert!(db.transactions().iter().all(|t| !t.is_empty()));
+    }
+
+    /// Determinism: identical configs give identical databases.
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..500) {
+        let a = generate_twitter(&TwitterConfig { scale: 0.02, seed, ..Default::default() });
+        let b = generate_twitter(&TwitterConfig { scale: 0.02, seed, ..Default::default() });
+        prop_assert_eq!(a.db.len(), b.db.len());
+        for (x, y) in a.db.transactions().iter().zip(b.db.transactions()) {
+            prop_assert_eq!(x.items(), y.items());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) of the model's core invariants, over
+//! randomly generated timestamp lists and databases.
+
+use proptest::prelude::*;
+use recurring_patterns::core::{
+    brute_force, erec, get_recurrence, mine_resolved, periodic_intervals, recurrence,
+};
+use recurring_patterns::prelude::*;
+
+/// Strategy: a sorted, deduplicated timestamp list.
+fn ts_list() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::btree_set(0i64..500, 0..60)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+/// Strategy: a small random transactional database (≤ 7 items, ≤ 50 stamps).
+fn small_db() -> impl Strategy<Value = TransactionDb> {
+    proptest::collection::vec(
+        (0i64..60, proptest::collection::btree_set(0u8..7, 1..4)),
+        1..50,
+    )
+    .prop_map(|rows| {
+        let mut b = TransactionDb::builder();
+        // Pre-intern so ids are stable regardless of row order.
+        for i in 0..7u8 {
+            b.items_mut().intern(&format!("i{i}"));
+        }
+        for (ts, items) in rows {
+            let labels: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            b.add_labeled(ts, &refs);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    /// Property 1 of the paper: `Erec(X) ≥ Rec(X)`.
+    #[test]
+    fn erec_upper_bounds_recurrence(ts in ts_list(), per in 1i64..20, min_ps in 1usize..6) {
+        prop_assert!(erec(&ts, per, min_ps) >= recurrence(&ts, per, min_ps));
+    }
+
+    /// Maximal periodic runs partition the timestamp list: periodic-supports
+    /// sum to the support, runs are disjoint and ordered, and adjacent runs
+    /// are separated by a gap greater than `per`.
+    #[test]
+    fn periodic_intervals_partition(ts in ts_list(), per in 1i64..20) {
+        let runs = periodic_intervals(&ts, per);
+        let total: usize = runs.iter().map(|r| r.periodic_support).sum();
+        prop_assert_eq!(total, ts.len());
+        for w in runs.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+            prop_assert!(w[1].start - w[0].end > per, "adjacent runs must be un-mergeable");
+        }
+        for r in &runs {
+            prop_assert!(r.start <= r.end);
+        }
+    }
+
+    /// Property 2 of the paper (anti-monotonicity): removing timestamps
+    /// (what moving to a superset pattern does) can only lower `Erec`.
+    #[test]
+    fn erec_is_anti_monotone_under_removal(
+        ts in ts_list(),
+        per in 1i64..20,
+        min_ps in 1usize..6,
+        removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let mut subset = ts.clone();
+        for idx in removals {
+            if subset.is_empty() { break; }
+            let k = idx.index(subset.len());
+            subset.remove(k);
+        }
+        prop_assert!(
+            erec(&ts, per, min_ps) >= erec(&subset, per, min_ps),
+            "removing stamps increased Erec"
+        );
+    }
+
+    /// `get_recurrence` is consistent with the measure functions: it returns
+    /// intervals exactly when `Rec ≥ minRec`, and those intervals are the
+    /// interesting ones.
+    #[test]
+    fn get_recurrence_matches_measures(
+        ts in ts_list(),
+        per in 1i64..20,
+        min_ps in 1usize..6,
+        min_rec in 1usize..4,
+    ) {
+        let params = ResolvedParams::new(per, min_ps, min_rec);
+        let rec = recurrence(&ts, per, min_ps);
+        match get_recurrence(&ts, params) {
+            Some(intervals) => {
+                prop_assert!(rec >= min_rec);
+                prop_assert_eq!(intervals.len(), rec);
+                for iv in &intervals {
+                    prop_assert!(iv.periodic_support >= min_ps);
+                }
+            }
+            None => prop_assert!(rec < min_rec),
+        }
+    }
+
+    /// RP-growth equals exhaustive enumeration on arbitrary small databases.
+    #[test]
+    fn growth_equals_brute_force(
+        db in small_db(),
+        per in 1i64..10,
+        min_ps in 1usize..4,
+        min_rec in 1usize..3,
+    ) {
+        let params = ResolvedParams::new(per, min_ps, min_rec);
+        let growth = mine_resolved(&db, params).patterns;
+        let brute = brute_force(&db, params);
+        prop_assert_eq!(growth, brute);
+    }
+
+    /// Everything RP-growth reports survives independent re-verification.
+    #[test]
+    fn mined_patterns_verify(db in small_db(), per in 1i64..10, min_ps in 1usize..4) {
+        let params = ResolvedParams::new(per, min_ps, 1);
+        let result = mine_resolved(&db, params);
+        prop_assert!(verify_all(&db, &result.patterns, params).is_ok());
+    }
+
+    /// Tightening any threshold never adds patterns (output monotonicity in
+    /// the constraints).
+    #[test]
+    fn output_shrinks_as_constraints_tighten(db in small_db()) {
+        let loose = mine_resolved(&db, ResolvedParams::new(5, 2, 1)).patterns.len();
+        for params in [
+            ResolvedParams::new(3, 2, 1), // smaller per
+            ResolvedParams::new(5, 3, 1), // larger minPS
+            ResolvedParams::new(5, 2, 2), // larger minRec
+        ] {
+            let tight = mine_resolved(&db, params).patterns.len();
+            prop_assert!(tight <= loose);
+        }
+    }
+
+    /// Mining at minRec = k equals mining at minRec = 1 filtered to
+    /// Rec ≥ k (the sweep optimisation `MiningResult::filter_min_rec`
+    /// relies on).
+    #[test]
+    fn min_rec_filter_equivalence(
+        db in small_db(),
+        per in 1i64..8,
+        min_ps in 1usize..4,
+        min_rec in 2usize..5,
+    ) {
+        let base = mine_resolved(&db, ResolvedParams::new(per, min_ps, 1));
+        let direct = mine_resolved(&db, ResolvedParams::new(per, min_ps, min_rec)).patterns;
+        prop_assert_eq!(base.filter_min_rec(min_rec), direct);
+    }
+
+    /// The periodic-frequent periodicity measure is anti-monotone too
+    /// (baseline sanity): removing stamps can only increase `Per(X)`.
+    #[test]
+    fn pf_periodicity_grows_under_removal(
+        ts in ts_list().prop_filter("need 2+", |v| v.len() >= 2),
+        idx in any::<prop::sample::Index>(),
+    ) {
+        use recurring_patterns::baselines::periodic_frequent::periodicity;
+        let (start, end) = (-5, 505);
+        let full = periodicity(&ts, start, end).unwrap();
+        let mut subset = ts.clone();
+        subset.remove(idx.index(subset.len()));
+        if let Some(sub) = periodicity(&subset, start, end) {
+            prop_assert!(sub >= full);
+        }
+    }
+}

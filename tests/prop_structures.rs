@@ -1,0 +1,188 @@
+//! Property-based tests of the structural substrates: the RP-tree arena,
+//! the textual IO roundtrip, database construction and slicing.
+
+use proptest::prelude::*;
+use recurring_patterns::core::tree::TsTree;
+use recurring_patterns::prelude::*;
+use recurring_patterns::timeseries::io;
+
+/// Strategy: a batch of tree insertions — (ascending rank paths, timestamps).
+fn insertions() -> impl Strategy<Value = Vec<(Vec<u32>, i64)>> {
+    proptest::collection::vec(
+        (proptest::collection::btree_set(0u32..6, 1..5), 0i64..1000),
+        1..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            // Distinct timestamps per insertion, as in a real database.
+            .map(|(i, (ranks, ts))| (ranks.into_iter().collect(), ts * 100 + i as i64))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Lemma 2: the tree never allocates more nodes than the sum of
+    /// projection lengths, and prefix sharing keeps it at or below that.
+    #[test]
+    fn tree_size_is_bounded_by_lemma_2(rows in insertions()) {
+        let mut tree = TsTree::new(6);
+        let mut total_len = 0usize;
+        for (ranks, ts) in &rows {
+            tree.insert(ranks, *ts);
+            total_len += ranks.len();
+        }
+        prop_assert!(tree.node_count() <= total_len);
+    }
+
+    /// Property 3: every inserted timestamp is stored exactly once, and the
+    /// per-rank merged ts-lists (after full bottom-up push-up) recover each
+    /// rank's transaction set exactly.
+    #[test]
+    fn tree_conserves_timestamps_under_push_up(rows in insertions()) {
+        let mut tree = TsTree::new(6);
+        for (ranks, ts) in &rows {
+            tree.insert(ranks, *ts);
+        }
+        // Expected: for each rank, the set of timestamps whose insertion
+        // contained it.
+        for rank in (0..6u32).rev() {
+            let mut expected: Vec<i64> = rows
+                .iter()
+                .filter(|(ranks, _)| ranks.contains(&rank))
+                .map(|&(_, ts)| ts)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(tree.merged_ts(rank), expected, "rank {}", rank);
+            tree.push_up_and_remove(rank);
+        }
+        prop_assert_eq!(tree.root_ts_len(), rows.len());
+    }
+
+    /// The timestamped text format roundtrips every database.
+    #[test]
+    fn io_roundtrip(rows in proptest::collection::vec(
+        (0i64..500, proptest::collection::btree_set(0u8..10, 1..4)), 1..50,
+    )) {
+        let mut b = TransactionDb::builder();
+        for (ts, items) in &rows {
+            let labels: Vec<String> = items.iter().map(|i| format!("item{i}")).collect();
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            b.add_labeled(*ts, &refs);
+        }
+        let db = b.build();
+        let mut buf = Vec::new();
+        io::write_timestamped(&db, &mut buf).unwrap();
+        let back = io::read_timestamped(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), db.len());
+        for (a, b_) in db.transactions().iter().zip(back.transactions()) {
+            prop_assert_eq!(a.timestamp(), b_.timestamp());
+            let mut la: Vec<&str> = a.items().iter().map(|&i| db.items().label(i)).collect();
+            let mut lb: Vec<&str> = b_.items().iter().map(|&i| back.items().label(i)).collect();
+            la.sort_unstable();
+            lb.sort_unstable();
+            prop_assert_eq!(la, lb);
+        }
+    }
+
+    /// The binary format roundtrips arbitrary databases exactly.
+    #[test]
+    fn binio_roundtrip(rows in proptest::collection::vec(
+        (-500i64..500, proptest::collection::btree_set(0u8..10, 1..4)), 1..50,
+    )) {
+        let mut b = TransactionDb::builder();
+        for (ts, items) in &rows {
+            let labels: Vec<String> = items.iter().map(|i| format!("item{i}")).collect();
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            b.add_labeled(*ts, &refs);
+        }
+        let db = b.build();
+        let bytes = recurring_patterns::timeseries::to_bytes(&db);
+        let back = recurring_patterns::timeseries::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.len(), db.len());
+        for (x, y) in db.transactions().iter().zip(back.transactions()) {
+            prop_assert_eq!(x.timestamp(), y.timestamp());
+            prop_assert_eq!(x.items(), y.items());
+        }
+    }
+
+    /// Corrupting any single byte of a binary database must produce either
+    /// a clean error or a (different but) valid database — never a panic.
+    #[test]
+    fn binio_survives_single_byte_corruption(
+        flip_pos in any::<prop::sample::Index>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let db = recurring_patterns::timeseries::running_example_db();
+        let mut bytes = recurring_patterns::timeseries::to_bytes(&db).to_vec();
+        let pos = flip_pos.index(bytes.len());
+        bytes[pos] ^= flip_bits;
+        // Must not panic; any Ok result must be a structurally sound db.
+        if let Ok(parsed) = recurring_patterns::timeseries::from_bytes(&bytes) {
+            prop_assert!(parsed
+                .transactions()
+                .windows(2)
+                .all(|w| w[0].timestamp() < w[1].timestamp()));
+        }
+    }
+
+    /// Slicing then reuniting partitions the database, and slices answer
+    /// support queries consistently with the whole.
+    #[test]
+    fn slicing_partitions_support(
+        rows in proptest::collection::vec(
+            (0i64..200, proptest::collection::btree_set(0u8..5, 1..4)), 1..40,
+        ),
+        cut in 0i64..200,
+    ) {
+        let mut b = TransactionDb::builder();
+        for (ts, items) in &rows {
+            let labels: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            b.add_labeled(*ts, &refs);
+        }
+        let db = b.build();
+        let (left, right) = split_at(&db, cut);
+        prop_assert_eq!(left.len() + right.len(), db.len());
+        for item in db.items().iter() {
+            let total = db.support(&[item.id]);
+            let l = left.support(&[item.id]);
+            let r = right.support(&[item.id]);
+            prop_assert_eq!(l + r, total, "support of {} not partitioned", item.label);
+        }
+    }
+
+    /// Projection keeps exactly the kept items' timestamps.
+    #[test]
+    fn projection_preserves_kept_point_sequences(
+        rows in proptest::collection::vec(
+            (0i64..200, proptest::collection::btree_set(0u8..6, 1..4)), 1..40,
+        ),
+        keep_mask in 0u8..63,
+    ) {
+        let mut b = TransactionDb::builder();
+        for i in 0..6u8 {
+            b.items_mut().intern(&format!("i{i}"));
+        }
+        for (ts, items) in &rows {
+            let labels: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            b.add_labeled(*ts, &refs);
+        }
+        let db = b.build();
+        let keep: Vec<ItemId> = (0..6u8)
+            .filter(|i| keep_mask & (1 << i) != 0)
+            .map(|i| db.items().id(&format!("i{i}")).unwrap())
+            .collect();
+        let proj = project_items(&db, &keep);
+        for &k in &keep {
+            prop_assert_eq!(proj.timestamps_of(&[k]), db.timestamps_of(&[k]));
+        }
+        // Dropped items vanish.
+        for item in db.items().iter() {
+            if !keep.contains(&item.id) {
+                prop_assert!(proj.timestamps_of(&[item.id]).is_empty());
+            }
+        }
+    }
+}

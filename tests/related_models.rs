@@ -1,0 +1,142 @@
+//! The §2 related-work claims exercised on simulated data through the
+//! facade: each lineage model's characteristic blind spot or strength,
+//! demonstrated against the same planted ground truth the recurring-pattern
+//! model recovers.
+
+use recurring_patterns::baselines::{
+    analyze_pattern, mine_cyclic, mine_infominer, mine_mis, AsyncParams, CyclicParams,
+    InfoParams, MisParams,
+};
+use recurring_patterns::prelude::*;
+
+fn shop() -> recurring_patterns::datagen::SimulatedStream {
+    generate_clickstream(&ShopConfig { scale: 0.1, seed: 77, ..Default::default() })
+}
+
+#[test]
+fn cyclic_model_misses_the_window_bounded_campaign() {
+    let stream = shop();
+    let db = &stream.db;
+    let campaign = {
+        let mut v = db.pattern_ids(&["cat-sale", "cat-checkout"]).unwrap();
+        v.sort_unstable();
+        v
+    };
+    // Recurring model: found.
+    let rp = RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(0.3), 2)).mine(db);
+    assert!(rp.patterns.iter().any(|p| p.items == campaign));
+    // Cyclic-every-day: the off-season days kill it.
+    let (cyclic, units) =
+        mine_cyclic(db, &CyclicParams::new(1440, Threshold::Fraction(0.02), vec![1]));
+    assert!(units > 2);
+    assert!(
+        !cyclic.iter().any(|p| p.items == campaign),
+        "a window-bounded campaign cannot be frequent in EVERY day"
+    );
+}
+
+#[test]
+fn async_model_reports_progression_chains_for_the_flash_sale() {
+    let stream = shop();
+    let db = &stream.db;
+    let flash = db.pattern_ids(&["cat-flash", "cat-landing"]).unwrap();
+    // The flash sale fires probabilistically, not on an exact arithmetic
+    // progression, so require only short chains with generous disturbance.
+    let params = AsyncParams::new(vec![1, 2, 3], 2, 2000, 6);
+    let found = analyze_pattern(db, &flash, &params);
+    assert!(
+        !found.is_empty(),
+        "some period must yield a valid subsequence over the flash window"
+    );
+    for p in &found {
+        // All chained segments lie inside the planted flash window.
+        let (ws, we) = stream.planted[1].windows[0];
+        for s in &p.segments {
+            assert!(s.start >= ws && s.end <= we, "chain escaped the window");
+        }
+    }
+}
+
+#[test]
+fn mis_and_recurring_both_rescue_the_rare_flash_pair() {
+    let stream = shop();
+    let db = &stream.db;
+    let flash = {
+        let mut v = db.pattern_ids(&["cat-flash", "cat-landing"]).unwrap();
+        v.sort_unstable();
+        v
+    };
+    let head_support = db
+        .items()
+        .iter()
+        .map(|i| db.support(&[i.id]))
+        .max()
+        .unwrap();
+    // A single minSup tuned to head items hides the pair…
+    let single_threshold = head_support / 4;
+    assert!(db.support(&flash) < single_threshold);
+    // …MIS rescues it by per-item thresholds…
+    let mis = mine_mis(db, &MisParams::new(0.8, 5));
+    assert!(mis.iter().any(|p| p.items == flash), "MIS finds the rare pair");
+    // …and the recurring model rescues it by local periodic density.
+    let rp = RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(0.3), 1)).mine(db);
+    assert!(rp.patterns.iter().any(|p| p.items == flash));
+}
+
+#[test]
+fn infominer_scores_rare_regular_cells_above_common_ones() {
+    let stream = shop();
+    // Hourly view, daily period — InfoMiner's habitat (see model_zoo).
+    let hourly = recurring_patterns::timeseries::rebin(
+        &recurring_patterns::timeseries::project_items(
+            &stream.db,
+            &stream
+                .db
+                .pattern_ids(&["cat-sale", "cat-checkout", "cat-0", "cat-1"])
+                .unwrap(),
+        ),
+        60,
+    );
+    let (patterns, segments) = mine_infominer(&hourly, &InfoParams::new(24, 1.0, 0.0));
+    assert!(segments > 1);
+    assert!(!patterns.is_empty());
+    // Per-occurrence information of campaign cells exceeds head-category
+    // cells (they are present in fewer segments).
+    let sale = hourly.items().id("cat-sale").unwrap();
+    let head = hourly.items().id("cat-0").unwrap();
+    let best_info = |item| {
+        patterns
+            .iter()
+            .filter(|p| p.cells.len() == 1 && p.cells[0].item == item)
+            .map(|p| p.information)
+            .fold(0.0f64, f64::max)
+    };
+    let sale_info = best_info(sale);
+    if sale_info > 0.0 && best_info(head) > 0.0 {
+        assert!(
+            sale_info >= best_info(head),
+            "rarer cells must carry at least as much information"
+        );
+    }
+}
+
+#[test]
+fn duration_model_finds_long_sparse_seasons_the_count_model_ranks_low() {
+    let stream = shop();
+    let db = &stream.db;
+    // Duration model on the campaign: both windows last for days.
+    let (by_duration, _) = mine_durations(db, &DurationParams::new(360, 600, 2));
+    let campaign = {
+        let mut v = db.pattern_ids(&["cat-sale", "cat-checkout"]).unwrap();
+        v.sort_unstable();
+        v
+    };
+    let p = by_duration
+        .iter()
+        .find(|p| p.items == campaign)
+        .expect("campaign lasts long enough in both windows");
+    assert_eq!(p.recurrence(), 2);
+    for iv in &p.intervals {
+        assert!(iv.duration() >= 600);
+    }
+}

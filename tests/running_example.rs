@@ -1,0 +1,99 @@
+//! End-to-end oracle test: the paper's running example (Table 1 → Table 2,
+//! Examples 1–11) exercised through the full public API, across all three
+//! recurring-pattern miners.
+
+use recurring_patterns::prelude::*;
+use recurring_patterns::core::{apriori_rp, apriori_support_only, brute_force};
+
+fn db() -> TransactionDb {
+    recurring_patterns::timeseries::running_example_db()
+}
+
+fn params() -> RpParams {
+    RpParams::new(2, 3, 2)
+}
+
+/// Table 2 rendered through the public display API.
+const TABLE_2: [&str; 8] = [
+    "{a} [support=8, recurrence=2, {[1,4]:4}, {[11,14]:3}]",
+    "{b} [support=7, recurrence=2, {[1,4]:3}, {[11,14]:3}]",
+    "{d} [support=6, recurrence=2, {[2,5]:3}, {[9,12]:3}]",
+    "{e} [support=6, recurrence=2, {[3,6]:3}, {[10,12]:3}]",
+    "{f} [support=6, recurrence=2, {[3,6]:3}, {[10,12]:3}]",
+    "{a,b} [support=7, recurrence=2, {[1,4]:3}, {[11,14]:3}]",
+    "{c,d} [support=6, recurrence=2, {[2,5]:3}, {[9,12]:3}]",
+    "{e,f} [support=6, recurrence=2, {[3,6]:3}, {[10,12]:3}]",
+];
+
+#[test]
+fn rp_growth_reproduces_table_2() {
+    let db = db();
+    let result = RpGrowth::new(params()).mine(&db);
+    let rendered: Vec<String> =
+        result.patterns.iter().map(|p| p.display(db.items()).to_string()).collect();
+    assert_eq!(rendered, TABLE_2);
+}
+
+#[test]
+fn all_three_miners_agree_on_the_running_example() {
+    let db = db();
+    let resolved = params().resolve(db.len());
+    let growth = RpGrowth::new(params()).mine(&db).patterns;
+    let (apriori, _) = apriori_rp(&db, resolved);
+    let (weak, _) = apriori_support_only(&db, resolved);
+    let brute = brute_force(&db, resolved);
+    assert_eq!(growth, apriori);
+    assert_eq!(growth, weak);
+    assert_eq!(growth, brute);
+}
+
+#[test]
+fn every_pattern_verifies_and_non_patterns_do_not() {
+    let db = db();
+    let resolved = params().resolve(db.len());
+    let result = RpGrowth::new(params()).mine(&db);
+    verify_all(&db, &result.patterns, resolved).expect("output verifies");
+    // 'c' alone is NOT recurring (Example 10) even though 'cd' is.
+    let c = db.items().id("c").unwrap();
+    let ts = db.timestamps_of(&[c]);
+    assert!(get_recurrence(&ts, resolved).is_none());
+}
+
+#[test]
+fn example_2_and_3_support_and_timestamps() {
+    let db = db();
+    let ab = db.pattern_ids(&["a", "b"]).unwrap();
+    assert_eq!(db.timestamps_of(&ab), vec![1, 3, 4, 7, 11, 12, 14]);
+    assert_eq!(db.support(&ab), 7);
+}
+
+#[test]
+fn example_9_equation_1_format() {
+    let db = db();
+    let result = RpGrowth::new(params()).mine(&db);
+    let ab = {
+        let mut v = db.pattern_ids(&["a", "b"]).unwrap();
+        v.sort_unstable();
+        v
+    };
+    let p = result.patterns.iter().find(|p| p.items == ab).unwrap();
+    assert_eq!(p.support, 7);
+    assert_eq!(p.recurrence(), 2);
+    assert_eq!(
+        p.display(db.items()).to_string(),
+        "{a,b} [support=7, recurrence=2, {[1,4]:3}, {[11,14]:3}]"
+    );
+}
+
+#[test]
+fn loosening_each_threshold_grows_the_output_monotonically() {
+    let db = db();
+    let base = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db).patterns.len();
+    for (per, min_ps, min_rec) in [(3, 3, 2), (2, 2, 2), (2, 3, 1)] {
+        let looser = RpGrowth::new(RpParams::new(per, min_ps, min_rec)).mine(&db).patterns.len();
+        assert!(
+            looser >= base,
+            "loosening to per={per} minPS={min_ps} minRec={min_rec} lost patterns"
+        );
+    }
+}
