@@ -35,11 +35,13 @@ impl AsyncParams {
     /// # Panics
     /// Panics if `periods` is empty/non-positive, `min_rep < 2` (a single
     /// occurrence is not a repetition chain), or `max_dis < 0`.
-    pub fn new(periods: Vec<Timestamp>, min_rep: usize, max_dis: Timestamp, min_total: usize) -> Self {
-        assert!(
-            !periods.is_empty() && periods.iter().all(|&p| p > 0),
-            "periods must be positive"
-        );
+    pub fn new(
+        periods: Vec<Timestamp>,
+        min_rep: usize,
+        max_dis: Timestamp,
+        min_total: usize,
+    ) -> Self {
+        assert!(!periods.is_empty() && periods.iter().all(|&p| p > 0), "periods must be positive");
         assert!(min_rep >= 2, "min_rep must be at least 2");
         assert!(max_dis >= 0, "max_dis must be non-negative");
         Self { periods, min_rep, max_dis, min_total }
@@ -119,7 +121,8 @@ pub fn longest_valid_subsequence(
             }
         }
     }
-    let (mut best, _) = dp.iter().enumerate().max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i))).unwrap();
+    let (mut best, _) =
+        dp.iter().enumerate().max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i))).unwrap();
     let total = dp[best];
     let mut chain = vec![segments[best]];
     while let Some(j) = prev[best] {
@@ -168,7 +171,11 @@ pub fn analyze_pattern(
         .collect()
 }
 
-fn best_subsequence(ts: &[Timestamp], period: Timestamp, params: &AsyncParams) -> Option<AsyncPattern> {
+fn best_subsequence(
+    ts: &[Timestamp],
+    period: Timestamp,
+    params: &AsyncParams,
+) -> Option<AsyncPattern> {
     let segments = valid_segments(ts, period, params.min_rep);
     let (chain, total) = longest_valid_subsequence(&segments, params.max_dis);
     (total >= params.min_total).then_some(AsyncPattern {
@@ -191,10 +198,7 @@ mod tests {
         let segs = valid_segments(&ts, 3, 2);
         assert_eq!(
             segs,
-            vec![
-                Segment { start: 0, end: 9, reps: 4 },
-                Segment { start: 20, end: 23, reps: 2 },
-            ]
+            vec![Segment { start: 0, end: 9, reps: 4 }, Segment { start: 20, end: 23, reps: 2 },]
         );
         // min_rep=3 drops the short chain.
         assert_eq!(valid_segments(&ts, 3, 3).len(), 1);

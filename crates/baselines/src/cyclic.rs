@@ -93,8 +93,7 @@ pub fn mine_cyclic(db: &TransactionDb, params: &CyclicParams) -> (Vec<CyclicPatt
     }
 
     // Frequency bitmaps: frequent_in_unit[u] per candidate itemset.
-    let thresholds: Vec<usize> =
-        unit_txns.iter().map(|&n| params.min_sup.resolve(n)).collect();
+    let thresholds: Vec<usize> = unit_txns.iter().map(|&n| params.min_sup.resolve(n)).collect();
     let freq_bitmap = |per_unit: &[u32]| -> Vec<bool> {
         per_unit
             .iter()
@@ -252,7 +251,8 @@ mod tests {
         let mut b = DbBuilder::new();
         b.add_labeled(0, &["x"]);
         let tiny = b.build();
-        let (pats, units) = mine_cyclic(&tiny, &CyclicParams::new(10, Threshold::Count(1), vec![1]));
+        let (pats, units) =
+            mine_cyclic(&tiny, &CyclicParams::new(10, Threshold::Count(1), vec![1]));
         assert_eq!(units, 0, "span of 1 stamp has no complete 10-stamp unit");
         assert!(pats.is_empty());
     }

@@ -47,11 +47,8 @@ pub fn mine_hitset(db: &TransactionDb, params: &SegmentParams) -> (Vec<SegmentPa
             *cell_hits.entry(Cell { offset, item }).or_insert(0) += 1;
         }
     }
-    let mut f1: Vec<Cell> = cell_hits
-        .into_iter()
-        .filter(|&(_, hits)| hits >= min_sup)
-        .map(|(c, _)| c)
-        .collect();
+    let mut f1: Vec<Cell> =
+        cell_hits.into_iter().filter(|&(_, hits)| hits >= min_sup).map(|(c, _)| c).collect();
     f1.sort_unstable();
     if f1.is_empty() {
         return (Vec::new(), n_segments);
@@ -179,16 +176,13 @@ mod tests {
 
     #[test]
     fn matches_apriori_on_random_databases() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        use rpm_timeseries::prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(5);
         for case in 0..6 {
             let mut b = DbBuilder::new();
             for ts in 0..120i64 {
-                let labels: Vec<String> = (0..4)
-                    .filter(|_| rng.random::<f64>() < 0.4)
-                    .map(|i| format!("e{i}"))
-                    .collect();
+                let labels: Vec<String> =
+                    (0..4).filter(|_| rng.random_f64() < 0.4).map(|i| format!("e{i}")).collect();
                 let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
                 if !refs.is_empty() {
                     b.add_labeled(ts, &refs);

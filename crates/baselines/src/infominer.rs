@@ -145,7 +145,9 @@ pub fn mine_infominer(db: &TransactionDb, params: &InfoParams) -> (Vec<InfoPatte
         for next in from..universe.len() {
             // Optimistic completion: current hit count, all remaining info,
             // zero misses.
-            let ub = (info + suffix_info[next]) * hits.len().max(if stack.is_empty() { universe[next].hits.len() } else { 0 }) as f64;
+            let ub = (info + suffix_info[next])
+                * hits.len().max(if stack.is_empty() { universe[next].hits.len() } else { 0 })
+                    as f64;
             if ub < params.min_gain {
                 // Cells are not ordered by info, so this bound only
                 // justifies skipping when no later cell could help either —
@@ -180,9 +182,7 @@ pub fn mine_infominer(db: &TransactionDb, params: &InfoParams) -> (Vec<InfoPatte
     }
     dfs(&universe, &suffix_info, 0, &[], 0.0, params, &mut stack_cells, &mut out);
 
-    out.sort_by(|a, b| {
-        b.gain.total_cmp(&a.gain).then_with(|| a.cells.cmp(&b.cells))
-    });
+    out.sort_by(|a, b| b.gain.total_cmp(&a.gain).then_with(|| a.cells.cmp(&b.cells)));
     (out, n_segments)
 }
 
@@ -265,9 +265,7 @@ mod tests {
         let rare = db.items().id("rare").unwrap();
         let find = |penalty: f64| {
             let (pats, _) = mine_infominer(&db, &InfoParams::new(4, 0.1, penalty));
-            pats.iter()
-                .find(|p| p.cells.len() == 1 && p.cells[0].item == rare)
-                .map(|p| p.gain)
+            pats.iter().find(|p| p.cells.len() == 1 && p.cells[0].item == rare).map(|p| p.gain)
         };
         let no_penalty = find(0.0).unwrap();
         let with_penalty = find(0.2).unwrap();
@@ -280,16 +278,13 @@ mod tests {
     #[test]
     fn branch_and_bound_matches_exhaustive_enumeration() {
         // Small random databases: compare against a no-pruning enumeration.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(13);
+        use rpm_timeseries::prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(13);
         for _ in 0..5 {
             let mut b = DbBuilder::new();
             for ts in 0..60i64 {
-                let labels: Vec<String> = (0..3)
-                    .filter(|_| rng.random::<f64>() < 0.35)
-                    .map(|i| format!("s{i}"))
-                    .collect();
+                let labels: Vec<String> =
+                    (0..3).filter(|_| rng.random_f64() < 0.35).map(|i| format!("s{i}")).collect();
                 let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
                 if !refs.is_empty() {
                     b.add_labeled(ts, &refs);
@@ -322,12 +317,7 @@ mod tests {
     fn empty_db_and_conversion() {
         let db = DbBuilder::new().build();
         assert_eq!(mine_infominer(&db, &InfoParams::new(4, 1.0, 0.0)).1, 0);
-        let p = InfoPattern {
-            cells: vec![],
-            hits: 3,
-            information: 1.0,
-            gain: 3.0,
-        };
+        let p = InfoPattern { cells: vec![], hits: 3, information: 1.0, gain: 3.0 };
         assert_eq!(to_segment_pattern(&p).hits, 3);
     }
 }

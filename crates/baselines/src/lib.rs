@@ -21,8 +21,8 @@ pub mod hitset;
 pub mod infominer;
 pub mod mis;
 pub mod motif;
-pub mod period_detect;
 pub mod partial_periodic;
+pub mod period_detect;
 pub mod periodic_frequent;
 pub mod ppattern;
 
@@ -35,10 +35,10 @@ pub use hitset::mine_hitset;
 pub use infominer::{mine_infominer, InfoParams, InfoPattern};
 pub use mis::{mine_mis, MisParams, MisPattern};
 pub use motif::{matrix_profile, top_motifs, Motif, ProfileEntry};
+pub use partial_periodic::{mine_segments, Cell, SegmentParams, SegmentPattern};
 pub use period_detect::{
     autocorrelation_periods, chi_squared_periods, consensus_periods, DetectedPeriod,
 };
-pub use partial_periodic::{mine_segments, Cell, SegmentParams, SegmentPattern};
 pub use periodic_frequent::{PfGrowth, PfParams, PfPattern, PfStats, PfVariant};
 pub use ppattern::{
     mine_association_first, mine_periodic_first, PPattern, PPatternParams, PPatternStats,

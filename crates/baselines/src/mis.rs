@@ -166,11 +166,7 @@ mod tests {
         for mask in 1u32..(1 << n) {
             let items: Vec<ItemId> =
                 (0..n).filter(|i| mask & (1 << i) != 0).map(|i| ItemId(i as u32)).collect();
-            let threshold = items
-                .iter()
-                .map(|i| params.mis(sups[i.index()]))
-                .min()
-                .unwrap();
+            let threshold = items.iter().map(|i| params.mis(sups[i.index()])).min().unwrap();
             let support = db.support(&items);
             if support >= threshold && support > 0 {
                 out.push(MisPattern { items, support, threshold });
@@ -232,12 +228,7 @@ mod tests {
         let db = skewed_db();
         let params = MisParams::new(0.9, 2);
         for p in mine_mis(&db, &params) {
-            let expected = p
-                .items
-                .iter()
-                .map(|&i| params.mis(db.support(&[i])))
-                .min()
-                .unwrap();
+            let expected = p.items.iter().map(|&i| params.mis(db.support(&[i]))).min().unwrap();
             assert_eq!(p.threshold, expected);
         }
     }

@@ -115,11 +115,10 @@ mod tests {
     /// A signal with a planted shape (ramp-spike) at positions 10 and 70,
     /// random noise elsewhere.
     fn planted_signal() -> Vec<f64> {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x40717F);
+        use rpm_timeseries::prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(0x40717F);
         let shape = [0.0, 1.0, 2.0, 3.0, 10.0, 3.0, 2.0, 1.0];
-        let mut s: Vec<f64> = (0..110).map(|_| rng.random::<f64>()).collect();
+        let mut s: Vec<f64> = (0..110).map(|_| rng.random_f64()).collect();
         for (k, &v) in shape.iter().enumerate() {
             s[10 + k] = v;
             s[70 + k] = v + 0.05; // same shape, slight offset (z-norm removes it)
@@ -187,8 +186,8 @@ mod tests {
         let motif = &top_motifs(&profile, 8, 1)[0];
         assert_eq!((motif.a, motif.b), (10, 70));
         let timestamps: Vec<i64> = (0..s.len() as i64).collect();
-        let db = Discretizer::new(3, Binning::Gaussian)
-            .discretize(&timestamps, &[("sig", s.clone())]);
+        let db =
+            Discretizer::new(3, Binning::Gaussian).discretize(&timestamps, &[("sig", s.clone())]);
         let spike = db.items().id("sig:L2").expect("high band");
         let ts = db.timestamps_of(&[spike]);
         // The spike lands in the high band at both motif sites.

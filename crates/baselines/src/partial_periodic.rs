@@ -173,20 +173,17 @@ mod tests {
     #[test]
     fn perfect_periodicity_is_found() {
         let db = alternating_db();
-        let (pats, segments) =
-            mine_segments(&db, &SegmentParams::new(2, Threshold::Fraction(1.0)));
+        let (pats, segments) = mine_segments(&db, &SegmentParams::new(2, Threshold::Fraction(1.0)));
         assert_eq!(segments, 4);
         let x = db.items().id("x").unwrap();
         let y = db.items().id("y").unwrap();
         // x@0, y@1 and {x@0,y@1} all hit every segment.
-        assert!(pats.contains(&SegmentPattern {
-            cells: vec![Cell { offset: 0, item: x }],
-            hits: 4
-        }));
-        assert!(pats.contains(&SegmentPattern {
-            cells: vec![Cell { offset: 1, item: y }],
-            hits: 4
-        }));
+        assert!(
+            pats.contains(&SegmentPattern { cells: vec![Cell { offset: 0, item: x }], hits: 4 })
+        );
+        assert!(
+            pats.contains(&SegmentPattern { cells: vec![Cell { offset: 1, item: y }], hits: 4 })
+        );
         assert!(pats.contains(&SegmentPattern {
             cells: vec![Cell { offset: 0, item: x }, Cell { offset: 1, item: y }],
             hits: 4
@@ -219,9 +216,7 @@ mod tests {
         let (pats, _) = mine_segments(&db, &SegmentParams::new(2, Threshold::Count(1)));
         for p in &pats {
             for q in &pats {
-                if p.cells.len() < q.cells.len()
-                    && p.cells.iter().all(|c| q.cells.contains(c))
-                {
+                if p.cells.len() < q.cells.len() && p.cells.iter().all(|c| q.cells.contains(c)) {
                     assert!(p.hits >= q.hits);
                 }
             }
@@ -245,8 +240,7 @@ mod tests {
         let db = TransactionDb::builder().build();
         assert_eq!(mine_segments(&db, &SegmentParams::new(5, Threshold::Count(1))).1, 0);
         let db = alternating_db();
-        let (pats, segments) =
-            mine_segments(&db, &SegmentParams::new(100, Threshold::Count(1)));
+        let (pats, segments) = mine_segments(&db, &SegmentParams::new(100, Threshold::Count(1)));
         assert_eq!(segments, 0);
         assert!(pats.is_empty());
     }

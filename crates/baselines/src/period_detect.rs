@@ -131,29 +131,23 @@ pub fn autocorrelation_periods(
 /// Consensus helper: periods reported by **both** detectors (harmonics
 /// included), ranked by the autocorrelation score — a practical default for
 /// feeding the miners' `per` parameter.
-pub fn consensus_periods(
-    ts: &[Timestamp],
-    max_period: Timestamp,
-) -> Vec<DetectedPeriod> {
+pub fn consensus_periods(ts: &[Timestamp], max_period: Timestamp) -> Vec<DetectedPeriod> {
     let chi = chi_squared_periods(ts, max_period, 3.84);
     let auto = autocorrelation_periods(ts, max_period, 2.0);
-    auto.into_iter()
-        .filter(|a| chi.iter().any(|c| c.period == a.period))
-        .collect()
+    auto.into_iter().filter(|a| chi.iter().any(|c| c.period == a.period)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rpm_timeseries::prng::Pcg32;
 
     /// Exact period-7 arrivals with mild jitterless noise points.
     fn periodic_with_noise(seed: u64) -> Vec<Timestamp> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         let mut ts: Vec<Timestamp> = (0..60).map(|k| k * 7).collect();
         for _ in 0..15 {
-            ts.push(rng.random_range(0..420));
+            ts.push(rng.random_range(0..420i64));
         }
         ts.sort_unstable();
         ts.dedup();
@@ -180,8 +174,8 @@ mod tests {
 
     #[test]
     fn random_sequences_yield_no_strong_periods() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut ts: Vec<Timestamp> = (0..150).map(|_| rng.random_range(0..1000)).collect();
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut ts: Vec<Timestamp> = (0..150).map(|_| rng.random_range(0..1000i64)).collect();
         ts.sort_unstable();
         ts.dedup();
         // Chi-squared at 99.9% confidence: the occasional random spike must

@@ -112,12 +112,8 @@ mod tests {
 
     #[test]
     fn early_abort_agrees_with_full_computation() {
-        let cases: &[&[Timestamp]] = &[
-            &[1, 3, 4, 7, 11, 12, 14],
-            &[2, 4, 5, 7, 9, 10, 12],
-            &[9, 10],
-            &[5],
-        ];
+        let cases: &[&[Timestamp]] =
+            &[&[1, 3, 4, 7, 11, 12, 14], &[2, 4, 5, 7, 9, 10, 12], &[9, 10], &[5]];
         for ts in cases {
             for max_per in 1..=10 {
                 let full = periodicity(ts, 1, 14).filter(|&p| p <= max_per);

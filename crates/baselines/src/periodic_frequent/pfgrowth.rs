@@ -8,6 +8,7 @@
 //! push-up), with the periodic-frequent predicate replacing frequency-only
 //! checks — no recurrence machinery needed.
 
+use rpm_core::merge::MergeHeap;
 use rpm_core::tree::TsTree;
 use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
 
@@ -73,9 +74,7 @@ impl PfGrowth {
             if ts.is_empty() {
                 continue;
             }
-            if ts.len() >= min_sup
-                && periodicity(ts, start, end).is_some_and(|p| p <= max_per)
-            {
+            if ts.len() >= min_sup && periodicity(ts, start, end).is_some_and(|p| p <= max_per) {
                 candidates.push((ItemId(idx as u32), ts.len()));
             }
         }
@@ -112,7 +111,8 @@ impl PfGrowth {
             variant: self.variant,
             items: candidates.iter().map(|&(i, _)| i).collect(),
         };
-        grow(&mut tree, &ctx, &mut suffix, &mut out, &mut stats);
+        let mut scratch = PfScratch::default();
+        grow(&mut tree, &ctx, &mut suffix, &mut out, &mut stats, &mut scratch);
         out.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items)));
         stats.patterns_found = out.len();
         (out, stats)
@@ -148,29 +148,42 @@ impl Ctx {
     }
 }
 
+/// Reusable merge scratch: one heap + ts buffer serve every candidate scan
+/// in the recursion (the merged list is dead before the recursive call).
+#[derive(Default)]
+struct PfScratch {
+    heap: MergeHeap,
+    ts: Vec<Timestamp>,
+}
+
 fn grow(
     tree: &mut TsTree,
     ctx: &Ctx,
     suffix: &mut Vec<ItemId>,
     out: &mut Vec<PfPattern>,
     stats: &mut PfStats,
+    scratch: &mut PfScratch,
 ) {
     for r in (0..tree.rank_count() as u32).rev() {
         if tree.links(r).is_empty() {
             tree.push_up_and_remove(r);
             continue;
         }
-        let ts = tree.merged_ts(r);
         stats.candidates_checked += 1;
-        if let Some(per) = ctx.qualifies(&ts, stats) {
+        let (support, qualifies) = {
+            let PfScratch { heap, ts } = &mut *scratch;
+            tree.merged_ts_into(r, heap, ts);
+            (ts.len(), ctx.qualifies(ts, stats))
+        };
+        if let Some(per) = qualifies {
             suffix.push(ctx.items[r as usize]);
             let mut items = suffix.clone();
             items.sort_unstable();
-            out.push(PfPattern { items, support: ts.len(), periodicity: per });
+            out.push(PfPattern { items, support, periodicity: per });
             // Conditional tree: keep prefix items that still qualify.
             let paths = tree.prefix_paths(r);
             if let Some(mut cond) = conditional_tree(&paths, ctx, stats) {
-                grow(&mut cond, ctx, suffix, out, stats);
+                grow(&mut cond, ctx, suffix, out, stats, scratch);
             }
             suffix.pop();
         }
@@ -188,11 +201,8 @@ fn conditional_tree(
     }
     // Scratch sized by the deepest rank actually present (see rpm-core's
     // growth module for the rationale).
-    let n_ranks = paths
-        .iter()
-        .filter_map(|(path, _)| path.last())
-        .max()
-        .map_or(0, |&r| r as usize + 1);
+    let n_ranks =
+        paths.iter().filter_map(|(path, _)| path.last()).max().map_or(0, |&r| r as usize + 1);
     if n_ranks == 0 {
         return None;
     }
@@ -248,10 +258,7 @@ mod tests {
         // Per values (db span [1,14]): a:4 b:4 c:2 d:4 e:4 f:4 g:5,
         // ab:4 cd:4 ef:4; longer combinations exceed 4.
         let got = mine(4, 6, PfVariant::PlusPlus);
-        assert_eq!(
-            got,
-            vec!["{a}", "{b}", "{c}", "{d}", "{e}", "{f}", "{a,b}", "{c,d}", "{e,f}"]
-        );
+        assert_eq!(got, vec!["{a}", "{b}", "{c}", "{d}", "{e}", "{f}", "{a,b}", "{c,d}", "{e,f}"]);
     }
 
     #[test]
@@ -271,8 +278,7 @@ mod tests {
     fn plusplus_examines_no_more_gaps() {
         let db = running_example_db();
         let params = PfParams::new(2, Threshold::Count(3));
-        let (_, basic) =
-            PfGrowth::new(params.clone()).with_variant(PfVariant::Basic).mine(&db);
+        let (_, basic) = PfGrowth::new(params.clone()).with_variant(PfVariant::Basic).mine(&db);
         let (_, pp) = PfGrowth::new(params).with_variant(PfVariant::PlusPlus).mine(&db);
         assert!(pp.gaps_examined <= basic.gaps_examined);
     }
@@ -280,8 +286,7 @@ mod tests {
     #[test]
     fn reported_measures_are_correct() {
         let db = running_example_db();
-        let (pats, _) =
-            PfGrowth::new(PfParams::new(4, Threshold::Count(6))).mine(&db);
+        let (pats, _) = PfGrowth::new(PfParams::new(4, Threshold::Count(6))).mine(&db);
         for p in &pats {
             let ts = db.timestamps_of(&p.items);
             assert_eq!(ts.len(), p.support);
@@ -316,8 +321,7 @@ mod tests {
     #[test]
     fn empty_db() {
         let db = TransactionDb::builder().build();
-        let (pats, stats) =
-            PfGrowth::new(PfParams::new(4, Threshold::Count(1))).mine(&db);
+        let (pats, stats) = PfGrowth::new(PfParams::new(4, Threshold::Count(1))).mine(&db);
         assert!(pats.is_empty());
         assert_eq!(stats.candidates_checked, 0);
     }

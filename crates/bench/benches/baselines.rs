@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpm_baselines::{
-    mine_association_first, mine_periodic_first, mine_segments, PPatternParams, PfGrowth,
-    PfParams, PfVariant, SegmentParams,
+    mine_association_first, mine_periodic_first, mine_segments, PPatternParams, PfGrowth, PfParams,
+    PfVariant, SegmentParams,
 };
 use rpm_bench::datasets::{load, Dataset};
 use rpm_core::Threshold;

@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpm_bench::datasets::{load, Dataset};
 use rpm_core::tree::TsTree;
 use rpm_core::{
-    get_recurrence, mine_resolved, periodic_intervals, recurrence_spectrum, ResolvedParams,
-    RpList,
+    get_recurrence, mine_resolved, periodic_intervals, recurrence_spectrum, ResolvedParams, RpList,
 };
 use std::hint::black_box;
 

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpm_datagen::{
-    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig,
-    TwitterConfig,
+    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig, TwitterConfig,
 };
 use std::hint::black_box;
 

@@ -29,14 +29,10 @@ fn bench_dataset(c: &mut Criterion, dataset: Dataset) {
         });
     }
     for &pct in &dataset.min_ps_grid() {
-        group.bench_with_input(
-            BenchmarkId::new("minPS_pct", format!("{pct}")),
-            &pct,
-            |b, &pct| {
-                let params = RpParams::with_threshold(720, Threshold::pct(pct), 1);
-                b.iter(|| black_box(RpGrowth::new(params.clone()).mine(&db)).patterns.len());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("minPS_pct", format!("{pct}")), &pct, |b, &pct| {
+            let params = RpParams::with_threshold(720, Threshold::pct(pct), 1);
+            b.iter(|| black_box(RpGrowth::new(params.clone()).mine(&db)).patterns.len());
+        });
     }
     group.finish();
 }

@@ -37,8 +37,7 @@ impl HarnessArgs {
                 "full" => out.scale = 1.0,
                 "scale" => {
                     let v = iter.next().ok_or("--scale needs a value")?;
-                    out.scale =
-                        v.parse().map_err(|e| format!("bad --scale {v:?}: {e}"))?;
+                    out.scale = v.parse().map_err(|e| format!("bad --scale {v:?}: {e}"))?;
                     if !(out.scale > 0.0 && out.scale <= 1.0) {
                         return Err(format!("--scale must be in (0,1], got {}", out.scale));
                     }

@@ -31,10 +31,7 @@ fn main() {
             _ => 0.3,
         };
         let params = RpParams::with_threshold(1440, Threshold::pct(pct), 2).resolve(db.len());
-        println!(
-            "parameters: per=1440 minPS={}({}%) minRec=2\n",
-            params.min_ps, pct
-        );
+        println!("parameters: per=1440 minPS={}({}%) minRec=2\n", params.min_ps, pct);
 
         match mode.as_str() {
             "structures" => {
@@ -44,12 +41,8 @@ fn main() {
                 let t1 = Instant::now();
                 let (apriori, ap_stats) = apriori_rp(&db, params);
                 let ap_time = t1.elapsed();
-                assert_eq!(
-                    growth.patterns, apriori,
-                    "tree and level-wise miners must agree"
-                );
-                let mut table =
-                    Table::new(["algorithm", "patterns", "candidates", "runtime(s)"]);
+                assert_eq!(growth.patterns, apriori, "tree and level-wise miners must agree");
+                let mut table = Table::new(["algorithm", "patterns", "candidates", "runtime(s)"]);
                 table.row([
                     "RP-growth (tree)".to_string(),
                     growth.patterns.len().to_string(),

@@ -42,8 +42,10 @@ fn main() {
         // Figure output: one SVG panel per minRec, matching the paper's
         // layout (one series per per value, log-y like its wide ranges).
         let mut chart = LineChart::new(
-            &format!("Figure 7 ({}) minRec={min_rec} — recurring patterns vs minPS",
-                (b'a' + min_rec as u8 - 1) as char),
+            &format!(
+                "Figure 7 ({}) minRec={min_rec} — recurring patterns vs minPS",
+                (b'a' + min_rec as u8 - 1) as char
+            ),
             "minPS (%)",
             "recurring patterns",
         )

@@ -45,11 +45,7 @@ fn main() {
                 })
                 .collect();
             let real = (day_start as f64 / args.scale) as i64;
-            table.row([
-                date_label(real, 5, 1),
-                counts[0].to_string(),
-                counts[1].to_string(),
-            ]);
+            table.row([date_label(real, 5, 1), counts[0].to_string(), counts[1].to_string()]);
             daily[0].push(counts[0]);
             daily[1].push(counts[1]);
             day_start += day_width;
@@ -64,11 +60,8 @@ fn main() {
             "frequency",
         );
         for (k, tag) in tags.iter().enumerate() {
-            let points: Vec<(f64, f64)> = daily[k]
-                .iter()
-                .enumerate()
-                .map(|(d, &n)| (d as f64, n as f64))
-                .collect();
+            let points: Vec<(f64, f64)> =
+                daily[k].iter().enumerate().map(|(d, &n)| (d as f64, n as f64)).collect();
             chart = chart.series(tag, points);
         }
         let out = std::path::Path::new("results");

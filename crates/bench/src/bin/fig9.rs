@@ -39,8 +39,10 @@ fn main() {
         println!();
 
         let mut chart = LineChart::new(
-            &format!("Figure 9 ({}) minRec={min_rec} — RP-growth runtime vs minPS",
-                (b'a' + min_rec as u8 - 1) as char),
+            &format!(
+                "Figure 9 ({}) minRec={min_rec} — RP-growth runtime vs minPS",
+                (b'a' + min_rec as u8 - 1) as char
+            ),
             "minPS (%)",
             "runtime (s)",
         );

@@ -26,13 +26,8 @@ fn main() {
     let chunk_len = db.len().div_ceil(chunks);
 
     let mut miner = IncrementalMiner::new(params);
-    let mut table = Table::new([
-        "chunk",
-        "|TDB|",
-        "patterns",
-        "incremental mine(s)",
-        "batch mine(s)",
-    ]);
+    let mut table =
+        Table::new(["chunk", "|TDB|", "patterns", "incremental mine(s)", "batch mine(s)"]);
     let mut consumed = 0usize;
     for chunk in 1..=chunks {
         let upto = (chunk * chunk_len).min(db.len());

@@ -59,11 +59,8 @@ fn main() {
 
     // 3. p-patterns (Ma & Hellerstein'01).
     let t0 = Instant::now();
-    let (pp, _) = mine_periodic_first(
-        &db,
-        &PPatternParams::new(360, Threshold::pct(0.3), 1),
-        Some(200_000),
-    );
+    let (pp, _) =
+        mine_periodic_first(&db, &PPatternParams::new(360, Threshold::pct(0.3), 1), Some(200_000));
     let sees = pp.iter().any(|p| p.items == campaign);
     table.row([
         "p-patterns (periodic-first)".into(),
@@ -109,10 +106,7 @@ fn main() {
 
     // 6. Cyclic itemsets (Özden'98), daily units, weekly cycles.
     let t0 = Instant::now();
-    let (cyc, _) = mine_cyclic(
-        &db,
-        &CyclicParams::new(1440, Threshold::Fraction(0.05), vec![1]),
-    );
+    let (cyc, _) = mine_cyclic(&db, &CyclicParams::new(1440, Threshold::Fraction(0.05), vec![1]));
     let sees = cyc.iter().any(|p| p.items == campaign);
     table.row([
         "cyclic itemsets (every day)".into(),
@@ -123,10 +117,8 @@ fn main() {
 
     // 7. Asynchronous periodic (Yang'03) on the campaign's own item pair.
     let t0 = Instant::now();
-    let asyncs = mine_async(
-        &db,
-        &AsyncParams::new(vec![60, 360], 3, 1440, (db.len() / 100).max(4)),
-    );
+    let asyncs =
+        mine_async(&db, &AsyncParams::new(vec![60, 360], 3, 1440, (db.len() / 100).max(4)));
     table.row([
         "asynchronous periodic (1-patterns)".into(),
         asyncs.len().to_string(),

@@ -13,9 +13,7 @@
 //! ```
 
 use rpm_bench::{HarnessArgs, Table};
-use rpm_core::{
-    get_recurrence, get_relaxed_recurrence, NoiseParams, ResolvedParams,
-};
+use rpm_core::{get_recurrence, get_relaxed_recurrence, NoiseParams, ResolvedParams};
 use rpm_datagen::{inject_noise, NoiseConfig};
 use rpm_timeseries::TransactionDb;
 
@@ -58,8 +56,7 @@ fn main() {
         let ts = noisy.timestamps_of(&ids);
         let strict = get_recurrence(&ts, base).map_or(0, |v| v.len());
         let rec_at = |budget: usize| {
-            get_relaxed_recurrence(&ts, &NoiseParams::new(base, budget, 40))
-                .map_or(0, |v| v.len())
+            get_relaxed_recurrence(&ts, &NoiseParams::new(base, budget, 40)).map_or(0, |v| v.len())
         };
         table.row([
             format!("{drop_prob:.2}"),
@@ -100,8 +97,8 @@ fn main() {
         };
         let ts = noisy.timestamps_of(&ids);
         let strict = get_recurrence(&ts, base).map_or(0, |v| v.len());
-        let relaxed = get_relaxed_recurrence(&ts, &NoiseParams::new(base, 8, 40))
-            .map_or(0, |v| v.len());
+        let relaxed =
+            get_relaxed_recurrence(&ts, &NoiseParams::new(base, 8, 40)).map_or(0, |v| v.len());
         let slacked = ResolvedParams::new(base.per + 2 * jitter, base.min_ps, base.min_rec);
         let with_slack = get_recurrence(&ts, slacked).map_or(0, |v| v.len());
         jt.row([

@@ -14,10 +14,7 @@ use rpm_bench::{HarnessArgs, Table};
 fn main() {
     let args = HarnessArgs::from_env();
     let n_seeds = args.get_usize("seeds", 5).max(2);
-    println!(
-        "# Seed variance — Table 5 cells across {n_seeds} seeds (scale={})\n",
-        args.scale
-    );
+    println!("# Seed variance — Table 5 cells across {n_seeds} seeds (scale={})\n", args.scale);
     for dataset in Dataset::ALL {
         println!("## {}", dataset.name());
         let mut table = Table::new(["per", "minPS", "minRec", "mean", "sd", "cv%"]);

@@ -9,9 +9,9 @@
 
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::{HarnessArgs, Table};
-use rpm_datagen::evaluate_recovery;
-use rpm_datagen::calendar::date_label;
 use rpm_core::{RpGrowth, RpParams, Threshold};
+use rpm_datagen::calendar::date_label;
+use rpm_datagen::evaluate_recovery;
 
 fn main() {
     let args = HarnessArgs::from_env();
@@ -57,12 +57,7 @@ fn main() {
             })
             .collect::<Vec<_>>()
             .join(", ");
-        table.row([
-            (i + 1).to_string(),
-            format!("{{{}}}", p.labels.join(", ")),
-            durations,
-            truth,
-        ]);
+        table.row([(i + 1).to_string(), format!("{{{}}}", p.labels.join(", ")), durations, truth]);
     }
     table.print();
     println!();

@@ -40,13 +40,7 @@ pub fn run_cell(db: &TransactionDb, per: i64, min_ps_pct: f64, min_rec: usize) -
     let params = RpParams::with_threshold(per, Threshold::pct(min_ps_pct), min_rec);
     let start = Instant::now();
     let result = RpGrowth::new(params).mine(db);
-    GridCell {
-        per,
-        min_ps_pct,
-        min_rec,
-        patterns: result.patterns.len(),
-        runtime: start.elapsed(),
-    }
+    GridCell { per, min_ps_pct, min_rec, patterns: result.patterns.len(), runtime: start.elapsed() }
 }
 
 /// Runs the Figure 7/9 sweep: `minPS` from `lo` to `hi` percent in unit
@@ -102,10 +96,8 @@ mod tests {
         // Third observation: at minRec = 1, larger per admits more patterns.
         let (db, _) = load(Dataset::Shop14, 0.05, 2);
         for &pct in &Dataset::Shop14.min_ps_grid() {
-            let series: Vec<usize> = PER_GRID
-                .iter()
-                .map(|&per| run_cell(&db, per, pct, 1).patterns)
-                .collect();
+            let series: Vec<usize> =
+                PER_GRID.iter().map(|&per| run_cell(&db, per, pct, 1).patterns).collect();
             assert!(
                 series.windows(2).all(|w| w[0] <= w[1]),
                 "per ↑ ⇒ patterns ↑ at minRec=1, got {series:?}"

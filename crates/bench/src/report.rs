@@ -34,9 +34,8 @@ fn escape(s: &str) -> String {
 pub fn build_report(results_dir: &Path) -> std::io::Result<String> {
     let mut txt_sections: Vec<(String, String)> = Vec::new(); // (stem, content)
     let mut svgs: Vec<(String, String)> = Vec::new(); // (stem, svg)
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(results_dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(results_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
     entries.sort();
     for path in entries {
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").to_string();
@@ -68,9 +67,7 @@ pub fn build_report(results_dir: &Path) -> std::io::Result<String> {
             .map(|(_, t)| (*t).to_string())
             .unwrap_or_else(|| format!("Other output — {stem}"))
     };
-    let rank_of = |stem: &str| {
-        ORDER.iter().position(|(s, _)| *s == stem).unwrap_or(ORDER.len())
-    };
+    let rank_of = |stem: &str| ORDER.iter().position(|(s, _)| *s == stem).unwrap_or(ORDER.len());
     txt_sections.sort_by_key(|(stem, _)| (rank_of(stem), stem.clone()));
 
     for (stem, content) in &txt_sections {

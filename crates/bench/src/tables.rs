@@ -32,13 +32,8 @@ impl Table {
 
     /// Renders the table with aligned columns and a separator line.
     pub fn render(&self) -> String {
-        let cols = self
-            .rows
-            .iter()
-            .chain(std::iter::once(&self.header))
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0);
+        let cols =
+            self.rows.iter().chain(std::iter::once(&self.header)).map(Vec::len).max().unwrap_or(0);
         let mut widths = vec![0usize; cols];
         let measure = |widths: &mut Vec<usize>, row: &[String]| {
             for (i, c) in row.iter().enumerate() {

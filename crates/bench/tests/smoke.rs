@@ -12,11 +12,7 @@ fn run(bin: &str, args: &[&str]) -> String {
         .current_dir(exe)
         .output()
         .expect("binary launches");
-    assert!(
-        out.status.success(),
-        "{bin} failed:\n{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "{bin} failed:\n{}", String::from_utf8_lossy(&out.stderr));
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
@@ -63,10 +59,7 @@ fn ablations_run() {
 fn extension_binaries_run() {
     let out = run("incremental_mining", &["--scale", "0.02", "--chunks", "2"]);
     assert!(out.contains("identical outputs"));
-    let out = run(
-        "scalability",
-        &["--seed", "7", "--steps", "2", "--max-scale", "0.04"],
-    );
+    let out = run("scalability", &["--seed", "7", "--steps", "2", "--max-scale", "0.04"]);
     assert!(out.contains("|TDB|"));
     let out = run("seed_variance", &["--scale", "0.02", "--seeds", "2"]);
     assert!(out.contains("cv%"));

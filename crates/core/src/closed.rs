@@ -36,22 +36,14 @@ fn is_strict_subset(a: &RecurringPattern, b: &RecurringPattern) -> bool {
 pub fn closed_patterns(patterns: &[RecurringPattern]) -> Vec<RecurringPattern> {
     patterns
         .iter()
-        .filter(|p| {
-            !patterns
-                .iter()
-                .any(|q| q.support == p.support && is_strict_subset(p, q))
-        })
+        .filter(|p| !patterns.iter().any(|q| q.support == p.support && is_strict_subset(p, q)))
         .cloned()
         .collect()
 }
 
 /// Filters `patterns` down to the maximal ones.
 pub fn maximal_patterns(patterns: &[RecurringPattern]) -> Vec<RecurringPattern> {
-    patterns
-        .iter()
-        .filter(|p| !patterns.iter().any(|q| is_strict_subset(p, q)))
-        .cloned()
-        .collect()
+    patterns.iter().filter(|p| !patterns.iter().any(|q| is_strict_subset(p, q))).cloned().collect()
 }
 
 #[cfg(test)]
@@ -67,10 +59,7 @@ mod tests {
         (db, patterns)
     }
 
-    fn names(
-        db: &rpm_timeseries::TransactionDb,
-        patterns: &[RecurringPattern],
-    ) -> Vec<String> {
+    fn names(db: &rpm_timeseries::TransactionDb, patterns: &[RecurringPattern]) -> Vec<String> {
         patterns.iter().map(|p| db.items().pattern_string(&p.items)).collect()
     }
 

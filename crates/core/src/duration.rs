@@ -176,10 +176,8 @@ mod tests {
         );
         // Count model (the paper's): minPS=8 at per=10 favours the dense one
         // (the sparse run has only 6 appearances).
-        let strict = crate::growth::mine_resolved(
-            &db,
-            crate::params::ResolvedParams::new(10, 8, 2),
-        );
+        let strict =
+            crate::growth::mine_resolved(&db, crate::params::ResolvedParams::new(10, 8, 2));
         assert!(strict.patterns.iter().any(|p| p.items == vec![dense]));
         assert!(!strict.patterns.iter().any(|p| p.items == vec![sparse]));
     }
@@ -217,23 +215,21 @@ mod tests {
 
     #[test]
     fn matches_brute_force_enumeration() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(3);
+        use rpm_timeseries::prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(3);
         for _ in 0..6 {
             let mut b = DbBuilder::new();
             for ts in 0..200i64 {
-                let labels: Vec<String> = (0..5)
-                    .filter(|_| rng.random::<f64>() < 0.3)
-                    .map(|i| format!("i{i}"))
-                    .collect();
+                let labels: Vec<String> =
+                    (0..5).filter(|_| rng.random_f64() < 0.3).map(|i| format!("i{i}")).collect();
                 let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
                 if !refs.is_empty() {
                     b.add_labeled(ts, &refs);
                 }
             }
             let db = b.build();
-            let params = DurationParams::new(rng.random_range(1..5), rng.random_range(3..15), 2);
+            let params =
+                DurationParams::new(rng.random_range(1..5i64), rng.random_range(3..15i64), 2);
             let (mined, _) = mine_durations(&db, &params);
             // Oracle.
             let mut oracle = Vec::new();

@@ -84,8 +84,7 @@ pub fn write_patterns_tsv<W: Write>(
     let mut out = std::io::BufWriter::new(w);
     writeln!(out, "items\tsupport\trecurrence\tintervals")?;
     for p in patterns {
-        let names: Vec<&str> =
-            p.items.iter().map(|&i| items.try_label(i).unwrap_or("?")).collect();
+        let names: Vec<&str> = p.items.iter().map(|&i| items.try_label(i).unwrap_or("?")).collect();
         let intervals: Vec<String> = p
             .intervals
             .iter()

@@ -1,13 +1,22 @@
 //! RP-growth (paper §4.2, Algorithm 4): pattern-growth mining of the RP-tree
 //! with `Erec`-based conditional-tree pruning and ts-list push-up.
+//!
+//! The recursion is allocation-free after warm-up: every temporary the
+//! seed implementation allocated per candidate (merged ts-lists, prefix
+//! paths, per-rank projections, conditional trees) lives in a reusable
+//! [`MineScratch`] arena threaded through the recursion. Candidate scans
+//! run as k-way merges over the tree's sorted per-node segments, fused with
+//! the `Erec`/`Rec` state machine, so a pruned candidate never materializes
+//! its ts-list at all. See DESIGN.md §"Performance architecture".
 
-use rpm_timeseries::{ItemId, TransactionDb};
+use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
 
-use crate::measures::{get_recurrence, IntervalScan};
+use crate::measures::{IntervalScan, RecurrenceScan, ScanSummary};
+use crate::merge::MergeHeap;
 use crate::params::{ResolvedParams, RpParams};
 use crate::pattern::{canonical_order, RecurringPattern};
 use crate::rplist::RpList;
-use crate::tree::TsTree;
+use crate::tree::{NodeIdx, TsTree, ROOT};
 
 /// Counters describing the work a mining run performed — used by the
 /// pruning-ablation experiment (DESIGN.md, A1/A2) and surfaced to users who
@@ -31,6 +40,29 @@ pub struct MiningStats {
     pub tree_nodes: usize,
     /// Deepest suffix length reached.
     pub max_depth: usize,
+    /// Estimated bytes of reusable scratch memory (merge heaps, path
+    /// buffers, the conditional-tree pool) held when the run finished.
+    /// Scratch capacities only grow, so this is the run's high-water mark.
+    /// An execution-strategy counter: the parallel miner reports the sum
+    /// over its workers, so it is excluded from
+    /// [`MiningStats::normalized`] comparisons.
+    pub scratch_bytes_peak: usize,
+    /// Work-stealing events in the parallel miner: regions claimed by a
+    /// different worker than a static round-robin schedule would have used.
+    /// Always 0 for sequential runs; excluded from
+    /// [`MiningStats::normalized`] comparisons.
+    pub regions_stolen: usize,
+}
+
+impl MiningStats {
+    /// The algorithmic subset of the counters: everything that must be
+    /// identical between the sequential and parallel miners (and across
+    /// thread counts). Zeroes the execution-strategy counters
+    /// `scratch_bytes_peak` and `regions_stolen`, which legitimately vary
+    /// with scheduling.
+    pub fn normalized(&self) -> MiningStats {
+        MiningStats { scratch_bytes_peak: 0, regions_stolen: 0, ..*self }
+    }
 }
 
 /// Result of a mining run: the patterns plus work counters.
@@ -56,6 +88,255 @@ impl MiningResult {
     /// `tests/prop_invariants.rs`.
     pub fn filter_min_rec(&self, min_rec: usize) -> Vec<RecurringPattern> {
         self.patterns.iter().filter(|p| p.recurrence() >= min_rec).cloned().collect()
+    }
+}
+
+/// Byte offsets of one conditional-pattern-base path inside
+/// [`MineScratch`]'s flattened buffers: `path_ranks[rs..re]` is the prefix
+/// path (ascending ranks), `path_ts[ts..te]` its sorted ts-list.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PathBounds {
+    pub(crate) rs: u32,
+    pub(crate) re: u32,
+    pub(crate) ts: u32,
+    pub(crate) te: u32,
+}
+
+/// Reusable working memory for a mining run. One instance serves any number
+/// of runs (and the whole recursion of each): every buffer is cleared, not
+/// dropped, between uses, so after warm-up the hot path performs no heap
+/// allocation for candidates, paths, projections or conditional trees —
+/// only emitted patterns allocate.
+///
+/// The buffers obey a stack discipline: everything filled while processing
+/// one rank is dead before the recursion into that rank's conditional tree,
+/// so a single instance can be threaded through the entire depth-first
+/// search. Conditional trees themselves are recycled through a pool
+/// ([`TsTree::reset`] keeps their arenas warm).
+#[derive(Debug, Default)]
+pub struct MineScratch {
+    /// K-way merge scratch shared by every candidate scan.
+    pub(crate) heap: MergeHeap,
+    /// Fused `Erec`/`Rec`/interval scan.
+    pub(crate) scan: RecurrenceScan,
+    /// Transaction projection buffer (tree construction).
+    pub(crate) ranks: Vec<u32>,
+    /// Ancestor-walk buffer (deepest rank first, reversed on use).
+    pub(crate) walk: Vec<u32>,
+    /// Flattened prefix paths of the current conditional-pattern-base.
+    pub(crate) path_ranks: Vec<u32>,
+    /// Flattened sorted ts-lists of the current base, parallel to paths.
+    pub(crate) path_ts: Vec<Timestamp>,
+    /// Per-path offsets into `path_ranks` / `path_ts`.
+    pub(crate) paths: Vec<PathBounds>,
+    /// Subtree segment gathering (parallel region derivation).
+    pub(crate) segs: Vec<NodeIdx>,
+    /// Per-tail-node `[start, end)` ranges into `segs`.
+    pub(crate) seg_bounds: Vec<(u32, u32)>,
+    /// DFS stack for subtree traversal.
+    pub(crate) stack: Vec<NodeIdx>,
+    /// `rank_paths[r]` = indices of base paths containing rank `r`.
+    rank_paths: Vec<Vec<u32>>,
+    /// Ranks with non-empty `rank_paths`, for cheap cleanup.
+    touched: Vec<u32>,
+    /// Ranks surviving the conditional `Erec` filter.
+    keep: Vec<bool>,
+    /// Filtered-path buffer for conditional-tree insertion.
+    filtered: Vec<u32>,
+    /// Recycled conditional trees (and the global tree between runs).
+    pool: Vec<TsTree>,
+}
+
+impl MineScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a tree from the pool (arena reset, allocations kept) or
+    /// creates one.
+    pub(crate) fn take_tree(&mut self, n_ranks: usize) -> TsTree {
+        match self.pool.pop() {
+            Some(mut t) => {
+                t.reset(n_ranks);
+                t
+            }
+            None => TsTree::new(n_ranks),
+        }
+    }
+
+    /// Returns a tree to the pool for reuse.
+    pub(crate) fn recycle(&mut self, tree: TsTree) {
+        self.pool.push(tree);
+    }
+
+    /// Discards the current conditional-pattern-base.
+    pub(crate) fn clear_base(&mut self) {
+        self.path_ranks.clear();
+        self.path_ts.clear();
+        self.paths.clear();
+    }
+
+    /// Appends the prefix path and ts-list of tail node `n` to the base
+    /// (skipping empty ts-lists and empty prefixes, which cannot contribute
+    /// to a conditional tree).
+    pub(crate) fn push_tail_path(&mut self, tree: &TsTree, n: NodeIdx) {
+        let node = tree.node(n);
+        if node.ts.is_empty() {
+            return;
+        }
+        self.walk.clear();
+        let mut cur = node.parent;
+        while cur != ROOT {
+            let (rank, parent) = tree.rank_parent(cur);
+            self.walk.push(rank);
+            cur = parent;
+        }
+        if self.walk.is_empty() {
+            return;
+        }
+        let rs = self.path_ranks.len() as u32;
+        self.path_ranks.extend(self.walk.iter().rev().copied());
+        let ts = self.path_ts.len() as u32;
+        self.path_ts.extend_from_slice(&node.ts);
+        self.paths.push(PathBounds {
+            rs,
+            re: self.path_ranks.len() as u32,
+            ts,
+            te: self.path_ts.len() as u32,
+        });
+    }
+
+    /// Builds the conditional tree of the base accumulated via
+    /// [`MineScratch::push_tail_path`] (or the parallel miner's region
+    /// derivation): computes each prefix rank's projected `Erec` with a
+    /// k-way merge over the ts-lists of the paths containing it, prunes
+    /// ranks below `minRec` (Properties 1–2), and inserts the filtered
+    /// paths into a pooled tree. Returns `None` when nothing survives.
+    pub(crate) fn build_conditional(&mut self, params: ResolvedParams) -> Option<TsTree> {
+        let Self {
+            heap,
+            path_ranks,
+            path_ts,
+            paths,
+            rank_paths,
+            touched,
+            keep,
+            filtered,
+            pool,
+            ..
+        } = self;
+        if paths.is_empty() {
+            return None;
+        }
+        for (pi, pb) in paths.iter().enumerate() {
+            for &r in &path_ranks[pb.rs as usize..pb.re as usize] {
+                let r = r as usize;
+                if rank_paths.len() <= r {
+                    rank_paths.resize_with(r + 1, Vec::new);
+                    keep.resize(r + 1, false);
+                }
+                if rank_paths[r].is_empty() {
+                    touched.push(r as u32);
+                }
+                rank_paths[r].push(pi as u32);
+            }
+        }
+        let mut max_kept: Option<u32> = None;
+        for &r in touched.iter() {
+            let segs = &rank_paths[r as usize];
+            // Support bound: `Erec ≤ support / minPS`, so a rank whose whole
+            // projection holds fewer than `minPS · minRec` timestamps can
+            // never qualify — skip its merge outright.
+            let support: usize = segs
+                .iter()
+                .map(|&pi| {
+                    let pb = &paths[pi as usize];
+                    (pb.te - pb.ts) as usize
+                })
+                .sum();
+            if support < params.min_ps * params.min_rec {
+                continue;
+            }
+            let mut scan = IntervalScan::new(params.per, params.min_ps);
+            let mut proven = false;
+            // Only `Erec ≥ minRec` matters here, and the bound is monotone
+            // in the scanned prefix — bail out of the merge the moment the
+            // rank is proven, instead of draining its whole projection.
+            heap.merge_while(
+                segs.len() as u32,
+                |i| {
+                    let pb = &paths[segs[i as usize] as usize];
+                    &path_ts[pb.ts as usize..pb.te as usize]
+                },
+                |t| {
+                    scan.feed(t);
+                    proven = scan.erec_so_far() >= params.min_rec;
+                    !proven
+                },
+            );
+            if proven || scan.finish().erec >= params.min_rec {
+                keep[r as usize] = true;
+                max_kept = Some(max_kept.map_or(r, |m: u32| m.max(r)));
+            }
+        }
+        let result = max_kept.and_then(|mk| {
+            let n_ranks = mk as usize + 1;
+            let mut cond = match pool.pop() {
+                Some(mut t) => {
+                    t.reset(n_ranks);
+                    t
+                }
+                None => TsTree::new(n_ranks),
+            };
+            for pb in paths.iter() {
+                filtered.clear();
+                filtered.extend(
+                    path_ranks[pb.rs as usize..pb.re as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&r| keep[r as usize]),
+                );
+                if !filtered.is_empty() {
+                    cond.insert_with_ts_list(filtered, &path_ts[pb.ts as usize..pb.te as usize]);
+                }
+            }
+            if cond.is_empty() {
+                pool.push(cond);
+                None
+            } else {
+                Some(cond)
+            }
+        });
+        for &r in touched.iter() {
+            rank_paths[r as usize].clear();
+            keep[r as usize] = false;
+        }
+        touched.clear();
+        result
+    }
+
+    /// Estimated bytes held by the scratch arena: buffer capacities plus
+    /// the pooled trees. Capacities are monotone within a run, so sampling
+    /// at the end of a run yields its high-water mark.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.heap.capacity_bytes() + self.scan.capacity_bytes();
+        bytes += (self.ranks.capacity()
+            + self.walk.capacity()
+            + self.path_ranks.capacity()
+            + self.filtered.capacity()
+            + self.touched.capacity())
+            * size_of::<u32>();
+        bytes += self.path_ts.capacity() * size_of::<Timestamp>();
+        bytes += self.paths.capacity() * size_of::<PathBounds>();
+        bytes += (self.segs.capacity() + self.stack.capacity()) * size_of::<NodeIdx>();
+        bytes += self.seg_bounds.capacity() * size_of::<(u32, u32)>();
+        bytes += self.keep.capacity() * size_of::<bool>();
+        bytes += self.rank_paths.iter().map(|v| v.capacity() * size_of::<u32>()).sum::<usize>()
+            + self.rank_paths.capacity() * size_of::<Vec<u32>>();
+        bytes += self.pool.iter().map(TsTree::memory_bytes).sum::<usize>();
+        bytes
     }
 }
 
@@ -104,6 +385,18 @@ pub fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult
 /// list incrementally (see [`crate::incremental`]) skip the first database
 /// scan. The list must have been built for the same `db` and `params`.
 pub fn mine_with_list(db: &TransactionDb, list: &RpList, params: ResolvedParams) -> MiningResult {
+    mine_with_scratch(db, list, params, &mut MineScratch::new())
+}
+
+/// Like [`mine_with_list`], reusing a caller-held [`MineScratch`] so that
+/// repeated runs (incremental re-mining, parameter sweeps) skip the warm-up
+/// allocations of buffers, merge heaps and tree arenas entirely.
+pub fn mine_with_scratch(
+    db: &TransactionDb,
+    list: &RpList,
+    params: ResolvedParams,
+    scratch: &mut MineScratch,
+) -> MiningResult {
     let mut stats = MiningStats {
         candidate_items: list.len(),
         scanned_items: list.scanned_items(),
@@ -114,28 +407,40 @@ pub fn mine_with_list(db: &TransactionDb, list: &RpList, params: ResolvedParams)
     }
 
     // Second scan: insert candidate projections (Algorithm 2).
-    let mut tree = TsTree::new(list.len());
+    let mut tree = scratch.take_tree(list.len());
     for t in db.transactions() {
-        let ranks = list.project(t.items());
-        if !ranks.is_empty() {
-            tree.insert(&ranks, t.timestamp());
+        list.project_into(t.items(), &mut scratch.ranks);
+        if !scratch.ranks.is_empty() {
+            tree.insert(&scratch.ranks, t.timestamp());
         }
     }
     stats.tree_nodes += tree.node_count();
 
     let mut patterns = Vec::new();
     let mut suffix: Vec<ItemId> = Vec::new();
-    grow(&mut tree, list, params, &mut suffix, &mut patterns, &mut stats);
+    grow(&mut tree, list, params, &mut suffix, &mut patterns, &mut stats, scratch, true);
+    scratch.recycle(tree);
     canonical_order(&mut patterns);
     stats.patterns_found = patterns.len();
+    stats.scratch_bytes_peak = scratch.footprint_bytes();
     MiningResult { patterns, stats }
 }
 
 /// Algorithm 4 (`RP-growth`): processes the tree's ranks bottom-up. For each
-/// rank, the merged ts-list yields `Erec` (line 2); surviving suffixes are
-/// recurrence-tested (line 4 / Algorithm 5) and expanded through a
-/// conditional tree (lines 4–7); finally the rank's ts-lists are pushed to
-/// the parents and the rank removed (line 9).
+/// rank, a fused k-way merge over the rank's sorted per-node ts segments
+/// computes `Erec`, `Rec` and the interesting intervals in one streaming
+/// pass (lines 2–4 + Algorithm 5) without materializing the merged list;
+/// surviving suffixes are expanded through a pooled conditional tree
+/// (lines 4–7); finally the rank's ts-lists are merged into the parents and
+/// the rank removed (line 9).
+///
+/// `top` marks the call on the top-level (global) tree, whose ranks are the
+/// RP-list candidates themselves: their merged singleton ts-lists are
+/// exactly what the list's build scan already measured (transactions arrive
+/// in ascending timestamp order), so the retained [`RpList::singleton`]
+/// summary and intervals are reused instead of re-merging the whole tree.
+/// Recursive calls on conditional trees pass `false`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn grow(
     tree: &mut TsTree,
     list: &RpList,
@@ -143,6 +448,8 @@ pub(crate) fn grow(
     suffix: &mut Vec<ItemId>,
     out: &mut Vec<RecurringPattern>,
     stats: &mut MiningStats,
+    scratch: &mut MineScratch,
+    top: bool,
 ) {
     stats.max_depth = stats.max_depth.max(suffix.len() + 1);
     for rank in (0..tree.rank_count() as u32).rev() {
@@ -150,23 +457,41 @@ pub(crate) fn grow(
             tree.push_up_and_remove(rank);
             continue;
         }
-        let ts = tree.merged_ts(rank);
         stats.candidates_checked += 1;
-        let summary = IntervalScan::new(params.per, params.min_ps).feed_all(&ts).finish();
+        let stored = if top { list.singleton(rank) } else { None };
+        let summary = match stored {
+            Some((rec, _)) => {
+                let e = &list.candidates()[rank as usize];
+                ScanSummary { support: e.support, runs: 0, interesting: rec, erec: e.erec }
+            }
+            None => {
+                let MineScratch { heap, scan, .. } = &mut *scratch;
+                scan.reset(params.per, params.min_ps);
+                tree.for_each_ts(rank, heap, |t| scan.feed(t));
+                scan.finish()
+            }
+        };
         if summary.erec >= params.min_rec {
             stats.recurrence_tests += 1;
             suffix.push(list.item_at(rank));
-            if let Some(intervals) = get_recurrence(&ts, params) {
+            if summary.interesting >= params.min_rec {
+                // Rec(X) ≥ minRec ⇔ Algorithm 5 succeeds; the intervals were
+                // collected during the same merge pass (or retained by the
+                // RP-list build scan for top-level singletons).
+                let intervals = match stored {
+                    Some((_, intervals)) => intervals.to_vec(),
+                    None => scratch.scan.intervals().to_vec(),
+                };
                 out.push(RecurringPattern::new(suffix.clone(), summary.support, intervals));
             }
             // Conditional pattern base → conditional tree, keeping only the
             // prefix items whose Erec (within this projection) can still
             // reach minRec (Properties 1–2).
-            let paths = tree.prefix_paths(rank);
-            if let Some(mut cond) = conditional_tree(&paths, params) {
+            if let Some(mut cond) = conditional_tree(tree, rank, params, scratch) {
                 stats.conditional_trees += 1;
                 stats.tree_nodes += cond.node_count();
-                grow(&mut cond, list, params, suffix, out, stats);
+                grow(&mut cond, list, params, suffix, out, stats, scratch, false);
+                scratch.recycle(cond);
             }
             suffix.pop();
         }
@@ -174,61 +499,19 @@ pub(crate) fn grow(
     }
 }
 
-/// Builds the conditional tree for a conditional pattern base: computes each
-/// prefix item's projected ts-list, prunes items with `Erec < minRec`, and
-/// re-inserts the filtered paths. Returns `None` when nothing survives.
-fn conditional_tree(paths: &[(Vec<u32>, Vec<i64>)], params: ResolvedParams) -> Option<TsTree> {
-    if paths.is_empty() {
-        return None;
+/// Collects `rank`'s conditional-pattern-base into scratch buffers and
+/// builds the filtered conditional tree from the pool.
+fn conditional_tree(
+    tree: &TsTree,
+    rank: u32,
+    params: ResolvedParams,
+    scratch: &mut MineScratch,
+) -> Option<TsTree> {
+    scratch.clear_base();
+    for &n in tree.links(rank) {
+        scratch.push_tail_path(tree, n);
     }
-    // Size the scratch space by the deepest rank actually present, not the
-    // global candidate count — conditional trees near the leaves only see a
-    // handful of ranks, and this function runs once per conditional tree.
-    let n_ranks = paths
-        .iter()
-        .filter_map(|(path, _)| path.last())
-        .max()
-        .map_or(0, |&r| r as usize + 1);
-    if n_ranks == 0 {
-        return None;
-    }
-    // Projected ts-list per rank (concatenate, then sort once).
-    let mut per_rank_ts: Vec<Vec<i64>> = vec![Vec::new(); n_ranks];
-    for (path, ts) in paths {
-        for &r in path {
-            per_rank_ts[r as usize].extend_from_slice(ts);
-        }
-    }
-    let mut keep = vec![false; n_ranks];
-    let mut any = false;
-    for (r, ts) in per_rank_ts.iter_mut().enumerate() {
-        if ts.is_empty() {
-            continue;
-        }
-        ts.sort_unstable();
-        let summary = IntervalScan::new(params.per, params.min_ps).feed_all(ts).finish();
-        if summary.erec >= params.min_rec {
-            keep[r] = true;
-            any = true;
-        }
-    }
-    if !any {
-        return None;
-    }
-    let mut cond = TsTree::new(n_ranks);
-    let mut filtered: Vec<u32> = Vec::new();
-    for (path, ts) in paths {
-        filtered.clear();
-        filtered.extend(path.iter().copied().filter(|&r| keep[r as usize]));
-        if !filtered.is_empty() {
-            cond.insert_with_ts_list(&filtered, ts);
-        }
-    }
-    if cond.is_empty() {
-        None
-    } else {
-        Some(cond)
-    }
+    scratch.build_conditional(params)
 }
 
 #[cfg(test)]
@@ -287,6 +570,9 @@ mod tests {
         assert!(s.recurrence_tests <= s.candidates_checked);
         assert!(s.max_depth >= 2);
         assert!(s.conditional_trees >= 3); // at least for f, d, b
+        assert!(s.scratch_bytes_peak > 0, "scratch footprint is accounted");
+        assert_eq!(s.regions_stolen, 0, "sequential runs never steal");
+        assert_eq!(s.normalized().scratch_bytes_peak, 0);
     }
 
     #[test]
@@ -346,8 +632,30 @@ mod tests {
         for p in &res.patterns {
             let ts = db.timestamps_of(&p.items);
             assert_eq!(ts.len(), p.support);
-            let intervals = get_recurrence(&ts, params).expect("pattern must be recurring");
+            let intervals =
+                crate::measures::get_recurrence(&ts, params).expect("pattern must be recurring");
             assert_eq!(intervals, p.intervals);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        // One warm scratch across many runs (different databases and
+        // parameters) must produce byte-identical output to cold runs —
+        // the regression test for stale scratch state.
+        let db = running_example_db();
+        let mut scratch = MineScratch::new();
+        for (per, min_ps, min_rec) in [(2, 3, 2), (1, 1, 1), (2, 3, 1), (3, 2, 2), (2, 3, 2)] {
+            let params = ResolvedParams::new(per, min_ps, min_rec);
+            let list = RpList::build(&db, params);
+            let warm = mine_with_scratch(&db, &list, params, &mut scratch);
+            let cold = mine_with_list(&db, &list, params);
+            assert_eq!(warm.patterns, cold.patterns, "params {params:?}");
+            assert_eq!(
+                warm.stats.normalized(),
+                cold.stats.normalized(),
+                "stats diverged for {params:?}"
+            );
         }
     }
 }

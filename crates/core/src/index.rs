@@ -139,9 +139,7 @@ mod tests {
                 let slow: Vec<_> = index
                     .patterns()
                     .iter()
-                    .filter(|p| {
-                        p.intervals.iter().any(|iv| iv.start <= to && iv.end >= from)
-                    })
+                    .filter(|p| p.intervals.iter().any(|iv| iv.start <= to && iv.end >= from))
                     .cloned()
                     .collect();
                 assert_eq!(fast, slow, "mismatch at [{from},{to}]");

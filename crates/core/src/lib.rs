@@ -39,6 +39,7 @@ pub mod growth;
 pub mod incremental;
 pub mod index;
 pub mod measures;
+pub mod merge;
 pub mod naive;
 pub mod parallel;
 pub mod params;
@@ -55,21 +56,25 @@ pub mod verify;
 pub use closed::{closed_patterns, maximal_patterns};
 pub use duration::{get_duration_recurrence, mine_durations, DurationParams};
 pub use export::{write_patterns_json, write_patterns_tsv, write_rules_json};
-pub use growth::{mine_resolved, mine_with_list, MiningResult, MiningStats, RpGrowth};
+pub use growth::{
+    mine_resolved, mine_with_list, mine_with_scratch, MineScratch, MiningResult, MiningStats,
+    RpGrowth,
+};
 pub use incremental::IncrementalMiner;
 pub use index::PatternIndex;
+pub use measures::{
+    erec, get_recurrence, interesting_intervals, periodic_intervals, recurrence, IntervalScan,
+    RecurrenceScan, ScanSummary,
+};
+pub use merge::MergeHeap;
+pub use naive::{apriori_rp, apriori_support_only, brute_force, AprioriStats};
 pub use parallel::mine_parallel;
+pub use params::{ResolvedParams, RpParams, Threshold};
+pub use pattern::{canonical_order, PeriodicInterval, RecurringPattern};
 pub use relaxed::{get_relaxed_recurrence, mine_relaxed, relaxed_intervals, NoiseParams};
+pub use rplist::{RpList, RpListEntry};
 pub use rules::{generate_rules, RecurringRule};
 pub use spectrum::{rec_at, recurrence_spectrum, SpectrumStep};
 pub use summary::{summarize, PatternSetSummary};
 pub use topk::{mine_top_k, top_k, RankBy};
-pub use measures::{
-    erec, get_recurrence, interesting_intervals, periodic_intervals, recurrence, IntervalScan,
-    ScanSummary,
-};
-pub use naive::{apriori_rp, apriori_support_only, brute_force, AprioriStats};
-pub use params::{ResolvedParams, RpParams, Threshold};
-pub use pattern::{canonical_order, PeriodicInterval, RecurringPattern};
-pub use rplist::{RpList, RpListEntry};
 pub use verify::{verify_all, verify_pattern, VerifyError};

@@ -160,6 +160,14 @@ impl IntervalScan {
         }
     }
 
+    /// Lower bound on the final `erec` given what has been fed so far —
+    /// the closed runs' contribution plus the open run's. Monotone
+    /// non-decreasing as the scan progresses, so a consumer that only needs
+    /// `erec >= minRec` may stop feeding once this reaches `minRec`.
+    pub fn erec_so_far(&self) -> usize {
+        self.summary.erec + self.state.map_or(0, |st| st.ps / self.min_ps)
+    }
+
     /// Feeds an entire sorted slice.
     pub fn feed_all(mut self, ts: &[Timestamp]) -> Self {
         for &t in ts {
@@ -174,6 +182,110 @@ impl IntervalScan {
             self.close_run(st.ps);
         }
         self.summary
+    }
+}
+
+/// A reusable scanner that fuses Algorithm 5 (`getRecurrence`) into a single
+/// streaming pass: besides the [`ScanSummary`] aggregates it **collects the
+/// interesting periodic-intervals** as runs close, so the mining hot path
+/// can decide emission (`interesting ≥ minRec` ⇔ `getRecurrence` succeeds)
+/// and produce the pattern's intervals without ever materializing the merged
+/// ts-list. `reset` clears all state but keeps the interval buffer's
+/// capacity — one `RecurrenceScan` serves a whole mining run.
+#[derive(Debug, Clone)]
+pub struct RecurrenceScan {
+    per: Timestamp,
+    min_ps: usize,
+    state: Option<RunState>,
+    summary: ScanSummary,
+    intervals: Vec<PeriodicInterval>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunState {
+    start: Timestamp,
+    idl: Timestamp,
+    ps: usize,
+}
+
+impl Default for RecurrenceScan {
+    fn default() -> Self {
+        Self {
+            per: 0,
+            min_ps: 1,
+            state: None,
+            summary: ScanSummary::default(),
+            intervals: Vec::new(),
+        }
+    }
+}
+
+impl RecurrenceScan {
+    /// Creates an idle scanner; call [`RecurrenceScan::reset`] before feeding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-arms the scanner for a new candidate without releasing buffers.
+    pub fn reset(&mut self, per: Timestamp, min_ps: usize) {
+        debug_assert!(min_ps >= 1, "minPS is at least 1 by definition");
+        self.per = per;
+        self.min_ps = min_ps.max(1);
+        self.state = None;
+        self.summary = ScanSummary::default();
+        self.intervals.clear();
+    }
+
+    /// Feeds the next (ascending) timestamp.
+    #[inline]
+    pub fn feed(&mut self, ts: Timestamp) {
+        self.summary.support += 1;
+        match self.state {
+            None => self.state = Some(RunState { start: ts, idl: ts, ps: 1 }),
+            Some(st) => {
+                debug_assert!(ts >= st.idl, "timestamps must arrive in ascending order");
+                if ts - st.idl <= self.per {
+                    self.state = Some(RunState { start: st.start, idl: ts, ps: st.ps + 1 });
+                } else {
+                    self.close_run(st);
+                    self.state = Some(RunState { start: ts, idl: ts, ps: 1 });
+                }
+            }
+        }
+    }
+
+    fn close_run(&mut self, st: RunState) {
+        self.summary.runs += 1;
+        self.summary.erec += st.ps / self.min_ps;
+        if st.ps >= self.min_ps {
+            self.summary.interesting += 1;
+            self.intervals.push(PeriodicInterval {
+                start: st.start,
+                end: st.idl,
+                periodic_support: st.ps,
+            });
+        }
+    }
+
+    /// Closes the final run and returns the aggregates. The collected
+    /// intervals stay available via [`RecurrenceScan::intervals`] until the
+    /// next `reset`.
+    pub fn finish(&mut self) -> ScanSummary {
+        if let Some(st) = self.state.take() {
+            self.close_run(st);
+        }
+        self.summary
+    }
+
+    /// The interesting periodic-intervals collected so far (complete after
+    /// [`RecurrenceScan::finish`]); `intervals().len() == summary.interesting`.
+    pub fn intervals(&self) -> &[PeriodicInterval] {
+        &self.intervals
+    }
+
+    /// Allocated capacity in bytes (for scratch-memory accounting).
+    pub fn capacity_bytes(&self) -> usize {
+        self.intervals.capacity() * std::mem::size_of::<PeriodicInterval>()
     }
 }
 
@@ -273,10 +385,7 @@ mod tests {
     #[test]
     fn scan_summary_combines_all_measures() {
         let s = IntervalScan::new(2, 3).feed_all(TS_AB).finish();
-        assert_eq!(
-            s,
-            ScanSummary { support: 7, runs: 3, interesting: 2, erec: 2 }
-        );
+        assert_eq!(s, ScanSummary { support: 7, runs: 3, interesting: 2, erec: 2 });
     }
 
     #[test]
@@ -288,6 +397,32 @@ mod tests {
         let s = scan.finish();
         assert_eq!(s.interesting, recurrence(TS_AB, 2, 2));
         assert_eq!(s.erec, erec(TS_AB, 2, 2));
+    }
+
+    #[test]
+    fn recurrence_scan_matches_get_recurrence() {
+        let mut scan = RecurrenceScan::new();
+        for (per, min_ps) in [(2, 3), (1, 1), (3, 2), (2, 1)] {
+            scan.reset(per, min_ps);
+            for &t in TS_AB {
+                scan.feed(t);
+            }
+            let summary = scan.finish();
+            assert_eq!(summary, IntervalScan::new(per, min_ps).feed_all(TS_AB).finish());
+            assert_eq!(scan.intervals().len(), summary.interesting);
+            assert_eq!(scan.intervals(), interesting_intervals(TS_AB, per, min_ps));
+            // Emission decision equals Algorithm 5 for every minRec.
+            for min_rec in 1..=4 {
+                let params = ResolvedParams::new(per, min_ps, min_rec);
+                match get_recurrence(TS_AB, params) {
+                    Some(ipis) => {
+                        assert!(summary.interesting >= min_rec);
+                        assert_eq!(scan.intervals(), ipis);
+                    }
+                    None => assert!(summary.interesting < min_rec),
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Allocation-free k-way merging of sorted timestamp segments.
+//!
+//! The mining hot path repeatedly needs the *sorted union* of several
+//! already-sorted ts-lists (per-node segments of one rank, or the ts-lists
+//! of the conditional-pattern-base paths that contain one prefix item). The
+//! seed implementation concatenated the segments and `sort_unstable`ed the
+//! result — `O(m log m)` comparisons and a fresh `Vec` per candidate. A
+//! [`MergeHeap`] replaces that with a classic k-way merge: `O(m log k)` and
+//! zero allocations once its entry buffer is warm, streaming the merged
+//! order into a caller closure so callers that only need aggregates (an
+//! `Erec` bound, say) never materialize the union at all.
+
+use rpm_timeseries::Timestamp;
+
+/// One cursor of an in-progress merge: the current `key` of segment `seg`,
+/// which is `seg`'s element at `pos`.
+#[derive(Debug, Clone, Copy)]
+struct MergeEntry {
+    key: Timestamp,
+    seg: u32,
+    pos: u32,
+}
+
+/// A reusable binary min-heap of segment cursors. Create one per worker and
+/// pass it to every merge; its buffer is reused across calls.
+#[derive(Debug, Clone, Default)]
+pub struct MergeHeap {
+    entries: Vec<MergeEntry>,
+}
+
+impl MergeHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocated capacity in bytes (for scratch-memory accounting).
+    pub fn capacity_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<MergeEntry>()
+    }
+
+    /// Merges `count` sorted segments, visiting every element in ascending
+    /// order. `seg(i)` returns the `i`-th segment; segments may be empty.
+    /// Ties between segments are emitted in an unspecified segment order
+    /// (irrelevant for the disjoint ts-lists of RP-trees).
+    pub fn merge<'a, S, F>(&mut self, count: u32, seg: S, mut emit: F)
+    where
+        S: Fn(u32) -> &'a [Timestamp],
+        F: FnMut(Timestamp),
+    {
+        self.merge_while(count, seg, |t| {
+            emit(t);
+            true
+        });
+    }
+
+    /// Like [`MergeHeap::merge`], but stops as soon as `emit` returns
+    /// `false` — for consumers that can decide early (e.g. an `Erec ≥
+    /// minRec` check, which is monotone in the scanned prefix).
+    pub fn merge_while<'a, S, F>(&mut self, count: u32, seg: S, mut emit: F)
+    where
+        S: Fn(u32) -> &'a [Timestamp],
+        F: FnMut(Timestamp) -> bool,
+    {
+        self.entries.clear();
+        for i in 0..count {
+            let s = seg(i);
+            if !s.is_empty() {
+                self.entries.push(MergeEntry { key: s[0], seg: i, pos: 0 });
+            }
+        }
+        match self.entries.len() {
+            0 => {}
+            1 => {
+                // Single live segment: stream it straight through.
+                for &t in seg(self.entries[0].seg) {
+                    if !emit(t) {
+                        break;
+                    }
+                }
+                self.entries.clear();
+            }
+            n => {
+                for i in (0..n / 2).rev() {
+                    self.sift_down(i);
+                }
+                while !self.entries.is_empty() {
+                    let top = self.entries[0];
+                    if !emit(top.key) {
+                        self.entries.clear();
+                        break;
+                    }
+                    let s = seg(top.seg);
+                    let next = top.pos as usize + 1;
+                    if next < s.len() {
+                        self.entries[0] =
+                            MergeEntry { key: s[next], seg: top.seg, pos: next as u32 };
+                    } else {
+                        let last = self.entries.pop().expect("heap is non-empty");
+                        if self.entries.is_empty() {
+                            break;
+                        }
+                        self.entries[0] = last;
+                    }
+                    if self.entries.len() == 1 {
+                        // Only one segment left: drain it without heap churn.
+                        let e = self.entries[0];
+                        let s = seg(e.seg);
+                        for &t in &s[e.pos as usize..] {
+                            if !emit(t) {
+                                break;
+                            }
+                        }
+                        self.entries.clear();
+                        break;
+                    }
+                    self.sift_down(0);
+                }
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                return;
+            }
+            let r = l + 1;
+            let mut min = if r < n && self.entries[r].key < self.entries[l].key { r } else { l };
+            if self.entries[i].key <= self.entries[min].key {
+                min = i;
+            }
+            if min == i {
+                return;
+            }
+            self.entries.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+/// Merges sorted `src` into sorted `dst` in place, using `buf` as scratch.
+/// Fast paths: empty inputs and non-overlapping key ranges append without
+/// touching `buf`. Stable with respect to equal keys (`dst` first).
+pub fn merge_into_sorted(dst: &mut Vec<Timestamp>, src: &[Timestamp], buf: &mut Vec<Timestamp>) {
+    debug_assert!(src.windows(2).all(|w| w[0] <= w[1]), "src must be sorted");
+    debug_assert!(dst.windows(2).all(|w| w[0] <= w[1]), "dst must be sorted");
+    if src.is_empty() {
+        return;
+    }
+    if dst.last().is_none_or(|&l| l <= src[0]) {
+        dst.extend_from_slice(src);
+        return;
+    }
+    buf.clear();
+    buf.reserve(dst.len() + src.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < src.len() {
+        if dst[i] <= src[j] {
+            buf.push(dst[i]);
+            i += 1;
+        } else {
+            buf.push(src[j]);
+            j += 1;
+        }
+    }
+    buf.extend_from_slice(&dst[i..]);
+    buf.extend_from_slice(&src[j..]);
+    std::mem::swap(dst, buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merged(segs: &[&[Timestamp]]) -> Vec<Timestamp> {
+        let mut heap = MergeHeap::new();
+        let mut out = Vec::new();
+        heap.merge(segs.len() as u32, |i| segs[i as usize], |t| out.push(t));
+        out
+    }
+
+    #[test]
+    fn merges_disjoint_segments() {
+        assert_eq!(merged(&[&[1, 4, 9], &[2, 3], &[5, 6, 7, 8]]), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn handles_empty_and_single_segments() {
+        assert_eq!(merged(&[]), Vec::<Timestamp>::new());
+        assert_eq!(merged(&[&[], &[]]), Vec::<Timestamp>::new());
+        assert_eq!(merged(&[&[], &[3, 7], &[]]), vec![3, 7]);
+        assert_eq!(merged(&[&[1, 2, 3]]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn emits_duplicates_across_segments() {
+        assert_eq!(merged(&[&[1, 5], &[1, 5]]), vec![1, 1, 5, 5]);
+    }
+
+    #[test]
+    fn heap_buffer_is_reusable() {
+        let mut heap = MergeHeap::new();
+        for round in 0..3 {
+            let a: Vec<Timestamp> = (0..20).map(|i| i * 3 + round).collect();
+            let b: Vec<Timestamp> = (0..20).map(|i| i * 5 + round).collect();
+            let segs: [&[Timestamp]; 2] = [&a, &b];
+            let mut out = Vec::new();
+            heap.merge(2, |i| segs[i as usize], |t| out.push(t));
+            let mut expect = [a.clone(), b.clone()].concat();
+            expect.sort_unstable();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn many_segments_matches_sort() {
+        let segs: Vec<Vec<Timestamp>> =
+            (0..17).map(|s| (0..30).map(|i| (i * 17 + s * 13) % 311).collect()).collect();
+        let mut segs: Vec<Vec<Timestamp>> = segs;
+        for s in &mut segs {
+            s.sort_unstable();
+        }
+        let refs: Vec<&[Timestamp]> = segs.iter().map(Vec::as_slice).collect();
+        let got = merged(&refs);
+        let mut expect: Vec<Timestamp> = segs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn merge_into_sorted_all_paths() {
+        let mut buf = Vec::new();
+        // Append fast path.
+        let mut dst = vec![1, 3];
+        merge_into_sorted(&mut dst, &[3, 9], &mut buf);
+        assert_eq!(dst, vec![1, 3, 3, 9]);
+        // Interleaved path.
+        merge_into_sorted(&mut dst, &[0, 2, 5], &mut buf);
+        assert_eq!(dst, vec![0, 1, 2, 3, 3, 5, 9]);
+        // Empty src.
+        merge_into_sorted(&mut dst, &[], &mut buf);
+        assert_eq!(dst, vec![0, 1, 2, 3, 3, 5, 9]);
+        // Empty dst.
+        let mut empty = Vec::new();
+        merge_into_sorted(&mut empty, &[4, 8], &mut buf);
+        assert_eq!(empty, vec![4, 8]);
+    }
+}

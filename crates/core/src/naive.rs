@@ -103,7 +103,10 @@ pub fn brute_force(db: &TransactionDb, params: ResolvedParams) -> Vec<RecurringP
 /// Level-wise mining with the paper's candidate definition (Definition 11):
 /// a pattern is extended only while `Erec ≥ minRec`. Because candidates are
 /// anti-monotone (Property 2), the search is complete.
-pub fn apriori_rp(db: &TransactionDb, params: ResolvedParams) -> (Vec<RecurringPattern>, AprioriStats) {
+pub fn apriori_rp(
+    db: &TransactionDb,
+    params: ResolvedParams,
+) -> (Vec<RecurringPattern>, AprioriStats) {
     level_wise(db, params, Prune::Erec)
 }
 
@@ -210,12 +213,8 @@ mod tests {
     fn brute_force_reproduces_table_2() {
         let db = running_example_db();
         let got = brute_force(&db, params());
-        let labels: Vec<String> =
-            got.iter().map(|p| db.items().pattern_string(&p.items)).collect();
-        assert_eq!(
-            labels,
-            vec!["{a}", "{b}", "{d}", "{e}", "{f}", "{a,b}", "{c,d}", "{e,f}"]
-        );
+        let labels: Vec<String> = got.iter().map(|p| db.items().pattern_string(&p.items)).collect();
+        assert_eq!(labels, vec!["{a}", "{b}", "{d}", "{e}", "{f}", "{a,b}", "{c,d}", "{e,f}"]);
     }
 
     #[test]

@@ -25,10 +25,7 @@ impl Threshold {
         match self {
             Threshold::Count(c) => c,
             Threshold::Fraction(f) => {
-                assert!(
-                    f > 0.0 && f <= 1.0,
-                    "fractional threshold must be in (0,1], got {f}"
-                );
+                assert!(f > 0.0 && f <= 1.0, "fractional threshold must be in (0,1], got {f}");
                 ((f * db_len as f64).ceil() as usize).max(1)
             }
         }
@@ -96,11 +93,7 @@ impl RpParams {
 
     /// Resolves fractional thresholds against a concrete database size.
     pub fn resolve(&self, db_len: usize) -> ResolvedParams {
-        ResolvedParams {
-            per: self.per,
-            min_ps: self.min_ps.resolve(db_len),
-            min_rec: self.min_rec,
-        }
+        ResolvedParams { per: self.per, min_ps: self.min_ps.resolve(db_len), min_rec: self.min_rec }
     }
 }
 

@@ -205,10 +205,7 @@ mod tests {
         let ts: Vec<Timestamp> = vec![1, 2, 3, 4, 6, 7, 8, 9, 10];
         let strict = periodic_intervals(&ts, 1);
         assert_eq!(strict.len(), 2);
-        let relaxed = relaxed_intervals(
-            &ts,
-            &NoiseParams::new(ResolvedParams::new(1, 3, 1), 1, 5),
-        );
+        let relaxed = relaxed_intervals(&ts, &NoiseParams::new(ResolvedParams::new(1, 3, 1), 1, 5));
         assert_eq!(relaxed.len(), 1);
         assert_eq!(relaxed[0].periodic_support, 9);
         assert_eq!((relaxed[0].start, relaxed[0].end), (1, 10));
@@ -254,8 +251,7 @@ mod tests {
         let p = NoiseParams::new(base(), 1, 4);
         let ipis = get_relaxed_recurrence(&ts, &p).expect("two clean runs of 3");
         assert_eq!(ipis.len(), 2);
-        let too_strict =
-            NoiseParams::new(ResolvedParams::new(2, 4, 2), 1, 4);
+        let too_strict = NoiseParams::new(ResolvedParams::new(2, 4, 2), 1, 4);
         assert!(get_relaxed_recurrence(&ts, &too_strict).is_none());
     }
 
@@ -279,8 +275,7 @@ mod tests {
         let strict_base = ResolvedParams::new(1, 25, 2);
         let strict = crate::growth::mine_resolved(&db, strict_base);
         assert!(strict.patterns.is_empty(), "strict model must miss the noisy pattern");
-        let (relaxed, stats) =
-            mine_relaxed(&db, &NoiseParams::new(strict_base, 1, 3));
+        let (relaxed, stats) = mine_relaxed(&db, &NoiseParams::new(strict_base, 1, 3));
         assert_eq!(relaxed.len(), 1);
         assert_eq!(relaxed[0].recurrence(), 2);
         assert_eq!(relaxed[0].intervals[0].periodic_support, 30);

@@ -4,8 +4,9 @@
 
 use rpm_timeseries::{ItemId, TransactionDb};
 
-use crate::measures::IntervalScan;
+use crate::measures::RecurrenceScan;
 use crate::params::ResolvedParams;
+use crate::pattern::PeriodicInterval;
 
 /// Per-item aggregates collected by the first database scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub struct RpList {
     candidates: Vec<RpListEntry>,
     rank: Vec<Option<u32>>,
     scanned_items: usize,
+    /// Per-candidate (by rank) `Rec` and interesting intervals retained from
+    /// the build scan. `None` for lists assembled from bare summaries
+    /// ([`RpList::from_summaries`]), whose scan states cannot replay runs.
+    singletons: Option<Vec<(usize, Vec<PeriodicInterval>)>>,
 }
 
 impl RpList {
@@ -37,20 +42,30 @@ impl RpList {
     /// and the periodic-support of its current sub-database (`ps`), folding
     /// `⌊ps/minPS⌋` into `erec` whenever a gap `> per` closes a sub-database
     /// (lines 7–12), with a final fold after the scan (line 15). That state
-    /// machine is [`IntervalScan`].
+    /// machine is [`RecurrenceScan`], which also records each candidate's
+    /// interesting intervals — transactions arrive in ascending timestamp
+    /// order, so this scan sees exactly the merged singleton ts-list the
+    /// miner would otherwise re-derive from the tree, and the miners reuse
+    /// the retained result instead (see [`crate::growth`]).
     pub fn build(db: &TransactionDb, params: ResolvedParams) -> Self {
         let n_items = db.item_count();
-        let mut scans: Vec<Option<IntervalScan>> = vec![None; n_items];
+        let mut scans: Vec<Option<RecurrenceScan>> = Vec::new();
+        scans.resize_with(n_items, || None);
         for t in db.transactions() {
             let ts = t.timestamp();
             for &item in t.items() {
                 scans[item.index()]
-                    .get_or_insert_with(|| IntervalScan::new(params.per, params.min_ps))
+                    .get_or_insert_with(|| {
+                        let mut s = RecurrenceScan::new();
+                        s.reset(params.per, params.min_ps);
+                        s
+                    })
                     .feed(ts);
             }
         }
         let mut candidates: Vec<RpListEntry> = Vec::new();
-        for (idx, scan) in scans.into_iter().enumerate() {
+        let mut raw: Vec<(usize, usize, Vec<PeriodicInterval>)> = Vec::new();
+        for (idx, scan) in scans.iter_mut().enumerate() {
             let Some(scan) = scan else { continue };
             let summary = scan.finish();
             if summary.erec >= params.min_rec {
@@ -59,6 +74,7 @@ impl RpList {
                     support: summary.support,
                     erec: summary.erec,
                 });
+                raw.push((idx, summary.interesting, scan.intervals().to_vec()));
             }
         }
         // Line 16: descending support, deterministic tie-break on item id.
@@ -67,7 +83,13 @@ impl RpList {
         for (r, e) in candidates.iter().enumerate() {
             rank[e.item.index()] = Some(r as u32);
         }
-        Self { candidates, rank, scanned_items: n_items }
+        let mut singletons: Vec<(usize, Vec<PeriodicInterval>)> =
+            vec![(0, Vec::new()); candidates.len()];
+        for (idx, rec, intervals) in raw {
+            let r = rank[idx].expect("every retained item has a rank") as usize;
+            singletons[r] = (rec, intervals);
+        }
+        Self { candidates, rank, scanned_items: n_items, singletons: Some(singletons) }
     }
 
     /// Builds an RP-list directly from per-item scan summaries — used by
@@ -88,7 +110,22 @@ impl RpList {
         for (r, e) in candidates.iter().enumerate() {
             rank[e.item.index()] = Some(r as u32);
         }
-        Self { candidates, rank, scanned_items: n_items }
+        Self { candidates, rank, scanned_items: n_items, singletons: None }
+    }
+
+    /// The retained singleton scan of the candidate at `rank`: its `Rec` and
+    /// interesting intervals, exactly what a merged scan of `TS^item` yields.
+    /// `None` when the list was built without retention
+    /// ([`RpList::from_summaries`]).
+    ///
+    /// # Panics
+    /// Panics for out-of-range ranks.
+    #[inline]
+    pub(crate) fn singleton(&self, rank: u32) -> Option<(usize, &[PeriodicInterval])> {
+        self.singletons.as_ref().map(|s| {
+            let (rec, intervals) = &s[rank as usize];
+            (*rec, intervals.as_slice())
+        })
     }
 
     /// The candidate items in RP-tree insertion order (descending support).
@@ -129,9 +166,17 @@ impl RpList {
     /// (= the paper's "sort the candidate items in `t` according to the order
     /// of CI", Algorithm 2 line 4). Pruned items are dropped.
     pub fn project(&self, items: &[ItemId]) -> Vec<u32> {
-        let mut ranks: Vec<u32> = items.iter().filter_map(|&i| self.rank(i)).collect();
-        ranks.sort_unstable();
+        let mut ranks = Vec::new();
+        self.project_into(items, &mut ranks);
         ranks
+    }
+
+    /// Allocation-free [`RpList::project`]: clears `out` and fills it with
+    /// the ascending candidate ranks of `items`.
+    pub fn project_into(&self, items: &[ItemId], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(items.iter().filter_map(|&i| self.rank(i)));
+        out.sort_unstable();
     }
 }
 
@@ -158,14 +203,7 @@ mod tests {
             .collect();
         assert_eq!(
             labels,
-            vec![
-                ("a", 8, 2),
-                ("b", 7, 2),
-                ("c", 7, 2),
-                ("d", 6, 2),
-                ("e", 6, 2),
-                ("f", 6, 2),
-            ]
+            vec![("a", 8, 2), ("b", 7, 2), ("c", 7, 2), ("d", 6, 2), ("e", 6, 2), ("f", 6, 2),]
         );
     }
 

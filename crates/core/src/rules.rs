@@ -74,9 +74,8 @@ pub fn generate_rules(
                     consequent.push(item);
                 }
             }
-            let sup_a = *support_cache
-                .entry(antecedent.clone())
-                .or_insert_with(|| db.support(&antecedent));
+            let sup_a =
+                *support_cache.entry(antecedent.clone()).or_insert_with(|| db.support(&antecedent));
             if sup_a == 0 {
                 continue;
             }

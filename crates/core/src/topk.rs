@@ -29,9 +29,7 @@ impl RankBy {
         match self {
             RankBy::Recurrence => p.recurrence(),
             RankBy::Support => p.support,
-            RankBy::PeriodicCoverage => {
-                p.intervals.iter().map(|iv| iv.periodic_support).sum()
-            }
+            RankBy::PeriodicCoverage => p.intervals.iter().map(|iv| iv.periodic_support).sum(),
             RankBy::Length => p.len(),
         }
     }

@@ -101,8 +101,7 @@ mod tests {
         let db = running_example_db();
         let params = ResolvedParams::new(2, 3, 2);
         let mut res = mine_resolved(&db, params);
-        res.patterns[0].intervals[0] =
-            PeriodicInterval { start: 0, end: 1, periodic_support: 3 };
+        res.patterns[0].intervals[0] = PeriodicInterval { start: 0, end: 1, periodic_support: 3 };
         let err = verify_pattern(&db, &res.patterns[0], params).unwrap_err();
         assert_eq!(err, VerifyError::IntervalMismatch);
     }

@@ -13,7 +13,7 @@
 //! `emit_prob` per minute inside each of its windows, optionally sleeping
 //! during a fixed minute-of-day range.
 
-use rand::Rng;
+use rpm_timeseries::prng::Pcg32;
 use rpm_timeseries::Timestamp;
 
 use crate::calendar::minute_of_day;
@@ -98,25 +98,21 @@ impl Default for BurstConfig {
 /// 720), and a "one burst per day" pattern (splits below 1440).
 const SLEEPS: [(Option<Sleep>, f64); 4] = [
     (None, 0.35),
-    (Some(Sleep { from: 30, to: 450 }), 0.35),    // ~7 h
-    (Some(Sleep { from: 1320, to: 540 }), 0.15),  // ~11 h, wraps midnight
-    (Some(Sleep { from: 1140, to: 540 }), 0.15),  // ~16 h
+    (Some(Sleep { from: 30, to: 450 }), 0.35),   // ~7 h
+    (Some(Sleep { from: 1320, to: 540 }), 0.15), // ~11 h, wraps midnight
+    (Some(Sleep { from: 1140, to: 540 }), 0.15), // ~16 h
 ];
 
 /// Generates `cfg.events` deterministic burst events over a stream of
 /// `total` minutes.
-pub fn generate_events<R: Rng + ?Sized>(
-    rng: &mut R,
-    cfg: &BurstConfig,
-    total: Timestamp,
-) -> Vec<BurstEvent> {
+pub fn generate_events(rng: &mut Pcg32, cfg: &BurstConfig, total: Timestamp) -> Vec<BurstEvent> {
     assert!(total > 0, "stream must be non-empty");
     assert!(!cfg.item_range.is_empty(), "item range must be non-empty");
     let mut out = Vec::with_capacity(cfg.events);
     let size_total: f64 = cfg.size_weights.iter().sum();
     for _ in 0..cfg.events {
         // Member set size from the weight table.
-        let mut pick = rng.random::<f64>() * size_total;
+        let mut pick = rng.random_f64() * size_total;
         let mut size = 1;
         for (s, w) in cfg.size_weights.iter().enumerate() {
             if pick < *w {
@@ -131,7 +127,7 @@ pub fn generate_events<R: Rng + ?Sized>(
         let mut guard = 0;
         while members.len() < size && guard < 64 {
             guard += 1;
-            let r: f64 = rng.random();
+            let r = rng.random_f64();
             let idx = cfg.item_range.start + ((r * r) * span as f64) as usize;
             let idx = idx.min(cfg.item_range.end - 1);
             if !members.contains(&idx) {
@@ -142,12 +138,12 @@ pub fn generate_events<R: Rng + ?Sized>(
 
         // Windows.
         let n_windows = 1
-            + usize::from(rng.random::<f64>() < cfg.extra_window_prob)
-            + usize::from(rng.random::<f64>() < cfg.extra_window_prob / 2.0);
+            + usize::from(rng.random_f64() < cfg.extra_window_prob)
+            + usize::from(rng.random_f64() < cfg.extra_window_prob / 2.0);
         let mut windows = Vec::with_capacity(n_windows);
         for _ in 0..n_windows {
             let frac =
-                cfg.window_frac.0 + rng.random::<f64>() * (cfg.window_frac.1 - cfg.window_frac.0);
+                cfg.window_frac.0 + rng.random_f64() * (cfg.window_frac.1 - cfg.window_frac.0);
             let len = ((total as f64 * frac) as Timestamp).clamp(1, total);
             let start = if total > len { rng.random_range(0..total - len) } else { 0 };
             windows.push((start, start + len - 1));
@@ -164,10 +160,10 @@ pub fn generate_events<R: Rng + ?Sized>(
 
         // Emission probability, log-uniform.
         let (lo, hi) = cfg.emit_prob;
-        let p = lo * (hi / lo).powf(rng.random::<f64>());
+        let p = lo * (hi / lo).powf(rng.random_f64());
 
         // Sleep from the mixture.
-        let mut pick = rng.random::<f64>();
+        let mut pick = rng.random_f64();
         let mut sleep = None;
         for (s, w) in SLEEPS {
             if pick < w {
@@ -185,8 +181,6 @@ pub fn generate_events<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sleep_covers_plain_and_wrapping_ranges() {
@@ -205,7 +199,7 @@ mod tests {
 
     #[test]
     fn events_respect_config_bounds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let cfg = BurstConfig { events: 300, item_range: 20..120, ..Default::default() };
         let events = generate_events(&mut rng, &cfg, 100_000);
         assert_eq!(events.len(), 300);
@@ -225,7 +219,7 @@ mod tests {
 
     #[test]
     fn mixture_produces_both_multi_window_and_sleeping_events() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Pcg32::seed_from_u64(2);
         let cfg = BurstConfig { events: 400, item_range: 0..50, ..Default::default() };
         let events = generate_events(&mut rng, &cfg, 50_000);
         assert!(events.iter().any(|e| e.windows.len() >= 2));
@@ -237,10 +231,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = BurstConfig::default();
-        let a = generate_events(&mut StdRng::seed_from_u64(7), &cfg, 10_000);
-        let b = generate_events(&mut StdRng::seed_from_u64(7), &cfg, 10_000);
+        let a = generate_events(&mut Pcg32::seed_from_u64(7), &cfg, 10_000);
+        let b = generate_events(&mut Pcg32::seed_from_u64(7), &cfg, 10_000);
         assert_eq!(a, b);
-        let c = generate_events(&mut StdRng::seed_from_u64(8), &cfg, 10_000);
+        let c = generate_events(&mut Pcg32::seed_from_u64(8), &cfg, 10_000);
         assert_ne!(a, c);
     }
 }

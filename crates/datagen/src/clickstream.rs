@@ -16,8 +16,7 @@
 //! Background traffic is Zipf over the category catalogue with diurnal and
 //! weekend modulation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rpm_timeseries::prng::Pcg32;
 use rpm_timeseries::{DbBuilder, ItemId, Timestamp};
 
 use crate::bursts::{generate_events, BurstConfig};
@@ -58,7 +57,7 @@ pub fn generate_clickstream(config: &ShopConfig) -> SimulatedStream {
     assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0,1]");
     assert!(config.categories >= 1, "need at least one category");
     let total = ((FULL_MINUTES as f64) * config.scale) as Timestamp;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Pcg32::seed_from_u64(config.seed);
     let zipf = Zipf::new(config.categories, 1.0);
 
     let mut b = DbBuilder::with_capacity(total as usize);
@@ -88,8 +87,8 @@ pub fn generate_clickstream(config: &ShopConfig) -> SimulatedStream {
         // Deep night floor so some minutes stay empty, as in the real data.
         let intensity = diurnal_intensity(real_ts, 0.02) * weekend_boost(real_ts, 1.4);
         let expected = config.background_rate * intensity;
-        let mut remaining = expected.floor() as usize
-            + usize::from(rng.random::<f64>() < expected.fract());
+        let mut remaining =
+            expected.floor() as usize + usize::from(rng.random_f64() < expected.fract());
         while remaining > 0 {
             bucket.push(ItemId(zipf.sample(&mut rng) as u32));
             remaining -= 1;
@@ -117,9 +116,8 @@ pub fn generate_clickstream(config: &ShopConfig) -> SimulatedStream {
                     if ev.sleep.is_some_and(|sl| sl.covers(real_ts)) {
                         continue;
                     }
-                    if rng.random::<f64>() < ev.emit_prob {
-                        minutes[ts as usize]
-                            .extend(ev.members.iter().map(|&m| ItemId(m as u32)));
+                    if rng.random_f64() < ev.emit_prob {
+                        minutes[ts as usize].extend(ev.members.iter().map(|&m| ItemId(m as u32)));
                     }
                 }
             }
@@ -132,13 +130,13 @@ pub fn generate_clickstream(config: &ShopConfig) -> SimulatedStream {
         let real_ts = (ts as f64 / config.scale) as Timestamp;
         let intensity = diurnal_intensity(real_ts, 0.02) * weekend_boost(real_ts, 1.4);
         if campaign.iter().any(|&(s, e)| ts >= s && ts <= e)
-            && rng.random::<f64>() < campaign_prob * intensity.max(0.3)
+            && rng.random_f64() < campaign_prob * intensity.max(0.3)
         {
             bucket.push(sale);
             bucket.push(checkout);
         }
         if flash_window.iter().any(|&(s, e)| ts >= s && ts <= e)
-            && rng.random::<f64>() < flash_prob * intensity.max(0.3)
+            && rng.random_f64() < flash_prob * intensity.max(0.3)
         {
             bucket.push(flash);
             bucket.push(landing);
@@ -203,14 +201,11 @@ mod tests {
         assert_eq!(s.planted[1].windows.len(), 1);
         // Co-occurrences concentrate inside the windows.
         for p in &s.planted {
-            let ids: Vec<_> =
-                p.labels.iter().map(|l| s.db.items().id(l).unwrap()).collect();
+            let ids: Vec<_> = p.labels.iter().map(|l| s.db.items().id(l).unwrap()).collect();
             let ts = s.db.timestamps_of(&ids);
             assert!(!ts.is_empty(), "{} never occurs", p.name);
-            let inside = ts
-                .iter()
-                .filter(|&&t| p.windows.iter().any(|&(a, z)| t >= a && t <= z))
-                .count();
+            let inside =
+                ts.iter().filter(|&&t| p.windows.iter().any(|&(a, z)| t >= a && t <= z)).count();
             assert_eq!(inside, ts.len(), "{}: all co-occurrences are planted", p.name);
         }
     }

@@ -44,8 +44,7 @@ impl ExactSpec {
         let mut cursor: Timestamp = 0;
         for (g, group) in self.groups.iter().enumerate() {
             assert!(group.items >= 1, "group {g} needs at least one item");
-            let labels: Vec<String> =
-                (0..group.items).map(|j| format!("g{g}-i{j}")).collect();
+            let labels: Vec<String> = (0..group.items).map(|j| format!("g{g}-i{j}")).collect();
             let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
             for &(step, count) in &group.bursts {
                 assert!(step > 0 && count >= 1, "group {g}: invalid burst");

@@ -32,5 +32,6 @@ pub use planted::{
     evaluate_recovery, PatternRecovery, PlantedPattern, RecoveryReport, SimulatedStream,
 };
 pub use quest::{generate_quest, QuestConfig};
+pub use rpm_timeseries::prng;
 pub use twitter::{generate_twitter, TwitterConfig};
 pub use zipf::Zipf;

@@ -2,8 +2,7 @@
 //! jitters timestamps, the two corruption modes the paper's future-work
 //! section names (noisy data, phase shifts).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rpm_timeseries::prng::Pcg32;
 use rpm_timeseries::{DbBuilder, Timestamp, TransactionDb};
 
 /// Noise model applied by [`inject_noise`].
@@ -40,13 +39,13 @@ impl NoiseConfig {
 pub fn inject_noise(db: &TransactionDb, config: &NoiseConfig) -> TransactionDb {
     assert!((0.0..1.0).contains(&config.drop_prob), "drop_prob must be in [0,1)");
     assert!(config.jitter >= 0, "jitter must be non-negative");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Pcg32::seed_from_u64(config.seed);
     let mut b = DbBuilder::with_capacity(db.len());
     for t in db.transactions() {
         let kept: Vec<&str> = t
             .items()
             .iter()
-            .filter(|_| config.drop_prob == 0.0 || rng.random::<f64>() >= config.drop_prob)
+            .filter(|_| config.drop_prob == 0.0 || rng.random_f64() >= config.drop_prob)
             .map(|&i| db.items().label(i))
             .collect();
         if kept.is_empty() {

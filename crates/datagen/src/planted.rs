@@ -69,8 +69,7 @@ impl RecoveryReport {
         if self.per_pattern.is_empty() {
             return 1.0;
         }
-        self.per_pattern.iter().filter(|p| p.found).count() as f64
-            / self.per_pattern.len() as f64
+        self.per_pattern.iter().filter(|p| p.found).count() as f64 / self.per_pattern.len() as f64
     }
 
     /// Fraction of planted windows matched by mined intervals.
@@ -112,17 +111,12 @@ pub fn evaluate_recovery(
             v.sort_unstable();
             v
         });
-        let hit = target
-            .as_ref()
-            .and_then(|t| mined.iter().find(|m| &m.items == t));
+        let hit = target.as_ref().and_then(|t| mined.iter().find(|m| &m.items == t));
         let (mut matched, mut iou_sum) = (0usize, 0.0f64);
         if let Some(m) = hit {
             for &w in &p.windows {
-                let best = m
-                    .intervals
-                    .iter()
-                    .map(|i| iou((i.start, i.end), w))
-                    .fold(0.0f64, f64::max);
+                let best =
+                    m.intervals.iter().map(|i| iou((i.start, i.end), w)).fold(0.0f64, f64::max);
                 if best >= 0.5 {
                     matched += 1;
                     iou_sum += best;

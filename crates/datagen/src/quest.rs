@@ -21,8 +21,7 @@
 //! Timestamps are the 1-based transaction index, matching how the paper
 //! applies minute-denominated `per` values (360/720/1440) to this dataset.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rpm_timeseries::prng::Pcg32;
 use rpm_timeseries::{DbBuilder, TransactionDb};
 
 use crate::zipf::{clamped_normal, poisson_at_least};
@@ -73,7 +72,7 @@ impl QuestConfig {
 
 /// Generates a Quest-style transactional database.
 pub fn generate_quest(config: &QuestConfig) -> TransactionDb {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Pcg32::seed_from_u64(config.seed);
     let n_items = config.items;
 
     // Step 1: potential maximal itemsets.
@@ -86,7 +85,7 @@ pub fn generate_quest(config: &QuestConfig) -> TransactionDb {
         if p > 0 {
             // Exponentially distributed correlation fraction.
             let frac =
-                (-config.correlation * rng.random::<f64>().max(f64::MIN_POSITIVE).ln()).min(1.0);
+                (-config.correlation * rng.random_f64().max(f64::MIN_POSITIVE).ln()).min(1.0);
             let carry = ((size as f64) * frac).round() as usize;
             let prev = &itemsets[p - 1];
             for _ in 0..carry.min(prev.len()) {
@@ -104,7 +103,7 @@ pub fn generate_quest(config: &QuestConfig) -> TransactionDb {
         }
         set.sort_unstable();
         itemsets.push(set);
-        weights.push(-rng.random::<f64>().max(f64::MIN_POSITIVE).ln()); // Exp(1)
+        weights.push(-rng.random_f64().max(f64::MIN_POSITIVE).ln()); // Exp(1)
         corruption.push(clamped_normal(&mut rng, 0.5, 0.1, 0.0, 0.9));
     }
     // Normalise weights into a cumulative table.
@@ -132,18 +131,18 @@ pub fn generate_quest(config: &QuestConfig) -> TransactionDb {
         let mut guard = 0;
         while txn.len() < size && guard < 50 {
             guard += 1;
-            let u: f64 = rng.random();
+            let u = rng.random_f64();
             let idx = cdf.partition_point(|&c| c < u).min(itemsets.len() - 1);
             let mut chosen = itemsets[idx].clone();
             // Corruption: drop items while uniform < corruption level.
-            while chosen.len() > 1 && rng.random::<f64>() < corruption[idx] {
+            while chosen.len() > 1 && rng.random_f64() < corruption[idx] {
                 let drop = rng.random_range(0..chosen.len());
                 chosen.swap_remove(drop);
             }
             if txn.len() + chosen.len() > size + 2 && !txn.is_empty() {
                 // Overflow: half the time the itemset moves to the next
                 // transaction, otherwise it is discarded.
-                if rng.random::<bool>() {
+                if rng.random_bool(0.5) {
                     carry_over = Some(chosen);
                 }
                 break;
@@ -201,11 +200,8 @@ mod tests {
             assert_eq!(x.items(), y.items());
         }
         let c = generate_quest(&QuestConfig { seed: 43, ..small() });
-        let differs = a
-            .transactions()
-            .iter()
-            .zip(c.transactions())
-            .any(|(x, y)| x.items() != y.items());
+        let differs =
+            a.transactions().iter().zip(c.transactions()).any(|(x, y)| x.items() != y.items());
         assert!(differs, "different seeds must differ");
     }
 

@@ -19,8 +19,7 @@
 //! position), so every planted event survives at any scale and the
 //! `minPS`-as-percentage semantics of Table 4 are preserved.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rpm_timeseries::prng::Pcg32;
 use rpm_timeseries::{DbBuilder, ItemId, Timestamp};
 
 use crate::bursts::{generate_events, BurstConfig};
@@ -107,7 +106,7 @@ pub fn generate_twitter(config: &TwitterConfig) -> SimulatedStream {
     assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0,1]");
     assert!(config.hashtags >= 1, "need at least one hashtag");
     let total = ((FULL_MINUTES as f64) * config.scale) as Timestamp;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Pcg32::seed_from_u64(config.seed);
     let zipf = Zipf::new(config.hashtags, 1.05);
 
     let mut b = DbBuilder::with_capacity(total as usize);
@@ -125,10 +124,7 @@ pub fn generate_twitter(config: &TwitterConfig) -> SimulatedStream {
             ev.windows
                 .iter()
                 .map(|&(s, e)| {
-                    (
-                        (s as f64 * config.scale) as Timestamp,
-                        (e as f64 * config.scale) as Timestamp,
-                    )
+                    ((s as f64 * config.scale) as Timestamp, (e as f64 * config.scale) as Timestamp)
                 })
                 .collect()
         })
@@ -146,8 +142,8 @@ pub fn generate_twitter(config: &TwitterConfig) -> SimulatedStream {
         let real_ts = (ts as f64 / config.scale) as Timestamp;
         let intensity = diurnal_intensity(real_ts, 0.25);
         let expected = config.background_rate * intensity;
-        let mut remaining = expected.floor() as usize
-            + usize::from(rng.random::<f64>() < expected.fract());
+        let mut remaining =
+            expected.floor() as usize + usize::from(rng.random_f64() < expected.fract());
         while remaining > 0 {
             bucket.push(ItemId(zipf.sample(&mut rng) as u32));
             remaining -= 1;
@@ -175,9 +171,8 @@ pub fn generate_twitter(config: &TwitterConfig) -> SimulatedStream {
                     if ev.sleep.is_some_and(|sl| sl.covers(real_ts)) {
                         continue;
                     }
-                    if rng.random::<f64>() < ev.emit_prob {
-                        minutes[ts as usize]
-                            .extend(ev.members.iter().map(|&m| ItemId(m as u32)));
+                    if rng.random_f64() < ev.emit_prob {
+                        minutes[ts as usize].extend(ev.members.iter().map(|&m| ItemId(m as u32)));
                     }
                 }
             }
@@ -194,12 +189,12 @@ pub fn generate_twitter(config: &TwitterConfig) -> SimulatedStream {
             let intensity = diurnal_intensity(real_ts, 0.25);
             let in_window = scaled[k].iter().any(|&(s, e)| ts >= s && ts <= e);
             if in_window {
-                if rng.random::<f64>() < ev.emit_prob {
+                if rng.random_f64() < ev.emit_prob {
                     bucket.extend(event_ids[k].iter().copied());
                 }
             } else {
                 for (j, &bg) in ev.background.iter().enumerate() {
-                    if rng.random::<f64>() < bg * intensity {
+                    if rng.random_f64() < bg * intensity {
                         bucket.push(event_ids[k][j]);
                     }
                 }
@@ -291,10 +286,7 @@ mod tests {
         let utt = s.db.items().id("#uttarakhand").unwrap();
         let sup_yyc = s.db.support(&[yyc]);
         let sup_utt = s.db.support(&[utt]);
-        assert!(
-            sup_yyc > 2 * sup_utt,
-            "#yyc ({sup_yyc}) must dominate #uttarakhand ({sup_utt})"
-        );
+        assert!(sup_yyc > 2 * sup_utt, "#yyc ({sup_yyc}) must dominate #uttarakhand ({sup_utt})");
     }
 
     #[test]
@@ -302,10 +294,7 @@ mod tests {
         let a = generate_twitter(&small());
         let b = generate_twitter(&small());
         assert_eq!(a.db.len(), b.db.len());
-        assert_eq!(
-            a.db.transaction(100).items(),
-            b.db.transaction(100).items()
-        );
+        assert_eq!(a.db.transaction(100).items(), b.db.transaction(100).items());
         let c = generate_twitter(&TwitterConfig { seed: 2, ..small() });
         let differs = (0..a.db.len().min(c.db.len()))
             .any(|i| a.db.transaction(i).items() != c.db.transaction(i).items());

@@ -4,7 +4,7 @@
 //! rare-item discussion (§1 issue 5, §5.2) hinges on exactly this skew, so
 //! both simulators draw their background traffic from a Zipf law.
 
-use rand::Rng;
+use rpm_timeseries::prng::Pcg32;
 
 /// A sampler over `0..n` with `P(k) ∝ 1 / (k + 1)^s`, implemented as a
 /// precomputed cumulative table + binary search (O(log n) per draw,
@@ -46,8 +46,8 @@ impl Zipf {
     }
 
     /// Draws a rank in `0..n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.random();
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.random_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
@@ -64,13 +64,13 @@ impl Zipf {
 /// Draws from a Poisson distribution with mean `lambda` (Knuth's method —
 /// fine for the small means used by the Quest generator), clamped to
 /// `>= min`.
-pub fn poisson_at_least<R: Rng + ?Sized>(rng: &mut R, lambda: f64, min: usize) -> usize {
+pub fn poisson_at_least(rng: &mut Pcg32, lambda: f64, min: usize) -> usize {
     assert!(lambda > 0.0, "lambda must be positive");
     let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0;
     loop {
-        p *= rng.random::<f64>();
+        p *= rng.random_f64();
         if p <= l {
             break;
         }
@@ -84,9 +84,9 @@ pub fn poisson_at_least<R: Rng + ?Sized>(rng: &mut R, lambda: f64, min: usize) -
 
 /// Draws from a normal distribution via Box–Muller, clamped to `[lo, hi]` —
 /// used for the Quest generator's per-itemset corruption levels.
-pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random();
+pub fn clamped_normal(rng: &mut Pcg32, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    let u1 = rng.random_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.random_f64();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     (mean + sd * z).clamp(lo, hi)
 }
@@ -94,8 +94,6 @@ pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_is_normalised_and_monotone() {
@@ -109,7 +107,7 @@ mod tests {
     #[test]
     fn zipf_sampling_is_skewed_towards_low_ranks() {
         let z = Zipf::new(50, 1.2);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Pcg32::seed_from_u64(7);
         let mut counts = vec![0usize; 50];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -131,7 +129,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_is_roughly_lambda() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Pcg32::seed_from_u64(11);
         let n = 20_000;
         let sum: usize = (0..n).map(|_| poisson_at_least(&mut rng, 10.0, 1)).sum();
         let mean = sum as f64 / n as f64;
@@ -140,7 +138,7 @@ mod tests {
 
     #[test]
     fn poisson_respects_floor() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         for _ in 0..1000 {
             assert!(poisson_at_least(&mut rng, 0.5, 1) >= 1);
         }
@@ -148,7 +146,7 @@ mod tests {
 
     #[test]
     fn clamped_normal_stays_in_bounds() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Pcg32::seed_from_u64(5);
         let mut sum = 0.0;
         for _ in 0..5000 {
             let v = clamped_normal(&mut rng, 0.5, 0.1, 0.0, 1.0);

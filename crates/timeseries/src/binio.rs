@@ -4,12 +4,12 @@
 //! simulation (177k transactions, ~2M incidences) round-trips much faster
 //! in this binary format: LEB128 varints throughout, delta-encoded
 //! timestamps, delta-encoded item ids within each (sorted) transaction.
+//! Implemented on plain `Vec<u8>` / slice cursors — `std` is all the
+//! format needs, and the workspace must build offline.
 //!
 //! Layout: magic `RPMB`, version byte, item table (count + length-prefixed
 //! UTF-8 labels), transaction count, then per transaction a zigzag-varint
 //! timestamp delta and a varint item count followed by varint id deltas.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::database::TransactionDb;
 use crate::error::{Error, Result};
@@ -18,34 +18,61 @@ use crate::item::ItemId;
 const MAGIC: &[u8; 4] = b"RPMB";
 const VERSION: u8 = 1;
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64> {
-    let mut out = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if !buf.has_remaining() {
-            return Err(parse("truncated varint"));
+/// A read cursor over the serialised byte slice.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> Result<u8> {
+        let b = *self.data.get(self.pos).ok_or_else(|| parse("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn get_slice(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(parse("unexpected end of input"));
         }
-        let byte = buf.get_u8();
-        if shift >= 64 {
-            return Err(parse("varint overflow"));
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn get_varint(&mut self) -> Result<u64> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if self.remaining() == 0 {
+                return Err(parse("truncated varint"));
+            }
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(parse("varint overflow"));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
         }
-        out |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(out);
-        }
-        shift += 7;
     }
 }
 
@@ -62,14 +89,14 @@ fn parse(message: &str) -> Error {
 }
 
 /// Serialises `db` into a compact byte buffer.
-pub fn to_bytes(db: &TransactionDb) -> Bytes {
-    let mut buf = BytesMut::with_capacity(db.len() * 8 + 64);
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
+pub fn to_bytes(db: &TransactionDb) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(db.len() * 8 + 64);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
     put_varint(&mut buf, db.item_count() as u64);
     for item in db.items().iter() {
         put_varint(&mut buf, item.label.len() as u64);
-        buf.put_slice(item.label.as_bytes());
+        buf.extend_from_slice(item.label.as_bytes());
     }
     put_varint(&mut buf, db.len() as u64);
     let mut prev_ts = 0i64;
@@ -84,40 +111,36 @@ pub fn to_bytes(db: &TransactionDb) -> Bytes {
             prev_id = item.0;
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialises a database from [`to_bytes`] output.
 pub fn from_bytes(data: &[u8]) -> Result<TransactionDb> {
-    let mut buf = Bytes::copy_from_slice(data);
-    if buf.remaining() < 5 || &buf.copy_to_bytes(4)[..] != MAGIC {
+    let mut buf = Reader { data, pos: 0 };
+    if buf.remaining() < 5 || buf.get_slice(4)? != MAGIC {
         return Err(parse("bad magic (not an RPMB file)"));
     }
-    let version = buf.get_u8();
+    let version = buf.get_u8()?;
     if version != VERSION {
         return Err(parse(&format!("unsupported version {version}")));
     }
     let mut db = TransactionDb::builder().build();
-    let n_items = get_varint(&mut buf)? as usize;
+    let n_items = buf.get_varint()? as usize;
     for _ in 0..n_items {
-        let len = get_varint(&mut buf)? as usize;
-        if buf.remaining() < len {
-            return Err(parse("truncated label"));
-        }
-        let raw = buf.copy_to_bytes(len);
-        let label =
-            std::str::from_utf8(&raw).map_err(|_| parse("label is not valid UTF-8"))?;
+        let len = buf.get_varint()? as usize;
+        let raw = buf.get_slice(len).map_err(|_| parse("truncated label"))?;
+        let label = std::str::from_utf8(raw).map_err(|_| parse("label is not valid UTF-8"))?;
         db.items_mut().intern(label);
     }
-    let n_txns = get_varint(&mut buf)? as usize;
+    let n_txns = buf.get_varint()? as usize;
     let mut ts = 0i64;
     for _ in 0..n_txns {
-        ts += unzigzag(get_varint(&mut buf)?);
-        let len = get_varint(&mut buf)? as usize;
-        let mut ids = Vec::with_capacity(len);
+        ts += unzigzag(buf.get_varint()?);
+        let len = buf.get_varint()? as usize;
+        let mut ids = Vec::with_capacity(len.min(buf.remaining()));
         let mut id = 0u32;
         for _ in 0..len {
-            let delta = get_varint(&mut buf)?;
+            let delta = buf.get_varint()?;
             id = id
                 .checked_add(u32::try_from(delta).map_err(|_| parse("id delta overflow"))?)
                 .ok_or_else(|| parse("id overflow"))?;
@@ -125,7 +148,7 @@ pub fn from_bytes(data: &[u8]) -> Result<TransactionDb> {
         }
         db.append(ts, ids)?;
     }
-    if buf.has_remaining() {
+    if buf.remaining() > 0 {
         return Err(parse("trailing bytes after database"));
     }
     Ok(db)
@@ -177,9 +200,11 @@ mod tests {
     #[test]
     fn varint_and_zigzag_roundtrip() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = BytesMut::new();
+            let mut buf = Vec::new();
             put_varint(&mut buf, v);
-            assert_eq!(get_varint(&mut buf.freeze()).unwrap(), v);
+            let mut r = Reader { data: &buf, pos: 0 };
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
         }
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
             assert_eq!(unzigzag(zigzag(v)), v);
@@ -198,9 +223,23 @@ mod tests {
             assert!(from_bytes(&bytes[..cut]).is_err(), "prefix {cut} accepted");
         }
         // Trailing garbage rejected.
-        let mut extended = bytes.to_vec();
+        let mut extended = bytes.clone();
         extended.push(0);
         assert!(from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_overallocate() {
+        // A huge claimed transaction length with no data behind it must
+        // fail cleanly rather than reserving gigabytes.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        put_varint(&mut buf, 0); // no items
+        put_varint(&mut buf, 1); // one transaction
+        put_varint(&mut buf, zigzag(1)); // ts
+        put_varint(&mut buf, u64::MAX); // absurd item count
+        assert!(from_bytes(&buf).is_err());
     }
 
     #[test]

@@ -269,8 +269,7 @@ mod tests {
         assert_eq!(db.item_count(), 7);
         assert_eq!(db.time_span(), Some((1, 14)));
         // Timestamps 8 and 13 have no transaction.
-        let stamps: Vec<Timestamp> =
-            db.transactions().iter().map(|t| t.timestamp()).collect();
+        let stamps: Vec<Timestamp> = db.transactions().iter().map(|t| t.timestamp()).collect();
         assert_eq!(stamps, vec![1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 14]);
     }
 

@@ -128,7 +128,8 @@ mod tests {
 
     #[test]
     fn parse_and_format_roundtrip() {
-        for text in ["2013-05-01 00:00", "2013-06-21 01:08", "1999-12-31 23:59", "0001-01-01 00:00"] {
+        for text in ["2013-05-01 00:00", "2013-06-21 01:08", "1999-12-31 23:59", "0001-01-01 00:00"]
+        {
             let minutes = parse_datetime_minutes(text).unwrap();
             assert_eq!(format_datetime_minutes(minutes), text);
         }
@@ -155,7 +156,7 @@ mod tests {
         for bad in [
             "2013/05/01",
             "2013-13-01",
-            "2013-02-29",       // not a leap year
+            "2013-02-29", // not a leap year
             "2013-05-01 24:00",
             "2013-05-01 12:60",
             "2013-05",

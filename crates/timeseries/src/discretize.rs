@@ -73,10 +73,7 @@ impl Discretizer {
                     return vec![self.bands / 2; values.len()];
                 }
                 let width = (hi - lo) / self.bands as f64;
-                values
-                    .iter()
-                    .map(|&v| (((v - lo) / width) as usize).min(self.bands - 1))
-                    .collect()
+                values.iter().map(|&v| (((v - lo) / width) as usize).min(self.bands - 1)).collect()
             }
             Binning::Gaussian => {
                 let n = values.len() as f64;
@@ -113,11 +110,7 @@ impl Discretizer {
         let banded: Vec<(&str, Vec<usize>)> = series
             .iter()
             .map(|(name, values)| {
-                assert_eq!(
-                    values.len(),
-                    timestamps.len(),
-                    "series {name} length mismatch"
-                );
+                assert_eq!(values.len(), timestamps.len(), "series {name} length mismatch");
                 (*name, self.band_indices(values))
             })
             .collect();

@@ -45,25 +45,24 @@ pub fn read_timestamped<R: Read>(r: R) -> Result<TransactionDb> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (ts_str, rest) = line.split_once('\t').or_else(|| line.split_once(' ')).ok_or_else(
-            || Error::Parse {
+        let (ts_str, rest) =
+            line.split_once('\t').or_else(|| line.split_once(' ')).ok_or_else(|| Error::Parse {
                 line: lineno + 1,
                 message: "expected `ts<TAB>items...`".into(),
-            },
-        )?;
+            })?;
         // Integer stamps first; `YYYY-MM-DD[ HH:MM]` datetimes (tab-separated
         // from the items) are accepted transparently as absolute minutes.
         let ts_str = ts_str.trim();
         let ts: Timestamp = match ts_str.parse() {
             Ok(ts) => ts,
-            Err(_) => crate::datetime::parse_datetime_minutes(ts_str).map_err(|_| {
-                Error::Parse {
+            Err(_) => {
+                crate::datetime::parse_datetime_minutes(ts_str).map_err(|_| Error::Parse {
                     line: lineno + 1,
                     message: format!(
                         "bad timestamp {ts_str:?} (expected integer or YYYY-MM-DD[ HH:MM])"
                     ),
-                }
-            })?,
+                })?
+            }
         };
         let labels: Vec<&str> = rest.split_whitespace().collect();
         b.add_labeled(ts, &labels);

@@ -34,26 +34,28 @@
 
 pub mod binio;
 pub mod convert;
-pub mod datetime;
 pub mod database;
+pub mod datetime;
 pub mod discretize;
 pub mod error;
 pub mod event;
 pub mod io;
 pub mod item;
+pub mod prng;
 pub mod select;
 pub mod stats;
 pub mod timestamp;
 pub mod transaction;
 
 pub use binio::{from_bytes, load_binary, save_binary, to_bytes};
-pub use datetime::{format_datetime_minutes, parse_datetime_minutes};
 pub use convert::{db_to_events, events_to_db, rebin};
 pub use database::{running_example_db, DbBuilder, TransactionDb};
+pub use datetime::{format_datetime_minutes, parse_datetime_minutes};
 pub use discretize::{Binning, Discretizer};
 pub use error::{Error, Result};
 pub use event::{Event, EventSequence, PointSequence};
 pub use item::{Item, ItemId, ItemTable};
+pub use prng::Pcg32;
 pub use select::{project_items, slice_time, split_at};
 pub use stats::DbStats;
 pub use timestamp::Timestamp;

@@ -1,0 +1,275 @@
+//! A small, self-contained PCG32 pseudo-random number generator.
+//!
+//! The workspace must build and test **offline**, so it cannot depend on
+//! the `rand` crate. Everything that needs randomness — the `rpm-datagen`
+//! simulators (which re-export this module as `rpm_datagen::prng`) and the
+//! seeded randomized tests across the workspace — uses this generator
+//! instead.
+//!
+//! The algorithm is PCG-XSH-RR 64/32 (O'Neill 2014): a 64-bit LCG state
+//! advanced by a fixed multiplier, output-permuted to 32 bits with an
+//! xorshift + random rotation. It is *not* cryptographic; it is a fast,
+//! statistically solid generator whose streams are fully determined by the
+//! seed — exactly what reproducible data generation needs.
+//!
+//! ```
+//! use rpm_timeseries::prng::Pcg32;
+//!
+//! let mut rng = Pcg32::seed_from_u64(42);
+//! let coin = rng.random_bool(0.5);
+//! let lane = rng.random_range(0..8usize);
+//! assert!(lane < 8);
+//! let _ = coin;
+//! // Same seed, same stream.
+//! assert_eq!(Pcg32::seed_from_u64(7).next_u32(), Pcg32::seed_from_u64(7).next_u32());
+//! ```
+
+/// The PCG-XSH-RR 64/32 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const MULTIPLIER: u64 = 6364136223846793005;
+/// Default stream constant (the reference implementation's demo stream).
+const DEFAULT_STREAM: u64 = 1442695040888963407;
+
+impl Pcg32 {
+    /// Creates a generator from a seed and a stream selector. Different
+    /// streams with the same seed produce independent sequences.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let inc = (stream << 1) | 1;
+        let mut rng = Self { state: inc.wrapping_add(seed), inc };
+        // Advance once so the first output already mixes the seed.
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator on the default stream — the drop-in equivalent
+    /// of `StdRng::seed_from_u64` for this workspace.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed, DEFAULT_STREAM)
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+
+    /// Uniform draw from a range, e.g. `rng.random_range(0..n)` or
+    /// `rng.random_range(-j..=j)`. Integer sampling uses the widening
+    /// multiply method (Lemire), whose bias is < 2⁻⁶⁴ per draw —
+    /// irrelevant for data generation and tests.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform draw from `0..bound` (u64 helper used by the range impls).
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Range types [`Pcg32::random_range`] accepts. Implemented for `Range` and
+/// `RangeInclusive` over the integer and float types the workspace samples.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value from `self`.
+    fn sample(self, rng: &mut Pcg32) -> Self::Output;
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Pcg32) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(width) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Pcg32) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample an empty range");
+                let width = (hi - lo) as u64 + 1;
+                lo + rng.bounded_u64(width) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u32, u64, usize);
+
+impl SampleRange for std::ops::Range<i32> {
+    type Output = i32;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> i32 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let width = (i64::from(self.end) - i64::from(self.start)) as u64;
+        (i64::from(self.start) + rng.bounded_u64(width) as i64) as i32
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<i32> {
+    type Output = i32;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> i32 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample an empty range");
+        let width = (i64::from(hi) - i64::from(lo)) as u64 + 1;
+        (i64::from(lo) + rng.bounded_u64(width) as i64) as i32
+    }
+}
+
+impl SampleRange for std::ops::Range<i64> {
+    type Output = i64;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> i64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let width = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.bounded_u64(width) as i64)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<i64> {
+    type Output = i64;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> i64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample an empty range");
+        let width = hi.wrapping_sub(lo) as u64;
+        if width == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        lo.wrapping_add(rng.bounded_u64(width + 1) as i64)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Pcg32) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + rng.random_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_pcg32_demo() {
+        // First outputs of the PCG reference demo: seed 42, stream 54.
+        let mut rng = Pcg32::new(42, 54);
+        let got: Vec<u32> = (0..6).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            got,
+            vec![0xa15c02b7, 0x7b47f409, 0xba1d3330, 0x83d2f293, 0xbfa4784b, 0xcbed606e]
+        );
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(9);
+            (0..32).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(9);
+            (0..32).map(|_| r.next_u32()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(10);
+            (0..32).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_with_reasonable_mean() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.random_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn ranges_cover_bounds_uniformly() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let mut counts = [0usize; 5];
+        for _ in 0..5_000 {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+        for _ in 0..1_000 {
+            let v = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..2_000 {
+            match rng.random_range(-1i64..=1) {
+                -1 => hit_lo = true,
+                1 => hit_hi = true,
+                _ => {}
+            }
+        }
+        assert!(hit_lo && hit_hi, "inclusive bounds must both be reachable");
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_300..2_700).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Pcg32::seed_from_u64(0).random_range(5..5usize);
+    }
+}

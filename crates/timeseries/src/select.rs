@@ -39,8 +39,7 @@ pub fn project_items(db: &TransactionDb, keep: &[ItemId]) -> TransactionDb {
     let mut out = TransactionDb::builder().build();
     *out.items_mut() = db.items().clone();
     for t in db.transactions() {
-        let kept: Vec<ItemId> =
-            t.items().iter().copied().filter(|i| mask[i.index()]).collect();
+        let kept: Vec<ItemId> = t.items().iter().copied().filter(|i| mask[i.index()]).collect();
         if !kept.is_empty() {
             out.append(t.timestamp(), kept).expect("projection preserves order");
         }

@@ -45,12 +45,8 @@ impl DbStats {
         if db.item_count() == 0 || probs.is_empty() {
             return None;
         }
-        let mut supports: Vec<usize> = db
-            .item_timestamp_lists()
-            .iter()
-            .map(Vec::len)
-            .filter(|&s| s > 0)
-            .collect();
+        let mut supports: Vec<usize> =
+            db.item_timestamp_lists().iter().map(Vec::len).filter(|&s| s > 0).collect();
         if supports.is_empty() {
             return None;
         }
@@ -106,11 +102,8 @@ impl DbStats {
             gaps_total += gap;
             max_gap = max_gap.max(gap);
         }
-        let mut ranked: Vec<(String, usize)> = db
-            .items()
-            .iter()
-            .map(|item| (item.label, supports[item.id.index()]))
-            .collect();
+        let mut ranked: Vec<(String, usize)> =
+            db.items().iter().map(|item| (item.label, supports[item.id.index()])).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let min_item_support = ranked.iter().map(|&(_, s)| s).min();
         ranked.truncate(5);
@@ -142,11 +135,7 @@ impl fmt::Display for DbStats {
             self.max_transaction_len
         )?;
         if let (Some(a), Some(b)) = (self.first_ts, self.last_ts) {
-            writeln!(
-                f,
-                "span=[{a},{b}] avg_gap={:.2} max_gap={}",
-                self.avg_gap, self.max_gap
-            )?;
+            writeln!(f, "span=[{a},{b}] avg_gap={:.2} max_gap={}", self.avg_gap, self.max_gap)?;
         }
         write!(f, "top items: ")?;
         for (k, (label, sup)) in self.top_items.iter().enumerate() {

@@ -15,11 +15,7 @@ fn main() {
     let config = TwitterConfig { scale: SCALE, seed: 3, ..TwitterConfig::default() };
     let stream = generate_twitter(&config);
     let db = &stream.db;
-    println!(
-        "hashtag stream: {} minute-transactions, {} hashtags\n",
-        db.len(),
-        db.item_count()
-    );
+    println!("hashtag stream: {} minute-transactions, {} hashtags\n", db.len(), db.item_count());
 
     // The paper's Table 6 parameters: per = 6h, minPS = 2%, minRec = 1.
     let params = RpParams::with_threshold(360, Threshold::pct(2.0), 1);
@@ -71,9 +67,8 @@ fn main() {
         v.sort_unstable();
         v
     });
-    let found = nuclear
-        .as_ref()
-        .is_some_and(|ids| recurring_only.patterns.iter().any(|p| &p.items == ids));
+    let found =
+        nuclear.as_ref().is_some_and(|ids| recurring_only.patterns.iter().any(|p| &p.items == ids));
     println!(
         "minRec=2 keeps only multi-window events: {} patterns, nuclear included: {found}",
         recurring_only.patterns.len()

@@ -15,15 +15,14 @@
 //! cargo run --release --example network_monitoring
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use recurring_patterns::prelude::*;
+use recurring_patterns::timeseries::Pcg32;
 
 const DAYS: i64 = 14;
 const MIN_PER_DAY: i64 = 1440;
 
 fn build_syslog() -> TransactionDb {
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = Pcg32::seed_from_u64(0xC0FFEE);
     let mut b = TransactionDb::builder();
     let total = DAYS * MIN_PER_DAY;
     // Two cascading-failure episodes: day 4, 02:10–04:30 and day 11,
@@ -43,21 +42,21 @@ fn build_syslog() -> TransactionDb {
             events.push("disk-io-high");
         }
         // Sporadic benign noise.
-        if rng.random::<f64>() < 0.05 {
+        if rng.random_f64() < 0.05 {
             events.push("dhcp-lease");
         }
-        if rng.random::<f64>() < 0.02 {
+        if rng.random_f64() < 0.02 {
             events.push("ntp-sync");
         }
         // Cascading failures: the three alarms co-fire every ~3 minutes
         // inside an episode, and essentially never outside.
         if cascades.iter().any(|&(s, e)| ts >= s && ts <= e) {
-            if rng.random::<f64>() < 0.4 {
+            if rng.random_f64() < 0.4 {
                 events.push("link-flap");
                 events.push("bgp-reset");
                 events.push("packet-loss");
             }
-        } else if rng.random::<f64>() < 0.0005 {
+        } else if rng.random_f64() < 0.0005 {
             events.push("link-flap"); // lone flaps happen rarely anyway
         }
         b.add_labeled(ts, &events);
@@ -82,9 +81,8 @@ fn main() {
         );
     }
     let cascade_ids = {
-        let mut v = db
-            .pattern_ids(&["link-flap", "bgp-reset", "packet-loss"])
-            .expect("alarm types exist");
+        let mut v =
+            db.pattern_ids(&["link-flap", "bgp-reset", "packet-loss"]).expect("alarm types exist");
         v.sort_unstable();
         v
     };
@@ -106,10 +104,7 @@ fn main() {
         .iter()
         .find(|p| p.items == cascade_ids)
         .expect("the cascading-failure triple must be recovered");
-    println!(
-        "\ncascading failure recovered with {} episodes:",
-        cascade.recurrence()
-    );
+    println!("\ncascading failure recovered with {} episodes:", cascade.recurrence());
     for iv in &cascade.intervals {
         let (day_s, m_s) = (iv.start / MIN_PER_DAY, iv.start % MIN_PER_DAY);
         let (day_e, m_e) = (iv.end / MIN_PER_DAY, iv.end % MIN_PER_DAY);

@@ -66,11 +66,8 @@ fn main() {
         v.sort_unstable();
         v
     };
-    let coupled = result
-        .patterns
-        .iter()
-        .find(|p| p.items == pair)
-        .expect("{cpu:L2, fan:L2} is recurring");
+    let coupled =
+        result.patterns.iter().find(|p| p.items == pair).expect("{cpu:L2, fan:L2} is recurring");
     assert_eq!(coupled.recurrence(), 2, "one interval per heatwave");
     for iv in &coupled.intervals {
         let days = (iv.start / 1440, iv.end / 1440);

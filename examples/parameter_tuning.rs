@@ -43,10 +43,7 @@ fn main() {
     for step in spectrum.iter().take(12) {
         println!("  {:>5} → {}", step.per, step.interesting);
     }
-    let best = spectrum
-        .iter()
-        .max_by_key(|s| s.interesting)
-        .expect("non-empty spectrum");
+    let best = spectrum.iter().max_by_key(|s| s.interesting).expect("non-empty spectrum");
     println!(
         "  peak Rec = {} at per = {} — below it runs shatter, far above they merge\n",
         best.interesting, best.per
@@ -70,10 +67,7 @@ fn main() {
 
     // Step 4: demand recurrence.
     let seasonal = RpGrowth::new(RpParams::new(per, chosen_min_ps, 2)).mine(db);
-    println!(
-        "\nstep 4 — minRec=2 keeps {} genuinely seasonal patterns:",
-        seasonal.patterns.len()
-    );
+    println!("\nstep 4 — minRec=2 keeps {} genuinely seasonal patterns:", seasonal.patterns.len());
     for p in seasonal.patterns.iter().filter(|p| p.len() >= 2).take(5) {
         println!("  {}", p.display(db.items()));
     }

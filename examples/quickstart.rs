@@ -49,7 +49,10 @@ fn main() {
     println!(
         "\nstats: {} of {} items were candidates; {} suffixes checked, \
          {} recurrence-tested, {} patterns",
-        s.candidate_items, s.scanned_items, s.candidates_checked, s.recurrence_tests,
+        s.candidate_items,
+        s.scanned_items,
+        s.candidates_checked,
+        s.recurrence_tests,
         s.patterns_found
     );
 

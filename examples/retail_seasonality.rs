@@ -19,11 +19,7 @@ fn main() {
     let config = ShopConfig { scale: 0.2, seed: 7, ..ShopConfig::default() };
     let stream = generate_clickstream(&config);
     let db = &stream.db;
-    println!(
-        "clickstream: {} minute-transactions, {} categories\n",
-        db.len(),
-        db.item_count()
-    );
+    println!("clickstream: {} minute-transactions, {} categories\n", db.len(), db.item_count());
 
     // Seasonal associations: periodic stretches of >= 0.3% of the stream,
     // recurring in at least TWO separate seasons.
@@ -44,9 +40,8 @@ fn main() {
     assert!(campaign.found, "the seasonal campaign must be discovered at minRec=2");
 
     // The flash sale has only one window: invisible at minRec=2 …
-    let flash_ids = db
-        .pattern_ids(&["cat-flash", "cat-landing"])
-        .expect("planted categories exist");
+    let flash_ids =
+        db.pattern_ids(&["cat-flash", "cat-landing"]).expect("planted categories exist");
     let mut flash_sorted = flash_ids.clone();
     flash_sorted.sort_unstable();
     assert!(
@@ -66,12 +61,7 @@ fn main() {
     println!("flash sale at minRec=1: {}", flash.display(db.items()));
 
     // Rare-item evidence: the flash categories are far below the head.
-    let head_support = db
-        .items()
-        .iter()
-        .map(|item| db.support(&[item.id]))
-        .max()
-        .unwrap_or(0);
+    let head_support = db.items().iter().map(|item| db.support(&[item.id])).max().unwrap_or(0);
     println!(
         "support: head category {} vs cat-flash {} — a single minSup could not serve both",
         head_support,

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the fast, offline gate every change must pass.
+# (Tier-2 is `cargo test --workspace --features proptest-tests`; tier-3 is
+# scripts/reproduce_all.sh. See CONTRIBUTING.md.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo build --release --offline
+cargo test -q --offline

@@ -20,13 +20,12 @@ use recurring_patterns::baselines::{
     PPatternParams, PfGrowth, PfParams,
 };
 use recurring_patterns::core::{
-    closed_patterns, generate_rules, maximal_patterns, mine_durations, mine_parallel,
-    mine_relaxed, recurrence_spectrum, top_k, write_patterns_json, write_patterns_tsv,
-    write_rules_json, DurationParams, NoiseParams, RankBy, RpGrowth, RpParams, Threshold,
+    closed_patterns, generate_rules, maximal_patterns, mine_durations, mine_parallel, mine_relaxed,
+    recurrence_spectrum, top_k, write_patterns_json, write_patterns_tsv, write_rules_json,
+    DurationParams, NoiseParams, RankBy, RpGrowth, RpParams, Threshold,
 };
 use recurring_patterns::datagen::{
-    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig,
-    TwitterConfig,
+    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig, TwitterConfig,
 };
 use recurring_patterns::timeseries::{io, DbStats, TransactionDb};
 
@@ -131,8 +130,7 @@ impl Flags {
 /// Parses `"25"` as an absolute count and `"0.1%"` as a fraction.
 fn parse_threshold(text: &str) -> Result<Threshold, String> {
     if let Some(pct) = text.strip_suffix('%') {
-        let value: f64 =
-            pct.parse().map_err(|e| format!("bad percentage {text:?}: {e}"))?;
+        let value: f64 = pct.parse().map_err(|e| format!("bad percentage {text:?}: {e}"))?;
         Ok(Threshold::pct(value))
     } else {
         let value: usize = text.parse().map_err(|e| format!("bad count {text:?}: {e}"))?;
@@ -141,10 +139,7 @@ fn parse_threshold(text: &str) -> Result<Threshold, String> {
 }
 
 fn load_db(flags: &Flags) -> Result<TransactionDb, String> {
-    let path = flags
-        .positional
-        .first()
-        .ok_or_else(|| "missing database path".to_string())?;
+    let path = flags.positional.first().ok_or_else(|| "missing database path".to_string())?;
     let result = if path.ends_with(".rpmb") {
         recurring_patterns::timeseries::load_binary(path)
     } else {
@@ -214,7 +209,10 @@ fn mine(args: &[String]) -> Result<(), String> {
     if let Some(conf) = flags.get("rules") {
         let conf: f64 = conf.parse().map_err(|e| format!("bad --rules: {e}"))?;
         let (rules, skipped) = generate_rules(&db, &patterns, conf);
-        eprintln!("{} rules at confidence >= {conf} ({skipped} oversize patterns skipped)", rules.len());
+        eprintln!(
+            "{} rules at confidence >= {conf} ({skipped} oversize patterns skipped)",
+            rules.len()
+        );
         match format {
             "json" => write_rules_json(&mut stdout, db.items(), &rules)
                 .map_err(|e| format!("write failed: {e}"))?,
@@ -238,9 +236,7 @@ fn spectrum(args: &[String]) -> Result<(), String> {
     if labels.is_empty() {
         return Err("--items needs at least one label".into());
     }
-    let ids = db
-        .pattern_ids(&labels)
-        .ok_or_else(|| format!("unknown item among {labels:?}"))?;
+    let ids = db.pattern_ids(&labels).ok_or_else(|| format!("unknown item among {labels:?}"))?;
     let min_ps = parse_threshold(flags.require("min-ps")?)?.resolve(db.len());
     let ts = db.timestamps_of(&ids);
     if ts.is_empty() {
@@ -259,9 +255,7 @@ fn detect(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let db = load_db(&flags)?;
     let labels: Vec<&str> = flags.require("items")?.split_whitespace().collect();
-    let ids = db
-        .pattern_ids(&labels)
-        .ok_or_else(|| format!("unknown item among {labels:?}"))?;
+    let ids = db.pattern_ids(&labels).ok_or_else(|| format!("unknown item among {labels:?}"))?;
     let max_period: i64 = flags.parse_num("max-period", 1440)?;
     let ts = db.timestamps_of(&ids);
     if ts.len() < 3 {
@@ -289,14 +283,13 @@ fn pf(args: &[String]) -> Result<(), String> {
         flags.require("max-per")?.parse().map_err(|e| format!("bad --max-per: {e}"))?;
     let min_sup = parse_threshold(flags.require("min-sup")?)?;
     let (patterns, stats) = PfGrowth::new(PfParams::new(max_per, min_sup)).mine(&db);
-    eprintln!("{} periodic-frequent patterns ({} candidates checked)", patterns.len(), stats.candidates_checked);
+    eprintln!(
+        "{} periodic-frequent patterns ({} candidates checked)",
+        patterns.len(),
+        stats.candidates_checked
+    );
     for p in &patterns {
-        println!(
-            "{} sup={} per={}",
-            db.items().pattern_string(&p.items),
-            p.support,
-            p.periodicity
-        );
+        println!("{} sup={} per={}", db.items().pattern_string(&p.items), p.support, p.periodicity);
     }
     Ok(())
 }
@@ -304,8 +297,7 @@ fn pf(args: &[String]) -> Result<(), String> {
 fn ppattern(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let db = load_db(&flags)?;
-    let period: i64 =
-        flags.require("period")?.parse().map_err(|e| format!("bad --period: {e}"))?;
+    let period: i64 = flags.require("period")?.parse().map_err(|e| format!("bad --period: {e}"))?;
     let min_sup = parse_threshold(flags.require("min-sup")?)?;
     let window: i64 = flags.parse_num("window", 1)?;
     let params = PPatternParams::new(period, min_sup, window);
@@ -330,10 +322,7 @@ fn ppattern(args: &[String]) -> Result<(), String> {
 fn convert(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let db = load_db(&flags)?;
-    let out = flags
-        .positional
-        .get(1)
-        .ok_or_else(|| "missing output path".to_string())?;
+    let out = flags.positional.get(1).ok_or_else(|| "missing output path".to_string())?;
     let result = if out.ends_with(".rpmb") {
         recurring_patterns::timeseries::save_binary(&db, out)
     } else {
@@ -356,7 +345,9 @@ fn generate(args: &[String]) -> Result<(), String> {
     let db = match kind.as_str() {
         "quest" => generate_quest(&QuestConfig { seed, ..QuestConfig::default() }.scaled(scale)),
         "shop" => generate_clickstream(&ShopConfig { scale, seed, ..ShopConfig::default() }).db,
-        "twitter" => generate_twitter(&TwitterConfig { scale, seed, ..TwitterConfig::default() }).db,
+        "twitter" => {
+            generate_twitter(&TwitterConfig { scale, seed, ..TwitterConfig::default() }).db
+        }
         other => return Err(format!("unknown generator {other:?}")),
     };
     let write_result = if out.ends_with(".rpmb") {

@@ -53,17 +53,17 @@ pub mod prelude {
         mine_periodic_first, mine_segments, PPatternParams, PfGrowth, PfParams, SegmentParams,
     };
     pub use rpm_core::{
-        closed_patterns, generate_rules, get_recurrence, get_relaxed_recurrence,
-        maximal_patterns, mine_durations, mine_relaxed, mine_top_k, recurrence_spectrum, top_k,
-        verify_all, verify_pattern, DurationParams, IncrementalMiner, MiningResult, NoiseParams,
-        PatternIndex, PeriodicInterval, RankBy, RecurringPattern, RecurringRule, ResolvedParams,
-        RpGrowth, RpParams, Threshold,
+        closed_patterns, generate_rules, get_recurrence, get_relaxed_recurrence, maximal_patterns,
+        mine_durations, mine_relaxed, mine_top_k, recurrence_spectrum, top_k, verify_all,
+        verify_pattern, DurationParams, IncrementalMiner, MiningResult, NoiseParams, PatternIndex,
+        PeriodicInterval, RankBy, RecurringPattern, RecurringRule, ResolvedParams, RpGrowth,
+        RpParams, Threshold,
     };
-    pub use rpm_datagen::{inject_noise, NoiseConfig};
     pub use rpm_datagen::{
         evaluate_recovery, generate_clickstream, generate_quest, generate_twitter, QuestConfig,
         ShopConfig, TwitterConfig,
     };
+    pub use rpm_datagen::{inject_noise, NoiseConfig};
     pub use rpm_timeseries::{
         project_items, slice_time, split_at, DbBuilder, EventSequence, Item, ItemId, ItemTable,
         Timestamp, Transaction, TransactionDb,

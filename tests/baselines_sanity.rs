@@ -43,11 +43,8 @@ fn recurring_patterns_are_p_patterns_at_matched_thresholds() {
     let rp = RpGrowth::new(RpParams::new(720, min_ps, min_rec)).mine(&db);
     assert!(!rp.patterns.is_empty());
     let min_sup = min_rec * (min_ps - 1);
-    let (pp, _) = mine_periodic_first(
-        &db,
-        &PPatternParams::new(720, Threshold::Count(min_sup), 1),
-        None,
-    );
+    let (pp, _) =
+        mine_periodic_first(&db, &PPatternParams::new(720, Threshold::Count(min_sup), 1), None);
     for r in &rp.patterns {
         assert!(
             pp.iter().any(|p| p.items == r.items),

@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn rpm(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_rpm"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_rpm")).args(args).output().expect("binary runs")
 }
 
 fn temp_db(name: &str) -> PathBuf {
@@ -49,9 +46,8 @@ fn generate_stats_mine_pipeline() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("|TDB|="));
 
-    let out = rpm(&[
-        "mine", db_str, "--per", "360", "--min-ps", "0.3%", "--min-rec", "1", "--top", "3",
-    ]);
+    let out =
+        rpm(&["mine", db_str, "--per", "360", "--min-ps", "0.3%", "--min-rec", "1", "--top", "3"]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = text.lines().collect();
@@ -66,7 +62,16 @@ fn mine_parallel_and_sequential_agree_via_cli() {
     assert!(rpm(&["generate", "twitter", "--out", db_str, "--scale", "0.02"]).status.success());
     let seq = rpm(&["mine", db_str, "--per", "360", "--min-ps", "2%", "--min-rec", "1"]);
     let par = rpm(&[
-        "mine", db_str, "--per", "360", "--min-ps", "2%", "--min-rec", "1", "--threads", "4",
+        "mine",
+        db_str,
+        "--per",
+        "360",
+        "--min-ps",
+        "2%",
+        "--min-rec",
+        "1",
+        "--threads",
+        "4",
     ]);
     assert!(seq.status.success() && par.status.success());
     assert_eq!(seq.stdout, par.stdout);
@@ -127,8 +132,7 @@ fn binary_format_roundtrips_through_the_cli() {
             .lines()
             .map(|l| {
                 let (items, rest) = l.split_once("} ").expect("pattern line");
-                let mut labels: Vec<&str> =
-                    items.trim_start_matches('{').split(',').collect();
+                let mut labels: Vec<&str> = items.trim_start_matches('{').split(',').collect();
                 labels.sort_unstable();
                 format!("{{{}}} {rest}", labels.join(","))
             })
@@ -149,11 +153,8 @@ fn spectrum_command_reports_steps() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("per\truns\trec"));
     // Runs column strictly decreases down the steps.
-    let runs: Vec<i64> = text
-        .lines()
-        .skip(1)
-        .map(|l| l.split('\t').nth(1).unwrap().parse().unwrap())
-        .collect();
+    let runs: Vec<i64> =
+        text.lines().skip(1).map(|l| l.split('\t').nth(1).unwrap().parse().unwrap()).collect();
     assert!(runs.windows(2).all(|w| w[0] > w[1]));
     // Unknown item is a clean error.
     let bad = rpm(&["spectrum", db_str, "--items", "no-such-cat", "--min-ps", "1"]);
@@ -178,8 +179,7 @@ fn convert_roundtrips_semantically() {
             .lines()
             .map(|l| {
                 let (ts, items) = l.split_once('\t').unwrap();
-                let mut v: Vec<String> =
-                    items.split_whitespace().map(str::to_owned).collect();
+                let mut v: Vec<String> = items.split_whitespace().map(str::to_owned).collect();
                 v.sort();
                 (ts.parse().unwrap(), v)
             })
@@ -205,7 +205,14 @@ fn detect_command_reports_candidate_periods() {
     let db_str = db.to_str().unwrap();
     for method in ["chi", "auto", "consensus"] {
         let out = rpm(&[
-            "detect", db_str, "--items", "pulse echo", "--max-period", "20", "--method", method,
+            "detect",
+            db_str,
+            "--items",
+            "pulse echo",
+            "--max-period",
+            "20",
+            "--method",
+            method,
         ]);
         assert!(out.status.success(), "{method}: {}", String::from_utf8_lossy(&out.stderr));
         let text = String::from_utf8_lossy(&out.stdout);
@@ -218,10 +225,7 @@ fn detect_command_reports_candidate_periods() {
         // The fundamental must rank highly; autocorrelation also surfaces
         // harmonics, so accept any ordering of multiples of 6.
         assert!(top.contains(&6), "{method} top periods: {top:?}");
-        assert!(
-            top.iter().all(|p| p % 6 == 0),
-            "{method} reported a non-harmonic: {top:?}"
-        );
+        assert!(top.iter().all(|p| p % 6 == 0), "{method} reported a non-harmonic: {top:?}");
     }
     let bad = rpm(&["detect", db_str, "--items", "pulse", "--method", "fourier"]);
     assert!(!bad.status.success());
@@ -255,9 +259,8 @@ fn relaxed_mining_via_cli() {
     let db_str = db.to_str().unwrap();
     assert!(rpm(&["generate", "shop", "--out", db_str, "--scale", "0.03"]).status.success());
     let strict = rpm(&["mine", db_str, "--per", "60", "--min-ps", "30", "--min-rec", "1"]);
-    let relaxed = rpm(&[
-        "mine", db_str, "--per", "60", "--min-ps", "30", "--min-rec", "1", "--relaxed", "3",
-    ]);
+    let relaxed =
+        rpm(&["mine", db_str, "--per", "60", "--min-ps", "30", "--min-rec", "1", "--relaxed", "3"]);
     assert!(strict.status.success() && relaxed.status.success());
     let count = |o: &Output| String::from_utf8_lossy(&o.stdout).lines().count();
     assert!(count(&relaxed) >= count(&strict), "fault budget can only add patterns");

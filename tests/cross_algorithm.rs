@@ -4,23 +4,22 @@
 //! parameters — the strongest available evidence that the tree machinery
 //! (ts-list push-up, conditional pruning) is sound.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use recurring_patterns::core::{apriori_rp, apriori_support_only, brute_force, mine_resolved};
 use recurring_patterns::prelude::*;
+use recurring_patterns::timeseries::Pcg32;
 
 /// Builds a random database over `n_items` items across `span` timestamps,
 /// where item `i` appears at a timestamp with its own probability — heavier
 /// items are denser, mimicking a popularity skew.
 fn random_db(seed: u64, n_items: usize, span: i64, density: f64) -> TransactionDb {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let mut b = TransactionDb::builder();
     let labels: Vec<String> = (0..n_items).map(|i| format!("x{i}")).collect();
     for ts in 0..span {
         let mut items: Vec<&str> = Vec::new();
         for (i, label) in labels.iter().enumerate() {
             let p = density / (i + 1) as f64;
-            if rng.random::<f64>() < p {
+            if rng.random_f64() < p {
                 items.push(label);
             }
         }

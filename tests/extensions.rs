@@ -31,10 +31,7 @@ fn relaxed_mining_on_noisy_simulated_data_dominates_strict() {
     // Every strict pattern set is also discovered by the relaxed model
     // (fault budgets only merge runs, never shrink them).
     for p in &strict.patterns {
-        assert!(
-            relaxed.iter().any(|r| r.items == p.items),
-            "strict pattern lost under relaxation"
-        );
+        assert!(relaxed.iter().any(|r| r.items == p.items), "strict pattern lost under relaxation");
     }
     assert!(relaxed.len() >= strict.patterns.len());
 }
@@ -52,9 +49,9 @@ fn closed_and_maximal_condense_simulated_output() {
     // Closure is lossless for support queries: every mined pattern has a
     // closed superset with equal support.
     for p in &mined.patterns {
-        let covered = closed.iter().any(|c| {
-            c.support == p.support && p.items.iter().all(|i| c.items.contains(i))
-        });
+        let covered = closed
+            .iter()
+            .any(|c| c.support == p.support && p.items.iter().all(|i| c.items.contains(i)));
         assert!(covered, "pattern not covered by its closure");
     }
 }

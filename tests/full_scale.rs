@@ -20,9 +20,8 @@ fn twitter_full_scale_matches_paper_cardinalities() {
     assert_eq!(s.planted.len(), 4);
     let floods = &s.planted[0];
     assert_eq!(floods.windows[0].0, 51 * 1440 + 68); // 21-Jun 01:08
-    // Recovery at the paper's parameters.
-    let result =
-        RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(2.0), 1)).mine(&s.db);
+                                                     // Recovery at the paper's parameters.
+    let result = RpGrowth::new(RpParams::with_threshold(360, Threshold::pct(2.0), 1)).mine(&s.db);
     let report = evaluate_recovery(&s.db, &s.planted, &result.patterns);
     assert_eq!(report.pattern_recall(), 1.0);
     assert_eq!(report.window_recall(), 1.0);
@@ -36,10 +35,7 @@ fn shop_full_scale_matches_paper_cardinalities() {
     // night troughs should land within a few percent of the former and
     // exactly on the latter.
     let n = s.db.len() as f64;
-    assert!(
-        (55_000.0..61_000.0).contains(&n),
-        "|TDB| = {n} strays from the paper's 59,240"
-    );
+    assert!((55_000.0..61_000.0).contains(&n), "|TDB| = {n} strays from the paper's 59,240");
     assert_eq!(s.db.item_count(), 138);
 }
 

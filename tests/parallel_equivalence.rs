@@ -1,0 +1,78 @@
+//! Seeded equivalence suite for the work-stealing parallel miner: on a pool
+//! of planted **and** noise-corrupted databases, `mine_parallel` must
+//! produce the exact sequential output — patterns and the algorithmic
+//! [`MiningStats`] counters — at every thread count, and a reused
+//! [`MineScratch`] must never leak state between runs.
+
+use recurring_patterns::core::{
+    mine_parallel, mine_resolved, mine_with_scratch, MineScratch, MiningResult, ResolvedParams,
+    RpList,
+};
+use recurring_patterns::prelude::*;
+
+/// Planted simulations plus dropped/jittered variants: ≥20 databases with
+/// known structure and realistic corruption, each paired with paper-style
+/// parameters.
+fn database_pool() -> Vec<(String, TransactionDb, ResolvedParams)> {
+    let mut pool = Vec::new();
+    let mut push = |name: String, db: TransactionDb, per: i64, pct: f64, min_rec: usize| {
+        let params = RpParams::with_threshold(per, Threshold::pct(pct), min_rec).resolve(db.len());
+        pool.push((name, db, params));
+    };
+    for seed in 1..=5u64 {
+        let stream = generate_twitter(&TwitterConfig { scale: 0.015, seed, ..Default::default() });
+        let min_rec = (seed as usize % 2) + 1;
+        push(format!("twitter-{seed}"), stream.db.clone(), 360, 2.0, min_rec);
+        let noisy = inject_noise(&stream.db, &NoiseConfig::drops(0.05, seed));
+        push(format!("twitter-{seed}-drops"), noisy, 360, 2.0, min_rec);
+    }
+    for seed in 1..=5u64 {
+        let stream = generate_clickstream(&ShopConfig { scale: 0.04, seed, ..Default::default() });
+        let min_rec = (seed as usize % 2) + 1;
+        push(format!("shop-{seed}"), stream.db.clone(), 360, 0.6, min_rec);
+        let noisy = inject_noise(&stream.db, &NoiseConfig::jitters(2, seed));
+        push(format!("shop-{seed}-jitter"), noisy, 360, 0.6, min_rec);
+    }
+    assert!(pool.len() >= 20, "pool must cover at least 20 databases");
+    pool
+}
+
+fn assert_same(name: &str, tag: &str, got: &MiningResult, want: &MiningResult) {
+    assert_eq!(got.patterns, want.patterns, "{name}: patterns diverged ({tag})");
+    assert_eq!(got.stats.normalized(), want.stats.normalized(), "{name}: stats diverged ({tag})");
+}
+
+#[test]
+fn parallel_output_and_stats_match_sequential_across_thread_counts() {
+    for (name, db, params) in database_pool() {
+        let seq = mine_resolved(&db, params);
+        assert!(!seq.patterns.is_empty(), "{name}: degenerate case, planted structure lost");
+        for threads in [1usize, 2, 3, 8] {
+            let par = mine_parallel(&db, params, threads);
+            assert_same(&name, &format!("threads={threads}"), &par, &seq);
+        }
+    }
+}
+
+#[test]
+fn warm_scratch_runs_match_cold_runs_across_the_pool() {
+    // One scratch arena across every database and parameter set — the
+    // regression test for stale state surviving `MineScratch` reuse.
+    let mut scratch = MineScratch::new();
+    for (name, db, params) in database_pool() {
+        let list = RpList::build(&db, params);
+        let warm = mine_with_scratch(&db, &list, params, &mut scratch);
+        let cold = mine_resolved(&db, params);
+        assert_same(&name, "warm scratch", &warm, &cold);
+    }
+}
+
+#[test]
+fn parallel_reports_scheduling_counters() {
+    let (_, db, params) = database_pool().swap_remove(0);
+    let par = mine_parallel(&db, params, 4);
+    assert!(par.stats.scratch_bytes_peak > 0, "worker scratch footprint not reported");
+    let seq = mine_resolved(&db, params);
+    assert!(seq.stats.scratch_bytes_peak > 0);
+    assert_eq!(seq.stats.regions_stolen, 0);
+}

@@ -12,22 +12,19 @@ use recurring_patterns::prelude::*;
 
 /// Strategy: a small random database over ≤ 6 items and ≤ 60 timestamps.
 fn small_db() -> impl Strategy<Value = TransactionDb> {
-    proptest::collection::vec(
-        (0i64..60, proptest::collection::btree_set(0u8..6, 1..4)),
-        2..40,
-    )
-    .prop_map(|rows| {
-        let mut b = TransactionDb::builder();
-        for i in 0..6u8 {
-            b.items_mut().intern(&format!("i{i}"));
-        }
-        for (ts, items) in rows {
-            let labels: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
-            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-            b.add_labeled(ts, &refs);
-        }
-        b.build()
-    })
+    proptest::collection::vec((0i64..60, proptest::collection::btree_set(0u8..6, 1..4)), 2..40)
+        .prop_map(|rows| {
+            let mut b = TransactionDb::builder();
+            for i in 0..6u8 {
+                b.items_mut().intern(&format!("i{i}"));
+            }
+            for (ts, items) in rows {
+                let labels: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                b.add_labeled(ts, &refs);
+            }
+            b.build()
+        })
 }
 
 /// Brute-force periodic-frequent oracle: enumerate all itemsets over the

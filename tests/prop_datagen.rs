@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use recurring_patterns::datagen::{
-    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig,
-    TwitterConfig,
+    generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig, TwitterConfig,
 };
 
 proptest! {

@@ -15,23 +15,20 @@ fn ts_list() -> impl Strategy<Value = Vec<i64>> {
 
 /// Strategy: a small random transactional database (≤ 7 items, ≤ 50 stamps).
 fn small_db() -> impl Strategy<Value = TransactionDb> {
-    proptest::collection::vec(
-        (0i64..60, proptest::collection::btree_set(0u8..7, 1..4)),
-        1..50,
-    )
-    .prop_map(|rows| {
-        let mut b = TransactionDb::builder();
-        // Pre-intern so ids are stable regardless of row order.
-        for i in 0..7u8 {
-            b.items_mut().intern(&format!("i{i}"));
-        }
-        for (ts, items) in rows {
-            let labels: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
-            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-            b.add_labeled(ts, &refs);
-        }
-        b.build()
-    })
+    proptest::collection::vec((0i64..60, proptest::collection::btree_set(0u8..7, 1..4)), 1..50)
+        .prop_map(|rows| {
+            let mut b = TransactionDb::builder();
+            // Pre-intern so ids are stable regardless of row order.
+            for i in 0..7u8 {
+                b.items_mut().intern(&format!("i{i}"));
+            }
+            for (ts, items) in rows {
+                let labels: Vec<String> = items.iter().map(|i| format!("i{i}")).collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                b.add_labeled(ts, &refs);
+            }
+            b.build()
+        })
 }
 
 proptest! {

@@ -8,17 +8,14 @@ use recurring_patterns::timeseries::io;
 
 /// Strategy: a batch of tree insertions — (ascending rank paths, timestamps).
 fn insertions() -> impl Strategy<Value = Vec<(Vec<u32>, i64)>> {
-    proptest::collection::vec(
-        (proptest::collection::btree_set(0u32..6, 1..5), 0i64..1000),
-        1..40,
-    )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .enumerate()
-            // Distinct timestamps per insertion, as in a real database.
-            .map(|(i, (ranks, ts))| (ranks.into_iter().collect(), ts * 100 + i as i64))
-            .collect()
-    })
+    proptest::collection::vec((proptest::collection::btree_set(0u32..6, 1..5), 0i64..1000), 1..40)
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                // Distinct timestamps per insertion, as in a real database.
+                .map(|(i, (ranks, ts))| (ranks.into_iter().collect(), ts * 100 + i as i64))
+                .collect()
+        })
 }
 
 proptest! {

@@ -4,8 +4,8 @@
 //! model recovers.
 
 use recurring_patterns::baselines::{
-    analyze_pattern, mine_cyclic, mine_infominer, mine_mis, AsyncParams, CyclicParams,
-    InfoParams, MisParams,
+    analyze_pattern, mine_cyclic, mine_infominer, mine_mis, AsyncParams, CyclicParams, InfoParams,
+    MisParams,
 };
 use recurring_patterns::prelude::*;
 
@@ -44,10 +44,7 @@ fn async_model_reports_progression_chains_for_the_flash_sale() {
     // progression, so require only short chains with generous disturbance.
     let params = AsyncParams::new(vec![1, 2, 3], 2, 2000, 6);
     let found = analyze_pattern(db, &flash, &params);
-    assert!(
-        !found.is_empty(),
-        "some period must yield a valid subsequence over the flash window"
-    );
+    assert!(!found.is_empty(), "some period must yield a valid subsequence over the flash window");
     for p in &found {
         // All chained segments lie inside the planted flash window.
         let (ws, we) = stream.planted[1].windows[0];
@@ -66,12 +63,7 @@ fn mis_and_recurring_both_rescue_the_rare_flash_pair() {
         v.sort_unstable();
         v
     };
-    let head_support = db
-        .items()
-        .iter()
-        .map(|i| db.support(&[i.id]))
-        .max()
-        .unwrap();
+    let head_support = db.items().iter().map(|i| db.support(&[i.id])).max().unwrap();
     // A single minSup tuned to head items hides the pair…
     let single_threshold = head_support / 4;
     assert!(db.support(&flash) < single_threshold);
@@ -90,10 +82,7 @@ fn infominer_scores_rare_regular_cells_above_common_ones() {
     let hourly = recurring_patterns::timeseries::rebin(
         &recurring_patterns::timeseries::project_items(
             &stream.db,
-            &stream
-                .db
-                .pattern_ids(&["cat-sale", "cat-checkout", "cat-0", "cat-1"])
-                .unwrap(),
+            &stream.db.pattern_ids(&["cat-sale", "cat-checkout", "cat-0", "cat-1"]).unwrap(),
         ),
         60,
     );

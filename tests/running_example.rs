@@ -2,8 +2,8 @@
 //! Examples 1–11) exercised through the full public API, across all three
 //! recurring-pattern miners.
 
-use recurring_patterns::prelude::*;
 use recurring_patterns::core::{apriori_rp, apriori_support_only, brute_force};
+use recurring_patterns::prelude::*;
 
 fn db() -> TransactionDb {
     recurring_patterns::timeseries::running_example_db()

@@ -4,15 +4,14 @@
 //! conditional pruning × dense prefixes) that tiny proptest cases rarely
 //! reach.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use recurring_patterns::core::{apriori_rp, mine_parallel, mine_resolved};
 use recurring_patterns::prelude::*;
+use recurring_patterns::timeseries::Pcg32;
 
 /// A mid-size random database: `n_items` items over `span` stamps with a
 /// popularity-skewed occurrence probability and occasional burst windows.
 fn stress_db(seed: u64, n_items: usize, span: i64) -> TransactionDb {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let mut b = TransactionDb::builder();
     let labels: Vec<String> = (0..n_items).map(|i| format!("x{i}")).collect();
     // Each item gets a base rate and one hot window with boosted rate.
@@ -27,7 +26,7 @@ fn stress_db(seed: u64, n_items: usize, span: i64) -> TransactionDb {
         let mut items: Vec<&str> = Vec::new();
         for (i, &(base, lo, hi)) in profiles.iter().enumerate() {
             let p = if ts >= lo && ts <= hi { (base * 6.0).min(0.9) } else { base };
-            if rng.random::<f64>() < p {
+            if rng.random_f64() < p {
                 items.push(&labels[i]);
             }
         }
@@ -63,11 +62,11 @@ fn dense_prefix_sharing_database() {
     // Heavy prefix overlap: every transaction contains the head items, so
     // the tree has long shared spines and deep conditional recursion.
     let mut b = TransactionDb::builder();
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Pcg32::seed_from_u64(9);
     for ts in 0..800i64 {
         let mut items = vec!["h0", "h1", "h2"]; // always-on spine
         for i in 3..10 {
-            if rng.random::<f64>() < 0.3 {
+            if rng.random_f64() < 0.3 {
                 items.push(["x3", "x4", "x5", "x6", "x7", "x8", "x9"][i - 3]);
             }
         }
