@@ -19,6 +19,7 @@ pub mod async_periodic;
 pub mod cyclic;
 pub mod hitset;
 pub mod infominer;
+pub mod miner;
 pub mod mis;
 pub mod motif;
 pub mod partial_periodic;
@@ -33,13 +34,17 @@ pub use async_periodic::{
 pub use cyclic::{mine_cyclic, CyclicParams, CyclicPattern};
 pub use hitset::mine_hitset;
 pub use infominer::{mine_infominer, InfoParams, InfoPattern};
+pub use miner::{PPatternMiner, SegmentMiner};
 pub use mis::{mine_mis, MisParams, MisPattern};
 pub use motif::{matrix_profile, top_motifs, Motif, ProfileEntry};
-pub use partial_periodic::{mine_segments, Cell, SegmentParams, SegmentPattern};
+pub use partial_periodic::{
+    mine_segments, mine_segments_controlled, Cell, SegmentParams, SegmentPattern,
+};
 pub use period_detect::{
     autocorrelation_periods, chi_squared_periods, consensus_periods, DetectedPeriod,
 };
 pub use periodic_frequent::{PfGrowth, PfParams, PfPattern, PfStats, PfVariant};
 pub use ppattern::{
-    mine_association_first, mine_periodic_first, PPattern, PPatternParams, PPatternStats,
+    mine_association_first, mine_periodic_first, mine_periodic_first_controlled, PPattern,
+    PPatternParams, PPatternStats,
 };

@@ -1,0 +1,154 @@
+//! [`Miner`] implementations for the baselines, so cross-algorithm tests
+//! and the bench harness can run RP-growth and its comparators through one
+//! generic, uniformly time-boxable interface.
+//!
+//! The function-style baselines (p-patterns, segment mining) get thin
+//! configured-wrapper structs ([`PPatternMiner`], [`SegmentMiner`]) so they
+//! can carry their parameters as trait objects; [`crate::PfGrowth`] already
+//! is one.
+
+use rpm_core::engine::{MinedPattern, Miner, MinerRun, MiningError, RunControl};
+use rpm_timeseries::TransactionDb;
+
+use crate::partial_periodic::{mine_segments_controlled, SegmentParams};
+use crate::periodic_frequent::PfGrowth;
+use crate::ppattern::{mine_periodic_first_controlled, PPatternParams};
+
+impl Miner for PfGrowth {
+    fn name(&self) -> &'static str {
+        "periodic-frequent (PF-growth++)"
+    }
+
+    fn mine_under(
+        &self,
+        db: &TransactionDb,
+        control: &RunControl,
+    ) -> Result<MinerRun, MiningError> {
+        let (patterns, _, aborted) = self.mine_controlled(db, control);
+        let patterns = patterns
+            .into_iter()
+            .map(|p| MinedPattern { support: p.support, items: p.items })
+            .collect();
+        Ok(MinerRun { patterns, aborted, truncated: false })
+    }
+}
+
+/// The periodic-first p-pattern algorithm as a configured [`Miner`].
+#[derive(Debug, Clone)]
+pub struct PPatternMiner {
+    params: PPatternParams,
+    limit: Option<usize>,
+}
+
+impl PPatternMiner {
+    /// Creates a miner; `limit` caps the emitted pattern count (p-patterns
+    /// over-generate combinatorially at low `minSup`).
+    pub fn new(params: PPatternParams, limit: Option<usize>) -> Self {
+        Self { params, limit }
+    }
+}
+
+impl Miner for PPatternMiner {
+    fn name(&self) -> &'static str {
+        "p-patterns (periodic-first)"
+    }
+
+    fn mine_under(
+        &self,
+        db: &TransactionDb,
+        control: &RunControl,
+    ) -> Result<MinerRun, MiningError> {
+        let (patterns, stats, aborted) =
+            mine_periodic_first_controlled(db, &self.params, self.limit, control);
+        let patterns = patterns
+            .into_iter()
+            .map(|p| MinedPattern { support: p.support, items: p.items })
+            .collect();
+        Ok(MinerRun { patterns, aborted, truncated: stats.truncated })
+    }
+}
+
+/// Segment-wise partial periodic mining as a configured [`Miner`]. The
+/// generic projection keeps each pattern's distinct items (cells collapse:
+/// the same item at two offsets counts once) and reports segment hits as
+/// support.
+#[derive(Debug, Clone)]
+pub struct SegmentMiner {
+    params: SegmentParams,
+}
+
+impl SegmentMiner {
+    /// Creates a miner for the given segment parameters.
+    pub fn new(params: SegmentParams) -> Self {
+        Self { params }
+    }
+}
+
+impl Miner for SegmentMiner {
+    fn name(&self) -> &'static str {
+        "partial periodic (segment-wise)"
+    }
+
+    fn mine_under(
+        &self,
+        db: &TransactionDb,
+        control: &RunControl,
+    ) -> Result<MinerRun, MiningError> {
+        let (patterns, _, aborted) = mine_segments_controlled(db, &self.params, control);
+        let patterns = patterns
+            .into_iter()
+            .map(|p| {
+                let mut items: Vec<_> = p.cells.iter().map(|c| c.item).collect();
+                items.sort_unstable();
+                items.dedup();
+                MinedPattern { items, support: p.hits }
+            })
+            .collect();
+        Ok(MinerRun { patterns, aborted, truncated: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_core::engine::AbortReason;
+    use rpm_core::{RpGrowth, RpParams, Threshold};
+    use rpm_timeseries::running_example_db;
+
+    fn all_miners() -> Vec<Box<dyn Miner>> {
+        vec![
+            Box::new(RpGrowth::new(RpParams::new(2, 3, 2))),
+            Box::new(PfGrowth::new(crate::PfParams::new(2, Threshold::Count(3)))),
+            Box::new(PPatternMiner::new(
+                PPatternParams::new(2, Threshold::Count(3), 1),
+                Some(10_000),
+            )),
+            Box::new(SegmentMiner::new(SegmentParams::new(3, Threshold::Count(2)))),
+        ]
+    }
+
+    #[test]
+    fn every_miner_runs_generically_on_the_running_example() {
+        let db = running_example_db();
+        for miner in all_miners() {
+            let run = miner.mine_under(&db, &RunControl::new()).unwrap();
+            assert!(run.aborted.is_none(), "{} aborted", miner.name());
+            assert!(!run.patterns.is_empty(), "{} found nothing", miner.name());
+            for p in &run.patterns {
+                assert!(!p.items.is_empty() && p.support > 0, "{} emitted junk", miner.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_miner_honors_cancellation() {
+        let db = running_example_db();
+        for miner in all_miners() {
+            let token = rpm_core::engine::CancelToken::new();
+            token.cancel();
+            let control = RunControl::new().with_cancel(token);
+            let run = miner.mine_under(&db, &control).unwrap();
+            assert_eq!(run.aborted, Some(AbortReason::Cancelled), "{}", miner.name());
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! the number of complete segments). Mining is exact level-wise Apriori —
 //! hit counts are anti-monotone over cell sets.
 
+use rpm_core::engine::{AbortReason, RunControl};
 use rpm_core::Threshold;
 use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
 
@@ -71,15 +72,30 @@ impl SegmentPattern {
 /// starting at the first timestamp. Returns the patterns sorted by size then
 /// cells, along with the number of segments used as the `minSup` base.
 pub fn mine_segments(db: &TransactionDb, params: &SegmentParams) -> (Vec<SegmentPattern>, usize) {
+    let (patterns, n_segments, _) = mine_segments_controlled(db, params, &RunControl::new());
+    (patterns, n_segments)
+}
+
+/// Like [`mine_segments`], under engine control: the level-wise join polls
+/// `control`'s probe per candidate pair, so the bench harness can time-box
+/// this baseline exactly like the main miner. A tripped limit returns
+/// everything mined so far plus the reason.
+pub fn mine_segments_controlled(
+    db: &TransactionDb,
+    params: &SegmentParams,
+    control: &RunControl,
+) -> (Vec<SegmentPattern>, usize, Option<AbortReason>) {
     let Some((start, end)) = db.time_span() else {
-        return (Vec::new(), 0);
+        return (Vec::new(), 0, None);
     };
     let p = params.period;
     let n_segments = ((end - start + 1) / p) as usize;
     if n_segments == 0 {
-        return (Vec::new(), 0);
+        return (Vec::new(), 0, None);
     }
     let min_sup = params.min_sup.resolve(n_segments);
+    let mut probe = control.start();
+    let mut aborted = false;
 
     // Level 1: hit lists (sorted segment indices) per (offset, item) cell.
     let mut level: Vec<(Vec<Cell>, Vec<u32>)> = {
@@ -112,10 +128,14 @@ pub fn mine_segments(db: &TransactionDb, params: &SegmentParams) -> (Vec<Segment
         .collect();
 
     // Levels k+1: prefix join on sorted cell lists, intersecting hit lists.
-    while level.len() > 1 {
+    'levels: while level.len() > 1 && !aborted {
         let mut next: Vec<(Vec<Cell>, Vec<u32>)> = Vec::new();
         for i in 0..level.len() {
             for j in (i + 1)..level.len() {
+                if probe.poll().is_some() {
+                    aborted = true;
+                    break 'levels;
+                }
                 let (a_cells, a_hits) = &level[i];
                 let (b_cells, b_hits) = &level[j];
                 let k = a_cells.len();
@@ -135,7 +155,8 @@ pub fn mine_segments(db: &TransactionDb, params: &SegmentParams) -> (Vec<Segment
     }
 
     out.sort_by(|a, b| a.cells.len().cmp(&b.cells.len()).then_with(|| a.cells.cmp(&b.cells)));
-    (out, n_segments)
+    let reason = if aborted { probe.tripped() } else { None };
+    (out, n_segments, reason)
 }
 
 fn intersect_u32(a: &[u32], b: &[u32]) -> Vec<u32> {

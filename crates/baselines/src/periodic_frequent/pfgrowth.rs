@@ -8,6 +8,7 @@
 //! push-up), with the periodic-frequent predicate replacing frequency-only
 //! checks — no recurrence machinery needed.
 
+use rpm_core::engine::{AbortReason, ControlProbe, RunControl};
 use rpm_core::merge::MergeHeap;
 use rpm_core::tree::TsTree;
 use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
@@ -60,9 +61,22 @@ impl PfGrowth {
 
     /// Mines all periodic-frequent patterns of `db`.
     pub fn mine(&self, db: &TransactionDb) -> (Vec<PfPattern>, PfStats) {
+        let (patterns, stats, _) = self.mine_controlled(db, &RunControl::new());
+        (patterns, stats)
+    }
+
+    /// Like [`PfGrowth::mine`], under engine control: the recursion polls
+    /// `control`'s probe at candidate boundaries, so the bench harness can
+    /// time-box this baseline exactly like the main miner. A tripped limit
+    /// returns everything mined so far plus the reason.
+    pub fn mine_controlled(
+        &self,
+        db: &TransactionDb,
+        control: &RunControl,
+    ) -> (Vec<PfPattern>, PfStats, Option<AbortReason>) {
         let mut stats = PfStats::default();
         let Some((start, end)) = db.time_span() else {
-            return (Vec::new(), stats);
+            return (Vec::new(), stats, None);
         };
         let min_sup = self.params.min_sup.resolve(db.len());
         let max_per = self.params.max_per;
@@ -82,7 +96,7 @@ impl PfGrowth {
         candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         stats.candidate_items = candidates.len();
         if candidates.is_empty() {
-            return (Vec::new(), stats);
+            return (Vec::new(), stats, None);
         }
         let mut rank = vec![None::<u32>; db.item_count()];
         for (r, &(item, _)) in candidates.iter().enumerate() {
@@ -112,10 +126,13 @@ impl PfGrowth {
             items: candidates.iter().map(|&(i, _)| i).collect(),
         };
         let mut scratch = PfScratch::default();
-        grow(&mut tree, &ctx, &mut suffix, &mut out, &mut stats, &mut scratch);
+        let mut probe = control.start();
+        let aborted =
+            grow(&mut tree, &ctx, &mut suffix, &mut out, &mut stats, &mut scratch, &mut probe);
         out.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items)));
         stats.patterns_found = out.len();
-        (out, stats)
+        let reason = if aborted { probe.tripped() } else { None };
+        (out, stats, reason)
     }
 }
 
@@ -163,8 +180,12 @@ fn grow(
     out: &mut Vec<PfPattern>,
     stats: &mut PfStats,
     scratch: &mut PfScratch,
-) {
+    probe: &mut ControlProbe<'_>,
+) -> bool {
     for r in (0..tree.rank_count() as u32).rev() {
+        if probe.poll().is_some() {
+            return true;
+        }
         if tree.links(r).is_empty() {
             tree.push_up_and_remove(r);
             continue;
@@ -183,12 +204,16 @@ fn grow(
             // Conditional tree: keep prefix items that still qualify.
             let paths = tree.prefix_paths(r);
             if let Some(mut cond) = conditional_tree(&paths, ctx, stats) {
-                grow(&mut cond, ctx, suffix, out, stats, scratch);
+                if grow(&mut cond, ctx, suffix, out, stats, scratch, probe) {
+                    suffix.pop();
+                    return true;
+                }
             }
             suffix.pop();
         }
         tree.push_up_and_remove(r);
     }
+    false
 }
 
 fn conditional_tree(

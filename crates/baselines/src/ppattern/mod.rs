@@ -7,4 +7,4 @@ pub mod periodic_first;
 
 pub use association_first::mine_association_first;
 pub use model::{instances, periodic_support, PPattern, PPatternParams};
-pub use periodic_first::{mine_periodic_first, PPatternStats};
+pub use periodic_first::{mine_periodic_first, mine_periodic_first_controlled, PPatternStats};

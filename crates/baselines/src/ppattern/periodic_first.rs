@@ -3,6 +3,7 @@
 //! EDBT paper uses this variant for its Table 8 comparison because it is
 //! "relatively faster than the association-first algorithm".
 
+use rpm_core::engine::{AbortReason, RunControl};
 use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
 
 use super::model::{instances, periodic_support, PPattern, PPatternParams};
@@ -29,9 +30,26 @@ pub fn mine_periodic_first(
     params: &PPatternParams,
     limit: Option<usize>,
 ) -> (Vec<PPattern>, PPatternStats) {
+    let (patterns, stats, _) =
+        mine_periodic_first_controlled(db, params, limit, &RunControl::new());
+    (patterns, stats)
+}
+
+/// Like [`mine_periodic_first`], under engine control: the level-wise loops
+/// poll `control`'s probe per candidate pair, so the bench harness can
+/// time-box this baseline exactly like the main miner. A tripped limit
+/// returns everything mined so far plus the reason.
+pub fn mine_periodic_first_controlled(
+    db: &TransactionDb,
+    params: &PPatternParams,
+    limit: Option<usize>,
+    control: &RunControl,
+) -> (Vec<PPattern>, PPatternStats, Option<AbortReason>) {
     let min_sup = params.min_sup.resolve(db.len());
     let mut stats = PPatternStats::default();
     let mut out: Vec<PPattern> = Vec::new();
+    let mut probe = control.start();
+    let mut aborted = false;
 
     // Phase 1: periodic items.
     let item_ts = db.item_timestamp_lists();
@@ -40,6 +58,10 @@ pub fn mine_periodic_first(
     for (idx, ts) in item_ts.iter().enumerate() {
         if ts.is_empty() {
             continue;
+        }
+        if probe.poll().is_some() {
+            aborted = true;
+            break;
         }
         evaluated += 1;
         let id = ItemId(idx as u32);
@@ -54,7 +76,7 @@ pub fn mine_periodic_first(
 
     // Phase 2: level-wise growth among periodic items. For w = 1 instance
     // lists intersect exactly; for w > 1 they are recomputed per candidate.
-    while level.len() > 1 {
+    while level.len() > 1 && !aborted {
         if hit_limit(&out, limit) {
             stats.truncated = true;
             break;
@@ -63,6 +85,10 @@ pub fn mine_periodic_first(
         let mut evaluated = 0usize;
         'outer: for i in 0..level.len() {
             for j in (i + 1)..level.len() {
+                if probe.poll().is_some() {
+                    aborted = true;
+                    break 'outer;
+                }
                 let (a_items, a_ts) = &level[i];
                 let (b_items, b_ts) = &level[j];
                 let k = a_items.len();
@@ -103,7 +129,8 @@ pub fn mine_periodic_first(
 
     out.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items)));
     stats.patterns_found = out.len();
-    (out, stats)
+    let reason = if aborted { probe.tripped() } else { None };
+    (out, stats, reason)
 }
 
 fn hit_limit(out: &[PPattern], limit: Option<usize>) -> bool {

@@ -16,7 +16,7 @@ use std::time::Instant;
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::tables::secs;
 use rpm_bench::{HarnessArgs, Table};
-use rpm_core::{apriori_rp, apriori_support_only, mine_resolved, RpParams, Threshold};
+use rpm_core::{apriori_rp, apriori_support_only, MiningSession, RpParams, Threshold};
 
 fn main() {
     let args = HarnessArgs::from_env();
@@ -36,7 +36,9 @@ fn main() {
         match mode.as_str() {
             "structures" => {
                 let t0 = Instant::now();
-                let growth = mine_resolved(&db, params);
+                let session =
+                    MiningSession::builder().resolved(params).build().expect("valid params");
+                let growth = session.mine(&db).expect("non-empty db").into_result();
                 let growth_time = t0.elapsed();
                 let t1 = Instant::now();
                 let (apriori, ap_stats) = apriori_rp(&db, params);

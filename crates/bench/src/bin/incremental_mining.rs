@@ -13,7 +13,7 @@ use std::time::Instant;
 use rpm_bench::datasets::{load, Dataset};
 use rpm_bench::tables::secs;
 use rpm_bench::{HarnessArgs, Table};
-use rpm_core::{mine_resolved, IncrementalMiner, ResolvedParams};
+use rpm_core::{IncrementalMiner, MiningSession, ResolvedParams};
 
 fn main() {
     let args = HarnessArgs::from_env();
@@ -42,7 +42,8 @@ fn main() {
         let inc_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let batch = mine_resolved(miner.db(), params);
+        let session = MiningSession::builder().resolved(params).build().expect("valid params");
+        let batch = session.mine(miner.db()).expect("non-empty db").into_result();
         let batch_time = t1.elapsed();
 
         assert_eq!(inc.patterns, batch.patterns, "miners must agree at every step");

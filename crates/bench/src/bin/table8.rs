@@ -4,6 +4,9 @@
 //! `per = maxPer = 1440`, `minSup = 0.1%`, `minPS = 2%`, `w = 1`, `minRec = 1`
 //! (§5.4).
 //!
+//! All three algorithms run through the shared [`Miner`] trait, so the
+//! harness loop is one generic dispatch rather than per-algorithm plumbing.
+//!
 //! The expected *shape*: #PF ≪ #recurring ≪ #p-patterns, and
 //! maxlen(PF) < maxlen(recurring) < maxlen(p-patterns).
 //!
@@ -11,9 +14,10 @@
 //! cargo run -p rpm-bench --release --bin table8 -- [--scale 0.25|--full] [--seed N] [--limit N]
 //! ```
 
-use rpm_baselines::{mine_periodic_first, PPatternParams, PfGrowth, PfParams};
+use rpm_baselines::{PPatternMiner, PPatternParams, PfGrowth, PfParams};
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::{HarnessArgs, Table};
+use rpm_core::engine::{Miner, RunControl};
 use rpm_core::{RpGrowth, RpParams, Threshold};
 
 fn main() {
@@ -30,30 +34,27 @@ fn main() {
         let (db, _) = load(dataset, args.scale, args.seed);
         banner(dataset, &db, args.scale);
 
-        let (pf, _) = PfGrowth::new(PfParams::new(per, min_sup)).mine(&db);
-        let pf_max = pf.iter().map(|p| p.len()).max().unwrap_or(0);
+        let miners: Vec<Box<dyn Miner>> = vec![
+            Box::new(PfGrowth::new(PfParams::new(per, min_sup))),
+            Box::new(RpGrowth::new(RpParams::with_threshold(per, min_ps, 1))),
+            Box::new(PPatternMiner::new(PPatternParams::new(per, min_sup, 1), Some(limit))),
+        ];
 
-        let rp = RpGrowth::new(RpParams::with_threshold(per, min_ps, 1)).mine(&db);
-        let rp_max = rp.patterns.iter().map(|p| p.len()).max().unwrap_or(0);
-
-        let (pp, pp_stats) =
-            mine_periodic_first(&db, &PPatternParams::new(per, min_sup, 1), Some(limit));
-        let pp_max = pp.iter().map(|p| p.len()).max().unwrap_or(0);
-
+        let control = RunControl::new();
         let mut table = Table::new(["", "I (count)", "II (max length)"]);
-        table.row(["PF patterns".to_string(), pf.len().to_string(), pf_max.to_string()]);
-        table.row([
-            "Recurring patterns".to_string(),
-            rp.patterns.len().to_string(),
-            rp_max.to_string(),
-        ]);
-        table.row([
-            "p-patterns".to_string(),
-            format!("{}{}", pp.len(), if pp_stats.truncated { "+ (capped)" } else { "" }),
-            pp_max.to_string(),
-        ]);
+        let mut capped = false;
+        for miner in &miners {
+            let run = miner.mine_under(&db, &control).expect("mining must succeed");
+            let max_len = run.patterns.iter().map(|p| p.len()).max().unwrap_or(0);
+            capped |= run.truncated;
+            table.row([
+                miner.name().to_string(),
+                format!("{}{}", run.patterns.len(), if run.truncated { "+ (capped)" } else { "" }),
+                max_len.to_string(),
+            ]);
+        }
         table.print();
-        if pp_stats.truncated {
+        if capped {
             println!("note: p-pattern mining capped at --limit {limit}; true count is higher");
         }
         println!();

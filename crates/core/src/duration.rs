@@ -177,7 +177,7 @@ mod tests {
         // Count model (the paper's): minPS=8 at per=10 favours the dense one
         // (the sparse run has only 6 appearances).
         let strict =
-            crate::growth::mine_resolved(&db, crate::params::ResolvedParams::new(10, 8, 2));
+            crate::growth::mine_resolved_impl(&db, crate::params::ResolvedParams::new(10, 8, 2));
         assert!(strict.patterns.iter().any(|p| p.items == vec![dense]));
         assert!(!strict.patterns.iter().any(|p| p.items == vec![sparse]));
     }

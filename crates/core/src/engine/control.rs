@@ -1,0 +1,338 @@
+//! Cooperative run control: cancellation, deadlines and memory budgets.
+//!
+//! Mining is a long recursive search; the control plane makes it
+//! interruptible without making it slow. A [`RunControl`] describes the
+//! limits of a run; at run start it is resolved into a [`ControlProbe`]
+//! that the miners poll at candidate boundaries. The probe is built so an
+//! *unlimited* run pays almost nothing: polling is a handful of predictable
+//! branches, the wall clock is read only every [`PROBE_PERIOD`] polls, and
+//! the scratch-memory footprint is computed lazily and equally rarely.
+//!
+//! Cancellation is level-triggered and cooperative: a [`CancelToken`] is a
+//! shared flag that any thread (a signal handler, a request router, another
+//! worker) may set; the mining threads observe it at the next candidate
+//! boundary and unwind, returning everything mined so far.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a mining run stopped before exhausting the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A [`CancelToken`] associated with the run was cancelled.
+    Cancelled,
+    /// The wall-clock deadline of [`RunControl::with_timeout`] passed.
+    DeadlineExceeded,
+    /// The scratch arena outgrew [`RunControl::with_scratch_budget`].
+    ScratchBudgetExceeded,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Cancelled => write!(f, "cancelled"),
+            AbortReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            AbortReason::ScratchBudgetExceeded => write!(f, "scratch budget exceeded"),
+        }
+    }
+}
+
+/// A shareable cancellation flag. Cloning yields another handle to the same
+/// flag, so one token can be held by the caller and observed by every
+/// mining worker.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next poll of
+    /// any probe observing this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn flag(&self) -> &AtomicBool {
+        &self.0
+    }
+}
+
+/// Limits under which a mining run executes. The default is unlimited —
+/// identical behaviour (and, by design, indistinguishable cost) to a run
+/// with no control at all.
+///
+/// ```
+/// use std::time::Duration;
+/// use rpm_core::engine::{CancelToken, RunControl};
+///
+/// let token = CancelToken::new();
+/// let control = RunControl::new()
+///     .with_cancel(token.clone())
+///     .with_timeout(Duration::from_secs(5))
+///     .with_scratch_budget(64 << 20); // 64 MiB of reusable scratch
+/// assert!(!control.is_unlimited());
+/// # let _ = control;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    cancel: Option<CancelToken>,
+    timeout: Option<Duration>,
+    scratch_budget: Option<usize>,
+}
+
+impl RunControl {
+    /// An unlimited control: never cancels, never expires.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cancellation token. The run aborts with
+    /// [`AbortReason::Cancelled`] once the token is cancelled.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bounds the run's wall-clock time, measured from the moment mining
+    /// starts. The run aborts with [`AbortReason::DeadlineExceeded`].
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds the reusable scratch memory (per worker) in bytes. The run
+    /// aborts with [`AbortReason::ScratchBudgetExceeded`] once a worker's
+    /// arena footprint exceeds the budget.
+    pub fn with_scratch_budget(mut self, bytes: usize) -> Self {
+        self.scratch_budget = Some(bytes);
+        self
+    }
+
+    /// Whether this control can never interrupt a run.
+    pub fn is_unlimited(&self) -> bool {
+        self.cancel.is_none() && self.timeout.is_none() && self.scratch_budget.is_none()
+    }
+
+    /// The configured timeout, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The configured scratch budget in bytes, if any.
+    pub fn scratch_budget(&self) -> Option<usize> {
+        self.scratch_budget
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Starts the clock: resolves the control into a pollable probe. Every
+    /// worker of a parallel run starts its own probe; they share the cancel
+    /// token but meter their own scratch arenas.
+    pub fn start(&self) -> ControlProbe<'_> {
+        self.start_with_halt(None)
+    }
+
+    /// Like [`RunControl::start`], with an additional engine-internal halt
+    /// flag so parallel workers stop as soon as any sibling trips a limit.
+    pub(crate) fn start_with_halt<'c>(&'c self, halt: Option<&'c AtomicBool>) -> ControlProbe<'c> {
+        let budget = self.scratch_budget.unwrap_or(usize::MAX);
+        ControlProbe {
+            cancel: self.cancel.as_ref().map(CancelToken::flag),
+            halt,
+            deadline: self.timeout.map(|t| Instant::now() + t),
+            budget,
+            countdown: 1,
+            tripped: None,
+        }
+    }
+}
+
+/// How many polls elapse between wall-clock / memory checks. Candidate
+/// boundaries arrive every few microseconds on real databases, so a period
+/// of 32 keeps the reaction latency well under a millisecond while making
+/// the amortized cost of `Instant::now()` negligible.
+pub const PROBE_PERIOD: u16 = 32;
+
+/// The per-run (per-worker) pollable view of a [`RunControl`].
+///
+/// Obtained from [`RunControl::start`]; poll it at the boundaries of your
+/// unit of work. Once a limit trips the probe stays tripped ("latched"), so
+/// callers may poll freely after an abort without re-deriving the reason.
+#[derive(Debug)]
+pub struct ControlProbe<'c> {
+    cancel: Option<&'c AtomicBool>,
+    /// Engine-internal sibling-halt flag, set when another parallel worker
+    /// trips a limit.
+    halt: Option<&'c AtomicBool>,
+    deadline: Option<Instant>,
+    budget: usize,
+    countdown: u16,
+    tripped: Option<AbortReason>,
+}
+
+impl ControlProbe<'_> {
+    /// A probe that never trips — the zero-cost stand-in for "no control".
+    pub fn unlimited() -> Self {
+        ControlProbe {
+            cancel: None,
+            halt: None,
+            deadline: None,
+            budget: usize::MAX,
+            countdown: 1,
+            tripped: None,
+        }
+    }
+
+    /// Polls every limit. Returns the abort reason once any limit trips and
+    /// keeps returning it on subsequent polls.
+    #[inline]
+    pub fn poll(&mut self) -> Option<AbortReason> {
+        self.poll_with(|| 0)
+    }
+
+    /// Polls every limit, computing the current scratch footprint lazily —
+    /// `memory` is only invoked when a budget is configured and the
+    /// amortization window has elapsed, so an expensive footprint
+    /// computation stays off the per-candidate path.
+    #[inline]
+    pub fn poll_with(&mut self, memory: impl FnOnce() -> usize) -> Option<AbortReason> {
+        if self.tripped.is_some() {
+            return self.tripped;
+        }
+        if let Some(c) = self.cancel {
+            if c.load(Ordering::Relaxed) {
+                self.tripped = Some(AbortReason::Cancelled);
+                return self.tripped;
+            }
+        }
+        if let Some(h) = self.halt {
+            if h.load(Ordering::Relaxed) {
+                self.tripped = Some(AbortReason::Cancelled);
+                return self.tripped;
+            }
+        }
+        if self.deadline.is_none() && self.budget == usize::MAX {
+            return None;
+        }
+        self.countdown -= 1;
+        if self.countdown != 0 {
+            return None;
+        }
+        self.countdown = PROBE_PERIOD;
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.tripped = Some(AbortReason::DeadlineExceeded);
+                return self.tripped;
+            }
+        }
+        if self.budget != usize::MAX && memory() > self.budget {
+            self.tripped = Some(AbortReason::ScratchBudgetExceeded);
+        }
+        self.tripped
+    }
+
+    /// The latched abort reason, if a limit has tripped.
+    pub fn tripped(&self) -> Option<AbortReason> {
+        self.tripped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_probe_never_trips() {
+        let mut probe = ControlProbe::unlimited();
+        for _ in 0..10_000 {
+            assert_eq!(probe.poll(), None);
+        }
+        assert_eq!(probe.tripped(), None);
+    }
+
+    #[test]
+    fn cancellation_trips_on_next_poll_and_latches() {
+        let token = CancelToken::new();
+        let control = RunControl::new().with_cancel(token.clone());
+        let mut probe = control.start();
+        assert_eq!(probe.poll(), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(probe.poll(), Some(AbortReason::Cancelled));
+        assert_eq!(probe.poll(), Some(AbortReason::Cancelled), "latched");
+    }
+
+    #[test]
+    fn cloned_tokens_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_within_one_probe_period() {
+        let control = RunControl::new().with_timeout(Duration::from_secs(0));
+        let mut probe = control.start();
+        let mut polls = 0;
+        let reason = loop {
+            polls += 1;
+            if let Some(r) = probe.poll() {
+                break r;
+            }
+            assert!(polls <= PROBE_PERIOD as usize, "deadline never tripped");
+        };
+        assert_eq!(reason, AbortReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn memory_budget_trips_and_is_lazy() {
+        let control = RunControl::new().with_scratch_budget(100);
+        let mut probe = control.start();
+        let mut calls = 0;
+        for _ in 0..PROBE_PERIOD {
+            probe.poll_with(|| {
+                calls += 1;
+                1000
+            });
+        }
+        assert_eq!(calls, 1, "footprint computed once per period");
+        assert_eq!(probe.tripped(), Some(AbortReason::ScratchBudgetExceeded));
+    }
+
+    #[test]
+    fn under_budget_runs_keep_going() {
+        let control = RunControl::new().with_scratch_budget(1 << 30);
+        let mut probe = control.start();
+        for _ in 0..1000 {
+            assert_eq!(probe.poll_with(|| 1024), None);
+        }
+    }
+
+    #[test]
+    fn unlimited_control_reports_itself() {
+        assert!(RunControl::new().is_unlimited());
+        assert!(!RunControl::new().with_timeout(Duration::from_secs(1)).is_unlimited());
+        assert!(!RunControl::new().with_scratch_budget(1).is_unlimited());
+        assert!(!RunControl::new().with_cancel(CancelToken::new()).is_unlimited());
+    }
+
+    #[test]
+    fn abort_reasons_display() {
+        assert_eq!(AbortReason::Cancelled.to_string(), "cancelled");
+        assert_eq!(AbortReason::DeadlineExceeded.to_string(), "deadline exceeded");
+        assert_eq!(AbortReason::ScratchBudgetExceeded.to_string(), "scratch budget exceeded");
+    }
+}

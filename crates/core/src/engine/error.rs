@@ -1,0 +1,84 @@
+//! The unified error type of the mining engine.
+
+use std::fmt;
+
+use super::control::AbortReason;
+
+/// Errors surfaced by the engine (and by the fallible `try_*` constructors
+/// of [`crate::params`]) instead of panics on user-reachable paths.
+///
+/// Composes with the data layer: [`rpm_timeseries::Error`] converts via
+/// `From`, so `?` works across both layers in one function.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MiningError {
+    /// A model constraint was out of range (`per <= 0`, `minPS < 1`,
+    /// `minRec < 1`, a fractional threshold outside `(0, 1]`, or a builder
+    /// missing its parameters).
+    InvalidParams(String),
+    /// The database holds no transactions; mining it is almost always a
+    /// caller bug, so the engine refuses rather than silently returning
+    /// nothing.
+    EmptyDatabase,
+    /// A strict (complete-result) call was interrupted — carries the limit
+    /// that tripped, e.g. [`AbortReason::ScratchBudgetExceeded`] when the
+    /// scratch budget was exhausted.
+    Aborted(AbortReason),
+    /// An underlying data-layer failure (I/O, parse, ordering).
+    Data(rpm_timeseries::Error),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            MiningError::EmptyDatabase => write!(f, "the transaction database is empty"),
+            MiningError::Aborted(reason) => write!(f, "mining aborted: {reason}"),
+            MiningError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiningError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rpm_timeseries::Error> for MiningError {
+    fn from(e: rpm_timeseries::Error) -> Self {
+        MiningError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_panic_substrings() {
+        // The panicking constructors funnel through these messages; their
+        // historical `should_panic(expected = ...)` substrings must survive.
+        let e = MiningError::InvalidParams("per must be positive, got 0".into());
+        assert!(e.to_string().contains("invalid parameters"));
+        assert!(e.to_string().contains("per must be positive"));
+    }
+
+    #[test]
+    fn data_errors_compose_with_the_timeseries_layer() {
+        use std::error::Error as _;
+        let inner = rpm_timeseries::Error::UnknownItemId(7);
+        let e: MiningError = inner.into();
+        assert!(e.to_string().contains("item id 7"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn aborted_carries_the_reason() {
+        let e = MiningError::Aborted(AbortReason::ScratchBudgetExceeded);
+        assert!(e.to_string().contains("scratch budget"));
+    }
+}

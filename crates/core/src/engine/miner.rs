@@ -1,0 +1,120 @@
+//! The algorithm-agnostic [`Miner`] trait: one interface over RP-growth and
+//! every baseline miner, so cross-algorithm tests and the bench harness
+//! dispatch generically (and time-box uniformly via [`RunControl`]) instead
+//! of hand-writing one arm per algorithm.
+//!
+//! The trait deliberately projects each algorithm's native output down to
+//! the common denominator — itemsets with supports — because that is the
+//! only vocabulary all compared models share (Table 8 of the paper compares
+//! exactly pattern counts and lengths). Algorithm-specific detail (periodic
+//! intervals, periodicities, segment cells) stays on the native APIs.
+
+use rpm_timeseries::{ItemId, TransactionDb};
+
+use crate::growth::RpGrowth;
+
+use super::control::{AbortReason, RunControl};
+use super::error::MiningError;
+use super::session::MiningSession;
+
+/// One mined itemset in the algorithm-agnostic projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedPattern {
+    /// The itemset, in the algorithm's canonical order.
+    pub items: Vec<ItemId>,
+    /// How many transactions (or instances) support it.
+    pub support: usize,
+}
+
+impl MinedPattern {
+    /// Number of items in the pattern.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pattern is empty (never produced by a miner).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The outcome of one generic mining run.
+#[derive(Debug, Clone, Default)]
+pub struct MinerRun {
+    /// The mined itemsets.
+    pub patterns: Vec<MinedPattern>,
+    /// `Some` when a [`RunControl`] limit stopped the run early; the
+    /// patterns are then a sound partial result.
+    pub aborted: Option<AbortReason>,
+    /// `true` when an algorithm-internal cap (e.g. the p-pattern output
+    /// limit) truncated the output independent of the run control.
+    pub truncated: bool,
+}
+
+/// A pattern-mining algorithm that can run under engine control.
+///
+/// Implemented by [`RpGrowth`] here and by the baselines
+/// (`PfGrowth`, the p-pattern and segment miners) in `rpm-baselines`.
+pub trait Miner: Send + Sync {
+    /// Short stable name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Mines `db` under `control`. A tripped limit is not an error: the run
+    /// returns everything found so far with [`MinerRun::aborted`] set.
+    fn mine_under(&self, db: &TransactionDb, control: &RunControl)
+        -> Result<MinerRun, MiningError>;
+}
+
+impl Miner for RpGrowth {
+    fn name(&self) -> &'static str {
+        "recurring (RP-growth)"
+    }
+
+    fn mine_under(
+        &self,
+        db: &TransactionDb,
+        control: &RunControl,
+    ) -> Result<MinerRun, MiningError> {
+        let session = MiningSession::builder()
+            .params(self.params().clone())
+            .control(control.clone())
+            .build()?;
+        let outcome = session.mine(db)?;
+        let aborted = outcome.abort_reason();
+        let patterns = outcome
+            .into_result()
+            .patterns
+            .into_iter()
+            .map(|p| MinedPattern { items: p.items, support: p.support })
+            .collect();
+        Ok(MinerRun { patterns, aborted, truncated: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RpParams;
+    use rpm_timeseries::running_example_db;
+
+    #[test]
+    fn rp_growth_mines_generically() {
+        let miner: Box<dyn Miner> = Box::new(RpGrowth::new(RpParams::new(2, 3, 2)));
+        let run = miner.mine_under(&running_example_db(), &RunControl::new()).unwrap();
+        assert_eq!(run.patterns.len(), 8);
+        assert!(run.aborted.is_none());
+        assert!(!run.truncated);
+        assert!(run.patterns.iter().all(|p| !p.is_empty() && p.support > 0));
+    }
+
+    #[test]
+    fn generic_run_honors_control() {
+        let token = super::super::control::CancelToken::new();
+        token.cancel();
+        let miner = RpGrowth::new(RpParams::new(2, 3, 2));
+        let control = RunControl::new().with_cancel(token);
+        let run = miner.mine_under(&running_example_db(), &control).unwrap();
+        assert_eq!(run.aborted, Some(AbortReason::Cancelled));
+        assert!(run.patterns.is_empty());
+    }
+}

@@ -9,8 +9,12 @@
 //! the `Erec`/`Rec` state machine, so a pruned candidate never materializes
 //! its ts-list at all. See DESIGN.md §"Performance architecture".
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
 
+use crate::engine::control::{AbortReason, ControlProbe};
+use crate::engine::observer::{Observer, Phase, NOOP};
 use crate::measures::{IntervalScan, RecurrenceScan, ScanSummary};
 use crate::merge::MergeHeap;
 use crate::params::{ResolvedParams, RpParams};
@@ -369,44 +373,125 @@ impl RpGrowth {
     /// Mines all recurring patterns of `db`.
     pub fn mine(&self, db: &TransactionDb) -> MiningResult {
         let params = self.params.resolve(db.len());
-        mine_resolved(db, params)
+        mine_resolved_impl(db, params)
     }
 }
 
 /// Mines `db` with already-resolved parameters. This is the full pipeline:
 /// RP-list scan (Algorithm 1), RP-tree construction (Algorithms 2–3) and
 /// recursive growth (Algorithm 4).
+#[deprecated(
+    since = "0.2.0",
+    note = "use rpm_core::engine::MiningSession::builder() — the unified entry point with \
+            run control and observability"
+)]
 pub fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
-    let list = RpList::build(db, params);
-    mine_with_list(db, &list, params)
+    mine_resolved_impl(db, params)
 }
 
 /// Mines `db` using a pre-built RP-list — lets callers that maintain the
 /// list incrementally (see [`crate::incremental`]) skip the first database
 /// scan. The list must have been built for the same `db` and `params`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rpm_core::engine::MiningSession::builder() — the unified entry point with \
+            run control and observability"
+)]
 pub fn mine_with_list(db: &TransactionDb, list: &RpList, params: ResolvedParams) -> MiningResult {
-    mine_with_scratch(db, list, params, &mut MineScratch::new())
+    mine_with_list_impl(db, list, params)
 }
 
 /// Like [`mine_with_list`], reusing a caller-held [`MineScratch`] so that
 /// repeated runs (incremental re-mining, parameter sweeps) skip the warm-up
 /// allocations of buffers, merge heaps and tree arenas entirely.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rpm_core::engine::MiningSession::builder() — the unified entry point with \
+            run control and observability"
+)]
 pub fn mine_with_scratch(
     db: &TransactionDb,
     list: &RpList,
     params: ResolvedParams,
     scratch: &mut MineScratch,
 ) -> MiningResult {
+    mine_with_scratch_impl(db, list, params, scratch)
+}
+
+pub(crate) fn mine_resolved_impl(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let list = RpList::build(db, params);
+    mine_with_list_impl(db, &list, params)
+}
+
+pub(crate) fn mine_with_list_impl(
+    db: &TransactionDb,
+    list: &RpList,
+    params: ResolvedParams,
+) -> MiningResult {
+    mine_with_scratch_impl(db, list, params, &mut MineScratch::new())
+}
+
+pub(crate) fn mine_with_scratch_impl(
+    db: &TransactionDb,
+    list: &RpList,
+    params: ResolvedParams,
+    scratch: &mut MineScratch,
+) -> MiningResult {
+    let done = AtomicUsize::new(0);
+    let mut exec = Exec::unlimited(&done, list.len());
+    mine_engine(db, list, params, scratch, &mut exec).0
+}
+
+/// The per-run execution context threaded through the recursion: the
+/// control probe polled at candidate boundaries plus the observer and the
+/// (possibly worker-shared) suffix-progress counter.
+pub(crate) struct Exec<'e> {
+    pub(crate) probe: ControlProbe<'e>,
+    pub(crate) observer: &'e dyn Observer,
+    pub(crate) done: &'e AtomicUsize,
+    pub(crate) total: usize,
+}
+
+impl<'e> Exec<'e> {
+    /// An uncontrolled, unobserved context — what the classic entry points
+    /// run under.
+    pub(crate) fn unlimited(done: &'e AtomicUsize, total: usize) -> Exec<'e> {
+        Exec { probe: ControlProbe::unlimited(), observer: &NOOP, done, total }
+    }
+
+    /// Reports one completed suffix region and the candidates it explored.
+    pub(crate) fn suffix_done(&self, candidates_delta: usize) {
+        let d = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.observer.on_suffix_done(d, self.total);
+        if candidates_delta > 0 {
+            self.observer.on_candidate_batch(candidates_delta);
+        }
+    }
+}
+
+/// The engine-facing pipeline: like the classic full run but interruptible
+/// via `exec`'s probe and observable via its hooks. Returns the (possibly
+/// partial) result plus the abort reason when a limit tripped. Partial
+/// results are always sound: every emitted pattern passed the full
+/// recurrence test before the run stopped.
+pub(crate) fn mine_engine(
+    db: &TransactionDb,
+    list: &RpList,
+    params: ResolvedParams,
+    scratch: &mut MineScratch,
+    exec: &mut Exec<'_>,
+) -> (MiningResult, Option<AbortReason>) {
     let mut stats = MiningStats {
         candidate_items: list.len(),
         scanned_items: list.scanned_items(),
         ..MiningStats::default()
     };
     if list.is_empty() {
-        return MiningResult { patterns: Vec::new(), stats };
+        return (MiningResult { patterns: Vec::new(), stats }, None);
     }
 
     // Second scan: insert candidate projections (Algorithm 2).
+    exec.observer.on_phase(Phase::TreeBuild);
     let mut tree = scratch.take_tree(list.len());
     for t in db.transactions() {
         list.project_into(t.items(), &mut scratch.ranks);
@@ -416,14 +501,17 @@ pub fn mine_with_scratch(
     }
     stats.tree_nodes += tree.node_count();
 
+    exec.observer.on_phase(Phase::Growth);
     let mut patterns = Vec::new();
     let mut suffix: Vec<ItemId> = Vec::new();
-    grow(&mut tree, list, params, &mut suffix, &mut patterns, &mut stats, scratch, true);
+    let aborted =
+        grow(&mut tree, list, params, &mut suffix, &mut patterns, &mut stats, scratch, exec, true);
     scratch.recycle(tree);
     canonical_order(&mut patterns);
     stats.patterns_found = patterns.len();
     stats.scratch_bytes_peak = scratch.footprint_bytes();
-    MiningResult { patterns, stats }
+    let reason = if aborted { exec.probe.tripped() } else { None };
+    (MiningResult { patterns, stats }, reason)
 }
 
 /// Algorithm 4 (`RP-growth`): processes the tree's ranks bottom-up. For each
@@ -440,6 +528,9 @@ pub fn mine_with_scratch(
 /// in ascending timestamp order), so the retained [`RpList::singleton`]
 /// summary and intervals are reused instead of re-merging the whole tree.
 /// Recursive calls on conditional trees pass `false`.
+///
+/// Returns `true` when the run was aborted by `exec`'s probe; everything
+/// pushed to `out` up to that point is a sound partial result.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn grow(
     tree: &mut TsTree,
@@ -449,14 +540,22 @@ pub(crate) fn grow(
     out: &mut Vec<RecurringPattern>,
     stats: &mut MiningStats,
     scratch: &mut MineScratch,
+    exec: &mut Exec<'_>,
     top: bool,
-) {
+) -> bool {
     stats.max_depth = stats.max_depth.max(suffix.len() + 1);
     for rank in (0..tree.rank_count() as u32).rev() {
+        if exec.probe.poll_with(|| scratch.footprint_bytes()).is_some() {
+            return true;
+        }
         if tree.links(rank).is_empty() {
             tree.push_up_and_remove(rank);
+            if top {
+                exec.suffix_done(0);
+            }
             continue;
         }
+        let candidates_before = stats.candidates_checked;
         stats.candidates_checked += 1;
         let stored = if top { list.singleton(rank) } else { None };
         let summary = match stored {
@@ -490,13 +589,22 @@ pub(crate) fn grow(
             if let Some(mut cond) = conditional_tree(tree, rank, params, scratch) {
                 stats.conditional_trees += 1;
                 stats.tree_nodes += cond.node_count();
-                grow(&mut cond, list, params, suffix, out, stats, scratch, false);
+                let aborted =
+                    grow(&mut cond, list, params, suffix, out, stats, scratch, exec, false);
                 scratch.recycle(cond);
+                if aborted {
+                    suffix.pop();
+                    return true;
+                }
             }
             suffix.pop();
         }
         tree.push_up_and_remove(rank);
+        if top {
+            exec.suffix_done(stats.candidates_checked - candidates_before);
+        }
     }
+    false
 }
 
 /// Collects `rank`'s conditional-pattern-base into scratch buffers and
@@ -628,7 +736,7 @@ mod tests {
         // recomputation on the database.
         let db = running_example_db();
         let params = ResolvedParams::new(2, 3, 2);
-        let res = mine_resolved(&db, params);
+        let res = mine_resolved_impl(&db, params);
         for p in &res.patterns {
             let ts = db.timestamps_of(&p.items);
             assert_eq!(ts.len(), p.support);
@@ -648,8 +756,8 @@ mod tests {
         for (per, min_ps, min_rec) in [(2, 3, 2), (1, 1, 1), (2, 3, 1), (3, 2, 2), (2, 3, 2)] {
             let params = ResolvedParams::new(per, min_ps, min_rec);
             let list = RpList::build(&db, params);
-            let warm = mine_with_scratch(&db, &list, params, &mut scratch);
-            let cold = mine_with_list(&db, &list, params);
+            let warm = mine_with_scratch_impl(&db, &list, params, &mut scratch);
+            let cold = mine_with_list_impl(&db, &list, params);
             assert_eq!(warm.patterns, cold.patterns, "params {params:?}");
             assert_eq!(
                 warm.stats.normalized(),

@@ -34,6 +34,7 @@
 
 pub mod closed;
 pub mod duration;
+pub mod engine;
 pub mod export;
 pub mod growth;
 pub mod incremental;
@@ -55,11 +56,14 @@ pub mod verify;
 
 pub use closed::{closed_patterns, maximal_patterns};
 pub use duration::{get_duration_recurrence, mine_durations, DurationParams};
-pub use export::{write_patterns_json, write_patterns_tsv, write_rules_json};
-pub use growth::{
-    mine_resolved, mine_with_list, mine_with_scratch, MineScratch, MiningResult, MiningStats,
-    RpGrowth,
+pub use engine::{
+    AbortReason, CancelToken, MetricsCollector, MiningError, MiningOutcome, MiningSession,
+    NoopObserver, Observer, ProgressReporter, RunControl,
 };
+pub use export::{write_patterns_json, write_patterns_tsv, write_rules_json};
+#[allow(deprecated)]
+pub use growth::{mine_resolved, mine_with_list, mine_with_scratch};
+pub use growth::{MineScratch, MiningResult, MiningStats, RpGrowth};
 pub use incremental::IncrementalMiner;
 pub use index::PatternIndex;
 pub use measures::{

@@ -29,11 +29,13 @@
 //! The paper evaluates a single-threaded implementation, so this module is
 //! an engineering extension, benchmarked in `rpm-bench`'s `hotpath` binary.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 
 use rpm_timeseries::{ItemId, Timestamp, TransactionDb};
 
-use crate::growth::{grow, MineScratch, MiningResult, MiningStats, PathBounds};
+use crate::engine::control::{AbortReason, RunControl};
+use crate::engine::observer::{Observer, Phase, NOOP};
+use crate::growth::{grow, Exec, MineScratch, MiningResult, MiningStats, PathBounds};
 use crate::measures::ScanSummary;
 use crate::params::ResolvedParams;
 use crate::pattern::{canonical_order, RecurringPattern};
@@ -44,7 +46,53 @@ use crate::tree::{TsTree, ROOT};
 /// Output is identical to the sequential miner's, including the algorithmic
 /// [`MiningStats`] counters.
 pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize) -> MiningResult {
+    mine_parallel_engine(db, params, threads, &RunControl::new(), &NOOP).0
+}
+
+/// First-win slot for the abort reason of a parallel run: whichever worker
+/// trips a limit first records why; siblings observing the shared halt flag
+/// keep their (derived) reasons to themselves.
+struct AbortCell(AtomicU8);
+
+impl AbortCell {
+    fn new() -> Self {
+        AbortCell(AtomicU8::new(0))
+    }
+
+    fn record(&self, reason: AbortReason) {
+        let code = match reason {
+            AbortReason::Cancelled => 1,
+            AbortReason::DeadlineExceeded => 2,
+            AbortReason::ScratchBudgetExceeded => 3,
+        };
+        let _ = self.0.compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> Option<AbortReason> {
+        match self.0.load(Ordering::Relaxed) {
+            1 => Some(AbortReason::Cancelled),
+            2 => Some(AbortReason::DeadlineExceeded),
+            3 => Some(AbortReason::ScratchBudgetExceeded),
+            _ => None,
+        }
+    }
+}
+
+/// The engine-facing parallel pipeline: [`mine_parallel`] plus cooperative
+/// interruption and observer hooks. Workers poll the shared control between
+/// stolen regions *and* at every candidate boundary inside a region; the
+/// first to trip raises a shared halt flag so siblings stop within one
+/// candidate as well. Returns the (possibly partial) result and the abort
+/// reason when a limit tripped.
+pub(crate) fn mine_parallel_engine(
+    db: &TransactionDb,
+    params: ResolvedParams,
+    threads: usize,
+    control: &RunControl,
+    observer: &dyn Observer,
+) -> (MiningResult, Option<AbortReason>) {
     let threads = threads.max(1);
+    observer.on_phase(Phase::ListScan);
     let list = RpList::build(db, params);
     let mut stats = MiningStats {
         candidate_items: list.len(),
@@ -52,11 +100,12 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
         ..MiningStats::default()
     };
     if list.is_empty() {
-        return MiningResult { patterns: Vec::new(), stats };
+        return (MiningResult { patterns: Vec::new(), stats }, None);
     }
     let list = &list;
     let n = list.len();
     let nt = db.len();
+    observer.on_phase(Phase::TreeBuild);
 
     // Second scan (Algorithm 2), chunked: workers project disjoint
     // transaction ranges into flat rank buffers, then the inserts are
@@ -111,15 +160,29 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
     // almost for free), so mine the tree directly with the sequential
     // recursion — the output is identical either way.
     if threads == 1 {
+        observer.on_phase(Phase::Growth);
         let mut scratch = MineScratch::new();
         let mut suffix: Vec<ItemId> = Vec::new();
         let mut patterns = Vec::new();
-        grow(&mut tree, list, params, &mut suffix, &mut patterns, &mut stats, &mut scratch, true);
+        let done = AtomicUsize::new(0);
+        let mut exec = Exec { probe: control.start(), observer, done: &done, total: n };
+        let aborted = grow(
+            &mut tree,
+            list,
+            params,
+            &mut suffix,
+            &mut patterns,
+            &mut stats,
+            &mut scratch,
+            &mut exec,
+            true,
+        );
         scratch.recycle(tree);
         stats.scratch_bytes_peak = scratch.footprint_bytes();
         canonical_order(&mut patterns);
         stats.patterns_found = patterns.len();
-        return MiningResult { patterns, stats };
+        let reason = if aborted { exec.probe.tripped() } else { None };
+        return (MiningResult { patterns, stats }, reason);
     }
 
     // Largest-regions-first queue: support(r) bounds the region's total
@@ -130,9 +193,13 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
     order.sort_by_key(|&r| {
         std::cmp::Reverse(list.candidates()[r as usize].support as u64 * (r as u64 + 1))
     });
+    observer.on_phase(Phase::Growth);
     let order = &order;
     let cursor = &AtomicUsize::new(0);
     let tree_ref = &tree;
+    let halt = &AtomicBool::new(false);
+    let abort_cell = &AbortCell::new();
+    let done = &AtomicUsize::new(0);
 
     let results: Vec<(Vec<RecurringPattern>, MiningStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -142,7 +209,18 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
                     let mut out: Vec<RecurringPattern> = Vec::new();
                     let mut local = MiningStats::default();
                     let mut suffix: Vec<ItemId> = Vec::new();
+                    let mut exec = Exec {
+                        probe: control.start_with_halt(Some(halt)),
+                        observer,
+                        done,
+                        total: n,
+                    };
                     loop {
+                        if let Some(r) = exec.probe.poll_with(|| scratch.footprint_bytes()) {
+                            abort_cell.record(r);
+                            halt.store(true, Ordering::Relaxed);
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= order.len() {
                             break;
@@ -150,7 +228,8 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
                         if i % threads != w {
                             local.regions_stolen += 1;
                         }
-                        mine_region(
+                        let before = local.candidates_checked;
+                        let aborted = mine_region(
                             order[i],
                             tree_ref,
                             list,
@@ -159,7 +238,16 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
                             &mut suffix,
                             &mut out,
                             &mut local,
+                            &mut exec,
                         );
+                        if aborted {
+                            if let Some(r) = exec.probe.tripped() {
+                                abort_cell.record(r);
+                            }
+                            halt.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        exec.suffix_done(local.candidates_checked - before);
                     }
                     local.scratch_bytes_peak = scratch.footprint_bytes();
                     (out, local)
@@ -176,12 +264,13 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
     }
     canonical_order(&mut patterns);
     stats.patterns_found = patterns.len();
-    MiningResult { patterns, stats }
+    (MiningResult { patterns, stats }, abort_cell.get())
 }
 
 /// Mines one region — the patterns whose lowest-ranked item is `r` — from
 /// the immutable global tree, mirroring the sequential processing of rank
-/// `r` exactly (same scans, same conditional tree, same counters).
+/// `r` exactly (same scans, same conditional tree, same counters). Returns
+/// `true` when `exec`'s probe tripped mid-region.
 #[allow(clippy::too_many_arguments)]
 fn mine_region(
     r: u32,
@@ -192,7 +281,8 @@ fn mine_region(
     suffix: &mut Vec<ItemId>,
     out: &mut Vec<RecurringPattern>,
     local: &mut MiningStats,
-) {
+    exec: &mut Exec<'_>,
+) -> bool {
     local.max_depth = local.max_depth.max(1);
     local.candidates_checked += 1;
 
@@ -234,7 +324,7 @@ fn mine_region(
         }
     };
     if summary.erec < params.min_rec {
-        return;
+        return false;
     }
     local.recurrence_tests += 1;
     suffix.clear();
@@ -287,9 +377,11 @@ fn mine_region(
     if let Some(mut cond) = scratch.build_conditional(params) {
         local.conditional_trees += 1;
         local.tree_nodes += cond.node_count();
-        grow(&mut cond, list, params, suffix, out, local, scratch, false);
+        let aborted = grow(&mut cond, list, params, suffix, out, local, scratch, exec, false);
         scratch.recycle(cond);
+        return aborted;
     }
+    false
 }
 
 fn merge_stats(into: &mut MiningStats, from: &MiningStats) {
@@ -305,7 +397,7 @@ fn merge_stats(into: &mut MiningStats, from: &MiningStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::growth::mine_resolved;
+    use crate::growth::mine_resolved_impl as mine_resolved;
     use rpm_timeseries::running_example_db;
 
     #[test]

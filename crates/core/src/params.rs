@@ -5,6 +5,8 @@ use std::fmt;
 
 use rpm_timeseries::Timestamp;
 
+use crate::engine::MiningError;
+
 /// A count threshold that may be given absolutely or as a fraction of
 /// `|TDB|` (the paper expresses `minPS` both ways, §3 and Table 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,13 +22,27 @@ impl Threshold {
     /// Resolves the threshold against a database of `db_len` transactions.
     ///
     /// # Panics
-    /// Panics if a [`Threshold::Fraction`] is not in `(0, 1]`.
+    /// Panics if a [`Threshold::Fraction`] is not in `(0, 1]`. Prefer
+    /// [`Threshold::try_resolve`] on user-reachable paths.
     pub fn resolve(self, db_len: usize) -> usize {
+        match self.try_resolve(db_len) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Threshold::resolve`]: rejects out-of-range fractions with
+    /// [`MiningError::InvalidParams`] instead of panicking.
+    pub fn try_resolve(self, db_len: usize) -> Result<usize, MiningError> {
         match self {
-            Threshold::Count(c) => c,
+            Threshold::Count(c) => Ok(c),
             Threshold::Fraction(f) => {
-                assert!(f > 0.0 && f <= 1.0, "fractional threshold must be in (0,1], got {f}");
-                ((f * db_len as f64).ceil() as usize).max(1)
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(MiningError::InvalidParams(format!(
+                        "fractional threshold must be in (0,1], got {f}"
+                    )));
+                }
+                Ok(((f * db_len as f64).ceil() as usize).max(1))
             }
         }
     }
@@ -61,19 +77,56 @@ impl RpParams {
     /// Creates parameters with absolute `minPS`.
     ///
     /// # Panics
-    /// Panics unless `per > 0`, `min_ps >= 1` and `min_rec >= 1`.
+    /// Panics unless `per > 0`, `min_ps >= 1` and `min_rec >= 1`. Prefer
+    /// [`RpParams::try_new`] on user-reachable paths.
     pub fn new(per: Timestamp, min_ps: usize, min_rec: usize) -> Self {
         Self::with_threshold(per, Threshold::Count(min_ps), min_rec)
     }
 
+    /// Fallible [`RpParams::new`], for user-supplied values.
+    pub fn try_new(per: Timestamp, min_ps: usize, min_rec: usize) -> Result<Self, MiningError> {
+        Self::try_with_threshold(per, Threshold::Count(min_ps), min_rec)
+    }
+
     /// Creates parameters with an arbitrary `minPS` threshold.
+    ///
+    /// # Panics
+    /// Panics on out-of-range values; prefer
+    /// [`RpParams::try_with_threshold`] on user-reachable paths.
     pub fn with_threshold(per: Timestamp, min_ps: Threshold, min_rec: usize) -> Self {
-        assert!(per > 0, "per must be positive, got {per}");
-        if let Threshold::Count(c) = min_ps {
-            assert!(c >= 1, "minPS must be at least 1");
+        match Self::try_with_threshold(per, min_ps, min_rec) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
-        assert!(min_rec >= 1, "minRec must be at least 1");
-        Self { per, min_ps, min_rec }
+    }
+
+    /// Fallible [`RpParams::with_threshold`]: validates the model
+    /// constraints and reports violations as
+    /// [`MiningError::InvalidParams`].
+    pub fn try_with_threshold(
+        per: Timestamp,
+        min_ps: Threshold,
+        min_rec: usize,
+    ) -> Result<Self, MiningError> {
+        if per <= 0 {
+            return Err(MiningError::InvalidParams(format!("per must be positive, got {per}")));
+        }
+        if let Threshold::Count(c) = min_ps {
+            if c < 1 {
+                return Err(MiningError::InvalidParams("minPS must be at least 1".into()));
+            }
+        }
+        if let Threshold::Fraction(f) = min_ps {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(MiningError::InvalidParams(format!(
+                    "fractional minPS must be in (0,1], got {f}"
+                )));
+            }
+        }
+        if min_rec < 1 {
+            return Err(MiningError::InvalidParams("minRec must be at least 1".into()));
+        }
+        Ok(Self { per, min_ps, min_rec })
     }
 
     /// The period threshold `per`.
@@ -94,6 +147,16 @@ impl RpParams {
     /// Resolves fractional thresholds against a concrete database size.
     pub fn resolve(&self, db_len: usize) -> ResolvedParams {
         ResolvedParams { per: self.per, min_ps: self.min_ps.resolve(db_len), min_rec: self.min_rec }
+    }
+
+    /// Fallible [`RpParams::resolve`], surfacing threshold violations as
+    /// [`MiningError::InvalidParams`].
+    pub fn try_resolve(&self, db_len: usize) -> Result<ResolvedParams, MiningError> {
+        Ok(ResolvedParams {
+            per: self.per,
+            min_ps: self.min_ps.try_resolve(db_len)?,
+            min_rec: self.min_rec,
+        })
     }
 }
 
@@ -117,9 +180,27 @@ pub struct ResolvedParams {
 
 impl ResolvedParams {
     /// Shorthand constructor used heavily in tests.
+    ///
+    /// # Panics
+    /// Panics on out-of-range values; prefer [`ResolvedParams::try_new`] on
+    /// user-reachable paths.
     pub fn new(per: Timestamp, min_ps: usize, min_rec: usize) -> Self {
-        assert!(per > 0 && min_ps >= 1 && min_rec >= 1, "invalid parameters");
-        Self { per, min_ps, min_rec }
+        match Self::try_new(per, min_ps, min_rec) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ResolvedParams::new`], for user-supplied values.
+    pub fn try_new(per: Timestamp, min_ps: usize, min_rec: usize) -> Result<Self, MiningError> {
+        if per > 0 && min_ps >= 1 && min_rec >= 1 {
+            Ok(Self { per, min_ps, min_rec })
+        } else {
+            Err(MiningError::InvalidParams(format!(
+                "per must be positive and minPS/minRec at least 1, \
+                 got per={per} minPS={min_ps} minRec={min_rec}"
+            )))
+        }
     }
 }
 

@@ -273,7 +273,7 @@ mod tests {
         }
         let db = b.build();
         let strict_base = ResolvedParams::new(1, 25, 2);
-        let strict = crate::growth::mine_resolved(&db, strict_base);
+        let strict = crate::growth::mine_resolved_impl(&db, strict_base);
         assert!(strict.patterns.is_empty(), "strict model must miss the noisy pattern");
         let (relaxed, stats) = mine_relaxed(&db, &NoiseParams::new(strict_base, 1, 3));
         assert_eq!(relaxed.len(), 1);
@@ -286,7 +286,7 @@ mod tests {
     fn relaxed_with_zero_budget_matches_strict_miner() {
         let db = rpm_timeseries::running_example_db();
         let (relaxed, _) = mine_relaxed(&db, &NoiseParams::strict(base()));
-        let strict = crate::growth::mine_resolved(&db, base());
+        let strict = crate::growth::mine_resolved_impl(&db, base());
         assert_eq!(relaxed, strict.patterns);
     }
 

@@ -61,6 +61,24 @@ pub fn mine_top_k(
     top_k(&result.patterns, k, rank)
 }
 
+/// [`mine_top_k`] under engine control: the run obeys `control`'s
+/// cancellation/deadline/budget limits and reports whether (and why) it was
+/// cut short — the top `k` of a partial run ranks only what was mined.
+pub fn mine_top_k_controlled(
+    db: &TransactionDb,
+    params: RpParams,
+    k: usize,
+    rank: RankBy,
+    control: &crate::engine::RunControl,
+) -> Result<(Vec<RecurringPattern>, Option<crate::engine::AbortReason>), crate::engine::MiningError>
+{
+    let session =
+        crate::engine::MiningSession::builder().params(params).control(control.clone()).build()?;
+    let outcome = session.mine(db)?;
+    let reason = outcome.abort_reason();
+    Ok((top_k(&outcome.into_result().patterns, k, rank), reason))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

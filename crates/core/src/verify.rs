@@ -74,7 +74,7 @@ pub fn verify_all(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::growth::mine_resolved;
+    use crate::growth::mine_resolved_impl as mine_resolved;
     use crate::pattern::PeriodicInterval;
     use rpm_timeseries::running_example_db;
 

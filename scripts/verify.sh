@@ -6,5 +6,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
+cargo clippy --all-targets --offline -- -D warnings
 cargo build --release --offline
 cargo test -q --offline

@@ -5,6 +5,7 @@
 //! rpm mine     <db.tsv> --per 360 --min-ps 2% --min-rec 2
 //!              [--relaxed <k>] [--fault-gap <g>] [--closed] [--maximal]
 //!              [--top <k>] [--rules <min-conf>] [--threads <n>]
+//!              [--timeout <t>] [--progress] [--metrics-json [<file>]]
 //! rpm pf       <db.tsv> --max-per 1440 --min-sup 0.1%
 //! rpm ppattern <db.tsv> --period 1440 --min-sup 0.1% [--window 1]
 //! rpm generate <quest|shop|twitter> --out <db.tsv> [--scale 0.25] [--seed 1]
@@ -19,10 +20,13 @@ use recurring_patterns::baselines::{
     autocorrelation_periods, chi_squared_periods, consensus_periods, mine_periodic_first,
     PPatternParams, PfGrowth, PfParams,
 };
+use recurring_patterns::core::engine::{
+    MetricsCollector, MiningSession, Observer, Phase, ProgressReporter, RunControl,
+};
 use recurring_patterns::core::{
-    closed_patterns, generate_rules, maximal_patterns, mine_durations, mine_parallel, mine_relaxed,
+    closed_patterns, generate_rules, maximal_patterns, mine_durations, mine_relaxed,
     recurrence_spectrum, top_k, write_patterns_json, write_patterns_tsv, write_rules_json,
-    DurationParams, NoiseParams, RankBy, RpGrowth, RpParams, Threshold,
+    DurationParams, MiningStats, NoiseParams, RankBy, RpParams, Threshold,
 };
 use recurring_patterns::datagen::{
     generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig, TwitterConfig,
@@ -69,6 +73,7 @@ const USAGE: &str = "rpm — recurring pattern mining (EDBT 2015 reproduction)
   rpm mine     <db.tsv> --per N --min-ps N|X% --min-rec N
                [--min-dur D] [--relaxed K --fault-gap G] [--closed] [--maximal]
                [--top K] [--rules CONF] [--threads N]
+               [--timeout T(s|ms|m)] [--progress] [--metrics-json [FILE]]
   rpm spectrum <db.tsv> --items 'a b c' --min-ps N|X%
   rpm detect   <db.tsv> --items 'a b c' --max-period N [--method chi|auto|consensus]
   rpm pf       <db.tsv> --max-per N --min-sup N|X%
@@ -77,7 +82,13 @@ const USAGE: &str = "rpm — recurring pattern mining (EDBT 2015 reproduction)
   rpm convert  <in> <out>            (between .tsv text and .rpmb binary)
 
 Databases are text (`ts<TAB>item item…`) or, with a .rpmb extension, the
-compact binary format of rpm_timeseries::binio.";
+compact binary format of rpm_timeseries::binio.
+
+Run control (standard and --threads mining): --timeout bounds the run's
+wall-clock time and prints the sound partial result mined so far;
+--progress reports fraction-complete on stderr; --metrics-json emits
+per-phase wall time, peak scratch bytes and the abort reason (to FILE, or
+stderr when no FILE is given).";
 
 /// Tiny flag parser: positional args first, then `--key value` pairs.
 struct Flags {
@@ -155,14 +166,70 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `--timeout` values: `500ms`, `1s`, `2m`, or a bare number of seconds.
+fn parse_timeout(text: &str) -> Result<std::time::Duration, String> {
+    let t = text.trim();
+    let (num, unit_ms) = if let Some(v) = t.strip_suffix("ms") {
+        (v, 1.0)
+    } else if let Some(v) = t.strip_suffix('s') {
+        (v, 1000.0)
+    } else if let Some(v) = t.strip_suffix('m') {
+        (v, 60_000.0)
+    } else {
+        (t, 1000.0)
+    };
+    let value: f64 = num.trim().parse().map_err(|e| format!("bad --timeout {text:?}: {e}"))?;
+    if value.is_nan() || value < 0.0 {
+        return Err(format!("bad --timeout {text:?}: must be non-negative"));
+    }
+    Ok(std::time::Duration::from_secs_f64(value * unit_ms / 1000.0))
+}
+
+/// Fans engine callbacks out to several observers (progress + metrics).
+struct MultiObserver(Vec<std::sync::Arc<dyn Observer>>);
+
+impl Observer for MultiObserver {
+    fn on_phase(&self, phase: Phase) {
+        self.0.iter().for_each(|o| o.on_phase(phase));
+    }
+    fn on_suffix_done(&self, done: usize, total: usize) {
+        self.0.iter().for_each(|o| o.on_suffix_done(done, total));
+    }
+    fn on_candidate_batch(&self, candidates: usize) {
+        self.0.iter().for_each(|o| o.on_candidate_batch(candidates));
+    }
+    fn on_complete(
+        &self,
+        stats: &MiningStats,
+        abort: Option<recurring_patterns::core::AbortReason>,
+    ) {
+        self.0.iter().for_each(|o| o.on_complete(stats, abort));
+    }
+}
+
 fn mine(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+
     let flags = Flags::parse(args)?;
     let db = load_db(&flags)?;
     let per: i64 = flags.require("per")?.parse().map_err(|e| format!("bad --per: {e}"))?;
     let min_ps = parse_threshold(flags.require("min-ps")?)?;
     let min_rec: usize = flags.parse_num("min-rec", 1)?;
-    let params = RpParams::with_threshold(per, min_ps, min_rec);
-    let resolved = params.resolve(db.len());
+    let params = RpParams::try_with_threshold(per, min_ps, min_rec).map_err(|e| e.to_string())?;
+    let resolved = params.try_resolve(db.len()).map_err(|e| e.to_string())?;
+
+    let mut control = RunControl::new();
+    if let Some(t) = flags.get("timeout") {
+        control = control.with_timeout(parse_timeout(t)?);
+    }
+    let metrics = flags.get("metrics-json").map(|path| (Arc::new(MetricsCollector::new()), path));
+    let mut observers: Vec<Arc<dyn Observer>> = Vec::new();
+    if flags.flag("progress") {
+        observers.push(Arc::new(ProgressReporter::default()));
+    }
+    if let Some((collector, _)) = &metrics {
+        observers.push(collector.clone());
+    }
 
     let mut patterns = if let Some(dur) = flags.get("min-dur") {
         // Duration-based (LPP-style) variant: intervals must LAST minDur.
@@ -172,11 +239,23 @@ fn mine(args: &[String]) -> Result<(), String> {
         let budget: usize = k.parse().map_err(|e| format!("bad --relaxed: {e}"))?;
         let gap: i64 = flags.parse_num("fault-gap", resolved.per * 4)?;
         mine_relaxed(&db, &NoiseParams::new(resolved, budget, gap)).0
-    } else if let Some(threads) = flags.get("threads") {
-        let n: usize = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
-        mine_parallel(&db, resolved, n).patterns
     } else {
-        RpGrowth::new(params).mine(&db).patterns
+        let threads: usize = flags.parse_num("threads", 1)?;
+        let mut builder = MiningSession::builder().params(params).threads(threads).control(control);
+        match observers.len() {
+            0 => {}
+            1 => builder = builder.observer(observers.pop().unwrap()),
+            _ => builder = builder.observer(Arc::new(MultiObserver(observers))),
+        }
+        let session = builder.build().map_err(|e| e.to_string())?;
+        let outcome = session.mine(&db).map_err(|e| e.to_string())?;
+        if let Some(reason) = outcome.abort_reason() {
+            eprintln!(
+                "mining aborted ({reason}); {} patterns mined before the limit",
+                outcome.patterns().len()
+            );
+        }
+        outcome.into_result().patterns
     };
 
     if flags.flag("closed") {
@@ -223,6 +302,18 @@ fn mine(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("write failed: {e}"))?;
                 }
             }
+        }
+    }
+    if let Some((collector, path)) = &metrics {
+        let json = collector.snapshot().to_json();
+        if *path == "true" {
+            // Bare `--metrics-json`: report on stderr, keeping stdout for
+            // the patterns themselves.
+            eprintln!("{json}");
+        } else {
+            std::fs::write(path, json + "\n")
+                .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+            eprintln!("engine metrics written to {path}");
         }
     }
     Ok(())

@@ -32,11 +32,15 @@
 //!
 //! // per=2, minPS=3, minRec=2: periodic at least 3 times in a row, in at
 //! // least two separate stretches.
-//! let result = RpGrowth::new(RpParams::new(2, 3, 2)).mine(&db);
-//! for pattern in &result.patterns {
+//! let session = MiningSession::builder()
+//!     .params(RpParams::new(2, 3, 2))
+//!     .build()
+//!     .unwrap();
+//! let outcome = session.mine(&db).unwrap();
+//! for pattern in outcome.patterns() {
 //!     println!("{}", pattern.display(db.items()));
 //! }
-//! assert!(!result.patterns.is_empty());
+//! assert!(outcome.is_complete() && !outcome.patterns().is_empty());
 //! ```
 
 #![warn(missing_docs)]
@@ -50,7 +54,13 @@ pub use rpm_timeseries as timeseries;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use rpm_baselines::{
-        mine_periodic_first, mine_segments, PPatternParams, PfGrowth, PfParams, SegmentParams,
+        mine_periodic_first, mine_segments, PPatternMiner, PPatternParams, PfGrowth, PfParams,
+        SegmentMiner, SegmentParams,
+    };
+    pub use rpm_core::engine::{
+        AbortReason, CancelToken, EngineMetrics, MetricsCollector, MinedPattern, Miner, MinerRun,
+        MiningError, MiningOutcome, MiningSession, NoopObserver, Observer, Phase, ProgressReporter,
+        RunControl,
     };
     pub use rpm_core::{
         closed_patterns, generate_rules, get_recurrence, get_relaxed_recurrence, maximal_patterns,

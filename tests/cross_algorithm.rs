@@ -4,6 +4,8 @@
 //! parameters — the strongest available evidence that the tree machinery
 //! (ts-list push-up, conditional pruning) is sound.
 
+#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
+
 use recurring_patterns::core::{apriori_rp, apriori_support_only, brute_force, mine_resolved};
 use recurring_patterns::prelude::*;
 use recurring_patterns::timeseries::Pcg32;
@@ -64,6 +66,37 @@ fn all_four_miners_agree_on_denser_databases() {
             erec_stats.total_candidates() <= weak_stats.total_candidates(),
             "Erec pruning explored more candidates than the weak bound at seed={seed}"
         );
+    }
+}
+
+#[test]
+fn generic_miner_dispatch_agrees_with_native_apis() {
+    // Every algorithm — RP-growth and the three baselines — behind one
+    // `Box<dyn Miner>`, the dispatch the bench harness (table8) relies on.
+    let db = random_db(42, 8, 150, 0.9);
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(RpGrowth::new(RpParams::new(3, 3, 2))),
+        Box::new(PfGrowth::new(PfParams::new(3, Threshold::Count(3)))),
+        Box::new(PPatternMiner::new(PPatternParams::new(3, Threshold::Count(3), 1), Some(100_000))),
+        Box::new(SegmentMiner::new(SegmentParams::new(4, Threshold::Count(2)))),
+    ];
+    let control = RunControl::new();
+    for miner in &miners {
+        let run = miner.mine_under(&db, &control).expect("mining must succeed");
+        assert!(run.aborted.is_none(), "{} aborted under unlimited control", miner.name());
+        for p in &run.patterns {
+            assert!(!p.is_empty() && p.support > 0, "{} emitted a junk pattern", miner.name());
+        }
+    }
+
+    // The RP-growth projection must be the native output, itemset for
+    // itemset.
+    let run = miners[0].mine_under(&db, &control).unwrap();
+    let native = mine_resolved(&db, RpParams::new(3, 3, 2).resolve(db.len()));
+    assert_eq!(run.patterns.len(), native.patterns.len());
+    for (mined, native) in run.patterns.iter().zip(&native.patterns) {
+        assert_eq!(mined.items, native.items);
+        assert_eq!(mined.support, native.support);
     }
 }
 

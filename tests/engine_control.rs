@@ -1,0 +1,300 @@
+//! End-to-end tests for the engine control plane: cooperative cancellation,
+//! wall-clock deadlines, observer event accounting, and the guarantee that
+//! the engine wrapper changes nothing about the mined output.
+//!
+//! Partial results must always be *sound* (every emitted pattern passed the
+//! full recurrence test) and a canonically ordered subset of the complete
+//! run's output — the engine only ever stops early, it never invents or
+//! reorders patterns.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use recurring_patterns::core::engine::PROBE_PERIOD;
+use recurring_patterns::core::MiningStats;
+use recurring_patterns::prelude::*;
+
+fn test_db() -> (TransactionDb, RpParams) {
+    let stream = generate_twitter(&TwitterConfig { scale: 0.02, seed: 7, ..Default::default() });
+    (stream.db, RpParams::with_threshold(360, Threshold::pct(2.0), 1))
+}
+
+/// Counts every observer event; optionally cancels a token after a fixed
+/// number of completed suffix regions.
+#[derive(Default)]
+struct Recorder {
+    phases: Mutex<Vec<Phase>>,
+    suffix_events: AtomicUsize,
+    last_done: AtomicUsize,
+    candidates: AtomicUsize,
+    completions: AtomicUsize,
+    final_abort: Mutex<Option<Option<AbortReason>>>,
+    cancel_after: Option<(usize, CancelToken)>,
+}
+
+impl Observer for Recorder {
+    fn on_phase(&self, phase: Phase) {
+        self.phases.lock().unwrap().push(phase);
+    }
+
+    fn on_suffix_done(&self, done: usize, _total: usize) {
+        let seen = self.suffix_events.fetch_add(1, Ordering::SeqCst) + 1;
+        self.last_done.fetch_max(done, Ordering::SeqCst);
+        if let Some((after, token)) = &self.cancel_after {
+            if seen >= *after {
+                token.cancel();
+            }
+        }
+    }
+
+    fn on_candidate_batch(&self, candidates: usize) {
+        self.candidates.fetch_add(candidates, Ordering::SeqCst);
+    }
+
+    fn on_complete(&self, _stats: &MiningStats, abort: Option<AbortReason>) {
+        self.completions.fetch_add(1, Ordering::SeqCst);
+        *self.final_abort.lock().unwrap() = Some(abort);
+    }
+}
+
+fn full_run(db: &TransactionDb, params: &RpParams) -> MiningResult {
+    MiningSession::builder().params(params.clone()).build().unwrap().mine(db).unwrap().into_result()
+}
+
+/// Partial output must be an ordered subsequence of the complete run's
+/// canonically sorted output: both lists share the (length, items) sort
+/// applied at the end of every run, so a sound subset of the full pattern
+/// set appears in the same relative order.
+fn assert_sound_subset(
+    partial: &MiningResult,
+    full: &MiningResult,
+    db: &TransactionDb,
+    params: &RpParams,
+) {
+    assert!(partial.patterns.len() <= full.patterns.len(), "partial found more than the full run");
+    let mut rest = full.patterns.iter();
+    for p in &partial.patterns {
+        assert!(
+            rest.any(|f| f == p),
+            "partial pattern {:?} missing from the full output (or out of canonical order)",
+            p.items
+        );
+    }
+    let resolved = params.clone().resolve(db.len());
+    verify_all(db, &partial.patterns, resolved)
+        .unwrap_or_else(|(i, e)| panic!("partial pattern {i} failed verification: {e}"));
+}
+
+#[test]
+fn cancellation_mid_run_stops_within_a_bounded_number_of_regions() {
+    let (db, params) = test_db();
+    let full = full_run(&db, &params);
+    assert!(full.stats.candidate_items > 8, "workload too small to interrupt");
+
+    let token = CancelToken::new();
+    let cancel_at = 3usize;
+    let recorder = Arc::new(Recorder {
+        cancel_after: Some((cancel_at, token.clone())),
+        ..Recorder::default()
+    });
+    let session = MiningSession::builder()
+        .params(params.clone())
+        .control(RunControl::new().with_cancel(token))
+        .observer(recorder.clone())
+        .build()
+        .unwrap();
+    let outcome = session.mine(&db).unwrap();
+
+    assert!(!outcome.is_complete(), "cancellation must interrupt the run");
+    assert_eq!(outcome.abort_reason(), Some(AbortReason::Cancelled));
+
+    // The probe latches a pending cancellation within PROBE_PERIOD polls,
+    // and every suffix region polls at least once — so at most PROBE_PERIOD
+    // further regions can complete after the token flips.
+    let events = recorder.suffix_events.load(Ordering::SeqCst);
+    assert!(events >= cancel_at, "cancelled before the trigger region");
+    assert!(
+        events <= cancel_at + PROBE_PERIOD as usize,
+        "cancellation latency too high: {events} regions completed (trigger at {cancel_at})"
+    );
+    assert!(events < full.stats.candidate_items, "run was not actually interrupted");
+
+    let partial = outcome.into_result();
+    assert!(!partial.patterns.is_empty(), "regions completed before the cancel must be kept");
+    assert_sound_subset(&partial, &full, &db, &params);
+}
+
+#[test]
+fn deadline_returns_partial_with_a_sound_subset() {
+    let (db, params) = test_db();
+    let full = full_run(&db, &params);
+
+    // An already-expired deadline must trip the very first probe poll.
+    let session = MiningSession::builder()
+        .params(params.clone())
+        .control(RunControl::new().with_timeout(Duration::ZERO))
+        .build()
+        .unwrap();
+    let outcome = session.mine(&db).unwrap();
+    assert!(!outcome.is_complete());
+    assert_eq!(outcome.abort_reason(), Some(AbortReason::DeadlineExceeded));
+    assert_sound_subset(outcome.result(), &full, &db, &params);
+
+    // Whatever a tight-but-nonzero deadline allows, the result is sound —
+    // complete runs return Complete, interrupted ones Partial.
+    for micros in [50u64, 500, 5_000] {
+        let session = MiningSession::builder()
+            .params(params.clone())
+            .control(RunControl::new().with_timeout(Duration::from_micros(micros)))
+            .build()
+            .unwrap();
+        let outcome = session.mine(&db).unwrap();
+        if outcome.is_complete() {
+            assert_eq!(outcome.result().patterns, full.patterns);
+        } else {
+            assert_eq!(outcome.abort_reason(), Some(AbortReason::DeadlineExceeded));
+            assert_sound_subset(outcome.result(), &full, &db, &params);
+        }
+    }
+}
+
+#[test]
+fn observer_event_counts_match_mining_stats_sequentially() {
+    let (db, params) = test_db();
+    let recorder = Arc::new(Recorder::default());
+    let session =
+        MiningSession::builder().params(params.clone()).observer(recorder.clone()).build().unwrap();
+    let outcome = session.mine(&db).unwrap();
+    assert!(outcome.is_complete());
+    let stats = outcome.stats();
+
+    // One on_suffix_done per top-level candidate item, batches summing to
+    // exactly the explored candidate count, one completion with no abort.
+    assert_eq!(recorder.suffix_events.load(Ordering::SeqCst), stats.candidate_items);
+    assert_eq!(recorder.last_done.load(Ordering::SeqCst), stats.candidate_items);
+    assert_eq!(recorder.candidates.load(Ordering::SeqCst), stats.candidates_checked);
+    assert_eq!(recorder.completions.load(Ordering::SeqCst), 1);
+    assert_eq!(*recorder.final_abort.lock().unwrap(), Some(None));
+    assert_eq!(
+        *recorder.phases.lock().unwrap(),
+        vec![Phase::ListScan, Phase::TreeBuild, Phase::Growth],
+        "phases must arrive exactly once, in execution order"
+    );
+}
+
+#[test]
+fn observer_event_counts_match_mining_stats_in_parallel() {
+    let (db, params) = test_db();
+    for threads in [2usize, 4] {
+        let recorder = Arc::new(Recorder::default());
+        let session = MiningSession::builder()
+            .params(params.clone())
+            .threads(threads)
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        let outcome = session.mine(&db).unwrap();
+        assert!(outcome.is_complete());
+        let stats = outcome.stats();
+        assert_eq!(recorder.suffix_events.load(Ordering::SeqCst), stats.candidate_items);
+        assert_eq!(recorder.last_done.load(Ordering::SeqCst), stats.candidate_items);
+        assert_eq!(recorder.candidates.load(Ordering::SeqCst), stats.candidates_checked);
+        assert_eq!(recorder.completions.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            *recorder.phases.lock().unwrap(),
+            vec![Phase::ListScan, Phase::TreeBuild, Phase::Growth]
+        );
+    }
+}
+
+#[test]
+fn engine_wrapper_changes_nothing_about_the_output() {
+    let (db, params) = test_db();
+    // Native miner, engine sequential path, engine parallel path: identical
+    // patterns and identical algorithmic counters.
+    let native = RpGrowth::new(params.clone()).mine(&db);
+    let seq = full_run(&db, &params);
+    assert_eq!(seq.patterns, native.patterns);
+    assert_eq!(seq.stats.normalized(), native.stats.normalized());
+    for threads in [2usize, 4, 8] {
+        let session =
+            MiningSession::builder().params(params.clone()).threads(threads).build().unwrap();
+        let outcome = session.mine(&db).unwrap();
+        assert!(outcome.is_complete());
+        let par = outcome.into_result();
+        assert_eq!(par.patterns, native.patterns, "threads={threads}");
+        assert_eq!(par.stats.normalized(), native.stats.normalized(), "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_cancellation_halts_all_workers_and_keeps_a_sound_subset() {
+    let (db, params) = test_db();
+    let token = CancelToken::new();
+    let recorder =
+        Arc::new(Recorder { cancel_after: Some((2, token.clone())), ..Recorder::default() });
+    let session = MiningSession::builder()
+        .params(params.clone())
+        .threads(4)
+        .control(RunControl::new().with_cancel(token))
+        .observer(recorder.clone())
+        .build()
+        .unwrap();
+    let outcome = session.mine(&db).unwrap();
+    assert!(!outcome.is_complete());
+    assert_eq!(outcome.abort_reason(), Some(AbortReason::Cancelled));
+
+    // Which regions completed is scheduler-dependent, but the output is
+    // still a sound, canonically ordered subset of the full run's.
+    let partial = outcome.into_result();
+    let full = full_run(&db, &params);
+    assert_sound_subset(&partial, &full, &db, &params);
+}
+
+#[test]
+fn metrics_collector_captures_phases_and_abort_reasons() {
+    let (db, params) = test_db();
+
+    let metrics = Arc::new(MetricsCollector::new());
+    let session =
+        MiningSession::builder().params(params.clone()).observer(metrics.clone()).build().unwrap();
+    let outcome = session.mine(&db).unwrap();
+    assert!(metrics.is_complete());
+    let snap = metrics.snapshot();
+    assert!(snap.abort.is_none());
+    assert_eq!(snap.stats.normalized(), outcome.stats().normalized());
+    assert_eq!(snap.suffixes_done, outcome.stats().candidate_items);
+    assert_eq!(snap.candidates_seen, outcome.stats().candidates_checked);
+    let phases: Vec<Phase> = snap.phase_wall.iter().map(|&(p, _)| p).collect();
+    assert_eq!(phases, vec![Phase::ListScan, Phase::TreeBuild, Phase::Growth]);
+    assert!(snap.peak_scratch_bytes > 0, "scratch high-water mark not reported");
+    let json = snap.to_json();
+    assert!(json.contains("\"abort\": null") && json.contains("\"growth\""));
+
+    let metrics = Arc::new(MetricsCollector::new());
+    let session = MiningSession::builder()
+        .params(params.clone())
+        .control(RunControl::new().with_timeout(Duration::ZERO))
+        .observer(metrics.clone())
+        .build()
+        .unwrap();
+    let outcome = session.mine(&db).unwrap();
+    assert!(!outcome.is_complete());
+    assert_eq!(metrics.snapshot().abort, Some(AbortReason::DeadlineExceeded));
+    assert!(metrics.snapshot().to_json().contains("\"abort\": \"deadline exceeded\""));
+}
+
+#[test]
+fn empty_database_and_bad_params_are_errors_not_panics() {
+    let empty = TransactionDb::builder().build();
+    let session = MiningSession::builder().params(RpParams::new(2, 3, 2)).build().unwrap();
+    match session.mine(&empty) {
+        Err(MiningError::EmptyDatabase) => {}
+        other => panic!("expected EmptyDatabase, got {other:?}"),
+    }
+
+    let err = RpParams::try_new(0, 3, 2).unwrap_err();
+    assert!(err.to_string().contains("per must be positive"), "{err}");
+    assert!(MiningSession::builder().build().is_err(), "builder without params must fail");
+}

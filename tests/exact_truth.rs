@@ -3,6 +3,8 @@
 //! workspace must produce it verbatim — supports, recurrences and interval
 //! endpoints included.
 
+#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
+
 use proptest::prelude::*;
 use recurring_patterns::core::{apriori_rp, mine_parallel, mine_resolved};
 use recurring_patterns::datagen::{ExactGroup, ExactSpec};

@@ -2,6 +2,8 @@
 //! work) on the simulated datasets: incremental mining, noise-tolerant
 //! mining, condensations, top-k and rules — all through the facade API.
 
+#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
+
 use recurring_patterns::prelude::*;
 
 #[test]

@@ -4,6 +4,8 @@
 //! [`MiningStats`] counters — at every thread count, and a reused
 //! [`MineScratch`] must never leak state between runs.
 
+#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
+
 use recurring_patterns::core::{
     mine_parallel, mine_resolved, mine_with_scratch, MineScratch, MiningResult, ResolvedParams,
     RpList,

@@ -2,6 +2,8 @@
 //! implementation is compared against a from-scratch brute-force
 //! recomputation of its own model on random databases.
 
+#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
+
 use proptest::prelude::*;
 use recurring_patterns::baselines::periodic_frequent::periodicity;
 use recurring_patterns::baselines::{

@@ -1,6 +1,8 @@
 //! Property-based tests (proptest) of the model's core invariants, over
 //! randomly generated timestamp lists and databases.
 
+#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
+
 use proptest::prelude::*;
 use recurring_patterns::core::{
     brute_force, erec, get_recurrence, mine_resolved, periodic_intervals, recurrence,

@@ -4,6 +4,8 @@
 //! conditional pruning × dense prefixes) that tiny proptest cases rarely
 //! reach.
 
+#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
+
 use recurring_patterns::core::{apriori_rp, mine_parallel, mine_resolved};
 use recurring_patterns::prelude::*;
 use recurring_patterns::timeseries::Pcg32;
