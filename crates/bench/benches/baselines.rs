@@ -2,6 +2,8 @@
 //! wins, as Ma & Hellerstein and the paper both note), the two PF-growth
 //! variants (the `++` early-abort wins), and the segment-wise miner.
 
+#![deny(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpm_baselines::{
     mine_association_first, mine_periodic_first, mine_segments, PPatternParams, PfGrowth, PfParams,

@@ -3,12 +3,13 @@
 //! interval splitter — the building blocks whose costs compose into the
 //! end-to-end numbers.
 
+#![deny(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpm_bench::datasets::{load, Dataset};
+use rpm_core::engine::MiningSession;
 use rpm_core::tree::TsTree;
-use rpm_core::{
-    get_recurrence, mine_resolved, periodic_intervals, recurrence_spectrum, ResolvedParams, RpList,
-};
+use rpm_core::{get_recurrence, periodic_intervals, recurrence_spectrum, ResolvedParams, RpList};
 use std::hint::black_box;
 
 const SCALE: f64 = 0.05;
@@ -75,10 +76,11 @@ fn recurrence_scan(c: &mut Criterion) {
 fn end_to_end_pipeline(c: &mut Criterion) {
     let (db, _) = load(Dataset::Shop14, SCALE, SEED);
     let params = ResolvedParams::new(720, (db.len() / 100).max(1), 1);
+    let session = MiningSession::builder().resolved(params).build().expect("valid params");
     let mut group = c.benchmark_group("components/pipeline");
     group.sample_size(10);
-    group.bench_function("mine_resolved_Shop-14", |b| {
-        b.iter(|| black_box(mine_resolved(&db, params)).patterns.len());
+    group.bench_function("mine_session_Shop-14", |b| {
+        b.iter(|| black_box(session.mine(&db).expect("non-empty db")).patterns().len());
     });
     group.finish();
 }

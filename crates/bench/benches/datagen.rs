@@ -1,6 +1,8 @@
 //! Generator throughput benchmarks: how quickly the three simulated
 //! databases can be (re)built, which bounds the cost of parameter sweeps.
 
+#![deny(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpm_datagen::{
     generate_clickstream, generate_quest, generate_twitter, QuestConfig, ShopConfig, TwitterConfig,

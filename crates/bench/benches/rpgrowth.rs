@@ -3,6 +3,8 @@
 //! *performance* claims behind Tables 5/7 and Figures 7/9 in microbenchmark
 //! form.
 
+#![deny(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpm_bench::datasets::{load, Dataset, PER_GRID};
 use rpm_core::{RpGrowth, RpParams, Threshold};

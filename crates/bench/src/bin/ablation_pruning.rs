@@ -11,6 +11,8 @@
 //! cargo run -p rpm-bench --release --bin ablation_pruning -- [--scale 0.1] [--mode pruning|structures]
 //! ```
 
+#![deny(deprecated)]
+
 use std::time::Instant;
 
 use rpm_bench::datasets::{banner, load, Dataset};

@@ -7,6 +7,8 @@
 //! cargo run -p rpm-bench --release --bin fig7 -- [--scale 0.25|--full] [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{banner, load, Dataset, PER_GRID};
 use rpm_bench::grid::run_sweep;
 use rpm_bench::{HarnessArgs, LineChart, Table};

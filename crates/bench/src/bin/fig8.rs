@@ -7,6 +7,8 @@
 //! cargo run -p rpm-bench --release --bin fig8 -- [--scale 0.25|--full] [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::{HarnessArgs, LineChart, Table};
 use rpm_datagen::calendar::{date_label, MINUTES_PER_DAY};

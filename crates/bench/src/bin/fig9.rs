@@ -5,6 +5,8 @@
 //! cargo run -p rpm-bench --release --bin fig9 -- [--scale 0.25|--full] [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{banner, load, Dataset, PER_GRID};
 use rpm_bench::grid::run_sweep;
 use rpm_bench::tables::secs;

@@ -15,6 +15,8 @@
 //! `--baseline-ms` embeds a previously recorded single-thread wall time so
 //! the report carries the speedup over the pre-change baseline.
 
+#![deny(deprecated)]
+
 use std::time::Instant;
 
 use rpm_bench::datasets::{load, Dataset};

@@ -8,6 +8,8 @@
 //! cargo run -p rpm-bench --release --bin incremental -- [--scale 0.25] [--chunks 5]
 //! ```
 
+#![deny(deprecated)]
+
 use std::time::Instant;
 
 use rpm_bench::datasets::{load, Dataset};

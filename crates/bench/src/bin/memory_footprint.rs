@@ -10,6 +10,8 @@
 //! cargo run -p rpm-bench --release --bin memory_footprint -- [--scale 0.25]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::{HarnessArgs, Table};
 use rpm_core::tree::TsTree;

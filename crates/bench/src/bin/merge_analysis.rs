@@ -13,6 +13,8 @@
 //! cargo run -p rpm-bench --release --bin merge_analysis -- [--scale 0.25] [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::{HarnessArgs, Table};
 use rpm_core::{interesting_intervals, periodic_intervals, Threshold};

@@ -7,6 +7,8 @@
 //! cargo run -p rpm-bench --release --bin model_zoo -- [--scale 0.1] [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use std::time::Instant;
 
 use rpm_baselines::{

@@ -12,6 +12,8 @@
 //! cargo run -p rpm-bench --release --bin noise_sensitivity -- [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::{HarnessArgs, Table};
 use rpm_core::{get_recurrence, get_relaxed_recurrence, NoiseParams, ResolvedParams};
 use rpm_datagen::{inject_noise, NoiseConfig};

@@ -4,6 +4,8 @@
 //! cargo run -p rpm-bench --release --bin report [-- --dir results]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::report::write_report;
 use rpm_bench::HarnessArgs;
 

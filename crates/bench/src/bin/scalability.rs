@@ -5,6 +5,8 @@
 //! cargo run -p rpm-bench --release --bin scalability -- [--seed N] [--steps 5] [--max-scale 0.5]
 //! ```
 
+#![deny(deprecated)]
+
 use std::time::Instant;
 
 use rpm_bench::datasets::{load, Dataset};

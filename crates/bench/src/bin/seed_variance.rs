@@ -7,6 +7,8 @@
 //! cargo run -p rpm-bench --release --bin seed_variance -- [--scale 0.1] [--seeds 5]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{load, Dataset, PER_GRID};
 use rpm_bench::grid::run_cell;
 use rpm_bench::{HarnessArgs, Table};

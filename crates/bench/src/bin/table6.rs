@@ -7,6 +7,8 @@
 //! cargo run -p rpm-bench --release --bin table6 -- [--scale 0.25|--full] [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::{HarnessArgs, Table};
 use rpm_core::{RpGrowth, RpParams, Threshold};

@@ -7,6 +7,8 @@
 //! cargo run -p rpm-bench --release --bin table7 -- [--scale 0.25|--full] [--seed N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_bench::datasets::{banner, load, Dataset, MIN_REC_GRID, PER_GRID};
 use rpm_bench::grid::run_grid;
 use rpm_bench::tables::secs;

@@ -14,6 +14,8 @@
 //! cargo run -p rpm-bench --release --bin table8 -- [--scale 0.25|--full] [--seed N] [--limit N]
 //! ```
 
+#![deny(deprecated)]
+
 use rpm_baselines::{PPatternMiner, PPatternParams, PfGrowth, PfParams};
 use rpm_bench::datasets::{banner, load, Dataset};
 use rpm_bench::{HarnessArgs, Table};

@@ -2,6 +2,7 @@
 //! evaluation (§5). Each binary in `src/bin/` regenerates one artifact; see
 //! DESIGN.md §3 for the index and EXPERIMENTS.md for recorded results.
 
+#![deny(deprecated)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -79,6 +79,14 @@ impl IncrementalMiner {
         &self.db
     }
 
+    /// Content fingerprint of the accumulated database (see
+    /// [`rpm_timeseries::fingerprint`]). Changes on every successful append,
+    /// so serving layers can use it to key — and invalidate — caches of
+    /// results mined from this stream.
+    pub fn fingerprint(&self) -> u64 {
+        rpm_timeseries::fingerprint(&self.db)
+    }
+
     /// Ingests one transaction. `ts` must be `>=` the last appended
     /// timestamp (equal timestamps merge); item state is updated in O(|t|).
     pub fn append(&mut self, ts: Timestamp, labels: &[&str]) -> rpm_timeseries::Result<()> {

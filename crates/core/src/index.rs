@@ -107,6 +107,7 @@ mod tests {
     use super::*;
     use crate::growth::RpGrowth;
     use crate::params::RpParams;
+    use crate::pattern::PeriodicInterval;
     use rpm_timeseries::running_example_db;
 
     fn index() -> (rpm_timeseries::TransactionDb, PatternIndex) {
@@ -168,5 +169,42 @@ mod tests {
     fn inverted_range_panics() {
         let (_, index) = index();
         let _ = index.active_during(5, 2);
+    }
+
+    #[test]
+    fn patterns_without_intervals_are_never_active() {
+        // A non-empty pattern set can still index zero intervals (e.g. after
+        // a deadline abort truncated interval computation).
+        let patterns = vec![RecurringPattern::new(vec![rpm_timeseries::ItemId(0)], 5, Vec::new())];
+        let index = PatternIndex::build(&patterns);
+        assert_eq!(index.len(), 1);
+        assert!(!index.is_empty());
+        for t in [Timestamp::MIN, -1, 0, 1, Timestamp::MAX] {
+            assert!(index.active_at(t).is_empty(), "phantom activity at t={t}");
+        }
+        assert!(index.active_during(Timestamp::MIN, Timestamp::MAX).is_empty());
+    }
+
+    #[test]
+    fn degenerate_point_interval_stabs_only_its_own_timestamp() {
+        // A single-timestamp run yields an interval with start == end; the
+        // stab must hit exactly that instant and nothing adjacent.
+        let point = PeriodicInterval { start: 7, end: 7, periodic_support: 1 };
+        let span = PeriodicInterval { start: 10, end: 12, periodic_support: 2 };
+        let patterns = vec![
+            RecurringPattern::new(vec![rpm_timeseries::ItemId(0)], 1, vec![point]),
+            RecurringPattern::new(vec![rpm_timeseries::ItemId(1)], 2, vec![span]),
+        ];
+        let index = PatternIndex::build(&patterns);
+        assert_eq!(index.active_at(7).len(), 1);
+        assert!(index.active_at(6).is_empty());
+        assert!(index.active_at(8).is_empty());
+        // Range queries treat the point interval as inclusive on both ends.
+        assert_eq!(index.active_during(7, 7).len(), 1);
+        assert_eq!(index.active_during(0, 100).len(), 2);
+        assert_eq!(index.active_during(8, 9).len(), 0);
+        // Identical-bounds query range on the wide interval's edge.
+        assert_eq!(index.active_during(12, 12).len(), 1);
+        assert!(index.active_during(13, 13).is_empty());
     }
 }

@@ -168,7 +168,11 @@ impl fmt::Display for RpParams {
 
 /// [`RpParams`] with `minPS` resolved to an absolute count — what the miners
 /// consume internally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Implements `Hash`/`Eq`, so `(dataset fingerprint, ResolvedParams)` works
+/// directly as a result-cache key; [`ResolvedParams::cache_key`] packs the
+/// same identity into a single `u64` for logging and cache diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResolvedParams {
     /// Maximum inter-arrival time considered periodic.
     pub per: Timestamp,
@@ -201,6 +205,28 @@ impl ResolvedParams {
                  got per={per} minPS={min_ps} minRec={min_rec}"
             )))
         }
+    }
+
+    /// A stable 64-bit digest of the three constraints (FNV-1a over their
+    /// little-endian bytes). Two parameter sets collide only if they hash
+    /// equal, so the digest is suitable for cache diagnostics and log
+    /// correlation; exact caches should key on the struct itself (`Eq` +
+    /// `Hash`), which cannot collide at all.
+    pub fn cache_key(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for bytes in [
+            self.per.to_le_bytes(),
+            (self.min_ps as u64).to_le_bytes(),
+            (self.min_rec as u64).to_le_bytes(),
+        ] {
+            for byte in bytes {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
     }
 }
 
@@ -250,6 +276,19 @@ mod tests {
     #[should_panic(expected = "minPS")]
     fn zero_min_ps_rejected() {
         let _ = RpParams::new(1, 0, 1);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_every_field() {
+        let base = ResolvedParams::new(2, 3, 2);
+        assert_eq!(base.cache_key(), ResolvedParams::new(2, 3, 2).cache_key());
+        for other in [
+            ResolvedParams::new(3, 3, 2),
+            ResolvedParams::new(2, 4, 2),
+            ResolvedParams::new(2, 3, 3),
+        ] {
+            assert_ne!(base.cache_key(), other.cache_key(), "{other:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,728 @@
+//! `rpm-server` — a dependency-free HTTP service over the RP-growth engine.
+//!
+//! The serving layer turns the library's mining pipeline into a long-lived
+//! daemon speaking plain HTTP/1.1 over [`std::net::TcpListener`] — no
+//! external crates, so tier-1 stays offline. The moving parts:
+//!
+//! * a **dataset registry** ([`Registry`]) of named, fingerprinted datasets,
+//!   each backed by an [`rpm_core::IncrementalMiner`] so appends keep the
+//!   per-item interval scanners live;
+//! * a **result cache** ([`ResultCache`]) keyed by
+//!   `(dataset fingerprint, ResolvedParams)`, invalidated on append;
+//! * a **bounded worker pool**: an acceptor thread feeds a fixed-capacity
+//!   connection queue drained by `threads` workers; when the queue is full
+//!   the acceptor answers `503` immediately (backpressure, not pile-up);
+//! * **graceful shutdown**: `POST /shutdown` (or [`ServerHandle::shutdown`])
+//!   fires a shared [`CancelToken`] wired into every in-flight
+//!   [`MiningSession`], so long mines drain as sound `206 Partial Content`
+//!   responses instead of being killed mid-write.
+//!
+//! # Endpoints
+//!
+//! | Method & path                   | Effect |
+//! |---------------------------------|--------|
+//! | `POST /datasets/{name}`         | upload a dataset (binary `RPMB` or text), `201` |
+//! | `POST /datasets/{name}/append`  | append `ts<TAB>items…` lines, invalidates cache |
+//! | `POST /datasets/{name}/mine`    | mine with `per`, `min-ps`, `min-rec`, optional `timeout`, `threads`; `200` complete / `206` partial |
+//! | `GET /datasets/{name}/active?at=ts` | patterns active at `ts` (or `from`/`to`), served from the cached index |
+//! | `GET /datasets`                 | registered datasets |
+//! | `GET /metrics`                  | server + engine + cache counters |
+//! | `GET /healthz`                  | liveness |
+//! | `POST /shutdown`                | graceful shutdown |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(deprecated)]
+
+mod cache;
+mod http;
+mod metrics;
+mod pool;
+mod registry;
+mod timeparse;
+
+pub use cache::{CacheStats, CachedResult, ResultCache};
+pub use http::{read_request, ParseError, Request, Response};
+pub use metrics::ServerMetrics;
+pub use registry::{decode_dataset_body, parse_append_body, Dataset, Registry};
+pub use timeparse::parse_duration;
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pool::ConnQueue;
+use rpm_core::engine::{CancelToken, MetricsCollector, MiningSession, RunControl};
+use rpm_core::growth::MineScratch;
+use rpm_core::params::{ResolvedParams, RpParams, Threshold};
+use rpm_core::pattern::RecurringPattern;
+use rpm_core::write_patterns_json;
+use rpm_timeseries::Timestamp;
+
+/// How the server binds and bounds itself.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8726` (port `0` picks one).
+    pub addr: String,
+    /// Worker threads draining the connection queue.
+    pub threads: usize,
+    /// Result-cache budget in bytes (`0` disables caching).
+    pub cache_bytes: usize,
+    /// Connections allowed to wait beyond the ones in service; the acceptor
+    /// answers `503` once this fills.
+    pub queue_depth: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8726".to_string(),
+            threads: 4,
+            cache_bytes: 64 << 20,
+            queue_depth: 64,
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers and the handle.
+#[derive(Debug)]
+struct Shared {
+    registry: Registry,
+    cache: ResultCache,
+    metrics: ServerMetrics,
+    queue: ConnQueue,
+    cancel: CancelToken,
+    shutdown_started: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Idempotently starts the drain: stop admissions, cancel every
+    /// in-flight mining session, and wake the acceptor with a self-connect
+    /// so it observes the flag even while parked in `accept()`.
+    fn trigger_shutdown(&self) {
+        if self.shutdown_started.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.cancel.cancel();
+        self.queue.shutdown();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The running server: spawned by [`Server::bind`].
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, spawns the acceptor and worker threads, and
+    /// returns a handle for registering datasets and shutting down.
+    pub fn bind(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: Registry::new(),
+            cache: ResultCache::new(config.cache_bytes),
+            metrics: ServerMetrics::new(),
+            queue: ConnQueue::new(config.queue_depth),
+            cancel: CancelToken::new(),
+            shutdown_started: AtomicBool::new(false),
+            addr,
+        });
+        let workers: Vec<_> = (0..config.threads.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = shared.clone();
+            let io_timeout = config.io_timeout;
+            std::thread::spawn(move || acceptor_loop(&listener, &shared, io_timeout))
+        };
+        Ok(ServerHandle { addr, shared, acceptor, workers })
+    }
+}
+
+/// Handle to a running server: address, registry access, shutdown, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The dataset registry, e.g. for preloading datasets from the CLI.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Requests a graceful shutdown (equivalent to `POST /shutdown`).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Blocks until the acceptor and every worker have drained and exited.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared, io_timeout: Duration) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.queue.is_shutdown() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.queue.is_shutdown() {
+            // The shutdown self-connect, or a straggler racing it: the
+            // listener closes when this loop returns, so just drop it.
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        if let Err(mut rejected) = shared.queue.push(stream) {
+            // Backpressure: answer in the acceptor rather than queueing
+            // unboundedly. The write is small and the socket buffer empty,
+            // so this cannot stall the accept loop in practice.
+            ServerMetrics::bump(&shared.metrics.rejected_backpressure);
+            ServerMetrics::bump(&shared.metrics.server_errors);
+            let response =
+                Response::json(503, "{\"error\":\"connection queue full, retry later\"}\n")
+                    .with_header("Retry-After", "1");
+            write_and_drain(&mut rejected, &response);
+        }
+    }
+}
+
+/// Writes `response`, half-closes the send side, then briefly drains unread
+/// request bytes. Dropping a socket with unread input makes the kernel send
+/// RST, which can destroy the buffered response before the peer reads it —
+/// exactly the connections answered early (backpressure `503`s, parse
+/// `400`s) are the ones whose request we never read.
+fn write_and_drain(stream: &mut TcpStream, response: &Response) {
+    let _ = response.write_to(stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 4096];
+    while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.queue.pop() {
+        handle_connection(shared, &mut stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let request = match read_request(stream) {
+        Ok(request) => request,
+        // Peer vanished or timed out mid-request: nobody to answer.
+        Err(ParseError::Io(_)) => return,
+        Err(e) => {
+            ServerMetrics::bump(&shared.metrics.client_errors);
+            write_and_drain(stream, &Response::json(400, error_body(&e.to_string())));
+            return;
+        }
+    };
+    ServerMetrics::bump(&shared.metrics.requests_total);
+    let response = route(shared, &request);
+    if response.status() >= 500 {
+        ServerMetrics::bump(&shared.metrics.server_errors);
+    } else if response.status() >= 400 {
+        ServerMetrics::bump(&shared.metrics.client_errors);
+    }
+    let _ = response.write_to(stream);
+    let _ = stream.flush();
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => {
+            let datasets = shared.registry.names().len();
+            let body = shared.metrics.to_json(&shared.cache.stats(), datasets);
+            Response::json(200, body)
+        }
+        ("GET", ["datasets"]) => handle_list(shared),
+        ("POST", ["shutdown"]) => {
+            shared.trigger_shutdown();
+            Response::json(200, "{\"status\":\"shutting down\"}\n")
+        }
+        ("POST", ["datasets", name]) => handle_upload(shared, name, req),
+        ("POST", ["datasets", name, "append"]) => handle_append(shared, name, req),
+        ("POST", ["datasets", name, "mine"]) => handle_mine(shared, name, req),
+        ("GET", ["datasets", name, "active"]) => handle_active(shared, name, req),
+        _ => {
+            let known = matches!(
+                segments.as_slice(),
+                ["healthz" | "metrics" | "datasets" | "shutdown"]
+                    | ["datasets", _]
+                    | ["datasets", _, "append" | "mine" | "active"]
+            );
+            if known {
+                Response::json(405, error_body(&format!("method {} not allowed here", req.method)))
+            } else {
+                Response::json(404, error_body(&format!("no route for {}", req.path)))
+            }
+        }
+    }
+}
+
+/// JSON string escaping for error bodies and dataset names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}\n", json_escape(message))
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::json(400, error_body(message))
+}
+
+fn not_found(name: &str) -> Response {
+    Response::json(404, error_body(&format!("no dataset named {name:?}")))
+}
+
+/// Parses `"25"` as an absolute count and `"2%"` as a fraction of the
+/// database length — the same grammar as the CLI's `--min-ps`.
+fn parse_threshold(text: &str) -> Result<Threshold, String> {
+    if let Some(pct) = text.strip_suffix('%') {
+        let value: f64 = pct.parse().map_err(|e| format!("bad min-ps percentage {text:?}: {e}"))?;
+        Ok(Threshold::pct(value))
+    } else {
+        let value: usize = text.parse().map_err(|e| format!("bad min-ps count {text:?}: {e}"))?;
+        Ok(Threshold::Count(value))
+    }
+}
+
+fn require_param<'r>(req: &'r Request, key: &str) -> Result<&'r str, Response> {
+    req.query_param(key).ok_or_else(|| bad_request(&format!("missing query parameter {key:?}")))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, Response>
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse().map_err(|e| bad_request(&format!("bad {what} {text:?}: {e}")))
+}
+
+/// Resolves the per/min-ps/min-rec query triple against a database length.
+fn resolve_params(req: &Request, db_len: usize) -> Result<ResolvedParams, Response> {
+    let per: Timestamp = parse_num(require_param(req, "per")?, "per")?;
+    let threshold = parse_threshold(require_param(req, "min-ps")?).map_err(|e| bad_request(&e))?;
+    let min_rec: usize = match req.query_param("min-rec") {
+        Some(v) => parse_num(v, "min-rec")?,
+        None => 1,
+    };
+    let params = RpParams::try_with_threshold(per, threshold, min_rec)
+        .map_err(|e| bad_request(&e.to_string()))?;
+    params.try_resolve(db_len).map_err(|e| bad_request(&e.to_string()))
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+fn handle_list(shared: &Shared) -> Response {
+    let mut rows = Vec::new();
+    for name in shared.registry.names() {
+        let Some(dataset) = shared.registry.get(&name) else { continue };
+        let ds = dataset.read().expect("dataset lock");
+        let hot = ds.hot_params();
+        rows.push(format!(
+            "{{\"name\":\"{}\",\"transactions\":{},\"items\":{},\"fingerprint\":\"{:016x}\",\
+             \"appends\":{},\"hot\":{{\"per\":{},\"min_ps\":{},\"min_rec\":{}}}}}",
+            json_escape(&name),
+            ds.db().len(),
+            ds.db().item_count(),
+            ds.fingerprint(),
+            ds.appends(),
+            hot.per,
+            hot.min_ps,
+            hot.min_rec,
+        ));
+    }
+    Response::json(200, format!("[{}]\n", rows.join(",")))
+}
+
+fn handle_upload(shared: &Shared, name: &str, req: &Request) -> Response {
+    if !valid_name(name) {
+        return bad_request("dataset names are 1-64 chars of [A-Za-z0-9._-]");
+    }
+    let db = match decode_dataset_body(&req.body) {
+        Ok(db) => db,
+        Err(e) => return bad_request(&e),
+    };
+    // Hot parameters fix what the incremental scanners are maintained for;
+    // min-ps must be an absolute count here (a percentage would drift as
+    // the stream grows).
+    let hot = {
+        let per: Timestamp = match req.query_param("per") {
+            Some(v) => match parse_num(v, "per") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            },
+            None => 1,
+        };
+        let min_ps: usize = match req.query_param("min-ps") {
+            Some(v) => match parse_num(v, "hot min-ps (absolute count)") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            },
+            None => 2,
+        };
+        let min_rec: usize = match req.query_param("min-rec") {
+            Some(v) => match parse_num(v, "min-rec") {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            },
+            None => 2,
+        };
+        ResolvedParams::new(per, min_ps, min_rec)
+    };
+    let transactions = db.len();
+    let items = db.item_count();
+    match shared.registry.register(name, db, hot) {
+        Ok(fingerprint) => Response::json(
+            201,
+            format!(
+                "{{\"name\":\"{}\",\"transactions\":{transactions},\"items\":{items},\
+                 \"fingerprint\":\"{fingerprint:016x}\"}}\n",
+                json_escape(name)
+            ),
+        ),
+        Err(e) if e.contains("already exists") => Response::json(409, error_body(&e)),
+        Err(e) => bad_request(&e),
+    }
+}
+
+fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
+    let Some(dataset) = shared.registry.get(name) else {
+        return not_found(name);
+    };
+    let rows = match parse_append_body(&req.body) {
+        Ok(rows) => rows,
+        Err(e) => return bad_request(&e),
+    };
+    let mut ds = dataset.write().expect("dataset lock");
+    let old_fingerprint = ds.fingerprint();
+    let before = ds.db().len();
+    let outcome = ds.append_lines(&rows);
+    let appended = ds.db().len() - before;
+    let fingerprint = ds.fingerprint();
+    let transactions = ds.db().len();
+    drop(ds);
+    // The old content is retired even when the append failed part-way:
+    // whatever prefix landed already changed the fingerprint.
+    if fingerprint != old_fingerprint {
+        shared.cache.invalidate_fingerprint(old_fingerprint);
+    }
+    ServerMetrics::bump(&shared.metrics.appends);
+    shared.metrics.appended_transactions.fetch_add(appended as u64, Ordering::Relaxed);
+    match outcome {
+        Ok(()) => Response::json(
+            200,
+            format!(
+                "{{\"appended\":{appended},\"transactions\":{transactions},\
+                 \"fingerprint\":\"{fingerprint:016x}\"}}\n"
+            ),
+        ),
+        // A time regression conflicts with the stream's append-only order.
+        Err(e) => Response::json(409, error_body(&e.to_string())),
+    }
+}
+
+fn handle_mine(shared: &Shared, name: &str, req: &Request) -> Response {
+    let Some(dataset) = shared.registry.get(name) else {
+        return not_found(name);
+    };
+    let timeout = match req.query_param("timeout").map(parse_duration).transpose() {
+        Ok(t) => t,
+        Err(e) => return bad_request(&e),
+    };
+    let threads: usize = match req.query_param("threads") {
+        Some(v) => match parse_num::<usize>(v, "threads") {
+            Ok(v) => v.clamp(1, 16),
+            Err(resp) => return resp,
+        },
+        None => 1,
+    };
+    let scratch_budget = match req.query_param("scratch-mb") {
+        Some(v) => match parse_num::<usize>(v, "scratch-mb") {
+            Ok(mb) => Some(mb.saturating_mul(1 << 20)),
+            Err(resp) => return resp,
+        },
+        None => None,
+    };
+
+    // Hold the read lock for the whole mine: appends to *this* dataset wait,
+    // other datasets are untouched.
+    let ds = dataset.read().expect("dataset lock");
+    let resolved = match resolve_params(req, ds.db().len()) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let fingerprint = ds.fingerprint();
+    let cache_key = fingerprint ^ resolved.cache_key();
+
+    if let Some(hit) = shared.cache.get(fingerprint, resolved) {
+        return Response::json(200, hit.body.as_ref().clone())
+            .with_header("X-Rpm-Cache", "hit")
+            .with_header("X-Rpm-Cache-Key", format!("{cache_key:016x}"))
+            .with_header("X-Rpm-Patterns", hit.patterns.len().to_string());
+    }
+
+    ServerMetrics::bump(&shared.metrics.mine_runs);
+    let mut control = RunControl::new().with_cancel(shared.cancel.clone());
+    if let Some(t) = timeout {
+        control = control.with_timeout(t);
+    }
+    if let Some(bytes) = scratch_budget {
+        control = control.with_scratch_budget(bytes);
+    }
+
+    let (result, abort) = if threads == 1 && resolved == ds.hot_params() {
+        // The dataset's live scanners already hold the first-scan summaries
+        // for exactly these parameters: skip the scan.
+        ServerMetrics::bump(&shared.metrics.mine_fastpath);
+        let started = Instant::now();
+        let mut scratch = MineScratch::default();
+        let (result, abort) = ds.miner().mine_controlled(&control, &mut scratch);
+        shared.metrics.absorb_wall(
+            started.elapsed(),
+            result.stats.candidates_checked,
+            result.patterns.len(),
+        );
+        ServerMetrics::bump(if abort.is_some() {
+            &shared.metrics.mine_partial
+        } else {
+            &shared.metrics.mine_complete
+        });
+        (result, abort)
+    } else {
+        let collector = Arc::new(MetricsCollector::new());
+        let session = match MiningSession::builder()
+            .resolved(resolved)
+            .threads(threads)
+            .control(control)
+            .observer(collector.clone())
+            .build()
+        {
+            Ok(session) => session,
+            Err(e) => return bad_request(&e.to_string()),
+        };
+        let outcome = match session.mine(ds.db()) {
+            Ok(outcome) => outcome,
+            Err(e) => return bad_request(&e.to_string()),
+        };
+        shared.metrics.absorb_engine(&collector.snapshot());
+        let abort = outcome.abort_reason();
+        (outcome.into_result(), abort)
+    };
+
+    let mut body = Vec::new();
+    write_patterns_json(&mut body, ds.db().items(), &result.patterns)
+        .expect("writing to a Vec cannot fail");
+    let n_patterns = result.patterns.len();
+    let base = |status: u16, body: Vec<u8>| {
+        Response::json(status, body)
+            .with_header("X-Rpm-Cache", "miss")
+            .with_header("X-Rpm-Cache-Key", format!("{cache_key:016x}"))
+            .with_header("X-Rpm-Patterns", n_patterns.to_string())
+    };
+    match abort {
+        None => {
+            shared.cache.insert(
+                fingerprint,
+                resolved,
+                Arc::new(CachedResult::new(body.clone(), result.patterns)),
+            );
+            base(200, body)
+        }
+        // Partial results are sound but deadline-shaped: report, don't cache.
+        Some(reason) => base(206, body).with_header("X-Rpm-Abort", reason.to_string()),
+    }
+}
+
+fn handle_active(shared: &Shared, name: &str, req: &Request) -> Response {
+    let Some(dataset) = shared.registry.get(name) else {
+        return not_found(name);
+    };
+    ServerMetrics::bump(&shared.metrics.active_queries);
+    let ds = dataset.read().expect("dataset lock");
+    let resolved = match resolve_params(req, ds.db().len()) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let fingerprint = ds.fingerprint();
+
+    let (cached, cache_state) = match shared.cache.get(fingerprint, resolved) {
+        Some(hit) => (hit, "hit"),
+        None => {
+            // Mine to completion (no per-request deadline: a partial pattern
+            // set would silently answer stabbing queries wrongly). The
+            // server-wide cancel token still applies.
+            ServerMetrics::bump(&shared.metrics.mine_runs);
+            let collector = Arc::new(MetricsCollector::new());
+            let session = match MiningSession::builder()
+                .resolved(resolved)
+                .control(RunControl::new().with_cancel(shared.cancel.clone()))
+                .observer(collector.clone())
+                .build()
+            {
+                Ok(session) => session,
+                Err(e) => return bad_request(&e.to_string()),
+            };
+            let outcome = match session.mine(ds.db()) {
+                Ok(outcome) => outcome,
+                Err(e) => return bad_request(&e.to_string()),
+            };
+            shared.metrics.absorb_engine(&collector.snapshot());
+            if outcome.abort_reason().is_some() {
+                return Response::json(503, error_body("shutting down before mining finished"));
+            }
+            let result = outcome.into_result();
+            let mut body = Vec::new();
+            write_patterns_json(&mut body, ds.db().items(), &result.patterns)
+                .expect("writing to a Vec cannot fail");
+            let entry = Arc::new(CachedResult::new(body, result.patterns));
+            shared.cache.insert(fingerprint, resolved, entry.clone());
+            (entry, "miss")
+        }
+    };
+
+    let index = cached.index();
+    let active: Vec<RecurringPattern> = if let Some(at) = req.query_param("at") {
+        let at: Timestamp = match parse_num(at, "at") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        index.active_at(at).into_iter().cloned().collect()
+    } else if let (Some(from), Some(to)) = (req.query_param("from"), req.query_param("to")) {
+        let from: Timestamp = match parse_num(from, "from") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let to: Timestamp = match parse_num(to, "to") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        index.active_during(from, to).into_iter().cloned().collect()
+    } else {
+        return bad_request("pass at=ts, or from=ts&to=ts");
+    };
+
+    let mut body = Vec::new();
+    write_patterns_json(&mut body, ds.db().items(), &active).expect("writing to a Vec cannot fail");
+    Response::json(200, body)
+        .with_header("X-Rpm-Cache", cache_state)
+        .with_header("X-Rpm-Active", active.len().to_string())
+}
+
+// A tiny in-crate smoke test; the full loopback scenarios live in the
+// workspace-level `tests/server_integration.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn send(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn healthz_shutdown_roundtrip() {
+        let handle = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let ok = send(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        let missing = send(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let wrong_method = send(addr, "DELETE /metrics HTTP/1.1\r\n\r\n");
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+        let bye = send(addr, "POST /shutdown HTTP/1.1\r\n\r\n");
+        assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+        handle.join();
+        assert!(TcpStream::connect(addr).is_err(), "listener closed after join");
+    }
+
+    #[test]
+    fn upload_mine_and_active_over_loopback() {
+        let handle = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let db = rpm_timeseries::running_example_db();
+        let mut text = Vec::new();
+        rpm_timeseries::io::write_timestamped(&db, &mut text).unwrap();
+        let upload = format!(
+            "POST /datasets/shop?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\
+             Content-Length: {}\r\n\r\n{}",
+            text.len(),
+            String::from_utf8(text).unwrap()
+        );
+        assert!(send(addr, &upload).starts_with("HTTP/1.1 201"), "upload");
+        // Running example at (2, 3, 2) yields the paper's 8 patterns.
+        let mine = send(addr, "POST /datasets/shop/mine?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\r\n");
+        assert!(mine.starts_with("HTTP/1.1 200"), "{mine}");
+        assert!(mine.contains("X-Rpm-Patterns: 8"), "{mine}");
+        assert!(mine.contains("X-Rpm-Cache: miss"), "{mine}");
+        let again =
+            send(addr, "POST /datasets/shop/mine?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\r\n");
+        assert!(again.contains("X-Rpm-Cache: hit"), "{again}");
+        let active =
+            send(addr, "GET /datasets/shop/active?per=2&min-ps=3&min-rec=2&at=5 HTTP/1.1\r\n\r\n");
+        assert!(active.starts_with("HTTP/1.1 200"), "{active}");
+        assert!(active.contains("X-Rpm-Cache: hit"), "served from the mine's cache entry");
+        handle.shutdown();
+        handle.join();
+    }
+}

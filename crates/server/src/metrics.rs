@@ -1,0 +1,148 @@
+//! Service-level metrics: request counters plus engine metrics aggregated
+//! across every mining run the server has executed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rpm_core::engine::EngineMetrics;
+
+use crate::cache::CacheStats;
+
+/// Monotone counters describing the server's lifetime. All fields are
+/// relaxed atomics — the numbers are for observability, not coordination.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests fully parsed and routed.
+    pub requests_total: AtomicU64,
+    /// Requests answered with 4xx.
+    pub client_errors: AtomicU64,
+    /// Requests answered with 5xx (including backpressure 503s sent by the
+    /// acceptor).
+    pub server_errors: AtomicU64,
+    /// Connections refused by the acceptor because the queue was full.
+    pub rejected_backpressure: AtomicU64,
+    /// `mine` requests that ran the engine (cache misses).
+    pub mine_runs: AtomicU64,
+    /// Engine runs that completed exhaustively.
+    pub mine_complete: AtomicU64,
+    /// Engine runs interrupted by a deadline or shutdown.
+    pub mine_partial: AtomicU64,
+    /// Engine runs that skipped the first scan via the incremental miner's
+    /// live scanners (request params matched the dataset's hot params).
+    pub mine_fastpath: AtomicU64,
+    /// Append requests absorbed.
+    pub appends: AtomicU64,
+    /// Transactions ingested across appends.
+    pub appended_transactions: AtomicU64,
+    /// `active` stabbing queries served.
+    pub active_queries: AtomicU64,
+    /// Total wall time the engine spent mining, in microseconds.
+    pub mining_wall_micros: AtomicU64,
+    /// Candidates checked across all engine runs.
+    pub candidates_checked: AtomicU64,
+    /// Patterns returned across all engine runs.
+    pub patterns_found: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment helper (relaxed).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one engine run's metrics into the lifetime aggregates.
+    pub fn absorb_engine(&self, m: &EngineMetrics) {
+        self.mining_wall_micros.fetch_add(m.total_wall().as_micros() as u64, Ordering::Relaxed);
+        self.candidates_checked.fetch_add(m.stats.candidates_checked as u64, Ordering::Relaxed);
+        self.patterns_found.fetch_add(m.stats.patterns_found as u64, Ordering::Relaxed);
+        if m.abort.is_some() {
+            Self::bump(&self.mine_partial);
+        } else {
+            Self::bump(&self.mine_complete);
+        }
+    }
+
+    /// Records a run observed only by wall clock (the incremental fast path
+    /// runs without an engine observer).
+    pub fn absorb_wall(&self, wall: std::time::Duration, candidates: usize, patterns: usize) {
+        self.mining_wall_micros.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+        self.candidates_checked.fetch_add(candidates as u64, Ordering::Relaxed);
+        self.patterns_found.fetch_add(patterns as u64, Ordering::Relaxed);
+    }
+
+    /// Renders the `/metrics` JSON document, merging in the cache counters
+    /// and the dataset count.
+    pub fn to_json(&self, cache: &CacheStats, datasets: usize) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"requests_total\": {},\n", get(&self.requests_total)));
+        s.push_str(&format!("  \"client_errors\": {},\n", get(&self.client_errors)));
+        s.push_str(&format!("  \"server_errors\": {},\n", get(&self.server_errors)));
+        s.push_str(&format!(
+            "  \"rejected_backpressure\": {},\n",
+            get(&self.rejected_backpressure)
+        ));
+        s.push_str(&format!("  \"datasets\": {datasets},\n"));
+        s.push_str(&format!("  \"appends\": {},\n", get(&self.appends)));
+        s.push_str(&format!(
+            "  \"appended_transactions\": {},\n",
+            get(&self.appended_transactions)
+        ));
+        s.push_str(&format!("  \"active_queries\": {},\n", get(&self.active_queries)));
+        s.push_str("  \"mine\": {\n");
+        s.push_str(&format!("    \"runs\": {},\n", get(&self.mine_runs)));
+        s.push_str(&format!("    \"complete\": {},\n", get(&self.mine_complete)));
+        s.push_str(&format!("    \"partial\": {},\n", get(&self.mine_partial)));
+        s.push_str(&format!("    \"fastpath\": {},\n", get(&self.mine_fastpath)));
+        s.push_str(&format!(
+            "    \"wall_ms\": {:.3},\n",
+            get(&self.mining_wall_micros) as f64 / 1e3
+        ));
+        s.push_str(&format!("    \"candidates_checked\": {},\n", get(&self.candidates_checked)));
+        s.push_str(&format!("    \"patterns_found\": {}\n", get(&self.patterns_found)));
+        s.push_str("  },\n");
+        s.push_str("  \"cache\": {\n");
+        s.push_str(&format!("    \"hits\": {},\n", cache.hits));
+        s.push_str(&format!("    \"misses\": {},\n", cache.misses));
+        s.push_str(&format!("    \"evictions\": {},\n", cache.evictions));
+        s.push_str(&format!("    \"invalidations\": {},\n", cache.invalidations));
+        s.push_str(&format!("    \"entries\": {},\n", cache.entries));
+        s.push_str(&format!("    \"bytes\": {}\n", cache.bytes));
+        s.push_str("  }\n}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_carries_every_counter_group() {
+        let m = ServerMetrics::new();
+        ServerMetrics::bump(&m.requests_total);
+        ServerMetrics::bump(&m.mine_runs);
+        m.absorb_wall(std::time::Duration::from_millis(2), 10, 3);
+        let json = m.to_json(&CacheStats { hits: 5, ..CacheStats::default() }, 2);
+        assert!(json.contains("\"requests_total\": 1"));
+        assert!(json.contains("\"datasets\": 2"));
+        assert!(json.contains("\"hits\": 5"));
+        assert!(json.contains("\"patterns_found\": 3"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn engine_metrics_fold_into_complete_or_partial() {
+        use rpm_core::engine::AbortReason;
+        let m = ServerMetrics::new();
+        m.absorb_engine(&EngineMetrics::default());
+        let partial = EngineMetrics { abort: Some(AbortReason::Cancelled), ..Default::default() };
+        m.absorb_engine(&partial);
+        assert_eq!(m.mine_complete.load(Ordering::Relaxed), 1);
+        assert_eq!(m.mine_partial.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! The bounded hand-off queue between the acceptor and the worker pool.
+//!
+//! Backpressure is explicit: [`ConnQueue::push`] refuses when the queue is
+//! at capacity and hands the connection back, and the acceptor answers it
+//! with `503` instead of letting work pile up invisibly. Shutdown is
+//! draining: workers keep popping queued connections after
+//! [`ConnQueue::shutdown`] — with the server's cancellation token already
+//! fired, each drains as a fast partial response — and only park once the
+//! queue is empty.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<TcpStream>,
+    shutdown: bool,
+}
+
+/// A bounded MPMC queue of accepted connections.
+#[derive(Debug)]
+pub struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    /// A queue admitting at most `capacity` waiting connections (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a connection, or returns it when the queue is full or the
+    /// server is shutting down — the caller owes the peer a `503`.
+    pub fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.shutdown || state.queue.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.queue.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available. Returns `None` only when the
+    /// queue has shut down **and** every queued connection has been drained.
+    pub fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = state.queue.pop_front() {
+                return Some(stream);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Stops admissions and wakes every parked worker.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("queue lock").shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.lock().expect("queue lock").shutdown
+    }
+
+    /// Number of connections currently waiting.
+    #[cfg(test)]
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    /// Connected socket pairs for queue plumbing tests.
+    fn socket(listener: &TcpListener) -> TcpStream {
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        drop(client);
+        server_side
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_drained() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let q = ConnQueue::new(2);
+        assert!(q.push(socket(&listener)).is_ok());
+        assert!(q.push(socket(&listener)).is_ok());
+        assert!(q.push(socket(&listener)).is_err(), "third admission refused");
+        assert_eq!(q.depth(), 2);
+        assert!(q.pop().is_some());
+        assert!(q.push(socket(&listener)).is_ok(), "slot freed");
+    }
+
+    #[test]
+    fn shutdown_refuses_new_but_drains_queued() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let q = ConnQueue::new(4);
+        q.push(socket(&listener)).unwrap();
+        q.shutdown();
+        assert!(q.is_shutdown());
+        assert!(q.push(socket(&listener)).is_err(), "no admissions after shutdown");
+        assert!(q.pop().is_some(), "queued connection drained");
+        assert!(q.pop().is_none(), "then parked workers exit");
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_workers() {
+        let q = Arc::new(ConnQueue::new(1));
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop().is_none())
+        };
+        // Give the worker time to park, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.shutdown();
+        assert!(worker.join().unwrap(), "worker observed clean shutdown");
+    }
+}

@@ -1,0 +1,236 @@
+//! The dataset registry: named, fingerprinted, append-able datasets.
+//!
+//! Each dataset wraps an [`IncrementalMiner`] rather than a bare
+//! [`TransactionDb`]: the miner keeps Algorithm 1's per-item interval
+//! scanners live across appends, so re-mining at the dataset's *hot*
+//! parameters (fixed at registration) skips the first database scan
+//! entirely, while arbitrary per-request parameters still mine the full
+//! pipeline over the accumulated database.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use rpm_core::{IncrementalMiner, ResolvedParams};
+use rpm_timeseries::{from_bytes, io, Timestamp, TransactionDb};
+
+/// A registered dataset: the live miner plus its cached content fingerprint.
+#[derive(Debug)]
+pub struct Dataset {
+    miner: IncrementalMiner,
+    fingerprint: u64,
+    appends: u64,
+}
+
+impl Dataset {
+    fn new(miner: IncrementalMiner) -> Self {
+        let fingerprint = miner.fingerprint();
+        Self { miner, fingerprint, appends: 0 }
+    }
+
+    /// The accumulated database.
+    pub fn db(&self) -> &TransactionDb {
+        self.miner.db()
+    }
+
+    /// The live incremental miner.
+    pub fn miner(&self) -> &IncrementalMiner {
+        &self.miner
+    }
+
+    /// The content fingerprint of the current state (cached; recomputed on
+    /// append).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The hot parameters the incremental scanners are maintained for.
+    pub fn hot_params(&self) -> ResolvedParams {
+        self.miner.params()
+    }
+
+    /// How many append requests this dataset has absorbed.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Appends parsed `(ts, labels)` transactions in order. On success the
+    /// fingerprint is refreshed; on failure (a time regression) nothing
+    /// before the offending transaction is rolled back, so the fingerprint
+    /// is refreshed either way.
+    pub fn append_lines(
+        &mut self,
+        rows: &[(Timestamp, Vec<String>)],
+    ) -> Result<(), rpm_timeseries::Error> {
+        let outcome = (|| {
+            for (ts, labels) in rows {
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                self.miner.append(*ts, &refs)?;
+            }
+            Ok(())
+        })();
+        self.fingerprint = self.miner.fingerprint();
+        self.appends += 1;
+        outcome
+    }
+}
+
+/// Parses an append body: the same `ts<TAB>item item…` lines as the text
+/// database format (blank lines and `#` comments ignored).
+pub fn parse_append_body(body: &[u8]) -> Result<Vec<(Timestamp, Vec<String>)>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (ts_str, rest) = line
+            .split_once('\t')
+            .or_else(|| line.split_once(' '))
+            .ok_or_else(|| format!("line {}: expected `ts<TAB>items...`", lineno + 1))?;
+        let ts: Timestamp = ts_str
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad timestamp {:?}: {e}", lineno + 1, ts_str.trim()))?;
+        let labels: Vec<String> = rest.split_whitespace().map(str::to_owned).collect();
+        if labels.is_empty() {
+            return Err(format!("line {}: transaction has no items", lineno + 1));
+        }
+        rows.push((ts, labels));
+    }
+    if rows.is_empty() {
+        return Err("append body holds no transactions".to_string());
+    }
+    Ok(rows)
+}
+
+/// Decodes an uploaded dataset body: binary (`RPMB` magic) or timestamped
+/// text.
+pub fn decode_dataset_body(body: &[u8]) -> Result<TransactionDb, String> {
+    if body.starts_with(b"RPMB") {
+        from_bytes(body).map_err(|e| format!("bad binary dataset: {e}"))
+    } else {
+        io::read_timestamped(body).map_err(|e| format!("bad text dataset: {e}"))
+    }
+}
+
+/// The shared, named dataset map. Datasets are individually locked so a
+/// long mine on one dataset never blocks queries on another.
+#[derive(Debug, Default)]
+pub struct Registry {
+    datasets: RwLock<HashMap<String, Arc<RwLock<Dataset>>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `db` under `name` with the given hot parameters, replaying
+    /// it into a fresh incremental miner. Fails if the name is taken.
+    pub fn register(
+        &self,
+        name: &str,
+        db: TransactionDb,
+        hot_params: ResolvedParams,
+    ) -> Result<u64, String> {
+        let mut miner = IncrementalMiner::with_items(db.items().clone(), hot_params);
+        for t in db.transactions() {
+            miner
+                .append_ids(t.timestamp(), t.items().to_vec())
+                .map_err(|e| format!("replay failed: {e}"))?;
+        }
+        let dataset = Dataset::new(miner);
+        let fingerprint = dataset.fingerprint();
+        let mut map = self.datasets.write().expect("registry lock");
+        if map.contains_key(name) {
+            return Err(format!("dataset {name:?} already exists"));
+        }
+        map.insert(name.to_string(), Arc::new(RwLock::new(dataset)));
+        Ok(fingerprint)
+    }
+
+    /// The dataset registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<RwLock<Dataset>>> {
+        self.datasets.read().expect("registry lock").get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.datasets.read().expect("registry lock").keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_timeseries::running_example_db;
+
+    #[test]
+    fn register_replays_and_fingerprints() {
+        let registry = Registry::new();
+        let db = running_example_db();
+        let expected_fp = rpm_timeseries::fingerprint(&db);
+        let fp = registry.register("example", db.clone(), ResolvedParams::new(2, 3, 2)).unwrap();
+        assert_eq!(fp, expected_fp, "replay is content-preserving");
+        let dataset = registry.get("example").unwrap();
+        let dataset = dataset.read().unwrap();
+        assert_eq!(dataset.db().len(), 12);
+        assert_eq!(dataset.hot_params(), ResolvedParams::new(2, 3, 2));
+        // Hot-path mining through the live scanners matches Table 2.
+        assert_eq!(dataset.miner().mine().patterns.len(), 8);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let registry = Registry::new();
+        let p = ResolvedParams::new(1, 1, 1);
+        registry.register("d", running_example_db(), p).unwrap();
+        assert!(registry.register("d", running_example_db(), p).is_err());
+        assert_eq!(registry.names(), vec!["d"]);
+    }
+
+    #[test]
+    fn append_changes_fingerprint_and_rejects_regressions() {
+        let registry = Registry::new();
+        registry.register("d", running_example_db(), ResolvedParams::new(2, 3, 2)).unwrap();
+        let dataset = registry.get("d").unwrap();
+        let mut dataset = dataset.write().unwrap();
+        let fp0 = dataset.fingerprint();
+        dataset.append_lines(&[(20, vec!["a".into(), "b".into()])]).unwrap();
+        assert_ne!(dataset.fingerprint(), fp0);
+        assert_eq!(dataset.db().len(), 13);
+        // A time regression errors and the fingerprint stays current.
+        let fp1 = dataset.fingerprint();
+        assert!(dataset.append_lines(&[(3, vec!["a".into()])]).is_err());
+        assert_eq!(dataset.fingerprint(), fp1);
+        assert_eq!(dataset.appends(), 2);
+    }
+
+    #[test]
+    fn append_body_parsing() {
+        let rows = parse_append_body(b"# comment\n21\ta b\n22 c\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (21, vec!["a".to_string(), "b".to_string()]));
+        assert_eq!(rows[1], (22, vec!["c".to_string()]));
+        assert!(parse_append_body(b"").is_err());
+        assert!(parse_append_body(b"nope").is_err());
+        assert!(parse_append_body(b"12\t").is_err(), "no items");
+        assert!(parse_append_body(&[0xff, 0xfe]).is_err(), "not UTF-8");
+    }
+
+    #[test]
+    fn dataset_body_decoding_sniffs_the_magic() {
+        let db = running_example_db();
+        let bin = rpm_timeseries::to_bytes(&db);
+        assert_eq!(decode_dataset_body(&bin).unwrap().len(), 12);
+        let mut text = Vec::new();
+        io::write_timestamped(&db, &mut text).unwrap();
+        assert_eq!(decode_dataset_body(&text).unwrap().len(), 12);
+        assert!(decode_dataset_body(b"RPMBgarbage").is_err());
+    }
+}

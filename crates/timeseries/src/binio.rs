@@ -154,6 +154,22 @@ pub fn from_bytes(data: &[u8]) -> Result<TransactionDb> {
     Ok(db)
 }
 
+/// A 64-bit content fingerprint of `db`: FNV-1a over the canonical binary
+/// encoding, so two databases fingerprint equal exactly when their item
+/// tables and transactions are identical. Serving layers use it as the
+/// dataset half of a result-cache key — any append, relabel or reorder
+/// changes the fingerprint and thereby invalidates cached results.
+pub fn fingerprint(db: &TransactionDb) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in &to_bytes(db) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// Writes `db` in binary format to `path`.
 pub fn save_binary<P: AsRef<std::path::Path>>(db: &TransactionDb, path: P) -> Result<()> {
     std::fs::write(path, to_bytes(db))?;
@@ -272,5 +288,59 @@ mod tests {
         let back = from_bytes(&to_bytes(&db)).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.item_count(), 0);
+        assert_eq!(fingerprint(&db), fingerprint(&back));
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let db = running_example_db();
+        let fp = fingerprint(&db);
+        assert_eq!(fp, fingerprint(&from_bytes(&to_bytes(&db)).unwrap()));
+        // Appending changes the fingerprint; an empty db differs from both.
+        let mut grown = db.clone();
+        let id = grown.items_mut().intern("late-arrival");
+        grown.append(99, vec![id]).unwrap();
+        assert_ne!(fp, fingerprint(&grown));
+        assert_ne!(fp, fingerprint(&crate::database::DbBuilder::new().build()));
+    }
+
+    #[test]
+    fn randomized_roundtrip_preserves_equality_and_fingerprint() {
+        // Seeded-PRNG stand-in for the (network-gated) proptest suite: the
+        // round-trip law `from_bytes(to_bytes(db)) == db` plus fingerprint
+        // stability, across item-count/density/timestamp-gap regimes and the
+        // empty database.
+        use crate::prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(2025);
+        for case in 0..25 {
+            let mut b = crate::database::DbBuilder::new();
+            let n_items = case % 7; // includes 0 => empty db
+            let n_txns = (case * 3) % 40;
+            let mut ts = rng.random_range(-1000..1000i64);
+            for _ in 0..n_txns {
+                ts += rng.random_range(0..500i64);
+                let labels: Vec<String> = (0..n_items)
+                    .filter(|_| rng.random_f64() < 0.5)
+                    .map(|i| format!("item-{i}"))
+                    .collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                if !refs.is_empty() {
+                    b.add_labeled(ts, &refs);
+                }
+            }
+            let db = b.build();
+            let bytes = to_bytes(&db);
+            let back = from_bytes(&bytes).unwrap();
+            assert_eq!(back.len(), db.len(), "case {case}");
+            assert_eq!(back.item_count(), db.item_count(), "case {case}");
+            for (a, b) in db.transactions().iter().zip(back.transactions()) {
+                assert_eq!((a.timestamp(), a.items()), (b.timestamp(), b.items()), "case {case}");
+            }
+            for item in db.items().iter() {
+                assert_eq!(back.items().label(item.id), item.label, "case {case}");
+            }
+            assert_eq!(to_bytes(&back), bytes, "re-encoding is byte-stable, case {case}");
+            assert_eq!(fingerprint(&db), fingerprint(&back), "case {case}");
+        }
     }
 }

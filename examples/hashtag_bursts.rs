@@ -6,6 +6,8 @@
 //! cargo run --release --example hashtag_bursts
 //! ```
 
+#![deny(deprecated)]
+
 use recurring_patterns::datagen::calendar::date_label;
 use recurring_patterns::prelude::*;
 

@@ -15,6 +15,8 @@
 //! cargo run --release --example network_monitoring
 //! ```
 
+#![deny(deprecated)]
+
 use recurring_patterns::prelude::*;
 use recurring_patterns::timeseries::Pcg32;
 

@@ -12,6 +12,8 @@
 //! cargo run --release --example numeric_sensors
 //! ```
 
+#![deny(deprecated)]
+
 use recurring_patterns::core::summarize;
 use recurring_patterns::prelude::*;
 use recurring_patterns::timeseries::{Binning, Discretizer};

@@ -16,6 +16,8 @@
 //! cargo run --release --example parameter_tuning
 //! ```
 
+#![deny(deprecated)]
+
 use recurring_patterns::core::{recurrence_spectrum, summarize};
 use recurring_patterns::prelude::*;
 use recurring_patterns::timeseries::DbStats;

@@ -5,6 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![deny(deprecated)]
+
 use recurring_patterns::prelude::*;
 
 fn main() {

@@ -13,6 +13,8 @@
 //! cargo run --release --example retail_seasonality
 //! ```
 
+#![deny(deprecated)]
+
 use recurring_patterns::prelude::*;
 
 fn main() {

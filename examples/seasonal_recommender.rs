@@ -14,6 +14,8 @@
 //! cargo run --release --example seasonal_recommender
 //! ```
 
+#![deny(deprecated)]
+
 use recurring_patterns::prelude::*;
 
 fn main() {

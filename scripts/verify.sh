@@ -8,4 +8,6 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --all-targets --offline -- -D warnings
 cargo build --release --offline
+cargo build --examples --offline
+RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --offline
 cargo test -q --offline

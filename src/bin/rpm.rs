@@ -63,6 +63,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "pf" => pf(rest),
         "ppattern" => ppattern(rest),
         "generate" => generate(rest),
+        "serve" => serve(rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -73,13 +74,16 @@ const USAGE: &str = "rpm — recurring pattern mining (EDBT 2015 reproduction)
   rpm mine     <db.tsv> --per N --min-ps N|X% --min-rec N
                [--min-dur D] [--relaxed K --fault-gap G] [--closed] [--maximal]
                [--top K] [--rules CONF] [--threads N]
-               [--timeout T(s|ms|m)] [--progress] [--metrics-json [FILE]]
+               [--timeout T(ms|s|m|h)] [--progress] [--metrics-json [FILE]]
   rpm spectrum <db.tsv> --items 'a b c' --min-ps N|X%
   rpm detect   <db.tsv> --items 'a b c' --max-period N [--method chi|auto|consensus]
   rpm pf       <db.tsv> --max-per N --min-sup N|X%
   rpm ppattern <db.tsv> --period N --min-sup N|X% [--window N]
   rpm generate quest|shop|twitter --out <db.tsv> [--scale F] [--seed N]
   rpm convert  <in> <out>            (between .tsv text and .rpmb binary)
+  rpm serve    [--addr HOST:PORT] [--threads N] [--cache-mb M] [--queue N]
+               [--io-timeout T] [--load NAME=PATH]...
+               [--per N --min-ps N --min-rec N]   (hot params for --load)
 
 Databases are text (`ts<TAB>item item…`) or, with a .rpmb extension, the
 compact binary format of rpm_timeseries::binio.
@@ -127,6 +131,11 @@ impl Flags {
         self.get(key).is_some()
     }
 
+    /// Every value given for a repeatable flag, e.g. `--load a=x --load b=y`.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
+    }
+
     fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
     where
         T::Err: std::fmt::Display,
@@ -151,6 +160,10 @@ fn parse_threshold(text: &str) -> Result<Threshold, String> {
 
 fn load_db(flags: &Flags) -> Result<TransactionDb, String> {
     let path = flags.positional.first().ok_or_else(|| "missing database path".to_string())?;
+    load_db_path(path)
+}
+
+fn load_db_path(path: &str) -> Result<TransactionDb, String> {
     let result = if path.ends_with(".rpmb") {
         recurring_patterns::timeseries::load_binary(path)
     } else {
@@ -166,23 +179,11 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `--timeout` values: `500ms`, `1s`, `2m`, or a bare number of seconds.
+/// `--timeout` / `--io-timeout` values: `500ms`, `30s`, `5m`, `2h`, or a
+/// bare number of seconds. Shared with the server's `timeout=` query
+/// parameter; overflow and negatives are rejected, never wrapped.
 fn parse_timeout(text: &str) -> Result<std::time::Duration, String> {
-    let t = text.trim();
-    let (num, unit_ms) = if let Some(v) = t.strip_suffix("ms") {
-        (v, 1.0)
-    } else if let Some(v) = t.strip_suffix('s') {
-        (v, 1000.0)
-    } else if let Some(v) = t.strip_suffix('m') {
-        (v, 60_000.0)
-    } else {
-        (t, 1000.0)
-    };
-    let value: f64 = num.trim().parse().map_err(|e| format!("bad --timeout {text:?}: {e}"))?;
-    if value.is_nan() || value < 0.0 {
-        return Err(format!("bad --timeout {text:?}: must be non-negative"));
-    }
-    Ok(std::time::Duration::from_secs_f64(value * unit_ms / 1000.0))
+    recurring_patterns::server::parse_duration(text)
 }
 
 /// Fans engine callbacks out to several observers (progress + metrics).
@@ -448,5 +449,54 @@ fn generate(args: &[String]) -> Result<(), String> {
     };
     write_result.map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("wrote {} transactions, {} items to {out}", db.len(), db.item_count());
+    Ok(())
+}
+
+/// `rpm serve`: the HTTP serving layer over the mining engine.
+fn serve(args: &[String]) -> Result<(), String> {
+    use recurring_patterns::core::ResolvedParams;
+    use recurring_patterns::server::{Server, ServerConfig};
+
+    let flags = Flags::parse(args)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:8726").to_string();
+    let threads: usize = flags.parse_num("threads", 4)?;
+    let cache_mb: usize = flags.parse_num("cache-mb", 64)?;
+    let queue_depth: usize = flags.parse_num("queue", 64)?;
+    let io_timeout = match flags.get("io-timeout") {
+        Some(t) => parse_timeout(t)?,
+        None => std::time::Duration::from_secs(30),
+    };
+    let config = ServerConfig {
+        addr,
+        threads,
+        cache_bytes: cache_mb.saturating_mul(1 << 20),
+        queue_depth,
+        io_timeout,
+    };
+    let handle = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+
+    // Preload datasets; the per/min-ps/min-rec flags become their hot
+    // parameters (min-ps as an absolute count — the incremental scanners
+    // cannot track a percentage of a growing stream).
+    let preload = flags.get_all("load");
+    if !preload.is_empty() {
+        let hot = ResolvedParams::new(
+            flags.parse_num("per", 1)?,
+            flags.parse_num("min-ps", 2)?,
+            flags.parse_num("min-rec", 2)?,
+        );
+        for spec in preload {
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad --load {spec:?}: expected NAME=PATH"))?;
+            let db = load_db_path(path)?;
+            let fingerprint = handle.registry().register(name, db, hot)?;
+            eprintln!("loaded dataset {name:?} from {path} (fingerprint {fingerprint:016x})");
+        }
+    }
+
+    eprintln!("rpm-server listening on {} ({threads} workers)", handle.addr());
+    handle.join();
+    eprintln!("rpm-server stopped");
     Ok(())
 }

@@ -13,7 +13,9 @@
 //! * [`baselines`] — p-patterns, periodic-frequent patterns, segment-wise
 //!   partial periodic patterns (§2, §5.4);
 //! * [`datagen`] — the simulated evaluation datasets with planted ground
-//!   truth (§5.1).
+//!   truth (§5.1);
+//! * [`server`] — a dependency-free HTTP serving layer (dataset registry,
+//!   result cache, live append) exposed as `rpm serve`.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@
 pub use rpm_baselines as baselines;
 pub use rpm_core as core;
 pub use rpm_datagen as datagen;
+pub use rpm_server as server;
 pub use rpm_timeseries as timeseries;
 
 /// The most commonly used items, importable in one line.

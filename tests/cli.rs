@@ -265,3 +265,57 @@ fn relaxed_mining_via_cli() {
     let count = |o: &Output| String::from_utf8_lossy(&o.stdout).lines().count();
     assert!(count(&relaxed) >= count(&strict), "fault budget can only add patterns");
 }
+
+#[test]
+fn timeout_flag_accepts_hours_and_rejects_overflow() {
+    let db = temp_db("timeout.tsv");
+    let db_str = db.to_str().unwrap();
+    let out = rpm(&["generate", "shop", "--out", db_str, "--scale", "0.02", "--seed", "9"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // An hour-denominated deadline parses and (being generous) completes.
+    let out = rpm(&[
+        "mine",
+        db_str,
+        "--per",
+        "360",
+        "--min-ps",
+        "0.5%",
+        "--min-rec",
+        "1",
+        "--timeout",
+        "1h",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Overflowing durations are rejected up front, not wrapped or saturated.
+    for bad in ["1e300h", "-5s", "99999999999999999999h"] {
+        let out = rpm(&[
+            "mine",
+            db_str,
+            "--per",
+            "360",
+            "--min-ps",
+            "0.5%",
+            "--min-rec",
+            "1",
+            "--timeout",
+            bad,
+        ]);
+        assert!(!out.status.success(), "--timeout {bad} accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid parameters"), "--timeout {bad}: {err}");
+    }
+}
+
+#[test]
+fn serve_rejects_a_bad_load_spec_and_bad_addr() {
+    let out = rpm(&["serve", "--addr", "127.0.0.1:0", "--load", "missing-equals-sign"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("expected NAME=PATH"), "{err}");
+
+    let out = rpm(&["serve", "--addr", "not-an-address"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot bind"));
+}

@@ -82,10 +82,12 @@ proptest! {
         }
     }
 
-    /// The binary format roundtrips arbitrary databases exactly.
+    /// The binary format roundtrips arbitrary databases — including the
+    /// empty one — exactly, preserving the dataset fingerprint, and
+    /// re-encoding the decoded database is byte-stable.
     #[test]
     fn binio_roundtrip(rows in proptest::collection::vec(
-        (-500i64..500, proptest::collection::btree_set(0u8..10, 1..4)), 1..50,
+        (-500i64..500, proptest::collection::btree_set(0u8..10, 1..4)), 0..50,
     )) {
         let mut b = TransactionDb::builder();
         for (ts, items) in &rows {
@@ -101,6 +103,13 @@ proptest! {
             prop_assert_eq!(x.timestamp(), y.timestamp());
             prop_assert_eq!(x.items(), y.items());
         }
+        // The registry keys result caches by this digest: decoding must
+        // never change it, and a second encode must reproduce the bytes.
+        prop_assert_eq!(
+            recurring_patterns::timeseries::fingerprint(&back),
+            recurring_patterns::timeseries::fingerprint(&db),
+        );
+        prop_assert_eq!(recurring_patterns::timeseries::to_bytes(&back), bytes);
     }
 
     /// Corrupting any single byte of a binary database must produce either

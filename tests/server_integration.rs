@@ -1,0 +1,316 @@
+//! End-to-end tests of the HTTP serving layer, driven over loopback with
+//! plain [`TcpStream`]s — no HTTP client library, by design: the server
+//! speaks such a small HTTP/1.1 subset that a handful of raw requests
+//! exercises it completely.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use recurring_patterns::server::{Server, ServerConfig, ServerHandle};
+
+/// A parsed response; `complete` asserts the body matched `Content-Length`,
+/// i.e. the server never dropped a connection mid-write.
+struct Http {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: String,
+}
+
+impl Http {
+    fn header(&self, name: &str) -> &str {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str).unwrap_or("")
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        // Extracts `"name": N` from the /metrics JSON.
+        let needle = format!("\"{name}\": ");
+        let at = self.body.find(&needle).unwrap_or_else(|| panic!("no counter {name}"));
+        self.body[at + needle.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .expect("counter value")
+    }
+}
+
+fn parse_response(raw: &str) -> Http {
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body separator");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut headers = HashMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let declared: usize =
+        headers.get("content-length").expect("Content-Length").parse().expect("numeric length");
+    assert_eq!(body.len(), declared, "body truncated mid-write: {status_line}");
+    Http { status, headers, body: body.to_string() }
+}
+
+fn send_raw(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("receive");
+    out
+}
+
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> Http {
+    let raw = format!("{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    parse_response(&send_raw(addr, &raw))
+}
+
+fn bind(threads: usize, queue_depth: usize) -> ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        queue_depth,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+/// The paper's Table 1 running example in the text upload format.
+fn running_example_text() -> String {
+    let db = recurring_patterns::timeseries::running_example_db();
+    let mut out = Vec::new();
+    recurring_patterns::timeseries::io::write_timestamped(&db, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+/// A dense database: `items` items all co-occurring at `len` consecutive
+/// timestamps, so every of the `2^items - 1` candidate itemsets is a
+/// recurring pattern — the candidate space explodes while each check stays
+/// cheap, which is exactly what deadline and shutdown tests need.
+fn dense_db_text(items: usize, len: usize) -> String {
+    let row: Vec<String> = (0..items).map(|i| format!("i{i}")).collect();
+    let row = row.join(" ");
+    (0..len).map(|t| format!("{t}\t{row}\n")).collect()
+}
+
+#[test]
+fn mine_caches_and_append_invalidates() {
+    let handle = bind(2, 16);
+    let addr = handle.addr();
+
+    // Upload with hot params matching the query params below, so the first
+    // mine exercises the incremental fast path.
+    let up =
+        request(addr, "POST", "/datasets/shop?per=2&min-ps=3&min-rec=2", &running_example_text());
+    assert_eq!(up.status, 201, "{}", up.body);
+    assert!(up.body.contains("\"transactions\":12"), "{}", up.body);
+
+    // First mine: a miss that runs the engine; the running example yields
+    // the paper's 8 patterns.
+    let mine = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(mine.status, 200, "{}", mine.body);
+    assert_eq!(mine.header("x-rpm-cache"), "miss");
+    assert_eq!(mine.header("x-rpm-patterns"), "8");
+    assert_eq!(mine.body.lines().count(), 8);
+
+    // Second mine: a cache hit — byte-identical body, and the /metrics
+    // counters prove no second engine run happened.
+    let again = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(again.status, 200);
+    assert_eq!(again.header("x-rpm-cache"), "hit");
+    assert_eq!(again.body, mine.body, "hit serves the first run's bytes");
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.counter("hits"), 1, "{}", metrics.body);
+    assert_eq!(metrics.counter("runs"), 1, "one engine run despite two requests");
+    assert!(metrics.counter("fastpath") >= 1, "hot params used the incremental scanners");
+
+    // Append retires the old content: the same query must re-mine.
+    let append = request(addr, "POST", "/datasets/shop/append", "16\tbread jam\n18\tbread jam\n");
+    assert_eq!(append.status, 200, "{}", append.body);
+    assert!(append.body.contains("\"appended\":2"), "{}", append.body);
+    let after = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(after.status, 200);
+    assert_eq!(after.header("x-rpm-cache"), "miss", "append invalidated the entry");
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert!(metrics.counter("invalidations") >= 1, "{}", metrics.body);
+    assert_eq!(metrics.counter("runs"), 2);
+
+    // Time regressions are a conflict, and the dataset stays queryable.
+    let bad = request(addr, "POST", "/datasets/shop/append", "1\tbread\n");
+    assert_eq!(bad.status, 409, "{}", bad.body);
+    let still = request(addr, "GET", "/datasets", "");
+    assert!(still.body.contains("\"name\":\"shop\""), "{}", still.body);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn active_queries_are_served_from_the_cached_index() {
+    let handle = bind(2, 16);
+    let addr = handle.addr();
+    let up = request(addr, "POST", "/datasets/shop", &running_example_text());
+    assert_eq!(up.status, 201, "{}", up.body);
+
+    // A cold active query mines to completion, then stabs the index.
+    let active = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=3", "");
+    assert_eq!(active.status, 200, "{}", active.body);
+    assert_eq!(active.header("x-rpm-cache"), "miss");
+    let n_at_3: usize = active.header("x-rpm-active").parse().unwrap();
+    assert!(n_at_3 > 0, "patterns are active at ts=3: {}", active.body);
+
+    // The same params hit the entry the first query populated; a mine on
+    // the same key also hits it.
+    let warm = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=3", "");
+    assert_eq!(warm.header("x-rpm-cache"), "hit");
+    assert_eq!(warm.body, active.body);
+    let mine = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(mine.header("x-rpm-cache"), "hit");
+
+    // Range form, and parameter validation.
+    let range =
+        request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&from=1&to=14", "");
+    assert_eq!(range.status, 200);
+    assert_eq!(range.header("x-rpm-active"), "8", "whole span touches every pattern");
+    let missing = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(missing.status, 400);
+    assert!(missing.body.contains("at=ts"), "{}", missing.body);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn deadline_yields_a_sound_partial_206() {
+    let handle = bind(2, 16);
+    let addr = handle.addr();
+    // 10 items → 1023 candidate itemsets, all of them patterns.
+    let up = request(addr, "POST", "/datasets/dense", &dense_db_text(10, 30));
+    assert_eq!(up.status, 201, "{}", up.body);
+
+    // A zero deadline trips at the engine's first probe: 206, the abort
+    // reason in a header, and whatever prefix was mined in the body.
+    let partial =
+        request(addr, "POST", "/datasets/dense/mine?per=2&min-ps=3&min-rec=1&timeout=0ms", "");
+    assert_eq!(partial.status, 206, "{}", partial.body);
+    assert_eq!(partial.header("x-rpm-abort"), "deadline exceeded");
+    assert_eq!(partial.header("x-rpm-cache"), "miss");
+
+    // Partial results are never cached…
+    let retry = request(addr, "POST", "/datasets/dense/mine?per=2&min-ps=3&min-rec=1", "");
+    assert_eq!(retry.status, 200, "{}", retry.body);
+    assert_eq!(retry.header("x-rpm-cache"), "miss", "the 206 must not have been cached");
+    assert_eq!(retry.header("x-rpm-patterns"), "1023");
+
+    // …and the partial is sound: every line of it appears verbatim in the
+    // complete result.
+    let complete: std::collections::HashSet<&str> = retry.body.lines().collect();
+    for line in partial.body.lines() {
+        assert!(complete.contains(line), "unsound partial line: {line}");
+    }
+    assert!(partial.body.lines().count() < 1023, "deadline actually cut the run short");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn full_queue_gets_backpressure_503() {
+    // One worker, one waiting slot. Connection A occupies the worker (its
+    // request head is deliberately unfinished), B fills the queue, so C
+    // must be rejected by the acceptor without queueing.
+    let handle = bind(1, 1);
+    let addr = handle.addr();
+
+    let mut conn_a = TcpStream::connect(addr).unwrap();
+    conn_a.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap(); // head unfinished
+    std::thread::sleep(Duration::from_millis(150)); // worker picks A up, blocks reading
+    let mut conn_b = TcpStream::connect(addr).unwrap();
+    conn_b.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // B sits in the queue
+
+    let rejected = parse_response(&send_raw(addr, "GET /healthz HTTP/1.1\r\n\r\n"));
+    assert_eq!(rejected.status, 503, "{}", rejected.body);
+    assert!(rejected.body.contains("queue full"), "{}", rejected.body);
+    let metrics_raw = {
+        // The worker is still busy with A; finish A first so the pool can
+        // serve B and then our metrics request.
+        conn_a.write_all(b"\r\n").unwrap();
+        let mut out = String::new();
+        conn_a.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200"), "A completed normally: {out}");
+        conn_b.write_all(b"\r\n").unwrap();
+        let mut out = String::new();
+        conn_b.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200"), "B completed normally: {out}");
+        send_raw(addr, "GET /metrics HTTP/1.1\r\n\r\n")
+    };
+    let metrics = parse_response(&metrics_raw);
+    assert!(metrics.counter("rejected_backpressure") >= 1, "{}", metrics.body);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_mining_as_complete_responses() {
+    let handle = bind(2, 16);
+    let addr = handle.addr();
+    // 24 items → ~16.7M candidate itemsets: minutes of mining, so the
+    // cancellation token is what ends the run. The 30s timeout is only a
+    // backstop so a broken shutdown path cannot hang the suite.
+    let up = request(addr, "POST", "/datasets/huge", &dense_db_text(24, 48));
+    assert_eq!(up.status, 201, "{}", up.body);
+
+    let miner = std::thread::spawn(move || {
+        request(addr, "POST", "/datasets/huge/mine?per=2&min-ps=3&min-rec=1&timeout=30s", "")
+    });
+    // Let the mine get going, then pull the plug.
+    std::thread::sleep(Duration::from_millis(120));
+    let bye = request(addr, "POST", "/shutdown", "");
+    assert_eq!(bye.status, 200, "{}", bye.body);
+
+    // The in-flight request drains as a *complete* response (parse_response
+    // asserts body == Content-Length): a sound partial, tagged cancelled.
+    let response = miner.join().expect("mining request thread");
+    assert_eq!(response.status, 206, "{}", response.body);
+    assert_eq!(response.header("x-rpm-abort"), "cancelled");
+
+    handle.join();
+    assert!(TcpStream::connect(addr).is_err(), "listener closed after drain");
+}
+
+#[test]
+fn unknown_routes_datasets_and_params_error_cleanly() {
+    let handle = bind(1, 4);
+    let addr = handle.addr();
+
+    assert_eq!(request(addr, "GET", "/datasets/ghost/active?per=2&min-ps=3&at=1", "").status, 404);
+    assert_eq!(request(addr, "POST", "/datasets/ghost/mine?per=2&min-ps=3", "").status, 404);
+    assert_eq!(request(addr, "POST", "/datasets/ghost/append", "1\ta\n").status, 404);
+    assert_eq!(request(addr, "GET", "/totally/unknown", "").status, 404);
+    assert_eq!(request(addr, "DELETE", "/metrics", "").status, 405);
+
+    let up = request(addr, "POST", "/datasets/d", &running_example_text());
+    assert_eq!(up.status, 201);
+    assert_eq!(request(addr, "POST", "/datasets/d", &running_example_text()).status, 409);
+    assert_eq!(
+        request(addr, "POST", "/datasets/bad%20name%21", &running_example_text()).status,
+        400
+    );
+
+    let no_per = request(addr, "POST", "/datasets/d/mine?min-ps=3", "");
+    assert_eq!(no_per.status, 400);
+    assert!(no_per.body.contains("per"), "{}", no_per.body);
+    let bad_timeout = request(addr, "POST", "/datasets/d/mine?per=2&min-ps=3&timeout=1e300h", "");
+    assert_eq!(bad_timeout.status, 400);
+    assert!(bad_timeout.body.contains("invalid parameters"), "{}", bad_timeout.body);
+    let bad_ps = request(addr, "POST", "/datasets/d/mine?per=2&min-ps=200%25", "");
+    assert_eq!(bad_ps.status, 400, "{}", bad_ps.body);
+
+    handle.shutdown();
+    handle.join();
+}
