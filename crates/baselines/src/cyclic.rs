@@ -234,7 +234,13 @@ mod tests {
         assert!(!pats.iter().any(|p| p.items == vec![promo]));
         // …while the recurring-pattern model happily reports its three
         // periodic stretches (days 0, 2 and 6, each a run of 3 slots).
-        let rp = rpm_core::mine_resolved(&db, rpm_core::ResolvedParams::new(10, 3, 2));
+        let rp = rpm_core::engine::MiningSession::builder()
+            .resolved(rpm_core::ResolvedParams::new(10, 3, 2))
+            .build()
+            .unwrap()
+            .mine(&db)
+            .unwrap()
+            .into_result();
         let promo_pat = rp
             .patterns
             .iter()

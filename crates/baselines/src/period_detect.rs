@@ -216,7 +216,13 @@ mod tests {
         let ts = db.timestamps_of(&pulse);
         let per = consensus_periods(&ts, 20).first().expect("period detected").period;
         assert_eq!(per, 6);
-        let mined = rpm_core::mine_resolved(&db, rpm_core::ResolvedParams::new(per, 40, 1));
+        let mined = rpm_core::engine::MiningSession::builder()
+            .resolved(rpm_core::ResolvedParams::new(per, 40, 1))
+            .build()
+            .unwrap()
+            .mine(&db)
+            .unwrap()
+            .into_result();
         let pair = {
             let mut v = db.pattern_ids(&["pulse", "echo"]).unwrap();
             v.sort_unstable();

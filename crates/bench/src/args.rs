@@ -65,6 +65,7 @@ impl HarnessArgs {
             Err(e) => {
                 eprintln!("argument error: {e}");
                 eprintln!("usage: --scale <0..1] | --full, --seed <n>");
+                #[allow(clippy::disallowed_methods)] // CLI usage error at process entry
                 std::process::exit(2);
             }
         }

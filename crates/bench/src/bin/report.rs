@@ -16,6 +16,7 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
             eprintln!("cannot build report from {}: {e}", dir.display());
+            #[allow(clippy::disallowed_methods)] // CLI failure at process entry
             std::process::exit(1);
         }
     }

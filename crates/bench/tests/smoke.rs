@@ -39,7 +39,7 @@ fn table7_and_table8_run() {
     let out = run("table7", TINY);
     assert!(out.contains("runtime in seconds"));
     let out = run("table8", &["--scale", "0.02", "--seed", "7", "--limit", "5000"]);
-    assert!(out.contains("Recurring patterns"));
+    assert!(out.contains("recurring (RP-growth)"));
     assert!(out.contains("p-patterns"));
 }
 

@@ -22,6 +22,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::growth::MiningStats;
+use crate::sync::lock_recover;
 
 use super::control::AbortReason;
 
@@ -123,12 +124,13 @@ impl Default for ProgressReporter {
 impl Observer for ProgressReporter {
     fn on_phase(&self, phase: Phase) {
         eprintln!("progress: phase {}", phase.name());
-        *self.last.lock().expect("progress lock") = None;
+        *lock_recover(&self.last) = None;
     }
 
     fn on_suffix_done(&self, done: usize, total: usize) {
+        // lint:allow(no-raw-clock-in-hot-path): observer callback cadence, already amortised by the probe
         let now = Instant::now();
-        let mut last = self.last.lock().expect("progress lock");
+        let mut last = lock_recover(&self.last);
         let due = last.is_none_or(|t| now.duration_since(t) >= self.interval);
         if due {
             *last = Some(now);
@@ -250,7 +252,7 @@ impl MetricsCollector {
     /// A copy of everything measured so far. Complete once
     /// [`Observer::on_complete`] has fired.
     pub fn snapshot(&self) -> EngineMetrics {
-        let inner = self.inner.lock().expect("metrics lock");
+        let inner = lock_recover(&self.inner);
         EngineMetrics {
             stats: inner.stats,
             phase_wall: inner.phase_wall.clone(),
@@ -263,14 +265,15 @@ impl MetricsCollector {
 
     /// Whether the observed run has finished.
     pub fn is_complete(&self) -> bool {
-        self.inner.lock().expect("metrics lock").complete
+        lock_recover(&self.inner).complete
     }
 }
 
 impl Observer for MetricsCollector {
     fn on_phase(&self, phase: Phase) {
+        // lint:allow(no-raw-clock-in-hot-path): phase transitions are rare; this is the phase-wall stopwatch
         let now = Instant::now();
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_recover(&self.inner);
         if let Some((p, t0)) = inner.current.take() {
             inner.phase_wall.push((p, now.duration_since(t0)));
         }
@@ -286,8 +289,9 @@ impl Observer for MetricsCollector {
     }
 
     fn on_complete(&self, stats: &MiningStats, abort: Option<AbortReason>) {
+        // lint:allow(no-raw-clock-in-hot-path): fires once at run end to close the phase stopwatch
         let now = Instant::now();
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_recover(&self.inner);
         if let Some((p, t0)) = inner.current.take() {
             inner.phase_wall.push((p, now.duration_since(t0)));
         }

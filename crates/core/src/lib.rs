@@ -50,6 +50,7 @@ pub mod rplist;
 pub mod rules;
 pub mod spectrum;
 pub mod summary;
+pub mod sync;
 pub mod topk;
 pub mod tree;
 pub mod verify;

@@ -1,0 +1,67 @@
+//! Poison-recovering acquisition of `std::sync` primitives.
+//!
+//! A lock is poisoned when a thread panics while holding it. With
+//! `panic-free-serving` enforced by rpm-lint, no request-reachable code
+//! panics, so poisoning can only originate outside the serving path —
+//! and even then the protected data is valid: every critical section in
+//! this codebase either writes a complete value or nothing. Re-panicking
+//! via `.unwrap()` would convert one failed request into a dead worker;
+//! these helpers recover the guard instead, which is exactly the
+//! remediation the `lock-discipline` rule prescribes.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Acquires a mutex, recovering the guard if the lock is poisoned.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a read lock, recovering the guard if the lock is poisoned.
+pub fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a write lock, recovering the guard if the lock is poisoned.
+pub fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on a condvar, recovering the guard if the mutex is poisoned.
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+    }
+
+    #[test]
+    fn recovers_a_poisoned_rwlock() {
+        let l = Arc::new(RwLock::new(3u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read_recover(&l), 3);
+        *write_recover(&l) = 4;
+        assert_eq!(*read_recover(&l), 4);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: raw clock reads; linted under a hot-path module name.
+
+use std::time::{Instant, SystemTime};
+
+fn deadline_check() -> bool {
+    let now = Instant::now();
+    now.elapsed().as_millis() > 10
+}
+
+fn wall_stamp() -> SystemTime {
+    SystemTime::now()
+}

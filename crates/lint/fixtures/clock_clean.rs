@@ -1,0 +1,24 @@
+// Fixture: hot-path code that stays clean — probe-mediated time, a
+// reasoned pragma, and `Instant` mentions that are not `::now()` calls.
+
+use std::time::Instant;
+
+struct Probe {
+    countdown: u16,
+}
+
+impl Probe {
+    fn tick(&mut self) -> bool {
+        self.countdown = self.countdown.wrapping_sub(1);
+        self.countdown == 0
+    }
+}
+
+fn sanctioned_read() -> Instant {
+    // lint:allow(no-raw-clock-in-hot-path): the probe is the sanctioned clock reader
+    Instant::now()
+}
+
+fn takes_a_stamp(at: Instant) -> Instant {
+    at
+}

@@ -1,0 +1,6 @@
+// Fixture: the constants that the doc fixtures make claims about.
+
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+pub const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+pub const PROBE_PERIOD: u16 = 32;
+pub const QUEUE_DEPTH: usize = 2 * 8;

@@ -1,0 +1,19 @@
+// Fixture: both lock-discipline failure shapes.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex, RwLock};
+
+fn poison_to_panic(m: &Mutex<u32>, rw: &RwLock<u32>, cv: &Condvar) {
+    let _a = m.lock().unwrap();
+    let _b = rw.read().unwrap();
+    let _c = rw.write().expect("poisoned");
+    let g = m.lock().unwrap();
+    let _g = cv.wait(g).unwrap();
+}
+
+fn guard_across_io(m: &Mutex<Vec<u8>>, sock: &mut TcpStream) -> std::io::Result<()> {
+    let buf = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    sock.write_all(&buf)?;
+    Ok(())
+}

@@ -1,0 +1,33 @@
+// Fixture: the disciplined versions, plus look-alikes the rule must not
+// flag — stream read/write with arguments are I/O, not lock acquisition,
+// and a guard dropped (or scoped out) before socket I/O is fine.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError, RwLock};
+
+fn poison_recovering(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = rw.read().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+fn stream_io_is_not_a_lock(sock: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    sock.write(buf)?;
+    sock.read(buf)
+}
+
+fn guard_dropped_before_io(m: &Mutex<Vec<u8>>, sock: &mut TcpStream) -> std::io::Result<()> {
+    let data = {
+        let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.clone()
+    };
+    sock.write_all(&data)
+}
+
+fn guard_explicitly_dropped(m: &Mutex<Vec<u8>>, sock: &mut TcpStream) -> std::io::Result<()> {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let data = guard.clone();
+    drop(guard);
+    sock.write_all(&data)
+}

@@ -1,0 +1,26 @@
+// Fixture: every panic path the rule must catch in a request-reachable
+// module. Linted under the path `crates/server/src/fixture.rs`.
+
+fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expect_site(x: Result<u32, ()>) -> u32 {
+    x.expect("boom")
+}
+
+fn macro_sites(n: u32) -> u32 {
+    match n {
+        0 => panic!("zero"),
+        1 => unreachable!(),
+        2 => todo!(),
+        3 => unimplemented!(),
+        _ => n,
+    }
+}
+
+// A pragma with no reason suppresses nothing and is itself a violation.
+fn bad_pragma(x: Option<u32>) -> u32 {
+    // lint:allow(panic-free-serving):
+    x.unwrap()
+}

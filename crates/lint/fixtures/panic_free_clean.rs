@@ -1,0 +1,32 @@
+// Fixture: the same shapes written the panic-free way, plus the cases the
+// rule must NOT flag: test code, comments, strings, and reasoned pragmas.
+
+fn unwrap_free(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn expect_free(x: Result<u32, ()>) -> Result<u32, String> {
+    x.map_err(|_| "boom".to_string())
+}
+
+fn strings_and_comments() -> &'static str {
+    // a comment saying x.unwrap() is not a call
+    "panic!(\"inside a string\") and .unwrap() too"
+}
+
+fn reasoned(x: Option<u32>) -> u32 {
+    // lint:allow(panic-free-serving): invariant — caller checked is_some
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: a crate root with attributes but no #![forbid(unsafe_code)].
+#![warn(missing_docs)]
+#![deny(deprecated)]
+
+pub fn noop() {}

@@ -1,0 +1,314 @@
+//! Per-file analysis shared by every rule: the token stream, the mask of
+//! test-only regions, and the `lint:allow` pragmas.
+//!
+//! Rules see *code tokens* — comments stripped, `#[cfg(test)]` / `#[test]`
+//! items masked out — so test code may `unwrap()` freely while the same
+//! call in shipped code is a violation.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{Violation, RULE_PRAGMA};
+
+/// A parsed, valid `// lint:allow(rule): reason` pragma.
+#[derive(Debug)]
+pub struct Pragma {
+    /// The rule being allowed.
+    pub rule: String,
+    /// Line of the pragma comment; it covers this line and the next.
+    pub line: u32,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct Analysis<'s> {
+    /// Non-comment tokens outside test-only regions, in source order.
+    pub code: Vec<Tok<'s>>,
+    /// Valid pragmas collected from comments (test regions included — a
+    /// pragma inside a test module is harmless).
+    pub pragmas: Vec<Pragma>,
+}
+
+impl Analysis<'_> {
+    /// Builds the analysis and reports pragma-hygiene violations found
+    /// along the way (malformed pragma, unknown rule, missing reason).
+    pub fn build<'s>(file: &str, src: &'s str, out: &mut Vec<Violation>) -> Analysis<'s> {
+        let toks = lex(src);
+        let test_mask = test_mask(&toks);
+        let mut pragmas = Vec::new();
+        for t in &toks {
+            if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                collect_pragma(file, t, &mut pragmas, out);
+            }
+        }
+        let code = toks
+            .iter()
+            .zip(test_mask.iter())
+            .filter(|(t, in_test)| {
+                !**in_test
+                    && !matches!(
+                        t.kind,
+                        TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                    )
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        Analysis { code, pragmas }
+    }
+
+    /// Whether a valid pragma allows `rule` on `line` (the pragma's own
+    /// line, for trailing comments, or the line right below it).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.pragmas.iter().any(|p| p.rule == rule && (p.line == line || p.line + 1 == line))
+    }
+}
+
+const PRAGMA_MARKER: &str = "lint:allow";
+
+/// Parses `lint:allow(rule): reason` out of one comment token.
+fn collect_pragma(file: &str, tok: &Tok<'_>, pragmas: &mut Vec<Pragma>, out: &mut Vec<Violation>) {
+    let Some(at) = tok.text.find(PRAGMA_MARKER) else { return };
+    let mut fail = |message: String| {
+        out.push(Violation { rule: RULE_PRAGMA, file: file.to_string(), line: tok.line, message });
+    };
+    let rest = &tok.text[at + PRAGMA_MARKER.len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        fail("malformed pragma: expected `lint:allow(rule): reason`".to_string());
+        return;
+    };
+    let Some((rule, rest)) = rest.split_once(')') else {
+        fail("malformed pragma: unclosed `(`".to_string());
+        return;
+    };
+    let rule = rule.trim();
+    if !crate::RULES.contains(&rule) {
+        fail(format!("pragma names unknown rule {rule:?} (known: {})", crate::RULES.join(", ")));
+        return;
+    }
+    let reason = rest.trim_start().strip_prefix(':').map(str::trim).unwrap_or("");
+    // Strip a block comment's closing `*/` from the reason text.
+    let reason = reason.trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        fail(format!("pragma `lint:allow({rule})` has no reason — every allowance must say why"));
+        return;
+    }
+    pragmas.push(Pragma { rule: rule.to_string(), line: tok.line });
+}
+
+/// Marks tokens belonging to `#[cfg(test)]` / `#[test]` items (attribute
+/// through the item's closing brace or terminating semicolon).
+fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    // Indices of non-comment tokens: attribute structure never spans
+    // comments in a way that matters, and skipping them keeps matching easy.
+    let idx: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let tok = |k: usize| &toks[idx[k]];
+    let is_punct =
+        |k: usize, s: &str| k < idx.len() && tok(k).kind == TokKind::Punct && tok(k).text == s;
+
+    let mut k = 0;
+    while k < idx.len() {
+        if !(is_punct(k, "#") && is_punct(k + 1, "[")) {
+            k += 1;
+            continue;
+        }
+        let attr_start = k;
+        // Find the matching `]` of this attribute group.
+        let mut depth = 0usize;
+        let mut j = k + 1;
+        let mut close = None;
+        while j < idx.len() {
+            if is_punct(j, "[") {
+                depth += 1;
+            } else if is_punct(j, "]") {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(close) = close else { break };
+        // A test marker is `#[test]`, or `#[cfg(…)]` whose group mentions
+        // the bare `test` configuration predicate. `#[cfg_attr(…)]` is NOT
+        // one: the attributed item itself is compiled for production.
+        let first_ident = (k + 2..close).find(|&m| tok(m).kind == TokKind::Ident);
+        let is_test_attr = match first_ident {
+            Some(m) if tok(m).text == "test" => true,
+            Some(m) if tok(m).text == "cfg" => {
+                (m + 1..close).any(|n| tok(n).kind == TokKind::Ident && tok(n).text == "test")
+            }
+            _ => false,
+        };
+        if !is_test_attr {
+            k = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then mask through the item body.
+        let mut m = close + 1;
+        while is_punct(m, "#") && is_punct(m + 1, "[") {
+            let mut d = 0usize;
+            let mut n = m + 1;
+            while n < idx.len() {
+                if is_punct(n, "[") {
+                    d += 1;
+                } else if is_punct(n, "]") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                n += 1;
+            }
+            m = n + 1;
+        }
+        // Scan to the first `{` (item with a body) or `;` (e.g. a `use`).
+        let mut end = None;
+        let mut n = m;
+        while n < idx.len() {
+            if is_punct(n, ";") {
+                end = Some(n);
+                break;
+            }
+            if is_punct(n, "{") {
+                let mut d = 0usize;
+                while n < idx.len() {
+                    if is_punct(n, "{") {
+                        d += 1;
+                    } else if is_punct(n, "}") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    n += 1;
+                }
+                end = Some(n.min(idx.len() - 1));
+                break;
+            }
+            n += 1;
+        }
+        let end = end.unwrap_or(idx.len() - 1);
+        for covered in &idx[attr_start..=end] {
+            mask[*covered] = true;
+        }
+        k = end + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyse(src: &str) -> (Vec<String>, Vec<Violation>) {
+        let mut out = Vec::new();
+        let a = Analysis::build("t.rs", src, &mut out);
+        (a.code.iter().map(|t| t.text.to_string()).collect(), out)
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let (code, _) = analyse(
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\n\
+             fn also_live() {}",
+        );
+        assert!(code.iter().any(|t| t == "live"));
+        assert!(code.iter().any(|t| t == "also_live"));
+        assert!(!code.iter().any(|t| t == "tests"));
+        assert!(!code.iter().any(|t| t == "y"));
+        assert_eq!(code.iter().filter(|t| *t == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn test_fns_and_stacked_attrs_are_masked() {
+        let (code, _) =
+            analyse("#[test]\n#[should_panic]\nfn boom() { panic!(\"x\") }\nfn live() {}");
+        assert!(!code.iter().any(|t| t == "boom"));
+        assert!(code.iter().any(|t| t == "live"));
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_test_region() {
+        let (code, _) = analyse("#[cfg_attr(test, allow(dead_code))]\nfn live() {}");
+        assert!(code.iter().any(|t| t == "live"));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_masks_to_semicolon() {
+        let (code, _) = analyse("#[cfg(test)]\nuse std::sync::Arc;\nfn live() {}");
+        assert!(!code.iter().any(|t| t == "Arc"));
+        assert!(code.iter().any(|t| t == "live"));
+    }
+
+    #[test]
+    fn valid_pragma_is_collected_and_scoped() {
+        let src =
+            "// lint:allow(panic-free-serving): startup config, unreachable per docs\nx.unwrap();";
+        let mut out = Vec::new();
+        let a = Analysis::build("t.rs", src, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert!(a.allowed("panic-free-serving", 1));
+        assert!(a.allowed("panic-free-serving", 2));
+        assert!(!a.allowed("panic-free-serving", 3), "pragma does not leak downward");
+        assert!(!a.allowed("lock-discipline", 2), "pragma is rule-specific");
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_violation() {
+        for src in [
+            "// lint:allow(panic-free-serving)",
+            "// lint:allow(panic-free-serving):",
+            "// lint:allow(panic-free-serving):   ",
+        ] {
+            let mut out = Vec::new();
+            let a = Analysis::build("t.rs", src, &mut out);
+            assert_eq!(out.len(), 1, "{src:?}");
+            assert_eq!(out[0].rule, RULE_PRAGMA);
+            assert!(out[0].message.contains("no reason"), "{}", out[0].message);
+            assert!(a.pragmas.is_empty(), "an invalid pragma must not suppress anything");
+        }
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_a_violation() {
+        let mut out = Vec::new();
+        Analysis::build("t.rs", "// lint:allow(no-such-rule): because\n", &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn malformed_pragma_is_a_violation() {
+        let mut out = Vec::new();
+        Analysis::build("t.rs", "// lint:allow panic-free-serving: because\n", &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn block_comment_pragma_strips_terminator() {
+        let mut out = Vec::new();
+        let a = Analysis::build(
+            "t.rs",
+            "/* lint:allow(forbid-unsafe): ffi boundary audited */\n",
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(a.pragmas.len(), 1);
+    }
+
+    #[test]
+    fn pragma_inside_string_is_ignored() {
+        let mut out = Vec::new();
+        let a = Analysis::build("t.rs", "let s = \"lint:allow(x)\";", &mut out);
+        assert!(out.is_empty());
+        assert!(a.pragmas.is_empty());
+    }
+}

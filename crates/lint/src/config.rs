@@ -1,0 +1,98 @@
+//! The repo-specific knowledge: which files are request-reachable, which
+//! are mining hot path, which crates may skip `#![forbid(unsafe_code)]`,
+//! and which documents carry checkable constant claims.
+//!
+//! Paths are workspace-relative with `/` separators. Keeping this in code
+//! (rather than a config file) is deliberate: the classification *is* an
+//! invariant of the architecture, and changing it should look like a code
+//! change in review.
+
+/// Classification of one source file, driving which rules apply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileCtx {
+    /// A request can reach this module: the serving layer and the engine
+    /// it drives. `panic-free-serving` applies.
+    pub request_reachable: bool,
+    /// Mining recursion / worker-loop code: `no-raw-clock-in-hot-path`
+    /// applies.
+    pub hot_path: bool,
+    /// A crate root (`src/lib.rs`): `forbid-unsafe` applies.
+    pub crate_root: bool,
+    /// Crate allowlisted to omit `#![forbid(unsafe_code)]`.
+    pub unsafe_allowlisted: bool,
+}
+
+/// Module trees a request can reach: the whole server crate (HTTP codec,
+/// pool, registry, cache, handlers) and the engine layer it calls into.
+const REQUEST_REACHABLE_PREFIXES: &[&str] = &["crates/server/src/", "crates/core/src/engine"];
+
+/// Files forming the mining recursion and the loops that drive it. Clock
+/// access here must flow through `ControlProbe` (see DESIGN.md §6); the
+/// probe's own implementation carries `lint:allow` pragmas, being the one
+/// sanctioned reader of the wall clock.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/growth.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/incremental.rs",
+    "crates/core/src/rplist.rs",
+    "crates/core/src/tree.rs",
+    "crates/core/src/merge.rs",
+    "crates/core/src/measures.rs",
+    "crates/server/src/lib.rs",
+    "crates/server/src/pool.rs",
+];
+
+/// Hot-path module trees (every file below them).
+const HOT_PATH_PREFIXES: &[&str] = &["crates/core/src/engine"];
+
+/// Crates allowed to omit `#![forbid(unsafe_code)]` from their root.
+/// Empty today — additions need a justification in DESIGN.md §7.
+const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Documents scanned by `doc-constant-drift` for `` `NAME = value` ``
+/// claims.
+pub const CHECKED_DOCS: &[&str] = &["DESIGN.md", "docs/ARCHITECTURE.md"];
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel: &str) -> FileCtx {
+    let crate_root =
+        rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"));
+    FileCtx {
+        request_reachable: REQUEST_REACHABLE_PREFIXES.iter().any(|p| rel.starts_with(p)),
+        hot_path: HOT_PATH_FILES.contains(&rel)
+            || HOT_PATH_PREFIXES.iter().any(|p| rel.starts_with(p)),
+        crate_root,
+        unsafe_allowlisted: crate_root && UNSAFE_ALLOWLIST.iter().any(|c| rel.starts_with(c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_and_engine_are_request_reachable() {
+        assert!(classify("crates/server/src/http.rs").request_reachable);
+        assert!(classify("crates/server/src/lib.rs").request_reachable);
+        assert!(classify("crates/core/src/engine/session.rs").request_reachable);
+        assert!(classify("crates/core/src/engine.rs").request_reachable);
+        assert!(!classify("crates/core/src/growth.rs").request_reachable);
+        assert!(!classify("crates/bench/src/lib.rs").request_reachable);
+    }
+
+    #[test]
+    fn hot_path_covers_recursion_and_workers() {
+        assert!(classify("crates/core/src/growth.rs").hot_path);
+        assert!(classify("crates/core/src/engine/control.rs").hot_path);
+        assert!(classify("crates/server/src/lib.rs").hot_path);
+        assert!(!classify("crates/datagen/src/zipf.rs").hot_path);
+    }
+
+    #[test]
+    fn crate_roots_are_detected() {
+        assert!(classify("src/lib.rs").crate_root);
+        assert!(classify("crates/lint/src/lib.rs").crate_root);
+        assert!(!classify("crates/server/src/pool.rs").crate_root);
+        assert!(!classify("src/bin/rpm.rs").crate_root);
+    }
+}

@@ -1,0 +1,436 @@
+//! **doc-constant-drift** — documentation that quotes a constant must
+//! match the code.
+//!
+//! DESIGN.md and ARCHITECTURE.md state operational numbers (probe period,
+//! request size caps) that readers treat as authoritative. The convention:
+//! a backticked claim of the form `` `NAME = value` `` (SCREAMING_CASE
+//! name; integer value, optionally with a `KiB`/`MiB`/`GiB` unit) is
+//! *checkable*, and this rule verifies it against the workspace's `const`
+//! declarations. Prose that merely mentions a name stays unchecked — the
+//! `=` inside backticks is the opt-in.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::Analysis;
+use crate::lexer::TokKind;
+use crate::{Violation, RULE_DOC_DRIFT};
+
+/// One `const NAME: _ = expr;` found in the workspace.
+#[derive(Debug, Clone)]
+pub struct ConstDecl {
+    /// File declaring it (workspace-relative).
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Evaluated value, when the initializer is simple arithmetic.
+    pub value: Option<i128>,
+}
+
+/// All SCREAMING_CASE consts of the workspace, name → declarations.
+#[derive(Debug, Default)]
+pub struct ConstTable {
+    decls: BTreeMap<String, Vec<ConstDecl>>,
+}
+
+impl ConstTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Harvests `const` declarations from one analysed file.
+    pub fn collect(&mut self, file: &str, a: &Analysis<'_>) {
+        let code = &a.code;
+        let mut i = 0;
+        while i < code.len() {
+            // `const NAME : … = expr ;` — generic const params (`const N:
+            // usize` in angle brackets) have no `=` before `,`/`>` and are
+            // skipped by the initializer scan below.
+            if !(code[i].kind == TokKind::Ident && code[i].text == "const") {
+                i += 1;
+                continue;
+            }
+            let Some(name_tok) = code.get(i + 1) else { break };
+            if name_tok.kind != TokKind::Ident || !is_screaming(name_tok.text) {
+                i += 1;
+                continue;
+            }
+            // Find `=` then `;` at this nesting level; bail at `,`, `>`, or
+            // either brace before the `=` (not a const item).
+            let mut j = i + 2;
+            let mut eq = None;
+            while j < code.len() {
+                let t = &code[j];
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "=" => {
+                            eq = Some(j);
+                            break;
+                        }
+                        "," | ">" | ";" | "{" | "}" => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let Some(eq) = eq else {
+                i += 1;
+                continue;
+            };
+            let mut end = eq + 1;
+            while end < code.len() && !(code[end].kind == TokKind::Punct && code[end].text == ";") {
+                end += 1;
+            }
+            let value = eval(&code[eq + 1..end]);
+            self.decls.entry(name_tok.text.to_string()).or_default().push(ConstDecl {
+                file: file.to_string(),
+                line: name_tok.line,
+                value,
+            });
+            i = end + 1;
+        }
+    }
+
+    /// Declarations of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&[ConstDecl]> {
+        self.decls.get(name).map(Vec::as_slice)
+    }
+}
+
+fn is_screaming(s: &str) -> bool {
+    s.len() >= 2
+        && s.chars().any(|c| c.is_ascii_uppercase())
+        && s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Evaluates a simple const initializer: integer literals (any radix,
+/// `_` separators, type suffixes), `+ - * / << >>` and parentheses.
+/// Anything else (named refs, casts, method calls) yields `None`.
+fn eval(toks: &[crate::lexer::Tok<'_>]) -> Option<i128> {
+    let mut pos = 0usize;
+    let v = eval_shift(toks, &mut pos)?;
+    if pos == toks.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn peek_punct<'a>(toks: &'a [crate::lexer::Tok<'a>], pos: usize) -> Option<&'a str> {
+    toks.get(pos).filter(|t| t.kind == TokKind::Punct).map(|t| t.text)
+}
+
+fn eval_shift(toks: &[crate::lexer::Tok<'_>], pos: &mut usize) -> Option<i128> {
+    let mut acc = eval_add(toks, pos)?;
+    while let (Some(a), Some(b)) = (peek_punct(toks, *pos), peek_punct(toks, *pos + 1)) {
+        if (a, b) == ("<", "<") {
+            *pos += 2;
+            acc = acc.checked_shl(u32::try_from(eval_add(toks, pos)?).ok()?)?;
+        } else if (a, b) == (">", ">") {
+            *pos += 2;
+            acc = acc.checked_shr(u32::try_from(eval_add(toks, pos)?).ok()?)?;
+        } else {
+            break;
+        }
+    }
+    Some(acc)
+}
+
+fn eval_add(toks: &[crate::lexer::Tok<'_>], pos: &mut usize) -> Option<i128> {
+    let mut acc = eval_mul(toks, pos)?;
+    while let Some(op) = peek_punct(toks, *pos) {
+        match op {
+            "+" => {
+                *pos += 1;
+                acc = acc.checked_add(eval_mul(toks, pos)?)?;
+            }
+            "-" => {
+                *pos += 1;
+                acc = acc.checked_sub(eval_mul(toks, pos)?)?;
+            }
+            _ => break,
+        }
+    }
+    Some(acc)
+}
+
+fn eval_mul(toks: &[crate::lexer::Tok<'_>], pos: &mut usize) -> Option<i128> {
+    let mut acc = eval_atom(toks, pos)?;
+    while let Some(op) = peek_punct(toks, *pos) {
+        match op {
+            "*" => {
+                *pos += 1;
+                acc = acc.checked_mul(eval_atom(toks, pos)?)?;
+            }
+            "/" => {
+                *pos += 1;
+                acc = acc.checked_div(eval_atom(toks, pos)?)?;
+            }
+            _ => break,
+        }
+    }
+    Some(acc)
+}
+
+fn eval_atom(toks: &[crate::lexer::Tok<'_>], pos: &mut usize) -> Option<i128> {
+    match peek_punct(toks, *pos) {
+        Some("(") => {
+            *pos += 1;
+            let v = eval_shift(toks, pos)?;
+            if peek_punct(toks, *pos) != Some(")") {
+                return None;
+            }
+            *pos += 1;
+            Some(v)
+        }
+        Some("-") => {
+            *pos += 1;
+            Some(-eval_atom(toks, pos)?)
+        }
+        _ => {
+            let t = toks.get(*pos)?;
+            if t.kind != TokKind::Num {
+                return None;
+            }
+            *pos += 1;
+            parse_int(t.text)
+        }
+    }
+}
+
+/// Parses a Rust integer literal: radix prefixes, `_` separators, and a
+/// trailing type suffix.
+fn parse_int(text: &str) -> Option<i128> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, digits) = match clean.as_str() {
+        s if s.starts_with("0x") || s.starts_with("0X") => (16, &s[2..]),
+        s if s.starts_with("0o") || s.starts_with("0O") => (8, &s[2..]),
+        s if s.starts_with("0b") || s.starts_with("0B") => (2, &s[2..]),
+        s => (10, s),
+    };
+    let end =
+        digits.char_indices().find(|(_, c)| !c.is_digit(radix)).map_or(digits.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    let (num, suffix) = digits.split_at(end);
+    const SUFFIXES: &[&str] = &[
+        "", "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+    ];
+    if !SUFFIXES.contains(&suffix) {
+        return None;
+    }
+    i128::from_str_radix(num, radix).ok()
+}
+
+/// A claim parsed from a doc: `` `NAME = value` ``.
+#[derive(Debug, PartialEq)]
+struct Claim {
+    name: String,
+    value: i128,
+    line: u32,
+}
+
+/// Parses the value side of a claim: integer (with `_`), optional
+/// binary-unit suffix.
+fn parse_claim_value(s: &str) -> Option<i128> {
+    let s = s.trim();
+    let (num, unit) = match s.split_once(char::is_whitespace) {
+        Some((n, u)) => (n, u.trim()),
+        None => {
+            // Allow `64KiB` without a space.
+            let split = s.find(|c: char| c.is_ascii_alphabetic() && c != '_');
+            match split {
+                Some(i) if i > 0 => (&s[..i], &s[i..]),
+                _ => (s, ""),
+            }
+        }
+    };
+    let base: i128 = num.replace('_', "").parse().ok()?;
+    let mult: i128 = match unit {
+        "" => 1,
+        "KiB" => 1 << 10,
+        "MiB" => 1 << 20,
+        "GiB" => 1 << 30,
+        _ => return None,
+    };
+    base.checked_mul(mult)
+}
+
+fn claims_in(doc: &str) -> Vec<Claim> {
+    let mut claims = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in doc.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        let mut consumed = 0usize;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            let span = &after[..close];
+            if let Some((name, value)) = span.split_once('=') {
+                let name = name.trim();
+                if is_screaming(name) {
+                    if let Some(value) = parse_claim_value(value) {
+                        claims.push(Claim {
+                            name: name.to_string(),
+                            value,
+                            line: (lineno + 1) as u32,
+                        });
+                    }
+                }
+            }
+            consumed += open + 1 + close + 1;
+            rest = &line[consumed..];
+        }
+    }
+    claims
+}
+
+/// Renders a value with its friendliest binary unit, for messages.
+fn human(v: i128) -> String {
+    for (unit, shift) in [("GiB", 30u32), ("MiB", 20), ("KiB", 10)] {
+        if v != 0 && v % (1i128 << shift) == 0 && v >= (1i128 << shift) {
+            return format!("{} {unit} ({v})", v >> shift);
+        }
+    }
+    v.to_string()
+}
+
+/// Checks one document's claims against the const table.
+pub fn check_doc(doc_rel: &str, doc_text: &str, consts: &ConstTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for claim in claims_in(doc_text) {
+        let mut fail = |message: String| {
+            out.push(Violation {
+                rule: RULE_DOC_DRIFT,
+                file: doc_rel.to_string(),
+                line: claim.line,
+                message,
+            });
+        };
+        match consts.get(&claim.name) {
+            None => fail(format!(
+                "doc claims `{} = {}` but no such const exists in the workspace",
+                claim.name, claim.value
+            )),
+            Some(decls) => {
+                let evaluated: Vec<&ConstDecl> =
+                    decls.iter().filter(|d| d.value.is_some()).collect();
+                if evaluated.is_empty() {
+                    // Declared but with an initializer the evaluator cannot
+                    // fold — nothing to verify against.
+                    continue;
+                }
+                if !evaluated.iter().any(|d| d.value == Some(claim.value)) {
+                    let actual = evaluated
+                        .iter()
+                        .map(|d| {
+                            format!("{} at {}:{}", human(d.value.unwrap_or(0)), d.file, d.line)
+                        })
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    fail(format!(
+                        "doc claims `{} = {}` but the code defines {}",
+                        claim.name,
+                        human(claim.value),
+                        actual
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(sources: &[(&str, &str)]) -> ConstTable {
+        let mut t = ConstTable::new();
+        for (file, src) in sources {
+            let mut sink = Vec::new();
+            let a = Analysis::build(file, src, &mut sink);
+            t.collect(file, &a);
+        }
+        t
+    }
+
+    #[test]
+    fn const_expressions_evaluate() {
+        let t = table(&[(
+            "a.rs",
+            "pub const AA: usize = 64 * 1024;\n\
+             const BB: u16 = 32;\n\
+             const CC: usize = 1 << 20;\n\
+             const DD: usize = (2 + 3) * 4;\n\
+             const EE: i64 = 0x1F;\n\
+             const FF: usize = 256 * 1024 * 1024;\n\
+             const GG: usize = 1_000_000usize;",
+        )]);
+        let val = |n: &str| t.get(n).unwrap()[0].value;
+        assert_eq!(val("AA"), Some(65536));
+        assert_eq!(val("BB"), Some(32));
+        assert_eq!(val("CC"), Some(1 << 20));
+        assert_eq!(val("DD"), Some(20));
+        assert_eq!(val("EE"), Some(31));
+        assert_eq!(val("FF"), Some(268435456));
+        assert_eq!(val("GG"), Some(1_000_000));
+    }
+
+    #[test]
+    fn unevaluable_consts_are_recorded_without_value() {
+        let t = table(&[("a.rs", "const AA: usize = OTHER + 1; const OK: usize = 2;")]);
+        assert_eq!(t.get("AA").unwrap()[0].value, None);
+        assert_eq!(t.get("OK").unwrap()[0].value, Some(2));
+    }
+
+    #[test]
+    fn generic_const_params_are_not_collected() {
+        let t = table(&[("a.rs", "fn f<const N: usize>() {} struct S<const M: usize = 4>;")]);
+        assert!(t.get("N").is_none());
+        // `M = 4` has a default — `=` before `,`/`>`… the scan sees `=` then
+        // runs to `;`: recorded, which is harmless (value matches the code).
+    }
+
+    #[test]
+    fn claims_parse_units_and_fences() {
+        let doc = "The cap is `MAX_HEAD = 64 KiB` and `PERIOD = 32`.\n\
+                   ```\n`IGNORED = 1` (inside a fence)\n```\n\
+                   Prose mention of `MAX_HEAD` alone is not a claim.\n\
+                   `lower = 5` is not screaming case.\n";
+        let claims = claims_in(doc);
+        assert_eq!(claims.len(), 2);
+        assert_eq!(claims[0], Claim { name: "MAX_HEAD".into(), value: 65536, line: 1 });
+        assert_eq!(claims[1], Claim { name: "PERIOD".into(), value: 32, line: 1 });
+    }
+
+    #[test]
+    fn drift_and_missing_consts_are_reported() {
+        let t = table(&[("src/x.rs", "const CAP: usize = 64 * 1024; const PP: u16 = 32;")]);
+        // Matching claim: clean.
+        assert!(check_doc("D.md", "`CAP = 64 KiB`, `PP = 32`", &t).is_empty());
+        // Wrong value.
+        let v = check_doc("D.md", "`CAP = 128 KiB`", &t);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("code defines 64 KiB"), "{}", v[0].message);
+        // Unknown name.
+        let v = check_doc("D.md", "`NOPE = 3`", &t);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no such const"));
+    }
+
+    #[test]
+    fn multiple_decls_accept_any_match() {
+        let t = table(&[("a.rs", "const NN: usize = 8;"), ("b.rs", "const NN: usize = 9;")]);
+        assert!(check_doc("D.md", "`NN = 9`", &t).is_empty());
+        assert_eq!(check_doc("D.md", "`NN = 10`", &t).len(), 1);
+    }
+}

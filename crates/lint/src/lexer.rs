@@ -1,0 +1,446 @@
+//! A hand-rolled Rust lexer, exact where it matters for linting.
+//!
+//! The rules downstream only need a token stream that never mistakes
+//! *text* for *code*: an `unwrap()` inside a string literal, a doc-comment
+//! example or a nested block comment must not trip a lint. So the lexer is
+//! precise about exactly the constructs that embed arbitrary text —
+//! strings (plain, byte, C, raw with any number of `#`s), char literals
+//! versus lifetimes, and block comments with nesting — and deliberately
+//! coarse everywhere else (every operator character is a one-byte `Punct`;
+//! numeric literals keep their suffixes).
+
+/// What a token is; rules match on kind + text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (includes raw identifiers, text keeps `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text includes the quote).
+    Lifetime,
+    /// Character or byte-character literal.
+    Char,
+    /// Any string-like literal: `"…"`, `b"…"`, `c"…"`, `r#"…"#`, `br"…"`.
+    Str,
+    /// Numeric literal, suffix attached (`64usize`, `0x1F`, `1.5e3`).
+    Num,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// `//…` comment that is **not** a doc comment.
+    LineComment,
+    /// `///…` or `//!…` doc comment.
+    DocComment,
+    /// `/*…*/` comment (nesting handled), including `/**…*/` doc blocks.
+    BlockComment,
+}
+
+/// One lexed token: kind, source text, and 1-based line of its first byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'s> {
+    /// Token class.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: &'s str,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(ahead)
+    }
+
+    fn peek_byte(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Advances while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into a flat token stream. Never fails: unterminated
+/// constructs simply run to end of input (the compiler is the authority on
+/// well-formedness; the linter only needs to not misclassify).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut cur = Cursor { src, bytes: src.as_bytes(), pos: 0, line: 1 };
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            '/' if cur.peek_byte(1) == Some(b'/') => lex_line_comment(&mut cur),
+            '/' if cur.peek_byte(1) == Some(b'*') => lex_block_comment(&mut cur),
+            '\'' => lex_quote(&mut cur),
+            '"' => lex_string(&mut cur),
+            'r' | 'b' | 'c' if string_prefix_len(&cur) > 0 => {
+                let prefix = string_prefix_len(&cur);
+                for _ in 0..prefix {
+                    cur.bump();
+                }
+                match cur.peek(0) {
+                    Some('\'') => lex_quote_forced_char(&mut cur),
+                    Some('"') => lex_string(&mut cur),
+                    Some('#') => lex_raw_string(&mut cur),
+                    // string_prefix_len guarantees a quote or hash; stay
+                    // total anyway.
+                    _ => TokKind::Ident,
+                }
+            }
+            c if is_ident_start(c) => {
+                cur.bump();
+                if c == 'r' && cur.peek(0) == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+                    cur.bump(); // raw identifier `r#type`
+                }
+                cur.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => lex_number(&mut cur),
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        toks.push(Tok { kind, text: &src[start..cur.pos], line });
+    }
+    toks
+}
+
+/// Length in chars of a string-literal prefix (`r`, `b`, `c`, `br`, `cr`,
+/// `rb` is not valid Rust and yields 0) at the cursor, or 0 when the next
+/// token is a plain identifier that merely *starts* with those letters.
+fn string_prefix_len(cur: &Cursor<'_>) -> usize {
+    let rest = &cur.src[cur.pos..];
+    for (prefix, raw) in [("br", true), ("cr", true), ("r", true), ("b", false), ("c", false)] {
+        if let Some(after) = rest.strip_prefix(prefix) {
+            let mut chars = after.chars();
+            match chars.next() {
+                Some('"') => return prefix.len(),
+                Some('\'') if prefix == "b" => return prefix.len(),
+                Some('#') if raw => {
+                    // `r#…` is a raw string only when hashes lead to a quote;
+                    // `r#ident` is a raw identifier.
+                    let tail = after.trim_start_matches('#');
+                    if tail.starts_with('"') {
+                        return prefix.len();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    0
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokKind {
+    let rest = &cur.src[cur.pos..];
+    // `///` and `//!` are doc comments; `////…` is a plain comment again.
+    let doc = (rest.starts_with("///") && !rest.starts_with("////")) || rest.starts_with("//!");
+    cur.eat_while(|c| c != '\n');
+    if doc {
+        TokKind::DocComment
+    } else {
+        TokKind::LineComment
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek_byte(0), cur.peek_byte(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: run to EOF
+        }
+    }
+    TokKind::BlockComment
+}
+
+/// A `'` where both lifetimes and char literals are possible.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // opening '
+    match cur.peek(0) {
+        // `'\…'` is always a char literal.
+        Some('\\') => {
+            consume_char_body(cur);
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be `'a'` (char) or `'a` / `'static` (lifetime): consume
+            // the identifier run, then look for the closing quote.
+            cur.eat_while(is_ident_continue);
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+                TokKind::Char
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        // `'_` anonymous lifetime (is_ident_start covers `_`, kept explicit
+        // in spirit); any other char (`' '`, `'0'`, `'('`) is a char literal.
+        Some(_) => {
+            consume_char_body(cur);
+            TokKind::Char
+        }
+        None => TokKind::Punct,
+    }
+}
+
+/// A `'` after a `b` prefix: always a byte-char literal.
+fn lex_quote_forced_char(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump();
+    consume_char_body(cur);
+    TokKind::Char
+}
+
+/// Consumes the body and closing quote of a char literal whose opening
+/// quote is already consumed.
+fn consume_char_body(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump(); // the escaped char; `\u{…}` closes on the brace scan below
+            }
+            Some('\'') | None => break,
+            Some('\n') => break, // stray quote, don't swallow the file
+            Some(_) => {}
+        }
+    }
+}
+
+/// A `"` (any non-raw prefix already consumed): escape-aware scan.
+fn lex_string(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // opening "
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+    TokKind::Str
+}
+
+/// A raw string starting at its hashes: `#…#"…"#…#` with the same count.
+fn lex_raw_string(cur: &mut Cursor<'_>) -> TokKind {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek(0) == Some('"') {
+        cur.bump();
+        'scan: while let Some(c) = cur.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if cur.peek_byte(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    }
+    TokKind::Str
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump();
+    loop {
+        match cur.peek(0) {
+            Some(c) if is_ident_continue(c) => {
+                cur.bump();
+                // `1e-5` / `1E+3`: the sign belongs to the literal.
+                if (c == 'e' || c == 'E') && matches!(cur.peek(0), Some('+') | Some('-')) {
+                    cur.bump();
+                }
+            }
+            // A dot continues the number only before a digit (so `0..10`
+            // leaves the range operator alone and `x.1` stays a field).
+            Some('.') if cur.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    TokKind::Num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 42usize;"),
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Num, "42usize"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.unwrap() // not code";"#);
+        assert_eq!(toks[3].0, TokKind::Str);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " inside"#; x"####;
+        let toks = kinds(src);
+        assert_eq!(toks[3], (TokKind::Str, r###"r#"quote " inside"#"###));
+        assert_eq!(toks.last().unwrap().1, "x");
+        // Two hashes, embedded `"#`.
+        let src2 = r####"r##"one "# still going"## y"####;
+        let toks2 = kinds(src2);
+        assert_eq!(toks2[0].0, TokKind::Str);
+        assert_eq!(toks2[1], (TokKind::Ident, "y"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        assert_eq!(
+            kinds("r#type = r#match"),
+            vec![(TokKind::Ident, "r#type"), (TokKind::Punct, "="), (TokKind::Ident, "r#match")]
+        );
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r#"b"bytes" c"cstr" br"raw" b'x'"#);
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![TokKind::Str, TokKind::Str, TokKind::Str, TokKind::Char]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = '\\''; let sp = ' '; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| *t).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, t)| *t).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'a'", "'\\''", "' '"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_anonymous() {
+        let toks = kinds("&'static str, &'_ T");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| *t).collect();
+        assert_eq!(lifetimes, vec!["'static", "'_"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks[0], (TokKind::Ident, "a"));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[2], (TokKind::Ident, "b"));
+        // Doubly nested.
+        let toks2 = kinds("x /* 1 /* 2 /* 3 */ 2 */ 1 */ y");
+        assert_eq!(toks2.len(), 3);
+        assert_eq!(toks2[2].1, "y");
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let toks = kinds("/// outer doc\n//! inner doc\n// plain\n//// plain again\nfn f() {}");
+        let doc: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::DocComment).map(|(_, t)| *t).collect();
+        let plain: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::LineComment).map(|(_, t)| *t).collect();
+        assert_eq!(doc, vec!["/// outer doc", "//! inner doc"]);
+        assert_eq!(plain, vec!["// plain", "//// plain again"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_loop() {
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("r##\"never closed\"#").len(), 1);
+    }
+
+    #[test]
+    fn number_edge_cases() {
+        let toks = kinds("0..10 1.5e-3 0x1F_usize x.0");
+        assert_eq!(toks[0], (TokKind::Num, "0"));
+        assert_eq!(toks[1], (TokKind::Punct, "."));
+        assert_eq!(toks[2], (TokKind::Punct, "."));
+        assert_eq!(toks[3], (TokKind::Num, "10"));
+        assert_eq!(toks[4], (TokKind::Num, "1.5e-3"));
+        assert_eq!(toks[5], (TokKind::Num, "0x1F_usize"));
+        assert_eq!(toks[6], (TokKind::Ident, "x"));
+        assert_eq!(toks[7], (TokKind::Punct, "."));
+        assert_eq!(toks[8], (TokKind::Num, "0"));
+    }
+}

@@ -1,0 +1,318 @@
+//! `rpm-lint` — the repo's own static analyzer, run as a tier-1 gate.
+//!
+//! Generic tooling cannot see this project's invariants: that the serving
+//! layer must never panic on request input, that poisoned locks must be
+//! recovered rather than re-panicked, that hot loops observe time through
+//! `ControlProbe`, that every crate forbids `unsafe`, and that the numbers
+//! DESIGN.md quotes match the constants in the code. `rpm-lint` encodes
+//! exactly those rules over a hand-rolled lexer — no dependencies, so the
+//! gate stays offline and builds from `std` alone.
+//!
+//! # Rules
+//!
+//! | rule | scope | denies |
+//! |------|-------|--------|
+//! | `panic-free-serving` | request-reachable modules | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `lock-discipline` | whole workspace | `.lock()/.read()/.write()/.wait().unwrap/expect` (poison → panic); guard live across socket I/O |
+//! | `no-raw-clock-in-hot-path` | mining recursion & worker loops | `Instant::now`, `SystemTime::now` |
+//! | `forbid-unsafe` | crate roots | missing `#![forbid(unsafe_code)]` |
+//! | `doc-constant-drift` | DESIGN.md, ARCHITECTURE.md | `` `NAME = value` `` claims that mismatch the `const`s |
+//! | `pragma-hygiene` | everywhere | malformed / reason-less / unknown-rule `lint:allow` pragmas |
+//!
+//! A violation is suppressed by `// lint:allow(rule): reason` on the same
+//! or the preceding line; the reason is mandatory and its absence is
+//! itself a violation. See CONTRIBUTING.md for when a pragma is
+//! acceptable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(deprecated)]
+
+pub mod analysis;
+pub mod config;
+pub mod docdrift;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use analysis::Analysis;
+use docdrift::ConstTable;
+
+/// Rule name: panics in request-reachable modules.
+pub const RULE_PANIC_FREE: &str = "panic-free-serving";
+/// Rule name: poisoned-lock panics and guards held across socket I/O.
+pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule name: raw clock reads in hot-path modules.
+pub const RULE_RAW_CLOCK: &str = "no-raw-clock-in-hot-path";
+/// Rule name: crate roots missing `#![forbid(unsafe_code)]`.
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Rule name: documented constants drifting from the code.
+pub const RULE_DOC_DRIFT: &str = "doc-constant-drift";
+/// Rule name: malformed or reason-less `lint:allow` pragmas.
+pub const RULE_PRAGMA: &str = "pragma-hygiene";
+
+/// Every rule name, for pragma validation and `--list-rules`.
+pub const RULES: &[&str] = &[
+    RULE_PANIC_FREE,
+    RULE_LOCK_DISCIPLINE,
+    RULE_RAW_CLOCK,
+    RULE_FORBID_UNSAFE,
+    RULE_DOC_DRIFT,
+    RULE_PRAGMA,
+];
+
+/// One finding: rule, location, human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule, message).
+    pub violations: Vec<Violation>,
+    /// How many `.rs` files were analysed.
+    pub files_scanned: usize,
+    /// How many documents were checked for constant drift.
+    pub docs_checked: usize,
+}
+
+impl Report {
+    /// Whether the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            s.push_str(&v.to_string());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "rpm-lint: {} file(s), {} doc(s): {}\n",
+            self.files_scanned,
+            self.docs_checked,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        ));
+        s
+    }
+
+    /// Renders the machine-readable report (stable field order).
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(v.rule),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"docs_checked\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.docs_checked,
+            self.is_clean()
+        ));
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints a single file's source under its path-derived context. The
+/// workhorse behind [`lint_workspace`], public for fixture-driven tests.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    let ctx = config::classify(rel);
+    let mut out = Vec::new();
+    let a = Analysis::build(rel, src, &mut out);
+    rules::panic_free(rel, &ctx, &a, &mut out);
+    rules::lock_discipline(rel, &ctx, &a, &mut out);
+    rules::raw_clock(rel, &ctx, &a, &mut out);
+    rules::forbid_unsafe(rel, &ctx, &a, &mut out);
+    out
+}
+
+/// Checks doc constant claims against consts harvested from `sources`
+/// (`(rel_path, source)` pairs). Public for fixture-driven tests.
+pub fn lint_docs(doc_rel: &str, doc_text: &str, sources: &[(&str, &str)]) -> Vec<Violation> {
+    let mut consts = ConstTable::new();
+    for (rel, src) in sources {
+        let mut sink = Vec::new();
+        let a = Analysis::build(rel, src, &mut sink);
+        consts.collect(rel, &a);
+    }
+    docdrift::check_doc(doc_rel, doc_text, &consts)
+}
+
+/// Directories under the workspace root whose `.rs` files are shipped code
+/// (tests/, examples/ and benches/ may panic freely and are not linted).
+fn source_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        roots.extend(crates);
+    }
+    roots
+}
+
+fn walk_rs(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // Fixture trees contain deliberate violations.
+            if path.file_name().is_some_and(|n| n == "fixtures" || n == "target") {
+                continue;
+            }
+            walk_rs(&path, files);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints the whole workspace rooted at `root`: every shipped `.rs` file
+/// under `src/` and `crates/*/src/`, plus the checked documents.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for dir in source_roots(root) {
+        walk_rs(&dir, &mut files);
+    }
+    if files.is_empty() {
+        return Err(format!("no Rust sources found under {} — wrong --root?", root.display()));
+    }
+    let mut violations = Vec::new();
+    let mut consts = ConstTable::new();
+    for path in &files {
+        let rel = rel_str(root, path);
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let ctx = config::classify(&rel);
+        let mut out = Vec::new();
+        let a = Analysis::build(&rel, &src, &mut out);
+        rules::panic_free(&rel, &ctx, &a, &mut out);
+        rules::lock_discipline(&rel, &ctx, &a, &mut out);
+        rules::raw_clock(&rel, &ctx, &a, &mut out);
+        rules::forbid_unsafe(&rel, &ctx, &a, &mut out);
+        consts.collect(&rel, &a);
+        violations.extend(out);
+    }
+    let mut docs_checked = 0;
+    for doc in config::CHECKED_DOCS {
+        let path = root.join(doc);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            violations.push(Violation {
+                rule: RULE_DOC_DRIFT,
+                file: (*doc).to_string(),
+                line: 1,
+                message: "checked document is missing".to_string(),
+            });
+            continue;
+        };
+        docs_checked += 1;
+        violations.extend(docdrift::check_doc(doc, &text, &consts));
+    }
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    Ok(Report { violations, files_scanned: files.len(), docs_checked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_rendering_is_deterministic_and_escaped() {
+        let report = Report {
+            violations: vec![Violation {
+                rule: RULE_PANIC_FREE,
+                file: "a/b.rs".into(),
+                line: 3,
+                message: "uses \"quotes\"".into(),
+            }],
+            files_scanned: 1,
+            docs_checked: 2,
+        };
+        let human = report.render_human();
+        assert!(human.contains("a/b.rs:3: [panic-free-serving]"));
+        assert!(human.contains("1 violation(s)"));
+        let json = report.render_json();
+        assert!(json.contains("\"file\": \"a/b.rs\""));
+        assert!(json.contains("uses \\\"quotes\\\""));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let report = Report { violations: vec![], files_scanned: 5, docs_checked: 2 };
+        assert!(report.is_clean());
+        assert!(report.render_human().contains("clean"));
+        assert!(report.render_json().contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn lint_source_applies_path_context() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(lint_source("crates/server/src/new.rs", src).len(), 1);
+        assert!(lint_source("crates/datagen/src/new.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! The `rpm-lint` binary: lints the workspace, prints human or `--json`
+//! output, exits non-zero on violations.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rpm_lint::lint_workspace;
+
+const USAGE: &str = "\
+usage: rpm-lint [--json] [--root DIR] [--list-rules]
+
+Repo-specific static analysis (see DESIGN.md §7). Exits 0 when clean,
+1 on violations, 2 on usage or I/O errors. Without --root, the workspace
+is found by walking up from the current directory.";
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in rpm_lint::RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("cannot find a workspace root (no Cargo.toml with [workspace] above cwd)");
+        return ExitCode::from(2);
+    };
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("rpm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

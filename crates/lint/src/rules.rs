@@ -1,0 +1,301 @@
+//! The token-level rules. Each walks [`Analysis::code`] — comments and
+//! test-only regions already stripped — and pushes [`Violation`]s that are
+//! not covered by a valid `lint:allow` pragma.
+
+use crate::analysis::Analysis;
+use crate::config::FileCtx;
+use crate::lexer::{Tok, TokKind};
+use crate::{Violation, RULE_FORBID_UNSAFE, RULE_LOCK_DISCIPLINE, RULE_PANIC_FREE, RULE_RAW_CLOCK};
+
+fn ident(t: &Tok<'_>, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn punct(t: &Tok<'_>, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn push(out: &mut Vec<Violation>, rule: &'static str, file: &str, line: u32, message: String) {
+    out.push(Violation { rule, file: file.to_string(), line, message });
+}
+
+/// The index just past a balanced `( … )` group whose `(` is at `open`,
+/// and whether the group is empty. Returns `None` when `open` is not `(`.
+fn skip_parens(code: &[Tok<'_>], open: usize) -> Option<(usize, bool)> {
+    if !punct(code.get(open)?, "(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < code.len() {
+        if punct(&code[k], "(") {
+            depth += 1;
+        } else if punct(&code[k], ")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some((k + 1, k == open + 1));
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// **panic-free-serving** — request-reachable modules must degrade to
+/// error responses, never panic: `.unwrap()`, `.expect(…)` and the
+/// panicking macros are denied.
+pub fn panic_free(file: &str, ctx: &FileCtx, a: &Analysis<'_>, out: &mut Vec<Violation>) {
+    if !ctx.request_reachable {
+        return;
+    }
+    let code = &a.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if a.allowed(RULE_PANIC_FREE, t.line) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            ident(t, name)
+                && i > 0
+                && punct(&code[i - 1], ".")
+                && i + 1 < code.len()
+                && punct(&code[i + 1], "(")
+        };
+        if method_call("unwrap") || method_call("expect") {
+            push(
+                out,
+                RULE_PANIC_FREE,
+                file,
+                t.line,
+                format!(
+                    ".{}() in a request-reachable module panics the worker on Err/None; \
+                     return an error response instead",
+                    t.text
+                ),
+            );
+        }
+        let panicking_macro = matches!(t.text, "panic" | "unreachable" | "todo" | "unimplemented")
+            && t.kind == TokKind::Ident
+            && i + 1 < code.len()
+            && punct(&code[i + 1], "!")
+            // `#[panic_handler]`-style attribute positions never have `!`;
+            // exclude macro *definitions* (`macro_rules!` names) by
+            // requiring the previous token not be `macro_rules`.
+            && !(i > 0 && ident(&code[i - 1], "macro_rules"));
+        if panicking_macro {
+            push(
+                out,
+                RULE_PANIC_FREE,
+                file,
+                t.line,
+                format!(
+                    "{}! in a request-reachable module kills the worker thread; \
+                     map the condition to a 4xx/5xx response",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Lock-acquisition methods whose result carries a `PoisonError`.
+/// `read`/`write` (RwLock) only count when called with no arguments, which
+/// distinguishes them from `io::Read::read` / `io::Write::write`.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write", "wait", "wait_timeout", "wait_while"];
+
+/// Socket/stream I/O methods that must not run under a held guard.
+const IO_METHODS: &[&str] =
+    &["write_all", "read_exact", "read_to_end", "read_to_string", "write_to"];
+
+/// **lock-discipline** — two failure shapes around `std::sync` locks:
+/// (1) `.lock().unwrap()` / `.expect(…)` turns a poisoned mutex into a
+/// panic — with `panic-free-serving` enforced, poisoning is unreachable,
+/// so recover via `PoisonError::into_inner` instead of re-panicking;
+/// (2) a guard binding still live at a socket read/write stretches the
+/// critical section over peer-controlled latency.
+pub fn lock_discipline(file: &str, _ctx: &FileCtx, a: &Analysis<'_>, out: &mut Vec<Violation>) {
+    let code = &a.code;
+    // (1) poison-to-panic chains.
+    for i in 0..code.len() {
+        let t = &code[i];
+        if !(t.kind == TokKind::Ident && LOCK_METHODS.contains(&t.text)) {
+            continue;
+        }
+        if !(i > 0 && punct(&code[i - 1], ".")) {
+            continue;
+        }
+        let Some((after, empty)) = skip_parens(code, i + 1) else { continue };
+        // RwLock's read()/write() take no arguments; read(buf)/write(buf)
+        // are stream I/O and not this rule's business.
+        if matches!(t.text, "read" | "write") && !empty {
+            continue;
+        }
+        // Condvar waits take the guard; lock() takes nothing.
+        if t.text == "lock" && !empty {
+            continue;
+        }
+        if after + 1 < code.len()
+            && punct(&code[after], ".")
+            && (ident(&code[after + 1], "unwrap") || ident(&code[after + 1], "expect"))
+        {
+            let site = &code[after + 1];
+            if a.allowed(RULE_LOCK_DISCIPLINE, site.line) {
+                continue;
+            }
+            push(
+                out,
+                RULE_LOCK_DISCIPLINE,
+                file,
+                site.line,
+                format!(
+                    ".{}().{}() panics on a poisoned lock; recover with \
+                     `unwrap_or_else(PoisonError::into_inner)` or handle the Err",
+                    t.text, site.text
+                ),
+            );
+        }
+    }
+    // (2) guard bindings live across socket I/O.
+    let mut depth = 0usize;
+    let mut guards: Vec<(&str, usize)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if punct(t, "{") {
+            depth += 1;
+        } else if punct(t, "}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|(_, d)| *d <= depth);
+        } else if ident(t, "drop")
+            && i + 3 < code.len()
+            && punct(&code[i + 1], "(")
+            && code[i + 2].kind == TokKind::Ident
+            && punct(&code[i + 3], ")")
+        {
+            let name = code[i + 2].text;
+            guards.retain(|(g, _)| *g != name);
+        } else if ident(t, "let") {
+            // `let [mut] NAME = … .lock() … ;` records NAME as a guard.
+            let mut j = i + 1;
+            if j < code.len() && ident(&code[j], "mut") {
+                j += 1;
+            }
+            if j + 1 < code.len() && code[j].kind == TokKind::Ident && punct(&code[j + 1], "=") {
+                let name = code[j].text;
+                let mut k = j + 2;
+                let mut acquires = false;
+                while k < code.len() && !punct(&code[k], ";") {
+                    if code[k].kind == TokKind::Ident
+                        && matches!(code[k].text, "lock" | "read" | "write")
+                        && k > 0
+                        && punct(&code[k - 1], ".")
+                    {
+                        if let Some((_, empty)) = skip_parens(code, k + 1) {
+                            if empty {
+                                acquires = true;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                if acquires {
+                    guards.push((name, depth));
+                }
+                i = k;
+                continue;
+            }
+        } else if t.kind == TokKind::Ident
+            && i > 0
+            && punct(&code[i - 1], ".")
+            && i + 1 < code.len()
+            && punct(&code[i + 1], "(")
+        {
+            let is_io = IO_METHODS.contains(&t.text)
+                || (t.text == "read" && skip_parens(code, i + 1).is_some_and(|(_, empty)| !empty));
+            if is_io && !guards.is_empty() && !a.allowed(RULE_LOCK_DISCIPLINE, t.line) {
+                let held: Vec<&str> = guards.iter().map(|(g, _)| *g).collect();
+                push(
+                    out,
+                    RULE_LOCK_DISCIPLINE,
+                    file,
+                    t.line,
+                    format!(
+                        ".{}() runs while lock guard `{}` is live; socket I/O blocks on the \
+                         peer, so drop the guard (or clone out the data) first",
+                        t.text,
+                        held.join("`, `")
+                    ),
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+/// **no-raw-clock-in-hot-path** — the mining recursion and worker loops
+/// must observe time through `ControlProbe` (amortised, abortable), never
+/// by calling `Instant::now` / `SystemTime::now` directly.
+pub fn raw_clock(file: &str, ctx: &FileCtx, a: &Analysis<'_>, out: &mut Vec<Violation>) {
+    if !ctx.hot_path {
+        return;
+    }
+    let code = &a.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if !(matches!(t.text, "Instant" | "SystemTime") && t.kind == TokKind::Ident) {
+            continue;
+        }
+        if i + 3 < code.len()
+            && punct(&code[i + 1], ":")
+            && punct(&code[i + 2], ":")
+            && ident(&code[i + 3], "now")
+        {
+            let site = &code[i + 3];
+            if a.allowed(RULE_RAW_CLOCK, site.line) {
+                continue;
+            }
+            push(
+                out,
+                RULE_RAW_CLOCK,
+                file,
+                site.line,
+                format!(
+                    "{}::now() in a hot-path module; time must flow through ControlProbe \
+                     so runs stay abortable and the clock cost stays amortised",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// **forbid-unsafe** — every crate root must carry `#![forbid(unsafe_code)]`
+/// unless the crate is allowlisted in the config.
+pub fn forbid_unsafe(file: &str, ctx: &FileCtx, a: &Analysis<'_>, out: &mut Vec<Violation>) {
+    if !ctx.crate_root || ctx.unsafe_allowlisted {
+        return;
+    }
+    let code = &a.code;
+    let found = (0..code.len()).any(|i| {
+        punct(&code[i], "#")
+            && i + 7 < code.len()
+            && punct(&code[i + 1], "!")
+            && punct(&code[i + 2], "[")
+            && ident(&code[i + 3], "forbid")
+            && punct(&code[i + 4], "(")
+            && ident(&code[i + 5], "unsafe_code")
+            && punct(&code[i + 6], ")")
+            && punct(&code[i + 7], "]")
+    });
+    if !found {
+        push(
+            out,
+            RULE_FORBID_UNSAFE,
+            file,
+            1,
+            "crate root lacks #![forbid(unsafe_code)]; add it (or allowlist the crate in \
+             rpm-lint's config with a justification)"
+                .to_string(),
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixture-driven rule tests: every seeded violation is caught, every
+//! clean counterpart passes. Fixtures live under `crates/lint/fixtures/`
+//! and are linted under synthetic workspace-relative paths so the path
+//! classifier applies the intended rules.
+
+use rpm_lint::{
+    lint_docs, lint_source, RULE_DOC_DRIFT, RULE_FORBID_UNSAFE, RULE_LOCK_DISCIPLINE,
+    RULE_PANIC_FREE, RULE_PRAGMA, RULE_RAW_CLOCK,
+};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn rules_fired(rel: &str, src: &str) -> Vec<&'static str> {
+    lint_source(rel, src).into_iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn panic_free_bad_catches_every_seeded_site() {
+    let src = fixture("panic_free_bad.rs");
+    let vs = lint_source("crates/server/src/fixture.rs", &src);
+    let panics = vs.iter().filter(|v| v.rule == RULE_PANIC_FREE).count();
+    // unwrap, expect, panic!, unreachable!, todo!, unimplemented!, and the
+    // unwrap under the reason-less pragma (which suppresses nothing).
+    assert_eq!(panics, 7, "got: {vs:#?}");
+    // The reason-less pragma is itself flagged.
+    assert_eq!(vs.iter().filter(|v| v.rule == RULE_PRAGMA).count(), 1, "got: {vs:#?}");
+}
+
+#[test]
+fn panic_free_clean_passes() {
+    let src = fixture("panic_free_clean.rs");
+    let vs = lint_source("crates/server/src/fixture.rs", &src);
+    assert!(vs.is_empty(), "got: {vs:#?}");
+}
+
+#[test]
+fn panic_free_does_not_apply_outside_request_reachable_code() {
+    let src = fixture("panic_free_bad.rs");
+    let vs = lint_source("crates/datagen/src/fixture.rs", &src);
+    assert!(
+        vs.iter().all(|v| v.rule != RULE_PANIC_FREE),
+        "panic-free fired outside its scope: {vs:#?}"
+    );
+}
+
+#[test]
+fn lock_bad_catches_poison_chains_and_guard_across_io() {
+    let src = fixture("lock_bad.rs");
+    let vs = lint_source("crates/datagen/src/fixture.rs", &src);
+    let lock = vs.iter().filter(|v| v.rule == RULE_LOCK_DISCIPLINE).count();
+    // Five poison-to-panic chains plus one write_all under a live guard.
+    assert_eq!(lock, 6, "got: {vs:#?}");
+    assert!(
+        vs.iter().any(|v| v.rule == RULE_LOCK_DISCIPLINE && v.message.contains("write_all")),
+        "guard-across-IO not caught: {vs:#?}"
+    );
+}
+
+#[test]
+fn lock_clean_passes_everywhere() {
+    let src = fixture("lock_clean.rs");
+    // lock-discipline is workspace-wide; check a few contexts.
+    for rel in ["crates/server/src/fixture.rs", "crates/datagen/src/fixture.rs"] {
+        let vs = lint_source(rel, &src);
+        assert!(vs.is_empty(), "{rel} got: {vs:#?}");
+    }
+}
+
+#[test]
+fn clock_bad_catches_instant_and_systemtime() {
+    let src = fixture("clock_bad.rs");
+    let vs = rules_fired("crates/core/src/engine/fixture.rs", &src);
+    assert_eq!(vs.iter().filter(|r| *r == &RULE_RAW_CLOCK).count(), 2, "got: {vs:?}");
+}
+
+#[test]
+fn clock_rule_is_scoped_to_hot_path() {
+    let src = fixture("clock_bad.rs");
+    let vs = rules_fired("crates/datagen/src/fixture.rs", &src);
+    assert!(vs.iter().all(|r| r != &RULE_RAW_CLOCK), "got: {vs:?}");
+}
+
+#[test]
+fn clock_clean_passes_in_hot_path() {
+    let src = fixture("clock_clean.rs");
+    let vs = lint_source("crates/core/src/engine/fixture.rs", &src);
+    assert!(vs.is_empty(), "got: {vs:#?}");
+}
+
+#[test]
+fn unsafe_rule_fires_only_on_crate_roots() {
+    let bad = fixture("unsafe_bad.rs");
+    let vs = lint_source("crates/fake/src/lib.rs", &bad);
+    assert_eq!(vs.iter().filter(|v| v.rule == RULE_FORBID_UNSAFE).count(), 1, "got: {vs:#?}");
+    // Same content under a non-root path: out of scope.
+    assert!(lint_source("crates/fake/src/util.rs", &bad).is_empty());
+    let clean = fixture("unsafe_clean.rs");
+    assert!(lint_source("crates/fake/src/lib.rs", &clean).is_empty());
+}
+
+#[test]
+fn doc_drift_catches_stale_and_unknown_claims() {
+    let consts = fixture("doc_consts.rs");
+    let doc = fixture("doc_claims_bad.md");
+    let vs = lint_docs("DESIGN.md", &doc, &[("crates/server/src/http.rs", &consts)]);
+    assert_eq!(vs.len(), 3, "got: {vs:#?}");
+    assert!(vs.iter().all(|v| v.rule == RULE_DOC_DRIFT));
+    assert!(vs.iter().any(|v| v.message.contains("MAX_HEAD_BYTES")));
+    assert!(vs.iter().any(|v| v.message.contains("PROBE_PERIOD")));
+    assert!(vs.iter().any(|v| v.message.contains("NO_SUCH_CONST")));
+}
+
+#[test]
+fn doc_drift_accepts_matching_claims() {
+    let consts = fixture("doc_consts.rs");
+    let doc = fixture("doc_claims_clean.md");
+    let vs = lint_docs("DESIGN.md", &doc, &[("crates/server/src/http.rs", &consts)]);
+    assert!(vs.is_empty(), "got: {vs:#?}");
+}

@@ -1,0 +1,19 @@
+//! The repo must lint clean against its own analyzer — the same check
+//! `scripts/verify.sh` runs, asserted here so `cargo test` alone catches a
+//! regression (and so a rule change that suddenly flags shipped code fails
+//! loudly in this crate's own suite).
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = rpm_lint::lint_workspace(&root).expect("lint run");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files ({}) — wrong root?",
+        report.files_scanned
+    );
+    assert_eq!(report.docs_checked, 2, "DESIGN.md and docs/ARCHITECTURE.md");
+    assert!(report.is_clean(), "violations:\n{}", report.render_human());
+}

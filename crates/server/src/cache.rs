@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rpm_core::pattern::RecurringPattern;
+use rpm_core::sync::lock_recover;
 use rpm_core::{PatternIndex, ResolvedParams};
 
 /// One cached complete result: the rendered JSON-lines body served byte-for-
@@ -104,7 +105,7 @@ impl ResultCache {
 
     /// Looks up a complete result, refreshing its recency on a hit.
     pub fn get(&self, fingerprint: u64, params: ResolvedParams) -> Option<Arc<CachedResult>> {
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = lock_recover(&self.state);
         state.tick += 1;
         let tick = state.tick;
         match state.slots.get_mut(&(fingerprint, params)) {
@@ -129,7 +130,7 @@ impl ResultCache {
         if cost > self.budget_bytes {
             return;
         }
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = lock_recover(&self.state);
         state.tick += 1;
         let tick = state.tick;
         if let Some(old) =
@@ -142,7 +143,7 @@ impl ResultCache {
             let Some((&key, _)) = state.slots.iter().min_by_key(|(_, slot)| slot.last_used) else {
                 break;
             };
-            let slot = state.slots.remove(&key).expect("key just found");
+            let Some(slot) = state.slots.remove(&key) else { break };
             state.bytes -= slot.cost;
             state.evictions += 1;
         }
@@ -151,19 +152,20 @@ impl ResultCache {
     /// Drops every entry mined from the dataset content `fingerprint` —
     /// called by the registry when an append retires that content.
     pub fn invalidate_fingerprint(&self, fingerprint: u64) {
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = lock_recover(&self.state);
         let stale: Vec<(u64, ResolvedParams)> =
             state.slots.keys().filter(|(fp, _)| *fp == fingerprint).copied().collect();
         for key in stale {
-            let slot = state.slots.remove(&key).expect("stale key present");
-            state.bytes -= slot.cost;
-            state.invalidations += 1;
+            if let Some(slot) = state.slots.remove(&key) {
+                state.bytes -= slot.cost;
+                state.invalidations += 1;
+            }
         }
     }
 
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
-        let state = self.state.lock().expect("cache lock");
+        let state = lock_recover(&self.state);
         CacheStats {
             hits: state.hits,
             misses: state.misses,

@@ -58,6 +58,7 @@ use rpm_core::engine::{CancelToken, MetricsCollector, MiningSession, RunControl}
 use rpm_core::growth::MineScratch;
 use rpm_core::params::{ResolvedParams, RpParams, Threshold};
 use rpm_core::pattern::RecurringPattern;
+use rpm_core::sync::{read_recover, write_recover};
 use rpm_core::write_patterns_json;
 use rpm_timeseries::Timestamp;
 
@@ -317,6 +318,10 @@ fn not_found(name: &str) -> Response {
     Response::json(404, error_body(&format!("no dataset named {name:?}")))
 }
 
+fn internal_error(message: &str) -> Response {
+    Response::json(500, error_body(message))
+}
+
 /// Parses `"25"` as an absolute count and `"2%"` as a fraction of the
 /// database length — the same grammar as the CLI's `--min-ps`.
 fn parse_threshold(text: &str) -> Result<Threshold, String> {
@@ -363,7 +368,7 @@ fn handle_list(shared: &Shared) -> Response {
     let mut rows = Vec::new();
     for name in shared.registry.names() {
         let Some(dataset) = shared.registry.get(&name) else { continue };
-        let ds = dataset.read().expect("dataset lock");
+        let ds = read_recover(&dataset);
         let hot = ds.hot_params();
         rows.push(format!(
             "{{\"name\":\"{}\",\"transactions\":{},\"items\":{},\"fingerprint\":\"{:016x}\",\
@@ -440,7 +445,7 @@ fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
         Ok(rows) => rows,
         Err(e) => return bad_request(&e),
     };
-    let mut ds = dataset.write().expect("dataset lock");
+    let mut ds = write_recover(&dataset);
     let old_fingerprint = ds.fingerprint();
     let before = ds.db().len();
     let outcome = ds.append_lines(&rows);
@@ -493,7 +498,7 @@ fn handle_mine(shared: &Shared, name: &str, req: &Request) -> Response {
 
     // Hold the read lock for the whole mine: appends to *this* dataset wait,
     // other datasets are untouched.
-    let ds = dataset.read().expect("dataset lock");
+    let ds = read_recover(&dataset);
     let resolved = match resolve_params(req, ds.db().len()) {
         Ok(p) => p,
         Err(resp) => return resp,
@@ -521,6 +526,7 @@ fn handle_mine(shared: &Shared, name: &str, req: &Request) -> Response {
         // The dataset's live scanners already hold the first-scan summaries
         // for exactly these parameters: skip the scan.
         ServerMetrics::bump(&shared.metrics.mine_fastpath);
+        // lint:allow(no-raw-clock-in-hot-path): per-request wall measurement for metrics, outside the recursion
         let started = Instant::now();
         let mut scratch = MineScratch::default();
         let (result, abort) = ds.miner().mine_controlled(&control, &mut scratch);
@@ -557,8 +563,9 @@ fn handle_mine(shared: &Shared, name: &str, req: &Request) -> Response {
     };
 
     let mut body = Vec::new();
-    write_patterns_json(&mut body, ds.db().items(), &result.patterns)
-        .expect("writing to a Vec cannot fail");
+    if write_patterns_json(&mut body, ds.db().items(), &result.patterns).is_err() {
+        return internal_error("serialising patterns failed");
+    }
     let n_patterns = result.patterns.len();
     let base = |status: u16, body: Vec<u8>| {
         Response::json(status, body)
@@ -585,7 +592,7 @@ fn handle_active(shared: &Shared, name: &str, req: &Request) -> Response {
         return not_found(name);
     };
     ServerMetrics::bump(&shared.metrics.active_queries);
-    let ds = dataset.read().expect("dataset lock");
+    let ds = read_recover(&dataset);
     let resolved = match resolve_params(req, ds.db().len()) {
         Ok(p) => p,
         Err(resp) => return resp,
@@ -619,8 +626,9 @@ fn handle_active(shared: &Shared, name: &str, req: &Request) -> Response {
             }
             let result = outcome.into_result();
             let mut body = Vec::new();
-            write_patterns_json(&mut body, ds.db().items(), &result.patterns)
-                .expect("writing to a Vec cannot fail");
+            if write_patterns_json(&mut body, ds.db().items(), &result.patterns).is_err() {
+                return internal_error("serialising patterns failed");
+            }
             let entry = Arc::new(CachedResult::new(body, result.patterns));
             shared.cache.insert(fingerprint, resolved, entry.clone());
             (entry, "miss")
@@ -649,7 +657,9 @@ fn handle_active(shared: &Shared, name: &str, req: &Request) -> Response {
     };
 
     let mut body = Vec::new();
-    write_patterns_json(&mut body, ds.db().items(), &active).expect("writing to a Vec cannot fail");
+    if write_patterns_json(&mut body, ds.db().items(), &active).is_err() {
+        return internal_error("serialising patterns failed");
+    }
     Response::json(200, body)
         .with_header("X-Rpm-Cache", cache_state)
         .with_header("X-Rpm-Active", active.len().to_string())

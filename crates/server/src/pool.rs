@@ -12,6 +12,8 @@ use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::{Condvar, Mutex};
 
+use rpm_core::sync::{lock_recover, wait_recover};
+
 #[derive(Debug)]
 struct QueueState {
     queue: VecDeque<TcpStream>,
@@ -39,7 +41,7 @@ impl ConnQueue {
     /// Enqueues a connection, or returns it when the queue is full or the
     /// server is shutting down — the caller owes the peer a `503`.
     pub fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recover(&self.state);
         if state.shutdown || state.queue.len() >= self.capacity {
             return Err(stream);
         }
@@ -52,7 +54,7 @@ impl ConnQueue {
     /// Blocks until a connection is available. Returns `None` only when the
     /// queue has shut down **and** every queued connection has been drained.
     pub fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recover(&self.state);
         loop {
             if let Some(stream) = state.queue.pop_front() {
                 return Some(stream);
@@ -60,25 +62,25 @@ impl ConnQueue {
             if state.shutdown {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue lock");
+            state = wait_recover(&self.ready, state);
         }
     }
 
     /// Stops admissions and wakes every parked worker.
     pub fn shutdown(&self) {
-        self.state.lock().expect("queue lock").shutdown = true;
+        lock_recover(&self.state).shutdown = true;
         self.ready.notify_all();
     }
 
     /// Whether shutdown has been requested.
     pub fn is_shutdown(&self) -> bool {
-        self.state.lock().expect("queue lock").shutdown
+        lock_recover(&self.state).shutdown
     }
 
     /// Number of connections currently waiting.
     #[cfg(test)]
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock").queue.len()
+        lock_recover(&self.state).queue.len()
     }
 }
 
@@ -129,6 +131,7 @@ mod tests {
             std::thread::spawn(move || q.pop().is_none())
         };
         // Give the worker time to park, then shut down.
+        #[allow(clippy::disallowed_methods)] // test choreography, not request handling
         std::thread::sleep(std::time::Duration::from_millis(50));
         q.shutdown();
         assert!(worker.join().unwrap(), "worker observed clean shutdown");

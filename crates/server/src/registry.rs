@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
+use rpm_core::sync::{read_recover, write_recover};
 use rpm_core::{IncrementalMiner, ResolvedParams};
 use rpm_timeseries::{from_bytes, io, Timestamp, TransactionDb};
 
@@ -143,7 +144,7 @@ impl Registry {
         }
         let dataset = Dataset::new(miner);
         let fingerprint = dataset.fingerprint();
-        let mut map = self.datasets.write().expect("registry lock");
+        let mut map = write_recover(&self.datasets);
         if map.contains_key(name) {
             return Err(format!("dataset {name:?} already exists"));
         }
@@ -153,13 +154,12 @@ impl Registry {
 
     /// The dataset registered under `name`.
     pub fn get(&self, name: &str) -> Option<Arc<RwLock<Dataset>>> {
-        self.datasets.read().expect("registry lock").get(name).cloned()
+        read_recover(&self.datasets).get(name).cloned()
     }
 
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.datasets.read().expect("registry lock").keys().cloned().collect();
+        let mut names: Vec<String> = read_recover(&self.datasets).keys().cloned().collect();
         names.sort();
         names
     }

@@ -6,7 +6,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
-cargo clippy --all-targets --offline -- -D warnings
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo run -q -p rpm-lint --release --offline
 cargo build --release --offline
 cargo build --examples --offline
 RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --offline

@@ -227,9 +227,11 @@ fn full_queue_gets_backpressure_503() {
 
     let mut conn_a = TcpStream::connect(addr).unwrap();
     conn_a.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap(); // head unfinished
+    #[allow(clippy::disallowed_methods)] // test choreography
     std::thread::sleep(Duration::from_millis(150)); // worker picks A up, blocks reading
     let mut conn_b = TcpStream::connect(addr).unwrap();
     conn_b.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    #[allow(clippy::disallowed_methods)] // test choreography
     std::thread::sleep(Duration::from_millis(150)); // B sits in the queue
 
     let rejected = parse_response(&send_raw(addr, "GET /healthz HTTP/1.1\r\n\r\n"));
@@ -269,6 +271,7 @@ fn graceful_shutdown_drains_in_flight_mining_as_complete_responses() {
         request(addr, "POST", "/datasets/huge/mine?per=2&min-ps=3&min-rec=1&timeout=30s", "")
     });
     // Let the mine get going, then pull the plug.
+    #[allow(clippy::disallowed_methods)] // test choreography
     std::thread::sleep(Duration::from_millis(120));
     let bye = request(addr, "POST", "/shutdown", "");
     assert_eq!(bye.status, 200, "{}", bye.body);
