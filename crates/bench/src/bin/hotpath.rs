@@ -56,8 +56,12 @@ fn main() {
 
     let (db, _) = load(Dataset::Twitter, scale, args.seed);
     let params = RpParams::with_threshold(360, Threshold::pct(2.0), 1).resolve(db.len());
+    // Multi-thread "speedups" measured with more workers than cores are
+    // scheduling noise, not parallel scaling — record the machine so the
+    // report is honest about which numbers are trustworthy.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "# hotpath — Twitter sim scale={scale}, |TDB|={}, per=360 minPS=2% minRec=1",
+        "# hotpath — Twitter sim scale={scale}, |TDB|={}, per=360 minPS=2% minRec=1, {cores} core(s) available",
         db.len()
     );
 
@@ -76,8 +80,9 @@ fn main() {
         }
         let result = last.unwrap();
         let med = median(&mut wall_ms.clone());
+        let note = if t > cores { "  [oversubscribed]" } else { "" };
         println!(
-            "threads={t:<2} median={med:>9.2} ms  patterns={}  tree_nodes={}",
+            "threads={t:<2} median={med:>9.2} ms  patterns={}  tree_nodes={}{note}",
             result.patterns.len(),
             result.stats.tree_nodes
         );
@@ -128,6 +133,7 @@ fn main() {
     json.push_str(&format!(
         "  \"params\": {{\"per\": 360, \"min_ps_pct\": 2.0, \"min_rec\": 1}},\n  \"reps\": {reps},\n  \"warmup\": {warmup},\n"
     ));
+    json.push_str(&format!("  \"available_cores\": {cores},\n"));
     if baseline_ms > 0.0 {
         json.push_str(&format!("  \"baseline_single_thread_ms\": {baseline_ms:.3},\n"));
         if let Some(s) = single {
@@ -139,8 +145,9 @@ fn main() {
         let med = median(&mut r.wall_ms.clone());
         let speedup = single.map_or(1.0, |s| s / med);
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"wall_ms_median\": {:.3}, \"wall_ms\": {:?}, \"speedup_vs_single\": {:.3}, \"patterns\": {}, \"tree_nodes_peak\": {}}}{}\n",
+            "    {{\"threads\": {}, \"oversubscribed\": {}, \"wall_ms_median\": {:.3}, \"wall_ms\": {:?}, \"speedup_vs_single\": {:.3}, \"patterns\": {}, \"tree_nodes_peak\": {}}}{}\n",
             r.threads,
+            r.threads > cores,
             med,
             r.wall_ms.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
             speedup,

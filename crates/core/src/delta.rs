@@ -1,0 +1,745 @@
+//! Delta mining: dirty-item frontier re-growth with a reusable
+//! [`PatternStore`].
+//!
+//! Appending transactions to a stream can only change the patterns whose
+//! **every** member item occurs in a touched transaction: a pattern `X`
+//! gains a timestamp in `TS^X` only when some appended (or boundary-merged)
+//! transaction contains all of `X`. Every other pattern keeps its exact
+//! `(support, Rec, intervals)` — and since appending at the end of the
+//! series can only extend an item's last periodic run or open a new one,
+//! `Rec` is non-decreasing, so previously recurring patterns never leave the
+//! result. [`IncrementalMiner::mine_delta`] exploits both facts:
+//!
+//! 1. derive the **dirty items** — everything occurring in a transaction
+//!    appended since the store's snapshot; the snapshot's last (*boundary*)
+//!    transaction is also re-checked when its content hash changed, because
+//!    a same-timestamp append merges into it instead of growing the stream;
+//! 2. re-run RP-growth over the database *projected onto the dirty
+//!    candidates*, visiting only the transactions in the union of their
+//!    postings — this recomputes exactly the patterns whose items are all
+//!    dirty;
+//! 3. splice every retained pattern (at least one clean item) from the
+//!    store, unchanged, and merge the two canonical-ordered sets.
+//!
+//! The output is bit-identical to a batch mine of the full database (the
+//! randomized interleaving tests below assert this), while the work is
+//! proportional to the dirty frontier. When the frontier grows past
+//! [`DIRTY_FRONTIER_MAX_PCT`] percent of the database — or the store is
+//! cold, was built for different parameters, or describes a different
+//! stream — the miner falls back to a full re-mine and refreshes the store.
+
+use std::sync::atomic::AtomicUsize;
+
+use rpm_timeseries::ItemId;
+
+use crate::engine::control::AbortReason;
+use crate::engine::observer::NOOP;
+use crate::engine::RunControl;
+use crate::growth::{grow_tree, Exec, MineScratch, MiningResult, MiningStats};
+use crate::incremental::IncrementalMiner;
+use crate::measures::ScanSummary;
+use crate::params::ResolvedParams;
+use crate::pattern::{canonical_order, RecurringPattern};
+use crate::rplist::RpList;
+
+/// Fallback threshold: when the transactions reachable from the dirty
+/// candidates (sum of their posting lengths) exceed this percentage of the
+/// database, a full re-mine is cheaper and more cache-friendly than
+/// frontier re-growth, so [`IncrementalMiner::mine_delta`] falls back.
+pub const DIRTY_FRONTIER_MAX_PCT: usize = 50;
+
+/// Why a delta mine fell back to a full re-mine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FullReason {
+    /// The store has never been refreshed.
+    ColdStore,
+    /// The store was refreshed under different mining parameters.
+    ParamsChanged,
+    /// The store's snapshot is not a prefix of this miner's stream.
+    StoreMismatch,
+    /// The dirty frontier exceeded [`DIRTY_FRONTIER_MAX_PCT`].
+    FrontierExceeded,
+}
+
+impl std::fmt::Display for FullReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FullReason::ColdStore => write!(f, "cold store"),
+            FullReason::ParamsChanged => write!(f, "params changed"),
+            FullReason::StoreMismatch => write!(f, "store mismatch"),
+            FullReason::FrontierExceeded => write!(f, "frontier exceeded"),
+        }
+    }
+}
+
+/// Which path a [`IncrementalMiner::mine_delta`] call took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaMode {
+    /// The stream is unchanged since the snapshot: the stored result was
+    /// returned without mining anything.
+    Unchanged,
+    /// Dirty-frontier re-growth: only the dirty branches were re-mined and
+    /// the clean patterns spliced from the store.
+    Delta,
+    /// Full batch re-mine.
+    Full(FullReason),
+}
+
+impl DeltaMode {
+    /// Whether the call avoided a full re-mine (delta or no-op path).
+    pub fn is_delta(self) -> bool {
+        matches!(self, DeltaMode::Unchanged | DeltaMode::Delta)
+    }
+}
+
+/// What one delta-mine call did — the observability record exported through
+/// [`crate::engine::MetricsCollector::absorb_delta`] and the server's
+/// `/metrics`.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaStats {
+    /// The path taken.
+    pub mode: DeltaMode,
+    /// Transactions appended since the snapshot, plus the snapshot's
+    /// boundary transaction when a same-timestamp merge rewrote it.
+    pub touched_transactions: usize,
+    /// Distinct items in the touched transactions.
+    pub dirty_items: usize,
+    /// Dirty items that are candidates (`Erec >= minRec`) on the current
+    /// stream — the frontier actually re-grown.
+    pub dirty_candidates: usize,
+    /// Transactions reachable from the dirty candidates (sum of posting
+    /// lengths) — the delta tree build's work bound.
+    pub reachable_transactions: usize,
+    /// Patterns spliced unchanged from the store.
+    pub retained_patterns: usize,
+    /// Patterns recomputed by frontier re-growth.
+    pub remined_patterns: usize,
+}
+
+impl DeltaStats {
+    fn new(mode: DeltaMode) -> Self {
+        DeltaStats {
+            mode,
+            touched_transactions: 0,
+            dirty_items: 0,
+            dirty_candidates: 0,
+            reachable_transactions: 0,
+            retained_patterns: 0,
+            remined_patterns: 0,
+        }
+    }
+}
+
+/// A reusable snapshot of the last complete mining result of one stream,
+/// keyed per item so [`IncrementalMiner::mine_delta`] can splice the
+/// patterns untouched by an append.
+///
+/// A store is bound to the stream that refreshed it by a chained prefix
+/// hash; feeding it to a different miner (or one whose history diverged) is
+/// detected and answered with a sound full re-mine, never a wrong splice.
+#[derive(Debug, Clone, Default)]
+pub struct PatternStore {
+    params: Option<ResolvedParams>,
+    /// Stream length at snapshot time.
+    base_len: usize,
+    /// Chained hash of the immutable prefix `transactions[0..base_len-1]`
+    /// (the boundary transaction is excluded: a same-timestamp append may
+    /// still rewrite it).
+    prefix_hash: u64,
+    /// Chained hash of the full snapshot `transactions[0..base_len]`.
+    full_hash: u64,
+    patterns: Vec<RecurringPattern>,
+    stats: MiningStats,
+    /// `item index -> indices into `patterns` containing that item` — the
+    /// per-item key that makes the retained/dirty split O(dirty postings).
+    item_patterns: Vec<Vec<u32>>,
+}
+
+impl PatternStore {
+    /// An empty (cold) store. The first [`IncrementalMiner::mine_delta`]
+    /// against it runs a full mine and warms it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the store holds a snapshot.
+    pub fn is_warm(&self) -> bool {
+        self.params.is_some()
+    }
+
+    /// The parameters of the retained snapshot, if warm.
+    pub fn params(&self) -> Option<ResolvedParams> {
+        self.params
+    }
+
+    /// Stream length (transactions) of the retained snapshot.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// The retained patterns, in canonical order.
+    pub fn patterns(&self) -> &[RecurringPattern] {
+        &self.patterns
+    }
+
+    fn refresh_from(&mut self, miner: &IncrementalMiner, result: &MiningResult) {
+        self.params = Some(miner.params());
+        self.base_len = miner.len();
+        self.prefix_hash = miner.prefix_hash_at(self.base_len.saturating_sub(1));
+        self.full_hash = miner.prefix_hash_at(self.base_len);
+        self.patterns = result.patterns.clone();
+        self.stats = result.stats;
+        self.item_patterns.clear();
+        for (pi, p) in self.patterns.iter().enumerate() {
+            for &item in &p.items {
+                let idx = item.index();
+                if self.item_patterns.len() <= idx {
+                    self.item_patterns.resize_with(idx + 1, Vec::new);
+                }
+                self.item_patterns[idx].push(pi as u32);
+            }
+        }
+    }
+}
+
+/// The resolved shape of one delta-mine call, computed without mining.
+struct Plan {
+    action: Action,
+    touched: usize,
+    dirty: Vec<ItemId>,
+    candidates: Vec<(ItemId, ScanSummary)>,
+    reachable: usize,
+}
+
+enum Action {
+    Full(FullReason),
+    Unchanged,
+    Delta,
+}
+
+impl Plan {
+    fn bare(action: Action) -> Self {
+        Plan { action, touched: 0, dirty: Vec::new(), candidates: Vec::new(), reachable: 0 }
+    }
+
+    fn stats(&self, mode: DeltaMode) -> DeltaStats {
+        DeltaStats {
+            touched_transactions: self.touched,
+            dirty_items: self.dirty.len(),
+            dirty_candidates: self.candidates.len(),
+            reachable_transactions: self.reachable,
+            ..DeltaStats::new(mode)
+        }
+    }
+}
+
+impl IncrementalMiner {
+    /// Classifies what a [`IncrementalMiner::mine_delta`] against `store`
+    /// would do, in O(touched transactions + dirty items): the append path
+    /// of a serving layer uses this to decide whether patching a cached
+    /// result in place is cheap before committing to it.
+    pub fn delta_applicable(&self, store: &PatternStore) -> bool {
+        !matches!(self.delta_plan(store).action, Action::Full(_))
+    }
+
+    fn delta_plan(&self, store: &PatternStore) -> Plan {
+        let Some(params) = store.params else {
+            return Plan::bare(Action::Full(FullReason::ColdStore));
+        };
+        if params != self.params() {
+            return Plan::bare(Action::Full(FullReason::ParamsChanged));
+        }
+        if store.base_len > self.len()
+            || self.prefix_hash_at(store.base_len.saturating_sub(1)) != store.prefix_hash
+        {
+            return Plan::bare(Action::Full(FullReason::StoreMismatch));
+        }
+        if store.base_len == self.len() && self.prefix_hash_at(self.len()) == store.full_hash {
+            return Plan::bare(Action::Unchanged);
+        }
+        // Everything appended since the snapshot is dirty. The snapshot's
+        // last (boundary) transaction is additionally re-checked when its
+        // content hash changed: a same-timestamp append merges new items
+        // into it without growing the stream. When the hash still matches,
+        // the boundary is provably untouched and its (often common) items
+        // stay clean — this is what keeps a rare-item append's frontier
+        // narrow.
+        let boundary_clean = self.prefix_hash_at(store.base_len) == store.full_hash;
+        let start = if boundary_clean { store.base_len } else { store.base_len.saturating_sub(1) };
+        let mut mask = vec![false; self.db().item_count()];
+        let mut dirty: Vec<ItemId> = Vec::new();
+        for t in &self.db().transactions()[start..] {
+            for &item in t.items() {
+                if !mask[item.index()] {
+                    mask[item.index()] = true;
+                    dirty.push(item);
+                }
+            }
+        }
+        dirty.sort_unstable();
+        let mut candidates = Vec::new();
+        let mut reachable = 0usize;
+        for &item in &dirty {
+            let Some(summary) = self.scan_summary(item) else { continue };
+            if summary.erec >= params.min_rec {
+                reachable += self.postings(item).len();
+                candidates.push((item, summary));
+            }
+        }
+        let action = if reachable * 100 > self.len() * DIRTY_FRONTIER_MAX_PCT {
+            Action::Full(FullReason::FrontierExceeded)
+        } else {
+            Action::Delta
+        };
+        Plan { action, touched: self.len() - start, dirty, candidates, reachable }
+    }
+
+    /// Mines the stream, re-growing only the dirty frontier since `store`'s
+    /// snapshot and splicing every untouched pattern from the store. The
+    /// result is **bit-identical** to [`IncrementalMiner::mine`]; on
+    /// success the store is refreshed to the new snapshot. Falls back to a
+    /// full mine when the store cannot support a sound delta (see
+    /// [`FullReason`]).
+    ///
+    /// ```
+    /// use rpm_core::{IncrementalMiner, PatternStore, ResolvedParams};
+    ///
+    /// let mut miner = IncrementalMiner::new(ResolvedParams::new(2, 2, 1));
+    /// let mut store = PatternStore::new();
+    /// for ts in 1..20 {
+    ///     miner.append(ts, &["a", "b"]).unwrap();
+    ///     if (5..=7).contains(&ts) {
+    ///         miner.append(ts, &["z"]).unwrap(); // merges into the same ts
+    ///     }
+    /// }
+    /// let (full, _) = miner.mine_delta(&mut store); // cold: full mine
+    /// miner.append(20, &["z"]).unwrap();
+    /// let (delta, stats) = miner.mine_delta(&mut store); // warm: delta
+    /// assert!(stats.mode.is_delta());
+    /// assert_eq!(delta.patterns, miner.mine().patterns);
+    /// assert_eq!(full.patterns.len(), delta.patterns.len());
+    /// ```
+    pub fn mine_delta(&self, store: &mut PatternStore) -> (MiningResult, DeltaStats) {
+        let (result, abort, stats) =
+            self.mine_delta_controlled(store, &RunControl::new(), &mut MineScratch::new());
+        debug_assert!(abort.is_none(), "an unlimited control cannot abort");
+        (result, stats)
+    }
+
+    /// Like [`IncrementalMiner::mine_delta`], under engine control and with
+    /// a caller-held scratch arena. When a limit trips, the partial result
+    /// is still sound (every emitted pattern is genuinely recurring) and
+    /// the store is left at its previous snapshot, untouched.
+    pub fn mine_delta_controlled(
+        &self,
+        store: &mut PatternStore,
+        control: &RunControl,
+        scratch: &mut MineScratch,
+    ) -> (MiningResult, Option<AbortReason>, DeltaStats) {
+        let plan = self.delta_plan(store);
+        match plan.action {
+            Action::Full(reason) => {
+                let (result, abort) = self.mine_controlled(control, scratch);
+                if abort.is_none() {
+                    store.refresh_from(self, &result);
+                }
+                (result, abort, plan.stats(DeltaMode::Full(reason)))
+            }
+            Action::Unchanged => {
+                let mut stats = plan.stats(DeltaMode::Unchanged);
+                stats.retained_patterns = store.patterns.len();
+                let result = MiningResult { patterns: store.patterns.clone(), stats: store.stats };
+                (result, None, stats)
+            }
+            Action::Delta => self.mine_frontier(store, control, scratch, plan),
+        }
+    }
+
+    /// The delta path proper: frontier-projected re-growth plus splice.
+    fn mine_frontier(
+        &self,
+        store: &mut PatternStore,
+        control: &RunControl,
+        scratch: &mut MineScratch,
+        plan: Plan,
+    ) -> (MiningResult, Option<AbortReason>, DeltaStats) {
+        let params = self.params();
+        let list = RpList::from_summaries(
+            plan.candidates.iter().copied(),
+            self.db().item_count(),
+            params.min_rec,
+        );
+        let mut mstats = MiningStats {
+            candidate_items: list.len(),
+            scanned_items: plan.dirty.len(),
+            ..MiningStats::default()
+        };
+        let mut fresh: Vec<RecurringPattern> = Vec::new();
+        let mut abort = None;
+        if !list.is_empty() {
+            // The union of the dirty candidates' postings is every
+            // transaction that can contribute a path to the projected tree:
+            // a transaction whose projection onto the dirty candidates is
+            // empty inserts nothing.
+            let mut touched_tx: Vec<u32> = Vec::with_capacity(plan.reachable);
+            for &(item, _) in &plan.candidates {
+                touched_tx.extend_from_slice(self.postings(item));
+            }
+            touched_tx.sort_unstable();
+            touched_tx.dedup();
+            let mut tree = scratch.take_tree(list.len());
+            for &ti in &touched_tx {
+                let t = self.db().transaction(ti as usize);
+                list.project_into(t.items(), &mut scratch.ranks);
+                if !scratch.ranks.is_empty() {
+                    tree.insert(&scratch.ranks, t.timestamp());
+                }
+            }
+            mstats.tree_nodes = tree.node_count();
+            let done = AtomicUsize::new(0);
+            let mut exec =
+                Exec { probe: control.start(), observer: &NOOP, done: &done, total: list.len() };
+            let aborted =
+                grow_tree(&mut tree, &list, params, scratch, &mut exec, &mut mstats, &mut fresh);
+            scratch.recycle(tree);
+            if aborted {
+                abort = exec.probe.tripped();
+            }
+        }
+        canonical_order(&mut fresh);
+
+        // Retained = stored patterns with at least one clean item. An
+        // all-dirty stored pattern is still recurring (Rec never decreases
+        // under append), so the frontier mine recomputed it; splicing it too
+        // would duplicate it.
+        let mut hits = vec![0u32; store.patterns.len()];
+        for &item in &plan.dirty {
+            if let Some(pis) = store.item_patterns.get(item.index()) {
+                for &pi in pis {
+                    hits[pi as usize] += 1;
+                }
+            }
+        }
+        let retained: Vec<&RecurringPattern> = store
+            .patterns
+            .iter()
+            .enumerate()
+            .filter(|&(pi, p)| (hits[pi] as usize) < p.items.len())
+            .map(|(_, p)| p)
+            .collect();
+
+        let mut stats = plan.stats(DeltaMode::Delta);
+        stats.retained_patterns = retained.len();
+        stats.remined_patterns = fresh.len();
+
+        // Canonical-order merge (both inputs are already canonical; the sets
+        // are disjoint: retained patterns have a clean item, fresh ones are
+        // all-dirty).
+        let canonical = |a: &RecurringPattern, b: &RecurringPattern| {
+            a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items))
+        };
+        let mut merged: Vec<RecurringPattern> = Vec::with_capacity(retained.len() + fresh.len());
+        let mut fi = fresh.into_iter().peekable();
+        for p in retained {
+            while let Some(f) = fi.peek() {
+                if canonical(f, p) == std::cmp::Ordering::Less {
+                    let f = fi.next().expect("peeked");
+                    merged.push(f);
+                } else {
+                    break;
+                }
+            }
+            merged.push(p.clone());
+        }
+        merged.extend(fi);
+        mstats.patterns_found = merged.len();
+        mstats.scratch_bytes_peak = scratch.footprint_bytes();
+
+        let result = MiningResult { patterns: merged, stats: mstats };
+        if abort.is_none() {
+            store.refresh_from(self, &result);
+        }
+        (result, abort, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::mine_resolved_impl as mine_resolved;
+    use rpm_timeseries::running_example_db;
+
+    fn assert_bit_identical(miner: &IncrementalMiner, got: &MiningResult, ctx: &str) {
+        let batch = mine_resolved(miner.db(), miner.params());
+        assert_eq!(got.patterns, batch.patterns, "{ctx}");
+    }
+
+    #[test]
+    fn cold_store_runs_full_then_delta_takes_over() {
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..40 {
+            let labels: Vec<&str> = if ts % 7 == 0 { vec!["a", "b"] } else { vec!["a"] };
+            miner.append(ts, &labels).unwrap();
+        }
+        let (first, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Full(FullReason::ColdStore));
+        assert!(store.is_warm());
+        assert_eq!(store.base_len(), 40);
+        assert_bit_identical(&miner, &first, "cold full mine");
+
+        // Appending a transaction of a brand-new rare item keeps the dirty
+        // frontier small: the delta path must engage and stay identical.
+        miner.append(40, &["z"]).unwrap();
+        miner.append(41, &["z"]).unwrap();
+        let (second, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Delta);
+        assert!(stats.retained_patterns > 0, "clean patterns were spliced");
+        assert_bit_identical(&miner, &second, "delta after append");
+    }
+
+    #[test]
+    fn unchanged_stream_returns_stored_result_without_mining() {
+        let params = ResolvedParams::new(1, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..10 {
+            miner.append(ts, &["x"]).unwrap();
+        }
+        let (first, _) = miner.mine_delta(&mut store);
+        let (again, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Unchanged);
+        assert_eq!(again.patterns, first.patterns);
+        assert_eq!(stats.retained_patterns, first.patterns.len());
+    }
+
+    #[test]
+    fn params_change_and_foreign_store_fall_back() {
+        let mut a = IncrementalMiner::new(ResolvedParams::new(2, 2, 1));
+        let mut store = PatternStore::new();
+        for ts in 0..8 {
+            a.append(ts, &["p", "q"]).unwrap();
+        }
+        a.mine_delta(&mut store);
+
+        // Same data, different params: the snapshot is useless.
+        let mut b = IncrementalMiner::new(ResolvedParams::new(2, 3, 1));
+        for ts in 0..8 {
+            b.append(ts, &["p", "q"]).unwrap();
+        }
+        let (result, stats) = b.mine_delta(&mut store.clone());
+        assert_eq!(stats.mode, DeltaMode::Full(FullReason::ParamsChanged));
+        assert_bit_identical(&b, &result, "params-changed fallback");
+
+        // Same params, diverged history: the prefix hash catches it.
+        let mut c = IncrementalMiner::new(ResolvedParams::new(2, 2, 1));
+        for ts in 0..8 {
+            c.append(ts, &["q"]).unwrap();
+        }
+        c.append(8, &["p"]).unwrap();
+        let (result, stats) = c.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Full(FullReason::StoreMismatch));
+        assert_bit_identical(&c, &result, "foreign-store fallback");
+    }
+
+    #[test]
+    fn same_timestamp_merge_into_boundary_is_re_mined() {
+        // The append merges into the last snapshotted transaction — the case
+        // where "dirty = appended suffix" alone would be unsound.
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..30 {
+            miner.append(ts, &["a"]).unwrap();
+            if ts % 3 == 0 {
+                miner.append(ts, &["b"]).unwrap();
+            }
+        }
+        miner.mine_delta(&mut store);
+        let base = store.base_len();
+        miner.append(29, &["b"]).unwrap(); // merges into ts 29
+        assert_eq!(miner.len(), base, "merge does not grow the stream");
+        let (result, stats) = miner.mine_delta(&mut store);
+        assert!(
+            matches!(stats.mode, DeltaMode::Delta | DeltaMode::Full(FullReason::FrontierExceeded)),
+            "a boundary merge must be noticed: {:?}",
+            stats.mode
+        );
+        assert_bit_identical(&miner, &result, "boundary merge");
+    }
+
+    #[test]
+    fn frontier_threshold_boundary_falls_back_to_full() {
+        // Appending a transaction full of ubiquitous items drives the
+        // reachable set past DIRTY_FRONTIER_MAX_PCT: the store must refuse
+        // the splice and full-mine instead — with identical output.
+        let params = ResolvedParams::new(1, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..20 {
+            miner.append(ts, &["a", "b"]).unwrap();
+        }
+        miner.mine_delta(&mut store);
+        miner.append(20, &["a", "b"]).unwrap();
+        let (result, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Full(FullReason::FrontierExceeded));
+        assert!(
+            stats.reachable_transactions * 100 > miner.len() * DIRTY_FRONTIER_MAX_PCT,
+            "the trigger fired because the frontier really was too wide"
+        );
+        assert_bit_identical(&miner, &result, "frontier fallback");
+        // The fallback refreshed the store, so a quiet stream is Unchanged.
+        let (_, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Unchanged);
+    }
+
+    #[test]
+    fn running_example_grows_delta_equal_to_batch() {
+        // Stream the paper's Table 1 database one transaction at a time,
+        // delta-mining after each append: every step bit-identical to batch.
+        let oracle = running_example_db();
+        let params = ResolvedParams::new(2, 3, 2);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for t in oracle.transactions() {
+            let labels: Vec<&str> = t.items().iter().map(|&i| oracle.items().label(i)).collect();
+            miner.append(t.timestamp(), &labels).unwrap();
+            let (result, _) = miner.mine_delta(&mut store);
+            assert_bit_identical(&miner, &result, "running example step");
+        }
+        assert_eq!(miner.mine_delta(&mut store).0.patterns.len(), 8); // Table 2
+    }
+
+    #[test]
+    fn delta_avoids_touching_the_clean_prefix() {
+        // A long stream of common items followed by appends of a rare item:
+        // the delta work must be bounded by the rare item's support, which
+        // shows up as a small reachable set.
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..400 {
+            miner.append(ts, &["u", "v", "w"]).unwrap();
+        }
+        miner.mine_delta(&mut store);
+        for k in 0..3i64 {
+            miner.append(400 + k, &["rare"]).unwrap();
+        }
+        let (result, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Delta);
+        assert!(
+            stats.reachable_transactions <= 10,
+            "reachable {} must track the rare frontier, not the database",
+            stats.reachable_transactions
+        );
+        assert!(result.stats.candidates_checked <= 4, "only the frontier was grown");
+        assert_bit_identical(&miner, &result, "rare-item delta");
+    }
+
+    #[test]
+    fn randomized_interleaving_of_append_mine_delta_and_mine() {
+        // The randomized-equivalence suite of `incremental.rs`, extended to
+        // interleave append / mine_delta / mine across the stream: the delta
+        // path must be bit-identical to batch at every probe point, across
+        // both sides of the fallback threshold (dense streams cross it,
+        // sparse ones stay under).
+        use rpm_timeseries::prng::Pcg32;
+        let mut rng = Pcg32::seed_from_u64(7);
+        let mut delta_steps = 0usize;
+        let mut full_steps = 0usize;
+        for round in 0..12 {
+            let params = ResolvedParams::new(
+                rng.random_range(1..4i64),
+                rng.random_range(1..4usize),
+                rng.random_range(1..3usize),
+            );
+            let mut miner = IncrementalMiner::new(params);
+            let mut store = PatternStore::new();
+            let mut ts = 0;
+            // Sparse rounds keep item probability low so the dirty frontier
+            // stays under the threshold; dense rounds exceed it.
+            let density = if round % 2 == 0 { 0.15 } else { 0.5 };
+            for step in 0..80 {
+                ts += rng.random_range(0..3i64);
+                let labels: Vec<String> = (0..8)
+                    .filter(|_| rng.random_f64() < density)
+                    .map(|i| format!("i{i}"))
+                    .collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                if !refs.is_empty() {
+                    miner.append(ts, &refs).unwrap();
+                }
+                if step % 5 == 0 {
+                    let (result, stats) = miner.mine_delta(&mut store);
+                    match stats.mode {
+                        DeltaMode::Delta | DeltaMode::Unchanged => delta_steps += 1,
+                        DeltaMode::Full(_) => full_steps += 1,
+                    }
+                    let batch = mine_resolved(miner.db(), params);
+                    assert_eq!(
+                        result.patterns, batch.patterns,
+                        "round {round} step {step} params {params:?} mode {:?}",
+                        stats.mode
+                    );
+                    // The incremental (non-delta) miner stays on the same
+                    // stream: interleaving it must not disturb the store.
+                    assert_eq!(miner.mine().patterns, batch.patterns);
+                }
+            }
+        }
+        assert!(delta_steps > 0, "the interleaving exercised the delta path");
+        assert!(full_steps > 0, "the interleaving exercised the fallback path");
+    }
+
+    #[test]
+    fn controlled_delta_abort_is_sound_and_preserves_the_store() {
+        use crate::engine::CancelToken;
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..50 {
+            miner.append(ts, &["a", "b", "c"]).unwrap();
+        }
+        miner.mine_delta(&mut store);
+        let base = store.base_len();
+        miner.append(50, &["c", "d"]).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let control = RunControl::new().with_cancel(token);
+        let (result, abort, _) =
+            miner.mine_delta_controlled(&mut store, &control, &mut MineScratch::new());
+        assert!(abort.is_some(), "pre-cancelled control aborts immediately");
+        assert_eq!(store.base_len(), base, "aborted runs do not refresh the store");
+        // Soundness of the partial result: everything in it is genuinely
+        // recurring in the full database.
+        let batch = mine_resolved(miner.db(), params);
+        for p in &result.patterns {
+            assert!(batch.patterns.contains(p), "partial result contains only true patterns");
+        }
+    }
+
+    #[test]
+    fn stats_report_less_work_than_batch_on_delta_path() {
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..200 {
+            let mut labels = vec!["m", "n"];
+            if ts % 5 == 0 {
+                labels.push("o");
+            }
+            miner.append(ts, &labels).unwrap();
+        }
+        miner.mine_delta(&mut store);
+        miner.append(200, &["rare"]).unwrap();
+        let (result, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Delta);
+        let batch = mine_resolved(miner.db(), params);
+        assert!(
+            result.stats.candidates_checked < batch.stats.candidates_checked,
+            "delta explored a strict subset of the search space"
+        );
+        assert_eq!(result.stats.patterns_found, batch.patterns.len());
+    }
+}

@@ -42,6 +42,35 @@ pub struct IncrementalMiner {
     /// item arrives again in a same-timestamp merge (the batch scan sees
     /// each (item, transaction) incidence once).
     last_fed: Vec<Option<Timestamp>>,
+    /// Per-item postings: ascending indices of the transactions containing
+    /// the item. The delta miner ([`IncrementalMiner::mine_delta`]) unions
+    /// the postings of the dirty candidates to visit only the transactions
+    /// its frontier-projected tree needs, so delta cost tracks the dirty
+    /// items' support instead of the database length.
+    postings: Vec<Vec<u32>>,
+    /// `prefix_hashes[i]` = chained content hash of `transactions[0..=i]`.
+    /// A same-timestamp merge rewrites only the last slot, so
+    /// [`crate::delta::PatternStore`] snapshots can verify in O(1) that they
+    /// describe a prefix of *this* stream (and whether the boundary
+    /// transaction changed) without rescanning the database.
+    prefix_hashes: Vec<u64>,
+}
+
+/// FNV-1a offset basis — the chained-hash seed for an empty prefix.
+const PREFIX_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one transaction into a chained FNV-1a prefix hash.
+fn chain_tx_hash(mut h: u64, ts: Timestamp, items: &[ItemId]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in ts.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    for item in items {
+        for b in item.0.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 impl IncrementalMiner {
@@ -56,7 +85,14 @@ impl IncrementalMiner {
     pub fn with_items(items: rpm_timeseries::ItemTable, params: ResolvedParams) -> Self {
         let mut db = TransactionDb::builder().build();
         *db.items_mut() = items;
-        Self { params, db, scans: Vec::new(), last_fed: Vec::new() }
+        Self {
+            params,
+            db,
+            scans: Vec::new(),
+            last_fed: Vec::new(),
+            postings: Vec::new(),
+            prefix_hashes: Vec::new(),
+        }
     }
 
     /// The parameters the miner was created with.
@@ -104,7 +140,9 @@ impl IncrementalMiner {
         ids.dedup();
         // Validate order first so scanner state is never updated for a
         // rejected transaction.
+        let before = self.db.len();
         self.db.append(ts, ids.clone())?;
+        let tx = (self.db.len() - 1) as u32;
         for id in ids {
             let idx = id.index();
             if idx >= self.scans.len() {
@@ -112,13 +150,48 @@ impl IncrementalMiner {
                     IntervalScan::new(self.params.per, self.params.min_ps)
                 });
                 self.last_fed.resize(idx + 1, None);
+                self.postings.resize_with(idx + 1, Vec::new);
             }
             if self.last_fed[idx] != Some(ts) {
                 self.scans[idx].feed(ts);
                 self.last_fed[idx] = Some(ts);
             }
+            if self.postings[idx].last() != Some(&tx) {
+                self.postings[idx].push(tx);
+            }
+        }
+        // A same-timestamp merge rewrites the boundary transaction, so its
+        // chained hash is recomputed from the immutable prefix either way.
+        let base = if tx == 0 { PREFIX_HASH_SEED } else { self.prefix_hashes[tx as usize - 1] };
+        let t = self.db.transaction(tx as usize);
+        let h = chain_tx_hash(base, t.timestamp(), t.items());
+        if self.db.len() == before {
+            self.prefix_hashes[tx as usize] = h;
+        } else {
+            self.prefix_hashes.push(h);
         }
         Ok(())
+    }
+
+    /// Ascending indices of the transactions containing `item` (empty for
+    /// items never appended).
+    pub(crate) fn postings(&self, item: ItemId) -> &[u32] {
+        self.postings.get(item.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Chained content hash of the first `len` transactions, O(1).
+    pub(crate) fn prefix_hash_at(&self, len: usize) -> u64 {
+        if len == 0 {
+            PREFIX_HASH_SEED
+        } else {
+            self.prefix_hashes[len - 1]
+        }
+    }
+
+    /// The live first-scan summary of `item` — what the batch RP-list scan
+    /// would report for it over the whole accumulated stream.
+    pub(crate) fn scan_summary(&self, item: ItemId) -> Option<crate::measures::ScanSummary> {
+        self.scans.get(item.index()).map(|s| s.clone().finish())
     }
 
     /// Mines the recurring patterns of everything ingested so far. The

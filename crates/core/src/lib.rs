@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod closed;
+pub mod delta;
 pub mod duration;
 pub mod engine;
 pub mod export;
@@ -56,6 +57,7 @@ pub mod tree;
 pub mod verify;
 
 pub use closed::{closed_patterns, maximal_patterns};
+pub use delta::{DeltaMode, DeltaStats, FullReason, PatternStore, DIRTY_FRONTIER_MAX_PCT};
 pub use duration::{get_duration_recurrence, mine_durations, DurationParams};
 pub use engine::{
     AbortReason, CancelToken, MetricsCollector, MiningError, MiningOutcome, MiningSession,

@@ -68,6 +68,50 @@ struct CacheState {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    patches: u64,
+}
+
+impl CacheState {
+    /// Removes every entry keyed to the dataset content `fingerprint`,
+    /// returning how many were dropped. The caller decides which counter
+    /// they land in (invalidations vs. part of a patch).
+    fn remove_fingerprint(&mut self, fingerprint: u64) -> u64 {
+        let stale: Vec<(u64, ResolvedParams)> =
+            self.slots.keys().filter(|(fp, _)| *fp == fingerprint).copied().collect();
+        let mut dropped = 0;
+        for key in stale {
+            if let Some(slot) = self.slots.remove(&key) {
+                self.bytes -= slot.cost;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Inserts one entry and evicts LRU victims until `budget` holds.
+    fn insert_evicting(
+        &mut self,
+        key: (u64, ResolvedParams),
+        result: Arc<CachedResult>,
+        cost: usize,
+        budget: usize,
+    ) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.slots.insert(key, Slot { result, cost, last_used: tick }) {
+            self.bytes -= old.cost;
+        }
+        self.bytes += cost;
+        while self.bytes > budget {
+            let Some((&victim, _)) = self.slots.iter().min_by_key(|(_, slot)| slot.last_used)
+            else {
+                break;
+            };
+            let Some(slot) = self.slots.remove(&victim) else { break };
+            self.bytes -= slot.cost;
+            self.evictions += 1;
+        }
+    }
 }
 
 /// A byte-budgeted LRU cache of complete mining results. All methods take
@@ -90,6 +134,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped by append-driven invalidation.
     pub invalidations: u64,
+    /// Append-driven patches: a delta mine replaced the old content's entry
+    /// in place instead of invalidating it ([`ResultCache::patch`]).
+    pub patches: u64,
     /// Current entry count.
     pub entries: usize,
     /// Current approximate footprint in bytes.
@@ -131,36 +178,43 @@ impl ResultCache {
             return;
         }
         let mut state = lock_recover(&self.state);
-        state.tick += 1;
-        let tick = state.tick;
-        if let Some(old) =
-            state.slots.insert((fingerprint, params), Slot { result, cost, last_used: tick })
-        {
-            state.bytes -= old.cost;
-        }
-        state.bytes += cost;
-        while state.bytes > self.budget_bytes {
-            let Some((&key, _)) = state.slots.iter().min_by_key(|(_, slot)| slot.last_used) else {
-                break;
-            };
-            let Some(slot) = state.slots.remove(&key) else { break };
-            state.bytes -= slot.cost;
-            state.evictions += 1;
-        }
+        state.insert_evicting((fingerprint, params), result, cost, self.budget_bytes);
     }
 
     /// Drops every entry mined from the dataset content `fingerprint` —
     /// called by the registry when an append retires that content.
     pub fn invalidate_fingerprint(&self, fingerprint: u64) {
         let mut state = lock_recover(&self.state);
-        let stale: Vec<(u64, ResolvedParams)> =
-            state.slots.keys().filter(|(fp, _)| *fp == fingerprint).copied().collect();
-        for key in stale {
-            if let Some(slot) = state.slots.remove(&key) {
-                state.bytes -= slot.cost;
-                state.invalidations += 1;
-            }
+        let dropped = state.remove_fingerprint(fingerprint);
+        state.invalidations += dropped;
+    }
+
+    /// Atomically retires every entry of `old_fingerprint` and installs a
+    /// fresh delta-mined result under `(new_fingerprint, params)` — the
+    /// append path's alternative to [`ResultCache::invalidate_fingerprint`]
+    /// when the dataset's pattern store could absorb the append
+    /// incrementally. Entries of the old content at *other* parameters
+    /// cannot be patched (the delta ran at the hot parameters only); they
+    /// count as invalidations as usual, while the in-place replacement
+    /// counts as a patch, not a miss-then-insert.
+    pub fn patch(
+        &self,
+        old_fingerprint: u64,
+        new_fingerprint: u64,
+        params: ResolvedParams,
+        result: Arc<CachedResult>,
+    ) {
+        let cost = result.cost_bytes();
+        let mut state = lock_recover(&self.state);
+        let dropped = state.remove_fingerprint(old_fingerprint);
+        if cost > self.budget_bytes {
+            // Too big to hold: the patch degenerates to an invalidation.
+            state.invalidations += dropped;
+            return;
         }
+        state.invalidations += dropped.saturating_sub(1);
+        state.patches += 1;
+        state.insert_evicting((new_fingerprint, params), result, cost, self.budget_bytes);
     }
 
     /// A snapshot of the cache counters.
@@ -171,6 +225,7 @@ impl ResultCache {
             misses: state.misses,
             evictions: state.evictions,
             invalidations: state.invalidations,
+            patches: state.patches,
             entries: state.slots.len(),
             bytes: state.bytes,
         }
@@ -246,6 +301,36 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.invalidations, 2);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn patch_replaces_hot_entry_and_invalidates_the_rest() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(1, params(1), entry(10)); // hot-params entry
+        cache.insert(1, params(2), entry(10)); // other-params entry
+        cache.insert(9, params(1), entry(10)); // unrelated dataset
+        cache.patch(1, 2, params(1), entry(20));
+        // Old content fully retired; the patched key serves immediately.
+        assert!(cache.get(1, params(1)).is_none());
+        assert!(cache.get(1, params(2)).is_none());
+        assert_eq!(cache.get(2, params(1)).unwrap().body.len(), 20);
+        assert!(cache.get(9, params(1)).is_some(), "other datasets untouched");
+        let stats = cache.stats();
+        assert_eq!(stats.patches, 1);
+        assert_eq!(stats.invalidations, 1, "only the unpatchable params entry");
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn oversized_patch_degenerates_to_invalidation() {
+        let cache = ResultCache::new(50);
+        cache.insert(1, params(1), entry(10));
+        cache.patch(1, 2, params(1), entry(1000));
+        assert!(cache.get(2, params(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.patches, 0);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 0);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!   each backed by an [`rpm_core::IncrementalMiner`] so appends keep the
 //!   per-item interval scanners live;
 //! * a **result cache** ([`ResultCache`]) keyed by
-//!   `(dataset fingerprint, ResolvedParams)`, invalidated on append;
+//!   `(dataset fingerprint, ResolvedParams)`; an append **patches** the
+//!   hot-params entry in place via a delta mine over the dirty frontier
+//!   ([`rpm_core::delta`]) when the dataset's pattern store allows it, and
+//!   invalidates otherwise;
 //! * a **bounded worker pool**: an acceptor thread feeds a fixed-capacity
 //!   connection queue drained by `threads` workers; when the queue is full
 //!   the acceptor answers `503` immediately (backpressure, not pile-up);
@@ -22,7 +25,7 @@
 //! | Method & path                   | Effect |
 //! |---------------------------------|--------|
 //! | `POST /datasets/{name}`         | upload a dataset (binary `RPMB` or text), `201` |
-//! | `POST /datasets/{name}/append`  | append `ts<TAB>items…` lines, invalidates cache |
+//! | `POST /datasets/{name}/append`  | append `ts<TAB>items…` lines; patches the hot cache entry via delta mine, else invalidates |
 //! | `POST /datasets/{name}/mine`    | mine with `per`, `min-ps`, `min-rec`, optional `timeout`, `threads`; `200` complete / `206` partial |
 //! | `GET /datasets/{name}/active?at=ts` | patterns active at `ts` (or `from`/`to`), served from the cached index |
 //! | `GET /datasets`                 | registered datasets |
@@ -452,10 +455,34 @@ fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
     let appended = ds.db().len() - before;
     let fingerprint = ds.fingerprint();
     let transactions = ds.db().len();
+    // Patch-in-place: when the append landed cleanly and the dataset's
+    // pattern store can absorb it as a dirty-frontier delta, refresh the
+    // hot-params cache entry instead of dropping it — the next `/mine` at
+    // the hot parameters is a cache hit, not a full re-mine.
+    let mut patched = false;
+    if outcome.is_ok() && fingerprint != old_fingerprint && ds.delta_applicable() {
+        let control = RunControl::new().with_cancel(shared.cancel.clone());
+        let mut scratch = MineScratch::default();
+        let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch);
+        shared.metrics.absorb_delta(&dstats);
+        if abort.is_none() {
+            let mut body = Vec::new();
+            if write_patterns_json(&mut body, ds.db().items(), &result.patterns).is_ok() {
+                shared.cache.patch(
+                    old_fingerprint,
+                    fingerprint,
+                    ds.hot_params(),
+                    Arc::new(CachedResult::new(body, result.patterns)),
+                );
+                ServerMetrics::bump(&shared.metrics.appends_patched);
+                patched = true;
+            }
+        }
+    }
     drop(ds);
     // The old content is retired even when the append failed part-way:
     // whatever prefix landed already changed the fingerprint.
-    if fingerprint != old_fingerprint {
+    if !patched && fingerprint != old_fingerprint {
         shared.cache.invalidate_fingerprint(old_fingerprint);
     }
     ServerMetrics::bump(&shared.metrics.appends);
@@ -465,7 +492,7 @@ fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
             200,
             format!(
                 "{{\"appended\":{appended},\"transactions\":{transactions},\
-                 \"fingerprint\":\"{fingerprint:016x}\"}}\n"
+                 \"fingerprint\":\"{fingerprint:016x}\",\"patched\":{patched}}}\n"
             ),
         ),
         // A time regression conflicts with the stream's append-only order.
@@ -524,12 +551,15 @@ fn handle_mine(shared: &Shared, name: &str, req: &Request) -> Response {
 
     let (result, abort) = if threads == 1 && resolved == ds.hot_params() {
         // The dataset's live scanners already hold the first-scan summaries
-        // for exactly these parameters: skip the scan.
+        // for exactly these parameters, and the pattern store may hold the
+        // previous complete result: skip the scan, re-grow only the dirty
+        // frontier, and splice the clean patterns.
         ServerMetrics::bump(&shared.metrics.mine_fastpath);
         // lint:allow(no-raw-clock-in-hot-path): per-request wall measurement for metrics, outside the recursion
         let started = Instant::now();
         let mut scratch = MineScratch::default();
-        let (result, abort) = ds.miner().mine_controlled(&control, &mut scratch);
+        let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch);
+        shared.metrics.absorb_delta(&dstats);
         shared.metrics.absorb_wall(
             started.elapsed(),
             result.stats.candidates_checked,

@@ -29,8 +29,22 @@ pub struct ServerMetrics {
     /// Engine runs that skipped the first scan via the incremental miner's
     /// live scanners (request params matched the dataset's hot params).
     pub mine_fastpath: AtomicU64,
+    /// Delta-mine calls that stayed on the incremental path (dirty-frontier
+    /// re-growth or an unchanged-stream no-op), across the mine fast path
+    /// and append-driven cache patches.
+    pub delta_mines: AtomicU64,
+    /// Delta-mine calls that fell back to a full re-mine (cold store,
+    /// changed params, foreign stream, or a too-wide dirty frontier).
+    pub delta_full: AtomicU64,
+    /// Patterns spliced unchanged from pattern stores across delta mines.
+    pub delta_retained: AtomicU64,
+    /// Patterns recomputed by dirty-frontier re-growth across delta mines.
+    pub delta_remined: AtomicU64,
     /// Append requests absorbed.
     pub appends: AtomicU64,
+    /// Appends that patched the hot cache entry in place via a delta mine
+    /// instead of invalidating it.
+    pub appends_patched: AtomicU64,
     /// Transactions ingested across appends.
     pub appended_transactions: AtomicU64,
     /// `active` stabbing queries served.
@@ -66,6 +80,17 @@ impl ServerMetrics {
         }
     }
 
+    /// Folds one delta-mine outcome into the delta-vs-full counters.
+    pub fn absorb_delta(&self, stats: &rpm_core::DeltaStats) {
+        if stats.mode.is_delta() {
+            Self::bump(&self.delta_mines);
+            self.delta_retained.fetch_add(stats.retained_patterns as u64, Ordering::Relaxed);
+            self.delta_remined.fetch_add(stats.remined_patterns as u64, Ordering::Relaxed);
+        } else {
+            Self::bump(&self.delta_full);
+        }
+    }
+
     /// Records a run observed only by wall clock (the incremental fast path
     /// runs without an engine observer).
     pub fn absorb_wall(&self, wall: std::time::Duration, candidates: usize, patterns: usize) {
@@ -88,6 +113,7 @@ impl ServerMetrics {
         ));
         s.push_str(&format!("  \"datasets\": {datasets},\n"));
         s.push_str(&format!("  \"appends\": {},\n", get(&self.appends)));
+        s.push_str(&format!("  \"appends_patched\": {},\n", get(&self.appends_patched)));
         s.push_str(&format!(
             "  \"appended_transactions\": {},\n",
             get(&self.appended_transactions)
@@ -98,6 +124,10 @@ impl ServerMetrics {
         s.push_str(&format!("    \"complete\": {},\n", get(&self.mine_complete)));
         s.push_str(&format!("    \"partial\": {},\n", get(&self.mine_partial)));
         s.push_str(&format!("    \"fastpath\": {},\n", get(&self.mine_fastpath)));
+        s.push_str(&format!("    \"delta\": {},\n", get(&self.delta_mines)));
+        s.push_str(&format!("    \"delta_full\": {},\n", get(&self.delta_full)));
+        s.push_str(&format!("    \"delta_retained\": {},\n", get(&self.delta_retained)));
+        s.push_str(&format!("    \"delta_remined\": {},\n", get(&self.delta_remined)));
         s.push_str(&format!(
             "    \"wall_ms\": {:.3},\n",
             get(&self.mining_wall_micros) as f64 / 1e3
@@ -110,6 +140,7 @@ impl ServerMetrics {
         s.push_str(&format!("    \"misses\": {},\n", cache.misses));
         s.push_str(&format!("    \"evictions\": {},\n", cache.evictions));
         s.push_str(&format!("    \"invalidations\": {},\n", cache.invalidations));
+        s.push_str(&format!("    \"patches\": {},\n", cache.patches));
         s.push_str(&format!("    \"entries\": {},\n", cache.entries));
         s.push_str(&format!("    \"bytes\": {}\n", cache.bytes));
         s.push_str("  }\n}");
@@ -127,12 +158,36 @@ mod tests {
         ServerMetrics::bump(&m.requests_total);
         ServerMetrics::bump(&m.mine_runs);
         m.absorb_wall(std::time::Duration::from_millis(2), 10, 3);
-        let json = m.to_json(&CacheStats { hits: 5, ..CacheStats::default() }, 2);
+        let json = m.to_json(&CacheStats { hits: 5, patches: 4, ..CacheStats::default() }, 2);
         assert!(json.contains("\"requests_total\": 1"));
         assert!(json.contains("\"datasets\": 2"));
         assert!(json.contains("\"hits\": 5"));
+        assert!(json.contains("\"patches\": 4"));
         assert!(json.contains("\"patterns_found\": 3"));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn delta_stats_fold_into_delta_or_full() {
+        use rpm_core::{DeltaMode, DeltaStats, FullReason};
+        let m = ServerMetrics::new();
+        let mut stats = DeltaStats {
+            mode: DeltaMode::Delta,
+            touched_transactions: 1,
+            dirty_items: 1,
+            dirty_candidates: 1,
+            reachable_transactions: 2,
+            retained_patterns: 7,
+            remined_patterns: 3,
+        };
+        m.absorb_delta(&stats);
+        stats.mode = DeltaMode::Full(FullReason::ColdStore);
+        m.absorb_delta(&stats);
+        let json = m.to_json(&CacheStats::default(), 1);
+        assert!(json.contains("\"delta\": 1"));
+        assert!(json.contains("\"delta_full\": 1"));
+        assert!(json.contains("\"delta_retained\": 7"));
+        assert!(json.contains("\"delta_remined\": 3"));
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! pipeline over the accumulated database.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-use rpm_core::sync::{read_recover, write_recover};
-use rpm_core::{IncrementalMiner, ResolvedParams};
+use rpm_core::engine::{AbortReason, RunControl};
+use rpm_core::growth::{MineScratch, MiningResult};
+use rpm_core::sync::{lock_recover, read_recover, write_recover};
+use rpm_core::{DeltaStats, IncrementalMiner, PatternStore, ResolvedParams};
 use rpm_timeseries::{from_bytes, io, Timestamp, TransactionDb};
 
 /// A registered dataset: the live miner plus its cached content fingerprint.
@@ -20,12 +22,17 @@ pub struct Dataset {
     miner: IncrementalMiner,
     fingerprint: u64,
     appends: u64,
+    /// The last complete hot-params mining result, reused by
+    /// [`Dataset::mine_hot_delta`] to make append-then-mine cost
+    /// proportional to the dirty frontier. Interior mutability because
+    /// hot mines run under the dataset's *read* lock.
+    store: Mutex<PatternStore>,
 }
 
 impl Dataset {
     fn new(miner: IncrementalMiner) -> Self {
         let fingerprint = miner.fingerprint();
-        Self { miner, fingerprint, appends: 0 }
+        Self { miner, fingerprint, appends: 0, store: Mutex::new(PatternStore::new()) }
     }
 
     /// The accumulated database.
@@ -52,6 +59,33 @@ impl Dataset {
     /// How many append requests this dataset has absorbed.
     pub fn appends(&self) -> u64 {
         self.appends
+    }
+
+    /// Whether [`Dataset::mine_hot_delta`] would take the incremental path
+    /// (warm store, same stream, dirty frontier under the threshold) rather
+    /// than fall back to a full re-mine. The append handler consults this
+    /// before committing to patching the cache in place.
+    pub fn delta_applicable(&self) -> bool {
+        self.miner.delta_applicable(&lock_recover(&self.store))
+    }
+
+    /// Retained hot-params patterns in the store (empty until the first
+    /// complete hot mine) — exposed for tests and diagnostics.
+    pub fn store_base_len(&self) -> usize {
+        lock_recover(&self.store).base_len()
+    }
+
+    /// Mines at the hot parameters through the dataset's [`PatternStore`]:
+    /// only branches dirtied since the last complete hot mine are re-grown,
+    /// clean patterns are spliced from the store, and the output is
+    /// bit-identical to a batch mine. The store refreshes on every complete
+    /// run (including full-mine fallbacks), so the first hot mine warms it.
+    pub fn mine_hot_delta(
+        &self,
+        control: &RunControl,
+        scratch: &mut MineScratch,
+    ) -> (MiningResult, Option<AbortReason>, DeltaStats) {
+        self.miner.mine_delta_controlled(&mut lock_recover(&self.store), control, scratch)
     }
 
     /// Appends parsed `(ts, labels)` transactions in order. On success the
@@ -209,6 +243,34 @@ mod tests {
         assert!(dataset.append_lines(&[(3, vec!["a".into()])]).is_err());
         assert_eq!(dataset.fingerprint(), fp1);
         assert_eq!(dataset.appends(), 2);
+    }
+
+    #[test]
+    fn hot_delta_warms_store_and_patches_after_append() {
+        let registry = Registry::new();
+        registry.register("d", running_example_db(), ResolvedParams::new(2, 3, 2)).unwrap();
+        let dataset = registry.get("d").unwrap();
+        let ds = dataset.read().unwrap();
+        assert!(!ds.delta_applicable(), "cold store cannot delta");
+        let control = RunControl::new();
+        let mut scratch = MineScratch::new();
+        let (first, abort, stats) = ds.mine_hot_delta(&control, &mut scratch);
+        assert!(abort.is_none());
+        assert!(!stats.mode.is_delta(), "first mine is the warming full mine");
+        assert_eq!(first.patterns.len(), 8);
+        assert_eq!(ds.store_base_len(), 12);
+        drop(ds);
+
+        // A rare-item append keeps the frontier narrow: the delta engages
+        // and stays bit-identical to a batch mine.
+        let mut ds = dataset.write().unwrap();
+        ds.append_lines(&[(20, vec!["nightcap".into()])]).unwrap();
+        assert!(ds.delta_applicable(), "rare-item append is delta-eligible");
+        let (second, abort, stats) = ds.mine_hot_delta(&control, &mut scratch);
+        assert!(abort.is_none());
+        assert!(stats.mode.is_delta());
+        assert_eq!(second.patterns, ds.miner().mine().patterns);
+        assert_eq!(ds.store_base_len(), 13, "complete delta refreshed the store");
     }
 
     #[test]

@@ -12,3 +12,8 @@ cargo build --release --offline
 cargo build --examples --offline
 RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --offline
 cargo test -q --offline
+# Delta-mining smoke: one tiny rep of the incremental bench, which asserts
+# delta == batch bit-identity at every step before writing its report.
+cargo run -q -p rpm-bench --release --offline --bin incremental_mining -- \
+  --scale 0.05 --chunks 2 --batch-sizes 1 --reps 1 \
+  --out target/BENCH_incremental_smoke.json

@@ -127,15 +127,19 @@ fn mine_caches_and_append_invalidates() {
     assert_eq!(metrics.counter("runs"), 1, "one engine run despite two requests");
     assert!(metrics.counter("fastpath") >= 1, "hot params used the incremental scanners");
 
-    // Append retires the old content: the same query must re-mine.
-    let append = request(addr, "POST", "/datasets/shop/append", "16\tbread jam\n18\tbread jam\n");
+    // Appending the ubiquitous `a b` dirties a frontier wider than the
+    // delta threshold, so the patch path refuses and the old content is
+    // invalidated: the same query must re-mine.
+    let append = request(addr, "POST", "/datasets/shop/append", "16\ta b\n18\ta b\n");
     assert_eq!(append.status, 200, "{}", append.body);
     assert!(append.body.contains("\"appended\":2"), "{}", append.body);
+    assert!(append.body.contains("\"patched\":false"), "{}", append.body);
     let after = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(after.status, 200);
     assert_eq!(after.header("x-rpm-cache"), "miss", "append invalidated the entry");
     let metrics = request(addr, "GET", "/metrics", "");
     assert!(metrics.counter("invalidations") >= 1, "{}", metrics.body);
+    assert_eq!(metrics.counter("appends_patched"), 0, "{}", metrics.body);
     assert_eq!(metrics.counter("runs"), 2);
 
     // Time regressions are a conflict, and the dataset stays queryable.
@@ -143,6 +147,65 @@ fn mine_caches_and_append_invalidates() {
     assert_eq!(bad.status, 409, "{}", bad.body);
     let still = request(addr, "GET", "/datasets", "");
     assert!(still.body.contains("\"name\":\"shop\""), "{}", still.body);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn append_patches_cache_in_place_and_active_sees_new_patterns() {
+    let handle = bind(2, 16);
+    let addr = handle.addr();
+
+    let up =
+        request(addr, "POST", "/datasets/shop?per=2&min-ps=3&min-rec=2", &running_example_text());
+    assert_eq!(up.status, 201, "{}", up.body);
+
+    // One engine run warms the cache and the dataset's pattern store.
+    let mine = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(mine.status, 200, "{}", mine.body);
+    assert_eq!(mine.header("x-rpm-cache"), "miss");
+    assert_eq!(mine.header("x-rpm-patterns"), "8");
+
+    // Nothing is active past the original stream's end (ts=14).
+    let before = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
+    assert_eq!(before.status, 200, "{}", before.body);
+    assert_eq!(before.header("x-rpm-active"), "0");
+
+    // Append a brand-new item `z` forming two interesting runs. Its dirty
+    // frontier is just its own six transactions — well under the fallback
+    // threshold — so the append delta-mines and patches the cache entry in
+    // place instead of invalidating it.
+    let lines = "16\tz\n17\tz\n18\tz\n22\tz\n23\tz\n24\tz\n";
+    let append = request(addr, "POST", "/datasets/shop/append", lines);
+    assert_eq!(append.status, 200, "{}", append.body);
+    assert!(append.body.contains("\"appended\":6"), "{}", append.body);
+    assert!(append.body.contains("\"patched\":true"), "{}", append.body);
+
+    // The very next mine is a cache HIT on the patched entry, already
+    // carrying the ninth pattern {z} — no engine run in between.
+    let after = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(after.status, 200);
+    assert_eq!(after.header("x-rpm-cache"), "hit", "append patched, not invalidated");
+    assert_eq!(after.header("x-rpm-patterns"), "9");
+    assert!(after.body.contains('z'), "patched body carries the new pattern: {}", after.body);
+
+    // The stabbing index rebuilt from the patched entry sees {z} active in
+    // its first run [16,18].
+    let active = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
+    assert_eq!(active.status, 200, "{}", active.body);
+    assert_eq!(active.header("x-rpm-cache"), "hit");
+    let n_active: usize = active.header("x-rpm-active").parse().unwrap();
+    assert!(n_active >= 1, "z is active at ts=17: {}", active.body);
+
+    // Counters tell the same story: one engine run total, one patched
+    // append, at least one delta mine that retained the 8 old patterns.
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.counter("runs"), 1, "{}", metrics.body);
+    assert_eq!(metrics.counter("appends_patched"), 1, "{}", metrics.body);
+    assert!(metrics.counter("patches") >= 1, "{}", metrics.body);
+    assert!(metrics.counter("delta") >= 1, "{}", metrics.body);
+    assert!(metrics.counter("delta_retained") >= 8, "{}", metrics.body);
 
     handle.shutdown();
     handle.join();
