@@ -176,8 +176,13 @@ mod tests {
         );
         // Count model (the paper's): minPS=8 at per=10 favours the dense one
         // (the sparse run has only 6 appearances).
-        let strict =
-            crate::growth::mine_resolved_impl(&db, crate::params::ResolvedParams::new(10, 8, 2));
+        let strict = crate::engine::MiningSession::builder()
+            .resolved(crate::params::ResolvedParams::new(10, 8, 2))
+            .build()
+            .expect("valid params")
+            .mine(&db)
+            .expect("mine")
+            .into_result();
         assert!(strict.patterns.iter().any(|p| p.items == vec![dense]));
         assert!(!strict.patterns.iter().any(|p| p.items == vec![sparse]));
     }

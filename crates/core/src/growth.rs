@@ -377,47 +377,6 @@ impl RpGrowth {
     }
 }
 
-/// Mines `db` with already-resolved parameters. This is the full pipeline:
-/// RP-list scan (Algorithm 1), RP-tree construction (Algorithms 2–3) and
-/// recursive growth (Algorithm 4).
-#[deprecated(
-    since = "0.2.0",
-    note = "use rpm_core::engine::MiningSession::builder() — the unified entry point with \
-            run control and observability"
-)]
-pub fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
-    mine_resolved_impl(db, params)
-}
-
-/// Mines `db` using a pre-built RP-list — lets callers that maintain the
-/// list incrementally (see [`crate::incremental`]) skip the first database
-/// scan. The list must have been built for the same `db` and `params`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rpm_core::engine::MiningSession::builder() — the unified entry point with \
-            run control and observability"
-)]
-pub fn mine_with_list(db: &TransactionDb, list: &RpList, params: ResolvedParams) -> MiningResult {
-    mine_with_list_impl(db, list, params)
-}
-
-/// Like [`mine_with_list`], reusing a caller-held [`MineScratch`] so that
-/// repeated runs (incremental re-mining, parameter sweeps) skip the warm-up
-/// allocations of buffers, merge heaps and tree arenas entirely.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rpm_core::engine::MiningSession::builder() — the unified entry point with \
-            run control and observability"
-)]
-pub fn mine_with_scratch(
-    db: &TransactionDb,
-    list: &RpList,
-    params: ResolvedParams,
-    scratch: &mut MineScratch,
-) -> MiningResult {
-    mine_with_scratch_impl(db, list, params, scratch)
-}
-
 pub(crate) fn mine_resolved_impl(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
     let list = RpList::build(db, params);
     mine_with_list_impl(db, &list, params)

@@ -243,8 +243,14 @@ impl IncrementalMiner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::growth::mine_resolved_impl as mine_resolved;
+    use crate::engine::MiningSession;
     use rpm_timeseries::running_example_db;
+
+    /// Batch-mining oracle, routed through the public engine entry point.
+    fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+        let session = MiningSession::builder().resolved(params).build().expect("valid params");
+        session.mine(db).expect("mine").into_result()
+    }
 
     #[test]
     fn matches_batch_miner_on_running_example() {

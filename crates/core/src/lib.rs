@@ -64,8 +64,6 @@ pub use engine::{
     NoopObserver, Observer, ProgressReporter, RunControl,
 };
 pub use export::{write_patterns_json, write_patterns_tsv, write_rules_json};
-#[allow(deprecated)]
-pub use growth::{mine_resolved, mine_with_list, mine_with_scratch};
 pub use growth::{MineScratch, MiningResult, MiningStats, RpGrowth};
 pub use incremental::IncrementalMiner;
 pub use index::PatternIndex;

@@ -182,11 +182,19 @@ fn intersect(a: &[Timestamp], b: &[Timestamp]) -> Vec<Timestamp> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::MiningSession;
+    use crate::growth::MiningResult;
     use crate::measures::periodic_intervals;
-    use rpm_timeseries::DbBuilder;
+    use rpm_timeseries::{DbBuilder, TransactionDb};
 
     fn base() -> ResolvedParams {
         ResolvedParams::new(2, 3, 2)
+    }
+
+    /// Strict-model oracle, routed through the public engine entry point.
+    fn mine_strict(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+        let session = MiningSession::builder().resolved(params).build().expect("valid params");
+        session.mine(db).expect("mine").into_result()
     }
 
     #[test]
@@ -273,7 +281,7 @@ mod tests {
         }
         let db = b.build();
         let strict_base = ResolvedParams::new(1, 25, 2);
-        let strict = crate::growth::mine_resolved_impl(&db, strict_base);
+        let strict = mine_strict(&db, strict_base);
         assert!(strict.patterns.is_empty(), "strict model must miss the noisy pattern");
         let (relaxed, stats) = mine_relaxed(&db, &NoiseParams::new(strict_base, 1, 3));
         assert_eq!(relaxed.len(), 1);
@@ -286,7 +294,7 @@ mod tests {
     fn relaxed_with_zero_budget_matches_strict_miner() {
         let db = rpm_timeseries::running_example_db();
         let (relaxed, _) = mine_relaxed(&db, &NoiseParams::strict(base()));
-        let strict = crate::growth::mine_resolved_impl(&db, base());
+        let strict = mine_strict(&db, base());
         assert_eq!(relaxed, strict.patterns);
     }
 

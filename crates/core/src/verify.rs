@@ -74,9 +74,16 @@ pub fn verify_all(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::growth::mine_resolved_impl as mine_resolved;
+    use crate::engine::MiningSession;
+    use crate::growth::MiningResult;
     use crate::pattern::PeriodicInterval;
     use rpm_timeseries::running_example_db;
+
+    /// Mining oracle, routed through the public engine entry point.
+    fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+        let session = MiningSession::builder().resolved(params).build().expect("valid params");
+        session.mine(db).expect("mine").into_result()
+    }
 
     #[test]
     fn mined_patterns_verify() {

@@ -82,6 +82,19 @@ mod tests {
     }
 
     #[test]
+    fn persistence_layer_is_request_reachable_but_not_hot_path() {
+        // The WAL/snapshot subsystem serves requests (appends journal
+        // through it), so `panic-free-serving` applies; its fsync pacing
+        // legitimately reads the wall clock, so it must stay off the
+        // hot-path list.
+        for file in ["mod.rs", "wal.rs", "snapshot.rs"] {
+            let ctx = classify(&format!("crates/server/src/persist/{file}"));
+            assert!(ctx.request_reachable, "persist/{file} must be serving-layer");
+            assert!(!ctx.hot_path, "persist/{file} must not be clock-restricted");
+        }
+    }
+
+    #[test]
     fn hot_path_covers_recursion_and_workers() {
         assert!(classify("crates/core/src/growth.rs").hot_path);
         assert!(classify("crates/core/src/delta.rs").hot_path);

@@ -15,23 +15,32 @@
 //! * a **bounded worker pool**: an acceptor thread feeds a fixed-capacity
 //!   connection queue drained by `threads` workers; when the queue is full
 //!   the acceptor answers `503` immediately (backpressure, not pile-up);
-//! * **graceful shutdown**: `POST /shutdown` (or [`ServerHandle::shutdown`])
-//!   fires a shared [`CancelToken`] wired into every in-flight
-//!   [`MiningSession`], so long mines drain as sound `206 Partial Content`
-//!   responses instead of being killed mid-write.
+//! * **graceful shutdown**: `POST /v1/shutdown` (or
+//!   [`ServerHandle::shutdown`]) fires a shared [`CancelToken`] wired into
+//!   every in-flight [`MiningSession`], so long mines drain as sound
+//!   `206 Partial Content` responses instead of being killed mid-write;
+//! * **durability** (opt-in via [`ServerConfig::persist`]): every register
+//!   and append is journalled to a per-dataset WAL before it mutates the
+//!   miner, snapshots are cut periodically, and startup recovery rebuilds
+//!   the registry from disk — see the [`persist`] module.
 //!
-//! # Endpoints
+//! # Endpoints (`/v1`)
 //!
-//! | Method & path                   | Effect |
-//! |---------------------------------|--------|
-//! | `POST /datasets/{name}`         | upload a dataset (binary `RPMB` or text), `201` |
-//! | `POST /datasets/{name}/append`  | append `ts<TAB>items…` lines; patches the hot cache entry via delta mine, else invalidates |
-//! | `POST /datasets/{name}/mine`    | mine with `per`, `min-ps`, `min-rec`, optional `timeout`, `threads`; `200` complete / `206` partial |
-//! | `GET /datasets/{name}/active?at=ts` | patterns active at `ts` (or `from`/`to`), served from the cached index |
-//! | `GET /datasets`                 | registered datasets |
-//! | `GET /metrics`                  | server + engine + cache counters |
-//! | `GET /healthz`                  | liveness |
-//! | `POST /shutdown`                | graceful shutdown |
+//! The API surface is versioned under `/v1/…`. The original unversioned
+//! paths still work for one release but are deprecated: they answer with a
+//! `Deprecation: true` header. Every non-2xx response carries a uniform
+//! JSON envelope `{"error":{"code":…,"message":…}}`.
+//!
+//! | Method & path                      | Effect |
+//! |------------------------------------|--------|
+//! | `POST /v1/datasets/{name}`         | upload a dataset (binary `RPMB` or text), `201`; `409` if the name is taken unless `?replace=true` |
+//! | `POST /v1/datasets/{name}/append`  | append `ts<TAB>items…` lines; patches the hot cache entry via delta mine, else invalidates |
+//! | `POST /v1/datasets/{name}/mine`    | mine with `per`, `min-ps`, `min-rec`, optional `timeout`, `threads`; `200` complete / `206` partial |
+//! | `GET /v1/datasets/{name}/active?at=ts` | patterns active at `ts` (or `from`/`to`), served from the cached index |
+//! | `GET /v1/datasets`                 | registered datasets |
+//! | `GET /v1/metrics`                  | server + engine + cache + persistence counters |
+//! | `GET /v1/healthz`                  | liveness |
+//! | `POST /v1/shutdown`                | graceful shutdown (flushes a final snapshot of every durable dataset) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,6 +49,7 @@
 mod cache;
 mod http;
 mod metrics;
+pub mod persist;
 mod pool;
 mod registry;
 mod timeparse;
@@ -47,7 +57,11 @@ mod timeparse;
 pub use cache::{CacheStats, CachedResult, ResultCache};
 pub use http::{read_request, ParseError, Request, Response};
 pub use metrics::ServerMetrics;
-pub use registry::{decode_dataset_body, parse_append_body, Dataset, Registry};
+pub use persist::{FsyncPolicy, PersistConfig, Persistence};
+pub use registry::{
+    decode_dataset_body, parse_append_body, AppendError, Dataset, RecoveryReport, RegisterError,
+    Registry,
+};
 pub use timeparse::parse_duration;
 
 use std::io::{Read as _, Write as _};
@@ -79,6 +93,10 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Per-connection read/write timeout.
     pub io_timeout: Duration,
+    /// Durability: `Some` journals every write to a per-dataset WAL under
+    /// the given data directory and recovers from it at bind time; `None`
+    /// keeps the registry purely in-memory.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +107,7 @@ impl Default for ServerConfig {
             cache_bytes: 64 << 20,
             queue_depth: 64,
             io_timeout: Duration::from_secs(30),
+            persist: None,
         }
     }
 }
@@ -103,6 +122,7 @@ struct Shared {
     cancel: CancelToken,
     shutdown_started: AtomicBool,
     addr: SocketAddr,
+    persist: Option<Arc<Persistence>>,
 }
 
 impl Shared {
@@ -128,14 +148,26 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // Recover durable state *before* accepting connections, so the
+        // first request already sees every dataset the previous process
+        // acknowledged.
+        let (registry, persist, recovery) = match &config.persist {
+            Some(persist_config) => {
+                let persist = Persistence::open(persist_config.clone())?;
+                let (registry, report) = Registry::with_persistence(persist.clone())?;
+                (registry, Some(persist), Some(report))
+            }
+            None => (Registry::new(), None, None),
+        };
         let shared = Arc::new(Shared {
-            registry: Registry::new(),
+            registry,
             cache: ResultCache::new(config.cache_bytes),
             metrics: ServerMetrics::new(),
             queue: ConnQueue::new(config.queue_depth),
             cancel: CancelToken::new(),
             shutdown_started: AtomicBool::new(false),
             addr,
+            persist,
         });
         let workers: Vec<_> = (0..config.threads.max(1))
             .map(|_| {
@@ -148,7 +180,7 @@ impl Server {
             let io_timeout = config.io_timeout;
             std::thread::spawn(move || acceptor_loop(&listener, &shared, io_timeout))
         };
-        Ok(ServerHandle { addr, shared, acceptor, workers })
+        Ok(ServerHandle { addr, shared, acceptor, workers, recovery })
     }
 }
 
@@ -158,6 +190,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl ServerHandle {
@@ -171,17 +204,25 @@ impl ServerHandle {
         &self.shared.registry
     }
 
-    /// Requests a graceful shutdown (equivalent to `POST /shutdown`).
+    /// What startup recovery found, when running with a data directory.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Requests a graceful shutdown (equivalent to `POST /v1/shutdown`).
     pub fn shutdown(&self) {
         self.shared.trigger_shutdown();
     }
 
-    /// Blocks until the acceptor and every worker have drained and exited.
+    /// Blocks until the acceptor and every worker have drained and exited,
+    /// then flushes a final snapshot of every durable dataset (the workers
+    /// are gone, so the flush sees quiescent state).
     pub fn join(self) {
         let _ = self.acceptor.join();
         for worker in self.workers {
             let _ = worker.join();
         }
+        self.shared.registry.flush_snapshots();
     }
 }
 
@@ -209,9 +250,11 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared, io_timeout: Duration) 
             // so this cannot stall the accept loop in practice.
             ServerMetrics::bump(&shared.metrics.rejected_backpressure);
             ServerMetrics::bump(&shared.metrics.server_errors);
-            let response =
-                Response::json(503, "{\"error\":\"connection queue full, retry later\"}\n")
-                    .with_header("Retry-After", "1");
+            let response = Response::json(
+                503,
+                error_body("backpressure", "connection queue full, retry later"),
+            )
+            .with_header("Retry-After", "1");
             write_and_drain(&mut rejected, &response);
         }
     }
@@ -241,9 +284,20 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
         Ok(request) => request,
         // Peer vanished or timed out mid-request: nobody to answer.
         Err(ParseError::Io(_)) => return,
+        Err(e @ ParseError::TooLarge(_)) => {
+            ServerMetrics::bump(&shared.metrics.client_errors);
+            write_and_drain(
+                stream,
+                &Response::json(413, error_body("payload_too_large", &e.to_string())),
+            );
+            return;
+        }
         Err(e) => {
             ServerMetrics::bump(&shared.metrics.client_errors);
-            write_and_drain(stream, &Response::json(400, error_body(&e.to_string())));
+            write_and_drain(
+                stream,
+                &Response::json(400, error_body("bad_request", &e.to_string())),
+            );
             return;
         }
     };
@@ -260,11 +314,30 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
 
 fn route(shared: &Shared, req: &Request) -> Response {
     let segments = req.segments();
-    match (req.method.as_str(), segments.as_slice()) {
+    // `/v1/...` is the supported surface; bare paths are deprecated
+    // aliases kept for one release and flagged via the `Deprecation`
+    // header (RFC 9745 style) on every answer.
+    let (versioned, tail) = match segments.split_first() {
+        Some((first, rest)) if *first == "v1" => (true, rest),
+        _ => (false, segments.as_slice()),
+    };
+    let response = dispatch(shared, req, tail);
+    if versioned {
+        response
+    } else {
+        response
+            .with_header("Deprecation", "true")
+            .with_header("Link", "</v1>; rel=\"successor-version\"")
+    }
+}
+
+fn dispatch(shared: &Shared, req: &Request, segments: &[&str]) -> Response {
+    match (req.method.as_str(), segments) {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
         ("GET", ["metrics"]) => {
             let datasets = shared.registry.names().len();
-            let body = shared.metrics.to_json(&shared.cache.stats(), datasets);
+            let persist = shared.persist.as_deref().map(Persistence::counters);
+            let body = shared.metrics.to_json(&shared.cache.stats(), datasets, persist);
             Response::json(200, body)
         }
         ("GET", ["datasets"]) => handle_list(shared),
@@ -278,15 +351,21 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("GET", ["datasets", name, "active"]) => handle_active(shared, name, req),
         _ => {
             let known = matches!(
-                segments.as_slice(),
+                segments,
                 ["healthz" | "metrics" | "datasets" | "shutdown"]
                     | ["datasets", _]
                     | ["datasets", _, "append" | "mine" | "active"]
             );
             if known {
-                Response::json(405, error_body(&format!("method {} not allowed here", req.method)))
+                Response::json(
+                    405,
+                    error_body(
+                        "method_not_allowed",
+                        &format!("method {} not allowed here", req.method),
+                    ),
+                )
             } else {
-                Response::json(404, error_body(&format!("no route for {}", req.path)))
+                Response::json(404, error_body("not_found", &format!("no route for {}", req.path)))
             }
         }
     }
@@ -309,20 +388,29 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn error_body(message: &str) -> String {
-    format!("{{\"error\":\"{}\"}}\n", json_escape(message))
+/// The uniform error envelope: every non-2xx body is
+/// `{"error":{"code":…,"message":…}}`. Codes are stable machine-readable
+/// slugs (`bad_request`, `not_found`, `method_not_allowed`, `conflict`,
+/// `payload_too_large`, `backpressure`, `shutting_down`, `internal`);
+/// messages are human-readable and may change between releases.
+fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}\n",
+        json_escape(code),
+        json_escape(message)
+    )
 }
 
 fn bad_request(message: &str) -> Response {
-    Response::json(400, error_body(message))
+    Response::json(400, error_body("bad_request", message))
 }
 
 fn not_found(name: &str) -> Response {
-    Response::json(404, error_body(&format!("no dataset named {name:?}")))
+    Response::json(404, error_body("not_found", &format!("no dataset named {name:?}")))
 }
 
 fn internal_error(message: &str) -> Response {
-    Response::json(500, error_body(message))
+    Response::json(500, error_body("internal", message))
 }
 
 /// Parses `"25"` as an absolute count and `"2%"` as a fraction of the
@@ -424,9 +512,14 @@ fn handle_upload(shared: &Shared, name: &str, req: &Request) -> Response {
         };
         ResolvedParams::new(per, min_ps, min_rec)
     };
+    let replace = match req.query_param("replace") {
+        None | Some("false") | Some("0") => false,
+        Some("true") | Some("1") => true,
+        Some(other) => return bad_request(&format!("bad replace value {other:?} (true|false)")),
+    };
     let transactions = db.len();
     let items = db.item_count();
-    match shared.registry.register(name, db, hot) {
+    match shared.registry.register(name, db, hot, replace) {
         Ok(fingerprint) => Response::json(
             201,
             format!(
@@ -435,8 +528,15 @@ fn handle_upload(shared: &Shared, name: &str, req: &Request) -> Response {
                 json_escape(name)
             ),
         ),
-        Err(e) if e.contains("already exists") => Response::json(409, error_body(&e)),
-        Err(e) => bad_request(&e),
+        Err(RegisterError::Exists) => Response::json(
+            409,
+            error_body(
+                "conflict",
+                &format!("dataset {name:?} already exists; pass replace=true to overwrite"),
+            ),
+        ),
+        Err(RegisterError::Invalid(e)) => bad_request(&e),
+        Err(RegisterError::Wal(e)) => internal_error(&format!("journalling registration: {e}")),
     }
 }
 
@@ -496,7 +596,11 @@ fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
             ),
         ),
         // A time regression conflicts with the stream's append-only order.
-        Err(e) => Response::json(409, error_body(&e.to_string())),
+        Err(e @ AppendError::Order(_)) => {
+            Response::json(409, error_body("conflict", &e.to_string()))
+        }
+        // The WAL write failed before anything was applied.
+        Err(e @ AppendError::Wal(_)) => internal_error(&e.to_string()),
     }
 }
 
@@ -652,7 +756,10 @@ fn handle_active(shared: &Shared, name: &str, req: &Request) -> Response {
             };
             shared.metrics.absorb_engine(&collector.snapshot());
             if outcome.abort_reason().is_some() {
-                return Response::json(503, error_body("shutting down before mining finished"));
+                return Response::json(
+                    503,
+                    error_body("shutting_down", "shutting down before mining finished"),
+                );
             }
             let result = outcome.into_result();
             let mut body = Vec::new();
@@ -719,13 +826,20 @@ mod tests {
         })
         .unwrap();
         let addr = handle.addr();
-        let ok = send(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        let ok = send(addr, "GET /v1/healthz HTTP/1.1\r\n\r\n");
         assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
-        let missing = send(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(!ok.contains("Deprecation"), "versioned path is not deprecated: {ok}");
+        // The unversioned alias still answers, flagged as deprecated.
+        let legacy = send(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(legacy.starts_with("HTTP/1.1 200 OK"), "{legacy}");
+        assert!(legacy.contains("Deprecation: true"), "{legacy}");
+        let missing = send(addr, "GET /v1/nope HTTP/1.1\r\n\r\n");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
-        let wrong_method = send(addr, "DELETE /metrics HTTP/1.1\r\n\r\n");
+        assert!(missing.contains("\"code\":\"not_found\""), "{missing}");
+        let wrong_method = send(addr, "DELETE /v1/metrics HTTP/1.1\r\n\r\n");
         assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
-        let bye = send(addr, "POST /shutdown HTTP/1.1\r\n\r\n");
+        assert!(wrong_method.contains("\"code\":\"method_not_allowed\""), "{wrong_method}");
+        let bye = send(addr, "POST /v1/shutdown HTTP/1.1\r\n\r\n");
         assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
         handle.join();
         assert!(TcpStream::connect(addr).is_err(), "listener closed after join");
@@ -744,22 +858,27 @@ mod tests {
         let mut text = Vec::new();
         rpm_timeseries::io::write_timestamped(&db, &mut text).unwrap();
         let upload = format!(
-            "POST /datasets/shop?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\
+            "POST /v1/datasets/shop?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\
              Content-Length: {}\r\n\r\n{}",
             text.len(),
             String::from_utf8(text).unwrap()
         );
         assert!(send(addr, &upload).starts_with("HTTP/1.1 201"), "upload");
         // Running example at (2, 3, 2) yields the paper's 8 patterns.
-        let mine = send(addr, "POST /datasets/shop/mine?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\r\n");
+        let mine =
+            send(addr, "POST /v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\r\n");
         assert!(mine.starts_with("HTTP/1.1 200"), "{mine}");
         assert!(mine.contains("X-Rpm-Patterns: 8"), "{mine}");
         assert!(mine.contains("X-Rpm-Cache: miss"), "{mine}");
+        // The deprecated unversioned alias hits the same cache entry.
         let again =
             send(addr, "POST /datasets/shop/mine?per=2&min-ps=3&min-rec=2 HTTP/1.1\r\n\r\n");
         assert!(again.contains("X-Rpm-Cache: hit"), "{again}");
-        let active =
-            send(addr, "GET /datasets/shop/active?per=2&min-ps=3&min-rec=2&at=5 HTTP/1.1\r\n\r\n");
+        assert!(again.contains("Deprecation: true"), "{again}");
+        let active = send(
+            addr,
+            "GET /v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=5 HTTP/1.1\r\n\r\n",
+        );
         assert!(active.starts_with("HTTP/1.1 200"), "{active}");
         assert!(active.contains("X-Rpm-Cache: hit"), "served from the mine's cache entry");
         handle.shutdown();

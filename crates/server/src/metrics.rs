@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rpm_core::engine::EngineMetrics;
 
 use crate::cache::CacheStats;
+use crate::persist::PersistCounters;
 
 /// Monotone counters describing the server's lifetime. All fields are
 /// relaxed atomics — the numbers are for observability, not coordination.
@@ -99,9 +100,15 @@ impl ServerMetrics {
         self.patterns_found.fetch_add(patterns as u64, Ordering::Relaxed);
     }
 
-    /// Renders the `/metrics` JSON document, merging in the cache counters
-    /// and the dataset count.
-    pub fn to_json(&self, cache: &CacheStats, datasets: usize) -> String {
+    /// Renders the `/metrics` JSON document, merging in the cache counters,
+    /// the dataset count, and (when the server is durable) the persistence
+    /// counters.
+    pub fn to_json(
+        &self,
+        cache: &CacheStats,
+        datasets: usize,
+        persist: Option<&PersistCounters>,
+    ) -> String {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut s = String::from("{\n");
         s.push_str(&format!("  \"requests_total\": {},\n", get(&self.requests_total)));
@@ -143,7 +150,21 @@ impl ServerMetrics {
         s.push_str(&format!("    \"patches\": {},\n", cache.patches));
         s.push_str(&format!("    \"entries\": {},\n", cache.entries));
         s.push_str(&format!("    \"bytes\": {}\n", cache.bytes));
-        s.push_str("  }\n}");
+        s.push_str("  }");
+        if let Some(p) = persist {
+            let pget = PersistCounters::get;
+            s.push_str(",\n  \"persist\": {\n");
+            s.push_str(&format!("    \"wal_records\": {},\n", pget(&p.wal_records)));
+            s.push_str(&format!("    \"wal_bytes\": {},\n", pget(&p.wal_bytes)));
+            s.push_str(&format!("    \"snapshots\": {},\n", pget(&p.snapshots)));
+            s.push_str(&format!("    \"recovered_datasets\": {},\n", pget(&p.recovered_datasets)));
+            s.push_str(&format!(
+                "    \"torn_tail_truncations\": {}\n",
+                pget(&p.torn_tail_truncations)
+            ));
+            s.push_str("  }");
+        }
+        s.push_str("\n}");
         s
     }
 }
@@ -158,13 +179,23 @@ mod tests {
         ServerMetrics::bump(&m.requests_total);
         ServerMetrics::bump(&m.mine_runs);
         m.absorb_wall(std::time::Duration::from_millis(2), 10, 3);
-        let json = m.to_json(&CacheStats { hits: 5, patches: 4, ..CacheStats::default() }, 2);
+        let json = m.to_json(&CacheStats { hits: 5, patches: 4, ..CacheStats::default() }, 2, None);
         assert!(json.contains("\"requests_total\": 1"));
         assert!(json.contains("\"datasets\": 2"));
         assert!(json.contains("\"hits\": 5"));
         assert!(json.contains("\"patches\": 4"));
         assert!(json.contains("\"patterns_found\": 3"));
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains("\"persist\""), "no persist group without persistence");
+
+        let counters = PersistCounters::default();
+        counters.wal_records.store(12, Ordering::Relaxed);
+        counters.torn_tail_truncations.store(1, Ordering::Relaxed);
+        let json = m.to_json(&CacheStats::default(), 2, Some(&counters));
+        assert!(json.contains("\"wal_records\": 12"));
+        assert!(json.contains("\"torn_tail_truncations\": 1"));
+        assert!(json.contains("\"snapshots\": 0"));
+        assert!(json.ends_with('}'));
     }
 
     #[test]
@@ -183,7 +214,7 @@ mod tests {
         m.absorb_delta(&stats);
         stats.mode = DeltaMode::Full(FullReason::ColdStore);
         m.absorb_delta(&stats);
-        let json = m.to_json(&CacheStats::default(), 1);
+        let json = m.to_json(&CacheStats::default(), 1, None);
         assert!(json.contains("\"delta\": 1"));
         assert!(json.contains("\"delta_full\": 1"));
         assert!(json.contains("\"delta_retained\": 7"));

@@ -1,0 +1,402 @@
+//! Durable serving state: per-dataset WAL + snapshots + crash recovery.
+//!
+//! Layout inside the data directory (one pair of files per dataset):
+//!
+//! ```text
+//! <data-dir>/<name>.wal    append-only journal (see [`wal`] for framing)
+//! <data-dir>/<name>.snap   newest snapshot (atomic write-to-temp + rename)
+//! ```
+//!
+//! Every registry mutation is **journalled before it is applied**: the
+//! register/append record reaches the WAL (fsynced per the configured
+//! [`FsyncPolicy`]) and only then mutates the in-memory miner. Periodically
+//! — every [`SNAPSHOT_EVERY_DEFAULT`] records by default — the dataset is
+//! folded into a snapshot carrying the last-applied sequence number, and
+//! the WAL is truncated. Recovery is therefore: load the newest valid
+//! snapshot, replay WAL records with `seq >` the snapshot's, truncate any
+//! torn tail. A crash *between* snapshot-rename and WAL-truncate merely
+//! replays records the snapshot already contains, which the sequence
+//! check skips — replay is idempotent.
+//!
+//! This module owns formats and files; rebuilding miners and pattern
+//! stores from the replayed state lives with the
+//! [`Registry`](crate::registry::Registry).
+
+mod snapshot;
+mod wal;
+
+pub use wal::{WalRecord, WalReplay, WAL_MAX_RECORD_BYTES};
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rpm_core::ResolvedParams;
+use rpm_timeseries::{SnapshotHeader, Timestamp, TransactionDb};
+
+/// Default WAL records folded into a snapshot before the next one is cut:
+/// `SNAPSHOT_EVERY_DEFAULT = 256`.
+pub const SNAPSHOT_EVERY_DEFAULT: u64 = 256;
+
+/// The `interval` fsync policy syncs at most once per
+/// `FSYNC_INTERVAL_MILLIS = 100` milliseconds of appends.
+pub const FSYNC_INTERVAL_MILLIS: u64 = 100;
+
+/// When to `fsync` the WAL after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Sync after every record: an acknowledged write survives power loss.
+    #[default]
+    Always,
+    /// Sync at most once per [`FSYNC_INTERVAL_MILLIS`]: bounded data loss,
+    /// much cheaper under bursty appends.
+    Interval,
+    /// Never sync explicitly; the OS flushes on its own schedule. Survives
+    /// process crashes (the page cache persists) but not power loss.
+    Never,
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(Self::Always),
+            "interval" => Ok(Self::Interval),
+            "never" => Ok(Self::Never),
+            other => Err(format!("unknown fsync policy {other:?} (always|interval|never)")),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Always => "always",
+            Self::Interval => "interval",
+            Self::Never => "never",
+        })
+    }
+}
+
+/// Where and how to persist.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// The data directory (created if absent).
+    pub dir: PathBuf,
+    /// WAL fsync policy.
+    pub fsync: FsyncPolicy,
+    /// WAL records between snapshots.
+    pub snapshot_every: u64,
+}
+
+impl PersistConfig {
+    /// Defaults: `always` fsync, snapshot every [`SNAPSHOT_EVERY_DEFAULT`]
+    /// records.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), fsync: FsyncPolicy::Always, snapshot_every: SNAPSHOT_EVERY_DEFAULT }
+    }
+}
+
+/// Monotone persistence counters, surfaced through `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct PersistCounters {
+    /// WAL records written since startup.
+    pub wal_records: AtomicU64,
+    /// WAL bytes written since startup (framing included).
+    pub wal_bytes: AtomicU64,
+    /// Snapshots cut since startup.
+    pub snapshots: AtomicU64,
+    /// Datasets rebuilt from disk at startup.
+    pub recovered_datasets: AtomicU64,
+    /// Torn/corrupt WAL tails truncated at startup.
+    pub torn_tail_truncations: AtomicU64,
+}
+
+impl PersistCounters {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Relaxed load of one counter (reader side).
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared persistence coordinator: configuration, data directory and
+/// counters. Per-dataset write state lives in each [`DatasetLog`].
+#[derive(Debug)]
+pub struct Persistence {
+    config: PersistConfig,
+    counters: PersistCounters,
+}
+
+impl Persistence {
+    /// Opens (creating if needed) the data directory.
+    pub fn open(config: PersistConfig) -> std::io::Result<Arc<Self>> {
+        std::fs::create_dir_all(&config.dir)?;
+        Ok(Arc::new(Self { config, counters: PersistCounters::default() }))
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// The live counters.
+    pub fn counters(&self) -> &PersistCounters {
+        &self.counters
+    }
+
+    fn wal_path(&self, name: &str) -> PathBuf {
+        self.config.dir.join(format!("{name}.wal"))
+    }
+
+    /// Dataset names with any on-disk state (`.wal` or `.snap`), sorted.
+    pub fn dataset_names(&self) -> std::io::Result<Vec<String>> {
+        let mut names = BTreeSet::new();
+        for entry in std::fs::read_dir(&self.config.dir)? {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            let Some(file_name) = file_name.to_str() else { continue };
+            for suffix in [".wal", ".snap"] {
+                if let Some(stem) = file_name.strip_suffix(suffix) {
+                    if !stem.is_empty() {
+                        names.insert(stem.to_string());
+                    }
+                }
+            }
+        }
+        Ok(names.into_iter().collect())
+    }
+
+    /// Loads `name`'s snapshot if present and valid.
+    pub fn load_snapshot(&self, name: &str) -> Option<(SnapshotHeader, TransactionDb)> {
+        snapshot::load_snapshot(&self.config.dir, name)
+    }
+
+    /// Replays `name`'s WAL, repairing torn tails (and counting them).
+    /// `None` when no WAL file exists.
+    pub fn read_wal(&self, name: &str) -> std::io::Result<Option<WalReplay>> {
+        let path = self.wal_path(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let replay = wal::read_and_repair(&path)?;
+        if replay.truncated_tail {
+            PersistCounters::bump(&self.counters.torn_tail_truncations, 1);
+        }
+        Ok(Some(replay))
+    }
+}
+
+/// The per-dataset durability cursor: the open WAL writer plus the
+/// sequence bookkeeping that decides when to snapshot. Owned by the
+/// `Dataset` behind its write lock, so all methods take `&mut self` and
+/// need no further synchronisation.
+#[derive(Debug)]
+pub struct DatasetLog {
+    persist: Arc<Persistence>,
+    name: String,
+    writer: wal::WalWriter,
+    /// Last sequence number written (or recovered).
+    seq: u64,
+    /// WAL records since the last snapshot — the snapshot trigger.
+    records_since_snapshot: u64,
+}
+
+impl DatasetLog {
+    /// Fresh log for a brand-new registration: clears any stale on-disk
+    /// state for `name` and journals the register record.
+    pub fn create(
+        persist: &Arc<Persistence>,
+        name: &str,
+        db: &TransactionDb,
+        hot: ResolvedParams,
+    ) -> std::io::Result<Self> {
+        snapshot::remove_snapshot(persist.dir(), name)?;
+        let writer = wal::WalWriter::open(&persist.wal_path(name), persist.config.fsync, true)?;
+        let mut log = Self {
+            persist: persist.clone(),
+            name: name.to_string(),
+            writer,
+            seq: 0,
+            records_since_snapshot: 0,
+        };
+        log.log_register(db, hot)?;
+        Ok(log)
+    }
+
+    /// Re-attaches to an already-recovered dataset's log: appends continue
+    /// the recovered sequence in the existing file.
+    pub fn resume(
+        persist: &Arc<Persistence>,
+        name: &str,
+        seq: u64,
+        records_since_snapshot: u64,
+    ) -> std::io::Result<Self> {
+        let writer = wal::WalWriter::open(&persist.wal_path(name), persist.config.fsync, false)?;
+        Ok(Self {
+            persist: persist.clone(),
+            name: name.to_string(),
+            writer,
+            seq,
+            records_since_snapshot,
+        })
+    }
+
+    /// The last sequence number journalled.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Journals a (re)registration. On the `replace=true` path this writes
+    /// into the existing log with a continuing sequence number; recovery
+    /// treats a register record as a full reset of everything before it.
+    pub fn log_register(&mut self, db: &TransactionDb, hot: ResolvedParams) -> std::io::Result<()> {
+        let record = WalRecord::Register {
+            seq: self.seq + 1,
+            per: hot.per,
+            min_ps: hot.min_ps as u64,
+            min_rec: hot.min_rec as u64,
+            db: db.clone(),
+        };
+        self.write(&record)
+    }
+
+    /// Journals one append request's rows. Called **before** the miner
+    /// mutates, so an acknowledged append is always recoverable.
+    pub fn log_append(&mut self, rows: &[(Timestamp, Vec<String>)]) -> std::io::Result<()> {
+        let record = WalRecord::Append { seq: self.seq + 1, rows: rows.to_vec() };
+        self.write(&record)
+    }
+
+    fn write(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        let bytes = self.writer.append(record)?;
+        self.seq = record.seq();
+        self.records_since_snapshot += 1;
+        PersistCounters::bump(&self.persist.counters.wal_records, 1);
+        PersistCounters::bump(&self.persist.counters.wal_bytes, bytes);
+        Ok(())
+    }
+
+    /// Cuts a snapshot if enough records have accumulated since the last
+    /// one. Returns whether a snapshot was written.
+    pub fn maybe_snapshot(
+        &mut self,
+        db: &TransactionDb,
+        hot: ResolvedParams,
+        appends: u64,
+    ) -> std::io::Result<bool> {
+        if self.records_since_snapshot < self.persist.config.snapshot_every {
+            return Ok(false);
+        }
+        self.force_snapshot(db, hot, appends)?;
+        Ok(true)
+    }
+
+    /// Unconditionally snapshots the dataset and truncates its WAL — the
+    /// shutdown flush.
+    pub fn force_snapshot(
+        &mut self,
+        db: &TransactionDb,
+        hot: ResolvedParams,
+        appends: u64,
+    ) -> std::io::Result<()> {
+        let header = SnapshotHeader {
+            seq: self.seq,
+            per: hot.per,
+            min_ps: hot.min_ps as u64,
+            min_rec: hot.min_rec as u64,
+            appends,
+        };
+        snapshot::write_snapshot(self.persist.dir(), &self.name, &header, db)?;
+        // If truncation fails the WAL merely holds records the snapshot
+        // already covers; the sequence check skips them on replay.
+        self.writer.truncate()?;
+        self.records_since_snapshot = 0;
+        PersistCounters::bump(&self.persist.counters.snapshots, 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_persist(tag: &str, snapshot_every: u64) -> Arc<Persistence> {
+        let dir =
+            std::env::temp_dir().join(format!("rpm_persist_tests-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = PersistConfig::new(dir);
+        config.snapshot_every = snapshot_every;
+        Persistence::open(config).unwrap()
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        for (s, want) in [
+            ("always", FsyncPolicy::Always),
+            ("interval", FsyncPolicy::Interval),
+            ("never", FsyncPolicy::Never),
+        ] {
+            let got: FsyncPolicy = s.parse().unwrap();
+            assert_eq!(got, want);
+            assert_eq!(got.to_string(), s);
+        }
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::Always);
+    }
+
+    #[test]
+    fn log_lifecycle_registers_appends_and_snapshots() {
+        let persist = temp_persist("lifecycle", 3);
+        let db = rpm_timeseries::running_example_db();
+        let hot = ResolvedParams::new(2, 3, 2);
+        let mut log = DatasetLog::create(&persist, "demo", &db, hot).unwrap();
+        assert_eq!(log.seq(), 1);
+        log.log_append(&[(20, vec!["a".into()])]).unwrap();
+        assert!(!log.maybe_snapshot(&db, hot, 1).unwrap(), "2 records < snapshot_every of 3");
+        log.log_append(&[(21, vec!["b".into()])]).unwrap();
+        assert!(log.maybe_snapshot(&db, hot, 2).unwrap(), "3rd record crosses the trigger");
+        assert_eq!(PersistCounters::get(&persist.counters().snapshots), 1);
+        assert_eq!(PersistCounters::get(&persist.counters().wal_records), 3);
+
+        // WAL was truncated by the snapshot; replay finds no records but
+        // the snapshot carries seq=3.
+        let replay = persist.read_wal("demo").unwrap().unwrap();
+        assert!(replay.records.is_empty());
+        let (header, _) = persist.load_snapshot("demo").unwrap();
+        assert_eq!(header.seq, 3);
+        assert_eq!(header.appends, 2);
+        assert_eq!(persist.dataset_names().unwrap(), vec!["demo".to_string()]);
+        std::fs::remove_dir_all(persist.dir()).unwrap();
+    }
+
+    #[test]
+    fn create_clears_stale_state_and_resume_continues_seq() {
+        let persist = temp_persist("recreate", 100);
+        let db = rpm_timeseries::running_example_db();
+        let hot = ResolvedParams::new(2, 3, 2);
+        let mut log = DatasetLog::create(&persist, "demo", &db, hot).unwrap();
+        log.log_append(&[(20, vec!["a".into()])]).unwrap();
+        log.force_snapshot(&db, hot, 1).unwrap();
+        drop(log);
+
+        // Re-creating wipes both files and restarts the sequence.
+        let log = DatasetLog::create(&persist, "demo", &db, hot).unwrap();
+        assert_eq!(log.seq(), 1);
+        assert!(persist.load_snapshot("demo").is_none(), "stale snapshot removed");
+        drop(log);
+
+        // Resuming continues where recovery left off.
+        let mut log = DatasetLog::resume(&persist, "demo", 7, 2).unwrap();
+        log.log_append(&[(30, vec!["z".into()])]).unwrap();
+        assert_eq!(log.seq(), 8);
+        let replay = persist.read_wal("demo").unwrap().unwrap();
+        assert_eq!(replay.records.last().unwrap().seq(), 8);
+        std::fs::remove_dir_all(persist.dir()).unwrap();
+    }
+}

@@ -6,8 +6,16 @@
 //! parameters (fixed at registration) skips the first database scan
 //! entirely, while arbitrary per-request parameters still mine the full
 //! pipeline over the accumulated database.
+//!
+//! When the server runs with a data directory, each dataset additionally
+//! carries a [`DatasetLog`]: write paths journal to the WAL **before**
+//! mutating the miner, and [`Registry::with_persistence`] rebuilds every
+//! dataset from its newest snapshot plus the WAL tail at startup, so
+//! fingerprints and delta mining resume exactly where the previous
+//! process left off.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, RwLock};
 
 use rpm_core::engine::{AbortReason, RunControl};
@@ -15,6 +23,8 @@ use rpm_core::growth::{MineScratch, MiningResult};
 use rpm_core::sync::{lock_recover, read_recover, write_recover};
 use rpm_core::{DeltaStats, IncrementalMiner, PatternStore, ResolvedParams};
 use rpm_timeseries::{from_bytes, io, Timestamp, TransactionDb};
+
+use crate::persist::{DatasetLog, Persistence, WalRecord};
 
 /// A registered dataset: the live miner plus its cached content fingerprint.
 #[derive(Debug)]
@@ -27,12 +37,51 @@ pub struct Dataset {
     /// proportional to the dirty frontier. Interior mutability because
     /// hot mines run under the dataset's *read* lock.
     store: Mutex<PatternStore>,
+    /// Durability cursor; `None` when the server runs without a data
+    /// directory.
+    log: Option<DatasetLog>,
 }
 
 impl Dataset {
-    fn new(miner: IncrementalMiner) -> Self {
+    fn new(miner: IncrementalMiner, log: Option<DatasetLog>) -> Self {
         let fingerprint = miner.fingerprint();
-        Self { miner, fingerprint, appends: 0, store: Mutex::new(PatternStore::new()) }
+        Self { miner, fingerprint, appends: 0, store: Mutex::new(PatternStore::new()), log }
+    }
+
+    /// A dataset rebuilt from disk: `appends` comes from the recovered
+    /// stream, and the pattern store is warmed with one complete hot mine
+    /// so delta mining resumes on the first post-restart append.
+    fn recovered(miner: IncrementalMiner, appends: u64, log: DatasetLog) -> Self {
+        let fingerprint = miner.fingerprint();
+        let dataset = Self {
+            miner,
+            fingerprint,
+            appends,
+            store: Mutex::new(PatternStore::new()),
+            log: Some(log),
+        };
+        if !dataset.miner.db().is_empty() {
+            let control = RunControl::new();
+            let mut scratch = MineScratch::new();
+            let _ = dataset.mine_hot_delta(&control, &mut scratch);
+        }
+        dataset
+    }
+
+    /// Detaches the durability cursor — the `replace=true` path hands an
+    /// old dataset's log (and its sequence numbers) to the successor.
+    fn take_log(&mut self) -> Option<DatasetLog> {
+        self.log.take()
+    }
+
+    /// Snapshots the dataset unconditionally (shutdown flush). Errors are
+    /// swallowed: the WAL still holds everything the snapshot would.
+    fn flush_snapshot(&mut self) {
+        let hot = self.miner.params();
+        let appends = self.appends;
+        if let Some(log) = self.log.as_mut() {
+            let _ = log.force_snapshot(self.miner.db(), hot, appends);
+        }
     }
 
     /// The accumulated database.
@@ -88,14 +137,15 @@ impl Dataset {
         self.miner.mine_delta_controlled(&mut lock_recover(&self.store), control, scratch)
     }
 
-    /// Appends parsed `(ts, labels)` transactions in order. On success the
-    /// fingerprint is refreshed; on failure (a time regression) nothing
-    /// before the offending transaction is rolled back, so the fingerprint
-    /// is refreshed either way.
-    pub fn append_lines(
-        &mut self,
-        rows: &[(Timestamp, Vec<String>)],
-    ) -> Result<(), rpm_timeseries::Error> {
+    /// Appends parsed `(ts, labels)` transactions in order, journalling
+    /// the request to the WAL **before** touching the miner. On success
+    /// the fingerprint is refreshed; on a time regression nothing before
+    /// the offending transaction is rolled back (recovery replays the
+    /// identical prefix), so the fingerprint is refreshed either way.
+    pub fn append_lines(&mut self, rows: &[(Timestamp, Vec<String>)]) -> Result<(), AppendError> {
+        if let Some(log) = self.log.as_mut() {
+            log.log_append(rows).map_err(AppendError::Wal)?;
+        }
         let outcome = (|| {
             for (ts, labels) in rows {
                 let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
@@ -105,7 +155,33 @@ impl Dataset {
         })();
         self.fingerprint = self.miner.fingerprint();
         self.appends += 1;
-        outcome
+        let hot = self.miner.params();
+        let appends = self.appends;
+        if let Some(log) = self.log.as_mut() {
+            // A snapshot failure is non-fatal: the WAL retains everything.
+            let _ = log.maybe_snapshot(self.miner.db(), hot, appends);
+        }
+        outcome.map_err(AppendError::Order)
+    }
+}
+
+/// Why [`Dataset::append_lines`] failed.
+#[derive(Debug)]
+pub enum AppendError {
+    /// Journalling failed before anything was applied — a server-side
+    /// fault; the dataset is unchanged.
+    Wal(std::io::Error),
+    /// A transaction regressed in time — a client fault; rows before the
+    /// offending one were applied (and journalled).
+    Order(rpm_timeseries::Error),
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::Wal(e) => write!(f, "journalling append failed: {e}"),
+            AppendError::Order(e) => write!(f, "{e}"),
+        }
     }
 }
 
@@ -149,39 +225,121 @@ pub fn decode_dataset_body(body: &[u8]) -> Result<TransactionDb, String> {
     }
 }
 
+/// Why [`Registry::register`] failed.
+#[derive(Debug)]
+pub enum RegisterError {
+    /// The name is taken and `replace` was not requested.
+    Exists,
+    /// The uploaded database could not be replayed into a miner.
+    Invalid(String),
+    /// Journalling the registration failed; nothing was registered.
+    Wal(std::io::Error),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::Exists => f.write_str("dataset already exists"),
+            RegisterError::Invalid(msg) => f.write_str(msg),
+            RegisterError::Wal(e) => write!(f, "journalling registration failed: {e}"),
+        }
+    }
+}
+
+/// What startup recovery found on disk.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Datasets rebuilt, sorted by name.
+    pub recovered: Vec<String>,
+    /// On-disk names with no recoverable state (e.g. a WAL torn before its
+    /// register record) — left truncated on disk, not registered.
+    pub skipped: Vec<String>,
+}
+
+/// Replays `db` into a fresh incremental miner pinned to `hot_params`.
+fn replay_into_miner(
+    db: &TransactionDb,
+    hot_params: ResolvedParams,
+) -> Result<IncrementalMiner, String> {
+    let mut miner = IncrementalMiner::with_items(db.items().clone(), hot_params);
+    for t in db.transactions() {
+        miner
+            .append_ids(t.timestamp(), t.items().to_vec())
+            .map_err(|e| format!("replay failed: {e}"))?;
+    }
+    Ok(miner)
+}
+
 /// The shared, named dataset map. Datasets are individually locked so a
 /// long mine on one dataset never blocks queries on another.
 #[derive(Debug, Default)]
 pub struct Registry {
     datasets: RwLock<HashMap<String, Arc<RwLock<Dataset>>>>,
+    persist: Option<Arc<Persistence>>,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty, in-memory-only registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A durable registry over `persist`'s data directory: every dataset
+    /// found on disk is rebuilt from its newest valid snapshot plus the
+    /// replayed WAL tail (torn tails truncated) before the registry is
+    /// handed out.
+    pub fn with_persistence(persist: Arc<Persistence>) -> std::io::Result<(Self, RecoveryReport)> {
+        let registry =
+            Self { datasets: RwLock::new(HashMap::new()), persist: Some(persist.clone()) };
+        let mut report = RecoveryReport::default();
+        for name in persist.dataset_names()? {
+            match recover_dataset(&persist, &name)? {
+                Some(dataset) => {
+                    persist.counters().recovered_datasets.fetch_add(1, Ordering::Relaxed);
+                    write_recover(&registry.datasets)
+                        .insert(name.clone(), Arc::new(RwLock::new(dataset)));
+                    report.recovered.push(name);
+                }
+                None => report.skipped.push(name),
+            }
+        }
+        Ok((registry, report))
+    }
+
     /// Registers `db` under `name` with the given hot parameters, replaying
-    /// it into a fresh incremental miner. Fails if the name is taken.
+    /// it into a fresh incremental miner. An existing name is an error
+    /// unless `replace` is set, in which case the new content supersedes
+    /// the old dataset — journalled as a register record continuing the old
+    /// log's sequence, so the swap itself is crash-safe.
     pub fn register(
         &self,
         name: &str,
         db: TransactionDb,
         hot_params: ResolvedParams,
-    ) -> Result<u64, String> {
-        let mut miner = IncrementalMiner::with_items(db.items().clone(), hot_params);
-        for t in db.transactions() {
-            miner
-                .append_ids(t.timestamp(), t.items().to_vec())
-                .map_err(|e| format!("replay failed: {e}"))?;
-        }
-        let dataset = Dataset::new(miner);
-        let fingerprint = dataset.fingerprint();
+        replace: bool,
+    ) -> Result<u64, RegisterError> {
+        let miner = replay_into_miner(&db, hot_params).map_err(RegisterError::Invalid)?;
         let mut map = write_recover(&self.datasets);
-        if map.contains_key(name) {
-            return Err(format!("dataset {name:?} already exists"));
+        let existing = map.get(name).cloned();
+        if existing.is_some() && !replace {
+            return Err(RegisterError::Exists);
         }
+        let log = match &self.persist {
+            None => None,
+            Some(persist) => {
+                let inherited = existing.as_ref().and_then(|old| write_recover(old).take_log());
+                Some(match inherited {
+                    Some(mut log) => {
+                        log.log_register(miner.db(), hot_params).map_err(RegisterError::Wal)?;
+                        log
+                    }
+                    None => DatasetLog::create(persist, name, miner.db(), hot_params)
+                        .map_err(RegisterError::Wal)?,
+                })
+            }
+        };
+        let dataset = Dataset::new(miner, log);
+        let fingerprint = dataset.fingerprint();
         map.insert(name.to_string(), Arc::new(RwLock::new(dataset)));
         Ok(fingerprint)
     }
@@ -197,6 +355,77 @@ impl Registry {
         names.sort();
         names
     }
+
+    /// Snapshots every durable dataset — the shutdown flush. Per-dataset
+    /// failures are non-fatal: the WAL still holds everything.
+    pub fn flush_snapshots(&self) {
+        let datasets: Vec<Arc<RwLock<Dataset>>> =
+            read_recover(&self.datasets).values().cloned().collect();
+        for dataset in datasets {
+            write_recover(&dataset).flush_snapshot();
+        }
+    }
+}
+
+/// Rebuilds one dataset from disk: newest valid snapshot (if any), then
+/// every WAL record with a larger sequence number. Returns `None` when the
+/// on-disk state yields no dataset at all — e.g. a WAL whose register
+/// record was torn away and no snapshot to fall back to.
+fn recover_dataset(persist: &Arc<Persistence>, name: &str) -> std::io::Result<Option<Dataset>> {
+    let mut snap_seq = 0u64;
+    let mut state: Option<(IncrementalMiner, u64)> = None;
+    if let Some((header, db)) = persist.load_snapshot(name) {
+        let hot =
+            ResolvedParams::try_new(header.per, header.min_ps as usize, header.min_rec as usize);
+        if let Ok(hot) = hot {
+            if let Ok(miner) = replay_into_miner(&db, hot) {
+                snap_seq = header.seq;
+                state = Some((miner, header.appends));
+            }
+        }
+        // An unusable snapshot falls through to WAL-only recovery with
+        // snap_seq = 0, replaying the log from its first record.
+    }
+    let mut last_seq = snap_seq;
+    let mut records_since_snapshot = 0u64;
+    if let Some(replay) = persist.read_wal(name)? {
+        for record in replay.records {
+            let seq = record.seq();
+            if seq <= snap_seq {
+                continue; // already folded into the snapshot
+            }
+            match record {
+                WalRecord::Register { per, min_ps, min_rec, db, .. } => {
+                    let hot = ResolvedParams::try_new(per, min_ps as usize, min_rec as usize);
+                    if let Ok(hot) = hot {
+                        if let Ok(miner) = replay_into_miner(&db, hot) {
+                            state = Some((miner, 0));
+                        }
+                    }
+                }
+                WalRecord::Append { rows, .. } => {
+                    if let Some((miner, appends)) = state.as_mut() {
+                        // Identical semantics to the live path: apply rows
+                        // until the first time regression, then stop.
+                        for (ts, labels) in &rows {
+                            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                            if miner.append(*ts, &refs).is_err() {
+                                break;
+                            }
+                        }
+                        *appends += 1;
+                    }
+                }
+            }
+            last_seq = seq;
+            records_since_snapshot += 1;
+        }
+    }
+    let Some((miner, appends)) = state else {
+        return Ok(None);
+    };
+    let log = DatasetLog::resume(persist, name, last_seq, records_since_snapshot)?;
+    Ok(Some(Dataset::recovered(miner, appends, log)))
 }
 
 #[cfg(test)]
@@ -209,7 +438,8 @@ mod tests {
         let registry = Registry::new();
         let db = running_example_db();
         let expected_fp = rpm_timeseries::fingerprint(&db);
-        let fp = registry.register("example", db.clone(), ResolvedParams::new(2, 3, 2)).unwrap();
+        let fp =
+            registry.register("example", db.clone(), ResolvedParams::new(2, 3, 2), false).unwrap();
         assert_eq!(fp, expected_fp, "replay is content-preserving");
         let dataset = registry.get("example").unwrap();
         let dataset = dataset.read().unwrap();
@@ -220,18 +450,33 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_names_are_rejected() {
+    fn duplicate_names_are_rejected_unless_replacing() {
         let registry = Registry::new();
         let p = ResolvedParams::new(1, 1, 1);
-        registry.register("d", running_example_db(), p).unwrap();
-        assert!(registry.register("d", running_example_db(), p).is_err());
+        registry.register("d", running_example_db(), p, false).unwrap();
+        assert!(matches!(
+            registry.register("d", running_example_db(), p, false),
+            Err(RegisterError::Exists)
+        ));
+        // replace=true swaps the content in and resets the append counter.
+        {
+            let dataset = registry.get("d").unwrap();
+            dataset.write().unwrap().append_lines(&[(50, vec!["z".into()])]).unwrap();
+        }
+        let p2 = ResolvedParams::new(2, 3, 2);
+        registry.register("d", running_example_db(), p2, true).unwrap();
+        let dataset = registry.get("d").unwrap();
+        let dataset = dataset.read().unwrap();
+        assert_eq!(dataset.db().len(), 12, "replacement content, not the appended one");
+        assert_eq!(dataset.hot_params(), p2);
+        assert_eq!(dataset.appends(), 0);
         assert_eq!(registry.names(), vec!["d"]);
     }
 
     #[test]
     fn append_changes_fingerprint_and_rejects_regressions() {
         let registry = Registry::new();
-        registry.register("d", running_example_db(), ResolvedParams::new(2, 3, 2)).unwrap();
+        registry.register("d", running_example_db(), ResolvedParams::new(2, 3, 2), false).unwrap();
         let dataset = registry.get("d").unwrap();
         let mut dataset = dataset.write().unwrap();
         let fp0 = dataset.fingerprint();
@@ -248,7 +493,7 @@ mod tests {
     #[test]
     fn hot_delta_warms_store_and_patches_after_append() {
         let registry = Registry::new();
-        registry.register("d", running_example_db(), ResolvedParams::new(2, 3, 2)).unwrap();
+        registry.register("d", running_example_db(), ResolvedParams::new(2, 3, 2), false).unwrap();
         let dataset = registry.get("d").unwrap();
         let ds = dataset.read().unwrap();
         assert!(!ds.delta_applicable(), "cold store cannot delta");
@@ -294,5 +539,120 @@ mod tests {
         io::write_timestamped(&db, &mut text).unwrap();
         assert_eq!(decode_dataset_body(&text).unwrap().len(), 12);
         assert!(decode_dataset_body(b"RPMBgarbage").is_err());
+    }
+
+    fn temp_persist(tag: &str) -> Arc<Persistence> {
+        let dir =
+            std::env::temp_dir().join(format!("rpm_registry_persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Persistence::open(crate::persist::PersistConfig::new(dir)).unwrap()
+    }
+
+    #[test]
+    fn durable_registry_survives_a_simulated_crash() {
+        let persist = temp_persist("crash");
+        let hot = ResolvedParams::new(2, 3, 2);
+        let (fp_before, mined_before) = {
+            let (registry, report) = Registry::with_persistence(persist.clone()).unwrap();
+            assert!(report.recovered.is_empty());
+            registry.register("d", running_example_db(), hot, false).unwrap();
+            let dataset = registry.get("d").unwrap();
+            let mut ds = dataset.write().unwrap();
+            ds.append_lines(&[(20, vec!["a".into(), "b".into()])]).unwrap();
+            ds.append_lines(&[(21, vec!["c".into()])]).unwrap();
+            (ds.fingerprint(), ds.miner().mine().patterns)
+            // Dropped without any snapshot: the "crash". The WAL (fsync
+            // policy `always`) is all recovery gets.
+        };
+        let (registry, report) = Registry::with_persistence(persist.clone()).unwrap();
+        assert_eq!(report.recovered, vec!["d".to_string()]);
+        let dataset = registry.get("d").unwrap();
+        let ds = dataset.read().unwrap();
+        assert_eq!(ds.fingerprint(), fp_before, "recovered fingerprint matches pre-crash");
+        assert_eq!(ds.appends(), 2);
+        assert_eq!(ds.hot_params(), hot);
+        assert_eq!(ds.miner().mine().patterns, mined_before, "mine output identical");
+        assert!(ds.store_base_len() > 0, "pattern store warmed at recovery");
+        assert_eq!(crate::persist::PersistCounters::get(&persist.counters().recovered_datasets), 1);
+        std::fs::remove_dir_all(persist.dir()).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_wal_on_top_of_a_stale_snapshot() {
+        let persist = temp_persist("stale-snap");
+        let hot = ResolvedParams::new(2, 3, 2);
+        let fp_before = {
+            let (registry, _) = Registry::with_persistence(persist.clone()).unwrap();
+            registry.register("d", running_example_db(), hot, false).unwrap();
+            let dataset = registry.get("d").unwrap();
+            let mut ds = dataset.write().unwrap();
+            ds.append_lines(&[(20, vec!["a".into()])]).unwrap();
+            // Snapshot now, then keep appending: the snapshot goes stale
+            // and recovery must replay the WAL tail on top of it.
+            ds.flush_snapshot();
+            ds.append_lines(&[(21, vec!["b".into()])]).unwrap();
+            ds.append_lines(&[(22, vec!["c".into()])]).unwrap();
+            ds.fingerprint()
+        };
+        let (header, _) = persist.load_snapshot("d").unwrap();
+        assert_eq!(header.appends, 1, "snapshot predates two appends");
+        let (registry, report) = Registry::with_persistence(persist.clone()).unwrap();
+        assert_eq!(report.recovered, vec!["d".to_string()]);
+        let dataset = registry.get("d").unwrap();
+        let ds = dataset.read().unwrap();
+        assert_eq!(ds.fingerprint(), fp_before);
+        assert_eq!(ds.appends(), 3);
+        assert_eq!(ds.db().len(), 15);
+        std::fs::remove_dir_all(persist.dir()).unwrap();
+    }
+
+    #[test]
+    fn replace_is_journalled_and_recovers_to_the_replacement() {
+        let persist = temp_persist("replace");
+        let hot = ResolvedParams::new(2, 3, 2);
+        {
+            let (registry, _) = Registry::with_persistence(persist.clone()).unwrap();
+            registry.register("d", running_example_db(), hot, false).unwrap();
+            {
+                let dataset = registry.get("d").unwrap();
+                let mut ds = dataset.write().unwrap();
+                ds.append_lines(&[(20, vec!["doomed".into()])]).unwrap();
+            }
+            // Replace with a two-transaction db at different hot params.
+            let text = b"1\tx y\n2\tx\n";
+            let replacement = io::read_timestamped(&text[..]).unwrap();
+            registry.register("d", replacement, ResolvedParams::new(1, 1, 1), true).unwrap();
+        }
+        let (registry, _) = Registry::with_persistence(persist.clone()).unwrap();
+        let dataset = registry.get("d").unwrap();
+        let ds = dataset.read().unwrap();
+        assert_eq!(ds.db().len(), 2, "replacement content recovered, not the original");
+        assert_eq!(ds.hot_params(), ResolvedParams::new(1, 1, 1));
+        assert_eq!(ds.appends(), 0);
+        std::fs::remove_dir_all(persist.dir()).unwrap();
+    }
+
+    #[test]
+    fn time_regression_appends_recover_with_identical_prefix_semantics() {
+        let persist = temp_persist("regression");
+        let hot = ResolvedParams::new(2, 3, 2);
+        let fp_before = {
+            let (registry, _) = Registry::with_persistence(persist.clone()).unwrap();
+            registry.register("d", running_example_db(), hot, false).unwrap();
+            let dataset = registry.get("d").unwrap();
+            let mut ds = dataset.write().unwrap();
+            // Second row regresses: the first is applied, the error is
+            // reported, and the whole request sits in the WAL.
+            let rows = vec![(30, vec!["ok".into()]), (3, vec!["bad".into()])];
+            assert!(matches!(ds.append_lines(&rows), Err(AppendError::Order(_))));
+            ds.fingerprint()
+        };
+        let (registry, _) = Registry::with_persistence(persist.clone()).unwrap();
+        let dataset = registry.get("d").unwrap();
+        let ds = dataset.read().unwrap();
+        assert_eq!(ds.fingerprint(), fp_before, "replay applies the same prefix");
+        assert_eq!(ds.db().len(), 13);
+        assert_eq!(ds.appends(), 1);
+        std::fs::remove_dir_all(persist.dir()).unwrap();
     }
 }

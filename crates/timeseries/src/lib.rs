@@ -47,7 +47,10 @@ pub mod stats;
 pub mod timestamp;
 pub mod transaction;
 
-pub use binio::{fingerprint, from_bytes, load_binary, save_binary, to_bytes};
+pub use binio::{
+    fingerprint, from_bytes, load_binary, save_binary, snapshot_from_bytes, snapshot_to_bytes,
+    to_bytes, SnapshotHeader, SNAPSHOT_VERSION,
+};
 pub use convert::{db_to_events, events_to_db, rebin};
 pub use database::{running_example_db, DbBuilder, TransactionDb};
 pub use datetime::{format_datetime_minutes, parse_datetime_minutes};

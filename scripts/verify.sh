@@ -17,3 +17,53 @@ cargo test -q --offline
 cargo run -q -p rpm-bench --release --offline --bin incremental_mining -- \
   --scale 0.05 --chunks 2 --batch-sizes 1 --reps 1 \
   --out target/BENCH_incremental_smoke.json
+
+# Durability smoke: serve with a data dir, ingest, SIGKILL, restart, and
+# assert the dataset (upload + append) survived the crash. Offline, local
+# loopback only. The restart uses a different port: the killed listener's
+# connections linger in TIME_WAIT and would make an immediate same-port
+# bind flaky.
+smoke_dir="$(mktemp -d)"
+serve_pid=""
+trap 'rm -rf "$smoke_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+rpm=target/release/rpm
+
+wait_healthy() { # port
+  for _ in $(seq 50); do
+    curl -sf "http://127.0.0.1:$1/v1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "recovery smoke FAILED: server on port $1 never became healthy" >&2
+  return 1
+}
+
+"$rpm" generate shop --out "$smoke_dir/shop.tsv" --scale 0.02 --seed 7
+"$rpm" serve --addr 127.0.0.1:8741 --threads 2 --data-dir "$smoke_dir/data" &
+serve_pid=$!
+wait_healthy 8741
+curl -sf --data-binary @"$smoke_dir/shop.tsv" \
+  'http://127.0.0.1:8741/v1/datasets/shop?per=360&min-ps=10&min-rec=1' >/dev/null
+printf '999999\tsmoke-item\n' | curl -sf --data-binary @- \
+  -X POST http://127.0.0.1:8741/v1/datasets/shop/append >/dev/null
+before=$(curl -sf http://127.0.0.1:8741/v1/datasets)
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+"$rpm" serve --addr 127.0.0.1:8742 --threads 2 --data-dir "$smoke_dir/data" &
+serve_pid=$!
+wait_healthy 8742
+after=$(curl -sf http://127.0.0.1:8742/v1/datasets)
+curl -sf -X POST http://127.0.0.1:8742/v1/shutdown >/dev/null
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+trap 'rm -rf "$smoke_dir"' EXIT
+if [ "$before" != "$after" ]; then
+  echo "recovery smoke FAILED: dataset listing changed across SIGKILL+restart" >&2
+  echo "  before: $before" >&2
+  echo "  after:  $after" >&2
+  exit 1
+fi
+case "$after" in
+  *'"name":"shop"'*) echo "recovery smoke: ok (dataset survived SIGKILL)" ;;
+  *) echo "recovery smoke FAILED: dataset missing after restart: $after" >&2; exit 1 ;;
+esac
+rm -rf "$smoke_dir"

@@ -84,6 +84,8 @@ const USAGE: &str = "rpm — recurring pattern mining (EDBT 2015 reproduction)
   rpm serve    [--addr HOST:PORT] [--threads N] [--cache-mb M] [--queue N]
                [--io-timeout T] [--load NAME=PATH]...
                [--per N --min-ps N --min-rec N]   (hot params for --load)
+               [--data-dir DIR] [--fsync always|interval|never]
+               [--snapshot-every N]               (durability; see TUTORIAL)
 
 Databases are text (`ts<TAB>item item…`) or, with a .rpmb extension, the
 compact binary format of rpm_timeseries::binio.
@@ -455,7 +457,7 @@ fn generate(args: &[String]) -> Result<(), String> {
 /// `rpm serve`: the HTTP serving layer over the mining engine.
 fn serve(args: &[String]) -> Result<(), String> {
     use recurring_patterns::core::ResolvedParams;
-    use recurring_patterns::server::{Server, ServerConfig};
+    use recurring_patterns::server::{PersistConfig, Server, ServerConfig};
 
     let flags = Flags::parse(args)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:8726").to_string();
@@ -466,18 +468,50 @@ fn serve(args: &[String]) -> Result<(), String> {
         Some(t) => parse_timeout(t)?,
         None => std::time::Duration::from_secs(30),
     };
+    // Durability: --data-dir switches the registry to WAL + snapshot mode;
+    // --fsync and --snapshot-every tune it.
+    let persist = match flags.get("data-dir") {
+        Some(dir) => {
+            let mut persist = PersistConfig::new(dir);
+            if let Some(policy) = flags.get("fsync") {
+                persist.fsync = policy.parse()?;
+            }
+            persist.snapshot_every = flags.parse_num("snapshot-every", persist.snapshot_every)?;
+            if persist.snapshot_every == 0 {
+                return Err("--snapshot-every must be at least 1".to_string());
+            }
+            Some(persist)
+        }
+        None => {
+            if flags.get("fsync").is_some() || flags.get("snapshot-every").is_some() {
+                return Err("--fsync/--snapshot-every need --data-dir".to_string());
+            }
+            None
+        }
+    };
     let config = ServerConfig {
         addr,
         threads,
         cache_bytes: cache_mb.saturating_mul(1 << 20),
         queue_depth,
         io_timeout,
+        persist,
     };
     let handle = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+    if let Some(recovery) = handle.recovery() {
+        for name in &recovery.recovered {
+            eprintln!("recovered dataset {name:?} from the data directory");
+        }
+        for name in &recovery.skipped {
+            eprintln!("warning: on-disk state for {name:?} was unrecoverable, skipped");
+        }
+    }
 
     // Preload datasets; the per/min-ps/min-rec flags become their hot
     // parameters (min-ps as an absolute count — the incremental scanners
-    // cannot track a percentage of a growing stream).
+    // cannot track a percentage of a growing stream). Names recovered from
+    // the data directory win: preloading over one is refused rather than
+    // silently clobbering recovered state.
     let preload = flags.get_all("load");
     if !preload.is_empty() {
         let hot = ResolvedParams::new(
@@ -490,8 +524,17 @@ fn serve(args: &[String]) -> Result<(), String> {
                 .split_once('=')
                 .ok_or_else(|| format!("bad --load {spec:?}: expected NAME=PATH"))?;
             let db = load_db_path(path)?;
-            let fingerprint = handle.registry().register(name, db, hot)?;
-            eprintln!("loaded dataset {name:?} from {path} (fingerprint {fingerprint:016x})");
+            match handle.registry().register(name, db, hot, false) {
+                Ok(fingerprint) => eprintln!(
+                    "loaded dataset {name:?} from {path} (fingerprint {fingerprint:016x})"
+                ),
+                Err(recurring_patterns::server::RegisterError::Exists) => {
+                    // Restarting with the same --load flags: the recovered
+                    // dataset (which may hold appends) wins.
+                    eprintln!("dataset {name:?} already present (recovered), skipping {path}");
+                }
+                Err(e) => return Err(format!("cannot load {name:?}: {e}")),
+            }
         }
     }
 

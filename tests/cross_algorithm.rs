@@ -4,11 +4,15 @@
 //! parameters — the strongest available evidence that the tree machinery
 //! (ts-list push-up, conditional pruning) is sound.
 
-#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
-
-use recurring_patterns::core::{apriori_rp, apriori_support_only, brute_force, mine_resolved};
+use recurring_patterns::core::{apriori_rp, apriori_support_only, brute_force};
 use recurring_patterns::prelude::*;
 use recurring_patterns::timeseries::Pcg32;
+
+/// Batch miner routed through the engine's [`MiningSession`] entry point.
+fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let session = MiningSession::builder().resolved(params).build().expect("valid params");
+    session.mine(db).expect("non-empty db").into_result()
+}
 
 /// Builds a random database over `n_items` items across `span` timestamps,
 /// where item `i` appears at a timestamp with its own probability — heavier

@@ -3,12 +3,16 @@
 //! workspace must produce it verbatim — supports, recurrences and interval
 //! endpoints included.
 
-#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
-
 use proptest::prelude::*;
-use recurring_patterns::core::{apriori_rp, mine_parallel, mine_resolved};
+use recurring_patterns::core::{apriori_rp, mine_parallel};
 use recurring_patterns::datagen::{ExactGroup, ExactSpec};
 use recurring_patterns::prelude::*;
+
+/// Batch miner routed through the engine's [`MiningSession`] entry point.
+fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let session = MiningSession::builder().resolved(params).build().expect("valid params");
+    session.mine(db).expect("non-empty db").into_result()
+}
 
 fn paper_like_spec() -> ExactSpec {
     ExactSpec {

@@ -2,8 +2,6 @@
 //! work) on the simulated datasets: incremental mining, noise-tolerant
 //! mining, condensations, top-k and rules — all through the facade API.
 
-#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
-
 use recurring_patterns::prelude::*;
 
 #[test]
@@ -18,7 +16,13 @@ fn incremental_miner_tracks_a_simulated_stream() {
     }
     let incremental = miner.mine();
     // Batch-mine the miner's own accumulated database: identical output.
-    let batch = recurring_patterns::core::mine_resolved(miner.db(), params);
+    let batch = MiningSession::builder()
+        .resolved(params)
+        .build()
+        .expect("valid params")
+        .mine(miner.db())
+        .expect("non-empty db")
+        .into_result();
     assert_eq!(incremental.patterns, batch.patterns);
     assert!(!incremental.patterns.is_empty());
 }

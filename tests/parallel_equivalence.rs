@@ -4,13 +4,14 @@
 //! [`MiningStats`] counters — at every thread count, and a reused
 //! [`MineScratch`] must never leak state between runs.
 
-#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
-
-use recurring_patterns::core::{
-    mine_parallel, mine_resolved, mine_with_scratch, MineScratch, MiningResult, ResolvedParams,
-    RpList,
-};
+use recurring_patterns::core::{mine_parallel, MineScratch, MiningResult, ResolvedParams};
 use recurring_patterns::prelude::*;
+
+/// Batch miner routed through the engine's [`MiningSession`] entry point.
+fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let session = MiningSession::builder().resolved(params).build().expect("valid params");
+    session.mine(db).expect("non-empty db").into_result()
+}
 
 /// Planted simulations plus dropped/jittered variants: ≥20 databases with
 /// known structure and realistic corruption, each paired with paper-style
@@ -62,8 +63,9 @@ fn warm_scratch_runs_match_cold_runs_across_the_pool() {
     // regression test for stale state surviving `MineScratch` reuse.
     let mut scratch = MineScratch::new();
     for (name, db, params) in database_pool() {
-        let list = RpList::build(&db, params);
-        let warm = mine_with_scratch(&db, &list, params, &mut scratch);
+        let session = MiningSession::builder().resolved(params).build().expect("valid params");
+        let warm =
+            session.mine_with_scratch(&db, &mut scratch).expect("non-empty db").into_result();
         let cold = mine_resolved(&db, params);
         assert_same(&name, "warm scratch", &warm, &cold);
     }

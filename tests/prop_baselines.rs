@@ -2,8 +2,6 @@
 //! implementation is compared against a from-scratch brute-force
 //! recomputation of its own model on random databases.
 
-#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
-
 use proptest::prelude::*;
 use recurring_patterns::baselines::periodic_frequent::periodicity;
 use recurring_patterns::baselines::{
@@ -11,6 +9,12 @@ use recurring_patterns::baselines::{
     SegmentParams,
 };
 use recurring_patterns::prelude::*;
+
+/// Batch miner routed through the engine's [`MiningSession`] entry point.
+fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let session = MiningSession::builder().resolved(params).build().expect("valid params");
+    session.mine(db).expect("non-empty db").into_result()
+}
 
 /// Strategy: a small random database over ≤ 6 items and ≤ 60 timestamps.
 fn small_db() -> impl Strategy<Value = TransactionDb> {
@@ -132,7 +136,7 @@ proptest! {
         min_rec in 1usize..3,
     ) {
         let base = ResolvedParams::new(per, min_ps, min_rec);
-        let strict = recurring_patterns::core::mine_resolved(&db, base).patterns;
+        let strict = mine_resolved(&db, base).patterns;
         let (relaxed, _) = mine_relaxed(&db, &NoiseParams::strict(base));
         prop_assert_eq!(strict, relaxed);
     }
@@ -146,7 +150,7 @@ proptest! {
         threads in 1usize..6,
     ) {
         let params = ResolvedParams::new(per, min_ps, 1);
-        let seq = recurring_patterns::core::mine_resolved(&db, params).patterns;
+        let seq = mine_resolved(&db, params).patterns;
         let par = recurring_patterns::core::mine_parallel(&db, params, threads).patterns;
         prop_assert_eq!(seq, par);
     }
@@ -160,7 +164,7 @@ proptest! {
             miner.append_ids(t.timestamp(), t.items().to_vec()).unwrap();
         }
         let inc = miner.mine().patterns;
-        let batch = recurring_patterns::core::mine_resolved(&db, params).patterns;
+        let batch = mine_resolved(&db, params).patterns;
         prop_assert_eq!(inc, batch);
     }
 }

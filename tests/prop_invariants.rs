@@ -1,13 +1,15 @@
 //! Property-based tests (proptest) of the model's core invariants, over
 //! randomly generated timestamp lists and databases.
 
-#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
-
 use proptest::prelude::*;
-use recurring_patterns::core::{
-    brute_force, erec, get_recurrence, mine_resolved, periodic_intervals, recurrence,
-};
+use recurring_patterns::core::{brute_force, erec, get_recurrence, periodic_intervals, recurrence};
 use recurring_patterns::prelude::*;
+
+/// Batch miner routed through the engine's [`MiningSession`] entry point.
+fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let session = MiningSession::builder().resolved(params).build().expect("valid params");
+    session.mine(db).expect("non-empty db").into_result()
+}
 
 /// Strategy: a sorted, deduplicated timestamp list.
 fn ts_list() -> impl Strategy<Value = Vec<i64>> {

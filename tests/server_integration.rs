@@ -102,14 +102,18 @@ fn mine_caches_and_append_invalidates() {
 
     // Upload with hot params matching the query params below, so the first
     // mine exercises the incremental fast path.
-    let up =
-        request(addr, "POST", "/datasets/shop?per=2&min-ps=3&min-rec=2", &running_example_text());
+    let up = request(
+        addr,
+        "POST",
+        "/v1/datasets/shop?per=2&min-ps=3&min-rec=2",
+        &running_example_text(),
+    );
     assert_eq!(up.status, 201, "{}", up.body);
     assert!(up.body.contains("\"transactions\":12"), "{}", up.body);
 
     // First mine: a miss that runs the engine; the running example yields
     // the paper's 8 patterns.
-    let mine = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    let mine = request(addr, "POST", "/v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(mine.status, 200, "{}", mine.body);
     assert_eq!(mine.header("x-rpm-cache"), "miss");
     assert_eq!(mine.header("x-rpm-patterns"), "8");
@@ -117,11 +121,11 @@ fn mine_caches_and_append_invalidates() {
 
     // Second mine: a cache hit — byte-identical body, and the /metrics
     // counters prove no second engine run happened.
-    let again = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    let again = request(addr, "POST", "/v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(again.status, 200);
     assert_eq!(again.header("x-rpm-cache"), "hit");
     assert_eq!(again.body, mine.body, "hit serves the first run's bytes");
-    let metrics = request(addr, "GET", "/metrics", "");
+    let metrics = request(addr, "GET", "/v1/metrics", "");
     assert_eq!(metrics.status, 200);
     assert_eq!(metrics.counter("hits"), 1, "{}", metrics.body);
     assert_eq!(metrics.counter("runs"), 1, "one engine run despite two requests");
@@ -130,22 +134,22 @@ fn mine_caches_and_append_invalidates() {
     // Appending the ubiquitous `a b` dirties a frontier wider than the
     // delta threshold, so the patch path refuses and the old content is
     // invalidated: the same query must re-mine.
-    let append = request(addr, "POST", "/datasets/shop/append", "16\ta b\n18\ta b\n");
+    let append = request(addr, "POST", "/v1/datasets/shop/append", "16\ta b\n18\ta b\n");
     assert_eq!(append.status, 200, "{}", append.body);
     assert!(append.body.contains("\"appended\":2"), "{}", append.body);
     assert!(append.body.contains("\"patched\":false"), "{}", append.body);
-    let after = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    let after = request(addr, "POST", "/v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(after.status, 200);
     assert_eq!(after.header("x-rpm-cache"), "miss", "append invalidated the entry");
-    let metrics = request(addr, "GET", "/metrics", "");
+    let metrics = request(addr, "GET", "/v1/metrics", "");
     assert!(metrics.counter("invalidations") >= 1, "{}", metrics.body);
     assert_eq!(metrics.counter("appends_patched"), 0, "{}", metrics.body);
     assert_eq!(metrics.counter("runs"), 2);
 
     // Time regressions are a conflict, and the dataset stays queryable.
-    let bad = request(addr, "POST", "/datasets/shop/append", "1\tbread\n");
+    let bad = request(addr, "POST", "/v1/datasets/shop/append", "1\tbread\n");
     assert_eq!(bad.status, 409, "{}", bad.body);
-    let still = request(addr, "GET", "/datasets", "");
+    let still = request(addr, "GET", "/v1/datasets", "");
     assert!(still.body.contains("\"name\":\"shop\""), "{}", still.body);
 
     handle.shutdown();
@@ -157,18 +161,23 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
     let handle = bind(2, 16);
     let addr = handle.addr();
 
-    let up =
-        request(addr, "POST", "/datasets/shop?per=2&min-ps=3&min-rec=2", &running_example_text());
+    let up = request(
+        addr,
+        "POST",
+        "/v1/datasets/shop?per=2&min-ps=3&min-rec=2",
+        &running_example_text(),
+    );
     assert_eq!(up.status, 201, "{}", up.body);
 
     // One engine run warms the cache and the dataset's pattern store.
-    let mine = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    let mine = request(addr, "POST", "/v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(mine.status, 200, "{}", mine.body);
     assert_eq!(mine.header("x-rpm-cache"), "miss");
     assert_eq!(mine.header("x-rpm-patterns"), "8");
 
     // Nothing is active past the original stream's end (ts=14).
-    let before = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
+    let before =
+        request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
     assert_eq!(before.status, 200, "{}", before.body);
     assert_eq!(before.header("x-rpm-active"), "0");
 
@@ -177,14 +186,14 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
     // threshold — so the append delta-mines and patches the cache entry in
     // place instead of invalidating it.
     let lines = "16\tz\n17\tz\n18\tz\n22\tz\n23\tz\n24\tz\n";
-    let append = request(addr, "POST", "/datasets/shop/append", lines);
+    let append = request(addr, "POST", "/v1/datasets/shop/append", lines);
     assert_eq!(append.status, 200, "{}", append.body);
     assert!(append.body.contains("\"appended\":6"), "{}", append.body);
     assert!(append.body.contains("\"patched\":true"), "{}", append.body);
 
     // The very next mine is a cache HIT on the patched entry, already
     // carrying the ninth pattern {z} — no engine run in between.
-    let after = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    let after = request(addr, "POST", "/v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(after.status, 200);
     assert_eq!(after.header("x-rpm-cache"), "hit", "append patched, not invalidated");
     assert_eq!(after.header("x-rpm-patterns"), "9");
@@ -192,7 +201,8 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
 
     // The stabbing index rebuilt from the patched entry sees {z} active in
     // its first run [16,18].
-    let active = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
+    let active =
+        request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
     assert_eq!(active.status, 200, "{}", active.body);
     assert_eq!(active.header("x-rpm-cache"), "hit");
     let n_active: usize = active.header("x-rpm-active").parse().unwrap();
@@ -200,7 +210,7 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
 
     // Counters tell the same story: one engine run total, one patched
     // append, at least one delta mine that retained the 8 old patterns.
-    let metrics = request(addr, "GET", "/metrics", "");
+    let metrics = request(addr, "GET", "/v1/metrics", "");
     assert_eq!(metrics.counter("runs"), 1, "{}", metrics.body);
     assert_eq!(metrics.counter("appends_patched"), 1, "{}", metrics.body);
     assert!(metrics.counter("patches") >= 1, "{}", metrics.body);
@@ -215,11 +225,11 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
 fn active_queries_are_served_from_the_cached_index() {
     let handle = bind(2, 16);
     let addr = handle.addr();
-    let up = request(addr, "POST", "/datasets/shop", &running_example_text());
+    let up = request(addr, "POST", "/v1/datasets/shop", &running_example_text());
     assert_eq!(up.status, 201, "{}", up.body);
 
     // A cold active query mines to completion, then stabs the index.
-    let active = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=3", "");
+    let active = request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=3", "");
     assert_eq!(active.status, 200, "{}", active.body);
     assert_eq!(active.header("x-rpm-cache"), "miss");
     let n_at_3: usize = active.header("x-rpm-active").parse().unwrap();
@@ -227,18 +237,18 @@ fn active_queries_are_served_from_the_cached_index() {
 
     // The same params hit the entry the first query populated; a mine on
     // the same key also hits it.
-    let warm = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=3", "");
+    let warm = request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=3", "");
     assert_eq!(warm.header("x-rpm-cache"), "hit");
     assert_eq!(warm.body, active.body);
-    let mine = request(addr, "POST", "/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
+    let mine = request(addr, "POST", "/v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(mine.header("x-rpm-cache"), "hit");
 
     // Range form, and parameter validation.
     let range =
-        request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2&from=1&to=14", "");
+        request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&from=1&to=14", "");
     assert_eq!(range.status, 200);
     assert_eq!(range.header("x-rpm-active"), "8", "whole span touches every pattern");
-    let missing = request(addr, "GET", "/datasets/shop/active?per=2&min-ps=3&min-rec=2", "");
+    let missing = request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(missing.status, 400);
     assert!(missing.body.contains("at=ts"), "{}", missing.body);
 
@@ -251,19 +261,19 @@ fn deadline_yields_a_sound_partial_206() {
     let handle = bind(2, 16);
     let addr = handle.addr();
     // 10 items → 1023 candidate itemsets, all of them patterns.
-    let up = request(addr, "POST", "/datasets/dense", &dense_db_text(10, 30));
+    let up = request(addr, "POST", "/v1/datasets/dense", &dense_db_text(10, 30));
     assert_eq!(up.status, 201, "{}", up.body);
 
     // A zero deadline trips at the engine's first probe: 206, the abort
     // reason in a header, and whatever prefix was mined in the body.
     let partial =
-        request(addr, "POST", "/datasets/dense/mine?per=2&min-ps=3&min-rec=1&timeout=0ms", "");
+        request(addr, "POST", "/v1/datasets/dense/mine?per=2&min-ps=3&min-rec=1&timeout=0ms", "");
     assert_eq!(partial.status, 206, "{}", partial.body);
     assert_eq!(partial.header("x-rpm-abort"), "deadline exceeded");
     assert_eq!(partial.header("x-rpm-cache"), "miss");
 
     // Partial results are never cached…
-    let retry = request(addr, "POST", "/datasets/dense/mine?per=2&min-ps=3&min-rec=1", "");
+    let retry = request(addr, "POST", "/v1/datasets/dense/mine?per=2&min-ps=3&min-rec=1", "");
     assert_eq!(retry.status, 200, "{}", retry.body);
     assert_eq!(retry.header("x-rpm-cache"), "miss", "the 206 must not have been cached");
     assert_eq!(retry.header("x-rpm-patterns"), "1023");
@@ -289,15 +299,15 @@ fn full_queue_gets_backpressure_503() {
     let addr = handle.addr();
 
     let mut conn_a = TcpStream::connect(addr).unwrap();
-    conn_a.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap(); // head unfinished
+    conn_a.write_all(b"GET /v1/healthz HTTP/1.1\r\n").unwrap(); // head unfinished
     #[allow(clippy::disallowed_methods)] // test choreography
     std::thread::sleep(Duration::from_millis(150)); // worker picks A up, blocks reading
     let mut conn_b = TcpStream::connect(addr).unwrap();
-    conn_b.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    conn_b.write_all(b"GET /v1/healthz HTTP/1.1\r\n").unwrap();
     #[allow(clippy::disallowed_methods)] // test choreography
     std::thread::sleep(Duration::from_millis(150)); // B sits in the queue
 
-    let rejected = parse_response(&send_raw(addr, "GET /healthz HTTP/1.1\r\n\r\n"));
+    let rejected = parse_response(&send_raw(addr, "GET /v1/healthz HTTP/1.1\r\n\r\n"));
     assert_eq!(rejected.status, 503, "{}", rejected.body);
     assert!(rejected.body.contains("queue full"), "{}", rejected.body);
     let metrics_raw = {
@@ -311,7 +321,7 @@ fn full_queue_gets_backpressure_503() {
         let mut out = String::new();
         conn_b.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 200"), "B completed normally: {out}");
-        send_raw(addr, "GET /metrics HTTP/1.1\r\n\r\n")
+        send_raw(addr, "GET /v1/metrics HTTP/1.1\r\n\r\n")
     };
     let metrics = parse_response(&metrics_raw);
     assert!(metrics.counter("rejected_backpressure") >= 1, "{}", metrics.body);
@@ -327,16 +337,16 @@ fn graceful_shutdown_drains_in_flight_mining_as_complete_responses() {
     // 24 items → ~16.7M candidate itemsets: minutes of mining, so the
     // cancellation token is what ends the run. The 30s timeout is only a
     // backstop so a broken shutdown path cannot hang the suite.
-    let up = request(addr, "POST", "/datasets/huge", &dense_db_text(24, 48));
+    let up = request(addr, "POST", "/v1/datasets/huge", &dense_db_text(24, 48));
     assert_eq!(up.status, 201, "{}", up.body);
 
     let miner = std::thread::spawn(move || {
-        request(addr, "POST", "/datasets/huge/mine?per=2&min-ps=3&min-rec=1&timeout=30s", "")
+        request(addr, "POST", "/v1/datasets/huge/mine?per=2&min-ps=3&min-rec=1&timeout=30s", "")
     });
     // Let the mine get going, then pull the plug.
     #[allow(clippy::disallowed_methods)] // test choreography
     std::thread::sleep(Duration::from_millis(120));
-    let bye = request(addr, "POST", "/shutdown", "");
+    let bye = request(addr, "POST", "/v1/shutdown", "");
     assert_eq!(bye.status, 200, "{}", bye.body);
 
     // The in-flight request drains as a *complete* response (parse_response
@@ -354,28 +364,72 @@ fn unknown_routes_datasets_and_params_error_cleanly() {
     let handle = bind(1, 4);
     let addr = handle.addr();
 
-    assert_eq!(request(addr, "GET", "/datasets/ghost/active?per=2&min-ps=3&at=1", "").status, 404);
-    assert_eq!(request(addr, "POST", "/datasets/ghost/mine?per=2&min-ps=3", "").status, 404);
-    assert_eq!(request(addr, "POST", "/datasets/ghost/append", "1\ta\n").status, 404);
+    let ghost = request(addr, "GET", "/v1/datasets/ghost/active?per=2&min-ps=3&at=1", "");
+    assert_eq!(ghost.status, 404);
+    assert!(ghost.body.contains("\"code\":\"not_found\""), "{}", ghost.body);
+    assert_eq!(request(addr, "POST", "/v1/datasets/ghost/mine?per=2&min-ps=3", "").status, 404);
+    assert_eq!(request(addr, "POST", "/v1/datasets/ghost/append", "1\ta\n").status, 404);
     assert_eq!(request(addr, "GET", "/totally/unknown", "").status, 404);
-    assert_eq!(request(addr, "DELETE", "/metrics", "").status, 405);
+    let bad_method = request(addr, "DELETE", "/v1/metrics", "");
+    assert_eq!(bad_method.status, 405);
+    assert!(bad_method.body.contains("\"code\":\"method_not_allowed\""), "{}", bad_method.body);
 
-    let up = request(addr, "POST", "/datasets/d", &running_example_text());
+    let up = request(addr, "POST", "/v1/datasets/d", &running_example_text());
     assert_eq!(up.status, 201);
-    assert_eq!(request(addr, "POST", "/datasets/d", &running_example_text()).status, 409);
+    let dup = request(addr, "POST", "/v1/datasets/d", &running_example_text());
+    assert_eq!(dup.status, 409);
+    assert!(dup.body.contains("\"code\":\"conflict\""), "{}", dup.body);
+    assert!(dup.body.contains("replace=true"), "{}", dup.body);
+    // Explicit replacement is the sanctioned way past the conflict.
+    let replaced = request(addr, "POST", "/v1/datasets/d?replace=true", &running_example_text());
+    assert_eq!(replaced.status, 201, "{}", replaced.body);
     assert_eq!(
-        request(addr, "POST", "/datasets/bad%20name%21", &running_example_text()).status,
+        request(addr, "POST", "/v1/datasets/d?replace=maybe", &running_example_text()).status,
+        400
+    );
+    assert_eq!(
+        request(addr, "POST", "/v1/datasets/bad%20name%21", &running_example_text()).status,
         400
     );
 
-    let no_per = request(addr, "POST", "/datasets/d/mine?min-ps=3", "");
+    let no_per = request(addr, "POST", "/v1/datasets/d/mine?min-ps=3", "");
     assert_eq!(no_per.status, 400);
     assert!(no_per.body.contains("per"), "{}", no_per.body);
-    let bad_timeout = request(addr, "POST", "/datasets/d/mine?per=2&min-ps=3&timeout=1e300h", "");
+    assert!(no_per.body.contains("\"code\":\"bad_request\""), "{}", no_per.body);
+    let bad_timeout =
+        request(addr, "POST", "/v1/datasets/d/mine?per=2&min-ps=3&timeout=1e300h", "");
     assert_eq!(bad_timeout.status, 400);
     assert!(bad_timeout.body.contains("invalid parameters"), "{}", bad_timeout.body);
-    let bad_ps = request(addr, "POST", "/datasets/d/mine?per=2&min-ps=200%25", "");
+    let bad_ps = request(addr, "POST", "/v1/datasets/d/mine?per=2&min-ps=200%25", "");
     assert_eq!(bad_ps.status, 400, "{}", bad_ps.body);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn legacy_unversioned_paths_alias_v1_with_a_deprecation_header() {
+    let handle = bind(1, 4);
+    let addr = handle.addr();
+
+    let up = request(addr, "POST", "/datasets/old", &running_example_text());
+    assert_eq!(up.status, 201, "{}", up.body);
+    assert_eq!(up.header("deprecation"), "true");
+    assert!(up.header("link").contains("successor-version"), "{}", up.header("link"));
+
+    let mined_old = request(addr, "POST", "/datasets/old/mine?per=2&min-ps=3&min-rec=2", "");
+    let mined_new = request(addr, "POST", "/v1/datasets/old/mine?per=2&min-ps=3&min-rec=2", "");
+    assert_eq!(mined_old.status, 200, "{}", mined_old.body);
+    assert_eq!(mined_new.status, 200, "{}", mined_new.body);
+    assert_eq!(mined_old.body, mined_new.body, "alias and /v1 serve identical results");
+    assert_eq!(mined_old.header("deprecation"), "true");
+    assert_eq!(mined_new.header("deprecation"), "", "versioned path is not deprecated");
+
+    // Errors on the legacy surface still use the uniform envelope.
+    let missing = request(addr, "GET", "/datasets/ghost/active?per=2&min-ps=3&at=1", "");
+    assert_eq!(missing.status, 404);
+    assert!(missing.body.contains("\"code\":\"not_found\""), "{}", missing.body);
+    assert_eq!(missing.header("deprecation"), "true");
 
     handle.shutdown();
     handle.join();

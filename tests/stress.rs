@@ -4,11 +4,15 @@
 //! conditional pruning × dense prefixes) that tiny proptest cases rarely
 //! reach.
 
-#![allow(deprecated)] // seed tests exercise the pre-engine entry points on purpose
-
-use recurring_patterns::core::{apriori_rp, mine_parallel, mine_resolved};
+use recurring_patterns::core::{apriori_rp, mine_parallel};
 use recurring_patterns::prelude::*;
 use recurring_patterns::timeseries::Pcg32;
+
+/// Batch miner routed through the engine's [`MiningSession`] entry point.
+fn mine_resolved(db: &TransactionDb, params: ResolvedParams) -> MiningResult {
+    let session = MiningSession::builder().resolved(params).build().expect("valid params");
+    session.mine(db).expect("non-empty db").into_result()
+}
 
 /// A mid-size random database: `n_items` items over `span` stamps with a
 /// popularity-skewed occurrence probability and occasional burst windows.
