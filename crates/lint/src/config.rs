@@ -43,8 +43,10 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/server/src/pool.rs",
 ];
 
-/// Hot-path module trees (every file below them).
-const HOT_PATH_PREFIXES: &[&str] = &["crates/core/src/engine"];
+/// Hot-path module trees (every file below them). The replication
+/// subsystem is listed on purpose: its pacing must come from socket and
+/// channel timeouts, never from raw clock reads on the apply path.
+const HOT_PATH_PREFIXES: &[&str] = &["crates/core/src/engine", "crates/server/src/replica"];
 
 /// Crates allowed to omit `#![forbid(unsafe_code)]` from their root.
 /// Empty today — additions need a justification in DESIGN.md §7.
@@ -101,6 +103,20 @@ mod tests {
         assert!(classify("crates/core/src/engine/control.rs").hot_path);
         assert!(classify("crates/server/src/lib.rs").hot_path);
         assert!(!classify("crates/datagen/src/zipf.rs").hot_path);
+    }
+
+    #[test]
+    fn replication_is_serving_layer_and_clock_restricted() {
+        // replica/ ships journal records on the request path (appends
+        // publish into it under the dataset lock), so `panic-free-serving`
+        // applies; its heartbeat pacing must come from `recv_timeout` and
+        // socket deadlines rather than raw clock reads, so it is also
+        // hot-path-classified.
+        for file in ["mod.rs", "primary.rs", "follower.rs", "proto.rs"] {
+            let ctx = classify(&format!("crates/server/src/replica/{file}"));
+            assert!(ctx.request_reachable, "replica/{file} must be serving-layer");
+            assert!(ctx.hot_path, "replica/{file} must be clock-restricted");
+        }
     }
 
     #[test]

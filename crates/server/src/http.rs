@@ -222,6 +222,7 @@ impl Response {
             405 => "Method Not Allowed",
             409 => "Conflict",
             413 => "Payload Too Large",
+            421 => "Misdirected Request",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",

@@ -38,9 +38,20 @@
 //! | `POST /v1/datasets/{name}/mine`    | mine with `per`, `min-ps`, `min-rec`, optional `timeout`, `threads`; `200` complete / `206` partial |
 //! | `GET /v1/datasets/{name}/active?at=ts` | patterns active at `ts` (or `from`/`to`), served from the cached index |
 //! | `GET /v1/datasets`                 | registered datasets |
-//! | `GET /v1/metrics`                  | server + engine + cache + persistence counters |
+//! | `GET /v1/metrics`                  | server + engine + cache + persistence + replication counters |
 //! | `GET /v1/healthz`                  | liveness |
+//! | `GET /v1/readyz`                   | readiness: recovery done and (on a replica) caught up within `max-lag` |
+//! | `POST /v1/admin/promote`           | promote a caught-up replica to primary (seals the stream, accepts writes) |
 //! | `POST /v1/shutdown`                | graceful shutdown (flushes a final snapshot of every durable dataset) |
+//!
+//! # Replication
+//!
+//! With `--repl-addr` the server additionally binds a replication listener
+//! and streams its journal to followers; with `--replica-of HOST:PORT` it
+//! runs as a read replica — bootstrapping from the primary's snapshot +
+//! WAL tail, applying the live stream, fencing writes with
+//! `421 Misdirected Request` + a `Location` at the primary — until
+//! promoted. See the `replica` module docs for the protocol.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -52,16 +63,18 @@ mod metrics;
 pub mod persist;
 mod pool;
 mod registry;
+mod replica;
 mod timeparse;
 
 pub use cache::{CacheStats, CachedResult, ResultCache};
 pub use http::{read_request, ParseError, Request, Response};
 pub use metrics::ServerMetrics;
-pub use persist::{FsyncPolicy, PersistConfig, Persistence};
+pub use persist::{FsyncPolicy, PersistConfig, Persistence, WalRecord, WalReplay};
 pub use registry::{
-    decode_dataset_body, parse_append_body, AppendError, Dataset, RecoveryReport, RegisterError,
-    Registry,
+    decode_dataset_body, parse_append_body, AppendError, ApplyOutcome, Dataset, RecoveryReport,
+    RegisterError, Registry,
 };
+pub use replica::{ReplMetrics, ReplRole, ReplState, REPL_HEARTBEAT_MILLIS, REPL_MAX_LAG_SEQS};
 pub use timeparse::parse_duration;
 
 use std::io::{Read as _, Write as _};
@@ -97,6 +110,18 @@ pub struct ServerConfig {
     /// the given data directory and recovers from it at bind time; `None`
     /// keeps the registry purely in-memory.
     pub persist: Option<PersistConfig>,
+    /// Primary-side replication: bind a second listener on this address
+    /// (port `0` picks one) and stream the journal to subscribed
+    /// followers. Requires [`ServerConfig::persist`].
+    pub repl_addr: Option<String>,
+    /// Follower-side replication: connect to a primary's replication
+    /// address (`HOST:PORT`), bootstrap from its snapshot + WAL tail, and
+    /// fence local writes until promoted. Requires
+    /// [`ServerConfig::persist`].
+    pub replica_of: Option<String>,
+    /// Readiness threshold for `GET /v1/readyz` on a replica: worst
+    /// per-dataset seq lag allowed while still reporting ready.
+    pub repl_max_lag: u64,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +133,9 @@ impl Default for ServerConfig {
             queue_depth: 64,
             io_timeout: Duration::from_secs(30),
             persist: None,
+            repl_addr: None,
+            replica_of: None,
+            repl_max_lag: REPL_MAX_LAG_SEQS,
         }
     }
 }
@@ -123,12 +151,14 @@ struct Shared {
     shutdown_started: AtomicBool,
     addr: SocketAddr,
     persist: Option<Arc<Persistence>>,
+    repl: Option<Arc<ReplState>>,
 }
 
 impl Shared {
     /// Idempotently starts the drain: stop admissions, cancel every
-    /// in-flight mining session, and wake the acceptor with a self-connect
-    /// so it observes the flag even while parked in `accept()`.
+    /// in-flight mining session, and wake the acceptor (and the
+    /// replication acceptor, if any) with self-connects so they observe
+    /// the flag even while parked in `accept()`.
     fn trigger_shutdown(&self) {
         if self.shutdown_started.swap(true, Ordering::SeqCst) {
             return;
@@ -136,6 +166,11 @@ impl Shared {
         self.cancel.cancel();
         self.queue.shutdown();
         let _ = TcpStream::connect(self.addr);
+        if let Some(repl) = &self.repl {
+            if let Some(repl_addr) = *rpm_core::sync::lock_recover(&repl.repl_addr) {
+                let _ = TcpStream::connect(repl_addr);
+            }
+        }
     }
 }
 
@@ -146,12 +181,19 @@ impl Server {
     /// Binds `config.addr`, spawns the acceptor and worker threads, and
     /// returns a handle for registering datasets and shutting down.
     pub fn bind(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let repl_enabled = config.repl_addr.is_some() || config.replica_of.is_some();
+        if repl_enabled && config.persist.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replication (--repl-addr / --replica-of) requires a data directory",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         // Recover durable state *before* accepting connections, so the
         // first request already sees every dataset the previous process
         // acknowledged.
-        let (registry, persist, recovery) = match &config.persist {
+        let (mut registry, persist, recovery) = match &config.persist {
             Some(persist_config) => {
                 let persist = Persistence::open(persist_config.clone())?;
                 let (registry, report) = Registry::with_persistence(persist.clone())?;
@@ -159,6 +201,24 @@ impl Server {
             }
             None => (Registry::new(), None, None),
         };
+        let repl = repl_enabled.then(|| {
+            let role =
+                if config.replica_of.is_some() { ReplRole::Replica } else { ReplRole::Primary };
+            Arc::new(ReplState::new(role, config.repl_max_lag))
+        });
+        // Bind the replication listener and install the hub before any
+        // request or follower can arrive: every journalled record from the
+        // first request onward is published.
+        let mut repl_listener = None;
+        let mut hub = None;
+        if let (Some(repl_addr), Some(repl)) = (&config.repl_addr, &repl) {
+            let bound = TcpListener::bind(repl_addr)?;
+            *rpm_core::sync::lock_recover(&repl.repl_addr) = Some(bound.local_addr()?);
+            let fanout = Arc::new(replica::primary::ReplHub::new());
+            registry.set_hub(fanout.clone());
+            repl_listener = Some(bound);
+            hub = Some(fanout);
+        }
         let shared = Arc::new(Shared {
             registry,
             cache: ResultCache::new(config.cache_bytes),
@@ -168,6 +228,7 @@ impl Server {
             shutdown_started: AtomicBool::new(false),
             addr,
             persist,
+            repl,
         });
         let workers: Vec<_> = (0..config.threads.max(1))
             .map(|_| {
@@ -180,7 +241,14 @@ impl Server {
             let io_timeout = config.io_timeout;
             std::thread::spawn(move || acceptor_loop(&listener, &shared, io_timeout))
         };
-        Ok(ServerHandle { addr, shared, acceptor, workers, recovery })
+        let mut repl_threads = Vec::new();
+        if let (Some(repl_listener), Some(hub)) = (repl_listener, hub) {
+            repl_threads.push(replica::primary::spawn_listener(repl_listener, shared.clone(), hub));
+        }
+        if let Some(primary) = config.replica_of.clone() {
+            repl_threads.push(replica::follower::spawn_client(shared.clone(), primary));
+        }
+        Ok(ServerHandle { addr, shared, acceptor, workers, repl_threads, recovery })
     }
 }
 
@@ -190,6 +258,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    repl_threads: Vec<std::thread::JoinHandle<()>>,
     recovery: Option<RecoveryReport>,
 }
 
@@ -197,6 +266,13 @@ impl ServerHandle {
     /// The bound address (useful with port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound replication listener address, when running with
+    /// [`ServerConfig::repl_addr`] (useful with port `0`).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        let repl = self.shared.repl.as_ref()?;
+        *rpm_core::sync::lock_recover(&repl.repl_addr)
     }
 
     /// The dataset registry, e.g. for preloading datasets from the CLI.
@@ -221,6 +297,11 @@ impl ServerHandle {
         let _ = self.acceptor.join();
         for worker in self.workers {
             let _ = worker.join();
+        }
+        // Replication threads exit within a heartbeat interval of the
+        // shutdown flag (bounded accept/recv/read timeouts).
+        for thread in self.repl_threads {
+            let _ = thread.join();
         }
         self.shared.registry.flush_snapshots();
     }
@@ -334,10 +415,12 @@ fn route(shared: &Shared, req: &Request) -> Response {
 fn dispatch(shared: &Shared, req: &Request, segments: &[&str]) -> Response {
     match (req.method.as_str(), segments) {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["readyz"]) => handle_readyz(shared, req),
         ("GET", ["metrics"]) => {
             let datasets = shared.registry.names().len();
             let persist = shared.persist.as_deref().map(Persistence::counters);
-            let body = shared.metrics.to_json(&shared.cache.stats(), datasets, persist);
+            let repl = shared.repl.as_deref();
+            let body = shared.metrics.to_json(&shared.cache.stats(), datasets, persist, repl);
             Response::json(200, body)
         }
         ("GET", ["datasets"]) => handle_list(shared),
@@ -345,14 +428,20 @@ fn dispatch(shared: &Shared, req: &Request, segments: &[&str]) -> Response {
             shared.trigger_shutdown();
             Response::json(200, "{\"status\":\"shutting down\"}\n")
         }
-        ("POST", ["datasets", name]) => handle_upload(shared, name, req),
-        ("POST", ["datasets", name, "append"]) => handle_append(shared, name, req),
+        ("POST", ["admin", "promote"]) => handle_promote(shared, req),
+        ("POST", ["datasets", name]) => fence_writes(shared, &format!("/v1/datasets/{name}"))
+            .unwrap_or_else(|| handle_upload(shared, name, req)),
+        ("POST", ["datasets", name, "append"]) => {
+            fence_writes(shared, &format!("/v1/datasets/{name}/append"))
+                .unwrap_or_else(|| handle_append(shared, name, req))
+        }
         ("POST", ["datasets", name, "mine"]) => handle_mine(shared, name, req),
         ("GET", ["datasets", name, "active"]) => handle_active(shared, name, req),
         _ => {
             let known = matches!(
                 segments,
-                ["healthz" | "metrics" | "datasets" | "shutdown"]
+                ["healthz" | "readyz" | "metrics" | "datasets" | "shutdown"]
+                    | ["admin", "promote"]
                     | ["datasets", _]
                     | ["datasets", _, "append" | "mine" | "active"]
             );
@@ -411,6 +500,102 @@ fn not_found(name: &str) -> Response {
 
 fn internal_error(message: &str) -> Response {
     Response::json(500, error_body("internal", message))
+}
+
+/// Write fencing for replicas: a follower that has not been promoted
+/// answers every mutating dataset route with `421 Misdirected Request`
+/// and, when the primary's HTTP address is known from its `Welcome`, a
+/// `Location` header pointing at the canonical `/v1` path over there.
+/// Returns `None` when writes are allowed (primary, promoted, or
+/// replication not configured).
+fn fence_writes(shared: &Shared, canonical_path: &str) -> Option<Response> {
+    let repl = shared.repl.as_ref()?;
+    if !repl.is_fenced() {
+        return None;
+    }
+    let mut response = Response::json(
+        421,
+        error_body("misdirected", "this node is a read replica; send writes to the primary"),
+    );
+    let primary = repl.primary_http();
+    if !primary.is_empty() {
+        response = response.with_header("Location", format!("http://{primary}{canonical_path}"));
+    }
+    Some(response)
+}
+
+/// `GET /v1/readyz`: readiness as distinct from liveness. A primary (or
+/// promoted replica) is ready once recovery finished — which it has by the
+/// time the listener accepts. A fenced replica is ready once bootstrap
+/// completed **and** its worst per-dataset seq lag at the last heartbeat
+/// is within the threshold (`--max-lag`, overridable per-request with
+/// `?max-lag=N`).
+fn handle_readyz(shared: &Shared, req: &Request) -> Response {
+    let Some(repl) = shared.repl.as_ref() else {
+        return Response::json(200, "{\"ready\":true,\"role\":\"standalone\"}\n".to_string());
+    };
+    if !repl.is_fenced() {
+        return Response::json(
+            200,
+            format!("{{\"ready\":true,\"role\":\"{}\"}}\n", repl.role_name()),
+        );
+    }
+    let max_lag = match req.query_param("max-lag") {
+        Some(v) => match parse_num::<u64>(v, "max-lag") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        },
+        None => repl.max_lag_seqs,
+    };
+    let lag = ReplMetrics::get(&repl.metrics.lag_seqs);
+    if repl.is_bootstrapped() && lag <= max_lag {
+        Response::json(200, format!("{{\"ready\":true,\"role\":\"replica\",\"lag_seqs\":{lag}}}\n"))
+    } else {
+        Response::json(
+            503,
+            error_body(
+                "not_ready",
+                &format!(
+                    "replica not caught up (bootstrapped={}, lag_seqs={lag}, max={max_lag})",
+                    repl.is_bootstrapped()
+                ),
+            ),
+        )
+    }
+}
+
+/// `POST /v1/admin/promote`: flips a caught-up replica into a primary.
+/// The write fence lifts, the follower thread seals its stream at the next
+/// loop iteration, and the journal continues at the shipped seqs — no
+/// gaps, so a later node can replicate from the promoted one. Refused
+/// with 409 on a node that is not a fenced replica, or one that has not
+/// finished bootstrap (override with `?force=true` during disaster
+/// recovery when the primary is gone for good).
+fn handle_promote(shared: &Shared, req: &Request) -> Response {
+    let Some(repl) = shared.repl.as_ref() else {
+        return Response::json(
+            409,
+            error_body("conflict", "replication is not configured on this node"),
+        );
+    };
+    let force = matches!(req.query_param("force"), Some("true") | Some("1"));
+    if repl.role == ReplRole::Replica && !repl.is_promoted() && !repl.is_bootstrapped() && !force {
+        return Response::json(
+            409,
+            error_body(
+                "conflict",
+                "replica has not finished bootstrap; pass force=true to promote anyway",
+            ),
+        );
+    }
+    if repl.promote() {
+        Response::json(200, "{\"role\":\"promoted\",\"promoted\":true}\n".to_string())
+    } else {
+        Response::json(
+            409,
+            error_body("conflict", &format!("cannot promote a {} node", repl.role_name())),
+        )
+    }
 }
 
 /// Parses `"25"` as an absolute count and `"2%"` as a fraction of the
@@ -540,6 +725,38 @@ fn handle_upload(shared: &Shared, name: &str, req: &Request) -> Response {
     }
 }
 
+/// Refreshes the hot-params cache entry in place after a dataset change:
+/// when the pattern store can absorb the change as a dirty-frontier delta,
+/// re-mine incrementally and patch the entry from `old_fingerprint` to the
+/// dataset's current fingerprint. Returns whether the patch landed; the
+/// caller is responsible for invalidating the old fingerprint otherwise.
+/// Shared between the append handler and the replication follower so a
+/// replica's cache stays exactly as warm as the primary's.
+pub(crate) fn patch_hot_cache(shared: &Shared, ds: &Dataset, old_fingerprint: u64) -> bool {
+    if !ds.delta_applicable() {
+        return false;
+    }
+    let control = RunControl::new().with_cancel(shared.cancel.clone());
+    let mut scratch = MineScratch::default();
+    let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch);
+    shared.metrics.absorb_delta(&dstats);
+    if abort.is_some() {
+        return false;
+    }
+    let mut body = Vec::new();
+    if write_patterns_json(&mut body, ds.db().items(), &result.patterns).is_err() {
+        return false;
+    }
+    shared.cache.patch(
+        old_fingerprint,
+        ds.fingerprint(),
+        ds.hot_params(),
+        Arc::new(CachedResult::new(body, result.patterns)),
+    );
+    ServerMetrics::bump(&shared.metrics.appends_patched);
+    true
+}
+
 fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
     let Some(dataset) = shared.registry.get(name) else {
         return not_found(name);
@@ -560,24 +777,8 @@ fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
     // hot-params cache entry instead of dropping it — the next `/mine` at
     // the hot parameters is a cache hit, not a full re-mine.
     let mut patched = false;
-    if outcome.is_ok() && fingerprint != old_fingerprint && ds.delta_applicable() {
-        let control = RunControl::new().with_cancel(shared.cancel.clone());
-        let mut scratch = MineScratch::default();
-        let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch);
-        shared.metrics.absorb_delta(&dstats);
-        if abort.is_none() {
-            let mut body = Vec::new();
-            if write_patterns_json(&mut body, ds.db().items(), &result.patterns).is_ok() {
-                shared.cache.patch(
-                    old_fingerprint,
-                    fingerprint,
-                    ds.hot_params(),
-                    Arc::new(CachedResult::new(body, result.patterns)),
-                );
-                ServerMetrics::bump(&shared.metrics.appends_patched);
-                patched = true;
-            }
-        }
+    if outcome.is_ok() && fingerprint != old_fingerprint {
+        patched = patch_hot_cache(shared, &ds, old_fingerprint);
     }
     drop(ds);
     // The old content is retired even when the append failed part-way:

@@ -7,6 +7,7 @@ use rpm_core::engine::EngineMetrics;
 
 use crate::cache::CacheStats;
 use crate::persist::PersistCounters;
+use crate::replica::ReplState;
 
 /// Monotone counters describing the server's lifetime. All fields are
 /// relaxed atomics — the numbers are for observability, not coordination.
@@ -101,13 +102,14 @@ impl ServerMetrics {
     }
 
     /// Renders the `/metrics` JSON document, merging in the cache counters,
-    /// the dataset count, and (when the server is durable) the persistence
-    /// counters.
+    /// the dataset count, and — when configured — the persistence and
+    /// replication counter groups.
     pub fn to_json(
         &self,
         cache: &CacheStats,
         datasets: usize,
         persist: Option<&PersistCounters>,
+        repl: Option<&ReplState>,
     ) -> String {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut s = String::from("{\n");
@@ -164,6 +166,10 @@ impl ServerMetrics {
             ));
             s.push_str("  }");
         }
+        if let Some(r) = repl {
+            s.push_str(",\n  \"repl\": ");
+            s.push_str(&r.metrics_json());
+        }
         s.push_str("\n}");
         s
     }
@@ -179,7 +185,8 @@ mod tests {
         ServerMetrics::bump(&m.requests_total);
         ServerMetrics::bump(&m.mine_runs);
         m.absorb_wall(std::time::Duration::from_millis(2), 10, 3);
-        let json = m.to_json(&CacheStats { hits: 5, patches: 4, ..CacheStats::default() }, 2, None);
+        let json =
+            m.to_json(&CacheStats { hits: 5, patches: 4, ..CacheStats::default() }, 2, None, None);
         assert!(json.contains("\"requests_total\": 1"));
         assert!(json.contains("\"datasets\": 2"));
         assert!(json.contains("\"hits\": 5"));
@@ -191,10 +198,24 @@ mod tests {
         let counters = PersistCounters::default();
         counters.wal_records.store(12, Ordering::Relaxed);
         counters.torn_tail_truncations.store(1, Ordering::Relaxed);
-        let json = m.to_json(&CacheStats::default(), 2, Some(&counters));
+        let json = m.to_json(&CacheStats::default(), 2, Some(&counters), None);
         assert!(json.contains("\"wal_records\": 12"));
         assert!(json.contains("\"torn_tail_truncations\": 1"));
         assert!(json.contains("\"snapshots\": 0"));
+        assert!(json.ends_with('}'));
+        assert!(!json.contains("\"repl\""), "no repl group without replication");
+    }
+
+    #[test]
+    fn repl_group_rides_along_when_configured() {
+        use crate::replica::{ReplMetrics, ReplRole, REPL_MAX_LAG_SEQS};
+        let m = ServerMetrics::new();
+        let state = ReplState::new(ReplRole::Replica, REPL_MAX_LAG_SEQS);
+        ReplMetrics::bump(&state.metrics.records_applied, 9);
+        let json = m.to_json(&CacheStats::default(), 0, None, Some(&state));
+        assert!(json.contains("\"repl\": {"), "{json}");
+        assert!(json.contains("\"records_applied\":9"), "{json}");
+        assert!(json.contains("\"role\":\"replica\""), "{json}");
         assert!(json.ends_with('}'));
     }
 
@@ -214,7 +235,7 @@ mod tests {
         m.absorb_delta(&stats);
         stats.mode = DeltaMode::Full(FullReason::ColdStore);
         m.absorb_delta(&stats);
-        let json = m.to_json(&CacheStats::default(), 1, None);
+        let json = m.to_json(&CacheStats::default(), 1, None, None);
         assert!(json.contains("\"delta\": 1"));
         assert!(json.contains("\"delta_full\": 1"));
         assert!(json.contains("\"delta_retained\": 7"));

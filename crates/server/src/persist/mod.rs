@@ -23,7 +23,7 @@
 //! [`Registry`](crate::registry::Registry).
 
 mod snapshot;
-mod wal;
+pub(crate) mod wal;
 
 pub use wal::{WalRecord, WalReplay, WAL_MAX_RECORD_BYTES};
 
@@ -187,8 +187,37 @@ impl Persistence {
         let replay = wal::read_and_repair(&path)?;
         if replay.truncated_tail {
             PersistCounters::bump(&self.counters.torn_tail_truncations, 1);
+            // Attribute the truncation: multi-dataset recovery logs are
+            // useless without the dataset name and the byte offset the
+            // file was cut back to.
+            eprintln!(
+                "wal: dataset {name:?}: torn tail truncated at offset {} of {} (last intact seq {})",
+                replay.valid_len,
+                path.display(),
+                replay.records.last().map_or(0, WalRecord::seq),
+            );
         }
         Ok(Some(replay))
+    }
+
+    /// Scans `name`'s WAL **read-only** — no truncation, no counter bumps.
+    /// The replication catch-up path reads a live primary's log with this
+    /// while holding the dataset's read lock (appends take the write lock,
+    /// so the file is quiescent); repairing here would race the writer.
+    pub fn read_wal_tail(&self, name: &str) -> std::io::Result<Option<WalReplay>> {
+        let path = self.wal_path(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        Ok(Some(wal::read_records(&path)?))
+    }
+
+    /// The raw bytes of `name`'s newest on-disk snapshot, if one exists —
+    /// the export side of replication bootstrap. Returned verbatim (the
+    /// `RPMS` envelope), so the follower validates it exactly like local
+    /// recovery would.
+    pub fn snapshot_bytes(&self, name: &str) -> Option<Vec<u8>> {
+        std::fs::read(snapshot::snapshot_path(&self.config.dir, name)).ok()
     }
 }
 
@@ -245,6 +274,58 @@ impl DatasetLog {
             seq,
             records_since_snapshot,
         })
+    }
+
+    /// Bootstraps a **replica** dataset from a snapshot shipped by the
+    /// primary: persists the snapshot locally (so a replica restart
+    /// recovers without re-syncing), opens a fresh WAL, and positions the
+    /// sequence cursor at the snapshot's — shipped records continue the
+    /// primary's numbering verbatim, which is what makes promotion a
+    /// gap-free continuation of the journal.
+    pub fn adopt_snapshot(
+        persist: &Arc<Persistence>,
+        name: &str,
+        header: &SnapshotHeader,
+        db: &TransactionDb,
+    ) -> std::io::Result<Self> {
+        snapshot::write_snapshot(persist.dir(), name, header, db)?;
+        PersistCounters::bump(&persist.counters.snapshots, 1);
+        let writer = wal::WalWriter::open(&persist.wal_path(name), persist.config.fsync, true)?;
+        Ok(Self {
+            persist: persist.clone(),
+            name: name.to_string(),
+            writer,
+            seq: header.seq,
+            records_since_snapshot: 0,
+        })
+    }
+
+    /// An empty log at sequence zero, clearing any stale on-disk state —
+    /// the replica-side landing pad for a shipped `Register` record (which
+    /// arrives with the primary's sequence number and is journalled via
+    /// [`DatasetLog::log_shipped`]).
+    pub fn fresh(persist: &Arc<Persistence>, name: &str) -> std::io::Result<Self> {
+        snapshot::remove_snapshot(persist.dir(), name)?;
+        let writer = wal::WalWriter::open(&persist.wal_path(name), persist.config.fsync, true)?;
+        Ok(Self {
+            persist: persist.clone(),
+            name: name.to_string(),
+            writer,
+            seq: 0,
+            records_since_snapshot: 0,
+        })
+    }
+
+    /// Journals a record shipped by the primary **verbatim**, preserving
+    /// its sequence number. The caller is responsible for the seq filter
+    /// (skipping records at or below the current cursor).
+    pub fn log_shipped(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        self.write(record)
+    }
+
+    /// The dataset this log belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The last sequence number journalled.

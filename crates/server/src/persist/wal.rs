@@ -129,8 +129,11 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 // --- payload codec -------------------------------------------------------
+// The varint/zigzag primitives are shared with the replication protocol
+// (`crate::replica::proto`), whose messages wrap WAL payloads in the same
+// `[len][crc32][payload]` framing.
 
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -150,19 +153,19 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn get_u8(&mut self) -> Option<u8> {
+    pub(crate) fn get_u8(&mut self) -> Option<u8> {
         let b = *self.data.get(self.pos)?;
         self.pos += 1;
         Some(b)
     }
 
-    fn get_slice(&mut self, len: usize) -> Option<&'a [u8]> {
+    pub(crate) fn get_slice(&mut self, len: usize) -> Option<&'a [u8]> {
         if self.data.len() - self.pos < len {
             return None;
         }
@@ -171,7 +174,7 @@ impl<'a> Cursor<'a> {
         Some(s)
     }
 
-    fn get_varint(&mut self) -> Option<u64> {
+    pub(crate) fn get_varint(&mut self) -> Option<u64> {
         let mut out = 0u64;
         let mut shift = 0u32;
         loop {
@@ -187,7 +190,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn rest(self) -> &'a [u8] {
+    pub(crate) fn rest(self) -> &'a [u8] {
         &self.data[self.pos..]
     }
 }
@@ -271,13 +274,16 @@ pub struct WalReplay {
     pub records: Vec<WalRecord>,
     /// Bytes of intact prefix (the post-repair file length).
     pub valid_len: u64,
-    /// Whether a torn tail was found (and truncated away).
+    /// Whether a torn tail was found past the intact prefix
+    /// ([`read_and_repair`] truncates it away; [`read_records`] leaves the
+    /// file untouched).
     pub truncated_tail: bool,
 }
 
-/// Reads every intact record of the log at `path` and, if the file ends in
-/// a torn or corrupt tail, truncates it back to the last intact frame.
-pub fn read_and_repair(path: &Path) -> std::io::Result<WalReplay> {
+/// Reads every intact record of the log at `path` **without touching the
+/// file** — the scan used for replication catch-up, where the log belongs
+/// to a live primary and must never be modified by a reader.
+pub fn read_records(path: &Path) -> std::io::Result<WalReplay> {
     let data = std::fs::read(path)?;
     let mut records = Vec::new();
     let mut pos = 0usize;
@@ -304,12 +310,19 @@ pub fn read_and_repair(path: &Path) -> std::io::Result<WalReplay> {
         pos += WAL_FRAME_BYTES + len;
     }
     let truncated_tail = pos != data.len();
-    if truncated_tail {
+    Ok(WalReplay { records, valid_len: pos as u64, truncated_tail })
+}
+
+/// Reads every intact record of the log at `path` and, if the file ends in
+/// a torn or corrupt tail, truncates it back to the last intact frame.
+pub fn read_and_repair(path: &Path) -> std::io::Result<WalReplay> {
+    let replay = read_records(path)?;
+    if replay.truncated_tail {
         let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(pos as u64)?;
+        file.set_len(replay.valid_len)?;
         file.sync_all()?;
     }
-    Ok(WalReplay { records, valid_len: pos as u64, truncated_tail })
+    Ok(replay)
 }
 
 // --- writing -------------------------------------------------------------

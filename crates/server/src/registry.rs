@@ -22,9 +22,10 @@ use rpm_core::engine::{AbortReason, RunControl};
 use rpm_core::growth::{MineScratch, MiningResult};
 use rpm_core::sync::{lock_recover, read_recover, write_recover};
 use rpm_core::{DeltaStats, IncrementalMiner, PatternStore, ResolvedParams};
-use rpm_timeseries::{from_bytes, io, Timestamp, TransactionDb};
+use rpm_timeseries::{from_bytes, io, SnapshotHeader, Timestamp, TransactionDb};
 
 use crate::persist::{DatasetLog, Persistence, WalRecord};
+use crate::replica::primary::{Event, ReplHub};
 
 /// A registered dataset: the live miner plus its cached content fingerprint.
 #[derive(Debug)]
@@ -40,12 +41,23 @@ pub struct Dataset {
     /// Durability cursor; `None` when the server runs without a data
     /// directory.
     log: Option<DatasetLog>,
+    /// Replication fan-out; `None` unless this server streams its journal
+    /// to followers. Every journalled record is published here **while the
+    /// dataset's write lock is held**, preserving commit order.
+    hub: Option<Arc<ReplHub>>,
 }
 
 impl Dataset {
     fn new(miner: IncrementalMiner, log: Option<DatasetLog>) -> Self {
         let fingerprint = miner.fingerprint();
-        Self { miner, fingerprint, appends: 0, store: Mutex::new(PatternStore::new()), log }
+        Self {
+            miner,
+            fingerprint,
+            appends: 0,
+            store: Mutex::new(PatternStore::new()),
+            log,
+            hub: None,
+        }
     }
 
     /// A dataset rebuilt from disk: `appends` comes from the recovered
@@ -59,6 +71,7 @@ impl Dataset {
             appends,
             store: Mutex::new(PatternStore::new()),
             log: Some(log),
+            hub: None,
         };
         if !dataset.miner.db().is_empty() {
             let control = RunControl::new();
@@ -108,6 +121,81 @@ impl Dataset {
     /// How many append requests this dataset has absorbed.
     pub fn appends(&self) -> u64 {
         self.appends
+    }
+
+    /// The last journalled sequence number; `None` without persistence.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.log.as_ref().map(DatasetLog::seq)
+    }
+
+    /// Publishes one journalled record to the replication hub (no-op when
+    /// this server has no followers). Callers hold the dataset's write
+    /// lock, which is what serialises the stream.
+    fn publish(&self, record: &WalRecord) {
+        let (Some(hub), Some(log)) = (self.hub.as_ref(), self.log.as_ref()) else {
+            return;
+        };
+        hub.publish(Event {
+            name: log.name().to_string(),
+            seq: record.seq(),
+            fp: self.fingerprint,
+            payload: crate::persist::wal::encode_payload(record),
+        });
+    }
+
+    /// Applies one record shipped by a primary: journal it **verbatim**
+    /// (preserving the primary's sequence number — this is what makes
+    /// promotion continue the journal without gaps), then mutate through
+    /// the same semantics recovery replay uses. Records at or below the
+    /// current cursor are skipped, making replay idempotent across
+    /// catch-up/live overlap and reconnects.
+    pub(crate) fn apply_shipped(&mut self, record: &WalRecord) -> Result<ApplyOutcome, String> {
+        let Some(current) = self.last_seq() else {
+            return Err("shipped records require a durable dataset".to_string());
+        };
+        let register = matches!(record, WalRecord::Register { .. });
+        let old_fingerprint = self.fingerprint;
+        if record.seq() <= current {
+            return Ok(ApplyOutcome {
+                applied: false,
+                register,
+                old_fingerprint,
+                fingerprint: self.fingerprint,
+            });
+        }
+        if let Some(log) = self.log.as_mut() {
+            log.log_shipped(record).map_err(|e| format!("journalling shipped record: {e}"))?;
+        }
+        match record {
+            WalRecord::Register { per, min_ps, min_rec, db, .. } => {
+                let hot = ResolvedParams::try_new(*per, *min_ps as usize, *min_rec as usize)
+                    .map_err(|e| e.to_string())?;
+                self.miner = replay_into_miner(db, hot)?;
+                self.appends = 0;
+                *lock_recover(&self.store) = PatternStore::new();
+            }
+            WalRecord::Append { rows, .. } => {
+                // Live-path prefix semantics: apply rows until the first
+                // time regression, exactly like recovery replay.
+                for (ts, labels) in rows {
+                    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                    if self.miner.append(*ts, &refs).is_err() {
+                        break;
+                    }
+                }
+                self.appends += 1;
+            }
+        }
+        self.fingerprint = self.miner.fingerprint();
+        let hot = self.miner.params();
+        let appends = self.appends;
+        if let Some(log) = self.log.as_mut() {
+            let _ = log.maybe_snapshot(self.miner.db(), hot, appends);
+        }
+        // Cascade: a replica that is itself a primary re-publishes the
+        // record to its own followers.
+        self.publish(record);
+        Ok(ApplyOutcome { applied: true, register, old_fingerprint, fingerprint: self.fingerprint })
     }
 
     /// Whether [`Dataset::mine_hot_delta`] would take the incremental path
@@ -161,8 +249,31 @@ impl Dataset {
             // A snapshot failure is non-fatal: the WAL retains everything.
             let _ = log.maybe_snapshot(self.miner.db(), hot, appends);
         }
+        // Ship exactly what was journalled: the full request, at the seq the
+        // log assigned it. Followers replay it with the same prefix
+        // semantics, so even a partially-applied append converges.
+        if self.hub.is_some() {
+            if let Some(seq) = self.last_seq() {
+                self.publish(&WalRecord::Append { seq, rows: rows.to_vec() });
+            }
+        }
         outcome.map_err(AppendError::Order)
     }
+}
+
+/// What [`Registry::apply_record`] did with a shipped record.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyOutcome {
+    /// `false` when the record sat at or below the dataset's journal cursor
+    /// and was skipped (idempotent replay of catch-up/live overlap).
+    pub applied: bool,
+    /// Whether the record was a register — a full reset the result cache
+    /// cannot be patched across.
+    pub register: bool,
+    /// The dataset fingerprint before the record.
+    pub old_fingerprint: u64,
+    /// The dataset fingerprint after the record.
+    pub fingerprint: u64,
 }
 
 /// Why [`Dataset::append_lines`] failed.
@@ -276,6 +387,8 @@ fn replay_into_miner(
 pub struct Registry {
     datasets: RwLock<HashMap<String, Arc<RwLock<Dataset>>>>,
     persist: Option<Arc<Persistence>>,
+    /// Replication fan-out, installed once at bind time on a primary.
+    hub: Option<Arc<ReplHub>>,
 }
 
 impl Registry {
@@ -289,8 +402,11 @@ impl Registry {
     /// replayed WAL tail (torn tails truncated) before the registry is
     /// handed out.
     pub fn with_persistence(persist: Arc<Persistence>) -> std::io::Result<(Self, RecoveryReport)> {
-        let registry =
-            Self { datasets: RwLock::new(HashMap::new()), persist: Some(persist.clone()) };
+        let registry = Self {
+            datasets: RwLock::new(HashMap::new()),
+            persist: Some(persist.clone()),
+            hub: None,
+        };
         let mut report = RecoveryReport::default();
         for name in persist.dataset_names()? {
             match recover_dataset(&persist, &name)? {
@@ -338,10 +454,96 @@ impl Registry {
                 })
             }
         };
-        let dataset = Dataset::new(miner, log);
+        let mut dataset = Dataset::new(miner, log);
+        dataset.hub = self.hub.clone();
         let fingerprint = dataset.fingerprint();
+        // Publish the registration while the map's write lock is held: any
+        // append must first `get` the dataset (blocked on this lock), so
+        // its publish cannot overtake this one.
+        if dataset.hub.is_some() {
+            if let Some(seq) = dataset.last_seq() {
+                dataset.publish(&WalRecord::Register {
+                    seq,
+                    per: hot_params.per,
+                    min_ps: hot_params.min_ps as u64,
+                    min_rec: hot_params.min_rec as u64,
+                    db: dataset.miner.db().clone(),
+                });
+            }
+        }
         map.insert(name.to_string(), Arc::new(RwLock::new(dataset)));
         Ok(fingerprint)
+    }
+
+    /// Installs the replication hub on the registry and every dataset
+    /// recovered so far, seeding the hub's heartbeat map with their journal
+    /// cursors. Called once at bind time, before the server accepts
+    /// requests or followers.
+    pub(crate) fn set_hub(&mut self, hub: Arc<ReplHub>) {
+        for (name, dataset) in read_recover(&self.datasets).iter() {
+            let mut ds = write_recover(dataset);
+            ds.hub = Some(hub.clone());
+            hub.note_seq(name, ds.last_seq().unwrap_or(0));
+        }
+        self.hub = Some(hub);
+    }
+
+    /// Applies a bootstrap snapshot shipped by a primary: the dataset is
+    /// rebuilt from scratch — snapshot persisted locally, fresh WAL opened
+    /// at the snapshot's sequence, miner replayed, pattern store warmed —
+    /// exactly as if this process had recovered from the primary's disk.
+    /// Returns `(old fingerprint if the name was already registered, new
+    /// fingerprint)`.
+    pub fn apply_snapshot(
+        &self,
+        name: &str,
+        header: &SnapshotHeader,
+        db: &TransactionDb,
+    ) -> Result<(Option<u64>, u64), String> {
+        let Some(persist) = self.persist.as_ref() else {
+            return Err("replication requires a data directory".to_string());
+        };
+        let hot =
+            ResolvedParams::try_new(header.per, header.min_ps as usize, header.min_rec as usize)
+                .map_err(|e| e.to_string())?;
+        let miner = replay_into_miner(db, hot)?;
+        let log = DatasetLog::adopt_snapshot(persist, name, header, db)
+            .map_err(|e| format!("adopting shipped snapshot: {e}"))?;
+        let mut dataset = Dataset::recovered(miner, header.appends, log);
+        dataset.hub = self.hub.clone();
+        let fingerprint = dataset.fingerprint();
+        let previous =
+            write_recover(&self.datasets).insert(name.to_string(), Arc::new(RwLock::new(dataset)));
+        let old_fingerprint = previous.map(|old| read_recover(&old).fingerprint());
+        Ok((old_fingerprint, fingerprint))
+    }
+
+    /// Applies one journal record shipped by a primary. For a known dataset
+    /// this defers to [`Dataset::apply_shipped`] under its write lock; a
+    /// register record for an unknown name creates the dataset with a fresh
+    /// journal continuing the primary's numbering. Anything else for an
+    /// unknown name means the stream is broken.
+    pub fn apply_record(&self, name: &str, record: &WalRecord) -> Result<ApplyOutcome, String> {
+        let Some(persist) = self.persist.as_ref() else {
+            return Err("replication requires a data directory".to_string());
+        };
+        if let Some(dataset) = self.get(name) {
+            return write_recover(&dataset).apply_shipped(record);
+        }
+        let WalRecord::Register { per, min_ps, min_rec, db, .. } = record else {
+            return Err(format!("shipped append for unknown dataset {name:?}"));
+        };
+        let hot = ResolvedParams::try_new(*per, *min_ps as usize, *min_rec as usize)
+            .map_err(|e| e.to_string())?;
+        let miner = replay_into_miner(db, hot)?;
+        let mut log = DatasetLog::fresh(persist, name).map_err(|e| e.to_string())?;
+        log.log_shipped(record).map_err(|e| format!("journalling shipped register: {e}"))?;
+        let mut dataset = Dataset::new(miner, Some(log));
+        dataset.hub = self.hub.clone();
+        let fingerprint = dataset.fingerprint();
+        dataset.publish(record);
+        write_recover(&self.datasets).insert(name.to_string(), Arc::new(RwLock::new(dataset)));
+        Ok(ApplyOutcome { applied: true, register: true, old_fingerprint: 0, fingerprint })
     }
 
     /// The dataset registered under `name`.

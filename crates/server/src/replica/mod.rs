@@ -1,0 +1,270 @@
+//! Replication: WAL shipping from a primary to read replicas.
+//!
+//! A primary started with `--repl-addr` binds a second TCP listener and
+//! streams every journal record it writes — in commit order, in the WAL's
+//! own `[len][crc32][payload]` framing — to subscribed followers. A
+//! follower started with `--replica-of HOST:PORT` bootstraps from the
+//! primary's newest snapshot, replays the seq-filtered WAL tail, then
+//! applies the live stream through the same journal-apply path recovery
+//! uses, so its incremental miner, pattern store, and result cache stay
+//! warm. Followers serve every read route but fence writes with
+//! `421 Misdirected Request` + a `Location` pointing at the primary;
+//! `POST /v1/admin/promote` flips a caught-up follower into a primary.
+//!
+//! Divergence is detected eagerly: the follower acknowledges every shipped
+//! message with its chained FNV-1a stream fingerprint, and the primary
+//! compares it against its own fingerprint at the same seq. A mismatch
+//! bumps the `repl.divergences` counter and force-resyncs the follower
+//! (drop the session; the follower reconnects and re-bootstraps from the
+//! snapshot). Heartbeats carry the primary's per-dataset seqs so the
+//! follower can measure its lag; `3×` the heartbeat interval of silence
+//! counts as a miss and triggers the same resync.
+//!
+//! The module is serving-layer code: panic-free, no raw clock reads
+//! (pacing comes from `recv_timeout` and socket timeouts), and no socket
+//! IO while a lock is held — catch-up collects snapshot + tail bytes under
+//! the dataset read lock, drops it, then writes to the wire.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub(crate) mod follower;
+pub(crate) mod primary;
+pub(crate) mod proto;
+
+/// Interval between primary heartbeats on an idle stream, in milliseconds.
+/// A follower that hears nothing for `3×` this long declares a heartbeat
+/// miss and resyncs.
+pub const REPL_HEARTBEAT_MILLIS: u64 = 500;
+
+/// Default readiness threshold: a replica reports ready on
+/// `GET /v1/readyz` once it has finished bootstrap and its worst
+/// per-dataset seq lag is at most this many records (`--max-lag`
+/// overrides it).
+pub const REPL_MAX_LAG_SEQS: u64 = 64;
+
+/// Counters for the `repl` group of `GET /v1/metrics`. All monotonic
+/// unless noted; primary-side and follower-side counters live in the same
+/// group because a promoted node is both over its lifetime.
+#[derive(Debug, Default)]
+pub struct ReplMetrics {
+    /// Currently connected followers (gauge; primary side).
+    pub followers: AtomicU64,
+    /// Journal records shipped to followers (counted per follower).
+    pub records_shipped: AtomicU64,
+    /// Wire bytes shipped to followers, frames included.
+    pub bytes_shipped: AtomicU64,
+    /// Bootstrap snapshots shipped to followers.
+    pub snapshots_shipped: AtomicU64,
+    /// Shipped messages acknowledged by followers.
+    pub records_acked: AtomicU64,
+    /// Wire bytes covered by follower acknowledgements — `bytes_shipped -
+    /// bytes_acked` is the primary's view of replication lag in bytes.
+    pub bytes_acked: AtomicU64,
+    /// Heartbeats sent to followers.
+    pub heartbeats_sent: AtomicU64,
+    /// Fingerprint mismatches detected (either side).
+    pub divergences: AtomicU64,
+    /// Sessions the primary dropped to force a follower re-bootstrap.
+    pub forced_resyncs: AtomicU64,
+    /// Journal records this node applied from a primary's stream.
+    pub records_applied: AtomicU64,
+    /// Bootstrap snapshots this node applied from a primary's stream.
+    pub snapshots_applied: AtomicU64,
+    /// Times this node abandoned a replication session and reconnected.
+    pub resyncs: AtomicU64,
+    /// Heartbeat deadlines this node missed (each one also resyncs).
+    pub heartbeat_misses: AtomicU64,
+    /// Worst per-dataset seq lag observed at the last heartbeat (gauge).
+    pub lag_seqs: AtomicU64,
+}
+
+impl ReplMetrics {
+    /// Relaxed increment, mirroring `ServerMetrics::bump`.
+    pub fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Relaxed read for reporting.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Which replication role this process was started in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplRole {
+    /// `--repl-addr` only: accepts followers, takes writes.
+    Primary,
+    /// `--replica-of`: follows a primary until promoted.
+    Replica,
+}
+
+/// Replication state hung off the server's shared state. Present only
+/// when the server was started with `--repl-addr` and/or `--replica-of`.
+#[derive(Debug)]
+pub struct ReplState {
+    /// The `repl` metrics group.
+    pub metrics: ReplMetrics,
+    /// The role the process started in.
+    pub role: ReplRole,
+    /// Address the replication listener actually bound (primary side).
+    pub repl_addr: Mutex<Option<std::net::SocketAddr>>,
+    /// True while writes are fenced (replica that has not been promoted).
+    fenced: AtomicBool,
+    /// True once `POST /v1/admin/promote` sealed the stream.
+    promoted: AtomicBool,
+    /// True once the follower has finished catch-up (first heartbeat seen).
+    bootstrapped: AtomicBool,
+    /// The primary's HTTP address, learned from its `Welcome` — the
+    /// `Location` target for fenced writes.
+    primary_http: Mutex<String>,
+    /// Readiness threshold for `GET /v1/readyz` (`--max-lag`).
+    pub max_lag_seqs: u64,
+}
+
+impl ReplState {
+    /// Fresh state for the given role; replicas start fenced.
+    pub fn new(role: ReplRole, max_lag_seqs: u64) -> Self {
+        Self {
+            metrics: ReplMetrics::default(),
+            role,
+            repl_addr: Mutex::new(None),
+            fenced: AtomicBool::new(role == ReplRole::Replica),
+            promoted: AtomicBool::new(false),
+            bootstrapped: AtomicBool::new(role == ReplRole::Primary),
+            primary_http: Mutex::new(String::new()),
+            max_lag_seqs,
+        }
+    }
+
+    /// True while this node must refuse writes with 421.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// True once the node was promoted to primary.
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::SeqCst)
+    }
+
+    /// True once catch-up finished (always true for a born primary).
+    pub fn is_bootstrapped(&self) -> bool {
+        self.bootstrapped.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_bootstrapped(&self) {
+        self.bootstrapped.store(true, Ordering::SeqCst);
+    }
+
+    /// Seals the stream and lifts the write fence. Returns `false` if the
+    /// node was not a fenced replica (already promoted, or born primary).
+    pub fn promote(&self) -> bool {
+        if self.role != ReplRole::Replica {
+            return false;
+        }
+        if !self.fenced.swap(false, Ordering::SeqCst) {
+            return false;
+        }
+        self.promoted.store(true, Ordering::SeqCst);
+        true
+    }
+
+    /// The primary's HTTP address as learned from its `Welcome` frame
+    /// (empty before the first session is established).
+    pub fn primary_http(&self) -> String {
+        rpm_core::sync::lock_recover(&self.primary_http).clone()
+    }
+
+    pub(crate) fn set_primary_http(&self, addr: &str) {
+        let mut guard = rpm_core::sync::lock_recover(&self.primary_http);
+        if guard.as_str() != addr {
+            guard.clear();
+            guard.push_str(addr);
+        }
+    }
+
+    /// Human-readable role for metrics and readiness bodies.
+    pub fn role_name(&self) -> &'static str {
+        match self.role {
+            ReplRole::Primary => "primary",
+            ReplRole::Replica => {
+                if self.is_promoted() {
+                    "promoted"
+                } else {
+                    "replica"
+                }
+            }
+        }
+    }
+
+    /// Serialises the `repl` metrics group as a JSON object.
+    pub fn metrics_json(&self) -> String {
+        let m = &self.metrics;
+        let shipped = ReplMetrics::get(&m.bytes_shipped);
+        let acked = ReplMetrics::get(&m.bytes_acked);
+        format!(
+            concat!(
+                "{{\"role\":\"{}\",\"followers\":{},\"records_shipped\":{},",
+                "\"bytes_shipped\":{},\"snapshots_shipped\":{},\"records_acked\":{},",
+                "\"bytes_acked\":{},\"lag_bytes\":{},\"heartbeats_sent\":{},",
+                "\"divergences\":{},\"forced_resyncs\":{},\"records_applied\":{},",
+                "\"snapshots_applied\":{},\"resyncs\":{},\"heartbeat_misses\":{},",
+                "\"lag_seqs\":{}}}"
+            ),
+            self.role_name(),
+            ReplMetrics::get(&m.followers),
+            ReplMetrics::get(&m.records_shipped),
+            shipped,
+            ReplMetrics::get(&m.snapshots_shipped),
+            ReplMetrics::get(&m.records_acked),
+            acked,
+            shipped.saturating_sub(acked),
+            ReplMetrics::get(&m.heartbeats_sent),
+            ReplMetrics::get(&m.divergences),
+            ReplMetrics::get(&m.forced_resyncs),
+            ReplMetrics::get(&m.records_applied),
+            ReplMetrics::get(&m.snapshots_applied),
+            ReplMetrics::get(&m.resyncs),
+            ReplMetrics::get(&m.heartbeat_misses),
+            ReplMetrics::get(&m.lag_seqs),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_state_machine() {
+        let state = ReplState::new(ReplRole::Replica, REPL_MAX_LAG_SEQS);
+        assert!(state.is_fenced());
+        assert!(!state.is_bootstrapped());
+        assert_eq!(state.role_name(), "replica");
+        assert!(state.promote());
+        assert!(!state.is_fenced());
+        assert!(state.is_promoted());
+        assert_eq!(state.role_name(), "promoted");
+        assert!(!state.promote(), "second promote is refused");
+    }
+
+    #[test]
+    fn primary_state_machine() {
+        let state = ReplState::new(ReplRole::Primary, REPL_MAX_LAG_SEQS);
+        assert!(!state.is_fenced());
+        assert!(state.is_bootstrapped());
+        assert_eq!(state.role_name(), "primary");
+        assert!(!state.promote(), "a born primary cannot be promoted");
+    }
+
+    #[test]
+    fn metrics_json_reports_lag_bytes() {
+        let state = ReplState::new(ReplRole::Primary, REPL_MAX_LAG_SEQS);
+        ReplMetrics::bump(&state.metrics.bytes_shipped, 100);
+        ReplMetrics::bump(&state.metrics.bytes_acked, 60);
+        let json = state.metrics_json();
+        assert!(json.contains("\"lag_bytes\":40"), "{json}");
+        assert!(json.contains("\"role\":\"primary\""), "{json}");
+    }
+}

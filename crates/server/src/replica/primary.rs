@@ -1,0 +1,415 @@
+//! Primary-side replication: the hub and the follower sessions.
+//!
+//! Every journalled mutation is published to a [`ReplHub`] **under the
+//! dataset's write lock** (the map lock for registrations), so each
+//! follower's channel sees events in exactly the journal's commit order.
+//! The replication listener accepts follower connections; each one gets a
+//! catch-up phase — newest snapshot plus the seq-filtered WAL tail,
+//! collected into memory under the dataset's *read* lock and shipped only
+//! after the lock is dropped — followed by the live stream drained from
+//! its hub subscription. A paired reader thread consumes acknowledgements
+//! and compares each acked fingerprint against the primary's own at the
+//! same record; a mismatch is a detected divergence and the session is
+//! dropped so the follower re-bootstraps (the "forced resync").
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rpm_core::sync::{lock_recover, read_recover};
+
+use crate::persist::wal;
+use crate::replica::proto::{self, Msg};
+use crate::replica::{ReplMetrics, REPL_HEARTBEAT_MILLIS};
+use crate::Shared;
+
+/// Ship a heartbeat after this many consecutive records even when the
+/// stream never goes idle, so followers can keep their lag gauge fresh
+/// under sustained load.
+const HEARTBEAT_EVERY_RECORDS: u64 = 64;
+
+/// One journalled mutation, pre-encoded for shipping.
+#[derive(Debug)]
+pub(crate) struct Event {
+    /// Dataset the record belongs to.
+    pub(crate) name: String,
+    /// The record's journal sequence number.
+    pub(crate) seq: u64,
+    /// The primary's fingerprint after applying the record.
+    pub(crate) fp: u64,
+    /// The WAL payload (`encode_payload` form).
+    pub(crate) payload: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Sub {
+    id: u64,
+    tx: mpsc::Sender<Arc<Event>>,
+}
+
+/// Fan-out point between the write paths and the follower sessions.
+/// Channels are unbounded so publishing can never block an append; a
+/// slow follower grows its own queue and nothing else.
+#[derive(Debug, Default)]
+pub(crate) struct ReplHub {
+    subs: Mutex<Vec<Sub>>,
+    /// Last published seq per dataset — the heartbeat body.
+    seqs: Mutex<HashMap<String, u64>>,
+    next_id: AtomicU64,
+}
+
+impl ReplHub {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes one journalled record to every live subscriber. Called
+    /// with the owning dataset's write lock held, which is what guarantees
+    /// per-dataset ordering.
+    pub(crate) fn publish(&self, event: Event) {
+        self.note_seq(&event.name, event.seq);
+        let event = Arc::new(event);
+        lock_recover(&self.subs).retain(|sub| sub.tx.send(event.clone()).is_ok());
+    }
+
+    /// Raises (never lowers) the remembered seq for `name` — used to seed
+    /// heartbeats with datasets recovered before any live publish.
+    pub(crate) fn note_seq(&self, name: &str, seq: u64) {
+        let mut seqs = lock_recover(&self.seqs);
+        let entry = seqs.entry(name.to_string()).or_insert(0);
+        *entry = (*entry).max(seq);
+    }
+
+    fn subscribe(&self) -> (u64, mpsc::Receiver<Arc<Event>>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        lock_recover(&self.subs).push(Sub { id, tx });
+        (id, rx)
+    }
+
+    fn unsubscribe(&self, id: u64) {
+        lock_recover(&self.subs).retain(|sub| sub.id != id);
+    }
+
+    fn seq_snapshot(&self) -> Vec<(String, u64)> {
+        let mut seqs: Vec<(String, u64)> =
+            lock_recover(&self.seqs).iter().map(|(k, v)| (k.clone(), *v)).collect();
+        seqs.sort();
+        seqs
+    }
+}
+
+/// A shipped-but-unacked message the reader thread will match against the
+/// follower's next acknowledgement.
+#[derive(Debug)]
+struct Inflight {
+    name: String,
+    seq: u64,
+    expected_fp: u64,
+    bytes: u64,
+}
+
+type InflightQueue = Arc<Mutex<VecDeque<Inflight>>>;
+
+/// Spawns the replication acceptor over an already-bound listener.
+pub(crate) fn spawn_listener(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    hub: Arc<ReplHub>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || accept_loop(&listener, &shared, &hub))
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, hub: &Arc<ReplHub>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown_started.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown_started.load(Ordering::SeqCst) {
+            // The shutdown self-connect (see `Shared::trigger_shutdown`).
+            return;
+        }
+        let shared = shared.clone();
+        let hub = hub.clone();
+        std::thread::spawn(move || serve_follower(stream, &shared, &hub));
+    }
+}
+
+/// One follower session: handshake, catch-up, then the live stream, with
+/// a paired reader thread checking acknowledgements.
+fn serve_follower(mut stream: TcpStream, shared: &Arc<Shared>, hub: &Arc<ReplHub>) {
+    let Some(repl) = shared.repl.as_ref() else { return };
+    // The reader tolerates timeouts (acks are quiet on an idle stream);
+    // the timeout only bounds how long shutdown can be ignored.
+    let lease = Duration::from_millis(3 * REPL_HEARTBEAT_MILLIS.max(1));
+    if stream.set_read_timeout(Some(lease)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    match proto::read_msg(&mut stream) {
+        Ok(Msg::Hello { version }) if version == proto::PROTO_VERSION => {}
+        _ => return,
+    }
+    let welcome = Msg::Welcome {
+        version: proto::PROTO_VERSION,
+        http_addr: shared.addr.to_string(),
+        heartbeat_millis: REPL_HEARTBEAT_MILLIS,
+    };
+    if proto::write_msg(&mut stream, &welcome).is_err() {
+        return;
+    }
+    let Ok(reader_stream) = stream.try_clone() else { return };
+
+    // Subscribe *before* reading catch-up state: anything published after
+    // the state read is queued on the channel, and the follower's seq
+    // filter drops the overlap. Nothing can fall between.
+    let (sub_id, rx) = hub.subscribe();
+    ReplMetrics::bump(&repl.metrics.followers, 1);
+    let inflight: InflightQueue = Arc::new(Mutex::new(VecDeque::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let shared = shared.clone();
+        let inflight = inflight.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || reader_loop(reader_stream, &shared, &inflight, &stop))
+    };
+
+    stream_session(&mut stream, shared, hub, &rx, &inflight);
+
+    stop.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(Shutdown::Both);
+    hub.unsubscribe(sub_id);
+    repl.metrics.followers.fetch_sub(1, Ordering::Relaxed);
+    let _ = reader.join();
+}
+
+fn stream_session(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    hub: &Arc<ReplHub>,
+    rx: &mpsc::Receiver<Arc<Event>>,
+    inflight: &InflightQueue,
+) {
+    let Some(repl) = shared.repl.as_ref() else { return };
+    let metrics = &repl.metrics;
+    // Catch-up: per dataset, collect the shippable state into memory under
+    // the read lock, then send with no lock held.
+    for name in shared.registry.names() {
+        for (msg, seq) in catchup_messages(shared, hub, &name) {
+            if !send_tracked(stream, metrics, inflight, &name, seq, &msg) {
+                return;
+            }
+        }
+    }
+    // End-of-catch-up marker: the first heartbeat tells the follower its
+    // bootstrap is complete and hands it the seqs to measure lag against.
+    if !send_heartbeat(stream, hub, metrics) {
+        return;
+    }
+    let mut since_heartbeat = 0u64;
+    loop {
+        if shared.shutdown_started.load(Ordering::SeqCst) {
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(REPL_HEARTBEAT_MILLIS.max(1))) {
+            Ok(event) => {
+                let msg = Msg::Record {
+                    name: event.name.clone(),
+                    expected_fp: event.fp,
+                    payload: event.payload.clone(),
+                };
+                if !send_tracked(stream, metrics, inflight, &event.name, event.seq, &msg) {
+                    return;
+                }
+                since_heartbeat += 1;
+                if since_heartbeat >= HEARTBEAT_EVERY_RECORDS {
+                    since_heartbeat = 0;
+                    if !send_heartbeat(stream, hub, metrics) {
+                        return;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                since_heartbeat = 0;
+                if !send_heartbeat(stream, hub, metrics) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The bootstrap sequence for one dataset: a snapshot followed by every
+/// WAL record past it, with the primary's current fingerprint attached to
+/// the last message so the follower can verify the whole chain at once.
+///
+/// The snapshot is the newest on-disk one when it exists; otherwise one is
+/// serialised from the in-memory dataset at its current seq (with no tail
+/// to ship). Starting from a snapshot either way matters for convergence:
+/// applying a snapshot **resets** the follower's dataset, so a diverged
+/// replica re-bootstrapping after a forced resync cannot seq-skip its way
+/// past the corruption — a records-only catch-up could.
+///
+/// All file reads happen under the dataset's **read** lock — appends hold
+/// the write lock, so both files are quiescent — and nothing is sent until
+/// it is dropped.
+fn catchup_messages(shared: &Arc<Shared>, hub: &Arc<ReplHub>, name: &str) -> Vec<(Msg, u64)> {
+    let Some(dataset) = shared.registry.get(name) else { return Vec::new() };
+    let Some(persist) = shared.persist.as_ref() else { return Vec::new() };
+    let ds = read_recover(&dataset);
+    let fp = ds.fingerprint();
+    let last_seq = ds.last_seq().unwrap_or(0);
+    hub.note_seq(name, last_seq);
+    let mut out: Vec<(Msg, u64)> = Vec::new();
+    let mut snap_seq = None;
+    if let Some(bytes) = persist.snapshot_bytes(name) {
+        if let Ok((header, _)) = rpm_timeseries::snapshot_from_bytes(&bytes) {
+            snap_seq = Some(header.seq);
+            let msg = Msg::Snapshot { name: name.to_string(), expected_fp: 0, snapshot: bytes };
+            out.push((msg, header.seq));
+        }
+    }
+    let snap_seq = match snap_seq {
+        Some(seq) => seq,
+        None => {
+            let hot = ds.hot_params();
+            let header = rpm_timeseries::SnapshotHeader {
+                seq: last_seq,
+                per: hot.per,
+                min_ps: hot.min_ps as u64,
+                min_rec: hot.min_rec as u64,
+                appends: ds.appends(),
+            };
+            let bytes = rpm_timeseries::snapshot_to_bytes(&header, ds.db());
+            out.push((
+                Msg::Snapshot { name: name.to_string(), expected_fp: 0, snapshot: bytes },
+                last_seq,
+            ));
+            last_seq
+        }
+    };
+    let mut records = match persist.read_wal_tail(name) {
+        Ok(Some(replay)) => replay.records,
+        _ => Vec::new(),
+    };
+    records.retain(|r| r.seq() > snap_seq);
+    for record in &records {
+        let msg = Msg::Record {
+            name: name.to_string(),
+            expected_fp: 0,
+            payload: wal::encode_payload(record),
+        };
+        out.push((msg, record.seq()));
+    }
+    if let Some((Msg::Snapshot { expected_fp, .. } | Msg::Record { expected_fp, .. }, _)) =
+        out.last_mut()
+    {
+        *expected_fp = fp;
+    }
+    out
+}
+
+fn send_heartbeat(stream: &mut TcpStream, hub: &Arc<ReplHub>, metrics: &ReplMetrics) -> bool {
+    let beat = Msg::Heartbeat { seqs: hub.seq_snapshot() };
+    if proto::write_msg(stream, &beat).is_err() {
+        return false;
+    }
+    ReplMetrics::bump(&metrics.heartbeats_sent, 1);
+    true
+}
+
+/// Ships one message and queues the matching in-flight expectation for the
+/// reader thread. Returns `false` when the follower is gone.
+fn send_tracked(
+    stream: &mut TcpStream,
+    metrics: &ReplMetrics,
+    inflight: &InflightQueue,
+    name: &str,
+    seq: u64,
+    msg: &Msg,
+) -> bool {
+    let expected_fp = match msg {
+        Msg::Snapshot { expected_fp, .. } | Msg::Record { expected_fp, .. } => *expected_fp,
+        _ => 0,
+    };
+    let bytes = match proto::write_msg(stream, msg) {
+        Ok(bytes) => bytes,
+        Err(_) => return false,
+    };
+    lock_recover(inflight).push_back(Inflight { name: name.to_string(), seq, expected_fp, bytes });
+    match msg {
+        Msg::Snapshot { .. } => ReplMetrics::bump(&metrics.snapshots_shipped, 1),
+        _ => ReplMetrics::bump(&metrics.records_shipped, 1),
+    }
+    ReplMetrics::bump(&metrics.bytes_shipped, bytes);
+    true
+}
+
+/// Consumes follower acknowledgements. Acks arrive strictly in ship order
+/// (the follower answers every `Snapshot`/`Record` message, including
+/// seq-skipped ones), so matching is a FIFO pop. A fingerprint mismatch on
+/// a checked record is a detected divergence: bump the counters and drop
+/// the session so the follower re-bootstraps from the snapshot.
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    inflight: &InflightQueue,
+    stop: &AtomicBool,
+) {
+    let Some(repl) = shared.repl.as_ref() else { return };
+    let metrics = &repl.metrics;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let msg = match proto::read_msg(&mut stream) {
+            Ok(msg) => msg,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                continue; // idle follower; acks are not heartbeats
+            }
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let Msg::Ack { name, seq, fingerprint } = msg else {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        };
+        let front = lock_recover(inflight).pop_front();
+        let Some(front) = front else {
+            // An ack with nothing in flight: protocol confusion.
+            ReplMetrics::bump(&metrics.forced_resyncs, 1);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        };
+        if front.name != name || front.seq != seq {
+            ReplMetrics::bump(&metrics.forced_resyncs, 1);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        ReplMetrics::bump(&metrics.records_acked, 1);
+        ReplMetrics::bump(&metrics.bytes_acked, front.bytes);
+        if front.expected_fp != 0 && front.expected_fp != fingerprint {
+            ReplMetrics::bump(&metrics.divergences, 1);
+            ReplMetrics::bump(&metrics.forced_resyncs, 1);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}

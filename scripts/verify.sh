@@ -67,3 +67,69 @@ case "$after" in
   *) echo "recovery smoke FAILED: dataset missing after restart: $after" >&2; exit 1 ;;
 esac
 rm -rf "$smoke_dir"
+
+# Replication smoke: primary + replica as two real processes over loopback.
+# Bootstrap, byte-identical mine, SIGKILL the primary, promote the replica,
+# and confirm it accepts writes. Offline; ports distinct from the smoke above.
+repl_dir="$(mktemp -d)"
+primary_pid=""
+replica_pid=""
+trap 'rm -rf "$repl_dir"; for p in "$primary_pid" "$replica_pid"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done' EXIT
+
+wait_ready() { # port
+  for _ in $(seq 100); do
+    curl -sf "http://127.0.0.1:$1/v1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "replication smoke FAILED: port $1 never became ready" >&2
+  return 1
+}
+
+"$rpm" generate shop --out "$repl_dir/shop.tsv" --scale 0.02 --seed 7
+"$rpm" serve --addr 127.0.0.1:8744 --threads 2 --data-dir "$repl_dir/primary" \
+  --repl-addr 127.0.0.1:8746 &
+primary_pid=$!
+wait_healthy 8744
+curl -sf --data-binary @"$repl_dir/shop.tsv" \
+  'http://127.0.0.1:8744/v1/datasets/shop?per=360&min-ps=10&min-rec=1' >/dev/null
+"$rpm" serve --addr 127.0.0.1:8745 --threads 2 --data-dir "$repl_dir/replica" \
+  --replica-of 127.0.0.1:8746 &
+replica_pid=$!
+wait_ready 8745
+printf '999999\tsmoke-item\n' | curl -sf --data-binary @- \
+  -X POST http://127.0.0.1:8744/v1/datasets/shop/append >/dev/null
+for _ in $(seq 100); do
+  p_list=$(curl -sf http://127.0.0.1:8744/v1/datasets)
+  r_list=$(curl -sf http://127.0.0.1:8745/v1/datasets)
+  [ "$p_list" = "$r_list" ] && break
+  sleep 0.1
+done
+if [ "$p_list" != "$r_list" ]; then
+  echo "replication smoke FAILED: replica never converged with the primary" >&2
+  echo "  primary: $p_list" >&2
+  echo "  replica: $r_list" >&2
+  exit 1
+fi
+mine='/v1/datasets/shop/mine?per=360&min-ps=10&min-rec=1'
+p_mine=$(curl -sf -X POST "http://127.0.0.1:8744$mine")
+r_mine=$(curl -sf -X POST "http://127.0.0.1:8745$mine")
+if [ "$p_mine" != "$r_mine" ]; then
+  echo "replication smoke FAILED: replica mine differs from primary" >&2
+  exit 1
+fi
+kill -9 "$primary_pid"
+wait "$primary_pid" 2>/dev/null || true
+primary_pid=""
+promote=$(curl -sf -X POST http://127.0.0.1:8745/v1/admin/promote)
+case "$promote" in
+  *'"promoted":true'*) ;;
+  *) echo "replication smoke FAILED: promote answered: $promote" >&2; exit 1 ;;
+esac
+printf '999999\tpost-promote-item\n' | curl -sf --data-binary @- \
+  -X POST http://127.0.0.1:8745/v1/datasets/shop/append >/dev/null
+curl -sf -X POST http://127.0.0.1:8745/v1/shutdown >/dev/null
+wait "$replica_pid" 2>/dev/null || true
+replica_pid=""
+trap 'rm -rf "$repl_dir"' EXIT
+echo "replication smoke: ok (bootstrap, identical mine, promote, write)"
+rm -rf "$repl_dir"

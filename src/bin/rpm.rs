@@ -86,6 +86,9 @@ const USAGE: &str = "rpm — recurring pattern mining (EDBT 2015 reproduction)
                [--per N --min-ps N --min-rec N]   (hot params for --load)
                [--data-dir DIR] [--fsync always|interval|never]
                [--snapshot-every N]               (durability; see TUTORIAL)
+               [--repl-addr HOST:PORT]            (stream the WAL to replicas)
+               [--replica-of HOST:PORT]           (follow a primary read-only)
+               [--max-lag N]                      (readyz seq-lag threshold)
 
 Databases are text (`ts<TAB>item item…`) or, with a .rpmb extension, the
 compact binary format of rpm_timeseries::binio.
@@ -489,6 +492,18 @@ fn serve(args: &[String]) -> Result<(), String> {
             None
         }
     };
+    // Replication: --repl-addr makes this node a primary that streams its
+    // WAL; --replica-of makes it a follower of one. Both need the journal,
+    // hence --data-dir.
+    let repl_addr = flags.get("repl-addr").map(str::to_string);
+    let replica_of = flags.get("replica-of").map(str::to_string);
+    if (repl_addr.is_some() || replica_of.is_some() || flags.get("max-lag").is_some())
+        && persist.is_none()
+    {
+        return Err("--repl-addr/--replica-of/--max-lag need --data-dir".to_string());
+    }
+    let repl_max_lag: u64 =
+        flags.parse_num("max-lag", recurring_patterns::server::REPL_MAX_LAG_SEQS)?;
     let config = ServerConfig {
         addr,
         threads,
@@ -496,6 +511,9 @@ fn serve(args: &[String]) -> Result<(), String> {
         queue_depth,
         io_timeout,
         persist,
+        repl_addr,
+        replica_of,
+        repl_max_lag,
     };
     let handle = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     if let Some(recovery) = handle.recovery() {

@@ -434,3 +434,45 @@ fn legacy_unversioned_paths_alias_v1_with_a_deprecation_header() {
     handle.shutdown();
     handle.join();
 }
+
+#[test]
+fn legacy_alias_errors_keep_the_envelope_and_deprecation_headers() {
+    let handle = bind(1, 4);
+    let addr = handle.addr();
+    assert_eq!(request(addr, "POST", "/datasets/shop", &running_example_text()).status, 201);
+
+    // 404: unknown dataset through the alias — envelope + both alias headers.
+    let missing = request(addr, "POST", "/datasets/ghost/mine?per=2&min-ps=3", "");
+    assert_eq!(missing.status, 404, "{}", missing.body);
+    assert!(missing.body.contains("\"error\":{\"code\":\"not_found\""), "{}", missing.body);
+    assert!(missing.body.contains("\"message\":"), "{}", missing.body);
+    assert_eq!(missing.header("deprecation"), "true");
+    assert_eq!(missing.header("link"), "</v1>; rel=\"successor-version\"");
+
+    // 409: duplicate registration through the alias.
+    let dup = request(addr, "POST", "/datasets/shop", &running_example_text());
+    assert_eq!(dup.status, 409, "{}", dup.body);
+    assert!(dup.body.contains("\"error\":{\"code\":\"conflict\""), "{}", dup.body);
+    assert_eq!(dup.header("deprecation"), "true");
+    assert_eq!(dup.header("link"), "</v1>; rel=\"successor-version\"");
+
+    // 405: wrong method on a known alias route.
+    let wrong = request(addr, "DELETE", "/datasets", "");
+    assert_eq!(wrong.status, 405, "{}", wrong.body);
+    assert!(wrong.body.contains("\"error\":{\"code\":\"method_not_allowed\""), "{}", wrong.body);
+    assert_eq!(wrong.header("deprecation"), "true");
+
+    // 413: an oversized declared body is refused before routing, so the
+    // envelope survives but the alias headers do not — the rejection is
+    // transport-level, not a route answer.
+    let huge = send_raw(
+        addr,
+        "POST /datasets/shop/append HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+    );
+    let huge = parse_response(&huge);
+    assert_eq!(huge.status, 413, "{}", huge.body);
+    assert!(huge.body.contains("\"error\":{\"code\":\"payload_too_large\""), "{}", huge.body);
+
+    handle.shutdown();
+    handle.join();
+}
