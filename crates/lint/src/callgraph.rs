@@ -1,0 +1,434 @@
+//! Pass 2: workspace-wide symbol table and call graph.
+//!
+//! Every function from every file's scope tree becomes a node; call sites
+//! are extracted from function bodies at the token level and resolved
+//! **intra-crate** by name and path segment. Resolution is deliberately
+//! over-approximate (no type information): a method call `.grow(` links to
+//! every same-crate method named `grow`. Over-approximation is the safe
+//! direction for reachability analyses — it can only add chains, never
+//! hide one — and the committed baseline absorbs the noise.
+//!
+//! Cross-crate calls are *not* resolved. That is not a coverage hole for
+//! the passes built on top: the serving-layer entry set already contains
+//! every function of `crates/server` *and* of `crates/core/src/engine*`
+//! (see `config::REQUEST_REACHABLE_PREFIXES`), so the engine boundary that
+//! requests cross between crates re-roots the analysis on the callee side.
+
+use std::collections::HashMap;
+
+use crate::analysis::Analysis;
+use crate::config::FileCtx;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::ScopeTree;
+
+/// One file, fully analysed: the inputs every workspace pass shares.
+pub struct FileAnalysis<'s> {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Path-derived rule context.
+    pub ctx: FileCtx,
+    /// Token stream + pragmas.
+    pub analysis: Analysis<'s>,
+    /// Item/scope tree.
+    pub tree: ScopeTree,
+}
+
+/// Method names so common on std types (`HashMap::get`, `Vec::push`,
+/// `slice::get`, …) that linking every `.name(` to a same-crate method of
+/// that name fabricates edges — and with them, phantom deadlock cycles.
+/// For these names only, resolution additionally requires the receiver
+/// identifier to plausibly name the candidate's impl type (see
+/// [`recv_matches_qual`]); `registry.get(…)` still links to
+/// `Registry::get`, while `map.get(…)` / `data.get(…)` stay unresolved.
+const STD_COLLIDING_METHODS: &[&str] = &[
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "contains",
+    "contains_key",
+    "len",
+    "is_empty",
+    "clear",
+    "next",
+    "clone",
+    "take",
+    "replace",
+    "send",
+    "recv",
+    "read",
+    "write",
+    "flush",
+    "wait",
+    "iter",
+    "last",
+    "first",
+    "extend",
+];
+
+/// Whether receiver identifier `recv` plausibly names the impl type
+/// `qual`: case- and underscore-insensitive containment either way
+/// (`cache` ↔ `ResultCache`, `queue` ↔ `ConnQueue`, `wal` ↔ `WalWriter`).
+fn recv_matches_qual(recv: &str, qual: &str) -> bool {
+    let norm = |s: &str| s.chars().filter(|c| *c != '_').collect::<String>().to_ascii_lowercase();
+    let (r, q) = (norm(recv), norm(qual));
+    !r.is_empty() && !q.is_empty() && (q.contains(&r) || r.contains(&q))
+}
+
+/// Keywords that look like `name(` in expression position but are not
+/// calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "let", "in", "as", "else", "move", "break",
+    "continue", "yield", "box", "unsafe", "where", "ref", "mut", "pub", "use", "impl", "fn",
+    "trait", "struct", "enum", "union", "mod", "static", "const", "type", "dyn", "true", "false",
+];
+
+/// A function node in the workspace graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the `FileAnalysis` slice the graph was built from.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing impl/trait type, if a method.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Body token range `[start, end)` in the file's code stream.
+    pub body: Option<(usize, usize)>,
+    /// Nested-fn body ranges to skip when scanning this body.
+    pub holes: Vec<(usize, usize)>,
+    /// Crate key: `crates/server`, `crates/core`, … or `src` for the
+    /// root crate. Resolution never crosses this boundary.
+    pub crate_key: String,
+}
+
+impl FnNode {
+    /// `Qual::name` or `name`, for diagnostics.
+    pub fn display(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Token index of the callee name in the file's code stream.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Callee name.
+    pub name: String,
+    /// `Type::` / `module::` qualifier immediately before the name.
+    pub qual: Option<String>,
+    /// Whether the call is `.name(…)`.
+    pub is_method: bool,
+    /// Receiver identifier for method calls (`cache` in
+    /// `shared.cache.get(…)`, `self` in `self.get(…)`); `None` when the
+    /// receiver is a call/index expression.
+    pub recv: Option<String>,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All functions, in (file, declaration) order.
+    pub fns: Vec<FnNode>,
+    /// Call sites per function, in token order.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Resolved edges per function: `(callee fn, index into calls[f])`.
+    pub edges: Vec<Vec<(usize, usize)>>,
+}
+
+fn crate_key(rel: &str) -> String {
+    match rel.find("/src/") {
+        Some(at) => rel[..at].to_string(),
+        None => rel.split('/').next().unwrap_or(rel).to_string(),
+    }
+}
+
+impl CallGraph {
+    /// Builds the graph over every function of every file.
+    pub fn build(files: &[FileAnalysis<'_>]) -> CallGraph {
+        let mut fns = Vec::new();
+        let mut calls = Vec::new();
+        for (fi, fa) in files.iter().enumerate() {
+            let key = crate_key(&fa.rel);
+            for decl in fa.tree.fns() {
+                let node = FnNode {
+                    file: fi,
+                    name: decl.item.name.clone(),
+                    qual: decl.qual.clone(),
+                    line: decl.item.line,
+                    body: decl.item.body,
+                    holes: decl.holes.clone(),
+                    crate_key: key.clone(),
+                };
+                let sites = match node.body {
+                    Some(range) => extract_calls(&fa.analysis.code, range, &node.holes),
+                    None => Vec::new(),
+                };
+                fns.push(node);
+                calls.push(sites);
+            }
+        }
+        // Symbol table: (crate, name) → candidate fn ids.
+        let mut by_name: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry((f.crate_key.as_str(), f.name.as_str())).or_default().push(id);
+        }
+        let mut edges = Vec::with_capacity(fns.len());
+        for (id, f) in fns.iter().enumerate() {
+            let mut out = Vec::new();
+            for (si, site) in calls[id].iter().enumerate() {
+                for callee in resolve(&by_name, &fns, f, site) {
+                    out.push((callee, si));
+                }
+            }
+            edges.push(out);
+        }
+        CallGraph { fns, calls, edges }
+    }
+
+    /// All functions defined in `file`, by graph id.
+    pub fn fns_of_file(&self, file: usize) -> impl Iterator<Item = usize> + '_ {
+        self.fns.iter().enumerate().filter(move |(_, f)| f.file == file).map(|(i, _)| i)
+    }
+}
+
+/// Resolves one call site to candidate functions, same crate only.
+fn resolve(
+    by_name: &HashMap<(&str, &str), Vec<usize>>,
+    fns: &[FnNode],
+    caller: &FnNode,
+    site: &CallSite,
+) -> Vec<usize> {
+    let Some(cands) = by_name.get(&(caller.crate_key.as_str(), site.name.as_str())) else {
+        return Vec::new();
+    };
+    let qual = match site.qual.as_deref() {
+        // `Self::helper(…)` — the qualifier is the caller's own type.
+        Some("Self") => caller.qual.clone(),
+        other => other.map(str::to_string),
+    };
+    let picked: Vec<usize> = match (&qual, site.is_method) {
+        // `.name(…)`: any same-crate method of that name — except for
+        // std-colliding names, where the receiver must also name the
+        // candidate's impl type (`self` receivers match the caller's own).
+        (_, true) if STD_COLLIDING_METHODS.contains(&site.name.as_str()) => cands
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let Some(cq) = fns[c].qual.as_deref() else { return false };
+                match site.recv.as_deref() {
+                    Some("self") => caller.qual.as_deref() == Some(cq),
+                    Some(r) => recv_matches_qual(r, cq),
+                    None => false,
+                }
+            })
+            .collect(),
+        (_, true) => cands.iter().copied().filter(|&c| fns[c].qual.is_some()).collect(),
+        (Some(q), false) => {
+            let exact: Vec<usize> =
+                cands.iter().copied().filter(|&c| fns[c].qual.as_deref() == Some(q)).collect();
+            if !exact.is_empty() {
+                exact
+            } else if q.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+                || matches!(q.as_str(), "crate" | "super" | "self")
+            {
+                // Module-qualified free call: `util::helper(…)`.
+                cands.iter().copied().filter(|&c| fns[c].qual.is_none()).collect()
+            } else {
+                // `Vec::new(…)`-style call on a type this crate does not
+                // implement: external, unresolved.
+                Vec::new()
+            }
+        }
+        // Unqualified free call.
+        (None, false) => cands.iter().copied().filter(|&c| fns[c].qual.is_none()).collect(),
+    };
+    picked
+}
+
+/// Extracts call sites from a body token range, skipping nested-fn holes.
+fn extract_calls(
+    code: &[Tok<'_>],
+    range: (usize, usize),
+    holes: &[(usize, usize)],
+) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = range.0;
+    while i < range.1.min(code.len()) {
+        if let Some(&(_, hole_end)) = holes.iter().find(|&&(s, e)| s <= i && i < e) {
+            i = hole_end;
+            continue;
+        }
+        let t = &code[i];
+        let next_is = |k: usize, s: &str| {
+            code.get(i + k).is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+        };
+        if t.kind == TokKind::Ident
+            && next_is(1, "(")
+            && !NON_CALL_KEYWORDS.contains(&t.text)
+            && !(i > 0 && code[i - 1].kind == TokKind::Ident && code[i - 1].text == "fn")
+        {
+            let prev_is =
+                |s: &str| i > 0 && code[i - 1].kind == TokKind::Punct && code[i - 1].text == s;
+            let is_method = prev_is(".");
+            // `.join(sep)` with arguments is `Path::join` / `[T]::join`,
+            // never a thread join (`JoinHandle::join` takes none) —
+            // linking it to a local `join` method fabricates blocking
+            // chains through the server's thread handles.
+            if is_method && t.text == "join" && !next_is(2, ")") {
+                i += 1;
+                continue;
+            }
+            let qual = if !is_method
+                && i >= 3
+                && prev_is(":")
+                && code[i - 2].kind == TokKind::Punct
+                && code[i - 2].text == ":"
+                && code[i - 3].kind == TokKind::Ident
+            {
+                Some(code[i - 3].text.to_string())
+            } else {
+                None
+            };
+            let recv = if is_method && i >= 2 && code[i - 2].kind == TokKind::Ident {
+                Some(code[i - 2].text.to_string())
+            } else {
+                None
+            };
+            out.push(CallSite {
+                tok: i,
+                line: t.line,
+                name: t.text.to_string(),
+                qual,
+                is_method,
+                recv,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::config;
+
+    fn graph<'s>(files: &[(&str, &'s str)]) -> (Vec<FileAnalysis<'s>>, CallGraph) {
+        let fas: Vec<FileAnalysis<'s>> = files
+            .iter()
+            .map(|(rel, src)| {
+                let mut sink = Vec::new();
+                let analysis = Analysis::build(rel, src, &mut sink);
+                let tree = ScopeTree::build(&analysis.code);
+                FileAnalysis { rel: rel.to_string(), ctx: config::classify(rel), analysis, tree }
+            })
+            .collect();
+        let g = CallGraph::build(&fas);
+        (fas, g)
+    }
+
+    fn find(g: &CallGraph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.name == name).unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    fn callees(g: &CallGraph, caller: &str) -> Vec<String> {
+        let id = find(g, caller);
+        let mut v: Vec<String> = g.edges[id].iter().map(|&(c, _)| g.fns[c].display()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn free_calls_resolve_within_crate_and_across_files() {
+        let (_, g) = graph(&[
+            ("crates/x/src/a.rs", "fn top() { helper(); other::leaf(); }"),
+            ("crates/x/src/b.rs", "fn helper() { leaf(); }\nfn leaf() {}"),
+        ]);
+        assert_eq!(callees(&g, "top"), vec!["helper", "leaf"]);
+        assert_eq!(callees(&g, "helper"), vec!["leaf"]);
+    }
+
+    #[test]
+    fn cross_crate_calls_do_not_resolve() {
+        let (_, g) = graph(&[
+            ("crates/x/src/a.rs", "fn top() { helper(); }"),
+            ("crates/y/src/b.rs", "fn helper() {}"),
+        ]);
+        assert!(callees(&g, "top").is_empty());
+    }
+
+    #[test]
+    fn qualified_and_method_calls_resolve_to_methods() {
+        let (_, g) = graph(&[(
+            "crates/x/src/a.rs",
+            "struct W;\nimpl W { fn new() -> W { W } fn run(&self) { self.step(); } \
+             fn step(&self) { Self::tick(); } fn tick() {} }\n\
+             fn top(w: &W) { let w2 = W::new(); w.run(); }",
+        )]);
+        assert_eq!(callees(&g, "top"), vec!["W::new", "W::run"]);
+        assert_eq!(callees(&g, "run"), vec!["W::step"]);
+        assert_eq!(callees(&g, "step"), vec!["W::tick"]);
+    }
+
+    #[test]
+    fn external_type_calls_stay_unresolved() {
+        let (_, g) = graph(&[(
+            "crates/x/src/a.rs",
+            "fn new() {} fn top() { let v = Vec::new(); drop(v); }",
+        )]);
+        assert!(callees(&g, "top").is_empty(), "Vec::new must not link to local fn new");
+    }
+
+    #[test]
+    fn std_colliding_methods_need_a_matching_receiver() {
+        let (_, g) = graph(&[(
+            "crates/x/src/a.rs",
+            "struct Registry;\nimpl Registry { fn get(&self) { self.get(); } }\n\
+             fn ok(registry: &Registry) { registry.get(); }\n\
+             fn std_noise(map: &std::collections::HashMap<u32, u32>) { map.get(&1); }\n\
+             fn chained(v: &[Vec<u32>]) { v.iter().next(); }",
+        )]);
+        assert_eq!(callees(&g, "ok"), vec!["Registry::get"], "receiver names the type");
+        let get = find(&g, "get");
+        assert_eq!(
+            g.edges[get].iter().map(|&(c, _)| g.fns[c].display()).collect::<Vec<_>>(),
+            vec!["Registry::get"],
+            "self receiver matches the caller's own impl"
+        );
+        assert!(callees(&g, "std_noise").is_empty(), "HashMap::get must not link");
+        assert!(callees(&g, "chained").is_empty(), "call-expression receivers do not match");
+    }
+
+    #[test]
+    fn path_join_with_args_is_not_a_thread_join() {
+        let (_, g) = graph(&[(
+            "crates/x/src/a.rs",
+            "struct H;\nimpl H { fn join(self) {} }\n\
+             fn paths(dir: &std::path::Path) { dir.join(\"x.wal\"); }\n\
+             fn threads(h: H) { h.join(); }",
+        )]);
+        assert!(callees(&g, "paths").is_empty());
+        assert_eq!(callees(&g, "threads"), vec!["H::join"]);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let (_, g) = graph(&[(
+            "crates/x/src/a.rs",
+            "fn top(x: u32) { if (x > 0) { println!(\"{}\", x); } while (x < 2) { break; } }",
+        )]);
+        let id = find(&g, "top");
+        assert!(g.calls[id].is_empty(), "got: {:?}", g.calls[id]);
+    }
+}

@@ -20,6 +20,12 @@ pub struct FileCtx {
     pub crate_root: bool,
     /// Crate allowlisted to omit `#![forbid(unsafe_code)]`.
     pub unsafe_allowlisted: bool,
+    /// A file under `crates/server/src/` that is missing from
+    /// [`SERVER_PINNED`]: it still gets the serving-layer rules (the safe
+    /// default), and `lint-config-unclassified` flags it so the pin table
+    /// cannot silently drift when new modules are added (PR 8 had to
+    /// hand-pin `replica/` after the fact — this makes the omission loud).
+    pub unclassified_serving: bool,
 }
 
 /// Module trees a request can reach: the whole server crate (HTTP codec,
@@ -52,6 +58,28 @@ const HOT_PATH_PREFIXES: &[&str] = &["crates/core/src/engine", "crates/server/sr
 /// Empty today — additions need a justification in DESIGN.md §7.
 const UNSAFE_ALLOWLIST: &[&str] = &[];
 
+/// Every file of the server crate, pinned by hand. A file under
+/// `crates/server/src/` that is *not* in this list is linted under the
+/// serving-layer default **and** flagged by `lint-config-unclassified`:
+/// adding a server module forces an explicit classification decision
+/// (serving-only, or also hot-path) in this table.
+const SERVER_PINNED: &[&str] = &[
+    "crates/server/src/lib.rs",
+    "crates/server/src/http.rs",
+    "crates/server/src/pool.rs",
+    "crates/server/src/cache.rs",
+    "crates/server/src/registry.rs",
+    "crates/server/src/metrics.rs",
+    "crates/server/src/timeparse.rs",
+    "crates/server/src/persist/mod.rs",
+    "crates/server/src/persist/wal.rs",
+    "crates/server/src/persist/snapshot.rs",
+    "crates/server/src/replica/mod.rs",
+    "crates/server/src/replica/primary.rs",
+    "crates/server/src/replica/follower.rs",
+    "crates/server/src/replica/proto.rs",
+];
+
 /// Documents scanned by `doc-constant-drift` for `` `NAME = value` ``
 /// claims.
 pub const CHECKED_DOCS: &[&str] = &["DESIGN.md", "docs/ARCHITECTURE.md"];
@@ -66,6 +94,8 @@ pub fn classify(rel: &str) -> FileCtx {
             || HOT_PATH_PREFIXES.iter().any(|p| rel.starts_with(p)),
         crate_root,
         unsafe_allowlisted: crate_root && UNSAFE_ALLOWLIST.iter().any(|c| rel.starts_with(c)),
+        unclassified_serving: rel.starts_with("crates/server/src/")
+            && !SERVER_PINNED.contains(&rel),
     }
 }
 
@@ -117,6 +147,21 @@ mod tests {
             assert!(ctx.request_reachable, "replica/{file} must be serving-layer");
             assert!(ctx.hot_path, "replica/{file} must be clock-restricted");
         }
+    }
+
+    #[test]
+    fn pinned_server_files_are_classified() {
+        for rel in SERVER_PINNED {
+            assert!(!classify(rel).unclassified_serving, "{rel} is pinned");
+        }
+        assert!(!classify("crates/core/src/tree.rs").unclassified_serving);
+    }
+
+    #[test]
+    fn unpinned_server_file_is_flagged_and_still_serving_layer() {
+        let ctx = classify("crates/server/src/newmod.rs");
+        assert!(ctx.unclassified_serving, "drift must be loud");
+        assert!(ctx.request_reachable, "safe default: serving-layer rules apply");
     }
 
     #[test]

@@ -2,46 +2,83 @@
 //!
 //! Generic tooling cannot see this project's invariants: that the serving
 //! layer must never panic on request input, that poisoned locks must be
-//! recovered rather than re-panicked, that hot loops observe time through
-//! `ControlProbe`, that every crate forbids `unsafe`, and that the numbers
-//! DESIGN.md quotes match the constants in the code. `rpm-lint` encodes
-//! exactly those rules over a hand-rolled lexer — no dependencies, so the
-//! gate stays offline and builds from `std` alone.
+//! recovered rather than re-panicked, that the lock-acquisition order is
+//! deadlock-free, that hot loops observe time through `ControlProbe`, that
+//! every crate forbids `unsafe`, and that the numbers DESIGN.md quotes
+//! match the constants in the code. `rpm-lint` encodes exactly those rules
+//! over a hand-rolled lexer — no dependencies, so the gate stays offline
+//! and builds from `std` alone.
+//!
+//! # Pass pipeline
+//!
+//! Workspace runs ([`lint_workspace`] / [`lint_files`]) are multi-pass:
+//!
+//! 1. **lex + analyse** ([`lexer`], [`analysis`]) — token stream, test
+//!    masking, pragma collection, per file;
+//! 2. **parse** ([`parser`]) — brace-aware item/scope tree (mods, fns,
+//!    impls, traits, closures, attributes);
+//! 3. **link** ([`callgraph`]) — workspace symbol table and intra-crate
+//!    call graph;
+//! 4. **panic reachability** ([`panics`]) — interprocedural: panics in
+//!    anything transitively reachable from serving code, chains printed;
+//! 5. **lock order** ([`locks`]) — global lock-acquisition graph, cycle
+//!    (deadlock) detection, blocking-under-lock, foreign Condvar waits;
+//! 6. **per-file rules** ([`rules`], [`docdrift`]) — lock poison
+//!    discipline, raw clocks, `forbid(unsafe_code)`, doc-constant drift.
 //!
 //! # Rules
 //!
 //! | rule | scope | denies |
 //! |------|-------|--------|
-//! | `panic-free-serving` | request-reachable modules | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `panic-reachability` | fns reachable from serving entries | `.unwrap()`, `.expect()`, panicking macros, indexing — with the call chain |
+//! | `panic-free-serving` | request-reachable files (single-file runs) | the surface subset of the above |
+//! | `lock-order` | whole workspace | lock-order cycles; locks held across blocking calls; foreign-lock Condvar waits |
 //! | `lock-discipline` | whole workspace | `.lock()/.read()/.write()/.wait().unwrap/expect` (poison → panic); guard live across socket I/O |
 //! | `no-raw-clock-in-hot-path` | mining recursion & worker loops | `Instant::now`, `SystemTime::now` |
 //! | `forbid-unsafe` | crate roots | missing `#![forbid(unsafe_code)]` |
 //! | `doc-constant-drift` | DESIGN.md, ARCHITECTURE.md | `` `NAME = value` `` claims that mismatch the `const`s |
+//! | `lint-config-unclassified` | `crates/server/src/` | files not pinned in the classification table |
 //! | `pragma-hygiene` | everywhere | malformed / reason-less / unknown-rule `lint:allow` pragmas |
 //!
 //! A violation is suppressed by `// lint:allow(rule): reason` on the same
 //! or the preceding line; the reason is mandatory and its absence is
-//! itself a violation. See CONTRIBUTING.md for when a pragma is
-//! acceptable.
+//! itself a violation. Pre-existing interprocedural findings live in the
+//! committed `lint-baseline.json` instead (see [`baseline`]); the gate
+//! fails only on findings not covered there. See CONTRIBUTING.md for when
+//! a pragma or a baseline entry is acceptable.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 #![deny(deprecated)]
 
 pub mod analysis;
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod docdrift;
 pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod parser;
 pub mod rules;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use analysis::Analysis;
+use callgraph::{CallGraph, FileAnalysis};
 use docdrift::ConstTable;
+use parser::ScopeTree;
 
-/// Rule name: panics in request-reachable modules.
+/// Rule name: interprocedural panic reachability from serving entries.
+pub const RULE_PANIC_REACH: &str = "panic-reachability";
+/// Rule name: surface-level panics in request-reachable modules (the
+/// single-file subset of [`RULE_PANIC_REACH`], kept for fixture-driven
+/// single-file runs via [`lint_source`]).
 pub const RULE_PANIC_FREE: &str = "panic-free-serving";
+/// Rule name: lock-order cycles, blocking calls under locks, and foreign
+/// Condvar waits.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
 /// Rule name: poisoned-lock panics and guards held across socket I/O.
 pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
 /// Rule name: raw clock reads in hot-path modules.
@@ -50,16 +87,21 @@ pub const RULE_RAW_CLOCK: &str = "no-raw-clock-in-hot-path";
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 /// Rule name: documented constants drifting from the code.
 pub const RULE_DOC_DRIFT: &str = "doc-constant-drift";
+/// Rule name: server files missing from the classification table.
+pub const RULE_UNCLASSIFIED: &str = "lint-config-unclassified";
 /// Rule name: malformed or reason-less `lint:allow` pragmas.
 pub const RULE_PRAGMA: &str = "pragma-hygiene";
 
 /// Every rule name, for pragma validation and `--list-rules`.
 pub const RULES: &[&str] = &[
+    RULE_PANIC_REACH,
     RULE_PANIC_FREE,
+    RULE_LOCK_ORDER,
     RULE_LOCK_DISCIPLINE,
     RULE_RAW_CLOCK,
     RULE_FORBID_UNSAFE,
     RULE_DOC_DRIFT,
+    RULE_UNCLASSIFIED,
     RULE_PRAGMA,
 ];
 
@@ -147,7 +189,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -162,8 +204,10 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Lints a single file's source under its path-derived context. The
-/// workhorse behind [`lint_workspace`], public for fixture-driven tests.
+/// Lints a single file's source under its path-derived context, applying
+/// the *per-file* rules only (the surface `panic-free-serving` check
+/// stands in for the interprocedural pass, which needs the whole
+/// workspace — see [`lint_files`]). Public for fixture-driven tests.
 pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     let ctx = config::classify(rel);
     let mut out = Vec::new();
@@ -172,6 +216,53 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     rules::lock_discipline(rel, &ctx, &a, &mut out);
     rules::raw_clock(rel, &ctx, &a, &mut out);
     rules::forbid_unsafe(rel, &ctx, &a, &mut out);
+    out
+}
+
+/// **lint-config-unclassified** — a server file missing from the pin
+/// table still gets serving-layer rules (the safe default), plus this
+/// warning so the classification table cannot silently drift.
+fn unclassified(rel: &str, ctx: &config::FileCtx, out: &mut Vec<Violation>) {
+    if ctx.unclassified_serving {
+        out.push(Violation {
+            rule: RULE_UNCLASSIFIED,
+            file: rel.to_string(),
+            line: 1,
+            message: "file under crates/server/src/ is not pinned in rpm-lint's classification \
+                      table; defaulting to serving-layer rules — add it to SERVER_PINNED in \
+                      crates/lint/src/config.rs (and to the hot-path list if it loops)"
+                .to_string(),
+        });
+    }
+}
+
+/// Runs the full multi-pass pipeline over an in-memory set of files
+/// (`(workspace-relative path, source)` pairs): per-file rules plus the
+/// interprocedural panic-reachability and lock-order passes. This is the
+/// workhorse behind [`lint_workspace`], public so fixture workspaces can
+/// exercise the interprocedural passes.
+pub fn lint_files(files: &[(&str, &str)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fas: Vec<FileAnalysis<'_>> = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let ctx = config::classify(rel);
+        let analysis = Analysis::build(rel, src, &mut out);
+        let tree = ScopeTree::build(&analysis.code);
+        fas.push(FileAnalysis { rel: rel.to_string(), ctx, analysis, tree });
+    }
+    for fa in &fas {
+        rules::lock_discipline(&fa.rel, &fa.ctx, &fa.analysis, &mut out);
+        rules::raw_clock(&fa.rel, &fa.ctx, &fa.analysis, &mut out);
+        rules::forbid_unsafe(&fa.rel, &fa.ctx, &fa.analysis, &mut out);
+        unclassified(&fa.rel, &fa.ctx, &mut out);
+    }
+    let graph = CallGraph::build(&fas);
+    panics::check(&fas, &graph, &mut out);
+    locks::check(&fas, &graph, &mut out);
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    out.dedup();
     out
 }
 
@@ -230,7 +321,8 @@ fn rel_str(root: &Path, path: &Path) -> String {
 }
 
 /// Lints the whole workspace rooted at `root`: every shipped `.rs` file
-/// under `src/` and `crates/*/src/`, plus the checked documents.
+/// under `src/` and `crates/*/src/` through the multi-pass pipeline, plus
+/// the checked documents.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let mut files = Vec::new();
     for dir in source_roots(root) {
@@ -239,21 +331,21 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     if files.is_empty() {
         return Err(format!("no Rust sources found under {} — wrong --root?", root.display()));
     }
-    let mut violations = Vec::new();
-    let mut consts = ConstTable::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = rel_str(root, path);
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let ctx = config::classify(&rel);
-        let mut out = Vec::new();
-        let a = Analysis::build(&rel, &src, &mut out);
-        rules::panic_free(&rel, &ctx, &a, &mut out);
-        rules::lock_discipline(&rel, &ctx, &a, &mut out);
-        rules::raw_clock(&rel, &ctx, &a, &mut out);
-        rules::forbid_unsafe(&rel, &ctx, &a, &mut out);
-        consts.collect(&rel, &a);
-        violations.extend(out);
+        sources.push((rel, src));
+    }
+    let refs: Vec<(&str, &str)> =
+        sources.iter().map(|(rel, src)| (rel.as_str(), src.as_str())).collect();
+    let mut violations = lint_files(&refs);
+    let mut consts = ConstTable::new();
+    for (rel, src) in &refs {
+        let mut sink = Vec::new();
+        let a = Analysis::build(rel, src, &mut sink);
+        consts.collect(rel, &a);
     }
     let mut docs_checked = 0;
     for doc in config::CHECKED_DOCS {

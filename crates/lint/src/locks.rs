@@ -1,0 +1,823 @@
+//! Pass 4: lock-order analysis.
+//!
+//! The repo's poison-recovering sync helpers (`rpm_core::sync::
+//! lock_recover` / `read_recover` / `write_recover` / `wait_recover`) are
+//! the *only* sanctioned way to take a `std::sync` lock, which makes them
+//! reliable acquisition markers for static analysis. This pass walks every
+//! function body tracking which locks are held at each point, then:
+//!
+//! 1. builds a **global lock-acquisition graph** — an edge `A -> B` means
+//!    some execution path acquires `B` (directly or through calls) while
+//!    holding `A` — and reports every cycle as a potential deadlock;
+//! 2. reports locks held across **blocking calls** — `.accept(…)`,
+//!    `.join()`, stream `read`/`write`, and any path into
+//!    `Condvar`-waiting code — because a held lock stretches the critical
+//!    section over peer- or scheduler-controlled latency;
+//! 3. reports `Condvar::wait` with a **foreign lock** held — the wait
+//!    releases only its own guard, so every other held lock stays locked
+//!    for the whole sleep.
+//!
+//! Lock identity is name-based: `&self.field` becomes `Type::field` using
+//! the enclosing impl; any other argument uses its final path segment
+//! (`&dataset` → `dataset`). Messages carry function names, never line
+//! numbers, so the committed baseline stays stable under unrelated edits.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::callgraph::{CallGraph, FileAnalysis};
+use crate::lexer::{Tok, TokKind};
+use crate::{Violation, RULE_LOCK_ORDER};
+
+/// Free functions that acquire (and guard) a lock.
+const ACQUIRE_MARKERS: &[&str] = &["lock_recover", "read_recover", "write_recover"];
+/// The Condvar-wait helper: `wait_recover(&condvar, guard)`.
+const WAIT_MARKER: &str = "wait_recover";
+/// Methods that block on a peer or the scheduler. `read`/`write` count
+/// only with arguments (no-arg forms are `RwLock` acquisitions);
+/// `join` only with no arguments (`Path::join(p)` / `slice::join(sep)`
+/// take one).
+const BLOCKING_IO: &[&str] =
+    &["write_all", "read_exact", "read_to_end", "read_to_string", "write_to"];
+
+/// A lock acquisition inside one function.
+#[derive(Debug)]
+struct Acquire {
+    lock: String,
+    line: u32,
+    /// Locks already held when this one is taken.
+    held: Vec<String>,
+}
+
+/// A call site annotated with the locks held when it runs.
+#[derive(Debug)]
+struct HeldCall {
+    /// Index into `graph.calls[f]`.
+    site: usize,
+    line: u32,
+    held: Vec<String>,
+}
+
+/// A direct blocking operation; `held` may be empty (still relevant to
+/// callers that hold locks of their own).
+#[derive(Debug)]
+struct DirectBlock {
+    what: String,
+    line: u32,
+    held: Vec<String>,
+}
+
+/// A `wait_recover` site.
+#[derive(Debug)]
+struct WaitSite {
+    condvar: String,
+    /// Lock guarded by the waited guard, when the binding is known.
+    own_lock: Option<String>,
+    line: u32,
+    held: Vec<String>,
+}
+
+/// Per-function lock behavior, from the intraprocedural walk.
+#[derive(Debug, Default)]
+struct FnLocks {
+    acquires: Vec<Acquire>,
+    calls: Vec<HeldCall>,
+    blocks: Vec<DirectBlock>,
+    waits: Vec<WaitSite>,
+}
+
+fn is_punct(t: &Tok<'_>, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Tok<'_>, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Index just past a balanced `( … )` at `open`, and whether it is empty.
+fn skip_parens(code: &[Tok<'_>], open: usize) -> Option<(usize, bool)> {
+    if !is_punct(code.get(open)?, "(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < code.len() {
+        if is_punct(&code[k], "(") {
+            depth += 1;
+        } else if is_punct(&code[k], ")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some((k + 1, k == open + 1));
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Splits the argument tokens of a call at `open` into per-argument
+/// token-index ranges (top-level commas only).
+fn arg_ranges(code: &[Tok<'_>], open: usize) -> (Vec<(usize, usize)>, usize) {
+    let Some((after, _)) = skip_parens(code, open) else {
+        return (Vec::new(), code.len());
+    };
+    let close = after - 1;
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = open + 1;
+    for (k, t) in code.iter().enumerate().take(close).skip(open) {
+        if is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{") {
+            depth += 1;
+        } else if is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}") {
+            depth = depth.saturating_sub(1);
+        } else if depth == 1 && is_punct(t, ",") {
+            args.push((start, k));
+            start = k + 1;
+        }
+    }
+    if start < close {
+        args.push((start, close));
+    }
+    (args, after)
+}
+
+/// The lock name for a marker argument: `&self.field` → `Qual::field`;
+/// otherwise the last path segment (`&reg.datasets` → `datasets`).
+fn lock_name(code: &[Tok<'_>], range: (usize, usize), self_qual: &str) -> Option<String> {
+    let mut self_based = false;
+    let mut last: Option<&str> = None;
+    for t in &code[range.0..range.1] {
+        if t.kind == TokKind::Ident {
+            if t.text == "self" {
+                self_based = true;
+            } else if t.text != "mut" {
+                last = Some(t.text);
+            }
+        }
+    }
+    match (self_based, last) {
+        (true, Some(field)) => Some(format!("{self_qual}::{field}")),
+        (true, None) => Some(format!("{self_qual}::self")),
+        (false, Some(name)) => Some(name.to_string()),
+        (false, None) => None,
+    }
+}
+
+/// Walks one function body, producing its lock behavior.
+fn walk_fn(
+    code: &[Tok<'_>],
+    body: (usize, usize),
+    holes: &[(usize, usize)],
+    self_qual: &str,
+    call_sites: &[crate::callgraph::CallSite],
+) -> FnLocks {
+    #[derive(Debug)]
+    struct Active {
+        lock: String,
+        name: Option<String>,
+        depth: usize,
+        until_semi: bool,
+    }
+    let mut out = FnLocks::default();
+    let mut active: Vec<Active> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_let: Option<String> = None;
+    let mut next_site = 0usize;
+    let hi = body.1.min(code.len());
+    let mut i = body.0;
+    while i < hi {
+        if let Some(&(_, hole_end)) = holes.iter().find(|&&(s, e)| s <= i && i < e) {
+            i = hole_end;
+            continue;
+        }
+        // Annotate call sites we pass with the current held set.
+        while next_site < call_sites.len() && call_sites[next_site].tok < i {
+            next_site += 1;
+        }
+        let t = &code[i];
+        if is_punct(t, "{") {
+            depth += 1;
+        } else if is_punct(t, "}") {
+            depth = depth.saturating_sub(1);
+            active.retain(|a| a.depth <= depth);
+        } else if is_punct(t, ";") {
+            active.retain(|a| !a.until_semi);
+            pending_let = None;
+        } else if is_ident(t, "let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|t| is_ident(t, "mut")) {
+                j += 1;
+            }
+            if let (Some(name), Some(eq)) = (code.get(j), code.get(j + 1)) {
+                if name.kind == TokKind::Ident && is_punct(eq, "=") {
+                    pending_let = Some(name.text.to_string());
+                    i = j + 2;
+                    continue;
+                }
+            }
+        } else if is_ident(t, "drop")
+            && code.get(i + 1).is_some_and(|t| is_punct(t, "("))
+            && code.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && code.get(i + 3).is_some_and(|t| is_punct(t, ")"))
+        {
+            let name = code[i + 2].text;
+            active.retain(|a| a.name.as_deref() != Some(name));
+            i += 4;
+            continue;
+        } else if t.kind == TokKind::Ident
+            && (ACQUIRE_MARKERS.contains(&t.text) || t.text == WAIT_MARKER)
+            && code.get(i + 1).is_some_and(|t| is_punct(t, "("))
+            && !(i > 0 && (is_punct(&code[i - 1], ".") || is_ident(&code[i - 1], "fn")))
+        {
+            let (args, after) = arg_ranges(code, i + 1);
+            let held: Vec<String> = dedup_names(active.iter().map(|a| a.lock.clone()));
+            if t.text == WAIT_MARKER {
+                let condvar = args
+                    .first()
+                    .and_then(|&r| lock_name(code, r, self_qual))
+                    .unwrap_or_else(|| "?".to_string());
+                let guard_name = args.get(1).and_then(|&(s, e)| {
+                    (s..e).rev().find_map(|k| {
+                        (code[k].kind == TokKind::Ident).then(|| code[k].text.to_string())
+                    })
+                });
+                let own_lock = guard_name
+                    .as_deref()
+                    .and_then(|g| active.iter().find(|a| a.name.as_deref() == Some(g)))
+                    .map(|a| a.lock.clone());
+                out.waits.push(WaitSite { condvar, own_lock, line: t.line, held });
+                // A rebinding `let g = wait_recover(&cv, g)` keeps the
+                // same lock held under the new name.
+                if let (Some(name), Some(lock)) = (
+                    pending_let.take(),
+                    args.get(1).and_then(|&r| {
+                        let g = (r.0..r.1).rev().find(|&k| code[k].kind == TokKind::Ident)?;
+                        active
+                            .iter()
+                            .find(|a| a.name.as_deref() == Some(code[g].text))
+                            .map(|a| a.lock.clone())
+                    }),
+                ) {
+                    active.push(Active { lock, name: Some(name), depth, until_semi: false });
+                }
+                i = after;
+                continue;
+            }
+            let Some(lock) = args.first().and_then(|&r| lock_name(code, r, self_qual)) else {
+                i = after;
+                continue;
+            };
+            out.acquires.push(Acquire { lock: lock.clone(), line: t.line, held });
+            // `let g = marker(…);` binds a scope-long guard; anything
+            // else holds the lock to the end of the statement.
+            let binds = pending_let.is_some() && code.get(after).is_some_and(|t| is_punct(t, ";"));
+            active.push(Active {
+                lock,
+                name: if binds { pending_let.take() } else { None },
+                depth,
+                until_semi: !binds,
+            });
+            i = after;
+            continue;
+        } else if t.kind == TokKind::Ident
+            && i > 0
+            && is_punct(&code[i - 1], ".")
+            && code.get(i + 1).is_some_and(|t| is_punct(t, "("))
+        {
+            let empty = skip_parens(code, i + 1).map(|(_, e)| e).unwrap_or(true);
+            let blocking = match t.text {
+                "accept" => true,
+                "join" => empty,
+                "read" | "write" => !empty,
+                m => BLOCKING_IO.contains(&m),
+            };
+            if blocking {
+                out.blocks.push(DirectBlock {
+                    what: format!(".{}(...)", t.text),
+                    line: t.line,
+                    held: dedup_names(active.iter().map(|a| a.lock.clone())),
+                });
+            }
+        }
+        // Record the held set for resolved call sites at this token.
+        if next_site < call_sites.len() && call_sites[next_site].tok == i && !active.is_empty() {
+            let name = call_sites[next_site].name.as_str();
+            if !ACQUIRE_MARKERS.contains(&name) && name != WAIT_MARKER && name != "drop" {
+                out.calls.push(HeldCall {
+                    site: next_site,
+                    line: code[i].line,
+                    held: dedup_names(active.iter().map(|a| a.lock.clone())),
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn dedup_names(iter: impl Iterator<Item = String>) -> Vec<String> {
+    let mut v: Vec<String> = iter.collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// What a fn (transitively) blocks on and through which chain, if anything.
+type BlockSummary = Option<(String, Vec<String>)>;
+
+/// Transitive may-acquire / may-block summaries over the call graph.
+struct Summaries {
+    /// Per fn: lock → representative chain of fn display names.
+    acquires: Vec<BTreeMap<String, Vec<String>>>,
+    /// Per fn: what blocks and through which chain, if anything.
+    blocks: Vec<BlockSummary>,
+}
+
+fn summarize(graph: &CallGraph, local: &[FnLocks]) -> Summaries {
+    let n = graph.fns.len();
+    let mut acquires: Vec<Option<BTreeMap<String, Vec<String>>>> = vec![None; n];
+    let mut blocks: Vec<Option<BlockSummary>> = vec![None; n];
+    // Iterative fixed-point is overkill: the graph is near-acyclic, so a
+    // DFS that treats in-progress nodes as empty converges in one pass
+    // for everything that matters (recursion can only hide its own
+    // cycle-internal acquisitions, never fabricate findings).
+    fn acq(
+        f: usize,
+        graph: &CallGraph,
+        local: &[FnLocks],
+        memo: &mut Vec<Option<BTreeMap<String, Vec<String>>>>,
+        visiting: &mut Vec<bool>,
+    ) -> BTreeMap<String, Vec<String>> {
+        if let Some(m) = &memo[f] {
+            return m.clone();
+        }
+        if visiting[f] {
+            return BTreeMap::new();
+        }
+        visiting[f] = true;
+        let me = graph.fns[f].display();
+        let mut m: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for a in &local[f].acquires {
+            m.entry(a.lock.clone()).or_insert_with(|| vec![me.clone()]);
+        }
+        for &(callee, _) in &graph.edges[f] {
+            for (lock, chain) in acq(callee, graph, local, memo, visiting) {
+                m.entry(lock).or_insert_with(|| {
+                    let mut c = vec![me.clone()];
+                    c.extend(chain.clone());
+                    c
+                });
+            }
+        }
+        visiting[f] = false;
+        memo[f] = Some(m.clone());
+        m
+    }
+    fn blk(
+        f: usize,
+        graph: &CallGraph,
+        local: &[FnLocks],
+        memo: &mut Vec<Option<BlockSummary>>,
+        visiting: &mut Vec<bool>,
+    ) -> BlockSummary {
+        if let Some(m) = &memo[f] {
+            return m.clone();
+        }
+        if visiting[f] {
+            return None;
+        }
+        visiting[f] = true;
+        let me = graph.fns[f].display();
+        let mut found: Option<(String, Vec<String>)> = None;
+        if let Some(b) = local[f].blocks.first() {
+            found = Some((b.what.clone(), vec![me.clone()]));
+        } else if let Some(w) = local[f].waits.first() {
+            found = Some((format!("Condvar::wait on `{}`", w.condvar), vec![me.clone()]));
+        } else {
+            for &(callee, _) in &graph.edges[f] {
+                if let Some((what, chain)) = blk(callee, graph, local, memo, visiting) {
+                    let mut c = vec![me.clone()];
+                    c.extend(chain);
+                    found = Some((what, c));
+                    break;
+                }
+            }
+        }
+        visiting[f] = false;
+        memo[f] = Some(found.clone());
+        found
+    }
+    let mut visiting = vec![false; n];
+    for f in 0..n {
+        let m = acq(f, graph, local, &mut acquires, &mut visiting);
+        acquires[f] = Some(m);
+    }
+    let mut visiting = vec![false; n];
+    for f in 0..n {
+        let b = blk(f, graph, local, &mut blocks, &mut visiting);
+        blocks[f] = Some(b);
+    }
+    Summaries {
+        acquires: acquires.into_iter().map(|m| m.unwrap_or_default()).collect(),
+        blocks: blocks.into_iter().map(|b| b.flatten()).collect(),
+    }
+}
+
+/// One edge of the global lock graph, with its first-seen witness.
+struct EdgeInfo {
+    file: String,
+    line: u32,
+    witness: String,
+}
+
+/// Runs the pass and reports violations.
+pub fn check(files: &[FileAnalysis<'_>], graph: &CallGraph, out: &mut Vec<Violation>) {
+    let n = graph.fns.len();
+    let mut local = Vec::with_capacity(n);
+    for (id, f) in graph.fns.iter().enumerate() {
+        let fa = &files[f.file];
+        let self_qual = f.qual.clone().unwrap_or_else(|| {
+            fa.rel.rsplit('/').next().and_then(|b| b.strip_suffix(".rs")).unwrap_or("?").to_string()
+        });
+        let locks = match f.body {
+            Some(body) => walk_fn(&fa.analysis.code, body, &f.holes, &self_qual, &graph.calls[id]),
+            None => FnLocks::default(),
+        };
+        local.push(locks);
+    }
+    let sums = summarize(graph, &local);
+
+    let mut edges: BTreeMap<(String, String), EdgeInfo> = BTreeMap::new();
+    let mut add_edge = |from: &str, to: &str, file: &str, line: u32, witness: String| {
+        edges.entry((from.to_string(), to.to_string())).or_insert(EdgeInfo {
+            file: file.to_string(),
+            line,
+            witness,
+        });
+    };
+
+    let mut found: Vec<Violation> = Vec::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        let fa = &files[f.file];
+        let me = f.display();
+        // Direct nested acquisitions.
+        for a in &local[id].acquires {
+            if fa.analysis.allowed(RULE_LOCK_ORDER, a.line) {
+                continue;
+            }
+            for h in &a.held {
+                add_edge(h, &a.lock, &fa.rel, a.line, format!("in `{me}`"));
+            }
+        }
+        // Acquisitions and blocking reached through calls made under a lock.
+        for c in &local[id].calls {
+            if fa.analysis.allowed(RULE_LOCK_ORDER, c.line) {
+                continue;
+            }
+            let mut callees: Vec<usize> = graph.edges[id]
+                .iter()
+                .filter(|&&(_, s)| s == c.site)
+                .map(|&(callee, _)| callee)
+                .collect();
+            callees.sort();
+            callees.dedup();
+            for callee in callees {
+                for (lock, chain) in &sums.acquires[callee] {
+                    for h in &c.held {
+                        add_edge(
+                            h,
+                            lock,
+                            &fa.rel,
+                            c.line,
+                            format!("via {me} -> {}", chain.join(" -> ")),
+                        );
+                    }
+                }
+                if let Some((what, chain)) = &sums.blocks[callee] {
+                    found.push(Violation {
+                        rule: RULE_LOCK_ORDER,
+                        file: fa.rel.clone(),
+                        line: c.line,
+                        message: format!(
+                            "lock(s) `{}` held across a blocking call: {} -> {} which does {}; \
+                             drop the guard first or move the blocking work out of the \
+                             critical section",
+                            c.held.join("`, `"),
+                            me,
+                            chain.join(" -> "),
+                            what
+                        ),
+                    });
+                }
+            }
+        }
+        // Direct blocking under a lock.
+        for b in &local[id].blocks {
+            if b.held.is_empty() || fa.analysis.allowed(RULE_LOCK_ORDER, b.line) {
+                continue;
+            }
+            found.push(Violation {
+                rule: RULE_LOCK_ORDER,
+                file: fa.rel.clone(),
+                line: b.line,
+                message: format!(
+                    "lock(s) `{}` held across blocking `{}` in `{}`; drop the guard first \
+                     or move the blocking work out of the critical section",
+                    b.held.join("`, `"),
+                    b.what,
+                    me
+                ),
+            });
+        }
+        // Condvar waits with a foreign lock held.
+        for w in &local[id].waits {
+            if fa.analysis.allowed(RULE_LOCK_ORDER, w.line) {
+                continue;
+            }
+            let foreign: Vec<&String> =
+                w.held.iter().filter(|h| Some(h.as_str()) != w.own_lock.as_deref()).collect();
+            if !foreign.is_empty() {
+                found.push(Violation {
+                    rule: RULE_LOCK_ORDER,
+                    file: fa.rel.clone(),
+                    line: w.line,
+                    message: format!(
+                        "Condvar::wait on `{}` in `{}` while also holding `{}`; the wait \
+                         releases only its own guard, so the other lock stays held for the \
+                         whole sleep",
+                        w.condvar,
+                        me,
+                        foreign.iter().map(|s| s.as_str()).collect::<Vec<_>>().join("`, `")
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cycle detection over the global lock graph.
+    found.extend(report_cycles(&edges));
+    found.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    found.dedup();
+    out.append(&mut found);
+}
+
+/// Finds strongly-connected components of the lock graph and reports one
+/// representative cycle per component (plus self-loops).
+fn report_cycles(edges: &BTreeMap<(String, String), EdgeInfo>) -> Vec<Violation> {
+    let mut nodes: Vec<&str> = Vec::new();
+    for (a, b) in edges.keys() {
+        nodes.push(a);
+        nodes.push(b);
+    }
+    nodes.sort();
+    nodes.dedup();
+    let index: HashMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (a, b) in edges.keys() {
+        adj[index[a.as_str()]].push(index[b.as_str()]);
+    }
+    for a in &mut adj {
+        a.sort();
+        a.dedup();
+    }
+    // Tarjan SCC, iterative for stack safety.
+    let n = nodes.len();
+    let mut ids = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_id = 0usize;
+    for start in 0..n {
+        if ids[start] != usize::MAX {
+            continue;
+        }
+        // (node, next child index)
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, ci)) = work.last() {
+            if ci == 0 {
+                ids[v] = next_id;
+                low[v] = next_id;
+                next_id += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ci < adj[v].len() {
+                if let Some(frame) = work.last_mut() {
+                    frame.1 += 1;
+                }
+                let w = adj[v][ci];
+                if ids[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(ids[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == ids[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for comp in sccs {
+        let cyclic = comp.len() > 1 || (comp.len() == 1 && adj[comp[0]].contains(&comp[0]));
+        if !cyclic {
+            continue;
+        }
+        // Walk a representative cycle inside the component, starting from
+        // its smallest-named lock and always taking the smallest intra-
+        // component successor.
+        let in_comp = |x: usize| comp.contains(&x);
+        let start = comp[0];
+        let mut cycle = vec![start];
+        let mut cur = start;
+        while let Some(&next) = adj[cur].iter().find(|&&x| in_comp(x)) {
+            if let Some(at) = cycle.iter().position(|&x| x == next) {
+                cycle = cycle[at..].to_vec();
+                cycle.push(next);
+                break;
+            }
+            cycle.push(next);
+            cur = next;
+        }
+        if cycle.len() < 2 {
+            continue;
+        }
+        let names: Vec<&str> = cycle.iter().map(|&x| nodes[x]).collect();
+        let mut detail = Vec::new();
+        for pair in cycle.windows(2) {
+            let key = (nodes[pair[0]].to_string(), nodes[pair[1]].to_string());
+            if let Some(e) = edges.get(&key) {
+                detail.push(format!("`{}` then `{}` {}", key.0, key.1, e.witness));
+            }
+        }
+        let anchor = edges
+            .get(&(nodes[cycle[0]].to_string(), nodes[cycle[1]].to_string()))
+            .expect("cycle edges exist");
+        out.push(Violation {
+            rule: RULE_LOCK_ORDER,
+            file: anchor.file.clone(),
+            line: anchor.line,
+            message: format!(
+                "potential deadlock: lock-order cycle `{}`; {}",
+                names.join("` -> `"),
+                detail.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::config;
+    use crate::parser::ScopeTree;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let fas: Vec<FileAnalysis<'_>> = files
+            .iter()
+            .map(|(rel, src)| {
+                let mut sink = Vec::new();
+                let analysis = Analysis::build(rel, src, &mut sink);
+                let tree = ScopeTree::build(&analysis.code);
+                FileAnalysis { rel: rel.to_string(), ctx: config::classify(rel), analysis, tree }
+            })
+            .collect();
+        let graph = CallGraph::build(&fas);
+        let mut out = Vec::new();
+        check(&fas, &graph, &mut out);
+        out
+    }
+
+    const INVERSION: &str = "\
+impl Pair {
+    fn ab(&self) {
+        let a = lock_recover(&self.alpha);
+        let b = lock_recover(&self.beta);
+        drop(b);
+        drop(a);
+    }
+    fn ba(&self) {
+        let b = lock_recover(&self.beta);
+        let a = lock_recover(&self.alpha);
+        drop(a);
+        drop(b);
+    }
+}";
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        let vs = run(&[("crates/x/src/pair.rs", INVERSION)]);
+        let cycles: Vec<&Violation> =
+            vs.iter().filter(|v| v.message.contains("potential deadlock")).collect();
+        assert_eq!(cycles.len(), 1, "got: {vs:#?}");
+        assert!(
+            cycles[0].message.contains("`Pair::alpha` -> `Pair::beta` -> `Pair::alpha`"),
+            "{}",
+            cycles[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let vs = run(&[(
+            "crates/x/src/pair.rs",
+            "impl Pair {\n fn ab(&self) { let a = lock_recover(&self.alpha); \
+             let b = lock_recover(&self.beta); drop(b); drop(a); }\n\
+             fn also_ab(&self) { let a = lock_recover(&self.alpha); \
+             let b = lock_recover(&self.beta); drop(b); drop(a); }\n}",
+        )]);
+        assert!(vs.is_empty(), "got: {vs:#?}");
+    }
+
+    #[test]
+    fn inversion_through_a_call_is_found() {
+        let vs = run(&[(
+            "crates/x/src/pair.rs",
+            "impl Pair {\n\
+             fn ab(&self) { let a = lock_recover(&self.alpha); self.take_beta(); drop(a); }\n\
+             fn take_beta(&self) { let b = lock_recover(&self.beta); drop(b); }\n\
+             fn ba(&self) { let b = lock_recover(&self.beta); \
+             let a = lock_recover(&self.alpha); drop(a); drop(b); }\n}",
+        )]);
+        let cycles: Vec<&Violation> =
+            vs.iter().filter(|v| v.message.contains("potential deadlock")).collect();
+        assert_eq!(cycles.len(), 1, "got: {vs:#?}");
+        assert!(
+            cycles[0].message.contains("via Pair::ab -> Pair::take_beta"),
+            "{}",
+            cycles[0].message
+        );
+    }
+
+    #[test]
+    fn blocking_io_under_lock_is_flagged() {
+        let vs = run(&[(
+            "crates/x/src/io.rs",
+            "impl S {\n fn f(&self, sock: &mut TcpStream) {\n\
+             let g = lock_recover(&self.state);\n sock.write_all(b\"x\").ok();\n drop(g);\n }\n}",
+        )]);
+        assert_eq!(vs.len(), 1, "got: {vs:#?}");
+        assert!(vs[0].message.contains("blocking `.write_all(...)`"), "{}", vs[0].message);
+        assert!(vs[0].message.contains("`S::state`"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn waiting_on_own_lock_is_fine_but_foreign_lock_is_not() {
+        let own = "impl Q {\n fn pop(&self) {\n let mut state = lock_recover(&self.state);\n\
+                   loop { state = wait_recover(&self.ready, state); }\n }\n}";
+        assert!(run(&[("crates/x/src/q.rs", own)]).is_empty());
+        let foreign = "impl Q {\n fn pop(&self, other: &Mutex<u32>) {\n\
+                       let o = lock_recover(other);\n\
+                       let mut state = lock_recover(&self.state);\n\
+                       loop { state = wait_recover(&self.ready, state); }\n let _ = o;\n }\n}";
+        let vs = run(&[("crates/x/src/q.rs", foreign)]);
+        assert!(
+            vs.iter().any(|v| v.message.contains("releases only its own guard")),
+            "got: {vs:#?}"
+        );
+    }
+
+    #[test]
+    fn pragma_waives_an_edge_and_the_cycle_disappears() {
+        let src = "impl Pair {\n\
+            fn ab(&self) { let a = lock_recover(&self.alpha); \
+            let b = lock_recover(&self.beta); drop(b); drop(a); }\n\
+            fn ba(&self) { let b = lock_recover(&self.beta);\n\
+            // lint:allow(lock-order): startup-only path, documented in DESIGN.md\n\
+            let a = lock_recover(&self.alpha); drop(a); drop(b); }\n}";
+        let vs = run(&[("crates/x/src/pair.rs", src)]);
+        assert!(vs.is_empty(), "got: {vs:#?}");
+    }
+
+    #[test]
+    fn transitive_blocking_under_lock_is_reported_with_chain() {
+        let vs = run(&[(
+            "crates/x/src/io.rs",
+            "impl S {\n\
+             fn top(&self) { let g = lock_recover(&self.state); self.ship(); drop(g); }\n\
+             fn ship(&self) { self.sock().write_all(b\"x\").ok(); }\n\
+             fn sock(&self) -> W { W }\n}",
+        )]);
+        assert!(
+            vs.iter().any(|v| v.message.contains("S::top -> S::ship")
+                && v.message.contains(".write_all(...)")),
+            "got: {vs:#?}"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Pass 3: interprocedural panic reachability.
+//!
+//! Replaces the surface-level `panic-free-serving` check in workspace
+//! runs: instead of flagging panics only when they sit *textually* in a
+//! request-reachable file, this pass flags every `unwrap`/`expect`/
+//! panicking macro/indexing expression in any function **transitively
+//! reachable** from a serving-layer entry point, and prints the call
+//! chain in the diagnostic.
+//!
+//! Entry points are all functions defined in request-reachable files
+//! (the whole server crate plus the engine layer — see
+//! `config::classify`). Reachability runs over the intra-crate call
+//! graph; messages carry function names, never line numbers, so the
+//! committed baseline stays stable under unrelated edits.
+
+use std::collections::VecDeque;
+
+use crate::callgraph::{CallGraph, FileAnalysis};
+use crate::lexer::{Tok, TokKind};
+use crate::{Violation, RULE_PANIC_REACH};
+
+/// Identifier tokens that mark a `[` as type/pattern position rather
+/// than an indexing expression when they appear right before it.
+const NON_INDEX_PREV: &[&str] = &[
+    "mut", "let", "ref", "in", "as", "dyn", "return", "break", "continue", "else", "match", "move",
+    "static", "const", "use", "pub", "where", "impl", "fn", "crate", "super", "async", "await",
+    "unsafe", "type", "enum", "struct", "trait", "mod", "for", "while", "loop", "if", "box",
+    "yield",
+];
+
+/// One potential panic inside a function body.
+struct PanicSite {
+    line: u32,
+    /// Short description: `.unwrap()`, `panic!`, ``indexing `buf[...]` ``.
+    what: String,
+}
+
+fn panic_sites(
+    code: &[Tok<'_>],
+    range: (usize, usize),
+    holes: &[(usize, usize)],
+) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    let mut i = range.0;
+    let hi = range.1.min(code.len());
+    while i < hi {
+        if let Some(&(_, hole_end)) = holes.iter().find(|&&(s, e)| s <= i && i < e) {
+            i = hole_end;
+            continue;
+        }
+        let t = &code[i];
+        let prev = i.checked_sub(1).map(|p| &code[p]);
+        let next = code.get(i + 1);
+        let prev_punct = |s: &str| prev.is_some_and(|t| t.kind == TokKind::Punct && t.text == s);
+        let next_punct = |s: &str| next.is_some_and(|t| t.kind == TokKind::Punct && t.text == s);
+        if t.kind == TokKind::Ident {
+            if matches!(t.text, "unwrap" | "expect") && prev_punct(".") && next_punct("(") {
+                out.push(PanicSite { line: t.line, what: format!("`.{}(...)`", t.text) });
+            } else if matches!(t.text, "panic" | "unreachable" | "todo" | "unimplemented")
+                && next_punct("!")
+                && !prev.is_some_and(|p| p.kind == TokKind::Ident && p.text == "macro_rules")
+            {
+                out.push(PanicSite { line: t.line, what: format!("`{}!`", t.text) });
+            }
+        } else if t.kind == TokKind::Punct && t.text == "[" {
+            // Indexing: `expr[…]` — the token before `[` ends an
+            // expression (identifier, `)`, or `]`). Everything else
+            // (`&[u8]`, `let [a, b]`, `#[attr]`, `vec![…]`) is a type,
+            // pattern, attribute, or macro.
+            let is_index = match prev {
+                Some(p) if p.kind == TokKind::Ident => !NON_INDEX_PREV.contains(&p.text),
+                Some(p) if p.kind == TokKind::Punct => p.text == ")" || p.text == "]",
+                _ => false,
+            };
+            if is_index {
+                let recv = match prev {
+                    Some(p) if p.kind == TokKind::Ident => format!("`{}[...]`", p.text),
+                    _ => "`(...)[...]`".to_string(),
+                };
+                out.push(PanicSite {
+                    line: t.line,
+                    what: format!("indexing {recv} (panics when out of bounds)"),
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the pass: BFS from every serving-layer function over the call
+/// graph, reporting each un-waived panic site in a reachable function
+/// with its (shortest) call chain from an entry point.
+pub fn check(files: &[FileAnalysis<'_>], graph: &CallGraph, out: &mut Vec<Violation>) {
+    let n = graph.fns.len();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut reached = vec![false; n];
+    let mut queue = VecDeque::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if files[f.file].ctx.request_reachable {
+            reached[id] = true;
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for &(callee, _) in &graph.edges[id] {
+            if !reached[callee] {
+                reached[callee] = true;
+                parent[callee] = Some(id);
+                queue.push_back(callee);
+            }
+        }
+    }
+    for (id, f) in graph.fns.iter().enumerate() {
+        if !reached[id] {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let fa = &files[f.file];
+        let sites = panic_sites(&fa.analysis.code, body, &f.holes);
+        if sites.is_empty() {
+            continue;
+        }
+        // Shortest chain entry → … → f, via BFS parents.
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        let chain_text =
+            chain.iter().map(|&c| graph.fns[c].display()).collect::<Vec<_>>().join(" -> ");
+        let entry = graph.fns[chain[0]].display();
+        for site in sites {
+            if fa.analysis.allowed(RULE_PANIC_REACH, site.line) {
+                continue;
+            }
+            let message = if chain.len() == 1 {
+                format!(
+                    "{} in `{}`, a serving-layer function; degrade to an error response \
+                     instead of panicking",
+                    site.what, entry
+                )
+            } else {
+                format!(
+                    "{} in `{}`, reachable from serving entry `{}` via {}; degrade to an \
+                     error response instead of panicking",
+                    site.what,
+                    graph.fns[id].display(),
+                    entry,
+                    chain_text
+                )
+            };
+            out.push(Violation {
+                rule: RULE_PANIC_REACH,
+                file: fa.rel.clone(),
+                line: site.line,
+                message,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::config;
+    use crate::parser::ScopeTree;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let fas: Vec<FileAnalysis<'_>> = files
+            .iter()
+            .map(|(rel, src)| {
+                let mut sink = Vec::new();
+                let analysis = Analysis::build(rel, src, &mut sink);
+                let tree = ScopeTree::build(&analysis.code);
+                FileAnalysis { rel: rel.to_string(), ctx: config::classify(rel), analysis, tree }
+            })
+            .collect();
+        let graph = CallGraph::build(&fas);
+        let mut out = Vec::new();
+        check(&fas, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_panic_in_serving_file_is_flagged() {
+        let vs = run(&[(
+            "crates/server/src/metrics.rs",
+            "fn handle(x: Option<u32>) -> u32 { x.unwrap() }",
+        )]);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("`.unwrap(...)`"), "{}", vs[0].message);
+        assert!(vs[0].message.contains("serving-layer function"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn panic_two_calls_deep_is_flagged_with_chain() {
+        // The callees live in a non-serving file of the same crate, so
+        // they are reachable only *through* the engine entry — the
+        // diagnostic must print that chain.
+        let vs = run(&[
+            ("crates/core/src/engine.rs", "fn entry() { mid(); }"),
+            ("crates/core/src/growth.rs", "fn mid() { deep(); }\nfn deep() { panic!(\"x\") }"),
+        ]);
+        assert_eq!(vs.len(), 1, "got: {vs:#?}");
+        assert_eq!(vs[0].file, "crates/core/src/growth.rs");
+        assert!(vs[0].message.contains("entry -> mid -> deep"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn unreachable_fn_in_other_crate_is_not_flagged() {
+        let vs = run(&[
+            ("crates/server/src/metrics.rs", "fn entry() {}"),
+            ("crates/datagen/src/lib.rs", "fn free() { x.unwrap(); }"),
+        ]);
+        assert!(vs.is_empty(), "got: {vs:#?}");
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_types_and_patterns_are_not() {
+        let vs = run(&[(
+            "crates/server/src/metrics.rs",
+            "fn f(buf: &[u8], idx: usize) -> u8 {\n\
+                 let [_a, _b] = [idx, idx];\n\
+                 let _slice: &[u8] = buf;\n\
+                 buf[idx]\n\
+             }",
+        )]);
+        assert_eq!(vs.len(), 1, "got: {vs:#?}");
+        assert_eq!(vs[0].line, 4);
+        assert!(vs[0].message.contains("indexing `buf[...]`"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn pragma_waives_the_site() {
+        let vs = run(&[(
+            "crates/server/src/metrics.rs",
+            "fn f(v: &[u8]) -> u8 {\n\
+                 // lint:allow(panic-reachability): length checked by caller\n\
+                 v[0]\n\
+             }",
+        )]);
+        assert!(vs.is_empty(), "got: {vs:#?}");
+    }
+}

@@ -1,0 +1,625 @@
+//! Pass 1 of the multi-pass pipeline: a brace-aware parser over the
+//! lexer's token stream, producing an item/scope tree per file — modules,
+//! functions, impl/trait blocks, closures, and the attributes attached to
+//! them.
+//!
+//! The parser is deliberately *recognising*, not *validating*: it finds
+//! item boundaries by keyword + balanced-delimiter scanning and never
+//! rejects input (the compiler is the authority on well-formedness).
+//! Downstream passes only need (a) which token ranges form a function
+//! body, (b) the enclosing impl/trait type for `self.field` resolution,
+//! and (c) stable display names for call-chain diagnostics.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of scope an [`Item`] introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }`
+    Mod,
+    /// `fn name(…) { … }` (free, method, or nested)
+    Fn,
+    /// `impl Type { … }` / `impl Trait for Type { … }`
+    Impl,
+    /// `trait Name { … }`
+    Trait,
+    /// `|…| …` closure inside a function body
+    Closure,
+}
+
+/// One node of the scope tree.
+#[derive(Debug)]
+pub struct Item {
+    /// Scope kind.
+    pub kind: ItemKind,
+    /// Mod/fn/trait name; the self type for impls; empty for closures.
+    pub name: String,
+    /// Attribute names (`#[inline]` → `inline`) attached to the item.
+    pub attrs: Vec<String>,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// Body token range in the code stream: `[start, end)` covering the
+    /// tokens *between* the braces. `None` for bodiless items
+    /// (`mod x;`, trait method declarations, expression closures).
+    pub body: Option<(usize, usize)>,
+    /// Nested items (children of this scope).
+    pub children: Vec<Item>,
+}
+
+/// The scope tree of one file.
+#[derive(Debug)]
+pub struct ScopeTree {
+    /// Top-level items.
+    pub items: Vec<Item>,
+}
+
+/// A function flattened out of the tree, carrying its resolution context.
+#[derive(Debug)]
+pub struct FnDecl<'t> {
+    /// The tree node.
+    pub item: &'t Item,
+    /// Enclosing impl/trait type, for `Qual::name` display and
+    /// `self.field` lock naming.
+    pub qual: Option<String>,
+    /// Body ranges of *nested fns* inside this body, which belong to the
+    /// nested function and must be skipped when scanning this one.
+    pub holes: Vec<(usize, usize)>,
+}
+
+impl ScopeTree {
+    /// Parses the code token stream (comments/test regions already
+    /// stripped by [`crate::analysis::Analysis`]).
+    pub fn build(code: &[Tok<'_>]) -> ScopeTree {
+        let mut p = Parser { code, pos: 0 };
+        let items = p.items(code.len(), false);
+        ScopeTree { items }
+    }
+
+    /// Every function in the tree, depth-first, with its qualifier and
+    /// the body ranges of nested fns to exclude.
+    pub fn fns(&self) -> Vec<FnDecl<'_>> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            collect_fns(item, None, &mut out);
+        }
+        out
+    }
+}
+
+fn collect_fns<'t>(item: &'t Item, qual: Option<&str>, out: &mut Vec<FnDecl<'t>>) {
+    match item.kind {
+        ItemKind::Fn => {
+            let mut holes = Vec::new();
+            nested_fn_holes(&item.children, &mut holes);
+            out.push(FnDecl { item, qual: qual.map(str::to_string), holes });
+            // Nested fns are their own decls, with no qualifier.
+            for child in &item.children {
+                collect_fns(child, None, out);
+            }
+        }
+        ItemKind::Impl | ItemKind::Trait => {
+            for child in &item.children {
+                collect_fns(child, Some(&item.name), out);
+            }
+        }
+        ItemKind::Mod => {
+            for child in &item.children {
+                collect_fns(child, None, out);
+            }
+        }
+        // A closure's tokens belong to the enclosing fn; it declares no
+        // functions of its own (nested fns inside closures are out of
+        // scope for this linter).
+        ItemKind::Closure => {}
+    }
+}
+
+fn nested_fn_holes(children: &[Item], holes: &mut Vec<(usize, usize)>) {
+    for child in children {
+        if child.kind == ItemKind::Fn {
+            if let Some(b) = child.body {
+                holes.push(b);
+            }
+        } else if child.kind == ItemKind::Closure {
+            nested_fn_holes(&child.children, holes);
+        }
+    }
+}
+
+struct Parser<'s, 't> {
+    code: &'t [Tok<'s>],
+    pos: usize,
+}
+
+impl<'s, 't> Parser<'s, 't> {
+    // Returned references borrow the token slice (`'t`), not `&self`, so
+    // they stay usable across `&mut self` parsing calls.
+    fn tok(&self, i: usize) -> Option<&'t Tok<'s>> {
+        self.code.get(i)
+    }
+
+    fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    }
+
+    fn ident_text(&self, i: usize) -> Option<&'s str> {
+        self.tok(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text)
+    }
+
+    /// Index just past the group closed by `close` whose opener is at
+    /// `open`. Saturates at end of input.
+    fn skip_group(&self, open: usize, opener: &str, closer: &str) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.code.len() {
+            if self.is_punct(i, opener) {
+                depth += 1;
+            } else if self.is_punct(i, closer) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.code.len()
+    }
+
+    /// Index just past a generic `<…>` group at `open`. `>` preceded by
+    /// `-` or `=` is an arrow, not a closer; `>>` arrives as two tokens
+    /// and closes two levels naturally.
+    fn skip_angles(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.code.len() {
+            if self.is_punct(i, "<") {
+                depth += 1;
+            } else if self.is_punct(i, ">")
+                && !(i > 0 && (self.is_punct(i - 1, "-") || self.is_punct(i - 1, "=")))
+            {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.code.len()
+    }
+
+    /// Parses items until `end`. `in_body` switches on closure detection
+    /// (closures only exist inside function bodies).
+    fn items(&mut self, end: usize, in_body: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        let mut attrs: Vec<String> = Vec::new();
+        while self.pos < end {
+            let i = self.pos;
+            // Attributes: `#[…]` / `#![…]` — remember names for the next item.
+            if self.is_punct(i, "#") {
+                let mut j = i + 1;
+                if self.is_punct(j, "!") {
+                    j += 1;
+                }
+                if self.is_punct(j, "[") {
+                    let past = self.skip_group(j, "[", "]").min(end);
+                    if let Some(name) = self.ident_text(j + 1) {
+                        attrs.push(name.to_string());
+                    }
+                    self.pos = past;
+                    continue;
+                }
+                self.pos = i + 1;
+                continue;
+            }
+            let Some(t) = self.tok(i) else { break };
+            if t.kind == TokKind::Ident {
+                match t.text {
+                    "mod" if self.parse_mod(end, &mut attrs, &mut out) => continue,
+                    "trait" if self.parse_trait(end, &mut attrs, &mut out) => continue,
+                    "impl" if self.parse_impl(end, &mut attrs, &mut out) => continue,
+                    "fn" if self.parse_fn(end, &mut attrs, &mut out) => continue,
+                    "macro_rules" => {
+                        // `macro_rules! name { … }` — skip the definition
+                        // wholesale; its body is pattern language.
+                        let mut j = i + 1;
+                        while j < end && !self.is_punct(j, "{") {
+                            j += 1;
+                        }
+                        self.pos =
+                            if j < end { self.skip_group(j, "{", "}").min(end) } else { end };
+                        attrs.clear();
+                        continue;
+                    }
+                    "struct" | "enum" | "union" if !in_body || self.looks_like_item(i) => {
+                        // Skip to `;` (tuple/unit struct) or past the
+                        // balanced body braces. No fns live inside.
+                        let mut j = i + 1;
+                        while j < end && !self.is_punct(j, ";") && !self.is_punct(j, "{") {
+                            if self.is_punct(j, "<") {
+                                j = self.skip_angles(j).min(end);
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        self.pos = if self.is_punct(j, "{") {
+                            self.skip_group(j, "{", "}").min(end)
+                        } else {
+                            (j + 1).min(end)
+                        };
+                        attrs.clear();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if in_body && self.is_closure_start(i) {
+                self.parse_closure(end, &mut out);
+                continue;
+            }
+            // Not an item head: leave strays (incl. expression braces in
+            // bodies) to the generic walk; nested `{` groups are entered
+            // so items inside blocks are still found.
+            self.pos = i + 1;
+            if t.kind == TokKind::Ident {
+                attrs.clear();
+            }
+        }
+        out
+    }
+
+    /// Whether `struct`/`enum` at `i` introduces an item (vs. the rare
+    /// identifier use inside expressions — keyword, so always an item).
+    fn looks_like_item(&self, i: usize) -> bool {
+        self.ident_text(i + 1).is_some()
+    }
+
+    fn parse_mod(&mut self, end: usize, attrs: &mut Vec<String>, out: &mut Vec<Item>) -> bool {
+        let i = self.pos;
+        let Some(name) = self.ident_text(i + 1) else { return false };
+        let line = self.code[i].line;
+        let name = name.to_string();
+        if self.is_punct(i + 2, ";") {
+            out.push(Item {
+                kind: ItemKind::Mod,
+                name,
+                attrs: std::mem::take(attrs),
+                line,
+                body: None,
+                children: Vec::new(),
+            });
+            self.pos = i + 3;
+            return true;
+        }
+        if !self.is_punct(i + 2, "{") {
+            return false;
+        }
+        let past = self.skip_group(i + 2, "{", "}").min(end);
+        self.pos = i + 3;
+        let children = self.items(past.saturating_sub(1), false);
+        out.push(Item {
+            kind: ItemKind::Mod,
+            name,
+            attrs: std::mem::take(attrs),
+            line,
+            body: Some((i + 3, past.saturating_sub(1))),
+            children,
+        });
+        self.pos = past;
+        true
+    }
+
+    fn parse_trait(&mut self, end: usize, attrs: &mut Vec<String>, out: &mut Vec<Item>) -> bool {
+        let i = self.pos;
+        let Some(name) = self.ident_text(i + 1) else { return false };
+        let line = self.code[i].line;
+        let name = name.to_string();
+        let mut j = i + 2;
+        while j < end && !self.is_punct(j, "{") && !self.is_punct(j, ";") {
+            if self.is_punct(j, "<") {
+                j = self.skip_angles(j).min(end);
+            } else {
+                j += 1;
+            }
+        }
+        if !self.is_punct(j, "{") {
+            self.pos = (j + 1).min(end);
+            return true;
+        }
+        let past = self.skip_group(j, "{", "}").min(end);
+        self.pos = j + 1;
+        let children = self.items(past.saturating_sub(1), false);
+        out.push(Item {
+            kind: ItemKind::Trait,
+            name,
+            attrs: std::mem::take(attrs),
+            line,
+            body: Some((j + 1, past.saturating_sub(1))),
+            children,
+        });
+        self.pos = past;
+        true
+    }
+
+    fn parse_impl(&mut self, end: usize, attrs: &mut Vec<String>, out: &mut Vec<Item>) -> bool {
+        let i = self.pos;
+        let line = self.code[i].line;
+        let mut j = i + 1;
+        if self.is_punct(j, "<") {
+            j = self.skip_angles(j).min(end);
+        }
+        // Collect the self type: segment idents until `for`/`where`/`{`;
+        // on `for`, what came before was the trait — start over.
+        let mut ty: Option<String> = None;
+        while j < end && !self.is_punct(j, "{") {
+            if self.is_ident(j, "for") {
+                ty = None; // what came before was the trait, not the type
+                j += 1;
+                continue;
+            }
+            if self.is_ident(j, "where") {
+                break;
+            }
+            if self.is_punct(j, "<") {
+                j = self.skip_angles(j).min(end);
+                continue;
+            }
+            if let Some(id) = self.ident_text(j) {
+                if !matches!(id, "mut" | "dyn" | "const") {
+                    // Keep the last path segment: `fmt::Display for
+                    // registry::Dataset` → `Dataset`.
+                    ty = Some(id.to_string());
+                }
+            }
+            j += 1;
+        }
+        while j < end && !self.is_punct(j, "{") {
+            j += 1;
+        }
+        if !self.is_punct(j, "{") {
+            self.pos = (j + 1).min(end);
+            return true;
+        }
+        let past = self.skip_group(j, "{", "}").min(end);
+        self.pos = j + 1;
+        let children = self.items(past.saturating_sub(1), false);
+        out.push(Item {
+            kind: ItemKind::Impl,
+            name: ty.unwrap_or_default(),
+            attrs: std::mem::take(attrs),
+            line,
+            body: Some((j + 1, past.saturating_sub(1))),
+            children,
+        });
+        self.pos = past;
+        true
+    }
+
+    fn parse_fn(&mut self, end: usize, attrs: &mut Vec<String>, out: &mut Vec<Item>) -> bool {
+        let i = self.pos;
+        let Some(name) = self.ident_text(i + 1) else { return false };
+        let line = self.code[i].line;
+        let name = name.to_string();
+        let mut j = i + 2;
+        if self.is_punct(j, "<") {
+            j = self.skip_angles(j).min(end);
+        }
+        if !self.is_punct(j, "(") {
+            return false;
+        }
+        j = self.skip_group(j, "(", ")").min(end);
+        // Signature tail: return type / where clause, until body or `;`.
+        while j < end && !self.is_punct(j, "{") && !self.is_punct(j, ";") {
+            if self.is_punct(j, "<") {
+                j = self.skip_angles(j).min(end);
+            } else if self.is_punct(j, "(") {
+                j = self.skip_group(j, "(", ")").min(end);
+            } else {
+                j += 1;
+            }
+        }
+        if !self.is_punct(j, "{") {
+            out.push(Item {
+                kind: ItemKind::Fn,
+                name,
+                attrs: std::mem::take(attrs),
+                line,
+                body: None,
+                children: Vec::new(),
+            });
+            self.pos = (j + 1).min(end);
+            return true;
+        }
+        let past = self.skip_group(j, "{", "}").min(end);
+        self.pos = j + 1;
+        let children = self.items(past.saturating_sub(1), true);
+        out.push(Item {
+            kind: ItemKind::Fn,
+            name,
+            attrs: std::mem::take(attrs),
+            line,
+            body: Some((j + 1, past.saturating_sub(1))),
+            children,
+        });
+        self.pos = past;
+        true
+    }
+
+    /// A `|` opens a closure when it cannot be binary-or: after `(`,
+    /// `,`, `=`, or the `move` keyword. (`||` lexes as two `|` tokens,
+    /// so the empty argument list needs no special case.)
+    fn is_closure_start(&self, i: usize) -> bool {
+        if self.is_ident(i, "move") {
+            return self.is_punct(i + 1, "|");
+        }
+        if !self.is_punct(i, "|") {
+            return false;
+        }
+        i == 0
+            || self.is_punct(i - 1, "(")
+            || self.is_punct(i - 1, ",")
+            || self.is_punct(i - 1, "=")
+    }
+
+    fn parse_closure(&mut self, end: usize, out: &mut Vec<Item>) {
+        let i = self.pos;
+        let line = self.code[i].line;
+        let mut j = if self.is_ident(i, "move") { i + 2 } else { i + 1 };
+        // Find the closing `|` of the parameter list.
+        while j < end && !self.is_punct(j, "|") {
+            if self.is_punct(j, "(") {
+                j = self.skip_group(j, "(", ")").min(end);
+            } else if self.is_punct(j, "<") {
+                j = self.skip_angles(j).min(end);
+            } else {
+                j += 1;
+            }
+        }
+        j += 1; // past closing `|`
+                // Optional `-> Type` before a braced body.
+        if self.is_punct(j, "-") && self.is_punct(j + 1, ">") {
+            j += 2;
+            while j < end && !self.is_punct(j, "{") {
+                if self.is_punct(j, "<") {
+                    j = self.skip_angles(j).min(end);
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        if self.is_punct(j, "{") {
+            let past = self.skip_group(j, "{", "}").min(end);
+            self.pos = j + 1;
+            let children = self.items(past.saturating_sub(1), true);
+            out.push(Item {
+                kind: ItemKind::Closure,
+                name: String::new(),
+                attrs: Vec::new(),
+                line,
+                body: Some((j + 1, past.saturating_sub(1))),
+                children,
+            });
+            self.pos = past;
+        } else {
+            // Expression closure: record the node, leave the expression
+            // tokens to the enclosing walk.
+            out.push(Item {
+                kind: ItemKind::Closure,
+                name: String::new(),
+                attrs: Vec::new(),
+                line,
+                body: None,
+                children: Vec::new(),
+            });
+            self.pos = j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+
+    fn tree(src: &str) -> (ScopeTree, Vec<crate::Violation>) {
+        let mut out = Vec::new();
+        let a = Analysis::build("t.rs", src, &mut out);
+        (ScopeTree::build(&a.code), out)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_found_with_quals() {
+        let (t, _) = tree(
+            "fn free() { body(); }\n\
+             impl Widget { fn method(&self) {} }\n\
+             impl fmt::Display for Widget { fn fmt(&self) {} }\n\
+             trait Job { fn run(&self) {} fn decl(&self); }",
+        );
+        let fns = t.fns();
+        let names: Vec<(Option<&str>, &str)> =
+            fns.iter().map(|f| (f.qual.as_deref(), f.item.name.as_str())).collect();
+        assert_eq!(
+            names,
+            vec![
+                (None, "free"),
+                (Some("Widget"), "method"),
+                (Some("Widget"), "fmt"),
+                (Some("Job"), "run"),
+                (Some("Job"), "decl"),
+            ]
+        );
+        assert!(fns[4].item.body.is_none(), "trait decl has no body");
+    }
+
+    #[test]
+    fn modules_nest_and_generics_do_not_confuse() {
+        let (t, _) = tree(
+            "mod outer { mod inner { fn deep<T: Into<Vec<u8>>>(x: T) -> Vec<u8> { x.into() } } }",
+        );
+        let fns = t.fns();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].item.name, "deep");
+    }
+
+    #[test]
+    fn attrs_attach_to_items() {
+        let (t, _) = tree("#[inline]\n#[must_use]\nfn fast() {}");
+        assert_eq!(t.items[0].attrs, vec!["inline", "must_use"]);
+    }
+
+    #[test]
+    fn nested_fn_bodies_become_holes() {
+        let (t, _) = tree("fn outer() { fn inner() { x.unwrap(); } call(); }");
+        let fns = t.fns();
+        assert_eq!(fns.len(), 2);
+        let outer = &fns[0];
+        assert_eq!(outer.item.name, "outer");
+        assert_eq!(outer.holes.len(), 1, "inner body must be excluded from outer");
+        assert_eq!(fns[1].item.name, "inner");
+    }
+
+    #[test]
+    fn closures_are_recorded_inside_bodies() {
+        let (t, _) = tree("fn f() { let g = |x: u32| { x + 1 }; items.map(|v| v * 2); }");
+        let f = &t.items[0];
+        assert_eq!(f.kind, ItemKind::Fn);
+        let closures = f.children.iter().filter(|c| c.kind == ItemKind::Closure).count();
+        assert_eq!(closures, 2);
+    }
+
+    #[test]
+    fn bitwise_or_is_not_a_closure() {
+        let (t, _) = tree("fn f(a: u32, b: u32) -> u32 { a | b }");
+        assert!(t.items[0].children.is_empty());
+    }
+
+    #[test]
+    fn struct_bodies_and_macro_rules_are_skipped() {
+        let (t, _) = tree(
+            "struct S { field: u32 }\n\
+             macro_rules! m { () => { fn not_a_fn() {} }; }\n\
+             enum E<T> { A(T), B }\n\
+             fn real() {}",
+        );
+        let fns = t.fns();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].item.name, "real");
+    }
+
+    #[test]
+    fn impl_for_takes_the_self_type() {
+        let (t, _) = tree("impl<'a> Iterator for Walker<'a> { fn next(&mut self) {} }");
+        assert_eq!(t.items[0].name, "Walker");
+    }
+
+    #[test]
+    fn match_blocks_inside_bodies_do_not_end_the_fn() {
+        let (t, _) = tree("fn f(x: u32) -> u32 { match x { 0 => { 1 } _ => 2 } }\nfn g() {}");
+        let fns = t.fns();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[1].item.name, "g");
+    }
+}

@@ -1,7 +1,10 @@
 //! Fixture-driven rule tests: every seeded violation is caught, every
-//! clean counterpart passes. Fixtures live under `crates/lint/fixtures/`
-//! and are linted under synthetic workspace-relative paths so the path
-//! classifier applies the intended rules.
+//! clean counterpart passes. Fixtures live under
+//! `crates/lint/tests/fixtures/` (cargo compiles only top-level
+//! `tests/*.rs`, so the subdirectory is plain data) and are linted under
+//! synthetic workspace-relative paths so the path classifier applies the
+//! intended rules. The interprocedural passes have their own golden tests
+//! in `multipass.rs`.
 
 use rpm_lint::{
     lint_docs, lint_source, RULE_DOC_DRIFT, RULE_FORBID_UNSAFE, RULE_LOCK_DISCIPLINE,
@@ -9,7 +12,7 @@ use rpm_lint::{
 };
 
 fn fixture(name: &str) -> String {
-    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
 }
 

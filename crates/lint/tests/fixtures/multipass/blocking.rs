@@ -1,0 +1,18 @@
+//! Multi-pass fixture: a lock held across blocking socket I/O. The
+//! lock-order pass must flag the `write_all` under the live guard.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Shipper {
+    state: Mutex<u64>,
+}
+
+impl Shipper {
+    pub fn ship(&self, sock: &mut TcpStream) {
+        let mut seq = lock_recover(&self.state);
+        *seq += 1;
+        sock.write_all(b"frame").ok();
+    }
+}

@@ -1,0 +1,24 @@
+//! Multi-pass fixture: a known two-lock inversion. `forward` acquires
+//! `alpha` then `beta`; `backward` acquires `beta` then `alpha` — the
+//! lock-order pass must report the cycle with both witnesses.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = lock_recover(&self.alpha);
+        let b = lock_recover(&self.beta);
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = lock_recover(&self.beta);
+        let a = lock_recover(&self.alpha);
+        *a - *b
+    }
+}

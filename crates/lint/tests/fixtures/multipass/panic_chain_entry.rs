@@ -1,0 +1,7 @@
+//! Multi-pass fixture: the serving-layer entry of a two-deep panic chain.
+//! Linted under `crates/core/src/engine/fx_entry.rs`, so `serve_window`
+//! is a panic-reachability entry point.
+
+pub fn serve_window(raw: &str) -> u32 {
+    parse_window(raw)
+}

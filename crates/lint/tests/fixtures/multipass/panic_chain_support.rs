@@ -1,0 +1,12 @@
+//! Multi-pass fixture: helpers reachable only *through* the engine entry
+//! (linted under `crates/core/src/fx_support.rs`, a non-serving file of
+//! the same crate). The unwrap two calls deep must be reported with the
+//! full chain from `serve_window`.
+
+pub fn parse_window(raw: &str) -> u32 {
+    decode_bounds(raw)
+}
+
+fn decode_bounds(raw: &str) -> u32 {
+    raw.parse().unwrap()
+}

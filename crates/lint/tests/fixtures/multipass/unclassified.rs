@@ -1,0 +1,7 @@
+//! Multi-pass fixture: a perfectly clean file. Linted under an unpinned
+//! `crates/server/src/` path it must still draw exactly one
+//! `lint-config-unclassified` finding (and nothing else).
+
+pub fn double(x: u32) -> u32 {
+    x.saturating_mul(2)
+}

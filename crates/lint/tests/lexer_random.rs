@@ -1,0 +1,193 @@
+//! Randomized lexer robustness tests — a property-based harness over a
+//! seeded inline PRNG (the workspace vendors no dependencies, so there is
+//! no proptest; determinism comes from fixed seeds, making every failure
+//! reproducible by seed number).
+//!
+//! Properties, on arbitrary input:
+//! 1. `lex` never panics (checked by simply running it);
+//! 2. every token's text is a sub-slice of the input — in bounds,
+//!    non-overlapping, in source order;
+//! 3. the bytes between tokens are exclusively whitespace (the lexer
+//!    drops nothing else silently);
+//! 4. each token's line number equals 1 + the newlines before its start.
+
+use rpm_lint::lexer::lex;
+
+/// xorshift64* — tiny, seedable, good enough to shuffle fragments.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Fragments biased toward the lexer's tricky paths: string prefixes,
+/// raw-string hashes, comment openers, quotes, and multi-byte UTF-8.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "unwrap",
+    "r#match",
+    "self",
+    "'a",
+    "'x'",
+    "b'\\n'",
+    "\"str\"",
+    "r\"raw\"",
+    "r#\"hash\"#",
+    "r##\"two\"##",
+    "b\"bytes\"",
+    "br#\"rb\"#",
+    "c\"c\"",
+    "//",
+    "///",
+    "//!",
+    "/*",
+    "*/",
+    "/**",
+    "::",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "<",
+    ">",
+    "#",
+    "!",
+    "\"",
+    "'",
+    "\\",
+    "\n",
+    "\r\n",
+    " ",
+    "\t",
+    "0x1F",
+    "1.5e3",
+    "64usize",
+    "->",
+    "=>",
+    "|",
+    "&&",
+    "=",
+    "é",
+    "λ日本",
+    "\u{2028}",
+    "🦀",
+    "r",
+    "b",
+    "c",
+    "rb",
+    "br",
+    "#\"",
+    "\"#",
+    "##",
+];
+
+fn random_source(rng: &mut Rng) -> String {
+    let pieces = 1 + rng.below(120);
+    let mut s = String::new();
+    for _ in 0..pieces {
+        match rng.below(10) {
+            // Mostly structured fragments, sometimes raw random chars.
+            0 => {
+                if let Some(c) = char::from_u32((rng.next() as u32) % 0x500) {
+                    s.push(c);
+                }
+            }
+            _ => s.push_str(FRAGMENTS[rng.below(FRAGMENTS.len())]),
+        }
+    }
+    s
+}
+
+fn check_properties(src: &str) {
+    // Property 1: this call returning at all is the no-panic check.
+    let toks = lex(src);
+
+    let base = src.as_ptr() as usize;
+    let mut prev_end = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        // Property 2: in-bounds sub-slice, after the previous token.
+        let off = t.text.as_ptr() as usize - base;
+        assert!(
+            off >= prev_end && off + t.text.len() <= src.len(),
+            "token {i} {:?} at {off}..{} overlaps or escapes (prev end {prev_end})\nsrc: {src:?}",
+            t.text,
+            off + t.text.len(),
+        );
+        // Property 3: the gap before this token is pure whitespace.
+        assert!(
+            src[prev_end..off].chars().all(char::is_whitespace),
+            "non-whitespace dropped between tokens: {:?}\nsrc: {src:?}",
+            &src[prev_end..off],
+        );
+        // Property 4: line = 1 + newlines before the token start.
+        let expect = 1 + src[..off].bytes().filter(|&b| b == b'\n').count() as u32;
+        assert_eq!(t.line, expect, "token {i} {:?} line\nsrc: {src:?}", t.text);
+        prev_end = off + t.text.len();
+    }
+    // Property 3, tail: nothing but whitespace after the last token.
+    assert!(
+        src[prev_end..].chars().all(char::is_whitespace),
+        "non-whitespace dropped after the last token: {:?}\nsrc: {src:?}",
+        &src[prev_end..],
+    );
+}
+
+#[test]
+fn random_fragment_soup_upholds_span_and_line_invariants() {
+    for seed in 1..=300u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let src = random_source(&mut rng);
+        check_properties(&src);
+    }
+}
+
+#[test]
+fn pathological_inputs_do_not_panic_or_drop_text() {
+    for src in [
+        "",
+        "\"",
+        "'",
+        "r#",
+        "r#\"",
+        "r####",
+        "b\"",
+        "br##\"unterminated",
+        "/*/*/*",
+        "/* nested /* deep */ still open",
+        "// line with no newline",
+        "'\\",
+        "\"esc\\",
+        "r#\"almost\"",
+        "#############",
+        "🦀🦀🦀",
+        "'🦀'",
+        "ident\u{0}with\u{0}nuls",
+    ] {
+        check_properties(src);
+    }
+}
+
+#[test]
+fn random_bytes_decoded_lossily_never_panic() {
+    for seed in 1..=100u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xDEAD_BEEF_CAFE_F00D) | 1);
+        let len = rng.below(400);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+        let src = String::from_utf8_lossy(&bytes);
+        check_properties(&src);
+    }
+}

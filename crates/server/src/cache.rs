@@ -178,6 +178,7 @@ impl ResultCache {
             return;
         }
         let mut state = lock_recover(&self.state);
+        // lint:allow(lock-order): insert_evicting touches only the guarded CacheState; its `slots.insert` is HashMap::insert, which the name-based resolver confuses with ResultCache::insert — no re-entry
         state.insert_evicting((fingerprint, params), result, cost, self.budget_bytes);
     }
 
@@ -214,6 +215,7 @@ impl ResultCache {
         }
         state.invalidations += dropped.saturating_sub(1);
         state.patches += 1;
+        // lint:allow(lock-order): insert_evicting touches only the guarded CacheState; its `slots.insert` is HashMap::insert, which the name-based resolver confuses with ResultCache::insert — no re-entry
         state.insert_evicting((new_fingerprint, params), result, cost, self.budget_bytes);
     }
 

@@ -76,6 +76,7 @@ fn percent_decode(s: &str) -> String {
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
+        // lint:allow(panic-reachability): `i < bytes.len()` is the loop condition
         match bytes[i] {
             b'%' => {
                 let hex = bytes.get(i + 1..i + 3);
@@ -123,6 +124,7 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
         if n == 0 {
             return Err(malformed("connection closed before request head completed"));
         }
+        // lint:allow(panic-reachability): `byte` is a fixed [u8; 1] — index 0 always exists
         head.push(byte[0]);
         if head.ends_with(b"\r\n\r\n") {
             break;

@@ -768,6 +768,7 @@ fn handle_append(shared: &Shared, name: &str, req: &Request) -> Response {
     let mut ds = write_recover(&dataset);
     let old_fingerprint = ds.fingerprint();
     let before = ds.db().len();
+    // lint:allow(lock-order): journal-before-mutate — the WAL append happens under the dataset lock so the journal and in-memory state advance in lockstep (DESIGN.md §5); fsync policy bounds the hold time
     let outcome = ds.append_lines(&rows);
     let appended = ds.db().len() - before;
     let fingerprint = ds.fingerprint();
@@ -838,6 +839,7 @@ fn handle_mine(shared: &Shared, name: &str, req: &Request) -> Response {
     let fingerprint = ds.fingerprint();
     let cache_key = fingerprint ^ resolved.cache_key();
 
+    // lint:allow(lock-order): `cache.get` is ResultCache::get, which the name-based resolver also links to Registry::get — the registry map is never touched under the dataset lock; the real dataset -> cache.state order is consistent everywhere
     if let Some(hit) = shared.cache.get(fingerprint, resolved) {
         return Response::json(200, hit.body.as_ref().clone())
             .with_header("X-Rpm-Cache", "hit")
@@ -934,6 +936,7 @@ fn handle_active(shared: &Shared, name: &str, req: &Request) -> Response {
     };
     let fingerprint = ds.fingerprint();
 
+    // lint:allow(lock-order): `cache.get` is ResultCache::get, which the name-based resolver also links to Registry::get — the registry map is never touched under the dataset lock; the real dataset -> cache.state order is consistent everywhere
     let (cached, cache_state) = match shared.cache.get(fingerprint, resolved) {
         Some(hit) => (hit, "hit"),
         None => {

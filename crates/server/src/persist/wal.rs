@@ -123,6 +123,7 @@ const fn crc_table() -> [u32; 256] {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // lint:allow(panic-reachability): the index is masked to 0..256 and the table has 256 entries
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -169,6 +170,7 @@ impl<'a> Cursor<'a> {
         if self.data.len() - self.pos < len {
             return None;
         }
+        // lint:allow(panic-reachability): the length check above guarantees pos + len <= data.len()
         let s = &self.data[self.pos..self.pos + len];
         self.pos += len;
         Some(s)
@@ -191,6 +193,7 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn rest(self) -> &'a [u8] {
+        // lint:allow(panic-reachability): pos only advances past bounds-checked reads, so pos <= data.len()
         &self.data[self.pos..]
     }
 }
@@ -292,13 +295,16 @@ pub fn read_records(path: &Path) -> std::io::Result<WalReplay> {
             break;
         }
         let mut word = [0u8; 4];
+        // lint:allow(panic-reachability): the frame-size check above guarantees WAL_FRAME_BYTES (8) bytes remain
         word.copy_from_slice(&data[pos..pos + 4]);
         let len = u32::from_le_bytes(word) as usize;
+        // lint:allow(panic-reachability): same frame-size guarantee as above
         word.copy_from_slice(&data[pos + 4..pos + 8]);
         let crc = u32::from_le_bytes(word);
         if len > WAL_MAX_RECORD_BYTES || data.len() - pos - WAL_FRAME_BYTES < len {
             break; // torn mid-payload (or absurd length prefix)
         }
+        // lint:allow(panic-reachability): the torn-payload check above guarantees len bytes remain after the frame
         let payload = &data[pos + WAL_FRAME_BYTES..pos + WAL_FRAME_BYTES + len];
         if crc32(payload) != crc {
             break; // bit rot or a torn rewrite

@@ -213,8 +213,10 @@ pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
     let mut head = [0u8; 8];
     r.read_exact(&mut head)?;
     let mut word = [0u8; 4];
+    // lint:allow(panic-reachability): `head` is a fixed [u8; 8] — the 0..4 slice always exists
     word.copy_from_slice(&head[0..4]);
     let len = u32::from_le_bytes(word) as usize;
+    // lint:allow(panic-reachability): `head` is a fixed [u8; 8] — the 4..8 slice always exists
     word.copy_from_slice(&head[4..8]);
     let crc = u32::from_le_bytes(word);
     if len > WAL_MAX_RECORD_BYTES {
