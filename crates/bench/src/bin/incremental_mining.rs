@@ -8,16 +8,16 @@
 //!    scratch after every chunk of new transactions;
 //! 2. the delta-mining benchmark behind `BENCH_incremental.json` — after a
 //!    warm full mine, append batches of `--batch-sizes` transactions and
-//!    compare [`IncrementalMiner::mine_delta`] (dirty-frontier re-growth
-//!    plus pattern-store splice) against a full re-mine of the same
-//!    database, asserting bit-identical patterns every round and recording
-//!    append+mine throughput, the delta-vs-full wall split, and which path
-//!    each round took.
+//!    compare [`IncrementalMiner::mine_delta`] (checkpoint-resumed frontier
+//!    re-growth plus pattern-store splice) against a full re-mine of the
+//!    same database, asserting bit-identical patterns every round and
+//!    recording append+mine throughput, the delta-vs-full wall split, and
+//!    the per-rep path taxonomy (`delta` / `unchanged` / `full:<reason>`).
 //!
 //! ```text
 //! cargo run -p rpm-bench --release --bin incremental_mining -- \
 //!     [--scale 0.25] [--seed 5] [--chunks 5] [--reps 3] \
-//!     [--batch-sizes 1,10,100] [--out BENCH_incremental.json]
+//!     [--batch-sizes 1,10,100,1000] [--out BENCH_incremental.json]
 //! ```
 
 #![deny(deprecated)]
@@ -27,7 +27,10 @@ use std::time::Instant;
 use rpm_bench::datasets::{load, Dataset};
 use rpm_bench::tables::secs;
 use rpm_bench::{HarnessArgs, Table};
-use rpm_core::{DeltaMode, IncrementalMiner, MiningSession, PatternStore, ResolvedParams};
+use rpm_core::{
+    DeltaMode, IncrementalMiner, MineScratch, MiningSession, PatternStore, ResolvedParams,
+    RunControl,
+};
 use rpm_timeseries::TransactionDb;
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -59,8 +62,23 @@ struct BatchReport {
     append_ms: Vec<f64>,
     retained: Vec<usize>,
     remined: Vec<usize>,
+    /// Per-rep path taxonomy: `delta`, `unchanged`, or `full:<reason>`.
+    paths: Vec<String>,
+    checkpoint_hits: Vec<usize>,
+    tail_tx: Vec<usize>,
+    workers: Vec<usize>,
     modes: (usize, usize, usize), // (delta, unchanged, full-fallback)
     patterns: usize,
+}
+
+/// The taxonomy label stamped per rep: which path the call took, and for
+/// full fallbacks, the [`rpm_core::FullReason`] spelling out why.
+fn path_label(mode: DeltaMode) -> String {
+    match mode {
+        DeltaMode::Delta => "delta".to_string(),
+        DeltaMode::Unchanged => "unchanged".to_string(),
+        DeltaMode::Full(reason) => format!("full:{reason}"),
+    }
 }
 
 fn main() {
@@ -70,7 +88,7 @@ fn main() {
     let out_path = args.get("out").unwrap_or("BENCH_incremental.json");
     let batch_sizes: Vec<usize> = args
         .get("batch-sizes")
-        .unwrap_or("1,10,100")
+        .unwrap_or("1,10,100,1000")
         .split(',')
         .map(|t| t.trim().parse().expect("--batch-sizes takes a comma-separated list"))
         .collect();
@@ -113,7 +131,13 @@ fn main() {
     println!("\n(both miners verified to produce identical outputs at every step)");
 
     // ── Delta mining: append batches against a warm pattern store ──────
-    println!("\n# Delta mining on the append path (reps={reps})\n");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Mirrors the serving append path: a small worker pool for the
+    // checkpoint-resumed frontier, capped so tiny frontiers stay cheap.
+    let delta_threads = cores.min(4);
+    println!("\n# Delta mining on the append path (reps={reps}, threads={delta_threads})\n");
+    let control = RunControl::new();
+    let mut scratch = MineScratch::new();
     let mut reports: Vec<BatchReport> = Vec::new();
     let mut delta_table = Table::new([
         "append batch",
@@ -147,6 +171,10 @@ fn main() {
             append_ms: Vec::with_capacity(reps),
             retained: Vec::new(),
             remined: Vec::new(),
+            paths: Vec::new(),
+            checkpoint_hits: Vec::new(),
+            tail_tx: Vec::new(),
+            workers: Vec::new(),
             modes: (0, 0, 0),
             patterns: warm.patterns.len(),
         };
@@ -157,7 +185,9 @@ fn main() {
             report.append_ms.push(t0.elapsed().as_secs_f64() * 1e3);
 
             let t1 = Instant::now();
-            let (delta, stats) = miner.mine_delta(&mut store);
+            let (delta, abort, stats) =
+                miner.mine_delta_controlled(&mut store, &control, &mut scratch, delta_threads);
+            assert!(abort.is_none(), "unlimited control never aborts");
             report.delta_ms.push(t1.elapsed().as_secs_f64() * 1e3);
 
             let t2 = Instant::now();
@@ -171,6 +201,10 @@ fn main() {
                 DeltaMode::Unchanged => report.modes.1 += 1,
                 DeltaMode::Full(_) => report.modes.2 += 1,
             }
+            report.paths.push(path_label(stats.mode));
+            report.checkpoint_hits.push(stats.checkpoint_hits);
+            report.tail_tx.push(stats.tail_transactions);
+            report.workers.push(stats.parallel_workers);
             report.retained.push(stats.retained_patterns);
             report.remined.push(stats.remined_patterns);
             report.patterns = delta.patterns.len();
@@ -201,6 +235,9 @@ fn main() {
         "  \"params\": {{\"per\": 360, \"min_ps\": {}, \"min_rec\": 1}},\n  \"reps\": {reps},\n",
         params.min_ps
     ));
+    json.push_str(&format!(
+        "  \"available_cores\": {cores},\n  \"delta_threads\": {delta_threads},\n"
+    ));
     json.push_str("  \"batches\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let delta_med = median(&mut r.delta_ms.clone());
@@ -208,11 +245,14 @@ fn main() {
         let append_med = median(&mut r.append_ms.clone());
         // Serving-path cost of absorbing one batch: ingest + delta mine.
         let tx_per_s = r.batch as f64 / ((append_med + delta_med) / 1e3).max(1e-9);
+        let paths = r.paths.iter().map(|p| format!("\"{p}\"")).collect::<Vec<_>>().join(", ");
         json.push_str(&format!(
             "    {{\"append_batch\": {}, \"warm_full_ms\": {:.3}, \"append_ms_median\": {:.3}, \
              \"delta_ms_median\": {:.3}, \"full_ms_median\": {:.3}, \
              \"speedup_delta_vs_full\": {:.3}, \"append_mine_tx_per_s\": {:.1}, \
              \"modes\": {{\"delta\": {}, \"unchanged\": {}, \"full\": {}}}, \
+             \"paths\": [{}], \"checkpoint_hits\": {:?}, \"tail_tx\": {:?}, \
+             \"parallel_workers\": {:?}, \
              \"retained_patterns\": {:?}, \"remined_patterns\": {:?}, \"patterns\": {}}}{}\n",
             r.batch,
             r.warm_full_ms,
@@ -224,6 +264,10 @@ fn main() {
             r.modes.0,
             r.modes.1,
             r.modes.2,
+            paths,
+            r.checkpoint_hits,
+            r.tail_tx,
+            r.workers,
             r.retained,
             r.remined,
             r.patterns,

@@ -1,5 +1,5 @@
-//! Delta mining: dirty-item frontier re-growth with a reusable
-//! [`PatternStore`].
+//! Delta mining: suffix-resumable re-measurement of the dirty frontier with
+//! a reusable [`PatternStore`].
 //!
 //! Appending transactions to a stream can only change the patterns whose
 //! **every** member item occurs in a touched transaction: a pattern `X`
@@ -8,45 +8,69 @@
 //! `(support, Rec, intervals)` — and since appending at the end of the
 //! series can only extend an item's last periodic run or open a new one,
 //! `Rec` is non-decreasing, so previously recurring patterns never leave the
-//! result. [`IncrementalMiner::mine_delta`] exploits both facts:
+//! result. [`IncrementalMiner::mine_delta`] exploits both facts, plus a
+//! third: the measures are computed by a single left-to-right scan, so the
+//! scan state at the pre-append boundary (checkpointed in the store, see
+//! [`crate::checkpoint`]) lets a dirty candidate be re-measured by feeding
+//! **only the appended tail** instead of its full posting list:
 //!
 //! 1. derive the **dirty items** — everything occurring in a transaction
 //!    appended since the store's snapshot; the snapshot's last (*boundary*)
 //!    transaction is also re-checked when its content hash changed, because
 //!    a same-timestamp append merges into it instead of growing the stream;
-//! 2. re-run RP-growth over the database *projected onto the dirty
-//!    candidates*, visiting only the transactions in the union of their
-//!    postings — this recomputes exactly the patterns whose items are all
-//!    dirty;
-//! 3. splice every retained pattern (at least one clean item) from the
-//!    store, unchanged, and merge the two canonical-ordered sets.
+//! 2. enumerate the candidate itemsets that co-occur in the tail window
+//!    (ordered set-extension over the dirty candidates' tail postings,
+//!    pruned by the exact full-stream `Erec` bound) and re-measure each by
+//!    resuming its checkpointed scan over the tail — falling back to a
+//!    posting-list intersection on a checkpoint miss, which is exact but
+//!    costs O(min |postings|) instead of O(|tail|);
+//! 3. splice every stored pattern the tail never touched, unchanged, and
+//!    merge the two canonical-ordered sets.
 //!
 //! The output is bit-identical to a batch mine of the full database (the
 //! randomized interleaving tests below assert this), while the work is
-//! proportional to the dirty frontier. When the frontier grows past
-//! [`DIRTY_FRONTIER_MAX_PCT`] percent of the database — or the store is
+//! proportional to the appended tail. When the dirty candidates' tail
+//! postings grow past [`DELTA_TAIL_BUDGET_PCT`] percent of the database —
+//! the append was a sizeable fraction of the whole stream — or the store is
 //! cold, was built for different parameters, or describes a different
-//! stream — the miner falls back to a full re-mine and refreshes the store.
+//! stream, the miner falls back to a full re-mine and refreshes the store.
+//! Frontier re-measurement can run on the work-stealing scheme of
+//! [`crate::parallel`]: candidate-level regions behind a shared cursor,
+//! first-win abort, output bit-identical to the sequential path.
 
-use std::sync::atomic::AtomicUsize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use rpm_timeseries::ItemId;
+use rpm_timeseries::{ItemId, Timestamp};
 
-use crate::engine::control::AbortReason;
-use crate::engine::observer::NOOP;
+use crate::checkpoint::{
+    advance, cooccurrence_ts, rebuild_item_checkpoints, ItemCheckpoint, PatternCheckpoint,
+};
+use crate::engine::control::{AbortReason, ControlProbe};
 use crate::engine::RunControl;
-use crate::growth::{grow_tree, Exec, MineScratch, MiningResult, MiningStats};
+use crate::growth::{MineScratch, MiningResult, MiningStats};
 use crate::incremental::IncrementalMiner;
-use crate::measures::ScanSummary;
+use crate::measures::{RecurrenceScan, ScanCheckpoint};
+use crate::parallel::AbortCell;
 use crate::params::ResolvedParams;
 use crate::pattern::{canonical_order, RecurringPattern};
-use crate::rplist::RpList;
 
-/// Fallback threshold: when the transactions reachable from the dirty
-/// candidates (sum of their posting lengths) exceed this percentage of the
-/// database, a full re-mine is cheaper and more cache-friendly than
-/// frontier re-growth, so [`IncrementalMiner::mine_delta`] falls back.
-pub const DIRTY_FRONTIER_MAX_PCT: usize = 50;
+/// Fallback threshold of the tail cost model: the delta path re-measures
+/// the dirty candidates by scanning their tail postings, so its work is
+/// bounded by the sum of dirty-tail lengths. When that sum exceeds this
+/// percentage of the database length, the append was a sizeable fraction of
+/// the whole stream and a full re-mine is cheaper and more cache-friendly,
+/// so [`IncrementalMiner::mine_delta`] falls back. Unlike the pre-checkpoint
+/// gate (which summed **full** posting lists and pushed every batch append
+/// of common items to a full re-mine), this bound is independent of how
+/// frequent the dirty items are in the prefix.
+pub const DELTA_TAIL_BUDGET_PCT: usize = 30;
+
+/// Upper bound on retained multi-item scan checkpoints. The resume cache is
+/// exactly that — a cache: when it grows past this many entries at a
+/// refresh it is cleared, and later misses rebuild states by posting-list
+/// intersection (exact, just slower).
+pub const RESUME_CACHE_MAX: usize = 65536;
 
 /// Why a delta mine fell back to a full re-mine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +81,8 @@ pub enum FullReason {
     ParamsChanged,
     /// The store's snapshot is not a prefix of this miner's stream.
     StoreMismatch,
-    /// The dirty frontier exceeded [`DIRTY_FRONTIER_MAX_PCT`].
+    /// The dirty candidates' tail postings exceeded
+    /// [`DELTA_TAIL_BUDGET_PCT`] of the database.
     FrontierExceeded,
 }
 
@@ -78,8 +103,8 @@ pub enum DeltaMode {
     /// The stream is unchanged since the snapshot: the stored result was
     /// returned without mining anything.
     Unchanged,
-    /// Dirty-frontier re-growth: only the dirty branches were re-mined and
-    /// the clean patterns spliced from the store.
+    /// Dirty-frontier re-measurement: only the tail-touched candidates were
+    /// re-measured and the clean patterns spliced from the store.
     Delta,
     /// Full batch re-mine.
     Full(FullReason),
@@ -94,7 +119,7 @@ impl DeltaMode {
 
 /// What one delta-mine call did — the observability record exported through
 /// [`crate::engine::MetricsCollector::absorb_delta`] and the server's
-/// `/metrics`.
+/// `/v1/metrics`.
 #[derive(Debug, Clone, Copy)]
 pub struct DeltaStats {
     /// The path taken.
@@ -105,15 +130,23 @@ pub struct DeltaStats {
     /// Distinct items in the touched transactions.
     pub dirty_items: usize,
     /// Dirty items that are candidates (`Erec >= minRec`) on the current
-    /// stream — the frontier actually re-grown.
+    /// stream — the frontier actually re-measured.
     pub dirty_candidates: usize,
-    /// Transactions reachable from the dirty candidates (sum of posting
-    /// lengths) — the delta tree build's work bound.
+    /// Sum of the dirty candidates' tail posting lengths — the delta
+    /// re-measurement's work bound and the cost model's input.
     pub reachable_transactions: usize,
     /// Patterns spliced unchanged from the store.
     pub retained_patterns: usize,
-    /// Patterns recomputed by frontier re-growth.
+    /// Patterns recomputed by frontier re-measurement.
     pub remined_patterns: usize,
+    /// Tail-window transactions the delta path actually scanned (0 unless
+    /// the mode is [`DeltaMode::Delta`]).
+    pub tail_transactions: usize,
+    /// Candidate re-measurements resumed from a stored checkpoint (the
+    /// remainder fell back to posting-list intersection).
+    pub checkpoint_hits: usize,
+    /// Worker threads the frontier re-measurement ran on (1 = sequential).
+    pub parallel_workers: usize,
 }
 
 impl DeltaStats {
@@ -126,13 +159,20 @@ impl DeltaStats {
             reachable_transactions: 0,
             retained_patterns: 0,
             remined_patterns: 0,
+            tail_transactions: 0,
+            checkpoint_hits: 0,
+            parallel_workers: 0,
         }
     }
 }
 
 /// A reusable snapshot of the last complete mining result of one stream,
 /// keyed per item so [`IncrementalMiner::mine_delta`] can splice the
-/// patterns untouched by an append.
+/// patterns untouched by an append, plus the **measure checkpoints** that
+/// make re-measuring a dirty candidate O(|appended tail|): per item, the
+/// Erec/Rec scan state at the pre-append boundary (last interval endpoint,
+/// running recurrence accumulators, support count, posting-list length);
+/// per previously-examined multi-item candidate, the same resumable state.
 ///
 /// A store is bound to the stream that refreshed it by a chained prefix
 /// hash; feeding it to a different miner (or one whose history diverged) is
@@ -153,6 +193,12 @@ pub struct PatternStore {
     /// `item index -> indices into `patterns` containing that item` — the
     /// per-item key that makes the retained/dirty split O(dirty postings).
     item_patterns: Vec<Vec<u32>>,
+    /// Per-item measure checkpoints at the snapshot boundary.
+    checkpoints: Vec<ItemCheckpoint>,
+    /// Resumable scan states of the multi-item candidates previous delta
+    /// mines examined (emitted or not). A cache: misses rebuild the state
+    /// by posting-list intersection.
+    resume: HashMap<Vec<ItemId>, PatternCheckpoint>,
 }
 
 impl PatternStore {
@@ -182,7 +228,16 @@ impl PatternStore {
         &self.patterns
     }
 
-    fn refresh_from(&mut self, miner: &IncrementalMiner, result: &MiningResult) {
+    /// Number of resumable measure checkpoints the store holds (per-item
+    /// plus cached multi-item states) — observability for tests and the
+    /// serving layer.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len() + self.resume.len()
+    }
+
+    /// The header + pattern-index part of a refresh, shared by the full and
+    /// delta paths.
+    fn refresh_header(&mut self, miner: &IncrementalMiner, result: &MiningResult) {
         self.params = Some(miner.params());
         self.base_len = miner.len();
         self.prefix_hash = miner.prefix_hash_at(self.base_len.saturating_sub(1));
@@ -200,6 +255,88 @@ impl PatternStore {
             }
         }
     }
+
+    /// Refresh after a full batch mine: every checkpoint is rebuilt from
+    /// scratch — per-item states by rescanning postings, the multi-item
+    /// resume cache by intersecting each stored pattern's posting lists —
+    /// so the very next delta already resumes instead of intersecting.
+    fn refresh_full(&mut self, miner: &IncrementalMiner, result: &MiningResult) {
+        self.refresh_header(miner, result);
+        self.checkpoints = rebuild_item_checkpoints(miner);
+        self.resume.clear();
+        let params = miner.params();
+        let mut scan = RecurrenceScan::new();
+        for p in &self.patterns {
+            if p.items.len() < 2 {
+                continue;
+            }
+            scan.reset(params.per, params.min_ps);
+            for ts in cooccurrence_ts(miner, &p.items) {
+                scan.feed(ts);
+            }
+            self.resume.insert(
+                p.items.clone(),
+                PatternCheckpoint { ck: scan.checkpoint(), intervals: scan.intervals().to_vec() },
+            );
+        }
+    }
+
+    /// Refresh after a successful delta mine: clean items and untouched
+    /// cache entries keep their checkpoints; dirty items advance over their
+    /// tails; examined multi-item candidates install the states the
+    /// frontier re-measurement just produced.
+    fn refresh_delta(
+        &mut self,
+        miner: &IncrementalMiner,
+        result: &MiningResult,
+        dirty: &[ItemId],
+        window_start: usize,
+        updates: Vec<(Vec<ItemId>, PatternCheckpoint)>,
+    ) {
+        let params = miner.params();
+        self.refresh_header(miner, result);
+        if self.checkpoints.len() < miner.db().item_count() {
+            self.checkpoints.resize_with(miner.db().item_count(), ItemCheckpoint::default);
+        }
+        let mut scan = RecurrenceScan::new();
+        for &item in dirty {
+            let postings = miner.postings(item);
+            let cut = tail_cut(postings, self.checkpoints[item.index()].postings_len, window_start);
+            let prior = &self.checkpoints[item.index()];
+            let done = advance(
+                &mut scan,
+                params.per,
+                params.min_ps,
+                prior.ck,
+                &prior.intervals,
+                postings[cut..].iter().map(|&tx| miner.db().transaction(tx as usize).timestamp()),
+            );
+            let closed = done.next.summary.interesting;
+            self.checkpoints[item.index()] = ItemCheckpoint {
+                ck: done.next,
+                intervals: done.intervals[..closed].to_vec(),
+                postings_len: postings.len(),
+            };
+        }
+        for (items, state) in updates {
+            // Singleton states live in the per-item table rebuilt above;
+            // their placeholder updates only drive the retained split.
+            if items.len() >= 2 {
+                self.resume.insert(items, state);
+            }
+        }
+        if self.resume.len() > RESUME_CACHE_MAX {
+            self.resume.clear();
+        }
+    }
+}
+
+/// Start of `postings`' tail window: the index of the first posting at or
+/// past `window_start`. `hint_len` (the checkpointed posting length) bounds
+/// the search to the appended suffix plus the boundary slot.
+fn tail_cut(postings: &[u32], hint_len: usize, window_start: usize) -> usize {
+    let hint = hint_len.saturating_sub(1).min(postings.len());
+    hint + postings[hint..].partition_point(|&tx| (tx as usize) < window_start)
 }
 
 /// The resolved shape of one delta-mine call, computed without mining.
@@ -207,8 +344,10 @@ struct Plan {
     action: Action,
     touched: usize,
     dirty: Vec<ItemId>,
-    candidates: Vec<(ItemId, ScanSummary)>,
-    reachable: usize,
+    /// `(candidate item, start of its tail window in its postings)`.
+    candidates: Vec<(ItemId, usize)>,
+    /// Sum of the candidates' tail posting lengths — the cost model input.
+    tail_work: usize,
 }
 
 enum Action {
@@ -219,7 +358,7 @@ enum Action {
 
 impl Plan {
     fn bare(action: Action) -> Self {
-        Plan { action, touched: 0, dirty: Vec::new(), candidates: Vec::new(), reachable: 0 }
+        Plan { action, touched: 0, dirty: Vec::new(), candidates: Vec::new(), tail_work: 0 }
     }
 
     fn stats(&self, mode: DeltaMode) -> DeltaStats {
@@ -227,7 +366,7 @@ impl Plan {
             touched_transactions: self.touched,
             dirty_items: self.dirty.len(),
             dirty_candidates: self.candidates.len(),
-            reachable_transactions: self.reachable,
+            reachable_transactions: self.tail_work,
             ..DeltaStats::new(mode)
         }
     }
@@ -262,8 +401,7 @@ impl IncrementalMiner {
         // content hash changed: a same-timestamp append merges new items
         // into it without growing the stream. When the hash still matches,
         // the boundary is provably untouched and its (often common) items
-        // stay clean — this is what keeps a rare-item append's frontier
-        // narrow.
+        // stay clean.
         let boundary_clean = self.prefix_hash_at(store.base_len) == store.full_hash;
         let start = if boundary_clean { store.base_len } else { store.base_len.saturating_sub(1) };
         let mut mask = vec![false; self.db().item_count()];
@@ -278,28 +416,35 @@ impl IncrementalMiner {
         }
         dirty.sort_unstable();
         let mut candidates = Vec::new();
-        let mut reachable = 0usize;
+        let mut tail_work = 0usize;
         for &item in &dirty {
             let Some(summary) = self.scan_summary(item) else { continue };
             if summary.erec >= params.min_rec {
-                reachable += self.postings(item).len();
-                candidates.push((item, summary));
+                let postings = self.postings(item);
+                let hint = store.checkpoints.get(item.index()).map_or(0, |c| c.postings_len);
+                let cut = tail_cut(postings, hint, start);
+                tail_work += postings.len() - cut;
+                candidates.push((item, cut));
             }
         }
-        let action = if reachable * 100 > self.len() * DIRTY_FRONTIER_MAX_PCT {
+        // The cost model: delta work is proportional to the candidates'
+        // tail postings (checkpoints make the prefix free), so fall back
+        // only when the appended tail itself is a sizeable fraction of the
+        // stream — not merely because the dirty items are frequent.
+        let action = if tail_work * 100 > self.len() * DELTA_TAIL_BUDGET_PCT {
             Action::Full(FullReason::FrontierExceeded)
         } else {
             Action::Delta
         };
-        Plan { action, touched: self.len() - start, dirty, candidates, reachable }
+        Plan { action, touched: self.len() - start, dirty, candidates, tail_work }
     }
 
-    /// Mines the stream, re-growing only the dirty frontier since `store`'s
-    /// snapshot and splicing every untouched pattern from the store. The
-    /// result is **bit-identical** to [`IncrementalMiner::mine`]; on
-    /// success the store is refreshed to the new snapshot. Falls back to a
-    /// full mine when the store cannot support a sound delta (see
-    /// [`FullReason`]).
+    /// Mines the stream, re-measuring only the candidates touched by the
+    /// appended tail (resuming their checkpointed scans) and splicing every
+    /// untouched pattern from the store. The result is **bit-identical** to
+    /// [`IncrementalMiner::mine`]; on success the store is refreshed to the
+    /// new snapshot. Falls back to a full mine when the store cannot
+    /// support a sound delta (see [`FullReason`]).
     ///
     /// ```
     /// use rpm_core::{IncrementalMiner, PatternStore, ResolvedParams};
@@ -321,27 +466,31 @@ impl IncrementalMiner {
     /// ```
     pub fn mine_delta(&self, store: &mut PatternStore) -> (MiningResult, DeltaStats) {
         let (result, abort, stats) =
-            self.mine_delta_controlled(store, &RunControl::new(), &mut MineScratch::new());
+            self.mine_delta_controlled(store, &RunControl::new(), &mut MineScratch::new(), 1);
         debug_assert!(abort.is_none(), "an unlimited control cannot abort");
         (result, stats)
     }
 
-    /// Like [`IncrementalMiner::mine_delta`], under engine control and with
-    /// a caller-held scratch arena. When a limit trips, the partial result
-    /// is still sound (every emitted pattern is genuinely recurring) and
-    /// the store is left at its previous snapshot, untouched.
+    /// Like [`IncrementalMiner::mine_delta`], under engine control, with a
+    /// caller-held scratch arena, and re-measuring the frontier on up to
+    /// `threads` work-stealing workers (candidate-level regions, first-win
+    /// abort; output bit-identical to `threads == 1`). When a limit trips,
+    /// the partial result is still sound (every emitted pattern is
+    /// genuinely recurring) and the store is left at its previous snapshot,
+    /// untouched.
     pub fn mine_delta_controlled(
         &self,
         store: &mut PatternStore,
         control: &RunControl,
         scratch: &mut MineScratch,
+        threads: usize,
     ) -> (MiningResult, Option<AbortReason>, DeltaStats) {
         let plan = self.delta_plan(store);
         match plan.action {
             Action::Full(reason) => {
                 let (result, abort) = self.mine_controlled(control, scratch);
                 if abort.is_none() {
-                    store.refresh_from(self, &result);
+                    store.refresh_full(self, &result);
                 }
                 (result, abort, plan.stats(DeltaMode::Full(reason)))
             }
@@ -351,95 +500,158 @@ impl IncrementalMiner {
                 let result = MiningResult { patterns: store.patterns.clone(), stats: store.stats };
                 (result, None, stats)
             }
-            Action::Delta => self.mine_frontier(store, control, scratch, plan),
+            Action::Delta => self.mine_frontier(store, control, scratch, plan, threads),
         }
     }
 
-    /// The delta path proper: frontier-projected re-growth plus splice.
+    /// The delta path proper: tail-window enumeration, checkpointed
+    /// re-measurement, splice.
     fn mine_frontier(
         &self,
         store: &mut PatternStore,
         control: &RunControl,
         scratch: &mut MineScratch,
         plan: Plan,
+        threads: usize,
     ) -> (MiningResult, Option<AbortReason>, DeltaStats) {
         let params = self.params();
-        let list = RpList::from_summaries(
-            plan.candidates.iter().copied(),
-            self.db().item_count(),
-            params.min_rec,
-        );
-        let mut mstats = MiningStats {
-            candidate_items: list.len(),
-            scanned_items: plan.dirty.len(),
-            ..MiningStats::default()
+        let window_start = self.len() - plan.touched;
+        let frontier = Frontier {
+            miner: self,
+            params,
+            store,
+            items: plan.candidates.iter().map(|&(item, _)| item).collect(),
+            tails: plan.candidates.iter().map(|&(item, cut)| &self.postings(item)[cut..]).collect(),
         };
-        let mut fresh: Vec<RecurringPattern> = Vec::new();
+        let regions = frontier.items.len();
+        let workers = threads.max(1).min(regions.max(1));
+        let mut out = RegionOut::default();
         let mut abort = None;
-        if !list.is_empty() {
-            // The union of the dirty candidates' postings is every
-            // transaction that can contribute a path to the projected tree:
-            // a transaction whose projection onto the dirty candidates is
-            // empty inserts nothing.
-            let mut touched_tx: Vec<u32> = Vec::with_capacity(plan.reachable);
-            for &(item, _) in &plan.candidates {
-                touched_tx.extend_from_slice(self.postings(item));
-            }
-            touched_tx.sort_unstable();
-            touched_tx.dedup();
-            let mut tree = scratch.take_tree(list.len());
-            for &ti in &touched_tx {
-                let t = self.db().transaction(ti as usize);
-                list.project_into(t.items(), &mut scratch.ranks);
-                if !scratch.ranks.is_empty() {
-                    tree.insert(&scratch.ranks, t.timestamp());
+
+        if workers <= 1 {
+            let mut probe = control.start();
+            for r in 0..regions {
+                if frontier.grow_region(r, &mut scratch.scan, &mut probe, &mut out) {
+                    abort = probe.tripped();
+                    break;
                 }
             }
-            mstats.tree_nodes = tree.node_count();
-            let done = AtomicUsize::new(0);
-            let mut exec =
-                Exec { probe: control.start(), observer: &NOOP, done: &done, total: list.len() };
-            let aborted =
-                grow_tree(&mut tree, &list, params, scratch, &mut exec, &mut mstats, &mut fresh);
-            scratch.recycle(tree);
-            if aborted {
-                abort = exec.probe.tripped();
+        } else {
+            // The work-stealing scheme of `crate::parallel`: regions (all
+            // frontier sets whose lowest candidate is r) queued
+            // largest-first behind a shared cursor, workers claim the next
+            // region when free, the first tripped limit wins the abort
+            // reason and halts siblings at their next candidate boundary.
+            let mut order: Vec<u32> = (0..regions as u32).collect();
+            order.sort_by_key(|&r| {
+                std::cmp::Reverse(frontier.tails[r as usize].len() as u64 * (u64::from(r) + 1))
+            });
+            let order = &order;
+            let cursor = &std::sync::atomic::AtomicUsize::new(0);
+            let halt = &AtomicBool::new(false);
+            let abort_cell = &AbortCell::new();
+            let frontier = &frontier;
+            let parts: Vec<RegionOut> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut scan = RecurrenceScan::new();
+                            let mut local = RegionOut::default();
+                            let mut probe = control.start_with_halt(Some(halt));
+                            loop {
+                                if let Some(r) = probe.poll() {
+                                    abort_cell.record(r);
+                                    halt.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= order.len() {
+                                    break;
+                                }
+                                if frontier.grow_region(
+                                    order[i] as usize,
+                                    &mut scan,
+                                    &mut probe,
+                                    &mut local,
+                                ) {
+                                    if let Some(r) = probe.tripped() {
+                                        abort_cell.record(r);
+                                    }
+                                    halt.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("frontier worker panicked")).collect()
+            });
+            for part in parts {
+                out.absorb(part);
+            }
+            abort = abort_cell.get();
+        }
+        canonical_order(&mut out.fresh);
+
+        // Retained = stored patterns the tail never touched. A stored
+        // pattern co-occurring in the tail window was examined (its whole
+        // extension chain keeps `Erec >= minRec` — Erec never decreases
+        // under append) and re-emitted with fresh measures, so splicing it
+        // too would duplicate it.
+        let stored_index: HashMap<&[ItemId], usize> =
+            store.patterns.iter().enumerate().map(|(pi, p)| (p.items.as_slice(), pi)).collect();
+        let mut replaced = vec![false; store.patterns.len()];
+        for (items, _) in &out.updates {
+            if let Some(&pi) = stored_index.get(items.as_slice()) {
+                replaced[pi] = true;
             }
         }
-        canonical_order(&mut fresh);
-
-        // Retained = stored patterns with at least one clean item. An
-        // all-dirty stored pattern is still recurring (Rec never decreases
-        // under append), so the frontier mine recomputed it; splicing it too
-        // would duplicate it.
-        let mut hits = vec![0u32; store.patterns.len()];
+        drop(stored_index);
+        // On an abort the enumeration may not have reached a stored pattern
+        // whose members are all dirty — its measures could be stale, so it
+        // is dropped from the (still sound) partial result instead of
+        // spliced. A completed enumeration proves the opposite: not
+        // examined means no tail co-occurrence, hence unchanged.
+        let mut dirty_mask = vec![false; self.db().item_count()];
         for &item in &plan.dirty {
-            if let Some(pis) = store.item_patterns.get(item.index()) {
-                for &pi in pis {
-                    hits[pi as usize] += 1;
-                }
-            }
+            dirty_mask[item.index()] = true;
         }
         let retained: Vec<&RecurringPattern> = store
             .patterns
             .iter()
             .enumerate()
-            .filter(|&(pi, p)| (hits[pi] as usize) < p.items.len())
+            .filter(|&(pi, p)| {
+                !replaced[pi] && (abort.is_none() || !p.items.iter().all(|i| dirty_mask[i.index()]))
+            })
             .map(|(_, p)| p)
             .collect();
 
         let mut stats = plan.stats(DeltaMode::Delta);
         stats.retained_patterns = retained.len();
-        stats.remined_patterns = fresh.len();
+        stats.remined_patterns = out.fresh.len();
+        stats.tail_transactions = plan.touched;
+        stats.checkpoint_hits = out.hits;
+        stats.parallel_workers = workers;
+
+        let mut mstats = MiningStats {
+            candidate_items: plan.candidates.len(),
+            scanned_items: plan.dirty.len(),
+            candidates_checked: out.examined,
+            recurrence_tests: out.examined,
+            max_depth: out.max_depth,
+            ..MiningStats::default()
+        };
 
         // Canonical-order merge (both inputs are already canonical; the sets
-        // are disjoint: retained patterns have a clean item, fresh ones are
-        // all-dirty).
+        // are disjoint: retained patterns were not examined, fresh ones
+        // all were).
         let canonical = |a: &RecurringPattern, b: &RecurringPattern| {
             a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items))
         };
-        let mut merged: Vec<RecurringPattern> = Vec::with_capacity(retained.len() + fresh.len());
-        let mut fi = fresh.into_iter().peekable();
+        let mut merged: Vec<RecurringPattern> =
+            Vec::with_capacity(retained.len() + out.fresh.len());
+        let mut fi = out.fresh.into_iter().peekable();
         for p in retained {
             while let Some(f) = fi.peek() {
                 if canonical(f, p) == std::cmp::Ordering::Less {
@@ -457,10 +669,167 @@ impl IncrementalMiner {
 
         let result = MiningResult { patterns: merged, stats: mstats };
         if abort.is_none() {
-            store.refresh_from(self, &result);
+            store.refresh_delta(self, &result, &plan.dirty, window_start, out.updates);
         }
         (result, abort, stats)
     }
+}
+
+/// Shared read-only context of one frontier re-measurement.
+struct Frontier<'a> {
+    miner: &'a IncrementalMiner,
+    params: ResolvedParams,
+    store: &'a PatternStore,
+    /// Dirty candidates, ascending by item id.
+    items: Vec<ItemId>,
+    /// Per candidate: its postings inside the tail window.
+    tails: Vec<&'a [u32]>,
+}
+
+/// Accumulated output of one or more frontier regions.
+#[derive(Default)]
+struct RegionOut {
+    fresh: Vec<RecurringPattern>,
+    updates: Vec<(Vec<ItemId>, PatternCheckpoint)>,
+    examined: usize,
+    hits: usize,
+    max_depth: usize,
+}
+
+impl RegionOut {
+    fn absorb(&mut self, mut other: RegionOut) {
+        self.fresh.append(&mut other.fresh);
+        self.updates.append(&mut other.updates);
+        self.examined += other.examined;
+        self.hits += other.hits;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+impl Frontier<'_> {
+    /// Enumerates and re-measures every frontier set whose lowest-ranked
+    /// candidate is `r`. Returns `true` when the probe tripped mid-region.
+    fn grow_region(
+        &self,
+        r: usize,
+        scan: &mut RecurrenceScan,
+        probe: &mut ControlProbe<'_>,
+        out: &mut RegionOut,
+    ) -> bool {
+        let mut set = vec![self.items[r]];
+        self.grow_set(&mut set, self.tails[r], r + 1, scan, probe, out)
+    }
+
+    fn grow_set(
+        &self,
+        set: &mut Vec<ItemId>,
+        occ: &[u32],
+        from: usize,
+        scan: &mut RecurrenceScan,
+        probe: &mut ControlProbe<'_>,
+        out: &mut RegionOut,
+    ) -> bool {
+        if probe.poll().is_some() {
+            return true;
+        }
+        out.examined += 1;
+        out.max_depth = out.max_depth.max(set.len());
+
+        // Resolve the resumable state: per-item checkpoint for singletons,
+        // resume-cache entry for multi-item sets, posting-list intersection
+        // on a miss. `advance` skips timestamps at or before the
+        // checkpoint's last fed one, which absorbs the rewritten boundary
+        // transaction after a same-timestamp merge.
+        let fallback = ItemCheckpoint::default();
+        let empty = PatternCheckpoint::default();
+        let (prior, prefix, full_feed): (ScanCheckpoint, &[_], Option<Vec<Timestamp>>) =
+            if set.len() == 1 {
+                let ck = self.store.checkpoints.get(set[0].index()).unwrap_or(&fallback);
+                if ck.postings_len > 0 || ck.ck.open.is_some() {
+                    out.hits += 1;
+                }
+                (ck.ck, &ck.intervals, None)
+            } else {
+                match self.store.resume.get(set.as_slice()) {
+                    Some(pc) => {
+                        out.hits += 1;
+                        (pc.ck, &pc.intervals, None)
+                    }
+                    None => (empty.ck, &empty.intervals, Some(cooccurrence_ts(self.miner, set))),
+                }
+            };
+        let done = match &full_feed {
+            Some(ts) => advance(
+                scan,
+                self.params.per,
+                self.params.min_ps,
+                prior,
+                prefix,
+                ts.iter().copied(),
+            ),
+            None => advance(
+                scan,
+                self.params.per,
+                self.params.min_ps,
+                prior,
+                prefix,
+                occ.iter().map(|&tx| self.miner.db().transaction(tx as usize).timestamp()),
+            ),
+        };
+        if set.len() > 1 {
+            let closed = done.next.summary.interesting;
+            out.updates.push((
+                set.clone(),
+                PatternCheckpoint { ck: done.next, intervals: done.intervals[..closed].to_vec() },
+            ));
+        } else {
+            // Singleton checkpoints live in the per-item table; the refresh
+            // re-derives them for every dirty item, so only record the
+            // examination for the retained-pattern split.
+            out.updates.push((set.clone(), PatternCheckpoint::default()));
+        }
+        let grow_on = done.summary.erec >= self.params.min_rec;
+        if done.summary.interesting >= self.params.min_rec {
+            out.fresh.push(RecurringPattern::new(
+                set.clone(),
+                done.summary.support,
+                done.intervals,
+            ));
+        }
+        if grow_on {
+            for j in from..self.items.len() {
+                let child = intersect_sorted(occ, self.tails[j]);
+                if child.is_empty() {
+                    continue;
+                }
+                set.push(self.items[j]);
+                let aborted = self.grow_set(set, &child, j + 1, scan, probe, out);
+                set.pop();
+                if aborted {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Intersection of two ascending `u32` lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -487,10 +856,11 @@ mod tests {
         assert_eq!(stats.mode, DeltaMode::Full(FullReason::ColdStore));
         assert!(store.is_warm());
         assert_eq!(store.base_len(), 40);
+        assert!(store.checkpoint_count() > 0, "a full refresh warms the checkpoints");
         assert_bit_identical(&miner, &first, "cold full mine");
 
         // Appending a transaction of a brand-new rare item keeps the dirty
-        // frontier small: the delta path must engage and stay identical.
+        // tail small: the delta path must engage and stay identical.
         miner.append(40, &["z"]).unwrap();
         miner.append(41, &["z"]).unwrap();
         let (second, stats) = miner.mine_delta(&mut store);
@@ -546,7 +916,8 @@ mod tests {
     #[test]
     fn same_timestamp_merge_into_boundary_is_re_mined() {
         // The append merges into the last snapshotted transaction — the case
-        // where "dirty = appended suffix" alone would be unsound.
+        // where "dirty = appended suffix" alone would be unsound, and where
+        // the checkpointed feed guard must not double-count the boundary.
         let params = ResolvedParams::new(2, 2, 1);
         let mut miner = IncrementalMiner::new(params);
         let mut store = PatternStore::new();
@@ -561,19 +932,15 @@ mod tests {
         miner.append(29, &["b"]).unwrap(); // merges into ts 29
         assert_eq!(miner.len(), base, "merge does not grow the stream");
         let (result, stats) = miner.mine_delta(&mut store);
-        assert!(
-            matches!(stats.mode, DeltaMode::Delta | DeltaMode::Full(FullReason::FrontierExceeded)),
-            "a boundary merge must be noticed: {:?}",
-            stats.mode
-        );
+        assert_eq!(stats.mode, DeltaMode::Delta, "a boundary merge stays on the delta path");
         assert_bit_identical(&miner, &result, "boundary merge");
     }
 
     #[test]
     fn frontier_threshold_boundary_falls_back_to_full() {
-        // Appending a transaction full of ubiquitous items drives the
-        // reachable set past DIRTY_FRONTIER_MAX_PCT: the store must refuse
-        // the splice and full-mine instead — with identical output.
+        // Appending a tail that is itself a third of the stream drives the
+        // tail work past DELTA_TAIL_BUDGET_PCT: the store must refuse the
+        // delta and full-mine instead — with identical output.
         let params = ResolvedParams::new(1, 2, 1);
         let mut miner = IncrementalMiner::new(params);
         let mut store = PatternStore::new();
@@ -581,17 +948,140 @@ mod tests {
             miner.append(ts, &["a", "b"]).unwrap();
         }
         miner.mine_delta(&mut store);
-        miner.append(20, &["a", "b"]).unwrap();
+        for ts in 20..32 {
+            miner.append(ts, &["a", "b"]).unwrap();
+        }
         let (result, stats) = miner.mine_delta(&mut store);
         assert_eq!(stats.mode, DeltaMode::Full(FullReason::FrontierExceeded));
         assert!(
-            stats.reachable_transactions * 100 > miner.len() * DIRTY_FRONTIER_MAX_PCT,
-            "the trigger fired because the frontier really was too wide"
+            stats.reachable_transactions * 100 > miner.len() * DELTA_TAIL_BUDGET_PCT,
+            "the trigger fired because the tail work really was too large"
         );
         assert_bit_identical(&miner, &result, "frontier fallback");
         // The fallback refreshed the store, so a quiet stream is Unchanged.
         let (_, stats) = miner.mine_delta(&mut store);
         assert_eq!(stats.mode, DeltaMode::Unchanged);
+    }
+
+    #[test]
+    fn batch_appends_of_common_items_stay_on_delta_path() {
+        // The workload the tail cost model exists for: batch appends of
+        // ubiquitous items onto a long stream. The pre-checkpoint gate
+        // (which summed full posting lists) always fell back here; the tail
+        // model must keep every batch on the delta path, bit-identically,
+        // resuming from checkpoints rather than intersecting.
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..1200 {
+            let mut labels = vec!["u", "v"];
+            if ts % 3 == 0 {
+                labels.push("w");
+            }
+            miner.append(ts, &labels).unwrap();
+        }
+        miner.mine_delta(&mut store);
+        let mut ts = 1200i64;
+        for batch in [10usize, 100] {
+            for _ in 0..batch {
+                let mut labels = vec!["u", "v"];
+                if ts % 3 == 0 {
+                    labels.push("w");
+                }
+                miner.append(ts, &labels).unwrap();
+                ts += 1;
+            }
+            let (result, stats) = miner.mine_delta(&mut store);
+            assert_eq!(stats.mode, DeltaMode::Delta, "batch {batch} stayed on the delta path");
+            assert!(stats.checkpoint_hits > 0, "batch {batch} resumed from checkpoints");
+            assert_eq!(stats.tail_transactions, batch);
+            assert!(
+                stats.reachable_transactions <= 3 * batch,
+                "tail work {} tracks the batch, not the stream",
+                stats.reachable_transactions
+            );
+            assert_bit_identical(&miner, &result, "common-item batch append");
+        }
+    }
+
+    #[test]
+    fn resume_cache_miss_intersects_and_then_hits() {
+        // Two frequent items that never co-occurred before suddenly do: the
+        // pair has no cached state, so the first delta rebuilds it by
+        // posting-list intersection; the refresh then caches it and the next
+        // delta resumes it.
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut miner = IncrementalMiner::new(params);
+        let mut store = PatternStore::new();
+        for ts in 0..120 {
+            miner.append(ts, if ts % 2 == 0 { &["a"] } else { &["b"] }).unwrap();
+        }
+        miner.mine_delta(&mut store);
+        for ts in 120..126 {
+            miner.append(ts, &["a", "b"]).unwrap();
+        }
+        let (result, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Delta);
+        assert_bit_identical(&miner, &result, "fresh co-occurrence");
+        let first_hits = stats.checkpoint_hits;
+        for ts in 126..130 {
+            miner.append(ts, &["a", "b"]).unwrap();
+        }
+        let (result, stats) = miner.mine_delta(&mut store);
+        assert_eq!(stats.mode, DeltaMode::Delta);
+        assert!(
+            stats.checkpoint_hits > first_hits,
+            "the pair's state was cached by the previous delta"
+        );
+        assert_bit_identical(&miner, &result, "cached co-occurrence");
+    }
+
+    #[test]
+    fn parallel_frontier_is_bit_identical_to_sequential() {
+        use rpm_timeseries::prng::Pcg32;
+        let params = ResolvedParams::new(2, 2, 1);
+        let mut rng = Pcg32::seed_from_u64(23);
+        let mut seq_miner = IncrementalMiner::new(params);
+        let mut ts = 0i64;
+        let grow = |miner: &mut IncrementalMiner, rng: &mut Pcg32, ts: &mut i64, n: usize| {
+            for _ in 0..n {
+                *ts += rng.random_range(1..3i64);
+                let labels: Vec<String> =
+                    (0..6).filter(|_| rng.random_f64() < 0.4).map(|i| format!("i{i}")).collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                if !refs.is_empty() {
+                    miner.append(*ts, &refs).unwrap();
+                }
+            }
+        };
+        grow(&mut seq_miner, &mut rng, &mut ts, 300);
+        let mut seq_store = PatternStore::new();
+        let mut par_store = PatternStore::new();
+        seq_miner.mine_delta(&mut seq_store);
+        seq_miner.mine_delta(&mut par_store);
+        for _ in 0..3 {
+            grow(&mut seq_miner, &mut rng, &mut ts, 20);
+            let (seq, _, seq_stats) = seq_miner.mine_delta_controlled(
+                &mut seq_store,
+                &RunControl::new(),
+                &mut MineScratch::new(),
+                1,
+            );
+            let (par, abort, par_stats) = seq_miner.mine_delta_controlled(
+                &mut par_store,
+                &RunControl::new(),
+                &mut MineScratch::new(),
+                4,
+            );
+            assert!(abort.is_none());
+            assert_eq!(seq_stats.mode, DeltaMode::Delta);
+            assert_eq!(par_stats.mode, DeltaMode::Delta);
+            assert_eq!(seq_stats.parallel_workers, 1);
+            assert!(par_stats.parallel_workers > 1, "the parallel path actually ran");
+            assert_eq!(seq.patterns, par.patterns, "parallel output is bit-identical");
+            assert_eq!(seq_stats.checkpoint_hits, par_stats.checkpoint_hits);
+            assert_bit_identical(&seq_miner, &par, "parallel delta vs batch");
+        }
     }
 
     #[test]
@@ -614,8 +1104,8 @@ mod tests {
     #[test]
     fn delta_avoids_touching_the_clean_prefix() {
         // A long stream of common items followed by appends of a rare item:
-        // the delta work must be bounded by the rare item's support, which
-        // shows up as a small reachable set.
+        // the delta work must be bounded by the rare item's tail, which
+        // shows up as a small work bound.
         let params = ResolvedParams::new(2, 2, 1);
         let mut miner = IncrementalMiner::new(params);
         let mut store = PatternStore::new();
@@ -630,24 +1120,26 @@ mod tests {
         assert_eq!(stats.mode, DeltaMode::Delta);
         assert!(
             stats.reachable_transactions <= 10,
-            "reachable {} must track the rare frontier, not the database",
+            "tail work {} must track the rare frontier, not the database",
             stats.reachable_transactions
         );
-        assert!(result.stats.candidates_checked <= 4, "only the frontier was grown");
+        assert!(result.stats.candidates_checked <= 4, "only the frontier was re-measured");
         assert_bit_identical(&miner, &result, "rare-item delta");
     }
 
     #[test]
     fn randomized_interleaving_of_append_mine_delta_and_mine() {
         // The randomized-equivalence suite of `incremental.rs`, extended to
-        // interleave append / mine_delta / mine across the stream: the delta
-        // path must be bit-identical to batch at every probe point, across
-        // both sides of the fallback threshold (dense streams cross it,
-        // sparse ones stay under).
+        // interleave batch appends / mine_delta / mine across the stream:
+        // the delta path must be bit-identical to batch at every probe
+        // point, across both sides of the tail cost model (early dense
+        // probes append a tail comparable to the stream and cross it,
+        // later ones stay under).
         use rpm_timeseries::prng::Pcg32;
         let mut rng = Pcg32::seed_from_u64(7);
         let mut delta_steps = 0usize;
         let mut full_steps = 0usize;
+        let mut saw_frontier_exceeded = false;
         for round in 0..12 {
             let params = ResolvedParams::new(
                 rng.random_range(1..4i64),
@@ -657,8 +1149,6 @@ mod tests {
             let mut miner = IncrementalMiner::new(params);
             let mut store = PatternStore::new();
             let mut ts = 0;
-            // Sparse rounds keep item probability low so the dirty frontier
-            // stays under the threshold; dense rounds exceed it.
             let density = if round % 2 == 0 { 0.15 } else { 0.5 };
             for step in 0..80 {
                 ts += rng.random_range(0..3i64);
@@ -674,7 +1164,10 @@ mod tests {
                     let (result, stats) = miner.mine_delta(&mut store);
                     match stats.mode {
                         DeltaMode::Delta | DeltaMode::Unchanged => delta_steps += 1,
-                        DeltaMode::Full(_) => full_steps += 1,
+                        DeltaMode::Full(reason) => {
+                            full_steps += 1;
+                            saw_frontier_exceeded |= reason == FullReason::FrontierExceeded;
+                        }
                     }
                     let batch = mine_resolved(miner.db(), params);
                     assert_eq!(
@@ -690,6 +1183,7 @@ mod tests {
         }
         assert!(delta_steps > 0, "the interleaving exercised the delta path");
         assert!(full_steps > 0, "the interleaving exercised the fallback path");
+        assert!(saw_frontier_exceeded, "the interleaving crossed the tail budget");
     }
 
     #[test]
@@ -708,7 +1202,7 @@ mod tests {
         token.cancel();
         let control = RunControl::new().with_cancel(token);
         let (result, abort, _) =
-            miner.mine_delta_controlled(&mut store, &control, &mut MineScratch::new());
+            miner.mine_delta_controlled(&mut store, &control, &mut MineScratch::new(), 1);
         assert!(abort.is_some(), "pre-cancelled control aborts immediately");
         assert_eq!(store.base_len(), base, "aborted runs do not refresh the store");
         // Soundness of the partial result: everything in it is genuinely

@@ -179,6 +179,15 @@ pub struct EngineMetrics {
     /// Patterns recomputed by dirty-frontier re-growth, summed over
     /// delta-path runs.
     pub delta_remined: usize,
+    /// Tail-window transactions scanned by checkpointed delta mines
+    /// ([`crate::delta::DeltaStats::tail_transactions`]), summed.
+    pub delta_tail_tx: usize,
+    /// Candidate re-measurements resumed from a stored measure checkpoint,
+    /// summed over delta-path runs.
+    pub delta_checkpoint_hits: usize,
+    /// High-water mark of worker threads a delta frontier re-measurement
+    /// ran on.
+    pub delta_parallel_workers: usize,
 }
 
 impl EngineMetrics {
@@ -217,6 +226,9 @@ impl EngineMetrics {
         s.push_str(&format!("  \"delta_full_runs\": {},\n", self.delta_full_runs));
         s.push_str(&format!("  \"delta_retained\": {},\n", self.delta_retained));
         s.push_str(&format!("  \"delta_remined\": {},\n", self.delta_remined));
+        s.push_str(&format!("  \"delta_tail_tx\": {},\n", self.delta_tail_tx));
+        s.push_str(&format!("  \"delta_checkpoint_hits\": {},\n", self.delta_checkpoint_hits));
+        s.push_str(&format!("  \"delta_parallel_workers\": {},\n", self.delta_parallel_workers));
         s.push_str(&format!("  \"patterns_found\": {}\n", self.stats.patterns_found));
         s.push('}');
         s
@@ -261,6 +273,9 @@ pub struct MetricsCollector {
     delta_full_runs: AtomicUsize,
     delta_retained: AtomicUsize,
     delta_remined: AtomicUsize,
+    delta_tail_tx: AtomicUsize,
+    delta_checkpoint_hits: AtomicUsize,
+    delta_parallel_workers: AtomicUsize,
 }
 
 impl MetricsCollector {
@@ -284,6 +299,9 @@ impl MetricsCollector {
             delta_full_runs: self.delta_full_runs.load(Ordering::Relaxed),
             delta_retained: self.delta_retained.load(Ordering::Relaxed),
             delta_remined: self.delta_remined.load(Ordering::Relaxed),
+            delta_tail_tx: self.delta_tail_tx.load(Ordering::Relaxed),
+            delta_checkpoint_hits: self.delta_checkpoint_hits.load(Ordering::Relaxed),
+            delta_parallel_workers: self.delta_parallel_workers.load(Ordering::Relaxed),
         }
     }
 
@@ -301,6 +319,9 @@ impl MetricsCollector {
             self.delta_runs.fetch_add(1, Ordering::Relaxed);
             self.delta_retained.fetch_add(stats.retained_patterns, Ordering::Relaxed);
             self.delta_remined.fetch_add(stats.remined_patterns, Ordering::Relaxed);
+            self.delta_tail_tx.fetch_add(stats.tail_transactions, Ordering::Relaxed);
+            self.delta_checkpoint_hits.fetch_add(stats.checkpoint_hits, Ordering::Relaxed);
+            self.delta_parallel_workers.fetch_max(stats.parallel_workers, Ordering::Relaxed);
         } else {
             self.delta_full_runs.fetch_add(1, Ordering::Relaxed);
         }
@@ -388,6 +409,9 @@ mod tests {
             reachable_transactions: 3,
             retained_patterns: 5,
             remined_patterns: 2,
+            tail_transactions: 4,
+            checkpoint_hits: 3,
+            parallel_workers: 2,
         };
         m.absorb_delta(&delta);
         delta.mode = DeltaMode::Unchanged;
@@ -399,9 +423,13 @@ mod tests {
         assert_eq!(snap.delta_full_runs, 1);
         assert_eq!(snap.delta_retained, 10);
         assert_eq!(snap.delta_remined, 4);
+        assert_eq!(snap.delta_tail_tx, 8);
+        assert_eq!(snap.delta_checkpoint_hits, 6);
+        assert_eq!(snap.delta_parallel_workers, 2);
         let json = snap.to_json();
         assert!(json.contains("\"delta_runs\": 2"));
         assert!(json.contains("\"delta_full_runs\": 1"));
+        assert!(json.contains("\"delta_checkpoint_hits\": 6"));
     }
 
     #[test]

@@ -473,24 +473,6 @@ pub(crate) fn mine_engine(
     (MiningResult { patterns, stats }, reason)
 }
 
-/// Runs the growth phase over a caller-built tree — the delta miner's entry
-/// point ([`crate::delta`]): it assembles a frontier-projected tree from the
-/// dirty candidates' postings and reuses the exact batch recursion, so the
-/// delta path cannot diverge behaviourally from a full mine. Returns `true`
-/// when `exec`'s probe aborted the run; `out` then holds a sound partial set.
-pub(crate) fn grow_tree(
-    tree: &mut TsTree,
-    list: &RpList,
-    params: ResolvedParams,
-    scratch: &mut MineScratch,
-    exec: &mut Exec<'_>,
-    stats: &mut MiningStats,
-    out: &mut Vec<RecurringPattern>,
-) -> bool {
-    let mut suffix: Vec<ItemId> = Vec::new();
-    grow(tree, list, params, &mut suffix, out, stats, scratch, exec, true)
-}
-
 /// Algorithm 4 (`RP-growth`): processes the tree's ranks bottom-up. For each
 /// rank, a fused k-way merge over the rank's sorted per-node ts segments
 /// computes `Erec`, `Rec` and the interesting intervals in one streaming

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod checkpoint;
 pub mod closed;
 pub mod delta;
 pub mod duration;
@@ -57,7 +58,9 @@ pub mod tree;
 pub mod verify;
 
 pub use closed::{closed_patterns, maximal_patterns};
-pub use delta::{DeltaMode, DeltaStats, FullReason, PatternStore, DIRTY_FRONTIER_MAX_PCT};
+pub use delta::{
+    DeltaMode, DeltaStats, FullReason, PatternStore, DELTA_TAIL_BUDGET_PCT, RESUME_CACHE_MAX,
+};
 pub use duration::{get_duration_recurrence, mine_durations, DurationParams};
 pub use engine::{
     AbortReason, CancelToken, MetricsCollector, MiningError, MiningOutcome, MiningSession,
@@ -69,7 +72,7 @@ pub use incremental::IncrementalMiner;
 pub use index::PatternIndex;
 pub use measures::{
     erec, get_recurrence, interesting_intervals, periodic_intervals, recurrence, IntervalScan,
-    RecurrenceScan, ScanSummary,
+    OpenRun, RecurrenceScan, ScanCheckpoint, ScanSummary,
 };
 pub use merge::MergeHeap;
 pub use naive::{apriori_rp, apriori_support_only, brute_force, AprioriStats};

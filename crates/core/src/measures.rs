@@ -208,6 +208,41 @@ struct RunState {
     ps: usize,
 }
 
+/// The still-open (not yet gap-closed) periodic run of a scan — the part of
+/// the state machine that a snapshot boundary cuts through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenRun {
+    /// First timestamp of the open run.
+    pub start: Timestamp,
+    /// Last timestamp fed (`idl` in Algorithm 1).
+    pub idl: Timestamp,
+    /// Periodic support accumulated by the open run.
+    pub ps: usize,
+}
+
+/// Resumable boundary state of a [`RecurrenceScan`]: the closed-run
+/// aggregates plus the open run. Feeding the post-boundary suffix into a
+/// scan resumed from this state is exactly equivalent to feeding the whole
+/// stream from scratch — `finish` only ever closes the open run, so a
+/// checkpoint taken **before** `finish` loses nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCheckpoint {
+    /// Aggregates over the closed runs (plus total support fed).
+    pub summary: ScanSummary,
+    /// The open run at the boundary, `None` before the first feed.
+    pub open: Option<OpenRun>,
+}
+
+impl ScanCheckpoint {
+    /// The last timestamp fed before the checkpoint, if any. A resumed scan
+    /// must only be fed timestamps strictly greater than this — an equal
+    /// timestamp is the same incidence observed again (e.g. the snapshot's
+    /// boundary transaction rewritten by a same-timestamp merge).
+    pub fn last_fed(&self) -> Option<Timestamp> {
+        self.open.map(|o| o.idl)
+    }
+}
+
 impl Default for RecurrenceScan {
     fn default() -> Self {
         Self {
@@ -278,9 +313,33 @@ impl RecurrenceScan {
     }
 
     /// The interesting periodic-intervals collected so far (complete after
-    /// [`RecurrenceScan::finish`]); `intervals().len() == summary.interesting`.
+    /// [`RecurrenceScan::finish`]). For a scan started by
+    /// [`RecurrenceScan::reset`] this is all of them
+    /// (`intervals().len() == summary.interesting`); for a scan resumed via
+    /// [`RecurrenceScan::resume`] it is only the intervals closed **after**
+    /// the checkpoint — the caller owns the prefix.
     pub fn intervals(&self) -> &[PeriodicInterval] {
         &self.intervals
+    }
+
+    /// Captures the resumable state of the scan. Must be called **before**
+    /// [`RecurrenceScan::finish`] — finishing closes the open run, after
+    /// which the state can no longer be continued.
+    pub fn checkpoint(&self) -> ScanCheckpoint {
+        ScanCheckpoint {
+            summary: self.summary,
+            open: self.state.map(|st| OpenRun { start: st.start, idl: st.idl, ps: st.ps }),
+        }
+    }
+
+    /// Re-arms the scanner mid-stream from a [`ScanCheckpoint`], keeping the
+    /// interval buffer's capacity. Subsequent feeds continue the checkpointed
+    /// state machine; only intervals closing after the checkpoint land in
+    /// [`RecurrenceScan::intervals`].
+    pub fn resume(&mut self, per: Timestamp, min_ps: usize, at: ScanCheckpoint) {
+        self.reset(per, min_ps);
+        self.summary = at.summary;
+        self.state = at.open.map(|o| RunState { start: o.start, idl: o.idl, ps: o.ps });
     }
 
     /// Allocated capacity in bytes (for scratch-memory accounting).
@@ -421,6 +480,40 @@ mod tests {
                     }
                     None => assert!(summary.interesting < min_rec),
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_scan_at_every_split() {
+        // Cutting the stream at any boundary and resuming from the
+        // checkpoint must reproduce the uninterrupted scan bit for bit —
+        // the invariant suffix-resumable delta mining rests on.
+        for (per, min_ps) in [(2, 3), (1, 1), (3, 2), (2, 1)] {
+            let mut whole = RecurrenceScan::new();
+            whole.reset(per, min_ps);
+            for &t in TS_AB {
+                whole.feed(t);
+            }
+            let expect = whole.finish();
+            for cut in 0..=TS_AB.len() {
+                let mut prefix = RecurrenceScan::new();
+                prefix.reset(per, min_ps);
+                for &t in &TS_AB[..cut] {
+                    prefix.feed(t);
+                }
+                let ck = prefix.checkpoint();
+                assert_eq!(ck.last_fed(), TS_AB[..cut].last().copied());
+                let mut all = prefix.intervals().to_vec();
+                let mut resumed = RecurrenceScan::new();
+                resumed.resume(per, min_ps, ck);
+                for &t in &TS_AB[cut..] {
+                    resumed.feed(t);
+                }
+                let got = resumed.finish();
+                assert_eq!(got, expect, "per={per} min_ps={min_ps} cut={cut}");
+                all.extend_from_slice(resumed.intervals());
+                assert_eq!(all, interesting_intervals(TS_AB, per, min_ps));
             }
         }
     }

@@ -51,15 +51,16 @@ pub fn mine_parallel(db: &TransactionDb, params: ResolvedParams, threads: usize)
 
 /// First-win slot for the abort reason of a parallel run: whichever worker
 /// trips a limit first records why; siblings observing the shared halt flag
-/// keep their (derived) reasons to themselves.
-struct AbortCell(AtomicU8);
+/// keep their (derived) reasons to themselves. Shared with the delta
+/// miner's parallel frontier re-growth (`crate::delta`).
+pub(crate) struct AbortCell(AtomicU8);
 
 impl AbortCell {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         AbortCell(AtomicU8::new(0))
     }
 
-    fn record(&self, reason: AbortReason) {
+    pub(crate) fn record(&self, reason: AbortReason) {
         let code = match reason {
             AbortReason::Cancelled => 1,
             AbortReason::DeadlineExceeded => 2,
@@ -68,7 +69,7 @@ impl AbortCell {
         let _ = self.0.compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
     }
 
-    fn get(&self) -> Option<AbortReason> {
+    pub(crate) fn get(&self) -> Option<AbortReason> {
         match self.0.load(Ordering::Relaxed) {
             1 => Some(AbortReason::Cancelled),
             2 => Some(AbortReason::DeadlineExceeded),

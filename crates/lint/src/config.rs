@@ -41,6 +41,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/parallel.rs",
     "crates/core/src/incremental.rs",
     "crates/core/src/delta.rs",
+    "crates/core/src/checkpoint.rs",
     "crates/core/src/rplist.rs",
     "crates/core/src/tree.rs",
     "crates/core/src/merge.rs",
@@ -130,6 +131,7 @@ mod tests {
     fn hot_path_covers_recursion_and_workers() {
         assert!(classify("crates/core/src/growth.rs").hot_path);
         assert!(classify("crates/core/src/delta.rs").hot_path);
+        assert!(classify("crates/core/src/checkpoint.rs").hot_path);
         assert!(classify("crates/core/src/engine/control.rs").hot_path);
         assert!(classify("crates/server/src/lib.rs").hot_path);
         assert!(!classify("crates/datagen/src/zipf.rs").hot_path);

@@ -725,6 +725,13 @@ fn handle_upload(shared: &Shared, name: &str, req: &Request) -> Response {
     }
 }
 
+/// Worker count for append-driven delta mines: a modest slice of the
+/// machine, since the frontier is usually narrow and the append handler
+/// holds the dataset's write lock while patching.
+pub(crate) fn delta_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(4)
+}
+
 /// Refreshes the hot-params cache entry in place after a dataset change:
 /// when the pattern store can absorb the change as a dirty-frontier delta,
 /// re-mine incrementally and patch the entry from `old_fingerprint` to the
@@ -738,7 +745,7 @@ pub(crate) fn patch_hot_cache(shared: &Shared, ds: &Dataset, old_fingerprint: u6
     }
     let control = RunControl::new().with_cancel(shared.cancel.clone());
     let mut scratch = MineScratch::default();
-    let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch);
+    let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch, delta_threads());
     shared.metrics.absorb_delta(&dstats);
     if abort.is_some() {
         return false;
@@ -856,16 +863,17 @@ fn handle_mine(shared: &Shared, name: &str, req: &Request) -> Response {
         control = control.with_scratch_budget(bytes);
     }
 
-    let (result, abort) = if threads == 1 && resolved == ds.hot_params() {
+    let (result, abort) = if resolved == ds.hot_params() {
         // The dataset's live scanners already hold the first-scan summaries
         // for exactly these parameters, and the pattern store may hold the
-        // previous complete result: skip the scan, re-grow only the dirty
-        // frontier, and splice the clean patterns.
+        // previous complete result plus its measure checkpoints: skip the
+        // scan, re-measure only the tail-dirtied candidates (on up to
+        // `threads` workers), and splice the clean patterns.
         ServerMetrics::bump(&shared.metrics.mine_fastpath);
         // lint:allow(no-raw-clock-in-hot-path): per-request wall measurement for metrics, outside the recursion
         let started = Instant::now();
         let mut scratch = MineScratch::default();
-        let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch);
+        let (result, abort, dstats) = ds.mine_hot_delta(&control, &mut scratch, threads);
         shared.metrics.absorb_delta(&dstats);
         shared.metrics.absorb_wall(
             started.elapsed(),

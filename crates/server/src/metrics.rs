@@ -42,6 +42,14 @@ pub struct ServerMetrics {
     pub delta_retained: AtomicU64,
     /// Patterns recomputed by dirty-frontier re-growth across delta mines.
     pub delta_remined: AtomicU64,
+    /// Tail-window transactions scanned by checkpointed delta mines.
+    pub delta_tail_tx: AtomicU64,
+    /// Candidate re-measurements resumed from a stored measure checkpoint
+    /// (the remainder rebuilt state by posting-list intersection).
+    pub delta_checkpoint_hits: AtomicU64,
+    /// High-water mark of worker threads a delta frontier re-measurement
+    /// ran on.
+    pub delta_parallel_workers: AtomicU64,
     /// Append requests absorbed.
     pub appends: AtomicU64,
     /// Appends that patched the hot cache entry in place via a delta mine
@@ -88,6 +96,9 @@ impl ServerMetrics {
             Self::bump(&self.delta_mines);
             self.delta_retained.fetch_add(stats.retained_patterns as u64, Ordering::Relaxed);
             self.delta_remined.fetch_add(stats.remined_patterns as u64, Ordering::Relaxed);
+            self.delta_tail_tx.fetch_add(stats.tail_transactions as u64, Ordering::Relaxed);
+            self.delta_checkpoint_hits.fetch_add(stats.checkpoint_hits as u64, Ordering::Relaxed);
+            self.delta_parallel_workers.fetch_max(stats.parallel_workers as u64, Ordering::Relaxed);
         } else {
             Self::bump(&self.delta_full);
         }
@@ -137,6 +148,15 @@ impl ServerMetrics {
         s.push_str(&format!("    \"delta_full\": {},\n", get(&self.delta_full)));
         s.push_str(&format!("    \"delta_retained\": {},\n", get(&self.delta_retained)));
         s.push_str(&format!("    \"delta_remined\": {},\n", get(&self.delta_remined)));
+        s.push_str(&format!("    \"delta_tail_tx\": {},\n", get(&self.delta_tail_tx)));
+        s.push_str(&format!(
+            "    \"delta_checkpoint_hits\": {},\n",
+            get(&self.delta_checkpoint_hits)
+        ));
+        s.push_str(&format!(
+            "    \"delta_parallel_workers\": {},\n",
+            get(&self.delta_parallel_workers)
+        ));
         s.push_str(&format!(
             "    \"wall_ms\": {:.3},\n",
             get(&self.mining_wall_micros) as f64 / 1e3
@@ -231,6 +251,9 @@ mod tests {
             reachable_transactions: 2,
             retained_patterns: 7,
             remined_patterns: 3,
+            tail_transactions: 5,
+            checkpoint_hits: 4,
+            parallel_workers: 3,
         };
         m.absorb_delta(&stats);
         stats.mode = DeltaMode::Full(FullReason::ColdStore);
@@ -240,6 +263,9 @@ mod tests {
         assert!(json.contains("\"delta_full\": 1"));
         assert!(json.contains("\"delta_retained\": 7"));
         assert!(json.contains("\"delta_remined\": 3"));
+        assert!(json.contains("\"delta_tail_tx\": 5"));
+        assert!(json.contains("\"delta_checkpoint_hits\": 4"));
+        assert!(json.contains("\"delta_parallel_workers\": 3"));
     }
 
     #[test]

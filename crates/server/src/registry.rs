@@ -76,7 +76,7 @@ impl Dataset {
         if !dataset.miner.db().is_empty() {
             let control = RunControl::new();
             let mut scratch = MineScratch::new();
-            let _ = dataset.mine_hot_delta(&control, &mut scratch);
+            let _ = dataset.mine_hot_delta(&control, &mut scratch, 1);
         }
         dataset
     }
@@ -213,16 +213,20 @@ impl Dataset {
     }
 
     /// Mines at the hot parameters through the dataset's [`PatternStore`]:
-    /// only branches dirtied since the last complete hot mine are re-grown,
-    /// clean patterns are spliced from the store, and the output is
-    /// bit-identical to a batch mine. The store refreshes on every complete
-    /// run (including full-mine fallbacks), so the first hot mine warms it.
+    /// only candidates dirtied since the last complete hot mine are
+    /// re-measured (resuming their checkpointed scans over the appended
+    /// tail), clean patterns are spliced from the store, and the output is
+    /// bit-identical to a batch mine. The frontier re-measurement runs on up
+    /// to `threads` work-stealing workers. The store refreshes on every
+    /// complete run (including full-mine fallbacks), so the first hot mine
+    /// warms it.
     pub fn mine_hot_delta(
         &self,
         control: &RunControl,
         scratch: &mut MineScratch,
+        threads: usize,
     ) -> (MiningResult, Option<AbortReason>, DeltaStats) {
-        self.miner.mine_delta_controlled(&mut lock_recover(&self.store), control, scratch)
+        self.miner.mine_delta_controlled(&mut lock_recover(&self.store), control, scratch, threads)
     }
 
     /// Appends parsed `(ts, labels)` transactions in order, journalling
@@ -707,7 +711,7 @@ mod tests {
         assert!(!ds.delta_applicable(), "cold store cannot delta");
         let control = RunControl::new();
         let mut scratch = MineScratch::new();
-        let (first, abort, stats) = ds.mine_hot_delta(&control, &mut scratch);
+        let (first, abort, stats) = ds.mine_hot_delta(&control, &mut scratch, 1);
         assert!(abort.is_none());
         assert!(!stats.mode.is_delta(), "first mine is the warming full mine");
         assert_eq!(first.patterns.len(), 8);
@@ -719,7 +723,7 @@ mod tests {
         let mut ds = dataset.write().unwrap();
         ds.append_lines(&[(20, vec!["nightcap".into()])]).unwrap();
         assert!(ds.delta_applicable(), "rare-item append is delta-eligible");
-        let (second, abort, stats) = ds.mine_hot_delta(&control, &mut scratch);
+        let (second, abort, stats) = ds.mine_hot_delta(&control, &mut scratch, 2);
         assert!(abort.is_none());
         assert!(stats.mode.is_delta());
         assert_eq!(second.patterns, ds.miner().mine().patterns);

@@ -15,9 +15,10 @@ cargo build --examples --offline
 RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --offline
 cargo test -q --offline
 # Delta-mining smoke: one tiny rep of the incremental bench, which asserts
-# delta == batch bit-identity at every step before writing its report.
+# delta == batch bit-identity at every step before writing its report. The
+# 32-transaction batch exercises the checkpoint-resumed batch-append path.
 cargo run -q -p rpm-bench --release --offline --bin incremental_mining -- \
-  --scale 0.05 --chunks 2 --batch-sizes 1 --reps 1 \
+  --scale 0.05 --chunks 2 --batch-sizes 1,32 --reps 1 \
   --out target/BENCH_incremental_smoke.json
 
 # Durability smoke: serve with a data dir, ingest, SIGKILL, restart, and
@@ -45,7 +46,9 @@ serve_pid=$!
 wait_healthy 8741
 curl -sf --data-binary @"$smoke_dir/shop.tsv" \
   'http://127.0.0.1:8741/v1/datasets/shop?per=360&min-ps=10&min-rec=1' >/dev/null
-printf '999999\tsmoke-item\n' | curl -sf --data-binary @- \
+# A multi-line batch: journaled as one WAL record and delta-mined in one pass.
+printf '999997\tsmoke-item\n999998\tsmoke-item\n999999\tsmoke-item\n' \
+  | curl -sf --data-binary @- \
   -X POST http://127.0.0.1:8741/v1/datasets/shop/append >/dev/null
 before=$(curl -sf http://127.0.0.1:8741/v1/datasets)
 kill -9 "$serve_pid"

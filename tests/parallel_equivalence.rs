@@ -80,3 +80,61 @@ fn parallel_reports_scheduling_counters() {
     assert!(seq.stats.scratch_bytes_peak > 0);
     assert_eq!(seq.stats.regions_stolen, 0);
 }
+
+#[test]
+fn parallel_delta_frontier_matches_sequential_across_thread_counts() {
+    // The delta miner's work-stealing frontier re-measurement must be
+    // bit-identical to its sequential path — and to a batch mine — at every
+    // thread count, with independently-evolved stores converging on the
+    // same snapshot.
+    use recurring_patterns::core::{IncrementalMiner, PatternStore, RunControl};
+
+    for (name, db, params) in database_pool().into_iter().step_by(7) {
+        let n = db.len();
+        let split = n - (n / 10).clamp(1, 200);
+        let feed = |miner: &mut IncrementalMiner, range: std::ops::Range<usize>| {
+            for t in &db.transactions()[range] {
+                let labels: Vec<&str> = t.items().iter().map(|&i| db.items().label(i)).collect();
+                miner.append(t.timestamp(), &labels).expect("in-order append");
+            }
+        };
+        let mut miner = IncrementalMiner::new(params);
+        feed(&mut miner, 0..split);
+        let mut stores: Vec<PatternStore> = (0..4).map(|_| PatternStore::new()).collect();
+        for store in &mut stores {
+            miner.mine_delta(store); // warming full mine
+        }
+        feed(&mut miner, split..n);
+        // The oracle mines the miner's own database: item ids are interned
+        // in arrival order, which differs from the generator's interning.
+        let batch = mine_resolved(miner.db(), params);
+        let mut outputs = Vec::new();
+        for (store, threads) in stores.iter_mut().zip([1usize, 2, 3, 8]) {
+            let (result, abort, stats) = miner.mine_delta_controlled(
+                store,
+                &RunControl::new(),
+                &mut MineScratch::new(),
+                threads,
+            );
+            assert!(abort.is_none(), "{name}: unlimited control aborted");
+            assert_eq!(
+                result.patterns, batch.patterns,
+                "{name}: delta threads={threads} diverged from batch"
+            );
+            outputs.push((threads, result, stats));
+        }
+        let (_, seq, seq_stats) = &outputs[0];
+        for (threads, par, stats) in &outputs[1..] {
+            assert_eq!(seq.patterns, par.patterns, "{name}: threads={threads}");
+            assert_eq!(
+                seq.stats.normalized(),
+                par.stats.normalized(),
+                "{name}: stats diverged at threads={threads}"
+            );
+            assert_eq!(
+                seq_stats.checkpoint_hits, stats.checkpoint_hits,
+                "{name}: resume behaviour diverged at threads={threads}"
+            );
+        }
+    }
+}

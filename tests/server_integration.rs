@@ -131,12 +131,14 @@ fn mine_caches_and_append_invalidates() {
     assert_eq!(metrics.counter("runs"), 1, "one engine run despite two requests");
     assert!(metrics.counter("fastpath") >= 1, "hot params used the incremental scanners");
 
-    // Appending the ubiquitous `a b` dirties a frontier wider than the
-    // delta threshold, so the patch path refuses and the old content is
-    // invalidated: the same query must re-mine.
-    let append = request(addr, "POST", "/v1/datasets/shop/append", "16\ta b\n18\ta b\n");
+    // Appending a batch of ubiquitous `a b` transactions that is itself
+    // half the stream pushes the dirty tail past the cost-model budget, so
+    // the patch path refuses and the old content is invalidated: the same
+    // query must re-mine.
+    let batch = "16\ta b\n17\ta b\n18\ta b\n19\ta b\n20\ta b\n21\ta b\n";
+    let append = request(addr, "POST", "/v1/datasets/shop/append", batch);
     assert_eq!(append.status, 200, "{}", append.body);
-    assert!(append.body.contains("\"appended\":2"), "{}", append.body);
+    assert!(append.body.contains("\"appended\":6"), "{}", append.body);
     assert!(append.body.contains("\"patched\":false"), "{}", append.body);
     let after = request(addr, "POST", "/v1/datasets/shop/mine?per=2&min-ps=3&min-rec=2", "");
     assert_eq!(after.status, 200);
@@ -161,12 +163,14 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
     let handle = bind(2, 16);
     let addr = handle.addr();
 
-    let up = request(
-        addr,
-        "POST",
-        "/v1/datasets/shop?per=2&min-ps=3&min-rec=2",
-        &running_example_text(),
-    );
+    // The running example plus a sparse `pad` tail (isolated occurrences,
+    // never periodic, never a candidate) so the multi-transaction batch
+    // below stays under the delta cost-model budget.
+    let mut text = running_example_text();
+    for ts in [20, 26, 32, 38, 44, 50, 56, 62] {
+        text.push_str(&format!("{ts}\tpad\n"));
+    }
+    let up = request(addr, "POST", "/v1/datasets/shop?per=2&min-ps=3&min-rec=2", &text);
     assert_eq!(up.status, 201, "{}", up.body);
 
     // One engine run warms the cache and the dataset's pattern store.
@@ -175,17 +179,18 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
     assert_eq!(mine.header("x-rpm-cache"), "miss");
     assert_eq!(mine.header("x-rpm-patterns"), "8");
 
-    // Nothing is active past the original stream's end (ts=14).
+    // Nothing is active past the running example's end (ts=14).
     let before =
         request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
     assert_eq!(before.status, 200, "{}", before.body);
     assert_eq!(before.header("x-rpm-active"), "0");
 
-    // Append a brand-new item `z` forming two interesting runs. Its dirty
-    // frontier is just its own six transactions — well under the fallback
-    // threshold — so the append delta-mines and patches the cache entry in
-    // place instead of invalidating it.
-    let lines = "16\tz\n17\tz\n18\tz\n22\tz\n23\tz\n24\tz\n";
+    // A multi-transaction batch of a brand-new item `z` forming two
+    // interesting runs, journalled as one WAL record. Its dirty tail is
+    // just its own six transactions — under the cost-model budget — so the
+    // append delta-mines and patches the cache entry in place instead of
+    // invalidating it.
+    let lines = "70\tz\n71\tz\n72\tz\n76\tz\n77\tz\n78\tz\n";
     let append = request(addr, "POST", "/v1/datasets/shop/append", lines);
     assert_eq!(append.status, 200, "{}", append.body);
     assert!(append.body.contains("\"appended\":6"), "{}", append.body);
@@ -200,13 +205,13 @@ fn append_patches_cache_in_place_and_active_sees_new_patterns() {
     assert!(after.body.contains('z'), "patched body carries the new pattern: {}", after.body);
 
     // The stabbing index rebuilt from the patched entry sees {z} active in
-    // its first run [16,18].
+    // its first run [70,72].
     let active =
-        request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=17", "");
+        request(addr, "GET", "/v1/datasets/shop/active?per=2&min-ps=3&min-rec=2&at=71", "");
     assert_eq!(active.status, 200, "{}", active.body);
     assert_eq!(active.header("x-rpm-cache"), "hit");
     let n_active: usize = active.header("x-rpm-active").parse().unwrap();
-    assert!(n_active >= 1, "z is active at ts=17: {}", active.body);
+    assert!(n_active >= 1, "z is active at ts=71: {}", active.body);
 
     // Counters tell the same story: one engine run total, one patched
     // append, at least one delta mine that retained the 8 old patterns.

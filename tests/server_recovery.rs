@@ -222,3 +222,52 @@ fn stale_snapshot_plus_wal_tail_replays_to_the_latest_state() {
     second.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn measure_checkpoints_survive_replay_and_keep_batch_appends_on_the_delta_path() {
+    let dir = temp_dir("warm-delta");
+    let first = bind_durable(&dir, 1024);
+    let addr = first.addr();
+    // The running example plus sparse `pad` rows: a 20-transaction base so a
+    // six-row batch stays under the delta planner's tail budget.
+    let mut text = running_example_text();
+    for ts in [20, 26, 32, 38, 44, 50, 56, 62] {
+        text.push_str(&format!("{ts}\tpad\n"));
+    }
+    let up = request(addr, "POST", "/v1/datasets/shop?per=2&min-ps=3&min-rec=2", &text);
+    assert_eq!(up.status, 201, "{}", up.body);
+    assert_eq!(request(addr, "POST", MINE, "").status, 200);
+    let batch = "70\tz\n71\tz\n72\tz\n76\tz\n77\tz\n78\tz\n";
+    let before = request(addr, "POST", "/v1/datasets/shop/append", batch);
+    assert_eq!(before.status, 200, "{}", before.body);
+    assert!(
+        before.body.contains("\"patched\":true"),
+        "pre-crash batch full-mined: {}",
+        before.body
+    );
+    crash(first);
+
+    // After replay the warming mine must rebuild the per-item measure
+    // checkpoints, so the very first post-restart batch append patches the
+    // hot cache in place instead of falling back to a full re-mine.
+    let second = bind_durable(&dir, 1024);
+    let addr = second.addr();
+    let batch = "84\tz\n85\tz\n86\tz\n90\tz\n91\tz\n92\tz\n";
+    let after = request(addr, "POST", "/v1/datasets/shop/append", batch);
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert!(after.body.contains("\"patched\":true"), "recovered store cold: {}", after.body);
+    let metrics = request(addr, "GET", "/v1/metrics", "");
+    // The metrics collector restarted with the process, so any checkpoint
+    // hits it reports were earned by the post-restart delta mine.
+    let hits: u64 = metrics
+        .body
+        .split("\"delta_checkpoint_hits\": ")
+        .nth(1)
+        .and_then(|t| t.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|n| n.parse().ok())
+        .expect("delta_checkpoint_hits in /v1/metrics");
+    assert!(hits > 0, "replayed checkpoints never resumed a scan: {}", metrics.body);
+    second.shutdown();
+    second.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
